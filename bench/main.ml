@@ -1,0 +1,236 @@
+(* Benchmark harness.
+
+   Two halves:
+
+   1. The table harness regenerates every table and figure of the paper's
+      evaluation (see DESIGN.md's per-experiment index): Table 1 (large
+      benchmark circuits), Table 2 (tree circuit), Table 3 (tree speed
+      factors), the Section-5 worked example, the Section-4 conformance
+      (yield) claim, the Monte-Carlo accuracy figure and the ablations.
+
+   2. Bechamel micro-benchmarks of the primitives (Clark max, SSTA forward
+      and adjoint sweeps, deterministic STA, BLIF parsing, solver runs) —
+      one Test.make per operation, plus one per paper table so the cost of
+      regenerating each artefact is itself measured.
+
+   Usage:
+     dune exec bench/main.exe             # tables then micro-benchmarks
+     dune exec bench/main.exe -- tables   # tables only
+     dune exec bench/main.exe -- micro    # micro-benchmarks only
+     dune exec bench/main.exe -- table1|table2|table3|example|yield|mc|ablation *)
+
+let model = Circuit.Sigma_model.paper_default
+
+let section name f =
+  Printf.printf "==== %s ====\n%!" name;
+  let t0 = Sys.time () in
+  f ();
+  Printf.printf "[%s: %.1f s CPU]\n\n%!" name (Sys.time () -. t0)
+
+let run_table1 () =
+  section "Table 1: statistical sizing of large benchmark circuits" (fun () ->
+      Experiments.Table1.(print (run ~model ())))
+
+let run_table2 () =
+  section "Table 2: tree circuit objectives and constraints" (fun () ->
+      Experiments.Table2.(print (run ~model ())))
+
+let run_table3 () =
+  section "Table 3: tree speed factors" (fun () ->
+      Experiments.Table3.(print (run ~model ())))
+
+let run_example () =
+  section "Section 5 example (fig. 2, eq. 18)" (fun () ->
+      Experiments.Example_fig2.(print (run ~model ())))
+
+let run_yield () =
+  section "Conformance / yield claim (50% / 84.1% / 99.8%)" (fun () ->
+      (* The tree respects the independence assumption exactly; the apex2
+         stand-in shows the reconvergence-correlation error the paper lists
+         as future work. *)
+      Experiments.Yield_exp.(print (run ~model ~net:(Circuit.Generate.tree ()) ()));
+      Experiments.Yield_exp.(print (run ~model ())))
+
+let run_mc () =
+  section "Analytic operators vs Monte Carlo" (fun () ->
+      Experiments.Mc_accuracy.(print (run ~model ())))
+
+let run_corner () =
+  section "Corner-analysis pessimism (Section 1 motivation)" (fun () ->
+      Experiments.Corner_exp.(print (run ~model ())))
+
+let run_scale () =
+  section "Scalability sweep" (fun () -> Experiments.Scale_exp.(print (run ~model ())))
+
+let run_ablation () =
+  section "Ablations (sigma model, eq14/eq15 form, deterministic baseline)"
+    (fun () -> Experiments.Ablation.(print (run ())))
+
+let run_extensions () =
+  section "Extensions (the paper's future work, implemented)" (fun () ->
+      Experiments.Nary_exp.(print (run ()));
+      Experiments.Correlation_exp.(print (run ~model ()));
+      Experiments.Power_exp.(print (run ~model ()));
+      Experiments.Robust_exp.(print (run ()));
+      (* EXT-PARETO: the full area-delay curve whose endpoints are Table 1's
+         first two rows. *)
+      Sizing.Sweep.print
+        (Sizing.Sweep.area_delay ~model ~k:3. ~points:6 (Circuit.Generate.apex2_like ())))
+
+let run_tables () =
+  run_example ();
+  run_table2 ();
+  run_table3 ();
+  run_yield ();
+  run_mc ();
+  run_corner ();
+  run_ablation ();
+  run_extensions ();
+  run_table1 ();
+  run_scale ()
+
+(* ---- micro-benchmarks ------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let micro_tests () =
+  let open Statdelay in
+  let a = Normal.make ~mu:1.0 ~sigma:0.3 in
+  let b = Normal.make ~mu:1.2 ~sigma:0.5 in
+  let tree = Circuit.Generate.tree () in
+  let apex2 = Circuit.Generate.apex2_like () in
+  let tree_sizes = Circuit.Netlist.min_sizes tree in
+  let apex2_sizes = Circuit.Netlist.min_sizes apex2 in
+  let blif_text = Circuit.Blif.to_string apex2 in
+  let blif_lib =
+    (* to_string names cells from the default library *)
+    Circuit.Cell.Library.default ()
+  in
+  let rng = Util.Rng.create 1 in
+  let ops =
+    Test.make_grouped ~name:"ops"
+      [
+        Test.make ~name:"normal_add" (Staged.stage (fun () -> Normal.add a b));
+        Test.make ~name:"clark_max2" (Staged.stage (fun () -> Clark.max2 a b));
+        Test.make ~name:"clark_max2_full" (Staged.stage (fun () -> Clark.max2_full a b));
+        Test.make ~name:"normal_cdf" (Staged.stage (fun () -> Util.Special.normal_cdf 0.7));
+      ]
+  in
+  let sta =
+    Test.make_grouped ~name:"sta"
+      [
+        Test.make ~name:"dsta_apex2"
+          (Staged.stage (fun () -> Sta.Dsta.analyze apex2 ~sizes:apex2_sizes));
+        Test.make ~name:"ssta_tree"
+          (Staged.stage (fun () -> Sta.Ssta.analyze ~model tree ~sizes:tree_sizes));
+        Test.make ~name:"ssta_apex2"
+          (Staged.stage (fun () -> Sta.Ssta.analyze ~model apex2 ~sizes:apex2_sizes));
+        Test.make ~name:"ssta_gradient_apex2"
+          (Staged.stage (fun () ->
+               Sta.Ssta.gradient ~model apex2 ~sizes:apex2_sizes
+                 ~seed:(Sta.Ssta.mu_plus_k_sigma_seed 3.)));
+        Test.make ~name:"mc_sample_tree_x100"
+          (Staged.stage (fun () ->
+               Sta.Yield.sample_circuit_delays ~rng ~model tree ~sizes:tree_sizes ~n:100));
+      ]
+  in
+  let infra =
+    Test.make_grouped ~name:"infra"
+      [
+        Test.make ~name:"blif_parse_apex2"
+          (Staged.stage (fun () ->
+               match Circuit.Blif.parse_string ~library:blif_lib blif_text with
+               | Ok n -> n
+               | Error _ -> assert false));
+        Test.make ~name:"generate_apex2" (Staged.stage Circuit.Generate.apex2_like);
+      ]
+  in
+  let solves =
+    Test.make_grouped ~name:"solve"
+      [
+        Test.make ~name:"tree_min_mu3sigma"
+          (Staged.stage (fun () ->
+               Sizing.Engine.solve ~model tree (Sizing.Objective.Min_delay 3.)));
+        Test.make ~name:"tree_min_sigma"
+          (Staged.stage (fun () ->
+               Sizing.Engine.solve ~model tree (Sizing.Objective.Min_sigma { mu = 6.5 })));
+        Test.make ~name:"fig2_full_formulation"
+          (Staged.stage (fun () ->
+               Sizing.Formulate.solve
+                 (Sizing.Formulate.build ~model (Circuit.Generate.example_fig2 ())
+                    (Sizing.Objective.Min_delay 3.))));
+      ]
+  in
+  (* One Test.make per paper table: the cost of regenerating the artefact. *)
+  let tables =
+    Test.make_grouped ~name:"tables"
+      [
+        Test.make ~name:"table2_rows"
+          (Staged.stage (fun () -> Experiments.Table2.run ~model ()));
+        Test.make ~name:"table3_rows"
+          (Staged.stage (fun () -> Experiments.Table3.run ~model ~target_mu:6.5 ()));
+        Test.make ~name:"example_fig2"
+          (Staged.stage (fun () -> Experiments.Example_fig2.run ~model ()));
+        Test.make ~name:"table1_apex2_row"
+          (Staged.stage (fun () ->
+               Sizing.Engine.solve ~model apex2 (Sizing.Objective.Min_delay 0.)));
+      ]
+  in
+  Test.make_grouped ~name:"statsize" [ ops; sta; infra; solves; tables ]
+
+let run_micro () =
+  Printf.printf "==== micro-benchmarks (Bechamel, monotonic clock) ====\n%!";
+  let cfg = Benchmark.cfg ~limit:1500 ~quota:(Time.second 0.4) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (micro_tests ()) in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> nan
+        in
+        (name, ns) :: acc)
+      results []
+  in
+  let t = Util.Table.create ~header:[ "benchmark"; "time/run" ] in
+  Util.Table.set_align t 1 Util.Table.Right;
+  let pretty ns =
+    if ns < 1e3 then Printf.sprintf "%.1f ns" ns
+    else if ns < 1e6 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else if ns < 1e9 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else Printf.sprintf "%.2f s" (ns /. 1e9)
+  in
+  List.iter
+    (fun (name, ns) -> Util.Table.add_row t [ name; pretty ns ])
+    (List.sort compare rows);
+  Util.Table.print t;
+  print_newline ()
+
+let () =
+  let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match arg with
+  | "all" ->
+      run_tables ();
+      run_micro ()
+  | "tables" -> run_tables ()
+  | "micro" -> run_micro ()
+  | "table1" -> run_table1 ()
+  | "table2" -> run_table2 ()
+  | "table3" -> run_table3 ()
+  | "example" -> run_example ()
+  | "yield" -> run_yield ()
+  | "mc" -> run_mc ()
+  | "ablation" -> run_ablation ()
+  | "extensions" -> run_extensions ()
+  | "corner" -> run_corner ()
+  | "scale" -> run_scale ()
+  | other ->
+      Printf.eprintf
+        "unknown section %S (expected \
+         all|tables|micro|table1|table2|table3|example|yield|mc|corner|ablation|extensions|scale)\n"
+        other;
+      exit 2

@@ -1,0 +1,278 @@
+(* statsize: command-line front end for statistical gate sizing.
+
+   Subcommands:
+     analyze  - statistical timing report of a circuit at given sizes
+     size     - solve a sizing problem and report the result
+     tables   - regenerate the paper's tables (same harness as bench/) *)
+
+open Cmdliner
+
+let model_of_ratio ratio =
+  if ratio = 0. then Circuit.Sigma_model.Zero else Circuit.Sigma_model.Proportional ratio
+
+(* ---- circuit selection ----------------------------------------------------- *)
+
+let load_library = function
+  | None -> Ok (Circuit.Cell.Library.default ())
+  | Some path -> (
+      match Circuit.Cell_file.parse_file path with
+      | Ok lib -> Ok lib
+      | Error e -> Error (Format.asprintf "%a" Circuit.Cell_file.pp_error e))
+
+let load_circuit ~blif ~bench ~library_file ~circuit ~wire_load =
+  match load_library library_file with
+  | Error _ as e -> e
+  | Ok library -> (
+      match (blif, bench) with
+      | Some _, Some _ -> Error "--blif and --bench are mutually exclusive"
+      | Some path, None -> (
+          match Circuit.Blif.parse_file ~wire_load ~library path with
+          | Ok net -> Ok net
+          | Error e -> Error (Format.asprintf "%a" Circuit.Blif.pp_error e))
+      | None, Some path -> (
+          match Circuit.Bench_format.parse_file ~wire_load ~library path with
+          | Ok net -> Ok net
+          | Error e -> Error (Format.asprintf "%a" Circuit.Bench_format.pp_error e))
+      | None, None -> (
+          match Circuit.Generate.by_name circuit with
+          | Some net -> Ok net
+          | None ->
+              Error
+                (Printf.sprintf
+                   "unknown circuit %S (expected fig2|tree|chain|apex1|apex2|k2, or \
+                    --blif/--bench FILE)"
+                   circuit)))
+
+let circuit_arg =
+  let doc = "Built-in circuit: fig2, tree, chain, apex1, apex2 or k2." in
+  Arg.(value & opt string "tree" & info [ "c"; "circuit" ] ~docv:"NAME" ~doc)
+
+let blif_arg =
+  let doc = "Read the circuit from a structural BLIF file instead." in
+  Arg.(value & opt (some file) None & info [ "blif" ] ~docv:"FILE" ~doc)
+
+let bench_arg =
+  let doc = "Read the circuit from an ISCAS .bench file instead." in
+  Arg.(value & opt (some file) None & info [ "bench" ] ~docv:"FILE" ~doc)
+
+let library_arg =
+  let doc = "Cell library file (default: the built-in library)." in
+  Arg.(value & opt (some file) None & info [ "library" ] ~docv:"FILE" ~doc)
+
+let wire_load_arg =
+  let doc = "Wire capacitance per gate output for BLIF circuits." in
+  Arg.(value & opt float 1.0 & info [ "wire-load" ] ~docv:"CAP" ~doc)
+
+let sigma_ratio_arg =
+  let doc =
+    "Sigma model ratio r in sigma_t = r * mu_t (0 disables uncertainty; the \
+     paper uses 0.25)."
+  in
+  Arg.(value & opt float 0.25 & info [ "sigma-ratio" ] ~docv:"R" ~doc)
+
+let sizes_arg =
+  let doc = "Uniform speed factor applied to every gate (default 1.0)." in
+  Arg.(value & opt float 1.0 & info [ "sizes" ] ~docv:"S" ~doc)
+
+(* ---- analyze ----------------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run circuit blif bench library_file wire_load sigma_ratio size mc cssta crit =
+    match load_circuit ~blif ~bench ~library_file ~circuit ~wire_load with
+    | Error msg ->
+        Printf.eprintf "statsize: %s\n" msg;
+        exit 1
+    | Ok net ->
+        let model = model_of_ratio sigma_ratio in
+        let n = Circuit.Netlist.n_gates net in
+        let sizes =
+          Array.init n (fun i ->
+              min size (Circuit.Netlist.gate net i).Circuit.Netlist.cell.Circuit.Cell.max_size)
+        in
+        Format.printf "%a@." Circuit.Netlist.pp_summary net;
+        let res = Sta.Ssta.analyze ~model net ~sizes in
+        let c = res.Sta.Ssta.circuit in
+        let d = Sta.Dsta.analyze net ~sizes in
+        Printf.printf "deterministic worst-case delay: %.4f\n" d.Sta.Dsta.circuit;
+        Printf.printf "statistical delay: mu = %.4f, sigma = %.4f\n"
+          (Statdelay.Normal.mu c) (Statdelay.Normal.sigma c);
+        List.iter
+          (fun k ->
+            Printf.printf "  mu + %gsigma = %.4f\n" k
+              (Statdelay.Normal.mu_plus_k_sigma c k))
+          [ 1.; 3. ];
+        Printf.printf "area (sum of speed factors): %.2f\n"
+          (Circuit.Netlist.area net ~sizes);
+        if cssta then begin
+          let correlated = (Sta.Cssta.analyze ~model net ~sizes).Sta.Cssta.circuit in
+          Printf.printf
+            "correlation-aware (CSSTA): mu = %.4f, sigma = %.4f (reconvergence-corrected)\n"
+            (Statdelay.Normal.mu correlated)
+            (Statdelay.Normal.sigma correlated)
+        end;
+        if mc > 0 then begin
+          let samples =
+            Sta.Yield.sample_circuit_delays ~rng:(Util.Rng.create 1) ~model net ~sizes
+              ~n:mc
+          in
+          let st = Util.Stats.of_array samples in
+          Printf.printf "Monte Carlo (%d samples): mu = %.4f, sigma = %.4f\n" mc
+            (Util.Stats.mean st) (Util.Stats.std_dev st)
+        end;
+        if crit > 0 then begin
+          let r = Sta.Crit.monte_carlo ~model net ~sizes ~n:crit in
+          Printf.printf "most critical gates (over %d samples):\n" crit;
+          List.iteri
+            (fun i (name, c) ->
+              if i < 10 && c > 0. then Printf.printf "  %-12s %.1f%%\n" name (100. *. c))
+            (Sta.Crit.ranked r net)
+        end
+  in
+  let mc_arg =
+    let doc = "Validate the analytic result with N Monte Carlo samples." in
+    Arg.(value & opt int 0 & info [ "mc" ] ~docv:"N" ~doc)
+  in
+  let cssta_arg =
+    let doc = "Also run the correlation-aware SSTA (reconvergence-corrected sigma)." in
+    Arg.(value & flag & info [ "cssta" ] ~doc)
+  in
+  let crit_arg =
+    let doc = "Report gate criticalities from N Monte Carlo samples." in
+    Arg.(value & opt int 0 & info [ "crit" ] ~docv:"N" ~doc)
+  in
+  let term =
+    Term.(
+      const run $ circuit_arg $ blif_arg $ bench_arg $ library_arg $ wire_load_arg
+      $ sigma_ratio_arg $ sizes_arg $ mc_arg $ cssta_arg $ crit_arg)
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Statistical timing report of a circuit at fixed sizes")
+    term
+
+(* ---- size --------------------------------------------------------------------- *)
+
+let objective_of ~objective ~k ~bound ~mu =
+  match (objective, bound, mu) with
+  | "min-area", None, _ -> Ok Sizing.Objective.Min_area
+  | "min-area", Some b, _ -> Ok (Sizing.Objective.Min_area_bounded { k; bound = b })
+  | "min-delay", _, _ -> Ok (Sizing.Objective.Min_delay k)
+  | "min-sigma", _, Some m -> Ok (Sizing.Objective.Min_sigma { mu = m })
+  | "max-sigma", _, Some m -> Ok (Sizing.Objective.Max_sigma { mu = m })
+  | ("min-sigma" | "max-sigma"), _, None ->
+      Error "min-sigma/max-sigma need --mu TARGET"
+  | other, _, _ ->
+      Error
+        (Printf.sprintf
+           "unknown objective %S (expected min-delay|min-area|min-sigma|max-sigma)" other)
+
+let size_cmd =
+  let run circuit blif bench library_file wire_load sigma_ratio objective k bound mu
+      print_sizes mc =
+    match load_circuit ~blif ~bench ~library_file ~circuit ~wire_load with
+    | Error msg ->
+        Printf.eprintf "statsize: %s\n" msg;
+        exit 1
+    | Ok net -> (
+        match objective_of ~objective ~k ~bound ~mu with
+        | Error msg ->
+            Printf.eprintf "statsize: %s\n" msg;
+            exit 1
+        | Ok obj ->
+            let model = model_of_ratio sigma_ratio in
+            let s = Sizing.Engine.solve ~model net obj in
+            Format.printf "%a@." Sizing.Report.pp_solution s;
+            if not s.Sizing.Engine.converged then
+              Printf.printf "warning: solver did not fully converge (violation %.2e)\n"
+                s.Sizing.Engine.max_violation;
+            if print_sizes then
+              List.iter
+                (fun (name, sz) -> Printf.printf "  S_%s = %.3f\n" name sz)
+                (Sizing.Report.speed_factors net s);
+            (match bound with
+            | Some deadline when mc > 0 ->
+                let y =
+                  Sta.Yield.monte_carlo ~rng:(Util.Rng.create 1) ~model net
+                    ~sizes:s.Sizing.Engine.sizes ~deadline ~n:mc
+                in
+                Printf.printf "Monte Carlo yield at D = %g: %.1f%%\n" deadline (100. *. y)
+            | _ -> ()))
+  in
+  let objective_arg =
+    let doc = "Objective: min-delay, min-area, min-sigma or max-sigma." in
+    Arg.(value & opt string "min-delay" & info [ "o"; "objective" ] ~docv:"OBJ" ~doc)
+  in
+  let k_arg =
+    let doc = "Guard band factor k in mu + k*sigma (0, 1 or 3 in the paper)." in
+    Arg.(value & opt float 0. & info [ "k" ] ~docv:"K" ~doc)
+  in
+  let bound_arg =
+    let doc = "Delay bound D: with min-area, minimises area s.t. mu+k*sigma <= D." in
+    Arg.(value & opt (some float) None & info [ "bound" ] ~docv:"D" ~doc)
+  in
+  let mu_arg =
+    let doc = "Fixed mean delay for min-sigma / max-sigma." in
+    Arg.(value & opt (some float) None & info [ "mu" ] ~docv:"MU" ~doc)
+  in
+  let print_sizes_arg =
+    let doc = "Print the per-gate speed factors." in
+    Arg.(value & flag & info [ "print-sizes" ] ~doc)
+  in
+  let mc_arg =
+    let doc = "Validate a delay bound with N Monte Carlo samples." in
+    Arg.(value & opt int 0 & info [ "mc" ] ~docv:"N" ~doc)
+  in
+  let term =
+    Term.(
+      const run $ circuit_arg $ blif_arg $ bench_arg $ library_arg $ wire_load_arg
+      $ sigma_ratio_arg $ objective_arg $ k_arg $ bound_arg $ mu_arg $ print_sizes_arg
+      $ mc_arg)
+  in
+  Cmd.v (Cmd.info "size" ~doc:"Solve a statistical gate sizing problem") term
+
+(* ---- tables -------------------------------------------------------------------- *)
+
+let tables_cmd =
+  let run which =
+    let model = Circuit.Sigma_model.paper_default in
+    let all =
+      [
+        "example"; "table2"; "table3"; "yield"; "mc"; "corner"; "ablation";
+        "extensions"; "table1";
+      ]
+    in
+    let selected = match which with [] -> all | w -> w in
+    List.iter
+      (fun name ->
+        match name with
+        | "table1" -> Experiments.Table1.(print (run ~model ()))
+        | "table2" -> Experiments.Table2.(print (run ~model ()))
+        | "table3" -> Experiments.Table3.(print (run ~model ()))
+        | "example" -> Experiments.Example_fig2.(print (run ~model ()))
+        | "yield" ->
+            Experiments.Yield_exp.(print (run ~model ~net:(Circuit.Generate.tree ()) ()));
+            Experiments.Yield_exp.(print (run ~model ()))
+        | "mc" -> Experiments.Mc_accuracy.(print (run ~model ()))
+        | "corner" -> Experiments.Corner_exp.(print (run ~model ()))
+        | "scale" -> Experiments.Scale_exp.(print (run ~model ()))
+        | "ablation" -> Experiments.Ablation.(print (run ()))
+        | "extensions" ->
+            Experiments.Nary_exp.(print (run ()));
+            Experiments.Correlation_exp.(print (run ~model ()));
+            Experiments.Power_exp.(print (run ~model ()))
+        | other -> Printf.eprintf "statsize tables: skipping unknown table %S\n" other)
+      selected
+  in
+  let which_arg =
+    let doc = "Tables to regenerate (default: all)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"TABLE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Regenerate the paper's tables and figures")
+    Term.(const run $ which_arg)
+
+let main_cmd =
+  let doc = "gate sizing under a statistical delay model (DATE 2000 reproduction)" in
+  let info = Cmd.info "statsize" ~version:"1.0.0" ~doc in
+  Cmd.group info [ analyze_cmd; size_cmd; tables_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,70 @@
+(* Yield-driven sizing: the Section-4 guard-banding story.
+
+   Constraining the mean delay only makes 50% of circuits meet the bound;
+   adding one sigma of guard band makes 84.1% conform, three sigmas 99.8%.
+   This example sizes a circuit for each guard band, validates the claimed
+   conformance with Monte Carlo, and shows what each percent of yield
+   costs in area.
+
+   Run with: dune exec examples/yield_optimization.exe *)
+
+open Sizing
+
+let () =
+  let model = Circuit.Sigma_model.paper_default in
+  let net = Circuit.Generate.tree () in
+  let unsized = Engine.solve ~model net Objective.Min_area in
+  let deadline = 0.85 *. unsized.Engine.mu in
+  Printf.printf "circuit: tree (7 NAND gates); delay budget D = %.3f\n\n" deadline;
+
+  let t =
+    Util.Table.create
+      ~header:[ "guard band"; "mu"; "sigma"; "area"; "analytic yield"; "MC yield" ]
+  in
+  List.iter
+    (fun k ->
+      let s =
+        Engine.solve ~model net (Objective.Min_area_bounded { k; bound = deadline })
+      in
+      let analytic = Sta.Yield.analytic s.Engine.timing.Sta.Ssta.circuit ~deadline in
+      let mc =
+        Sta.Yield.monte_carlo
+          ~rng:(Util.Rng.create 7)
+          ~model net ~sizes:s.Engine.sizes ~deadline ~n:50_000
+      in
+      Util.Table.add_row t
+        [
+          Printf.sprintf "mu+%gsigma <= D" k;
+          Printf.sprintf "%.3f" s.Engine.mu;
+          Printf.sprintf "%.3f" s.Engine.sigma;
+          Printf.sprintf "%.2f" s.Engine.area;
+          Printf.sprintf "%.1f%%" (100. *. analytic);
+          Printf.sprintf "%.1f%%" (100. *. mc);
+        ])
+    [ 0.; 1.; 2.; 3. ];
+  Util.Table.print t;
+
+  print_newline ();
+  Printf.printf
+    "Every extra sigma of guard band buys yield for area: the mu-only sizing\n\
+     loses half the manufactured circuits, while the 3-sigma sizing loses 0.2%%.\n\n";
+
+  (* Contrast with the deterministic baseline: a worst-case sizer has no
+     notion of sigma at all. *)
+  let greedy = Baseline.meet_deadline net ~deadline in
+  let timing, _ = Engine.evaluate ~model net ~sizes:greedy.Baseline.sizes in
+  let mc =
+    Sta.Yield.monte_carlo
+      ~rng:(Util.Rng.create 7)
+      ~model net ~sizes:greedy.Baseline.sizes ~deadline ~n:50_000
+  in
+  Printf.printf
+    "deterministic greedy at the same D: area %.2f, worst-case delay %.3f,\n\
+     statistical mu %.3f sigma %.3f -> Monte Carlo yield %.1f%%\n"
+    greedy.Baseline.area greedy.Baseline.delay
+    (Statdelay.Normal.mu timing.Sta.Ssta.circuit)
+    (Statdelay.Normal.sigma timing.Sta.Ssta.circuit)
+    (100. *. mc);
+  Printf.printf
+    "(the deterministic sizer meets the worst-case number but makes no\n\
+     promise about the delay distribution - which is the paper's point)\n"

@@ -1,0 +1,79 @@
+let default_pi_probability _ = 0.5
+
+(* P(out = 1) of a cell given input probabilities, by library name. *)
+let output_probability cell_name inputs =
+  let p_and = Array.fold_left ( *. ) 1. inputs in
+  let p_or = 1. -. Array.fold_left (fun acc p -> acc *. (1. -. p)) 1. inputs in
+  let starts_with prefix =
+    String.length cell_name >= String.length prefix
+    && String.sub cell_name 0 (String.length prefix) = prefix
+  in
+  if starts_with "inv" then 1. -. inputs.(0)
+  else if starts_with "buf" then inputs.(0)
+  else if starts_with "nand" then 1. -. p_and
+  else if starts_with "nor" then 1. -. p_or
+  else if starts_with "and" then p_and
+  else if starts_with "or" then p_or
+  else if starts_with "xor" && Array.length inputs = 2 then
+    (inputs.(0) *. (1. -. inputs.(1))) +. (inputs.(1) *. (1. -. inputs.(0)))
+  else if starts_with "aoi21" && Array.length inputs = 3 then
+    (* out = not (a*b + c) *)
+    let ab = inputs.(0) *. inputs.(1) in
+    1. -. (ab +. inputs.(2) -. (ab *. inputs.(2)))
+  else if starts_with "oai21" && Array.length inputs = 3 then
+    (* out = not ((a + b) * c) *)
+    let a_or_b = 1. -. ((1. -. inputs.(0)) *. (1. -. inputs.(1))) in
+    1. -. (a_or_b *. inputs.(2))
+  else 0.5
+
+let signal_probabilities ?(pi_probability = default_pi_probability) net =
+  let n = Netlist.n_gates net in
+  let prob = Array.make n 0.5 in
+  let node_probability = function
+    | Netlist.Pi i -> pi_probability i
+    | Netlist.Gate g -> prob.(g)
+  in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let inputs = Array.map node_probability g.Netlist.fanin in
+      prob.(g.Netlist.id) <- output_probability g.Netlist.cell.Cell.name inputs)
+    (Netlist.gates net);
+  prob
+
+let toggle p = 2. *. p *. (1. -. p)
+
+let switching_activity ?pi_probability net =
+  Array.map toggle (signal_probabilities ?pi_probability net)
+
+let pi_activity ?(pi_probability = default_pi_probability) _net i =
+  toggle (pi_probability i)
+
+let power_weights ?pi_probability net =
+  let activity = switching_activity ?pi_probability net in
+  let pi_prob = match pi_probability with Some f -> f | None -> default_pi_probability in
+  let net_activity = function
+    | Netlist.Pi i -> toggle (pi_prob i)
+    | Netlist.Gate g -> activity.(g)
+  in
+  Array.map
+    (fun (c : Netlist.gate) ->
+      let driving = Array.fold_left (fun acc f -> acc +. net_activity f) 0. c.Netlist.fanin in
+      c.Netlist.cell.Cell.c_in *. driving)
+    (Netlist.gates net)
+
+(* Every switched net charges the input capacitance of the pins it drives
+   (plus the driving gate's wire load), so the total per-cycle switched
+   capacitance is
+     sum_g a_g * C_wire_g  +  sum_c S_c * C_in_c * sum_{f in fanin(c)} a_f
+   — the second term is exactly [power_weights], keeping this function
+   affine in the speed factors. *)
+let dynamic_power ?pi_probability net ~sizes =
+  let activity = switching_activity ?pi_probability net in
+  let weights = power_weights ?pi_probability net in
+  let acc = ref 0. in
+  Array.iteri
+    (fun g a ->
+      acc := !acc +. (a *. (Netlist.gate net g).Netlist.wire_load))
+    activity;
+  Array.iteri (fun c w -> acc := !acc +. (w *. sizes.(c))) weights;
+  !acc

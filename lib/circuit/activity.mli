@@ -1,0 +1,41 @@
+(** Signal probabilities and switching activity.
+
+    Section 4 of the paper: "We can choose a weighted sum of sizing
+    factors in the objective function.  This can model area, or, if we
+    take into account capacitances and switching activity under zero
+    delay model in the weights, power."  This module computes those
+    weights: signal probabilities propagate through the cells' boolean
+    functions under the usual spatial-independence assumption, the
+    zero-delay toggle probability of a net is {m 2p(1-p)}, and the power
+    weight of a gate is its input capacitance times the activity of the
+    nets driving it — so dynamic power is an affine function of the speed
+    factors, exactly the linear objective the paper describes.
+
+    Cell functions are recognised by library name ([inv], [buf], [nand*],
+    [nor*], [and*], [or*], [xor2], [aoi21], [oai21]); unknown cells fall
+    back to an output probability of [0.5]. *)
+
+val signal_probabilities :
+  ?pi_probability:(int -> float) -> Netlist.t -> float array
+(** [signal_probabilities net] is [P(output = 1)] for each gate, assuming
+    spatially independent inputs.  [pi_probability] defaults to
+    [fun _ -> 0.5]. *)
+
+val switching_activity :
+  ?pi_probability:(int -> float) -> Netlist.t -> float array
+(** Zero-delay toggle probability {m 2p(1-p)} of each gate output. *)
+
+val pi_activity : ?pi_probability:(int -> float) -> Netlist.t -> int -> float
+(** Toggle probability of a primary input. *)
+
+val power_weights : ?pi_probability:(int -> float) -> Netlist.t -> float array
+(** [power_weights net] gives, per gate [c], the coefficient of [S_c] in
+    the dynamic-power expression: {m C_{in,c}\sum_{f \in fanin(c)} a_f}
+    with [a_f] the activity of the driving net.  Feed this to
+    {!Sizing.Objective.Min_weighted}. *)
+
+val dynamic_power : ?pi_probability:(int -> float) -> Netlist.t -> sizes:float array -> float
+(** Total switched capacitance per cycle:
+    {m \sum_g a_g C_{wire,g} + \sum_c w_c S_c} with [w] from
+    {!power_weights} — affine in the speed factors, as Section 4
+    requires of the weighted objective. *)

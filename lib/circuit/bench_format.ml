@@ -1,0 +1,188 @@
+type error = { line : int; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "bench: line %d: %s" e.line e.message
+
+exception Error of error
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Error { line; message })) fmt
+
+type assign = { target : string; op : string; args : string list }
+
+type statement = Input of string | Output of string | Assign of assign
+
+(* "G10 = NAND(G1, G3)" / "INPUT(G1)" / "OUTPUT(G22)" *)
+let parse_line line_no raw =
+  let text =
+    match String.index_opt raw '#' with
+    | Some i -> String.sub raw 0 i
+    | None -> raw
+  in
+  let text = String.trim text in
+  if text = "" then None
+  else begin
+    let call s =
+      (* NAME(arg, arg, ...) *)
+      match String.index_opt s '(' with
+      | None -> fail line_no "expected a call, got %S" s
+      | Some open_paren ->
+          let close_paren =
+            match String.rindex_opt s ')' with
+            | Some i when i > open_paren -> i
+            | _ -> fail line_no "unbalanced parentheses in %S" s
+          in
+          let name = String.trim (String.sub s 0 open_paren) in
+          let args_text = String.sub s (open_paren + 1) (close_paren - open_paren - 1) in
+          let args =
+            String.split_on_char ',' args_text
+            |> List.map String.trim
+            |> List.filter (fun a -> a <> "")
+          in
+          (name, args)
+    in
+    match String.index_opt text '=' with
+    | Some eq ->
+        let target = String.trim (String.sub text 0 eq) in
+        let rhs = String.sub text (eq + 1) (String.length text - eq - 1) in
+        let op, args = call rhs in
+        if target = "" then fail line_no "missing assignment target";
+        Some (Assign { target; op = String.uppercase_ascii op; args })
+    | None -> (
+        let name, args = call text in
+        match (String.uppercase_ascii name, args) with
+        | "INPUT", [ a ] -> Some (Input a)
+        | "OUTPUT", [ a ] -> Some (Output a)
+        | ("INPUT" | "OUTPUT"), _ -> fail line_no "INPUT/OUTPUT take one argument"
+        | other, _ -> fail line_no "unknown directive %s" other)
+  end
+
+let named ~library ~line name =
+  match Cell.Library.find library name with
+  | Some c -> c
+  | None -> fail line "library has no cell %s" name
+
+let sized_cell ~library op arity =
+  Cell.Library.find library (Printf.sprintf "%s%d" (String.lowercase_ascii op) arity)
+
+(* Instantiate one .bench operator, decomposing operators wider than any
+   library cell into balanced trees: a wide AND/OR becomes a tree of
+   2-input cells, a wide NAND/NOR becomes the matching 2-input inverting
+   cell fed by AND/OR trees, XOR folds associatively. *)
+let rec instantiate ~b ~library ~wire_load ~line op fanin =
+  let arity = List.length fanin in
+  let direct name = Netlist.Builder.add_gate b ~wire_load ~cell:name fanin in
+  let split_reduce reduce_op =
+    let k = arity / 2 in
+    let left = List.filteri (fun i _ -> i < k) fanin in
+    let right = List.filteri (fun i _ -> i >= k) fanin in
+    ( instantiate ~b ~library ~wire_load ~line reduce_op left,
+      instantiate ~b ~library ~wire_load ~line reduce_op right )
+  in
+  match (op, arity) with
+  | _, 0 -> fail line "%s with no inputs" op
+  | ("AND" | "OR"), 1 -> List.hd fanin
+  | "NOT", 1 -> direct (named ~library ~line "inv")
+  | ("BUFF" | "BUF"), 1 -> direct (named ~library ~line "buf")
+  | ("AND" | "OR" | "NAND" | "NOR" | "XOR"), n when n >= 2 -> (
+      match sized_cell ~library op n with
+      | Some cell -> direct cell
+      | None -> (
+          match op with
+          | "AND" | "OR" ->
+              let l, r = split_reduce op in
+              Netlist.Builder.add_gate b ~wire_load
+                ~cell:(named ~library ~line (String.lowercase_ascii op ^ "2"))
+                [ l; r ]
+          | "NAND" | "NOR" ->
+              let reduce_op = if op = "NAND" then "AND" else "OR" in
+              let l, r = split_reduce reduce_op in
+              Netlist.Builder.add_gate b ~wire_load
+                ~cell:(named ~library ~line (String.lowercase_ascii op ^ "2"))
+                [ l; r ]
+          | "XOR" ->
+              let cell = named ~library ~line "xor2" in
+              List.fold_left
+                (fun acc x -> Netlist.Builder.add_gate b ~wire_load ~cell [ acc; x ])
+                (List.hd fanin) (List.tl fanin)
+          | _ -> assert false))
+  | _ -> fail line "unsupported operator %s with %d inputs" op arity
+
+let build ?(wire_load = 1.0) ~library text =
+  let statements =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i raw -> parse_line (i + 1) raw)
+    |> List.filter_map Fun.id
+  in
+  let b = Netlist.Builder.create ~name:"bench" () in
+  let net_node : (string, Netlist.node) Hashtbl.t = Hashtbl.create 64 in
+  let outputs = ref [] in
+  (* Pass 1: primary inputs, and DFF outputs as pseudo-inputs. *)
+  List.iter
+    (function
+      | Input name ->
+          if Hashtbl.mem net_node name then failwith ("duplicate INPUT " ^ name);
+          Hashtbl.replace net_node name (Netlist.Builder.add_pi b name)
+      | Assign { target; op = "DFF"; _ } ->
+          Hashtbl.replace net_node target
+            (Netlist.Builder.add_pi b (target ^ "_ff"))
+      | Output _ | Assign _ -> ())
+    statements;
+  (* Pass 2: combinational assignments in dependency order (worklist: keep
+     instantiating the assignments whose arguments are all defined). *)
+  let remaining =
+    ref
+      (List.filter_map
+         (function
+           | Assign ({ op; _ } as a) when op <> "DFF" -> Some a
+           | Input _ | Output _ | Assign _ -> None)
+         statements)
+  in
+  let stuck = ref false in
+  while !remaining <> [] && not !stuck do
+    let ready, blocked =
+      List.partition
+        (fun { args; _ } -> List.for_all (Hashtbl.mem net_node) args)
+        !remaining
+    in
+    if ready = [] then stuck := true
+    else begin
+      List.iter
+        (fun { target; op; args } ->
+          if Hashtbl.mem net_node target then
+            failwith ("net driven twice: " ^ target);
+          let fanin = List.map (Hashtbl.find net_node) args in
+          let node = instantiate ~b ~library ~wire_load ~line:0 op fanin in
+          Hashtbl.replace net_node target node)
+        ready;
+      remaining := blocked
+    end
+  done;
+  if !stuck then failwith "combinational cycle or undriven net in .bench file";
+  (* Pass 3: primary outputs, and DFF data inputs as pseudo-outputs. *)
+  List.iter
+    (function
+      | Output name -> outputs := (name, name) :: !outputs
+      | Assign { target; op = "DFF"; args = [ d ] } -> outputs := (d, target ^ "_d") :: !outputs
+      | Assign { op = "DFF"; _ } -> failwith "DFF takes one input"
+      | Input _ | Assign _ -> ())
+    statements;
+  List.iter
+    (fun (net, label) ->
+      match Hashtbl.find_opt net_node net with
+      | Some n -> Netlist.Builder.mark_po b ~name:label n
+      | None -> failwith ("output " ^ net ^ " is not driven"))
+    (List.rev !outputs);
+  Netlist.Builder.build b
+
+let parse_string ?wire_load ~library text =
+  match build ?wire_load ~library text with
+  | netlist -> Ok netlist
+  | exception Error e -> Error e
+  | exception Failure m -> Error { line = 0; message = m }
+  | exception Invalid_argument m -> Error { line = 0; message = m }
+
+let parse_file ?wire_load ~library path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string ?wire_load ~library text

@@ -1,0 +1,34 @@
+(** Reader for the ISCAS-85/89 [.bench] netlist format.
+
+    The other format the paper's benchmark circuits circulate in:
+
+    {v
+    # comment
+    INPUT(G1)
+    OUTPUT(G22)
+    G10 = NAND(G1, G3)
+    G22 = NOT(G10)
+    v}
+
+    Gate operators are mapped to library cells by name and arity
+    ([NAND(a,b)] -> [nand2], [NOT] -> [inv], [BUFF] -> [buf], and so on).
+    [DFF]s are cut in the standard way for combinational timing: the
+    flip-flop output becomes a pseudo primary input and its data input a
+    pseudo primary output, so ISCAS-89 sequential circuits analyse as
+    their combinational core. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_string :
+  ?wire_load:float ->
+  library:Cell.Library.t ->
+  string ->
+  (Netlist.t, error) result
+
+val parse_file :
+  ?wire_load:float ->
+  library:Cell.Library.t ->
+  string ->
+  (Netlist.t, error) result

@@ -1,0 +1,28 @@
+(** Reader/writer for a structural BLIF subset.
+
+    Supports mapped netlists of the kind the paper's MCNC benchmarks come
+    in: [.model], [.inputs], [.outputs], [.gate <cell> <pin>=<net> ...]
+    and [.end], with [#] comments and [\ ] line continuations.  In each
+    [.gate] line the {e last} formal/actual pair is the gate output; the
+    remaining pairs are the inputs in declaration order.  Cells are
+    resolved against a {!Cell.Library}.
+
+    BLIF carries no capacitance information, so every gate output receives
+    the uniform [wire_load] given at parse time. *)
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse_string :
+  ?wire_load:float -> library:Cell.Library.t -> string -> (Netlist.t, error) result
+
+val parse_file :
+  ?wire_load:float -> library:Cell.Library.t -> string -> (Netlist.t, error) result
+
+val to_string : Netlist.t -> string
+(** Serialises a netlist back to the same subset (input pins are named
+    [i0], [i1], …; the output pin [O]).  [parse_string] of the result
+    reproduces the netlist up to gate names. *)
+
+val write_file : Netlist.t -> string -> unit

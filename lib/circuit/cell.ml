@@ -1,0 +1,83 @@
+type t = {
+  name : string;
+  n_inputs : int;
+  t_int : float;
+  drive : float;
+  c_in : float;
+  max_size : float;
+  area : float;
+}
+
+let make ?(t_int = 0.1) ?(drive = 1.) ?(c_in = 0.2) ?(max_size = 3.) ?(area = 1.)
+    ~name ~n_inputs () =
+  if n_inputs <= 0 then invalid_arg "Cell.make: n_inputs must be positive";
+  if t_int < 0. || drive <= 0. || c_in < 0. || area <= 0. then
+    invalid_arg "Cell.make: parameters must be positive";
+  if max_size < 1. then invalid_arg "Cell.make: max_size must be >= 1";
+  { name; n_inputs; t_int; drive; c_in; max_size; area }
+
+let delay cell ~size ~load =
+  if size < 1. then invalid_arg "Cell.delay: size below 1";
+  cell.t_int +. (cell.drive *. load /. size)
+
+let input_cap cell ~size = cell.c_in *. size
+
+let nand k =
+  make ~name:(Printf.sprintf "nand%d" k) ~n_inputs:k
+    ~t_int:(0.1 +. (0.02 *. float_of_int (k - 1)))
+    ~c_in:(0.2 +. (0.05 *. float_of_int (k - 1)))
+    ()
+
+let pp ppf c =
+  Format.fprintf ppf "%s(in=%d t_int=%g c=%g C_in=%g limit=%g)" c.name c.n_inputs
+    c.t_int c.drive c.c_in c.max_size
+
+module Library = struct
+  type cell = t
+  type nonrec t = (string, cell) Hashtbl.t
+
+  let of_list cells =
+    let tbl = Hashtbl.create 16 in
+    List.iter
+      (fun (c : cell) ->
+        if Hashtbl.mem tbl c.name then
+          invalid_arg ("Cell.Library.of_list: duplicate cell " ^ c.name);
+        Hashtbl.add tbl c.name c)
+      cells;
+    tbl
+
+  let find t name = Hashtbl.find_opt t name
+  let find_exn t name =
+    match find t name with
+    | Some c -> c
+    | None -> invalid_arg ("Cell.Library.find_exn: unknown cell " ^ name)
+
+  let cells t = Hashtbl.fold (fun _ c acc -> c :: acc) t []
+
+  let best_fit t ~n_inputs =
+    let candidates =
+      List.filter (fun (c : cell) -> c.n_inputs >= n_inputs) (cells t)
+    in
+    match
+      List.sort (fun (a : cell) b -> compare a.n_inputs b.n_inputs) candidates
+    with
+    | c :: _ -> c
+    | [] -> invalid_arg "Cell.Library.best_fit: no cell with enough inputs"
+
+  let default () =
+    of_list
+      [
+        make ~name:"buf" ~n_inputs:1 ~t_int:0.08 ~c_in:0.15 ();
+        make ~name:"inv" ~n_inputs:1 ~t_int:0.06 ~c_in:0.18 ();
+        nand 2;
+        nand 3;
+        nand 4;
+        make ~name:"nor2" ~n_inputs:2 ~t_int:0.12 ~c_in:0.22 ();
+        make ~name:"nor3" ~n_inputs:3 ~t_int:0.15 ~c_in:0.26 ();
+        make ~name:"and2" ~n_inputs:2 ~t_int:0.14 ~c_in:0.2 ();
+        make ~name:"or2" ~n_inputs:2 ~t_int:0.15 ~c_in:0.21 ();
+        make ~name:"xor2" ~n_inputs:2 ~t_int:0.18 ~c_in:0.3 ();
+        make ~name:"aoi21" ~n_inputs:3 ~t_int:0.16 ~c_in:0.24 ();
+        make ~name:"oai21" ~n_inputs:3 ~t_int:0.16 ~c_in:0.24 ();
+      ]
+end

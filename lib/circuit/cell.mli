@@ -1,0 +1,73 @@
+(** Sizable cell model (paper Section 4, after Berkelaar & Jess 1990).
+
+    The propagation delay of a gate with speed factor {m S_{cell}} is
+
+    {math t_{cell} = t_{int} + c\,\frac{C_{load} + \sum_i C_{in,i} S_i}{S_{cell}}}
+
+    where [t_int] is the sizing-invariant internal delay, [c] converts
+    capacitance to delay, {m C_{load}} is the (wire) capacitance at the
+    gate output, and {m C_{in,i} S_i} are the input capacitances of the
+    fanout gates, which grow with their speed factors.  The speed factor
+    ranges over {m 1 \le S \le limit}; area and power scale linearly with
+    [S]. *)
+
+type t = {
+  name : string;  (** library cell name, e.g. ["nand2"] *)
+  n_inputs : int;  (** number of input pins *)
+  t_int : float;  (** internal delay, unchanged by sizing *)
+  drive : float;  (** the constant [c]: delay per unit of load at [S = 1] *)
+  c_in : float;  (** input-pin capacitance at [S = 1] *)
+  max_size : float;  (** the paper's [limit]; maximum speed-up factor *)
+  area : float;  (** area per unit speed factor *)
+}
+
+val make :
+  ?t_int:float ->
+  ?drive:float ->
+  ?c_in:float ->
+  ?max_size:float ->
+  ?area:float ->
+  name:string ->
+  n_inputs:int ->
+  unit ->
+  t
+(** Constructor with validation: all parameters must be positive and
+    [max_size >= 1.].  Defaults give a generic gate
+    ([t_int = 0.1], [drive = 1.], [c_in = 0.2], [max_size = 3.],
+    [area = 1.]). *)
+
+val delay : t -> size:float -> load:float -> float
+(** [delay cell ~size ~load] is {m t_{int} + c \cdot load / S}, where
+    [load] already includes the size-dependent fanout capacitance. *)
+
+val input_cap : t -> size:float -> float
+(** [input_cap cell ~size] is {m C_{in} \cdot S}. *)
+
+val nand : int -> t
+(** [nand k] is the default k-input NAND used by the tree benchmark. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {1 Cell libraries} *)
+
+module Library : sig
+  type cell = t
+
+  type t
+  (** A named collection of cells, looked up by the BLIF reader and by the
+      generators. *)
+
+  val of_list : cell list -> t
+  val find : t -> string -> cell option
+  val find_exn : t -> string -> cell
+  val cells : t -> cell list
+
+  val best_fit : t -> n_inputs:int -> cell
+  (** The library cell with the matching input count (smallest
+      sufficient). *)
+
+  val default : unit -> t
+  (** A small technology-like library: inv, nand2..4, nor2..3, and2, or2,
+      xor2, buf, aoi21, oai21 — enough variety to map the synthetic
+      benchmark circuits. *)
+end

@@ -1,0 +1,198 @@
+open Util
+
+(* Paper figure 2: gates A, B (2-input on PIs), C (1-input on a PI), all
+   three feeding the 3-input gate D; POs are C and D. *)
+let example_fig2 ?(wire_load = 1.0) () =
+  let b = Netlist.Builder.create ~name:"fig2" () in
+  let a = Netlist.Builder.add_pi b "a" in
+  let bb = Netlist.Builder.add_pi b "b" in
+  let c = Netlist.Builder.add_pi b "c" in
+  let nand2 = Cell.nand 2 in
+  let inv = Cell.make ~name:"inv" ~n_inputs:1 ~t_int:0.06 ~c_in:0.18 () in
+  let nand3 = Cell.nand 3 in
+  let ga = Netlist.Builder.add_gate b ~name:"A" ~wire_load ~cell:nand2 [ a; bb ] in
+  let gb = Netlist.Builder.add_gate b ~name:"B" ~wire_load ~cell:nand2 [ bb; c ] in
+  let gc = Netlist.Builder.add_gate b ~name:"C" ~wire_load ~cell:inv [ c ] in
+  let gd =
+    Netlist.Builder.add_gate b ~name:"D" ~wire_load ~cell:nand3 [ ga; gb; gc ]
+  in
+  Netlist.Builder.mark_po b ~name:"out_c" gc;
+  Netlist.Builder.mark_po b ~name:"out_d" gd;
+  Netlist.Builder.build b
+
+(* Figure 3: balanced NAND tree.  The default cell parameters are tuned so
+   that the unsized / fully-sized mean delay range is comparable to the
+   paper's [7.4, 5.4] (Table 2). *)
+let tree_default_cell =
+  Cell.make ~name:"nand2t" ~n_inputs:2 ~t_int:0.87 ~drive:1.0 ~c_in:0.5 ~max_size:3.
+    ~area:1. ()
+
+let tree ?(levels = 3) ?cell ?(wire_load = 0.93) ?(output_load = 1.5) () =
+  if levels < 1 then invalid_arg "Generate.tree: levels must be >= 1";
+  let cell = match cell with Some c -> c | None -> tree_default_cell in
+  if cell.Cell.n_inputs <> 2 then invalid_arg "Generate.tree: cell must be 2-input";
+  let b = Netlist.Builder.create ~name:"tree" () in
+  let gate_counter = ref 0 in
+  let pi_counter = ref 0 in
+  let next_gate_name () =
+    let i = !gate_counter in
+    incr gate_counter;
+    if i < 26 then String.make 1 (Char.chr (Char.code 'A' + i))
+    else Printf.sprintf "G%d" i
+  in
+  let next_pi () =
+    let i = !pi_counter in
+    incr pi_counter;
+    Netlist.Builder.add_pi b (Printf.sprintf "i%d" i)
+  in
+  (* Post-order construction so that for levels = 3 the names A..G match
+     the paper's figure: A,B feed C; D,E feed F; C,F feed G. *)
+  let rec subtree depth =
+    let fanin =
+      if depth = 1 then [ next_pi (); next_pi () ]
+      else [ subtree (depth - 1); subtree (depth - 1) ]
+    in
+    let is_root = depth = levels in
+    let name = next_gate_name () in
+    Netlist.Builder.add_gate b ~name
+      ~wire_load:(if is_root then output_load else wire_load)
+      ~cell fanin
+  in
+  let root = subtree levels in
+  Netlist.Builder.mark_po b ~name:"out" root;
+  Netlist.Builder.build b
+
+let chain ?(length = 10) ?cell ?(wire_load = 0.5) () =
+  if length < 1 then invalid_arg "Generate.chain: length must be >= 1";
+  let cell =
+    match cell with
+    | Some c -> c
+    | None -> Cell.make ~name:"inv" ~n_inputs:1 ~t_int:0.06 ~c_in:0.18 ()
+  in
+  if cell.Cell.n_inputs <> 1 then invalid_arg "Generate.chain: cell must be 1-input";
+  let b = Netlist.Builder.create ~name:"chain" () in
+  let pi = Netlist.Builder.add_pi b "in" in
+  let rec extend node k =
+    if k = 0 then node
+    else
+      let g =
+        Netlist.Builder.add_gate b
+          ~name:(Printf.sprintf "inv%d" (length - k))
+          ~wire_load ~cell [ node ]
+      in
+      extend g (k - 1)
+  in
+  let last = extend pi length in
+  Netlist.Builder.mark_po b ~name:"out" last;
+  Netlist.Builder.build b
+
+type dag_spec = {
+  n_gates : int;
+  n_pis : int;
+  target_depth : int;
+  seed : int;
+  wire_load : float;
+  prev_level_bias : float;
+}
+
+let default_spec =
+  {
+    n_gates = 200;
+    n_pis = 20;
+    target_depth = 12;
+    seed = 1;
+    wire_load = 1.0;
+    prev_level_bias = 0.75;
+  }
+
+(* Fanin-count mix typical of a mapped combinational netlist. *)
+let pick_fanin_count rng =
+  let r = Rng.float rng in
+  if r < 0.15 then 1 else if r < 0.70 then 2 else if r < 0.92 then 3 else 4
+
+let random_dag ?library spec =
+  if spec.n_gates < 1 then invalid_arg "Generate.random_dag: n_gates must be >= 1";
+  if spec.n_pis < 1 then invalid_arg "Generate.random_dag: n_pis must be >= 1";
+  if spec.target_depth < 1 || spec.target_depth > spec.n_gates then
+    invalid_arg "Generate.random_dag: bad target_depth";
+  let library = match library with Some l -> l | None -> Cell.Library.default () in
+  let rng = Rng.create spec.seed in
+  let b =
+    Netlist.Builder.create ~name:(Printf.sprintf "dag%d_%d" spec.n_gates spec.seed) ()
+  in
+  let pis = Array.init spec.n_pis (fun i -> Netlist.Builder.add_pi b (Printf.sprintf "i%d" i)) in
+  let depth = spec.target_depth in
+  (* Spread gates over levels 1..depth as evenly as possible. *)
+  let per_level = Array.make (depth + 1) 0 in
+  for i = 0 to spec.n_gates - 1 do
+    let l = 1 + (i * depth / spec.n_gates) in
+    per_level.(l) <- per_level.(l) + 1
+  done;
+  let level_gates : Netlist.node list array = Array.make (depth + 1) [] in
+  let older : Netlist.node array ref = ref pis in
+  let consumed = Hashtbl.create spec.n_gates in
+  let pick_from arr = arr.(Rng.int rng (Array.length arr)) in
+  (* Spatially local pick: gate j of a level draws mostly from sources near
+     the corresponding position of the previous level.  This keeps fan-in
+     cones mostly disjoint, like placed-and-mapped logic, instead of every
+     gate sharing the whole previous level (which would create far more
+     path reconvergence — and correlation — than real circuits have). *)
+  let pick_local arr ~j ~of_level =
+    let len = Array.length arr in
+    let anchor = j * len / max 1 of_level in
+    let window = max 2 (len / 8) in
+    let i = anchor + Rng.int rng (2 * window) - window in
+    arr.(((i mod len) + len) mod len)
+  in
+  for l = 1 to depth do
+    let prev =
+      if l = 1 then pis else Array.of_list level_gates.(l - 1)
+    in
+    let fresh = ref [] in
+    for j = 0 to per_level.(l) - 1 do
+      let k = pick_fanin_count rng in
+      let cell = Cell.Library.best_fit library ~n_inputs:k in
+      let k = cell.Cell.n_inputs in
+      let fanin =
+        List.init k (fun pin ->
+            (* The first pin of the first gate in each level is forced to
+               the previous level so the realised depth equals the target. *)
+            if (j = 0 && pin = 0) || Rng.float rng < spec.prev_level_bias then
+              pick_local prev ~j ~of_level:per_level.(l)
+            else pick_from !older)
+      in
+      List.iter
+        (function Netlist.Gate g -> Hashtbl.replace consumed g () | Netlist.Pi _ -> ())
+        fanin;
+      let g = Netlist.Builder.add_gate b ~wire_load:spec.wire_load ~cell fanin in
+      fresh := g :: !fresh
+    done;
+    level_gates.(l) <- List.rev !fresh;
+    older := Array.append !older (Array.of_list level_gates.(l))
+  done;
+  (* Every gate nobody consumes is a primary output. *)
+  Array.iter
+    (function
+      | Netlist.Gate g when not (Hashtbl.mem consumed g) ->
+          Netlist.Builder.mark_po b (Netlist.Gate g)
+      | Netlist.Gate _ | Netlist.Pi _ -> ())
+    !older;
+  Netlist.Builder.build b
+
+let apex1_like () =
+  random_dag { default_spec with n_gates = 982; n_pis = 45; target_depth = 24; seed = 42 }
+
+let apex2_like () =
+  random_dag { default_spec with n_gates = 117; n_pis = 39; target_depth = 12; seed = 43 }
+
+let k2_like () =
+  random_dag { default_spec with n_gates = 1692; n_pis = 46; target_depth = 28; seed = 44 }
+
+let by_name = function
+  | "fig2" -> Some (example_fig2 ())
+  | "tree" -> Some (tree ())
+  | "chain" -> Some (chain ())
+  | "apex1" -> Some (apex1_like ())
+  | "apex2" -> Some (apex2_like ())
+  | "k2" -> Some (k2_like ())
+  | _ -> None

@@ -1,0 +1,64 @@
+(** Benchmark circuit generators.
+
+    The paper evaluates on the MCNC circuits apex1, apex2 and k2 (mapped;
+    982, 117 and 1692 cells) plus two hand-made circuits: the four-gate
+    example of figure 2 (Section 5) and the seven-NAND balanced tree of
+    figure 3 (Section 6).  The MCNC netlists are not distributable here,
+    so {!apex1_like}, {!apex2_like} and {!k2_like} generate deterministic
+    synthetic mapped DAGs with exactly the published cell counts and
+    comparable structure (see DESIGN.md, substitution table); the two
+    hand-made circuits are reconstructed exactly. *)
+
+val example_fig2 : ?wire_load:float -> unit -> Netlist.t
+(** The Section-5 example: gates [A], [B] (nand2 on PIs), [C] (inverter on
+    a PI), all feeding the three-input gate [D]; primary outputs are [C]
+    and [D] (paper eq. 18a). *)
+
+val tree :
+  ?levels:int ->
+  ?cell:Cell.t ->
+  ?wire_load:float ->
+  ?output_load:float ->
+  unit ->
+  Netlist.t
+(** The figure-3 balanced NAND tree.  [levels = 3] (default) gives the
+    paper's seven-gate circuit with gates named [A] … [G] in the paper's
+    order (inputs-to-output, left-to-right).  Cell defaults are tuned so
+    the unsized / fully-sized mean delays bracket a range comparable to
+    Table 2 (about 7.4 down to 5.4 time units). *)
+
+val chain : ?length:int -> ?cell:Cell.t -> ?wire_load:float -> unit -> Netlist.t
+(** A [length]-gate inverter chain; the textbook sizing sanity check. *)
+
+type dag_spec = {
+  n_gates : int;
+  n_pis : int;
+  target_depth : int;
+  seed : int;
+  wire_load : float;
+  prev_level_bias : float;
+      (** probability that a fanin comes from the immediately preceding
+          level (controls how close the realised depth is to
+          [target_depth]) *)
+}
+
+val default_spec : dag_spec
+
+val random_dag : ?library:Cell.Library.t -> dag_spec -> Netlist.t
+(** A deterministic pseudo-random mapped DAG: gates are spread uniformly
+    over [target_depth] levels, cells are drawn from [library] with a
+    fanin mix typical of mapped combinational logic, and every gate
+    without a consumer becomes a primary output. *)
+
+val apex1_like : unit -> Netlist.t
+(** 982 cells, 45 PIs — stand-in for MCNC apex1. *)
+
+val apex2_like : unit -> Netlist.t
+(** 117 cells, 39 PIs — stand-in for MCNC apex2. *)
+
+val k2_like : unit -> Netlist.t
+(** 1692 cells, 46 PIs — stand-in for MCNC k2. *)
+
+val by_name : string -> Netlist.t option
+(** Lookup used by the CLI: ["fig2"], ["tree"], ["chain"],
+    ["apex1"], ["apex2"], ["k2"]. *)

@@ -1,0 +1,203 @@
+type node = Pi of int | Gate of int
+
+type gate = {
+  id : int;
+  gate_name : string;
+  cell : Cell.t;
+  fanin : node array;
+  wire_load : float;
+}
+
+type t = {
+  name : string;
+  pis : string array;
+  gates : gate array;
+  pos : node array;
+  po_names : string array;
+  fanout : (int * int) list array;
+}
+
+module Builder = struct
+  type netlist = t
+
+  type t = {
+    mutable bname : string;
+    mutable rev_pis : string list;
+    mutable n_pi : int;
+    pi_seen : (string, unit) Hashtbl.t;
+    mutable rev_gates : gate list;
+    mutable n_gate : int;
+    mutable rev_pos : (node * string) list;
+  }
+
+  let create ?(name = "circuit") () =
+    {
+      bname = name;
+      rev_pis = [];
+      n_pi = 0;
+      pi_seen = Hashtbl.create 16;
+      rev_gates = [];
+      n_gate = 0;
+      rev_pos = [];
+    }
+
+  let add_pi b name =
+    if Hashtbl.mem b.pi_seen name then
+      invalid_arg ("Netlist.Builder.add_pi: duplicate input " ^ name);
+    Hashtbl.add b.pi_seen name ();
+    let id = b.n_pi in
+    b.rev_pis <- name :: b.rev_pis;
+    b.n_pi <- id + 1;
+    Pi id
+
+  let node_exists b = function
+    | Pi i -> i >= 0 && i < b.n_pi
+    | Gate i -> i >= 0 && i < b.n_gate
+
+  let add_gate b ?name ?(wire_load = 1.0) ~cell fanin =
+    let fanin = Array.of_list fanin in
+    if Array.length fanin <> cell.Cell.n_inputs then
+      invalid_arg
+        (Printf.sprintf "Netlist.Builder.add_gate: cell %s expects %d inputs, got %d"
+           cell.Cell.name cell.Cell.n_inputs (Array.length fanin));
+    Array.iter
+      (fun n ->
+        if not (node_exists b n) then
+          invalid_arg "Netlist.Builder.add_gate: fanin node does not exist")
+      fanin;
+    if wire_load < 0. then invalid_arg "Netlist.Builder.add_gate: negative wire load";
+    let id = b.n_gate in
+    let gate_name =
+      match name with Some n -> n | None -> Printf.sprintf "g%d" id
+    in
+    b.rev_gates <- { id; gate_name; cell; fanin; wire_load } :: b.rev_gates;
+    b.n_gate <- id + 1;
+    Gate id
+
+  let mark_po b ?name node =
+    if not (node_exists b node) then
+      invalid_arg "Netlist.Builder.mark_po: node does not exist";
+    let name =
+      match name with
+      | Some n -> n
+      | None -> Printf.sprintf "po%d" (List.length b.rev_pos)
+    in
+    b.rev_pos <- (node, name) :: b.rev_pos
+
+  let build b : netlist =
+    if b.rev_pos = [] then invalid_arg "Netlist.Builder.build: no primary output";
+    let gates = Array.of_list (List.rev b.rev_gates) in
+    let pos_pairs = List.rev b.rev_pos in
+    let fanout = Array.make (Array.length gates) [] in
+    Array.iter
+      (fun g ->
+        let seen = Hashtbl.create 4 in
+        Array.iter
+          (function
+            | Pi _ -> ()
+            | Gate src ->
+                let m = try Hashtbl.find seen src with Not_found -> 0 in
+                Hashtbl.replace seen src (m + 1))
+          g.fanin;
+        Hashtbl.iter (fun src m -> fanout.(src) <- (g.id, m) :: fanout.(src)) seen)
+      gates;
+    {
+      name = b.bname;
+      pis = Array.of_list (List.rev b.rev_pis);
+      gates;
+      pos = Array.of_list (List.map fst pos_pairs);
+      po_names = Array.of_list (List.map snd pos_pairs);
+      fanout;
+    }
+end
+
+let name t = t.name
+let n_pis t = Array.length t.pis
+let n_gates t = Array.length t.gates
+let n_pos t = Array.length t.pos
+let gate t i = t.gates.(i)
+let gates t = t.gates
+let pi_name t i = t.pis.(i)
+let pos t = t.pos
+let po_name t i = t.po_names.(i)
+let fanout t i = t.fanout.(i)
+
+let load t ~sizes g =
+  let gate = t.gates.(g) in
+  List.fold_left
+    (fun acc (consumer, mult) ->
+      let c = t.gates.(consumer) in
+      acc +. (float_of_int mult *. Cell.input_cap c.cell ~size:sizes.(consumer)))
+    gate.wire_load t.fanout.(g)
+
+let area t ~sizes =
+  let acc = ref 0. in
+  Array.iter (fun g -> acc := !acc +. (g.cell.Cell.area *. sizes.(g.id))) t.gates;
+  !acc
+
+let min_sizes t = Array.make (n_gates t) 1.
+
+let max_sizes t = Array.map (fun g -> g.cell.Cell.max_size) t.gates
+
+let check_sizes t sizes =
+  if Array.length sizes <> n_gates t then
+    invalid_arg "Netlist.check_sizes: dimension mismatch";
+  Array.iter
+    (fun g ->
+      let s = sizes.(g.id) in
+      if s < 1. -. 1e-9 || s > g.cell.Cell.max_size +. 1e-9 then
+        invalid_arg
+          (Printf.sprintf "Netlist.check_sizes: size %g of gate %s outside [1, %g]" s
+             g.gate_name g.cell.Cell.max_size))
+    t.gates
+
+let levels t =
+  let lvl = Array.make (n_gates t) 0 in
+  Array.iter
+    (fun g ->
+      let m =
+        Array.fold_left
+          (fun acc -> function Pi _ -> acc | Gate i -> max acc lvl.(i))
+          0 g.fanin
+      in
+      lvl.(g.id) <- m + 1)
+    t.gates;
+  lvl
+
+let depth t = if n_gates t = 0 then 0 else Array.fold_left max 0 (levels t)
+
+type stats = {
+  gates_count : int;
+  pi_count : int;
+  po_count : int;
+  depth : int;
+  max_fanout : int;
+  avg_fanin : float;
+}
+
+let stats t =
+  let max_fanout =
+    Array.fold_left
+      (fun acc l -> max acc (List.fold_left (fun a (_, m) -> a + m) 0 l))
+      0 t.fanout
+  in
+  let total_fanin =
+    Array.fold_left (fun acc g -> acc + Array.length g.fanin) 0 t.gates
+  in
+  {
+    gates_count = n_gates t;
+    pi_count = n_pis t;
+    po_count = n_pos t;
+    depth = depth t;
+    max_fanout;
+    avg_fanin =
+      (if n_gates t = 0 then 0.
+       else float_of_int total_fanin /. float_of_int (n_gates t));
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "gates=%d pis=%d pos=%d depth=%d max_fanout=%d avg_fanin=%.2f" s.gates_count
+    s.pi_count s.po_count s.depth s.max_fanout s.avg_fanin
+
+let pp_summary ppf t = Format.fprintf ppf "%s: %a" t.name pp_stats (stats t)

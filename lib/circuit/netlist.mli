@@ -1,0 +1,102 @@
+(** Gate-level netlists (paper Section 2's circuit model).
+
+    A netlist is a DAG of sizable gates over a set of primary inputs.  The
+    builder only lets a gate reference nodes that already exist, so every
+    netlist is acyclic by construction and the gate array is in
+    topological order.
+
+    Each gate output carries a wire capacitance ({m C_{load}}); the paper
+    deliberately lumps all wiring at a gate output into a single
+    capacitance (Section 2), and so do we. *)
+
+type node = Pi of int | Gate of int
+
+type gate = {
+  id : int;
+  gate_name : string;
+  cell : Cell.t;
+  fanin : node array;
+  wire_load : float;  (** {m C_{load}}: wire capacitance at this gate's output *)
+}
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type netlist := t
+  type t
+
+  val create : ?name:string -> unit -> t
+
+  val add_pi : t -> string -> node
+  (** Declares a primary input; duplicate names raise
+      [Invalid_argument]. *)
+
+  val add_gate :
+    t -> ?name:string -> ?wire_load:float -> cell:Cell.t -> node list -> node
+  (** [add_gate b ~cell fanin] adds a gate.  The fanin count must equal
+      [cell.n_inputs]; all fanin nodes must already exist.  [wire_load]
+      defaults to [1.0]. *)
+
+  val mark_po : t -> ?name:string -> node -> unit
+  (** Declares a primary output (a gate or, degenerately, a PI). *)
+
+  val build : t -> netlist
+  (** Finalises.  Raises [Invalid_argument] if no primary output was
+      declared or a gate is dangling-input. *)
+end
+
+(** {1 Accessors} *)
+
+val name : t -> string
+val n_pis : t -> int
+val n_gates : t -> int
+val n_pos : t -> int
+val gate : t -> int -> gate
+val gates : t -> gate array
+val pi_name : t -> int -> string
+val pos : t -> node array
+val po_name : t -> int -> string
+
+val fanout : t -> int -> (int * int) list
+(** [fanout t g] lists the [(consumer gate id, pin multiplicity)] pairs
+    driven by gate [g]. *)
+
+val load : t -> sizes:float array -> int -> float
+(** [load t ~sizes g] is the total capacitance gate [g] drives:
+    {m C_{load,g} + \sum_{i \in fanout(g)} C_{in,i} S_i}.  [sizes] is
+    indexed by gate id. *)
+
+val area : t -> sizes:float array -> float
+(** {m \sum_i area_i \cdot S_i}; with unit cell areas this is the paper's
+    {m \sum S_i} metric. *)
+
+val min_sizes : t -> float array
+(** All-ones vector (every speed factor at its lower bound). *)
+
+val max_sizes : t -> float array
+(** Per-gate [cell.max_size] vector. *)
+
+val check_sizes : t -> float array -> unit
+(** Validates dimension and bounds; raises [Invalid_argument]. *)
+
+(** {1 Structure} *)
+
+val levels : t -> int array
+(** Logic level per gate: [1 + max] over fanin levels, PIs at level 0. *)
+
+val depth : t -> int
+
+type stats = {
+  gates_count : int;
+  pi_count : int;
+  po_count : int;
+  depth : int;
+  max_fanout : int;
+  avg_fanin : float;
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+val pp_summary : Format.formatter -> t -> unit

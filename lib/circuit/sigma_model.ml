@@ -1,0 +1,33 @@
+type t =
+  | Zero
+  | Proportional of float
+  | Affine of { base : float; ratio : float }
+  | Constant of float
+
+let paper_default = Proportional 0.25
+
+let sigma t mu =
+  match t with
+  | Zero -> 0.
+  | Proportional k -> k *. mu
+  | Affine { base; ratio } -> base +. (ratio *. mu)
+  | Constant s -> s
+
+let var t mu =
+  let s = sigma t mu in
+  s *. s
+
+let dvar_dmu t mu =
+  match t with
+  | Zero -> 0.
+  | Proportional k -> 2. *. k *. k *. mu
+  | Affine { base; ratio } -> 2. *. ratio *. (base +. (ratio *. mu))
+  | Constant _ -> 0.
+
+let pp ppf = function
+  | Zero -> Format.pp_print_string ppf "sigma=0"
+  | Proportional k -> Format.fprintf ppf "sigma=%g*mu" k
+  | Affine { base; ratio } -> Format.fprintf ppf "sigma=%g+%g*mu" base ratio
+  | Constant s -> Format.fprintf ppf "sigma=%g" s
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,30 @@
+(** The relation {m \sigma_t = f(t_{cell})} between a gate's mean delay and
+    its delay uncertainty (paper eq. 16).
+
+    The paper keeps [f] abstract and uses {m \sigma = 0.25\,\mu} in all
+    experiments (eq. 18e).  We make the model pluggable, including the
+    derivative {m d\sigma_t^2 / d\mu_t} needed by the sizing gradients. *)
+
+type t =
+  | Zero  (** deterministic delays — recovers classical static sizing *)
+  | Proportional of float
+      (** {m \sigma = k\,\mu}; the paper's choice with [k = 0.25] *)
+  | Affine of { base : float; ratio : float }
+      (** {m \sigma = base + ratio\cdot\mu}: a size-independent noise floor
+          (e.g. wire uncertainty) plus a proportional part *)
+  | Constant of float  (** {m \sigma} independent of the mean *)
+
+val paper_default : t
+(** [Proportional 0.25]. *)
+
+val sigma : t -> float -> float
+(** [sigma model mu_t] is {m f(\mu_t)}; requires [mu_t >= 0.]. *)
+
+val var : t -> float -> float
+(** [var model mu_t] is {m f(\mu_t)^2}. *)
+
+val dvar_dmu : t -> float -> float
+(** [dvar_dmu model mu_t] is {m d f(\mu_t)^2 / d\mu_t}. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,27 @@
+(** F-CORNER: pessimism of the traditional worst-case corner.
+
+    The paper's motivating claim (Section 1): best/typical/worst-case
+    analysis "is known to give very pessimistic estimates in many cases",
+    because the circuit-level uncertainty is much smaller than the
+    element-level uncertainty once the statistics of many gates combine.
+    For each circuit this experiment compares the worst corner (every gate
+    at {m \mu + 3\sigma}) with the statistical {m \mu + 3\sigma_{T_{max}}}
+    and the true Monte Carlo 99.87% quantile. *)
+
+type row = {
+  circuit_name : string;
+  gates : int;
+  depth : int;
+  typical : float;
+  worst_corner : float;
+  statistical : float;
+  mc_quantile : float;
+  overestimate : float;  (** worst corner / MC quantile *)
+}
+
+type result = { k : float; rows : row list }
+
+val run :
+  ?model:Circuit.Sigma_model.t -> ?k:float -> ?samples:int -> ?seed:int -> unit -> result
+
+val print : result -> unit

@@ -1,0 +1,58 @@
+open Sizing
+
+type result = {
+  net : Circuit.Netlist.t;
+  full : Engine.solution;
+  reduced : Engine.solution;
+  n_variables : int;
+  n_constraints : int;
+  agreement : float;
+}
+
+let run ?(model = Circuit.Sigma_model.paper_default) () =
+  let net = Circuit.Generate.example_fig2 () in
+  let objective = Objective.Min_delay 3. in
+  let form = Formulate.build ~model net objective in
+  let full = Formulate.solve form in
+  let reduced = Engine.solve ~model net objective in
+  let agreement =
+    Array.fold_left max 0.
+      (Array.mapi
+         (fun i s -> abs_float (s -. reduced.Engine.sizes.(i)))
+         full.Engine.sizes)
+  in
+  {
+    net;
+    full;
+    reduced;
+    n_variables = Formulate.n_variables form;
+    n_constraints = Formulate.n_constraints form;
+    agreement;
+  }
+
+let print r =
+  Printf.printf "# Section 5 example (fig. 2): min mu+3sigma, sigma = 0.25 mu\n";
+  Printf.printf "full eq.-18 NLP: %d variables, %d equality constraints\n"
+    r.n_variables r.n_constraints;
+  let t =
+    Util.Table.create
+      ~header:
+        ("formulation" :: "muTmax" :: "sigmaTmax" :: "mu+3sigma" :: "sum S_i"
+        :: Array.to_list
+             (Array.map
+                (fun (g : Circuit.Netlist.gate) -> "S_" ^ g.Circuit.Netlist.gate_name)
+                (Circuit.Netlist.gates r.net)))
+  in
+  let row label (s : Engine.solution) =
+    Util.Table.add_row t
+      (label
+      :: Util.Table.fmt_float ~decimals:3 s.Engine.mu
+      :: Util.Table.fmt_float ~decimals:4 s.Engine.sigma
+      :: Util.Table.fmt_float ~decimals:3 (s.Engine.mu +. (3. *. s.Engine.sigma))
+      :: Util.Table.fmt_float ~decimals:2 s.Engine.area
+      :: Array.to_list (Array.map (Util.Table.fmt_float ~decimals:2) s.Engine.sizes))
+  in
+  row "full (eq. 18)" r.full;
+  row "reduced" r.reduced;
+  Util.Table.print t;
+  Printf.printf "max speed-factor disagreement: %.4f\n\n" r.agreement

@@ -1,0 +1,19 @@
+(** Reproduction of the Section-5 worked example: sizing the four-gate
+    circuit of figure 2 for minimal {m \mu + 3\sigma} (equation 18), with
+    {m \sigma = 0.25\mu} and speed factors in [1, 3].
+
+    Solved twice — once with the paper's full equation-17/18 NLP
+    ({!Sizing.Formulate}) and once with the reduced-space engine — to
+    demonstrate the two formulations find the same optimum. *)
+
+type result = {
+  net : Circuit.Netlist.t;
+  full : Sizing.Engine.solution;  (** the eq.-18 formulation *)
+  reduced : Sizing.Engine.solution;
+  n_variables : int;  (** variables in the full NLP *)
+  n_constraints : int;
+  agreement : float;  (** max abs speed-factor difference between the two *)
+}
+
+val run : ?model:Circuit.Sigma_model.t -> unit -> result
+val print : result -> unit

@@ -1,0 +1,44 @@
+(** Accuracy of the analytical statistical operators against Monte Carlo
+    (the Section-3 adequacy claim for the normal approximation of the
+    max, inherited from the paper's references [1] and [2]).
+
+    Two experiments: a parameter grid for the single two-operand max
+    (varying mean separation and sigma ratio), and whole-circuit SSTA
+    versus Monte Carlo on the tree and a benchmark stand-in. *)
+
+type grid_row = {
+  dmu : float;  (** mean separation in units of {m \sigma_A} *)
+  sigma_ratio : float;  (** {m \sigma_B/\sigma_A} *)
+  mu_err : float;  (** |analytic - sampled| mean *)
+  sigma_err : float;
+}
+
+type circuit_row = {
+  circuit_name : string;
+  analytic_mu : float;
+  analytic_sigma : float;
+  mc_mu : float;
+  mc_sigma : float;
+}
+
+type shape_row = {
+  shape_name : string;
+  shape_mc_mu : float;
+  shape_mc_sigma : float;
+}
+(** F-SHAPE: Monte Carlo on the tree with moment-matched non-normal gate
+    delays — Section 3's claim that the element distribution's shape is
+    almost irrelevant to the circuit-level result. *)
+
+type result = {
+  grid : grid_row list;
+  circuits : circuit_row list;
+  shapes : shape_row list;
+  shape_reference : circuit_row;  (** SSTA on the shape-test circuit *)
+}
+
+val run :
+  ?model:Circuit.Sigma_model.t -> ?samples:int -> ?seed:int -> unit -> result
+(** Default 200_000 samples per grid point, 20_000 per circuit. *)
+
+val print : result -> unit

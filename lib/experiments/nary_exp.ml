@@ -1,0 +1,65 @@
+open Statdelay
+
+type row = {
+  n : int;
+  family : string;
+  fold_mu_err : float;
+  fold_sigma_err : float;
+  exact_sigma : float;
+}
+
+type result = { rows : row list }
+
+let balanced n =
+  List.init n (fun i -> Normal.make ~mu:(1. +. (0.02 *. float_of_int i)) ~sigma:0.25)
+
+let dominated n =
+  Normal.make ~mu:2. ~sigma:0.25
+  :: List.init (n - 1) (fun i -> Normal.make ~mu:(1. +. (0.02 *. float_of_int i)) ~sigma:0.25)
+
+let run ?(max_n = 16) () =
+  let ns = List.filter (fun n -> n <= max_n) [ 2; 3; 4; 6; 8; 12; 16 ] in
+  let rows =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun (family, operands) ->
+            let exact = Nary.max_list operands in
+            let mu_err, sigma_err = Nary.fold_error operands in
+            {
+              n;
+              family;
+              fold_mu_err = mu_err;
+              fold_sigma_err = sigma_err;
+              exact_sigma = Normal.sigma exact;
+            })
+          [ ("balanced", balanced n); ("dominated", dominated n) ])
+      ns
+  in
+  { rows }
+
+let print r =
+  Printf.printf
+    "# EXT-NARY: repeated two-operand fold (paper eq. 18b) vs exact n-ary max\n";
+  let t =
+    Util.Table.create
+      ~header:[ "n"; "family"; "|mu err|"; "|sigma err|"; "exact sigma" ]
+  in
+  for i = 2 to 4 do
+    Util.Table.set_align t i Util.Table.Right
+  done;
+  List.iter
+    (fun row ->
+      Util.Table.add_row t
+        [
+          string_of_int row.n;
+          row.family;
+          Printf.sprintf "%.5f" row.fold_mu_err;
+          Printf.sprintf "%.5f" row.fold_sigma_err;
+          Printf.sprintf "%.4f" row.exact_sigma;
+        ])
+    r.rows;
+  Util.Table.print t;
+  Printf.printf
+    "(fold errors grow with n for balanced operands but stay well below sigma;\n\
+     the explicit n-ary operator removes them - the paper's future work #2)\n\n"

@@ -1,0 +1,21 @@
+(** EXT-NARY: accuracy of the paper's repeated two-operand max (eq. 18b)
+    against the exact n-ary moments of {!Statdelay.Nary} — the paper's
+    second piece of declared future work, quantified.
+
+    Two operand families are swept over n:
+    - "balanced": n similar operands (the hard case — every fold step
+      re-approximates a distinctly non-normal intermediate), and
+    - "dominated": one operand well above the rest (the easy case). *)
+
+type row = {
+  n : int;
+  family : string;
+  fold_mu_err : float;
+  fold_sigma_err : float;
+  exact_sigma : float;  (** scale for judging the errors *)
+}
+
+type result = { rows : row list }
+
+val run : ?max_n:int -> unit -> result
+val print : result -> unit

@@ -1,0 +1,81 @@
+open Sizing
+
+type row = {
+  bound : float;
+  area_solution : Engine.solution;
+  power_solution : Engine.solution;
+  area_of_area_opt : float;
+  power_of_area_opt : float;
+  area_of_power_opt : float;
+  power_of_power_opt : float;
+}
+
+type result = { net : Circuit.Netlist.t; rows : row list }
+
+let run ?(model = Circuit.Sigma_model.paper_default) ?net ?(k = 3.)
+    ?(fractions = [ 0.9; 0.8; 0.7 ]) () =
+  let net = match net with Some n -> n | None -> Circuit.Generate.apex2_like () in
+  let weights = Circuit.Activity.power_weights net in
+  let unsized = Engine.solve ~model net Objective.Min_area in
+  let rows =
+    List.map
+      (fun f ->
+        let bound = f *. unsized.Engine.mu in
+        let area_solution =
+          Engine.solve ~model net (Objective.Min_area_bounded { k; bound })
+        in
+        let power_solution =
+          Engine.solve ~model net
+            (Objective.Min_weighted { label = "power"; weights; k; bound })
+        in
+        let power_of sizes = Circuit.Activity.dynamic_power net ~sizes in
+        {
+          bound;
+          area_solution;
+          power_solution;
+          area_of_area_opt = area_solution.Engine.area;
+          power_of_area_opt = power_of area_solution.Engine.sizes;
+          area_of_power_opt = power_solution.Engine.area;
+          power_of_power_opt = power_of power_solution.Engine.sizes;
+        })
+      fractions
+  in
+  { net; rows }
+
+let print r =
+  Printf.printf
+    "# EXT-POWER: weighted objective (Section 4) as dynamic power, circuit %s\n"
+    (Circuit.Netlist.name r.net);
+  let t =
+    Util.Table.create
+      ~header:
+        [
+          "delay bound"; "objective"; "sum S_i"; "switched cap"; "muTmax"; "sigmaTmax";
+        ]
+  in
+  for i = 2 to 5 do
+    Util.Table.set_align t i Util.Table.Right
+  done;
+  List.iter
+    (fun row ->
+      Util.Table.add_row t
+        [
+          Printf.sprintf "%.2f" row.bound;
+          "min area";
+          Printf.sprintf "%.1f" row.area_of_area_opt;
+          Printf.sprintf "%.3f" row.power_of_area_opt;
+          Printf.sprintf "%.2f" row.area_solution.Engine.mu;
+          Printf.sprintf "%.3f" row.area_solution.Engine.sigma;
+        ];
+      Util.Table.add_row t
+        [
+          "";
+          "min power";
+          Printf.sprintf "%.1f" row.area_of_power_opt;
+          Printf.sprintf "%.3f" row.power_of_power_opt;
+          Printf.sprintf "%.2f" row.power_solution.Engine.mu;
+          Printf.sprintf "%.3f" row.power_solution.Engine.sigma;
+        ])
+    r.rows;
+  Util.Table.print t;
+  print_newline ()

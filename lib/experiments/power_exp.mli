@@ -1,0 +1,32 @@
+(** EXT-POWER: the weighted-sum objective of Section 4 instantiated as
+    dynamic power.
+
+    Sweeps the delay budget and, at each budget, minimises (a) area (the
+    paper's {m \sum S_i}) and (b) dynamic power (weights from
+    {!Circuit.Activity}); reports both metrics for both sizings.  The
+    power-optimal sizing spends area on low-activity gates to save
+    switched capacitance. *)
+
+type row = {
+  bound : float;
+  area_solution : Sizing.Engine.solution;
+  power_solution : Sizing.Engine.solution;
+  area_of_area_opt : float;
+  power_of_area_opt : float;
+  area_of_power_opt : float;
+  power_of_power_opt : float;
+}
+
+type result = { net : Circuit.Netlist.t; rows : row list }
+
+val run :
+  ?model:Circuit.Sigma_model.t ->
+  ?net:Circuit.Netlist.t ->
+  ?k:float ->
+  ?fractions:float list ->
+  unit ->
+  result
+(** Defaults: apex2 stand-in, [k = 3.] guard band, budgets at 90/80/70% of
+    the unsized mean delay. *)
+
+val print : result -> unit

@@ -1,0 +1,77 @@
+open Sizing
+
+type row = { true_ratio : float; yields : (float * float) list }
+
+type result = {
+  nominal_ratio : float;
+  deadline : float;
+  predicted : (float * float) list;
+  rows : row list;
+}
+
+let guard_bands = [ 0.; 1.; 3. ]
+
+let run ?net ?(nominal_ratio = 0.25) ?(true_ratios = [ 0.15; 0.25; 0.35; 0.45 ])
+    ?(samples = 20_000) ?(seed = 67) () =
+  let net = match net with Some n -> n | None -> Circuit.Generate.tree () in
+  let nominal = Circuit.Sigma_model.Proportional nominal_ratio in
+  let unsized = Engine.solve ~model:nominal net Objective.Min_area in
+  let deadline = 0.85 *. unsized.Engine.mu in
+  (* Size once per guard band under the nominal model. *)
+  let sized =
+    List.map
+      (fun k ->
+        (k, Engine.solve ~model:nominal net (Objective.Min_area_bounded { k; bound = deadline })))
+      guard_bands
+  in
+  let rows =
+    List.map
+      (fun true_ratio ->
+        let truth = Circuit.Sigma_model.Proportional true_ratio in
+        let yields =
+          List.map
+            (fun (k, s) ->
+              ( k,
+                Sta.Yield.monte_carlo
+                  ~rng:(Util.Rng.create seed)
+                  ~model:truth net ~sizes:s.Engine.sizes ~deadline ~n:samples ))
+            sized
+        in
+        { true_ratio; yields })
+      true_ratios
+  in
+  {
+    nominal_ratio;
+    deadline;
+    predicted = List.map (fun k -> (k, Util.Special.normal_cdf k)) guard_bands;
+    rows;
+  }
+
+let print r =
+  Printf.printf
+    "# EXT-ROBUST: yield under sigma-model error (sized with ratio %.2f, D = %.2f)\n"
+    r.nominal_ratio r.deadline;
+  let t =
+    Util.Table.create
+      ~header:
+        ("true sigma/mu"
+        :: List.map (fun (k, _) -> Printf.sprintf "yield (k=%g)" k) r.predicted)
+  in
+  for i = 0 to List.length r.predicted do
+    Util.Table.set_align t i Util.Table.Right
+  done;
+  Util.Table.add_row t
+    ("predicted"
+    :: List.map (fun (_, p) -> Printf.sprintf "%.1f%%" (100. *. p)) r.predicted);
+  Util.Table.add_separator t;
+  List.iter
+    (fun row ->
+      Util.Table.add_row t
+        (Printf.sprintf "%.2f" row.true_ratio
+        :: List.map (fun (_, y) -> Printf.sprintf "%.1f%%" (100. *. y)) row.yields))
+    r.rows;
+  Util.Table.print t;
+  Printf.printf
+    "(when the real uncertainty exceeds the calibrated model, the mu-only sizing\n\
+     collapses below its 50%% promise while the 3-sigma guard band degrades\n\
+     gracefully - the practical case for the statistical objectives)\n\n"

@@ -1,0 +1,32 @@
+(** EXT-ROBUST: sensitivity of the yield promise to sigma-model error.
+
+    The paper's sigma model {m \sigma_t = f(\mu_t)} must be calibrated;
+    what if it is wrong?  This experiment sizes the circuit under the
+    nominal model (ratio 0.25) with guard bands k = 0, 1, 3 and then
+    measures the Monte Carlo yield when the {e true} gate-delay
+    uncertainty has a different ratio.  The bigger the guard band, the
+    more model error the sizing tolerates — the practical argument for
+    the paper's {m \mu + 3\sigma} objectives. *)
+
+type row = {
+  true_ratio : float;
+  yields : (float * float) list;  (** (guard band k, MC yield) *)
+}
+
+type result = {
+  nominal_ratio : float;
+  deadline : float;
+  predicted : (float * float) list;  (** (k, Phi(k)) under the nominal model *)
+  rows : row list;
+}
+
+val run :
+  ?net:Circuit.Netlist.t ->
+  ?nominal_ratio:float ->
+  ?true_ratios:float list ->
+  ?samples:int ->
+  ?seed:int ->
+  unit ->
+  result
+
+val print : result -> unit

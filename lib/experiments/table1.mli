@@ -1,0 +1,38 @@
+(** Reproduction of Table 1: statistical sizing of the large benchmark
+    circuits.
+
+    For each circuit (our apex1/apex2/k2 stand-ins) the paper reports
+    seven experiments: the all-minimum sizing (the {m \sum S_i} row, which
+    also gives the upper end of the delay range), minimisation of
+    {m \mu}, {m \mu + \sigma} and {m \mu + 3\sigma}, and area minimisation
+    under {m \mu \le D}, {m \mu + \sigma \le D} and
+    {m \mu + 3\sigma \le D}.
+
+    The delay bounds [D] are placed at the same relative position in each
+    circuit's feasible delay range as the paper's bounds (120, 29, 120)
+    are in its reported ranges, so the area/σ trade-off shape is
+    comparable even though absolute delays differ. *)
+
+type case = {
+  cname : string;
+  net : Circuit.Netlist.t;
+  bound_fraction : float;
+      (** position of the delay bound within the unsized mean delay *)
+}
+
+val cases : ?small:bool -> unit -> case list
+(** The three benchmark stand-ins.  [small] (default false) replaces them
+    with reduced-size circuits for quick test runs. *)
+
+type case_result = {
+  case : case;
+  bound : float;
+  rows : Sizing.Engine.solution list;  (** the seven experiments in order *)
+}
+
+val run_case : ?model:Circuit.Sigma_model.t -> case -> case_result
+
+val run : ?small:bool -> ?model:Circuit.Sigma_model.t -> unit -> case_result list
+
+val print : case_result list -> unit
+(** Renders the paper-format table to stdout. *)

@@ -1,0 +1,74 @@
+open Sizing
+
+type row = { label : string; solution : Engine.solution }
+
+type result = {
+  net : Circuit.Netlist.t;
+  mu_slow : float;
+  mu_fast : float;
+  targets : float array;
+  rows : row list;
+}
+
+(* Paper targets 5.8/6.5/7.2 sit at 20%/55%/90% of the [5.4, 7.4] range. *)
+let target_fractions = [| 0.2; 0.55; 0.9 |]
+
+let run ?(model = Circuit.Sigma_model.paper_default) () =
+  let net = Circuit.Generate.tree () in
+  let solve = Engine.solve ~model net in
+  let slowest = solve Objective.Min_area in
+  let fastest = solve (Objective.Min_delay 0.) in
+  let mu_slow = slowest.Engine.mu and mu_fast = fastest.Engine.mu in
+  let targets =
+    Array.map
+      (fun f -> Float.round ((mu_fast +. (f *. (mu_slow -. mu_fast))) *. 10.) /. 10.)
+      target_fractions
+  in
+  let fixed_mean_rows target =
+    [
+      {
+        label = Printf.sprintf "min area @ mu=%g" target;
+        solution = solve (Objective.Min_area_bounded { k = 0.; bound = target });
+      };
+      {
+        label = Printf.sprintf "min sigma @ mu=%g" target;
+        solution = solve (Objective.Min_sigma { mu = target });
+      };
+      {
+        label = Printf.sprintf "max sigma @ mu=%g" target;
+        solution = solve (Objective.Max_sigma { mu = target });
+      };
+    ]
+  in
+  let rows =
+    { label = "min area"; solution = slowest }
+    :: { label = "min mu"; solution = fastest }
+    :: List.concat_map fixed_mean_rows (Array.to_list targets)
+  in
+  { net; mu_slow; mu_fast; targets; rows }
+
+let mid_target r = r.targets.(1)
+
+let print r =
+  Printf.printf "# tree circuit: mean delay range [%.2f, %.2f], targets %s\n"
+    r.mu_fast r.mu_slow
+    (String.concat ", "
+       (List.map (Printf.sprintf "%g") (Array.to_list r.targets)));
+  let t = Util.Table.create ~header:[ "objective"; "constraint"; "muTmax"; "sigmaTmax"; "sum S_i" ] in
+  for i = 2 to 4 do
+    Util.Table.set_align t i Util.Table.Right
+  done;
+  List.iter
+    (fun { solution; _ } ->
+      let minimize, constr = Report.split_objective solution.Engine.objective in
+      Util.Table.add_row t
+        [
+          minimize;
+          constr;
+          Util.Table.fmt_float ~decimals:2 solution.Engine.mu;
+          Util.Table.fmt_float ~decimals:3 solution.Engine.sigma;
+          Util.Table.fmt_float ~decimals:2 solution.Engine.area;
+        ])
+    r.rows;
+  Util.Table.print t;
+  print_newline ()

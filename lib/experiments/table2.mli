@@ -1,0 +1,32 @@
+(** Reproduction of Table 2 (and the data for Table 3): the seven-NAND
+    tree circuit under different objectives and fixed-mean constraints.
+
+    The paper first establishes the feasible range of the mean delay
+    ([min area] → slowest, [min mu] → fastest), picks three mean-delay
+    targets in that range (one mid, two near the extremes), and for each
+    target runs [min area], [min sigma] and [max sigma] at that fixed
+    mean.  The observations reproduced here: a fixed mean leaves a margin
+    for the standard deviation, the margin is widest mid-range, and
+    minimising sigma costs more area than minimising area. *)
+
+type row = { label : string; solution : Sizing.Engine.solution }
+
+type result = {
+  net : Circuit.Netlist.t;
+  mu_slow : float;  (** mean delay of the all-minimum sizing *)
+  mu_fast : float;  (** mean delay of the min-mu sizing *)
+  targets : float array;  (** the three fixed-mean targets *)
+  rows : row list;
+}
+
+val run : ?model:Circuit.Sigma_model.t -> unit -> result
+(** Runs the eleven experiments of Table 2 on {!Circuit.Generate.tree}.
+    Targets are placed at 20%, 55% and 90% of the feasible range, the
+    same relative positions as the paper's 5.8 / 6.5 / 7.2 within
+    [5.4, 7.4]. *)
+
+val mid_target : result -> float
+(** The middle target (the paper's 6.5) — Table 3 reports the speed
+    factors at this value. *)
+
+val print : result -> unit

@@ -1,0 +1,51 @@
+open Sizing
+
+type result = {
+  net : Circuit.Netlist.t;
+  target_mu : float;
+  gate_names : string array;
+  rows : (string * float array) list;
+}
+
+let run ?(model = Circuit.Sigma_model.paper_default) ?target_mu () =
+  let net = Circuit.Generate.tree () in
+  let target_mu =
+    match target_mu with
+    | Some t -> t
+    | None -> Table2.mid_target (Table2.run ~model ())
+  in
+  let solve = Engine.solve ~model net in
+  let speed_factors objective =
+    let s = solve objective in
+    Array.of_list (List.map snd (Report.speed_factors net s))
+  in
+  let rows =
+    [
+      ( "min sum S_i",
+        speed_factors (Objective.Min_area_bounded { k = 0.; bound = target_mu }) );
+      ("min sigma", speed_factors (Objective.Min_sigma { mu = target_mu }));
+      ("max sigma", speed_factors (Objective.Max_sigma { mu = target_mu }));
+    ]
+  in
+  let gate_names =
+    Array.map
+      (fun (g : Circuit.Netlist.gate) -> g.Circuit.Netlist.gate_name)
+      (Circuit.Netlist.gates net)
+  in
+  { net; target_mu; gate_names; rows }
+
+let print r =
+  Printf.printf "# tree speed factors at muTmax = %g\n" r.target_mu;
+  let header =
+    "objective" :: Array.to_list (Array.map (fun n -> "S_" ^ n) r.gate_names)
+  in
+  let t = Util.Table.create ~header in
+  List.iteri (fun i _ -> if i > 0 then Util.Table.set_align t i Util.Table.Right) header;
+  List.iter
+    (fun (label, sizes) ->
+      Util.Table.add_row t
+        (label
+        :: Array.to_list (Array.map (Util.Table.fmt_float ~decimals:2) sizes)))
+    r.rows;
+  Util.Table.print t;
+  print_newline ()

@@ -1,0 +1,22 @@
+(** Reproduction of Table 3: per-gate speed factors of the tree circuit at
+    the mid-range fixed mean delay, under [min area], [min sigma] and
+    [max sigma].
+
+    The paper's observations, checked by the test-suite on this data:
+    both [min area] and [min sigma] treat the symmetric gate groups
+    ({m \{A,B,D,E\}} and {m \{C,F\}}) identically and give gates nearer
+    the output larger speed factors — more extremely so for
+    [min sigma] — while [max sigma] deliberately unbalances the paths. *)
+
+type result = {
+  net : Circuit.Netlist.t;
+  target_mu : float;
+  gate_names : string array;
+  rows : (string * float array) list;
+      (** objective label, speed factor per gate in name order *)
+}
+
+val run : ?model:Circuit.Sigma_model.t -> ?target_mu:float -> unit -> result
+(** Default target is the Table-2 mid target. *)
+
+val print : result -> unit

@@ -1,0 +1,62 @@
+open Sizing
+
+type row = {
+  k : float;
+  solution : Engine.solution;
+  predicted : float;
+  analytic : float;
+  monte_carlo : float;
+}
+
+type result = { net : Circuit.Netlist.t; deadline : float; rows : row list }
+
+let run ?(model = Circuit.Sigma_model.paper_default) ?net ?(bound_fraction = 0.85)
+    ?(samples = 20_000) ?(seed = 2024) () =
+  let net = match net with Some n -> n | None -> Circuit.Generate.apex2_like () in
+  let unsized = Engine.solve ~model net Objective.Min_area in
+  let deadline = bound_fraction *. unsized.Engine.mu in
+  let rows =
+    List.map
+      (fun k ->
+        let solution =
+          Engine.solve ~model net (Objective.Min_area_bounded { k; bound = deadline })
+        in
+        let analytic =
+          Sta.Yield.analytic solution.Engine.timing.Sta.Ssta.circuit ~deadline
+        in
+        let monte_carlo =
+          Sta.Yield.monte_carlo
+            ~rng:(Util.Rng.create seed)
+            ~model net ~sizes:solution.Engine.sizes ~deadline ~n:samples
+        in
+        { k; solution; predicted = Util.Special.normal_cdf k; analytic; monte_carlo })
+      [ 0.; 1.; 3. ]
+  in
+  { net; deadline; rows }
+
+let print r =
+  Printf.printf "# yield vs guard band (circuit %s, deadline D = %.2f)\n"
+    (Circuit.Netlist.name r.net) r.deadline;
+  let t =
+    Util.Table.create
+      ~header:
+        [ "constraint"; "muTmax"; "sigmaTmax"; "sum S_i"; "predicted"; "analytic"; "MC yield" ]
+  in
+  for i = 1 to 6 do
+    Util.Table.set_align t i Util.Table.Right
+  done;
+  List.iter
+    (fun row ->
+      Util.Table.add_row t
+        [
+          Printf.sprintf "%s <= D" (Objective.metric_name row.k);
+          Util.Table.fmt_float ~decimals:2 row.solution.Engine.mu;
+          Util.Table.fmt_float ~decimals:3 row.solution.Engine.sigma;
+          Util.Table.fmt_float ~decimals:0 row.solution.Engine.area;
+          Printf.sprintf "%.1f%%" (100. *. row.predicted);
+          Printf.sprintf "%.1f%%" (100. *. row.analytic);
+          Printf.sprintf "%.1f%%" (100. *. row.monte_carlo);
+        ])
+    r.rows;
+  Util.Table.print t;
+  print_newline ()

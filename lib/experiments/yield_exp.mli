@@ -1,0 +1,32 @@
+(** Validation of the conformance claim of Section 4: constraining
+    {m \mu \le D} makes 50% of circuits meet [D], {m \mu+\sigma \le D}
+    84.1%, and {m \mu+3\sigma \le D} 99.8%.
+
+    For each guard band [k] the circuit is area-minimised under
+    {m \mu + k\sigma \le D}; the analytic yield is
+    {m \Phi\!\big((D-\mu)/\sigma\big)} of the sized circuit, and the Monte
+    Carlo yield re-times thousands of sampled circuits.  When the
+    constraint is active the analytic yield is exactly {m \Phi(k)}. *)
+
+type row = {
+  k : float;
+  solution : Sizing.Engine.solution;
+  predicted : float;  (** the paper's claim: {m \Phi(k)} *)
+  analytic : float;  (** yield from the sized circuit's distribution *)
+  monte_carlo : float;  (** empirical yield over [samples] *)
+}
+
+type result = { net : Circuit.Netlist.t; deadline : float; rows : row list }
+
+val run :
+  ?model:Circuit.Sigma_model.t ->
+  ?net:Circuit.Netlist.t ->
+  ?bound_fraction:float ->
+  ?samples:int ->
+  ?seed:int ->
+  unit ->
+  result
+(** Defaults: the apex2 stand-in, deadline at 85% of the unsized mean
+    delay, 20_000 Monte Carlo samples. *)
+
+val print : result -> unit

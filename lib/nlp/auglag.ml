@@ -1,0 +1,169 @@
+open Util
+
+type options = {
+  outer_iterations : int;
+  constraint_tolerance : float;
+  initial_penalty : float;
+  penalty_growth : float;
+  max_penalty : float;
+  violation_decrease : float;
+  inner : Lbfgs.options;
+  inner_solver : [ `Lbfgs | `Newton of Newton.options ];
+}
+
+let default_options =
+  {
+    outer_iterations = 50;
+    constraint_tolerance = 1e-7;
+    initial_penalty = 10.;
+    penalty_growth = 10.;
+    max_penalty = 1e10;
+    violation_decrease = 0.25;
+    inner = Lbfgs.default_options;
+    inner_solver = `Lbfgs;
+  }
+
+(* Uniform view of the two inner solvers: final point, iterations,
+   evaluations, and whether the run ended for a benign reason. *)
+let run_inner options problem ~x0 =
+  match options.inner_solver with
+  | `Lbfgs ->
+      let r = Lbfgs.minimize ~options:options.inner problem ~x0 in
+      ( r.Lbfgs.x,
+        r.Lbfgs.iterations,
+        r.Lbfgs.evaluations,
+        r.Lbfgs.outcome <> Lbfgs.Iteration_limit )
+  | `Newton newton_options ->
+      let r = Newton.minimize ~options:newton_options problem ~x0 in
+      ( r.Newton.x,
+        r.Newton.iterations,
+        r.Newton.evaluations,
+        r.Newton.outcome <> Newton.Iteration_limit )
+
+type report = {
+  x : float array;
+  f : float;
+  multipliers : float array;
+  penalty : float;
+  max_violation : float;
+  outer_iterations : int;
+  inner_iterations : int;
+  evaluations : int;
+  converged : bool;
+}
+
+(* Augmented Lagrangian value and gradient at x for the given multipliers
+   and penalty. *)
+let augmented (problem : Problem.constrained) lambda rho x =
+  let f, g = problem.Problem.base.Problem.objective x in
+  let g = Array.copy g in
+  let total = ref f in
+  Array.iteri
+    (fun i (c : Problem.constr) ->
+      let v, gv = c.Problem.eval x in
+      match c.Problem.kind with
+      | Problem.Eq ->
+          total := !total +. (lambda.(i) *. v) +. (0.5 *. rho *. v *. v);
+          Numerics.axpy (lambda.(i) +. (rho *. v)) gv g
+      | Problem.Le ->
+          let shifted = v +. (lambda.(i) /. rho) in
+          if shifted > 0. then begin
+            total :=
+              !total
+              +. (0.5 *. rho
+                  *. ((shifted *. shifted) -. (lambda.(i) /. rho *. (lambda.(i) /. rho))));
+            Numerics.axpy (rho *. shifted) gv g
+          end
+          else total := !total -. (0.5 *. lambda.(i) *. lambda.(i) /. rho))
+    problem.Problem.constraints;
+  (!total, g)
+
+let solve ?(options = default_options) (problem : Problem.constrained) ~x0 =
+  let m = Array.length problem.Problem.constraints in
+  let base = problem.Problem.base in
+  if m = 0 then begin
+    let x, iterations, evaluations, ok = run_inner options base ~x0 in
+    let f, _ = base.Problem.objective x in
+    {
+      x;
+      f;
+      multipliers = [||];
+      penalty = 0.;
+      max_violation = 0.;
+      outer_iterations = 0;
+      inner_iterations = iterations;
+      evaluations;
+      converged = ok;
+    }
+  end
+  else begin
+    let lambda = Array.make m 0. in
+    let rho = ref options.initial_penalty in
+    let x = Array.copy x0 in
+    Problem.project base.Problem.bnds x;
+    let inner_iterations = ref 0 in
+    let evaluations = ref 0 in
+    let prev_violation = ref infinity in
+    let result = ref None in
+    let outer = ref 0 in
+    while !result = None && !outer < options.outer_iterations do
+      incr outer;
+      let sub =
+        Problem.make ~bounds:base.Problem.bnds ~objective:(fun x ->
+            augmented problem lambda !rho x)
+      in
+      let xr, iterations, evals, _ = run_inner options sub ~x0:x in
+      inner_iterations := !inner_iterations + iterations;
+      evaluations := !evaluations + evals;
+      Array.blit xr 0 x 0 base.Problem.dim;
+      (* Multiplier updates and violation measurement. *)
+      let violation = ref 0. in
+      Array.iteri
+        (fun i (c : Problem.constr) ->
+          let v, _ = c.Problem.eval x in
+          (match c.Problem.kind with
+          | Problem.Eq ->
+              violation := max !violation (abs_float v);
+              lambda.(i) <- lambda.(i) +. (!rho *. v)
+          | Problem.Le ->
+              violation := max !violation (max 0. v);
+              lambda.(i) <- max 0. (lambda.(i) +. (!rho *. v))))
+        problem.Problem.constraints;
+      if !violation <= options.constraint_tolerance then begin
+        let f, _ = base.Problem.objective x in
+        result :=
+          Some
+            {
+              x = Array.copy x;
+              f;
+              multipliers = Array.copy lambda;
+              penalty = !rho;
+              max_violation = !violation;
+              outer_iterations = !outer;
+              inner_iterations = !inner_iterations;
+              evaluations = !evaluations;
+              converged = true;
+            }
+      end
+      else begin
+        if !violation > options.violation_decrease *. !prev_violation then
+          rho := min options.max_penalty (!rho *. options.penalty_growth);
+        prev_violation := !violation
+      end
+    done;
+    match !result with
+    | Some r -> r
+    | None ->
+        let f, _ = base.Problem.objective x in
+        {
+          x;
+          f;
+          multipliers = lambda;
+          penalty = !rho;
+          max_violation = Problem.max_violation problem x;
+          outer_iterations = !outer;
+          inner_iterations = !inner_iterations;
+          evaluations = !evaluations;
+          converged = false;
+        }
+  end

@@ -1,0 +1,45 @@
+(** Augmented-Lagrangian method for equality/inequality constraints over
+    simple bounds — the same algorithmic family as LANCELOT, which the
+    paper uses to solve the sizing formulations "exactly".
+
+    Equality constraints use the classical Hestenes–Powell augmented
+    Lagrangian; inequalities the Rockafellar form
+    {m \frac{\rho}{2}\big(\max(0, c + \lambda/\rho)^2 - (\lambda/\rho)^2\big)}.
+    Each outer iteration minimises the augmented Lagrangian over the box
+    with {!Lbfgs}, then updates multipliers and, when the violation does
+    not shrink enough, increases the penalty. *)
+
+type options = {
+  outer_iterations : int;  (** default 50 *)
+  constraint_tolerance : float;  (** default 1e-7 *)
+  initial_penalty : float;  (** default 10. *)
+  penalty_growth : float;  (** default 10. *)
+  max_penalty : float;  (** default 1e10 *)
+  violation_decrease : float;
+      (** required shrink factor per outer iteration before the penalty is
+          raised, default 0.25 *)
+  inner : Lbfgs.options;  (** inner solver options (L-BFGS mode) *)
+  inner_solver : [ `Lbfgs | `Newton of Newton.options ];
+      (** which bound-constrained inner solver minimises the augmented
+          Lagrangian: the first-order projected L-BFGS (default) or the
+          second-order trust-region Newton-CG — LANCELOT's flavour
+          (A-SOLVER ablation) *)
+}
+
+val default_options : options
+
+type report = {
+  x : float array;
+  f : float;  (** true objective at [x] (no penalty terms) *)
+  multipliers : float array;
+  penalty : float;
+  max_violation : float;
+  outer_iterations : int;
+  inner_iterations : int;
+  evaluations : int;
+  converged : bool;
+}
+
+val solve : ?options:options -> Problem.constrained -> x0:float array -> report
+(** Solves the constrained problem from [x0].  When the constraint list is
+    empty this reduces to a single {!Lbfgs} run. *)

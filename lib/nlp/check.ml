@@ -1,0 +1,35 @@
+type verdict = {
+  max_abs_error : float;
+  max_rel_error : float;
+  worst_index : int;
+  ok : bool;
+}
+
+let gradient ?(h = 1e-6) ?(rtol = 1e-5) ?(atol = 1e-7) f x =
+  let _, analytic = f x in
+  let numeric = Util.Numerics.fd_gradient ~h (fun x -> fst (f x)) x in
+  let max_abs = ref 0. and max_rel = ref 0. and worst = ref 0 in
+  Array.iteri
+    (fun i a ->
+      let d = abs_float (a -. numeric.(i)) in
+      let scale = max (abs_float a) (abs_float numeric.(i)) in
+      let rel = if scale > 0. then d /. scale else 0. in
+      if d > !max_abs then begin
+        max_abs := d;
+        worst := i
+      end;
+      if rel > !max_rel then max_rel := rel)
+    analytic;
+  let ok =
+    Array.for_all
+      (fun i ->
+        let a = analytic.(i) and n = numeric.(i) in
+        abs_float (a -. n) <= atol +. (rtol *. max (abs_float a) (abs_float n)))
+      (Array.init (Array.length analytic) (fun i -> i))
+  in
+  { max_abs_error = !max_abs; max_rel_error = !max_rel; worst_index = !worst; ok }
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "max_abs=%.3e max_rel=%.3e worst=%d %s" v.max_abs_error
+    v.max_rel_error v.worst_index
+    (if v.ok then "OK" else "MISMATCH")

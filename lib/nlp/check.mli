@@ -1,0 +1,25 @@
+(** Finite-difference verification of analytic gradients.
+
+    The paper stresses that exact analytical derivatives are what makes
+    the statistical sizing formulation tractable; this checker is how the
+    test suite (and any new objective) demonstrates the analytic gradients
+    are in fact the derivatives of the implemented functions. *)
+
+type verdict = {
+  max_abs_error : float;
+  max_rel_error : float;
+  worst_index : int;
+  ok : bool;
+}
+
+val gradient :
+  ?h:float ->
+  ?rtol:float ->
+  ?atol:float ->
+  (float array -> float * float array) ->
+  float array ->
+  verdict
+(** Compares the analytic gradient with central differences at the given
+    point.  Defaults: [h = 1e-6], [rtol = 1e-5], [atol = 1e-7]. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

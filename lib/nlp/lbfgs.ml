@@ -1,0 +1,183 @@
+open Util
+
+type options = {
+  max_iterations : int;
+  memory : int;
+  tolerance : float;
+  f_tolerance : float;
+  armijo : float;
+  max_backtracks : int;
+}
+
+let default_options =
+  {
+    max_iterations = 1500;
+    memory = 10;
+    tolerance = 1e-6;
+    f_tolerance = 1e-14;
+    armijo = 1e-4;
+    max_backtracks = 40;
+  }
+
+type outcome = Converged | Stagnated | Iteration_limit | Line_search_failure
+
+type report = {
+  x : float array;
+  f : float;
+  gradient : float array;
+  iterations : int;
+  evaluations : int;
+  projected_gradient_norm : float;
+  outcome : outcome;
+}
+
+let pp_outcome ppf = function
+  | Converged -> Format.pp_print_string ppf "converged"
+  | Stagnated -> Format.pp_print_string ppf "stagnated"
+  | Iteration_limit -> Format.pp_print_string ppf "iteration limit"
+  | Line_search_failure -> Format.pp_print_string ppf "line search failure"
+
+(* ||P(x - g) - x||_inf : first-order criticality measure on a box. *)
+let projected_gradient_norm (bnds : Problem.bounds) x g =
+  let m = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    let step = Numerics.clamp ~lo:bnds.lower.(i) ~hi:bnds.upper.(i) (x.(i) -. g.(i)) in
+    m := max !m (abs_float (step -. x.(i)))
+  done;
+  !m
+
+(* Two-loop recursion over the stored (s, y) pairs; returns -H g. *)
+let two_loop history g =
+  let d = Array.map (fun gi -> -.gi) g in
+  match history with
+  | [] -> d
+  | (s_last, y_last) :: _ ->
+      let alphas =
+        List.map
+          (fun (s, y) ->
+            let rho = 1. /. Numerics.dot y s in
+            let a = rho *. Numerics.dot s d in
+            Numerics.axpy (-.a) y d;
+            (a, rho, s, y))
+          history
+      in
+      let gamma = Numerics.dot s_last y_last /. Numerics.dot y_last y_last in
+      Array.iteri (fun i di -> d.(i) <- gamma *. di) d;
+      List.iter
+        (fun (a, rho, s, y) ->
+          let b = rho *. Numerics.dot y d in
+          Numerics.axpy (a -. b) s d)
+        (List.rev alphas);
+      d
+
+let minimize ?(options = default_options) (p : Problem.t) ~x0 =
+  let n = p.Problem.dim in
+  if Array.length x0 <> n then invalid_arg "Lbfgs.minimize: x0 dimension mismatch";
+  let x = Array.copy x0 in
+  Problem.project p.Problem.bnds x;
+  let evaluations = ref 0 in
+  let eval x =
+    incr evaluations;
+    p.Problem.objective x
+  in
+  let f = ref 0. and g = ref [||] in
+  let f0, g0 = eval x in
+  f := f0;
+  g := g0;
+  let history = ref [] in
+  let finish iterations outcome =
+    {
+      x;
+      f = !f;
+      gradient = !g;
+      iterations;
+      evaluations = !evaluations;
+      projected_gradient_norm = projected_gradient_norm p.Problem.bnds x !g;
+      outcome;
+    }
+  in
+  let rec loop iter stagnant =
+    if projected_gradient_norm p.Problem.bnds x !g <= options.tolerance then
+      finish iter Converged
+    else if iter >= options.max_iterations then finish iter Iteration_limit
+    else begin
+      (* Zero the components that point out of the box at an active bound:
+         they would be clipped by the projection anyway, and leaving them
+         in routinely turns a descent direction into an ascent one along
+         the projected path (wasting a whole backtracking run). *)
+      let mask_direction d =
+        for i = 0 to n - 1 do
+          let at_lower = x.(i) <= p.Problem.bnds.Problem.lower.(i) +. 1e-12 in
+          let at_upper = x.(i) >= p.Problem.bnds.Problem.upper.(i) -. 1e-12 in
+          if (at_lower && d.(i) < 0.) || (at_upper && d.(i) > 0.) then d.(i) <- 0.
+        done;
+        d
+      in
+      let d = mask_direction (two_loop !history !g) in
+      (* Fall back to steepest descent when the quasi-Newton direction is
+         not a descent direction (can happen after bound activity). *)
+      let d =
+        if Numerics.dot d !g >= 0. then begin
+          history := [];
+          mask_direction (Array.map (fun gi -> -.gi) !g)
+        end
+        else d
+      in
+      (* Backtracking Armijo search along the projected path. *)
+      let rec search d alpha backtracks =
+        if backtracks > options.max_backtracks then None
+        else begin
+          let xt = Array.copy x in
+          Numerics.axpy alpha d xt;
+          Problem.project p.Problem.bnds xt;
+          let ft, gt = eval xt in
+          let actual_step = Array.init n (fun i -> xt.(i) -. x.(i)) in
+          let predicted = Numerics.dot !g actual_step in
+          if Numerics.norm_inf actual_step = 0. then None
+          else if
+            (* Armijo when the projected step is a descent step; otherwise
+               (rounding near bounds can make g.s >= 0) accept any strict
+               decrease rather than discarding progress. *)
+            (predicted < 0. && ft <= !f +. (options.armijo *. predicted))
+            || (predicted >= 0. && ft < !f)
+          then Some (xt, ft, gt, actual_step)
+          else search d (alpha /. 2.) (backtracks + 1)
+        end
+      in
+      (* Even a descent direction can stop being one along the projection
+         arc (its clipped components flip the sign of g.s); the projected
+         steepest-descent direction never does, so retry with it before
+         giving up. *)
+      let attempt =
+        match search d 1. 0 with
+        | Some _ as result -> result
+        | None ->
+            history := [];
+            search (mask_direction (Array.map (fun gi -> -.gi) !g)) 1. 0
+      in
+      match attempt with
+      | None -> finish iter Line_search_failure
+      | Some (xt, ft, gt, s) ->
+          let y = Array.init n (fun i -> gt.(i) -. !g.(i)) in
+          let sy = Numerics.dot s y in
+          if sy > 1e-12 *. Numerics.norm2 s *. Numerics.norm2 y then begin
+            history := (s, y) :: !history;
+            if List.length !history > options.memory then
+              history := List.filteri (fun i _ -> i < options.memory) !history
+          end;
+          let f_prev = !f in
+          Array.blit xt 0 x 0 n;
+          f := ft;
+          g := gt;
+          (* Declare stagnation only after several consecutive iterations
+             without meaningful objective change — a single tiny step (e.g.
+             a clipped move onto a bound) is normal progress. *)
+          let tiny =
+            abs_float (f_prev -. ft)
+            <= options.f_tolerance *. max 1. (abs_float f_prev)
+          in
+          if tiny && stagnant >= 2 then finish (iter + 1) Stagnated
+          else loop (iter + 1) (if tiny then stagnant + 1 else 0)
+    end
+  in
+  loop 0 0

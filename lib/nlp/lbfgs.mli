@@ -1,0 +1,37 @@
+(** Box-projected limited-memory BFGS.
+
+    The inner solver of the augmented-Lagrangian loop (the role the
+    bound-constrained trust-region solver plays inside LANCELOT).  The
+    quasi-Newton direction comes from the standard two-loop recursion;
+    steps follow the projected path {m x(\alpha) = P(x + \alpha d)} with
+    Armijo backtracking, and convergence is declared on the projected
+    gradient {m \lVert P(x - \nabla f) - x\rVert_\infty}. *)
+
+type options = {
+  max_iterations : int;  (** default 1500 *)
+  memory : int;  (** L-BFGS history pairs, default 10 *)
+  tolerance : float;  (** projected-gradient infinity norm, default 1e-6 *)
+  f_tolerance : float;  (** relative objective stagnation, default 1e-14 *)
+  armijo : float;  (** sufficient-decrease constant, default 1e-4 *)
+  max_backtracks : int;  (** default 40 *)
+}
+
+val default_options : options
+
+type outcome = Converged | Stagnated | Iteration_limit | Line_search_failure
+
+type report = {
+  x : float array;
+  f : float;
+  gradient : float array;
+  iterations : int;
+  evaluations : int;
+  projected_gradient_norm : float;
+  outcome : outcome;
+}
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val minimize : ?options:options -> Problem.t -> x0:float array -> report
+(** Minimises from [x0] (projected onto the bounds first).  The incoming
+    [x0] array is not mutated. *)

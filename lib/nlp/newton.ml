@@ -1,0 +1,192 @@
+open Util
+
+type options = {
+  max_iterations : int;
+  tolerance : float;
+  initial_radius : float;
+  max_radius : float;
+  eta_accept : float;
+  cg_tolerance : float;
+  fd_epsilon : float;
+}
+
+let default_options =
+  {
+    max_iterations = 200;
+    tolerance = 1e-8;
+    initial_radius = 1.;
+    max_radius = 1e3;
+    eta_accept = 0.05;
+    cg_tolerance = 0.01;
+    fd_epsilon = 1e-7;
+  }
+
+type outcome = Converged | Iteration_limit | Step_failure
+
+type report = {
+  x : float array;
+  f : float;
+  gradient : float array;
+  iterations : int;
+  evaluations : int;
+  projected_gradient_norm : float;
+  outcome : outcome;
+}
+
+let projected_gradient_norm (bnds : Problem.bounds) x g =
+  let m = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    let step = Numerics.clamp ~lo:bnds.lower.(i) ~hi:bnds.upper.(i) (x.(i) -. g.(i)) in
+    m := max !m (abs_float (step -. x.(i)))
+  done;
+  !m
+
+(* Coordinates pinned at a bound with the gradient pushing further out are
+   frozen; CG works in the complementary (free) subspace. *)
+let free_mask (bnds : Problem.bounds) x g =
+  Array.init (Array.length x) (fun i ->
+      let at_lower = x.(i) <= bnds.lower.(i) +. 1e-12 && g.(i) > 0. in
+      let at_upper = x.(i) >= bnds.upper.(i) -. 1e-12 && g.(i) < 0. in
+      not (at_lower || at_upper))
+
+let mask_apply mask v =
+  Array.mapi (fun i vi -> if mask.(i) then vi else 0.) v
+
+(* Steihaug-Toint truncated CG: approximately minimise
+   g'p + p'Hp/2 subject to |p| <= radius, within the free subspace.
+   [hv] evaluates Hessian-vector products. *)
+let steihaug ~options ~hv ~mask g radius =
+  let n = Array.length g in
+  let p = Array.make n 0. in
+  let r = mask_apply mask (Array.map (fun gi -> -.gi) g) in
+  let d = Array.copy r in
+  let r0_norm = Numerics.norm2 r in
+  if r0_norm = 0. then p
+  else begin
+    let boundary_step p d =
+      (* tau >= 0 with |p + tau d| = radius *)
+      let dd = Numerics.dot d d in
+      let pd = Numerics.dot p d in
+      let pp = Numerics.dot p p in
+      let disc = (pd *. pd) -. (dd *. ((pp -. (radius *. radius)))) in
+      let tau = ((-.pd) +. sqrt (max 0. disc)) /. dd in
+      let out = Array.copy p in
+      Numerics.axpy tau d out;
+      out
+    in
+    let result = ref None in
+    let iter = ref 0 in
+    while !result = None && !iter < 2 * n do
+      incr iter;
+      let hd = mask_apply mask (hv d) in
+      let dhd = Numerics.dot d hd in
+      if dhd <= 0. then result := Some (boundary_step p d)
+      else begin
+        let rr = Numerics.dot r r in
+        let alpha = rr /. dhd in
+        let p_next = Array.copy p in
+        Numerics.axpy alpha d p_next;
+        if Numerics.norm2 p_next >= radius then result := Some (boundary_step p d)
+        else begin
+          Array.blit p_next 0 p 0 n;
+          Numerics.axpy (-.alpha) hd r;
+          let rr_next = Numerics.dot r r in
+          if sqrt rr_next <= options.cg_tolerance *. r0_norm then result := Some (Array.copy p)
+          else begin
+            let beta = rr_next /. rr in
+            for i = 0 to n - 1 do
+              d.(i) <- r.(i) +. (beta *. d.(i))
+            done
+          end
+        end
+      end
+    done;
+    match !result with Some p -> p | None -> p
+  end
+
+let minimize ?(options = default_options) (p : Problem.t) ~x0 =
+  let n = p.Problem.dim in
+  if Array.length x0 <> n then invalid_arg "Newton.minimize: x0 dimension mismatch";
+  let x = Array.copy x0 in
+  Problem.project p.Problem.bnds x;
+  let evaluations = ref 0 in
+  let eval x =
+    incr evaluations;
+    p.Problem.objective x
+  in
+  let f = ref 0. and g = ref [||] in
+  let f0, g0 = eval x in
+  f := f0;
+  g := g0;
+  let radius = ref options.initial_radius in
+  let finish iterations outcome =
+    {
+      x;
+      f = !f;
+      gradient = !g;
+      iterations;
+      evaluations = !evaluations;
+      projected_gradient_norm = projected_gradient_norm p.Problem.bnds x !g;
+      outcome;
+    }
+  in
+  (* Forward-difference Hessian-vector product around the current point.
+     The probe point is projected onto the box so the objective is never
+     evaluated at infeasible sizes; at an active bound this degrades to a
+     one-sided (possibly zero) curvature estimate, which the active-set
+     mask makes harmless. *)
+  let hv x g v =
+    let norm = Numerics.norm_inf v in
+    if norm = 0. then Array.make n 0.
+    else begin
+      let eps = options.fd_epsilon *. (1. +. Numerics.norm_inf x) /. norm in
+      let xt = Array.copy x in
+      Numerics.axpy eps v xt;
+      Problem.project p.Problem.bnds xt;
+      let _, gt = eval xt in
+      Array.init n (fun i -> (gt.(i) -. g.(i)) /. eps)
+    end
+  in
+  let rec loop iter consecutive_failures =
+    if projected_gradient_norm p.Problem.bnds x !g <= options.tolerance then
+      finish iter Converged
+    else if iter >= options.max_iterations then finish iter Iteration_limit
+    else if consecutive_failures > 30 then finish iter Step_failure
+    else begin
+      let mask = free_mask p.Problem.bnds x !g in
+      let step = steihaug ~options ~hv:(hv x !g) ~mask !g !radius in
+      let xt = Array.copy x in
+      Numerics.axpy 1. step xt;
+      Problem.project p.Problem.bnds xt;
+      let actual_step = Array.init n (fun i -> xt.(i) -. x.(i)) in
+      if Numerics.norm_inf actual_step = 0. then begin
+        radius := !radius /. 4.;
+        loop (iter + 1) (consecutive_failures + 1)
+      end
+      else begin
+        let ft, gt = eval xt in
+        (* Predicted reduction from the quadratic model. *)
+        let hs = hv x !g actual_step in
+        let predicted =
+          -.(Numerics.dot !g actual_step +. (0.5 *. Numerics.dot actual_step hs))
+        in
+        let actual = !f -. ft in
+        let rho = if predicted > 0. then actual /. predicted else -1. in
+        if rho >= options.eta_accept && actual > 0. then begin
+          Array.blit xt 0 x 0 n;
+          f := ft;
+          g := gt;
+          if rho > 0.75 && Numerics.norm2 actual_step >= 0.99 *. !radius then
+            radius := min options.max_radius (2. *. !radius)
+          else if rho < 0.25 then radius := !radius /. 4.;
+          loop (iter + 1) 0
+        end
+        else begin
+          radius := !radius /. 4.;
+          if !radius < 1e-14 then finish (iter + 1) Step_failure
+          else loop (iter + 1) (consecutive_failures + 1)
+        end
+      end
+    end
+  in
+  loop 0 0

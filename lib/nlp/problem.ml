@@ -1,0 +1,42 @@
+type bounds = { lower : float array; upper : float array }
+
+let bounds ~lower ~upper =
+  let n = Array.length lower in
+  if Array.length upper <> n then invalid_arg "Problem.bounds: length mismatch";
+  Array.iteri
+    (fun i l -> if l > upper.(i) then invalid_arg "Problem.bounds: lower > upper")
+    lower;
+  { lower; upper }
+
+let box ~dim ~lo ~hi = bounds ~lower:(Array.make dim lo) ~upper:(Array.make dim hi)
+let unbounded ~dim = box ~dim ~lo:neg_infinity ~hi:infinity
+
+let project b x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- Util.Numerics.clamp ~lo:b.lower.(i) ~hi:b.upper.(i) x.(i)
+  done
+
+type objective = float array -> float * float array
+
+type t = { dim : int; bnds : bounds; objective : objective }
+
+let make ~bounds:bnds ~objective = { dim = Array.length bnds.lower; bnds; objective }
+
+type constraint_kind = Eq | Le
+
+type constr = { kind : constraint_kind; cname : string; eval : objective }
+
+type constrained = { base : t; constraints : constr array }
+
+let constrain base constraints = { base; constraints = Array.of_list constraints }
+
+let eq ?(name = "eq") eval = { kind = Eq; cname = name; eval }
+let le ?(name = "le") eval = { kind = Le; cname = name; eval }
+
+let max_violation problem x =
+  Array.fold_left
+    (fun acc c ->
+      let v, _ = c.eval x in
+      let viol = match c.kind with Eq -> abs_float v | Le -> max 0. v in
+      max acc viol)
+    0. problem.constraints

@@ -1,0 +1,49 @@
+(** Nonlinear-programming problem definitions.
+
+    The paper solves gate sizing with LANCELOT, a large-scale
+    augmented-Lagrangian package for problems of the form
+
+    {math \min f(x) \quad\text{s.t.}\quad c_i(x) = 0,\; l \le x \le u}
+
+    (equation 17 is exactly of this shape: equality constraints plus
+    simple variable bounds).  This module describes that problem class;
+    {!Lbfgs} solves the bound-constrained case and {!Auglag} the general
+    case. *)
+
+type bounds = { lower : float array; upper : float array }
+
+val bounds : lower:float array -> upper:float array -> bounds
+(** Validates [lower.(i) <= upper.(i)] and equal lengths. *)
+
+val box : dim:int -> lo:float -> hi:float -> bounds
+(** Uniform bounds. *)
+
+val unbounded : dim:int -> bounds
+(** [(-inf, +inf)] in every coordinate. *)
+
+val project : bounds -> float array -> unit
+(** Clips the vector onto the box in place. *)
+
+type objective = float array -> float * float array
+(** Returns the value and a freshly allocated gradient. *)
+
+type t = { dim : int; bnds : bounds; objective : objective }
+
+val make : bounds:bounds -> objective:objective -> t
+
+type constraint_kind =
+  | Eq  (** [c(x) = 0] *)
+  | Le  (** [c(x) <= 0] *)
+
+type constr = { kind : constraint_kind; cname : string; eval : objective }
+
+type constrained = { base : t; constraints : constr array }
+
+val constrain : t -> constr list -> constrained
+
+val eq : ?name:string -> objective -> constr
+val le : ?name:string -> objective -> constr
+
+val max_violation : constrained -> float array -> float
+(** Largest constraint violation at [x] ([|c|] for equalities,
+    [max 0 c] for inequalities). *)

@@ -1,0 +1,35 @@
+(** Deterministic greedy gate sizing (TILOS-style) — the classical
+    baseline the statistical method is compared against.
+
+    The paper's novelty is sizing under a {e statistical} delay model;
+    contemporary sizers (and today's open-source ones) are deterministic.
+    This module implements the classic sensitivity-driven greedy loop over
+    the worst-case {!Sta.Dsta} delay: repeatedly bump the speed factor of
+    the critical-path gate with the best delay-reduction-per-area ratio.
+    Comparing its results with the statistical engine quantifies what the
+    statistical objectives buy (sigma control, yield). *)
+
+type options = {
+  bump : float;  (** multiplicative size increase per move, default 1.15 *)
+  max_moves : int;  (** default 100_000 *)
+}
+
+val default_options : options
+
+type result = {
+  sizes : float array;
+  delay : float;  (** deterministic worst-case circuit delay *)
+  area : float;
+  moves : int;
+  met : bool;  (** whether the deadline (if any) was met *)
+}
+
+val minimize_delay :
+  ?options:options -> Circuit.Netlist.t -> result
+(** Greedy minimisation of the worst-case delay: keeps taking the best
+    sensitivity move while it improves the circuit delay. *)
+
+val meet_deadline :
+  ?options:options -> Circuit.Netlist.t -> deadline:float -> result
+(** Greedy area-lean sizing until the worst-case delay meets [deadline]
+    (or no move helps; check [met]). *)

@@ -1,0 +1,253 @@
+open Circuit
+open Statdelay
+
+type options = {
+  solver : Nlp.Auglag.options;
+  start : [ `Low | `Mid | `High | `Given of float array ];
+  restarts : int;
+  restart_seed : int;
+}
+
+(* Sizing-tuned solver defaults: speed factors live in [1, limit] and the
+   reports carry 2-3 decimals, so a 1e-5 projected-gradient tolerance and a
+   1e-8 stagnation threshold stop the flat-valley crawl of large min-delay
+   problems without affecting the reported digits. *)
+let default_options =
+  {
+    solver =
+      {
+        Nlp.Auglag.default_options with
+        Nlp.Auglag.inner =
+          {
+            Nlp.Lbfgs.default_options with
+            Nlp.Lbfgs.tolerance = 1e-5;
+            Nlp.Lbfgs.f_tolerance = 1e-8;
+            Nlp.Lbfgs.max_iterations = 1000;
+          };
+      };
+    start = `Mid;
+    restarts = 0;
+    restart_seed = 99;
+  }
+
+type solution = {
+  objective : Objective.t;
+  sizes : float array;
+  timing : Sta.Ssta.result;
+  mu : float;
+  sigma : float;
+  area : float;
+  wall_time : float;
+  evaluations : int;
+  iterations : int;
+  max_violation : float;
+  converged : bool;
+}
+
+let evaluate ~model net ~sizes =
+  let res = Sta.Ssta.analyze ~model net ~sizes in
+  (res, Netlist.area net ~sizes)
+
+(* The reverse sweep is linear in its seed, so the gradient for any
+   functional f(mu, var) is df/dmu * grad_mu + df/dvar * grad_var.  One
+   cache entry holds the forward result and both basis gradients for the
+   most recent point, so objective and constraint closures evaluated at
+   the same iterate share the timing analysis. *)
+type cache_entry = {
+  cx : float array;
+  res : Sta.Ssta.result;
+  grad_mu : float array;
+  grad_var : float array;
+}
+
+let make_cache ~model net =
+  let cache : cache_entry option ref = ref None in
+  fun x ->
+    match !cache with
+    | Some e when Array.for_all2 (fun a b -> a = b) e.cx x -> e
+    | _ ->
+        let res, grad_mu =
+          Sta.Ssta.value_and_gradient ~model net ~sizes:x ~seed:(fun _ ->
+              { Sta.Ssta.d_mu = 1.; d_var = 0. })
+        in
+        let grad_var =
+          Sta.Ssta.gradient ~model net ~sizes:x ~seed:(fun _ ->
+              { Sta.Ssta.d_mu = 0.; d_var = 1. })
+        in
+        let e = { cx = Array.copy x; res; grad_mu; grad_var } in
+        cache := Some e;
+        e
+
+(* grad (mu + k*sigma) from the basis gradients. *)
+let combine ~k entry =
+  let var = Normal.var entry.res.Sta.Ssta.circuit in
+  let dvar = if k = 0. || var <= 0. then 0. else k /. (2. *. sqrt var) in
+  Array.init (Array.length entry.grad_mu) (fun i ->
+      entry.grad_mu.(i) +. (dvar *. entry.grad_var.(i)))
+
+let sigma_gradient entry =
+  let var = Normal.var entry.res.Sta.Ssta.circuit in
+  let dvar = if var <= 0. then 0. else 1. /. (2. *. sqrt var) in
+  Array.map (fun g -> dvar *. g) entry.grad_var
+
+let area_objective net x =
+  let grad = Array.map (fun (g : Netlist.gate) -> g.Netlist.cell.Cell.area) (Netlist.gates net) in
+  (Netlist.area net ~sizes:x, grad)
+
+let build_problem ~model net objective =
+  let bounds =
+    Nlp.Problem.bounds ~lower:(Netlist.min_sizes net) ~upper:(Netlist.max_sizes net)
+  in
+  let lookup = make_cache ~model net in
+  let mu_of e = Normal.mu e.res.Sta.Ssta.circuit in
+  let sigma_of e = Normal.sigma e.res.Sta.Ssta.circuit in
+  match objective with
+  | Objective.Min_area ->
+      Nlp.Problem.constrain
+        (Nlp.Problem.make ~bounds ~objective:(area_objective net))
+        []
+  | Objective.Min_delay k ->
+      let f x =
+        let e = lookup x in
+        (mu_of e +. (k *. sigma_of e), combine ~k e)
+      in
+      Nlp.Problem.constrain (Nlp.Problem.make ~bounds ~objective:f) []
+  | Objective.Min_area_bounded { k; bound } | Objective.Min_weighted { k; bound; _ }
+    ->
+      if bound <= 0. then invalid_arg "Engine: delay bound must be positive";
+      let objective_fn =
+        match objective with
+        | Objective.Min_weighted { weights; _ } ->
+            if Array.length weights <> Netlist.n_gates net then
+              invalid_arg "Engine: weight vector dimension mismatch";
+            fun x ->
+              let acc = ref 0. in
+              Array.iteri (fun i w -> acc := !acc +. (w *. x.(i))) weights;
+              (!acc, Array.copy weights)
+        | _ -> area_objective net
+      in
+      let c x =
+        let e = lookup x in
+        let g = combine ~k e in
+        ( ((mu_of e +. (k *. sigma_of e)) /. bound) -. 1.,
+          Array.map (fun gi -> gi /. bound) g )
+      in
+      Nlp.Problem.constrain
+        (Nlp.Problem.make ~bounds ~objective:objective_fn)
+        [ Nlp.Problem.le ~name:"delay" c ]
+  | Objective.Min_sigma { mu } | Objective.Max_sigma { mu } ->
+      if mu <= 0. then invalid_arg "Engine: target mean delay must be positive";
+      let sign = match objective with Objective.Max_sigma _ -> -1. | _ -> 1. in
+      let f x =
+        let e = lookup x in
+        (sign *. sigma_of e, Array.map (fun g -> sign *. g) (sigma_gradient e))
+      in
+      let c x =
+        let e = lookup x in
+        ((mu_of e /. mu) -. 1., Array.map (fun g -> g /. mu) e.grad_mu)
+      in
+      Nlp.Problem.constrain
+        (Nlp.Problem.make ~bounds ~objective:f)
+        [ Nlp.Problem.eq ~name:"mu" c ]
+
+let start_point ~options net =
+  let lo = Netlist.min_sizes net and hi = Netlist.max_sizes net in
+  match options.start with
+  | `Low -> lo
+  | `High -> hi
+  | `Mid -> Array.init (Netlist.n_gates net) (fun i -> 0.5 *. (lo.(i) +. hi.(i)))
+  | `Given x ->
+      Netlist.check_sizes net x;
+      Array.copy x
+
+let trivial_solution ~model net objective sizes started =
+  let timing, area = evaluate ~model net ~sizes in
+  {
+    objective;
+    sizes;
+    timing;
+    mu = Normal.mu timing.Sta.Ssta.circuit;
+    sigma = Normal.sigma timing.Sta.Ssta.circuit;
+    area;
+    wall_time = Sys.time () -. started;
+    evaluations = 1;
+    iterations = 0;
+    max_violation = 0.;
+    converged = true;
+  }
+
+let rec solve ?(options = default_options) ~model net objective =
+  let started = Sys.time () in
+  match objective with
+  | Objective.Min_area ->
+      (* Every speed factor at its lower bound is optimal: area is strictly
+         increasing in every size and there is no delay constraint. *)
+      trivial_solution ~model net objective (Netlist.min_sizes net) started
+  | (Objective.Min_sigma { mu } | Objective.Max_sigma { mu })
+    when (match options.start with `Given _ -> false | `Low | `Mid | `High -> true) ->
+      if mu <= 0. then invalid_arg "Engine: target mean delay must be positive";
+      (* The fixed-mean equality constraint fights the sigma objective when
+         started far from the feasible manifold (the sigma gradient moves
+         the mean away faster than the multipliers pull it back).  Warm
+         start from a feasible point: the area-optimal sizing whose delay
+         constraint is active at the target mean. *)
+      let warm =
+        solve ~options:{ options with restarts = 0 } ~model net
+          (Objective.Min_area_bounded { k = 0.; bound = mu })
+      in
+      (* A stiff initial penalty keeps the sigma objective from dragging
+         the iterate off the feasible manifold and into the box-vertex
+         attractors of this nonconvex landscape. *)
+      let solver =
+        {
+          options.solver with
+          Nlp.Auglag.initial_penalty = max 100. options.solver.Nlp.Auglag.initial_penalty;
+        }
+      in
+      let inner =
+        solve
+          ~options:{ options with start = `Given warm.sizes; solver }
+          ~model net objective
+      in
+      { inner with wall_time = Sys.time () -. started }
+  | _ ->
+      let problem = build_problem ~model net objective in
+      let solve_from x0 = Nlp.Auglag.solve ~options:options.solver problem ~x0 in
+      let first = solve_from (start_point ~options net) in
+      let better (a : Nlp.Auglag.report) (b : Nlp.Auglag.report) =
+        match (a.Nlp.Auglag.converged, b.Nlp.Auglag.converged) with
+        | true, false -> a
+        | false, true -> b
+        | _ -> if a.Nlp.Auglag.f <= b.Nlp.Auglag.f then a else b
+      in
+      let report =
+        if options.restarts <= 0 then first
+        else begin
+          let rng = Util.Rng.create options.restart_seed in
+          let lo = Netlist.min_sizes net and hi = Netlist.max_sizes net in
+          let best = ref first in
+          for _ = 1 to options.restarts do
+            let x0 =
+              Array.init (Netlist.n_gates net) (fun i ->
+                  Util.Rng.uniform rng ~lo:lo.(i) ~hi:hi.(i))
+            in
+            best := better !best (solve_from x0)
+          done;
+          !best
+        end
+      in
+      let sizes = report.Nlp.Auglag.x in
+      let timing, area = evaluate ~model net ~sizes in
+      {
+        objective;
+        sizes;
+        timing;
+        mu = Normal.mu timing.Sta.Ssta.circuit;
+        sigma = Normal.sigma timing.Sta.Ssta.circuit;
+        area;
+        wall_time = Sys.time () -. started;
+        evaluations = report.Nlp.Auglag.evaluations;
+        iterations = report.Nlp.Auglag.inner_iterations;
+        max_violation = report.Nlp.Auglag.max_violation;
+        converged = report.Nlp.Auglag.converged;
+      }

@@ -1,0 +1,52 @@
+(** Reduced-space statistical gate sizing.
+
+    This engine solves the paper's sizing problems with the speed factors
+    {m S} as the only decision variables: the auxiliary timing quantities
+    of equation 17 ({m \mu_t, \sigma_t^2, \mu_T, \sigma_T^2, \ldots}) are
+    eliminated by the forward SSTA propagation, and their contribution to
+    the derivatives is recovered by the adjoint sweep of {!Sta.Ssta}.
+    Mathematically this optimises over exactly the feasible manifold of
+    the paper's equality constraints, so the two formulations have the
+    same minimisers (the tests cross-check this against
+    {!Formulate}). *)
+
+type options = {
+  solver : Nlp.Auglag.options;
+  start : [ `Low | `Mid | `High | `Given of float array ];
+      (** initial speed factors: all-1, mid-box, all-max, or explicit *)
+  restarts : int;
+      (** additional multi-start attempts from perturbed starting points;
+          best result wins.  0 (default) disables. *)
+  restart_seed : int;
+}
+
+val default_options : options
+
+type solution = {
+  objective : Objective.t;
+  sizes : float array;
+  timing : Sta.Ssta.result;
+  mu : float;  (** {m \mu_{T_{max}}} at the solution *)
+  sigma : float;  (** {m \sigma_{T_{max}}} at the solution *)
+  area : float;  (** {m \sum_i area_i S_i} *)
+  wall_time : float;  (** seconds spent in [solve] *)
+  evaluations : int;  (** objective/constraint evaluations *)
+  iterations : int;  (** inner solver iterations *)
+  max_violation : float;  (** residual constraint violation *)
+  converged : bool;
+}
+
+val solve :
+  ?options:options ->
+  model:Circuit.Sigma_model.t ->
+  Circuit.Netlist.t ->
+  Objective.t ->
+  solution
+
+val evaluate :
+  model:Circuit.Sigma_model.t ->
+  Circuit.Netlist.t ->
+  sizes:float array ->
+  Sta.Ssta.result * float
+(** Forward timing and area of a given sizing — used to report rows for
+    fixed (e.g. all-min) sizings. *)

@@ -1,0 +1,72 @@
+(** The paper's full gate-sizing NLP (equation 17 / worked example eq. 18).
+
+    Unlike the reduced-space {!Engine}, this module materialises the
+    formulation exactly as the paper hands it to LANCELOT: one variable
+    per speed factor {e and} per auxiliary timing quantity
+    ({m \mu_{t}, \sigma_t^2, \mu_T, \sigma_T^2} per gate, plus one
+    {m (\mu, \sigma^2)} pair per intermediate two-operand max), tied
+    together with equality constraints:
+
+    - the linearised delay equation
+      {m \mu_t S = t_{int} S + c (C_{load} + \sum C_{in} S_i)} (eq. 15 —
+      the multiplication through by {m S_{cell}} that the paper performs
+      to keep more constraint terms linear),
+    - the sigma model {m \sigma_t^2 = f(\mu_t)^2} (eq. 16),
+    - the stochastic addition {m \mu_T = \mu_U + \mu_t},
+      {m \sigma_T^2 = \sigma_U^2 + \sigma_t^2} (eq. 4),
+    - one pair of constraints per two-operand max,
+      {m \mu = \max_\mu(\cdot)}, {m \sigma^2 = \max_{\sigma^2}(\cdot)},
+      with analytic Jacobians from {!Statdelay.Clark.max2_full}.
+
+    Variances (never standard deviations) are the variables, as the paper
+    recommends.  Maxima whose operands are all primary-input constants are
+    folded at build time.
+
+    This formulation is intended for small circuits (the worked example
+    and the tree benchmark); the test-suite verifies it agrees with the
+    reduced engine. *)
+
+type t
+
+val build :
+  ?pi_arrival:(int -> Statdelay.Normal.t) ->
+  ?linearized:bool ->
+  model:Circuit.Sigma_model.t ->
+  Circuit.Netlist.t ->
+  Objective.t ->
+  t
+(** Compiles the formulation.  [Objective.Min_area] (no delay constraint)
+    is rejected with [Invalid_argument] — it needs no NLP.
+
+    [linearized] (default [true]) selects the gate-delay constraint form:
+    the paper's eq. 15 ({m \mu_t S = t_{int} S + c(\ldots)}, mostly linear
+    terms) versus the raw eq. 14 with the {m 1/S} nonlinearity.  The
+    feasible set is identical; the paper multiplies through by {m S} for
+    solver efficiency, and the A-FORM ablation measures that choice. *)
+
+val n_variables : t -> int
+val n_constraints : t -> int
+
+val problem : t -> Nlp.Problem.constrained
+(** The underlying NLP (for inspection or custom solving). *)
+
+val initial_point : t -> [ `Low | `Mid | `High ] -> float array
+(** A point whose auxiliary variables are made consistent with the chosen
+    speed factors by a forward SSTA pass — i.e. feasible for everything
+    except (possibly) the delay constraint. *)
+
+val sizes_of : t -> float array -> float array
+(** Extracts the speed factors from a full variable vector. *)
+
+val default_solver_options : Nlp.Auglag.options
+(** {!Nlp.Auglag.default_options} with a larger inner iteration budget —
+    the auxiliary-variable NLP is bigger and worse conditioned than the
+    reduced problem. *)
+
+val solve :
+  ?solver:Nlp.Auglag.options ->
+  ?start:[ `Low | `Mid | `High ] ->
+  t ->
+  Engine.solution
+(** Solves with the augmented-Lagrangian solver and re-evaluates the
+    timing of the extracted sizes with the forward SSTA. *)

@@ -1,0 +1,24 @@
+type t =
+  | Min_area
+  | Min_delay of float
+  | Min_area_bounded of { k : float; bound : float }
+  | Min_sigma of { mu : float }
+  | Max_sigma of { mu : float }
+  | Min_weighted of { label : string; weights : float array; k : float; bound : float }
+
+let metric_name k =
+  if k = 0. then "mu"
+  else if k = 1. then "mu+sigma"
+  else Printf.sprintf "mu+%gsigma" k
+
+let describe = function
+  | Min_area -> "min area"
+  | Min_delay k -> Printf.sprintf "min %s" (metric_name k)
+  | Min_area_bounded { k; bound } ->
+      Printf.sprintf "min area s.t. %s <= %g" (metric_name k) bound
+  | Min_sigma { mu } -> Printf.sprintf "min sigma s.t. mu = %g" mu
+  | Max_sigma { mu } -> Printf.sprintf "max sigma s.t. mu = %g" mu
+  | Min_weighted { label; k; bound; _ } ->
+      Printf.sprintf "min %s s.t. %s <= %g" label (metric_name k) bound
+
+let pp ppf t = Format.pp_print_string ppf (describe t)

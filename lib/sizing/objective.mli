@@ -1,0 +1,37 @@
+(** Sizing objectives and constraints (paper Section 4 and Tables 1–2).
+
+    All delay quantities refer to the circuit-level distribution
+    {m T_{max}} (the stochastic max over the primary outputs); [k] selects
+    the guard-band {m \mu + k\sigma}.  The paper's experiments instantiate:
+
+    - [Min_area] with no delay bound — every speed factor at its lower
+      bound (the {m \sum S_i} row of Table 1),
+    - [Min_delay k] for {m k \in \{0, 1, 3\}},
+    - [Min_area_bounded] for the area-minimisation rows with
+      {m \mu + k\sigma \le D},
+    - [Min_sigma]/[Max_sigma] at fixed mean delay for Table 2/3. *)
+
+type t =
+  | Min_area  (** minimise {m \sum_i area_i S_i}; trivially all-min sizes *)
+  | Min_delay of float  (** [Min_delay k] minimises {m \mu + k\sigma} *)
+  | Min_area_bounded of { k : float; bound : float }
+      (** minimise area subject to {m \mu + k\sigma \le bound} *)
+  | Min_sigma of { mu : float }
+      (** minimise {m \sigma_{T_{max}}} subject to {m \mu_{T_{max}} = mu} *)
+  | Max_sigma of { mu : float }
+      (** maximise {m \sigma_{T_{max}}} subject to {m \mu_{T_{max}} = mu} *)
+  | Min_weighted of { label : string; weights : float array; k : float; bound : float }
+      (** minimise {m \sum_i w_i S_i} subject to {m \mu + k\sigma \le bound}
+          — the paper's "weighted sum of sizing factors" objective.  With
+          weights from {!Circuit.Activity.power_weights} this minimises
+          dynamic power; [label] names the metric in reports (e.g.
+          ["power"]). *)
+
+val metric_name : float -> string
+(** ["mu"], ["mu+sigma"], ["mu+3sigma"], … for a guard-band factor [k]. *)
+
+val describe : t -> string
+(** Human-readable form close to the paper's table rows, e.g.
+    ["min mu+3sigma"] or ["min area s.t. mu+sigma <= 120"]. *)
+
+val pp : Format.formatter -> t -> unit

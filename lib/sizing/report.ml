@@ -1,0 +1,55 @@
+open Util
+
+let cpu_string seconds =
+  if seconds >= 60. then
+    let minutes = int_of_float (seconds /. 60.) in
+    Printf.sprintf "%d m %.1f s" minutes (seconds -. (60. *. float_of_int minutes))
+  else Printf.sprintf "%.1f s" seconds
+
+let split_objective (o : Objective.t) =
+  match o with
+  | Objective.Min_area -> ("sum S_i", "")
+  | Objective.Min_delay k -> (Printf.sprintf "min %s" (Objective.metric_name k), "")
+  | Objective.Min_area_bounded { k; bound } ->
+      ("sum S_i", Printf.sprintf "%s <= %g" (Objective.metric_name k) bound)
+  | Objective.Min_sigma { mu } -> ("min sigma", Printf.sprintf "mu = %g" mu)
+  | Objective.Max_sigma { mu } -> ("max sigma", Printf.sprintf "mu = %g" mu)
+  | Objective.Min_weighted { label; k; bound; _ } ->
+      ("min " ^ label, Printf.sprintf "%s <= %g" (Objective.metric_name k) bound)
+
+let row (s : Engine.solution) =
+  let minimize, constr = split_objective s.Engine.objective in
+  [
+    minimize;
+    constr;
+    Table.fmt_float ~decimals:2 s.Engine.mu;
+    Table.fmt_float ~decimals:3 s.Engine.sigma;
+    Table.fmt_float ~decimals:0 s.Engine.area;
+    cpu_string s.Engine.wall_time;
+  ]
+
+let header = [ "minimize"; "constraint"; "muTmax"; "sigmaTmax"; "sum S_i"; "CPU" ]
+
+let table ~name solutions =
+  let t = Table.create ~header:("name" :: header) in
+  for i = 0 to 6 do
+    Table.set_align t i (if i <= 2 then Table.Left else Table.Right)
+  done;
+  List.iteri
+    (fun i s -> Table.add_row t ((if i = 0 then name else "") :: row s))
+    solutions;
+  t
+
+let speed_factors net (s : Engine.solution) =
+  Array.to_list
+    (Array.map
+       (fun (g : Circuit.Netlist.gate) ->
+         (g.Circuit.Netlist.gate_name, s.Engine.sizes.(g.Circuit.Netlist.id)))
+       (Circuit.Netlist.gates net))
+
+let pp_solution ppf (s : Engine.solution) =
+  Format.fprintf ppf "%s: mu=%.3f sigma=%.4f area=%.1f%s (%s)"
+    (Objective.describe s.Engine.objective)
+    s.Engine.mu s.Engine.sigma s.Engine.area
+    (if s.Engine.converged then "" else " [NOT CONVERGED]")
+    (cpu_string s.Engine.wall_time)

@@ -1,0 +1,25 @@
+(** Formatting of sizing results in the paper's table style. *)
+
+val split_objective : Objective.t -> string * string
+(** [(minimize, constraint)] column cells in the paper's notation. *)
+
+val row : Engine.solution -> string list
+(** [objective; constraint; mu; sigma; area; cpu] cells for a Table-1-style
+    row. *)
+
+val header : string list
+(** Matching header: name, minimize, constraint, muTmax, sigmaTmax,
+    sum-S, CPU. *)
+
+val table : name:string -> Engine.solution list -> Util.Table.t
+(** A Table-1-style block for one circuit. *)
+
+val speed_factors : Circuit.Netlist.t -> Engine.solution -> (string * float) list
+(** Gate-name/speed-factor pairs (Table 3 style), in gate order. *)
+
+val cpu_string : float -> string
+(** Seconds rendered like the paper's CPU column (["41 m 13.5 s"] or
+    ["18.5 s"]). *)
+
+val pp_solution : Format.formatter -> Engine.solution -> unit
+(** One-line summary. *)

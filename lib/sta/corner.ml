@@ -1,0 +1,36 @@
+open Statdelay
+
+type corners = { best : float; typical : float; worst : float }
+
+let analyze ?(k = 3.) ~model net ~sizes =
+  let dists = (Ssta.analyze ~model net ~sizes).Ssta.gate_delay in
+  let at f =
+    let gate_delay = Array.map f dists in
+    (Dsta.analyze_with_delays net ~gate_delay).Dsta.circuit
+  in
+  {
+    best = at (fun d -> max 0. (Normal.mu d -. (k *. Normal.sigma d)));
+    typical = at Normal.mu;
+    worst = at (fun d -> Normal.mu d +. (k *. Normal.sigma d));
+  }
+
+type pessimism = {
+  corners : corners;
+  statistical : float;
+  monte_carlo_quantile : float;
+  overestimate : float;
+}
+
+let pessimism ?rng ?(k = 3.) ?(samples = 20_000) ~model net ~sizes =
+  let corners = analyze ~k ~model net ~sizes in
+  let circuit = (Ssta.analyze ~model net ~sizes).Ssta.circuit in
+  let statistical = Normal.mu_plus_k_sigma circuit k in
+  let draws = Yield.sample_circuit_delays ?rng ~model net ~sizes ~n:samples in
+  let q = Util.Special.normal_cdf k in
+  let monte_carlo_quantile = Util.Stats.quantile draws q in
+  {
+    corners;
+    statistical;
+    monte_carlo_quantile;
+    overestimate = corners.worst /. monte_carlo_quantile;
+  }

@@ -1,0 +1,47 @@
+(** Traditional corner (best / typical / worst case) timing analysis.
+
+    The paper's introduction motivates statistical analysis by noting that
+    "the traditional best case / typical / worst case delay analysis ...
+    is known to give very pessimistic estimates in many cases": setting
+    {e every} gate simultaneously to its worst-case delay ignores that the
+    slowest paths would all have to be unlucky at once.  This module
+    implements that traditional analysis so the pessimism can be measured
+    (experiment F-CORNER): the worst corner at {m \mu + k\sigma} per gate
+    exceeds the statistical {m \mu + k\sigma_{T_{max}}} of the circuit —
+    and the true Monte Carlo quantile — by a margin that grows with
+    circuit depth. *)
+
+type corners = {
+  best : float;  (** every gate at {m \mu_t - k\sigma_t} *)
+  typical : float;  (** every gate at {m \mu_t} *)
+  worst : float;  (** every gate at {m \mu_t + k\sigma_t} *)
+}
+
+val analyze :
+  ?k:float ->
+  model:Circuit.Sigma_model.t ->
+  Circuit.Netlist.t ->
+  sizes:float array ->
+  corners
+(** Corner delays with guard band [k] (default [3.]).  Best-corner delays
+    are floored at [0.]. *)
+
+type pessimism = {
+  corners : corners;
+  statistical : float;  (** the statistical {m \mu + k\sigma_{T_{max}}} *)
+  monte_carlo_quantile : float;
+      (** the empirical {m \Phi(k)}-quantile of the sampled circuit delay *)
+  overestimate : float;
+      (** [worst / monte_carlo_quantile] — the pessimism factor *)
+}
+
+val pessimism :
+  ?rng:Util.Rng.t ->
+  ?k:float ->
+  ?samples:int ->
+  model:Circuit.Sigma_model.t ->
+  Circuit.Netlist.t ->
+  sizes:float array ->
+  pessimism
+(** Quantifies the worst-corner overestimate against the statistical
+    analysis and ground-truth Monte Carlo (default 20_000 samples). *)

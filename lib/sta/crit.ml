@@ -1,0 +1,68 @@
+open Circuit
+
+type result = { criticality : float array; samples : int }
+
+(* Trace one critical path for externally supplied per-gate delays: start
+   from the latest primary output and repeatedly follow the fanin whose
+   arrival equals the gate's start time. *)
+let trace net arrival gate_delay mark =
+  let node_arrival = function
+    | Netlist.Pi _ -> 0.
+    | Netlist.Gate g -> arrival.(g)
+  in
+  let last =
+    Array.fold_left
+      (fun acc po ->
+        match (acc, po) with
+        | None, Netlist.Gate g -> Some g
+        | Some best, Netlist.Gate g -> if arrival.(g) > arrival.(best) then Some g else acc
+        | _, Netlist.Pi _ -> acc)
+      None (Netlist.pos net)
+  in
+  let rec walk g =
+    mark g;
+    let gate = Netlist.gate net g in
+    let start = arrival.(g) -. gate_delay.(g) in
+    let pred =
+      Array.fold_left
+        (fun acc fan ->
+          match (acc, fan) with
+          | None, Netlist.Gate src when abs_float (node_arrival fan -. start) < 1e-9 ->
+              Some src
+          | _, (Netlist.Gate _ | Netlist.Pi _) -> acc)
+        None gate.Netlist.fanin
+    in
+    match pred with None -> () | Some src -> walk src
+  in
+  match last with None -> () | Some g -> walk g
+
+let monte_carlo ?rng ~model net ~sizes ~n =
+  if n <= 0 then invalid_arg "Crit.monte_carlo: n must be positive";
+  let rng = match rng with Some r -> r | None -> Util.Rng.create 23 in
+  let dists = (Ssta.analyze ~model net ~sizes).Ssta.gate_delay in
+  let n_gates = Netlist.n_gates net in
+  let counts = Array.make n_gates 0 in
+  let gate_delay = Array.make n_gates 0. in
+  for _ = 1 to n do
+    for g = 0 to n_gates - 1 do
+      let d = dists.(g) in
+      gate_delay.(g) <-
+        Util.Rng.gaussian rng ~mu:(Statdelay.Normal.mu d)
+          ~sigma:(Statdelay.Normal.sigma d)
+    done;
+    let r = Dsta.analyze_with_delays net ~gate_delay in
+    trace net r.Dsta.arrival gate_delay (fun g -> counts.(g) <- counts.(g) + 1)
+  done;
+  {
+    criticality = Array.map (fun c -> float_of_int c /. float_of_int n) counts;
+    samples = n;
+  }
+
+let ranked result net =
+  let pairs =
+    Array.to_list
+      (Array.mapi
+         (fun g c -> ((Netlist.gate net g).Netlist.gate_name, c))
+         result.criticality)
+  in
+  List.sort (fun (_, a) (_, b) -> compare b a) pairs

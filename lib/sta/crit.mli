@@ -1,0 +1,32 @@
+(** Statistical criticality analysis.
+
+    Under a deterministic delay model the critical path is a single path;
+    under the paper's statistical model {e every} path has some
+    probability of being the slowest one.  A gate's {e criticality} is
+    the probability that it lies on the critical path of a manufactured
+    circuit — the quantity a statistical sizer is implicitly spreading
+    effort across (visible in Table 3: [min sigma] pushes the
+    always-critical output gates much harder than the
+    sometimes-critical inputs).
+
+    Criticalities are estimated by Monte Carlo: each sample draws every
+    gate delay, retimes the circuit deterministically, traces the critical
+    path, and counts the gates on it.  Statistical tie-breaking makes this
+    well-defined even on perfectly balanced circuits. *)
+
+type result = {
+  criticality : float array;
+      (** per gate: fraction of samples whose critical path contains it *)
+  samples : int;
+}
+
+val monte_carlo :
+  ?rng:Util.Rng.t ->
+  model:Circuit.Sigma_model.t ->
+  Circuit.Netlist.t ->
+  sizes:float array ->
+  n:int ->
+  result
+
+val ranked : result -> Circuit.Netlist.t -> (string * float) list
+(** Gate name / criticality pairs, most critical first. *)

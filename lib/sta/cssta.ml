@@ -1,0 +1,77 @@
+open Circuit
+open Statdelay
+
+type result = {
+  arrival : Normal.t array;
+  gate_delay : Normal.t array;
+  circuit : Normal.t;
+  correlation : float array array;
+}
+
+let clip r = Util.Numerics.clamp ~lo:(-1.) ~hi:1. r
+
+let analyze ?(pi_arrival = fun _ -> Normal.deterministic 0.) ~model net ~sizes =
+  Netlist.check_sizes net sizes;
+  let n = Netlist.n_gates net in
+  let arrival = Array.make n (Normal.deterministic 0.) in
+  let gate_delay = Array.make n (Normal.deterministic 0.) in
+  let correlation = Array.make_matrix n n 0. in
+  (* Distribution and correlation row (to all gate arrivals) of a node. *)
+  let node_dist = function
+    | Netlist.Pi i -> pi_arrival i
+    | Netlist.Gate h -> arrival.(h)
+  in
+  let node_corr node k =
+    match node with Netlist.Pi _ -> 0. | Netlist.Gate h -> correlation.(h).(k)
+  in
+  let node_self_corr a node =
+    (* correlation between the running max [a] (with correlation row [r])
+       and the operand node *)
+    match node with Netlist.Pi _ -> 0. | Netlist.Gate h -> a.(h)
+  in
+  (* Fold the correlated max over a node array; returns the distribution
+     and its correlation row. *)
+  let fold_max nodes =
+    let first = nodes.(0) in
+    let dist = ref (node_dist first) in
+    let r = Array.init n (fun k -> node_corr first k) in
+    for i = 1 to Array.length nodes - 1 do
+      let node = nodes.(i) in
+      let x = node_dist node in
+      let rho = node_self_corr r node in
+      let wa, wb, c = Correlation.blend_weights !dist x ~rho in
+      for k = 0 to n - 1 do
+        r.(k) <- clip ((wa *. r.(k)) +. (wb *. node_corr node k))
+      done;
+      dist := c
+    done;
+    (!dist, r)
+  in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let id = g.Netlist.id in
+      let load = Netlist.load net ~sizes id in
+      let mu_t = Cell.delay g.Netlist.cell ~size:sizes.(id) ~load in
+      let t = Normal.of_var ~mu:mu_t ~var:(Sigma_model.var model mu_t) in
+      gate_delay.(id) <- t;
+      let u, r_u = fold_max g.Netlist.fanin in
+      let arr = Normal.add u t in
+      arrival.(id) <- arr;
+      (* The gate delay is independent of every arrival, so correlations
+         scale by sigma_U / sigma_T. *)
+      let sigma_u = Normal.sigma u and sigma_t = Normal.sigma arr in
+      let scale = if sigma_t > 0. then sigma_u /. sigma_t else 0. in
+      for k = 0 to id - 1 do
+        let v = clip (r_u.(k) *. scale) in
+        correlation.(id).(k) <- v;
+        correlation.(k).(id) <- v
+      done;
+      correlation.(id).(id) <- (if Normal.var arr > 0. then 1. else 0.))
+    (Netlist.gates net);
+  let circuit, _ = fold_max (Netlist.pos net) in
+  { arrival; gate_delay; circuit; correlation }
+
+let compare_to_independent ~model net ~sizes =
+  let independent = (Ssta.analyze ~model net ~sizes).Ssta.circuit in
+  let correlated = (analyze ~model net ~sizes).circuit in
+  (independent, correlated)

@@ -1,0 +1,52 @@
+(** Correlation-aware statistical static timing analysis.
+
+    Implements the paper's first declared piece of future work (Section
+    7): handling the correlation between arrival times that reconvergent
+    fanout creates.  The plain {!Ssta} assumes every max has independent
+    operands (paper eq. 6); on circuits whose near-critical paths share
+    gates this overestimates the mean slightly and can underestimate the
+    standard deviation substantially (quantified by the F-MC bench).
+
+    This analysis propagates, alongside each arrival distribution, its
+    correlation coefficient with every other gate's arrival, using Clark's
+    correlated-max formulas ({!Statdelay.Correlation}):
+
+    - gate delays are independent of everything, so an addition scales the
+      correlation by {m \sigma_U / \sigma_T};
+    - a two-operand max with operand correlation {m \rho} (read from the
+      matrix) produces moments via the correlated Clark max and
+      correlations to third variables via the cross-correlation rule.
+
+    Cost: O(gates) memory per node — an n x n correlation matrix — and
+    O(edges x gates) time; fine for the paper's circuit sizes (a few
+    thousand gates), not for millions.  Analysis only (no gradients): the
+    sizing engine keeps the paper's independence assumption, as the paper
+    does. *)
+
+open Statdelay
+
+type result = {
+  arrival : Normal.t array;  (** arrival distribution per gate *)
+  gate_delay : Normal.t array;
+  circuit : Normal.t;  (** correlation-aware max over the primary outputs *)
+  correlation : float array array;
+      (** [correlation.(i).(j)] = estimated correlation of the arrival
+          times of gates [i] and [j]; diagonal 1 for gates with positive
+          arrival variance, 0 rows/columns for degenerate ones *)
+}
+
+val analyze :
+  ?pi_arrival:(int -> Normal.t) ->
+  model:Circuit.Sigma_model.t ->
+  Circuit.Netlist.t ->
+  sizes:float array ->
+  result
+(** Forward correlation-aware statistical timing. *)
+
+val compare_to_independent :
+  model:Circuit.Sigma_model.t ->
+  Circuit.Netlist.t ->
+  sizes:float array ->
+  Normal.t * Normal.t
+(** [(independent, correlated)] circuit distributions from {!Ssta} and
+    this module, for side-by-side reporting. *)

@@ -1,0 +1,101 @@
+open Circuit
+
+type result = {
+  arrival : float array;
+  gate_delay : float array;
+  circuit : float;
+}
+
+let delays net ~sizes =
+  Netlist.check_sizes net sizes;
+  Array.map
+    (fun (g : Netlist.gate) ->
+      let load = Netlist.load net ~sizes g.Netlist.id in
+      Cell.delay g.Netlist.cell ~size:sizes.(g.Netlist.id) ~load)
+    (Netlist.gates net)
+
+let analyze_with_delays ?(pi_arrival = fun _ -> 0.) net ~gate_delay =
+  let n = Netlist.n_gates net in
+  if Array.length gate_delay <> n then
+    invalid_arg "Dsta.analyze_with_delays: dimension mismatch";
+  let arrival = Array.make n 0. in
+  let node_arrival = function
+    | Netlist.Pi i -> pi_arrival i
+    | Netlist.Gate g -> arrival.(g)
+  in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let u =
+        Array.fold_left
+          (fun acc fan -> max acc (node_arrival fan))
+          neg_infinity g.Netlist.fanin
+      in
+      arrival.(g.Netlist.id) <- u +. gate_delay.(g.Netlist.id))
+    (Netlist.gates net);
+  let circuit =
+    Array.fold_left
+      (fun acc po -> max acc (node_arrival po))
+      neg_infinity (Netlist.pos net)
+  in
+  { arrival; gate_delay; circuit }
+
+let analyze ?pi_arrival net ~sizes =
+  analyze_with_delays ?pi_arrival net ~gate_delay:(delays net ~sizes)
+
+let required net ~gate_delay ~deadline =
+  let n = Netlist.n_gates net in
+  let req = Array.make n infinity in
+  (* A gate feeding a PO must finish by the deadline. *)
+  Array.iter
+    (function Netlist.Gate g -> req.(g) <- min req.(g) deadline | Netlist.Pi _ -> ())
+    (Netlist.pos net);
+  (* Reverse topological order = decreasing id. *)
+  for g = n - 1 downto 0 do
+    let gate = Netlist.gate net g in
+    let own_start = req.(g) -. gate_delay.(g) in
+    Array.iter
+      (function
+        | Netlist.Gate src -> req.(src) <- min req.(src) own_start
+        | Netlist.Pi _ -> ())
+      gate.Netlist.fanin
+  done;
+  req
+
+let slack net ~sizes ~deadline =
+  let gate_delay = delays net ~sizes in
+  let { arrival; _ } = analyze_with_delays net ~gate_delay in
+  let req = required net ~gate_delay ~deadline in
+  Array.mapi (fun i r -> r -. arrival.(i)) req
+
+let critical_path net ~sizes =
+  let { arrival; gate_delay; _ } = analyze net ~sizes in
+  let node_arrival = function
+    | Netlist.Pi _ -> 0.
+    | Netlist.Gate g -> arrival.(g)
+  in
+  (* Start at the latest PO gate, walk back through the latest fanin. *)
+  let last =
+    Array.fold_left
+      (fun acc po ->
+        match (acc, po) with
+        | None, Netlist.Gate g -> Some g
+        | Some best, Netlist.Gate g -> if arrival.(g) > arrival.(best) then Some g else acc
+        | _, Netlist.Pi _ -> acc)
+      None (Netlist.pos net)
+  in
+  let rec walk acc g =
+    let gate = Netlist.gate net g in
+    let u = arrival.(g) -. gate_delay.(g) in
+    let pred =
+      Array.fold_left
+        (fun acc fan ->
+          match fan with
+          | Netlist.Gate src
+            when acc = None && abs_float (node_arrival fan -. u) < 1e-9 ->
+              Some src
+          | Netlist.Gate _ | Netlist.Pi _ -> acc)
+        None gate.Netlist.fanin
+    in
+    match pred with None -> g :: acc | Some src -> walk (g :: acc) src
+  in
+  match last with None -> [] | Some g -> walk [] g

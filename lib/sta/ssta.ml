@@ -1,0 +1,151 @@
+open Circuit
+open Statdelay
+
+type result = {
+  arrival : Normal.t array;
+  gate_delay : Normal.t array;
+  loads : float array;
+  circuit : Normal.t;
+}
+
+let default_pi_arrival _ = Normal.deterministic 0.
+
+let node_arrival ~pi_arrival arrival = function
+  | Netlist.Pi i -> pi_arrival i
+  | Netlist.Gate g -> arrival.(g)
+
+(* Prefix maxima of a left fold of Clark.max2: prefix.(0) is the first
+   operand, prefix.(i) = max2 (prefix.(i-1), operand i).  Recording them
+   lets the reverse sweep recompute each step's partials. *)
+let fold_max operands =
+  let k = Array.length operands in
+  let prefix = Array.make k operands.(0) in
+  for i = 1 to k - 1 do
+    prefix.(i) <- Clark.max2 prefix.(i - 1) operands.(i)
+  done;
+  prefix
+
+let analyze_with_max ~max_op ~pi_arrival ~model net ~sizes =
+  Netlist.check_sizes net sizes;
+  let n = Netlist.n_gates net in
+  let arrival = Array.make n (Normal.deterministic 0.) in
+  let gate_delay = Array.make n (Normal.deterministic 0.) in
+  let loads = Array.make n 0. in
+  Array.iter
+    (fun (g : Netlist.gate) ->
+      let id = g.Netlist.id in
+      let load = Netlist.load net ~sizes id in
+      loads.(id) <- load;
+      let mu_t = Cell.delay g.Netlist.cell ~size:sizes.(id) ~load in
+      let t = Normal.of_var ~mu:mu_t ~var:(Sigma_model.var model mu_t) in
+      gate_delay.(id) <- t;
+      let operands = Array.map (node_arrival ~pi_arrival arrival) g.Netlist.fanin in
+      arrival.(id) <- Normal.add (max_op operands) t)
+    (Netlist.gates net);
+  let po_operands = Array.map (node_arrival ~pi_arrival arrival) (Netlist.pos net) in
+  { arrival; gate_delay; loads; circuit = max_op po_operands }
+
+let analyze ?(pi_arrival = default_pi_arrival) ~model net ~sizes =
+  let max_op operands = (fold_max operands).(Array.length operands - 1) in
+  analyze_with_max ~max_op ~pi_arrival ~model net ~sizes
+
+let analyze_exact_nary ?(pi_arrival = default_pi_arrival) ?points ~model net ~sizes =
+  let max_op operands =
+    if Array.length operands = 1 then operands.(0)
+    else Nary.max_list ?points (Array.to_list operands)
+  in
+  analyze_with_max ~max_op ~pi_arrival ~model net ~sizes
+
+type seed = { d_mu : float; d_var : float }
+
+(* Adjoint of a recorded fold of Clark.max2.  [adj] is the adjoint of the
+   final prefix; returns the per-operand adjoints. *)
+let backprop_fold operands prefix (adj : seed) =
+  let k = Array.length operands in
+  let out = Array.make k { d_mu = 0.; d_var = 0. } in
+  let acc = ref adj in
+  for i = k - 1 downto 1 do
+    let _, p = Clark.max2_full prefix.(i - 1) operands.(i) in
+    let a = !acc in
+    out.(i) <-
+      {
+        d_mu = (a.d_mu *. p.Clark.dmu_dmu_b) +. (a.d_var *. p.Clark.dvar_dmu_b);
+        d_var = (a.d_mu *. p.Clark.dmu_dvar_b) +. (a.d_var *. p.Clark.dvar_dvar_b);
+      };
+    acc :=
+      {
+        d_mu = (a.d_mu *. p.Clark.dmu_dmu_a) +. (a.d_var *. p.Clark.dvar_dmu_a);
+        d_var = (a.d_mu *. p.Clark.dmu_dvar_a) +. (a.d_var *. p.Clark.dvar_dvar_a);
+      }
+  done;
+  out.(0) <- !acc;
+  out
+
+let value_and_gradient ?(pi_arrival = default_pi_arrival) ~model net ~sizes ~seed =
+  let res = analyze ~pi_arrival ~model net ~sizes in
+  let n = Netlist.n_gates net in
+  (* Adjoints of each gate's arrival distribution. *)
+  let adj = Array.make n { d_mu = 0.; d_var = 0. } in
+  let add_adj node (a : seed) =
+    match node with
+    | Netlist.Pi _ -> ()
+    | Netlist.Gate g ->
+        let cur = adj.(g) in
+        adj.(g) <- { d_mu = cur.d_mu +. a.d_mu; d_var = cur.d_var +. a.d_var }
+  in
+  (* Seed the PO fold. *)
+  let po_nodes = Netlist.pos net in
+  let po_operands = Array.map (node_arrival ~pi_arrival res.arrival) po_nodes in
+  let po_prefix = fold_max po_operands in
+  let root = seed res in
+  let po_adj = backprop_fold po_operands po_prefix root in
+  Array.iteri (fun i node -> add_adj node po_adj.(i)) po_nodes;
+  let grad = Array.make n 0. in
+  (* Reverse topological order: ids decrease. *)
+  for id = n - 1 downto 0 do
+    let g = Netlist.gate net id in
+    let a = adj.(id) in
+    if a.d_mu <> 0. || a.d_var <> 0. then begin
+      (* arrival = U + t: both mean and variance adjoints pass through
+         unchanged to the input max U and to the gate delay t. *)
+      let t = res.gate_delay.(id) in
+      (* Gate delay: var_t = F(mu_t) folds the variance adjoint into the
+         mean adjoint. *)
+      let dmu_t =
+        a.d_mu +. (a.d_var *. Sigma_model.dvar_dmu model (Normal.mu t))
+      in
+      (* mu_t = t_int + drive * load / S_g with
+         load = wire + sum_c m_c * C_in_c * S_c. *)
+      let cell = g.Netlist.cell in
+      let s_g = sizes.(id) in
+      grad.(id) <-
+        grad.(id) -. (dmu_t *. cell.Cell.drive *. res.loads.(id) /. (s_g *. s_g));
+      List.iter
+        (fun (consumer, mult) ->
+          let c = Netlist.gate net consumer in
+          grad.(consumer) <-
+            grad.(consumer)
+            +. dmu_t *. cell.Cell.drive *. float_of_int mult
+               *. c.Netlist.cell.Cell.c_in /. s_g)
+        (Netlist.fanout net id);
+      (* Input max U: replay the fanin fold. *)
+      let operands = Array.map (node_arrival ~pi_arrival res.arrival) g.Netlist.fanin in
+      let prefix = fold_max operands in
+      let fan_adj = backprop_fold operands prefix a in
+      Array.iteri (fun i node -> add_adj node fan_adj.(i)) g.Netlist.fanin
+    end
+  done;
+  (res, grad)
+
+let gradient ?pi_arrival ~model net ~sizes ~seed =
+  snd (value_and_gradient ?pi_arrival ~model net ~sizes ~seed)
+
+let mu_plus_k_sigma_seed k res =
+  let var = Normal.var res.circuit in
+  let d_var = if k = 0. || var <= 0. then 0. else k /. (2. *. sqrt var) in
+  { d_mu = 1.; d_var }
+
+let sigma_seed res =
+  let var = Normal.var res.circuit in
+  let d_var = if var <= 0. then 0. else 1. /. (2. *. sqrt var) in
+  { d_mu = 0.; d_var }

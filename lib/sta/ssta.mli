@@ -1,0 +1,84 @@
+(** Statistical static timing analysis (paper Sections 2–4).
+
+    Forward pass: in topological order, each gate's input arrival is the
+    repeated two-operand Clark max of its fanin arrivals (paper eq. 1 /
+    18b), the gate delay — mean from the sizable-cell model, variance
+    from the {!Circuit.Sigma_model} — is added with the independent-sum
+    rule (eq. 4), and the circuit-level distribution is the stochastic
+    max over all primary outputs (eq. 17's {m T_{max}}).
+
+    Reverse pass: because every step is a closed-form function of means
+    and variances with known partials ({!Statdelay.Clark.max2_full}), the
+    gradient of any scalar functional of the circuit distribution with
+    respect to {e all} gate sizes is computed exactly by one adjoint
+    sweep — the same derivative information the paper feeds to LANCELOT,
+    organised as reverse-mode differentiation instead of explicit
+    constraint derivatives. *)
+
+open Statdelay
+
+type result = {
+  arrival : Normal.t array;  (** arrival distribution at each gate output *)
+  gate_delay : Normal.t array;  (** delay distribution of each gate *)
+  loads : float array;  (** capacitive load seen by each gate *)
+  circuit : Normal.t;  (** stochastic max over the primary outputs *)
+}
+
+val analyze :
+  ?pi_arrival:(int -> Normal.t) ->
+  model:Circuit.Sigma_model.t ->
+  Circuit.Netlist.t ->
+  sizes:float array ->
+  result
+(** Forward statistical timing.  [pi_arrival] defaults to the
+    deterministic arrival [Normal.deterministic 0.] at every input. *)
+
+val analyze_exact_nary :
+  ?pi_arrival:(int -> Normal.t) ->
+  ?points:int ->
+  model:Circuit.Sigma_model.t ->
+  Circuit.Netlist.t ->
+  sizes:float array ->
+  result
+(** Like {!analyze} but every multi-operand maximum (gate fanins and the
+    primary-output reduction) uses the exact n-ary operator of
+    {!Statdelay.Nary} instead of the paper's repeated two-operand fold —
+    the analysis-side integration of the paper's future work #2.
+    Analysis only (no gradients); noticeably slower per max. *)
+
+type seed = { d_mu : float; d_var : float }
+(** Derivative of the objective functional with respect to the circuit
+    distribution's mean and variance. *)
+
+val gradient :
+  ?pi_arrival:(int -> Normal.t) ->
+  model:Circuit.Sigma_model.t ->
+  Circuit.Netlist.t ->
+  sizes:float array ->
+  seed:(result -> seed) ->
+  float array
+(** [gradient ~model net ~sizes ~seed] is
+    {m \nabla_S\, f(\mu_{T_{max}}(S), \sigma^2_{T_{max}}(S))} where the
+    caller supplies {m (\partial f/\partial\mu, \partial f/\partial\sigma^2)}
+    via [seed] (evaluated on the forward result).  One forward plus one
+    reverse sweep, O(edges). *)
+
+val value_and_gradient :
+  ?pi_arrival:(int -> Normal.t) ->
+  model:Circuit.Sigma_model.t ->
+  Circuit.Netlist.t ->
+  sizes:float array ->
+  seed:(result -> seed) ->
+  result * float array
+(** Like {!gradient} but also returns the forward result. *)
+
+(** {1 Common functionals} *)
+
+val mu_plus_k_sigma_seed : float -> result -> seed
+(** Seed for {m f = \mu + k\sigma}:
+    {m \partial f/\partial\mu = 1}, {m \partial f/\partial\sigma^2 = k / (2\sigma)}.
+    For [k <> 0.] and a degenerate (zero-variance) circuit distribution
+    the variance derivative is taken as [0.]. *)
+
+val sigma_seed : result -> seed
+(** Seed for {m f = \sigma}. *)

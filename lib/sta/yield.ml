@@ -1,0 +1,37 @@
+open Circuit
+open Statdelay
+
+let analytic circuit ~deadline = Normal.cdf_at circuit deadline
+
+type delay_shape = Gaussian | Uniform | Shifted_exponential | Two_point
+
+(* Draw from the given family with mean [mu] and standard deviation
+   [sigma] (all four families are moment-matched). *)
+let draw_shape rng shape ~mu ~sigma =
+  match shape with
+  | Gaussian -> Util.Rng.gaussian rng ~mu ~sigma
+  | Uniform ->
+      let half_width = sigma *. sqrt 3. in
+      Util.Rng.uniform rng ~lo:(mu -. half_width) ~hi:(mu +. half_width)
+  | Shifted_exponential ->
+      let u = Util.Rng.float rng in
+      let u = if u <= 0. then epsilon_float else u in
+      mu -. sigma -. (sigma *. log u) (* Exp(rate 1/sigma) has mean = sd = sigma *)
+  | Two_point -> if Util.Rng.float rng < 0.5 then mu -. sigma else mu +. sigma
+
+let sample_circuit_delays ?rng ?(shape = Gaussian) ~model net ~sizes ~n =
+  let rng = match rng with Some r -> r | None -> Util.Rng.create 7 in
+  let res = Ssta.analyze ~model net ~sizes in
+  let n_gates = Netlist.n_gates net in
+  let gate_delay = Array.make n_gates 0. in
+  Array.init n (fun _ ->
+      for g = 0 to n_gates - 1 do
+        let d = res.Ssta.gate_delay.(g) in
+        gate_delay.(g) <-
+          draw_shape rng shape ~mu:(Normal.mu d) ~sigma:(Normal.sigma d)
+      done;
+      (Dsta.analyze_with_delays net ~gate_delay).Dsta.circuit)
+
+let monte_carlo ?rng ~model net ~sizes ~deadline ~n =
+  let samples = sample_circuit_delays ?rng ~model net ~sizes ~n in
+  Util.Stats.fraction_le samples deadline

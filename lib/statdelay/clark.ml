@@ -1,0 +1,130 @@
+open Util
+
+type partials = {
+  dmu_dmu_a : float;
+  dmu_dmu_b : float;
+  dmu_dvar_a : float;
+  dmu_dvar_b : float;
+  dvar_dmu_a : float;
+  dvar_dmu_b : float;
+  dvar_dvar_a : float;
+  dvar_dvar_b : float;
+}
+
+let degenerate_theta = 1e-9
+
+(* Deterministic limit: theta ~ 0 means both operands are (nearly) point
+   masses, so max(A, B) is the larger operand.  The one-sided limits of the
+   partials are the indicator of the larger operand; an exact tie takes the
+   symmetric limit Phi(0) = 1/2. *)
+let max2_degenerate (a : Normal.t) (b : Normal.t) =
+  let wa, wb =
+    if a.Normal.mu > b.Normal.mu then (1., 0.)
+    else if a.Normal.mu < b.Normal.mu then (0., 1.)
+    else (0.5, 0.5)
+  in
+  let mu = (wa *. a.Normal.mu) +. (wb *. b.Normal.mu) in
+  let var = (wa *. a.Normal.var) +. (wb *. b.Normal.var) in
+  ( Normal.of_var ~mu ~var,
+    {
+      dmu_dmu_a = wa;
+      dmu_dmu_b = wb;
+      dmu_dvar_a = 0.;
+      dmu_dvar_b = 0.;
+      dvar_dmu_a = 0.;
+      dvar_dmu_b = 0.;
+      dvar_dvar_a = wa;
+      dvar_dvar_b = wb;
+    } )
+
+let moments (a : Normal.t) (b : Normal.t) =
+  let mu_a = a.Normal.mu and var_a = a.Normal.var in
+  let mu_b = b.Normal.mu and var_b = b.Normal.var in
+  let theta = sqrt (var_a +. var_b) in
+  let alpha = (mu_a -. mu_b) /. theta in
+  let pdf = Special.normal_pdf alpha in
+  let cdf_a = Special.normal_cdf alpha in
+  let cdf_b = Special.normal_cdf (-.alpha) in
+  let mu_c = (mu_a *. cdf_a) +. (mu_b *. cdf_b) +. (theta *. pdf) in
+  let e2 =
+    ((var_a +. (mu_a *. mu_a)) *. cdf_a)
+    +. ((var_b +. (mu_b *. mu_b)) *. cdf_b)
+    +. ((mu_a +. mu_b) *. theta *. pdf)
+  in
+  (theta, alpha, pdf, cdf_a, cdf_b, mu_c, e2)
+
+let max2 a b =
+  if a.Normal.var +. b.Normal.var < degenerate_theta *. degenerate_theta then
+    fst (max2_degenerate a b)
+  else
+    let _, _, _, _, _, mu_c, e2 = moments a b in
+    Normal.of_var ~mu:mu_c ~var:(max 0. (e2 -. (mu_c *. mu_c)))
+
+let expectation_sq a b =
+  if a.Normal.var +. b.Normal.var < degenerate_theta *. degenerate_theta then
+    let c, _ = max2_degenerate a b in
+    c.Normal.var +. (c.Normal.mu *. c.Normal.mu)
+  else
+    let _, _, _, _, _, _, e2 = moments a b in
+    e2
+
+let max2_full a b =
+  if a.Normal.var +. b.Normal.var < degenerate_theta *. degenerate_theta then
+    max2_degenerate a b
+  else begin
+    let mu_a = a.Normal.mu and var_a = a.Normal.var in
+    let mu_b = b.Normal.mu and var_b = b.Normal.var in
+    let theta, alpha, pdf, cdf_a, cdf_b, mu_c, e2 = moments a b in
+    let var_c = max 0. (e2 -. (mu_c *. mu_c)) in
+    (* d mu_C: the phi-terms from differentiating Phi(alpha) and
+       theta*phi(alpha) cancel, leaving the classic Clark results. *)
+    let dmu_dmu_a = cdf_a in
+    let dmu_dmu_b = cdf_b in
+    let dmu_dvar = pdf /. (2. *. theta) in
+    (* d E[C^2] (see DESIGN.md Section 5 for the simplification). *)
+    let de2_dmu_a = (2. *. mu_a *. cdf_a) +. (2. *. var_a *. pdf /. theta) in
+    let de2_dmu_b = (2. *. mu_b *. cdf_b) +. (2. *. var_b *. pdf /. theta) in
+    let common = (mu_a +. mu_b) /. (2. *. theta) in
+    let skew = alpha *. (var_a -. var_b) /. (2. *. theta *. theta) in
+    (* Swapping the operands sends alpha to -alpha, and
+       -alpha'*(var_b - var_a) = -alpha*(var_a - var_b), so both sides share
+       the same (common - skew) second factor. *)
+    let de2_dvar_a = cdf_a +. (pdf *. (common -. skew)) in
+    let de2_dvar_b = cdf_b +. (pdf *. (common -. skew)) in
+    (* var = E2 - mu^2 chain rule. *)
+    let dvar_dmu_a = de2_dmu_a -. (2. *. mu_c *. dmu_dmu_a) in
+    let dvar_dmu_b = de2_dmu_b -. (2. *. mu_c *. dmu_dmu_b) in
+    let dvar_dvar_a = de2_dvar_a -. (2. *. mu_c *. dmu_dvar) in
+    let dvar_dvar_b = de2_dvar_b -. (2. *. mu_c *. dmu_dvar) in
+    ( Normal.of_var ~mu:mu_c ~var:var_c,
+      {
+        dmu_dmu_a;
+        dmu_dmu_b;
+        dmu_dvar_a = dmu_dvar;
+        dmu_dvar_b = dmu_dvar;
+        dvar_dmu_a;
+        dvar_dmu_b;
+        dvar_dvar_a;
+        dvar_dvar_b;
+      } )
+  end
+
+let max_list = function
+  | [] -> invalid_arg "Clark.max_list: empty list"
+  | x :: rest -> List.fold_left max2 x rest
+
+let max_array a =
+  if Array.length a = 0 then invalid_arg "Clark.max_array: empty array";
+  let acc = ref a.(0) in
+  for i = 1 to Array.length a - 1 do
+    acc := max2 !acc a.(i)
+  done;
+  !acc
+
+let negate (x : Normal.t) = Normal.scale x (-1.)
+
+let min2 a b = negate (max2 (negate a) (negate b))
+
+let min_list = function
+  | [] -> invalid_arg "Clark.min_list: empty list"
+  | x :: rest -> List.fold_left min2 x rest

@@ -1,0 +1,65 @@
+(** Analytical stochastic maximum of two independent normals.
+
+    This is the paper's central mathematical device (Section 3, equations
+    10, 12 and 13; derivation in Appendix A): for independent
+    {m A \sim N(\mu_A, \sigma_A^2)} and {m B \sim N(\mu_B, \sigma_B^2)},
+    the first two moments of {m C = \max(A, B)} are, with
+    {m \theta = \sqrt{\sigma_A^2 + \sigma_B^2}} and
+    {m \alpha = (\mu_A - \mu_B)/\theta}:
+
+    {math \mu_C = \mu_A\Phi(\alpha) + \mu_B\Phi(-\alpha) + \theta\varphi(\alpha)}
+    {math E[C^2] = (\sigma_A^2{+}\mu_A^2)\Phi(\alpha)
+                   + (\sigma_B^2{+}\mu_B^2)\Phi(-\alpha)
+                   + (\mu_A{+}\mu_B)\,\theta\varphi(\alpha)}
+    {math \sigma_C^2 = E[C^2] - \mu_C^2}
+
+    [C] is then re-approximated as normal with these moments (the same
+    moment-matching approximation as the paper; accuracy is quantified by
+    the Monte Carlo experiments in {!Mc} and the F-MC bench).
+
+    Because the moments are closed-form in
+    {m (\mu_A, \sigma_A^2, \mu_B, \sigma_B^2)}, so are their first
+    derivatives — this is exactly what enables gradient-based gate sizing
+    (Section 4).  {!max2_full} returns all eight partials. *)
+
+type partials = {
+  dmu_dmu_a : float;
+  dmu_dmu_b : float;
+  dmu_dvar_a : float;
+  dmu_dvar_b : float;
+  dvar_dmu_a : float;
+  dvar_dmu_b : float;
+  dvar_dvar_a : float;
+  dvar_dvar_b : float;
+}
+(** First derivatives of the result's mean [mu_C] and variance
+    [sigma_C^2] with respect to the operands' means and variances. *)
+
+val degenerate_theta : float
+(** Threshold on {m \theta} below which the max is treated as the
+    deterministic maximum (one-sided limit of the formulas). *)
+
+val max2 : Normal.t -> Normal.t -> Normal.t
+(** Moment-matched normal approximation of [max(A, B)]. *)
+
+val max2_full : Normal.t -> Normal.t -> Normal.t * partials
+(** {!max2} together with the analytic partials. *)
+
+val expectation_sq : Normal.t -> Normal.t -> float
+(** [E[max(A,B)^2]] (paper eq. 12), exposed for tests. *)
+
+val max_list : Normal.t list -> Normal.t
+(** Repeated two-operand max, left to right (the paper folds multi-input
+    maxima the same way, eq. 18b).  Raises [Invalid_argument] on the empty
+    list. *)
+
+val max_array : Normal.t array -> Normal.t
+
+(** {1 Minimum}
+
+    The dual operator, {m \min(A,B) = -\max(-A,-B)} — not used by the
+    paper's setup-time sizing but needed the moment one asks hold-time
+    (earliest-arrival) questions of the same statistical model. *)
+
+val min2 : Normal.t -> Normal.t -> Normal.t
+val min_list : Normal.t list -> Normal.t

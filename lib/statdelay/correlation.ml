@@ -1,0 +1,61 @@
+open Util
+
+let clip_rho rho = Numerics.clamp ~lo:(-1.) ~hi:1. rho
+
+let theta (a : Normal.t) (b : Normal.t) ~rho =
+  let rho = clip_rho rho in
+  let v =
+    a.Normal.var +. b.Normal.var -. (2. *. rho *. Normal.sigma a *. Normal.sigma b)
+  in
+  sqrt (max 0. v)
+
+let degenerate (a : Normal.t) (b : Normal.t) =
+  if a.Normal.mu >= b.Normal.mu then a else b
+
+let max2 (a : Normal.t) (b : Normal.t) ~rho =
+  let th = theta a b ~rho in
+  if th < Clark.degenerate_theta then degenerate a b
+  else begin
+    let alpha = (a.Normal.mu -. b.Normal.mu) /. th in
+    let pdf = Special.normal_pdf alpha in
+    let cdf_a = Special.normal_cdf alpha in
+    let cdf_b = Special.normal_cdf (-.alpha) in
+    let mu =
+      (a.Normal.mu *. cdf_a) +. (b.Normal.mu *. cdf_b) +. (th *. pdf)
+    in
+    let e2 =
+      ((a.Normal.var +. (a.Normal.mu *. a.Normal.mu)) *. cdf_a)
+      +. ((b.Normal.var +. (b.Normal.mu *. b.Normal.mu)) *. cdf_b)
+      +. ((a.Normal.mu +. b.Normal.mu) *. th *. pdf)
+    in
+    Normal.of_var ~mu ~var:(max 0. (e2 -. (mu *. mu)))
+  end
+
+let blend_weights (a : Normal.t) (b : Normal.t) ~rho =
+  let th = theta a b ~rho in
+  let c = max2 a b ~rho in
+  let sigma_c = Normal.sigma c in
+  if sigma_c <= 0. then (0., 0., c)
+  else if th < Clark.degenerate_theta then
+    (* deterministic choice of the dominant operand *)
+    if a.Normal.mu >= b.Normal.mu then (1., 0., c) else (0., 1., c)
+  else begin
+    let alpha = (a.Normal.mu -. b.Normal.mu) /. th in
+    let cdf_a = Special.normal_cdf alpha in
+    let cdf_b = Special.normal_cdf (-.alpha) in
+    (Normal.sigma a *. cdf_a /. sigma_c, Normal.sigma b *. cdf_b /. sigma_c, c)
+  end
+
+let cross_correlation (a : Normal.t) (b : Normal.t) ~rho ~r_a ~r_b =
+  let wa, wb, _ = blend_weights a b ~rho in
+  clip_rho ((wa *. r_a) +. (wb *. r_b))
+
+let mc_max2 rng (a : Normal.t) (b : Normal.t) ~rho ~n =
+  let rho = clip_rho rho in
+  let comp = sqrt (max 0. (1. -. (rho *. rho))) in
+  Array.init n (fun _ ->
+      let z1 = Rng.normal rng in
+      let z2 = Rng.normal rng in
+      let xa = a.Normal.mu +. (Normal.sigma a *. z1) in
+      let xb = b.Normal.mu +. (Normal.sigma b *. ((rho *. z1) +. (comp *. z2))) in
+      max xa xb)

@@ -1,0 +1,47 @@
+(** Stochastic maximum of {e correlated} normals (Clark 1961, full form).
+
+    The paper assumes statistical independence of the max operands (eq. 6)
+    and lists "dealing with correlations between stochastic variables in
+    the circuit, as a result of reconverging paths" as future work
+    (Section 7).  This module implements that future work at the operator
+    level: Clark's original formulas handle a correlation coefficient
+    {m \rho} between the operands, with
+
+    {math \theta = \sqrt{\sigma_A^2 + \sigma_B^2 - 2\rho\sigma_A\sigma_B}}
+
+    replacing the independent {m \theta}, and also give the correlation of
+    the max with any third variable:
+
+    {math r(\max(A,B), X) = \frac{\sigma_A r(A,X)\Phi(\alpha)
+                                  + \sigma_B r(B,X)\Phi(-\alpha)}{\sigma_C}}
+
+    which is what lets {!Sta.Cssta} propagate correlations through a whole
+    circuit. *)
+
+val theta : Normal.t -> Normal.t -> rho:float -> float
+(** The correlated spread {m \theta}; [0.] when the operands are perfectly
+    correlated with equal variance. *)
+
+val max2 : Normal.t -> Normal.t -> rho:float -> Normal.t
+(** Moment-matched normal for [max(A, B)] with correlation [rho] between
+    [A] and [B].  [rho] is clipped to {m [-1, 1]}; [rho = 0.] reproduces
+    {!Clark.max2} exactly.  Degenerate spreads fall back to the
+    deterministic max of the means (keeping the dominant operand's
+    variance). *)
+
+val cross_correlation :
+  Normal.t -> Normal.t -> rho:float -> r_a:float -> r_b:float -> float
+(** [cross_correlation a b ~rho ~r_a ~r_b] is the correlation of
+    [max(A, B)] with a third variable [X], given [r_a = r(A, X)] and
+    [r_b = r(B, X)].  The result is clipped to {m [-1, 1]}.  Returns [0.]
+    when the max is (numerically) deterministic. *)
+
+val blend_weights : Normal.t -> Normal.t -> rho:float -> float * float * Normal.t
+(** [blend_weights a b ~rho] is [(wa, wb, c)] with [c = max2 a b ~rho] and
+    [r(C, X) = clip (wa * r(A, X) + wb * r(B, X))] for any third variable
+    [X] — the bulk form of {!cross_correlation} used when correlations to
+    many variables are propagated at once. *)
+
+val mc_max2 : Util.Rng.t -> Normal.t -> Normal.t -> rho:float -> n:int -> float array
+(** Monte Carlo reference: [n] samples of [max(A, B)] where [(A, B)] is
+    bivariate normal with correlation [rho] (used by the tests). *)

@@ -1,0 +1,38 @@
+open Util
+
+let draw rng (x : Normal.t) = Rng.gaussian rng ~mu:x.Normal.mu ~sigma:(Normal.sigma x)
+
+let sample_max2 rng a b ~n =
+  Array.init n (fun _ -> max (draw rng a) (draw rng b))
+
+let sample_max_list rng xs ~n =
+  match xs with
+  | [] -> invalid_arg "Mc.sample_max_list: empty list"
+  | _ ->
+      Array.init n (fun _ ->
+          List.fold_left (fun acc x -> max acc (draw rng x)) neg_infinity xs)
+
+type comparison = {
+  analytic : Normal.t;
+  sampled_mu : float;
+  sampled_sigma : float;
+  mu_abs_err : float;
+  sigma_abs_err : float;
+}
+
+let compare_of analytic samples =
+  let st = Stats.of_array samples in
+  let sampled_mu = Stats.mean st in
+  let sampled_sigma = Stats.std_dev st in
+  {
+    analytic;
+    sampled_mu;
+    sampled_sigma;
+    mu_abs_err = abs_float (Normal.mu analytic -. sampled_mu);
+    sigma_abs_err = abs_float (Normal.sigma analytic -. sampled_sigma);
+  }
+
+let compare_max2 rng a b ~n = compare_of (Clark.max2 a b) (sample_max2 rng a b ~n)
+
+let compare_max_list rng xs ~n =
+  compare_of (Clark.max_list xs) (sample_max_list rng xs ~n)

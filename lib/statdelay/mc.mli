@@ -1,0 +1,30 @@
+(** Monte Carlo reference implementation of the stochastic operators.
+
+    The paper contrasts its analytical approach with Monte-Carlo-based
+    statistical timing ([9], Jyu's thesis) and validates the normal
+    approximation of the max by sampling ([1], [2]).  This module provides
+    the sampling counterpart of {!Clark} so the approximation error can be
+    measured (experiment F-MC). *)
+
+val sample_max2 : Util.Rng.t -> Normal.t -> Normal.t -> n:int -> float array
+(** [n] independent draws of [max(A, B)]. *)
+
+val sample_max_list : Util.Rng.t -> Normal.t list -> n:int -> float array
+(** [n] independent draws of the exact maximum of the operands. *)
+
+type comparison = {
+  analytic : Normal.t;
+  sampled_mu : float;
+  sampled_sigma : float;
+  mu_abs_err : float;
+  sigma_abs_err : float;
+}
+
+val compare_max2 : Util.Rng.t -> Normal.t -> Normal.t -> n:int -> comparison
+(** Clark's moment-matched max versus the empirical moments of the exact
+    sampled max. *)
+
+val compare_max_list : Util.Rng.t -> Normal.t list -> n:int -> comparison
+(** Repeated two-operand Clark max versus the empirical moments of the
+    exact n-ary max — measures both the normal approximation and the
+    fold-order approximation at once. *)

@@ -1,0 +1,172 @@
+(* Gauss-Hermite nodes and weights by Newton iteration on the orthonormal
+   Hermite recurrence (the classic `gauher' scheme).  Normalised
+   polynomials keep the iteration overflow-free up to a few hundred
+   points. *)
+let gauss_hermite n =
+  if n < 1 || n > 180 then invalid_arg "Nary.gauss_hermite: need 1 <= n <= 180";
+  let x = Array.make n 0. and w = Array.make n 0. in
+  let pim4 = 0.7511255444649425 (* pi^(-1/4) *) in
+  let m = (n + 1) / 2 in
+  let z = ref 0. and z1 = ref 0. and z2 = ref 0. in
+  for i = 0 to m - 1 do
+    (* initial guesses, largest root first *)
+    (match i with
+    | 0 ->
+        z :=
+          sqrt (float_of_int ((2 * n) + 1))
+          -. (1.85575 *. (float_of_int ((2 * n) + 1) ** -0.16667))
+    | 1 -> z := !z -. (1.14 *. (float_of_int n ** 0.426) /. !z)
+    | 2 -> z := (1.86 *. !z) -. (0.86 *. !z2)
+    | 3 -> z := (1.91 *. !z) -. (0.91 *. !z2)
+    | _ -> z := (2. *. !z) -. !z2);
+    let pp = ref 0. in
+    let converged = ref false in
+    let iterations = ref 0 in
+    while not !converged do
+      incr iterations;
+      if !iterations > 100 then failwith "Nary.gauss_hermite: no convergence";
+      let p1 = ref pim4 and p2 = ref 0. in
+      for j = 1 to n do
+        let p3 = !p2 in
+        p2 := !p1;
+        let fj = float_of_int j in
+        p1 := (!z *. sqrt (2. /. fj) *. !p2) -. (sqrt ((fj -. 1.) /. fj) *. p3)
+      done;
+      pp := sqrt (2. *. float_of_int n) *. !p2;
+      let dz = !p1 /. !pp in
+      z := !z -. dz;
+      if abs_float dz < 1e-14 then converged := true
+    done;
+    z2 := !z1;
+    z1 := !z;
+    (* store symmetric pair; nodes in increasing order *)
+    x.(i) <- -. !z;
+    x.(n - 1 - i) <- !z;
+    w.(i) <- 2. /. (!pp *. !pp);
+    w.(n - 1 - i) <- w.(i)
+  done;
+  (x, w)
+
+let sqrt_pi = sqrt (4. *. atan 1.)
+let sqrt2 = sqrt 2.
+
+let expectation ?(points = 64) f (x : Normal.t) =
+  if Normal.var x <= 0. then f (Normal.mu x)
+  else begin
+    let nodes, weights = gauss_hermite points in
+    let mu = Normal.mu x and sigma = Normal.sigma x in
+    let acc = ref 0. in
+    for i = 0 to points - 1 do
+      acc := !acc +. (weights.(i) *. f (mu +. (sigma *. sqrt2 *. nodes.(i))))
+    done;
+    !acc /. sqrt_pi
+  end
+
+(* Product of the other operands' CDFs at x. *)
+let others_cdf operands skip x =
+  let acc = ref 1. in
+  List.iteri
+    (fun j (o : Normal.t) -> if j <> skip then acc := !acc *. Normal.cdf_at o x)
+    operands;
+  !acc
+
+(* Composite Simpson rule on [lo, hi]. *)
+let simpson f ~lo ~hi ~intervals =
+  let n = if intervals mod 2 = 0 then intervals else intervals + 1 in
+  let h = (hi -. lo) /. float_of_int n in
+  let acc = ref (f lo +. f hi) in
+  for i = 1 to n - 1 do
+    let w = if i mod 2 = 1 then 4. else 2. in
+    acc := !acc +. (w *. f (lo +. (float_of_int i *. h)))
+  done;
+  !acc *. h /. 3.
+
+(* Interval count that resolves the sharpest CDF transition inside the
+   window: quadrature features have the scale of the smallest operand
+   sigma. *)
+let intervals_for ~points ~width operands =
+  let min_sigma =
+    List.fold_left (fun acc (x : Normal.t) -> min acc (Normal.sigma x)) infinity operands
+  in
+  let needed =
+    if min_sigma > 0. && Float.is_finite min_sigma then
+      int_of_float (ceil (width /. (min_sigma /. 4.)))
+    else 512
+  in
+  min 32_768 (max (8 * points) needed)
+
+(* All operands have positive variance: integrate each term
+   x^k phi_i prod_{j<>i} Phi_j over operand i's support window with a step
+   fine enough for every Phi_j transition inside it. *)
+let max_moments_continuous ~points operands =
+  let e1 = ref 0. and e2 = ref 0. in
+  List.iteri
+    (fun i (xi : Normal.t) ->
+      let mu = xi.Normal.mu and sigma = Normal.sigma xi in
+      let lo = mu -. (10. *. sigma) and hi = mu +. (10. *. sigma) in
+      let intervals = intervals_for ~points ~width:(hi -. lo) operands in
+      let density x = Util.Special.normal_pdf ((x -. mu) /. sigma) /. sigma in
+      let term k =
+        simpson
+          (fun x -> (x ** float_of_int k) *. density x *. others_cdf operands i x)
+          ~lo ~hi ~intervals
+      in
+      e1 := !e1 +. term 1;
+      e2 := !e2 +. term 2)
+    operands;
+  (!e1, !e2)
+
+(* Mixed point masses and continuous operands: with m0 the largest point
+   mass, C = max(m0, max of the continuous operands), so each continuous
+   term integrates over [m0, inf) only — the truncation is handled exactly
+   by integrating on the finite support window with Simpson, and the
+   atom's own contribution is m0^k P(all continuous <= m0). *)
+let max_moments_mixed ~points masses continuous =
+  let m_star = List.fold_left (fun acc (m : Normal.t) -> max acc m.Normal.mu) neg_infinity masses in
+  let hi =
+    List.fold_left
+      (fun acc (x : Normal.t) -> max acc (x.Normal.mu +. (10. *. Normal.sigma x)))
+      (m_star +. 1.) continuous
+  in
+  let atom_prob = others_cdf continuous (-1) m_star in
+  let intervals = intervals_for ~points ~width:(hi -. m_star) continuous in
+  let e1 = ref (m_star *. atom_prob) and e2 = ref (m_star *. m_star *. atom_prob) in
+  List.iteri
+    (fun i (xi : Normal.t) ->
+      let density x =
+        Util.Special.normal_pdf ((x -. xi.Normal.mu) /. Normal.sigma xi)
+        /. Normal.sigma xi
+      in
+      let term k =
+        simpson
+          (fun x -> (x ** float_of_int k) *. density x *. others_cdf continuous i x)
+          ~lo:m_star ~hi ~intervals
+      in
+      e1 := !e1 +. term 1;
+      e2 := !e2 +. term 2)
+    continuous;
+  (!e1, !e2)
+
+let max_moments ?(points = 64) operands =
+  if operands = [] then invalid_arg "Nary.max_moments: empty list";
+  let masses, continuous =
+    List.partition (fun (x : Normal.t) -> Normal.var x <= 0.) operands
+  in
+  match (masses, continuous) with
+  | _, [] ->
+      let m =
+        List.fold_left (fun acc (x : Normal.t) -> max acc x.Normal.mu) neg_infinity masses
+      in
+      (m, m *. m)
+  | [], _ -> max_moments_continuous ~points continuous
+  | _, _ -> max_moments_mixed ~points masses continuous
+
+let max_list ?points operands =
+  let e1, e2 = max_moments ?points operands in
+  Normal.of_var ~mu:e1 ~var:(max 0. (e2 -. (e1 *. e1)))
+
+let fold_error ?points operands =
+  let exact = max_list ?points operands in
+  let folded = Clark.max_list operands in
+  ( abs_float (Normal.mu exact -. Normal.mu folded),
+    abs_float (Normal.sigma exact -. Normal.sigma folded) )

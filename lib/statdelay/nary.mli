@@ -1,0 +1,43 @@
+(** Exact moments of the maximum of n independent normals.
+
+    The paper computes multi-operand maxima as repeated two-operand Clark
+    maxima (eq. 18b) and lists an explicit n-ary max as future work
+    (Section 7): the fold is an approximation because the intermediate max
+    is re-approximated as normal before the next step.  This module
+    implements that future work: for independent {m X_1,\dots,X_n},
+
+    {math E[C^k] \;=\; \sum_i \int x^k \varphi_i(x) \prod_{j\ne i}\Phi_j(x)\,dx}
+
+    evaluated by deterministic quadrature (composite Simpson with a step
+    that resolves the sharpest operand CDF; Gauss–Hermite is used for the
+    generic {!expectation} helper), with no normality assumption on the
+    intermediate results.  The result is then moment-matched to a normal,
+    so the {e only} approximation left is the final moment match.  Point
+    masses (e.g. primary-input arrivals) are split out and handled
+    exactly.
+
+    Used by the test-suite and the EXT-NARY bench to quantify the
+    fold-order error of {!Clark.max_list}. *)
+
+val gauss_hermite : int -> float array * float array
+(** [gauss_hermite n] returns the nodes and weights of the [n]-point
+    Gauss–Hermite rule for the weight {m e^{-x^2}} on
+    {m (-\infty, \infty)}; {m \int e^{-x^2} f \approx \sum_i w_i f(x_i)}.
+    Requires [1 <= n <= 180]; nodes are in increasing order. *)
+
+val expectation : ?points:int -> (float -> float) -> Normal.t -> float
+(** [expectation f x] is {m E[f(X)]} by Gauss–Hermite quadrature
+    (default 64 points). *)
+
+val max_moments : ?points:int -> Normal.t list -> float * float
+(** [max_moments xs] is [(E[C], E[C^2])] for the exact maximum [C] of the
+    independent operands.  Degenerate (zero-variance) operands are handled
+    as point masses.  Raises [Invalid_argument] on the empty list. *)
+
+val max_list : ?points:int -> Normal.t list -> Normal.t
+(** Moment-matched normal for the exact n-ary max — the drop-in,
+    higher-accuracy alternative to {!Clark.max_list}. *)
+
+val fold_error : ?points:int -> Normal.t list -> float * float
+(** [(|mu error|, |sigma error|)] of {!Clark.max_list} relative to the
+    exact n-ary moments — the quantity the EXT-NARY experiment reports. *)

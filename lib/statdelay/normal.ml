@@ -1,0 +1,37 @@
+type t = { mu : float; var : float }
+
+let neg_var_tolerance = 1e-12
+
+let make ~mu ~sigma =
+  if sigma < 0. then invalid_arg "Normal.make: negative sigma";
+  { mu; var = sigma *. sigma }
+
+let of_var ~mu ~var =
+  if var < 0. then
+    if var > -.neg_var_tolerance then { mu; var = 0. }
+    else invalid_arg "Normal.of_var: negative variance"
+  else { mu; var }
+
+let deterministic mu = { mu; var = 0. }
+let mu t = t.mu
+let var t = t.var
+let sigma t = sqrt t.var
+let add a b = { mu = a.mu +. b.mu; var = a.var +. b.var }
+let shift t c = { t with mu = t.mu +. c }
+let scale t a = { mu = a *. t.mu; var = a *. a *. t.var }
+
+let cdf_at t d =
+  if t.var <= 0. then if d >= t.mu then 1. else 0.
+  else Util.Special.normal_cdf ((d -. t.mu) /. sigma t)
+
+let quantile t p =
+  if t.var <= 0. then t.mu else t.mu +. (sigma t *. Util.Special.normal_ppf p)
+
+let mu_plus_k_sigma t k = t.mu +. (k *. sigma t)
+
+let equal ?(tol = 1e-9) a b =
+  Util.Numerics.approx_eq ~rtol:tol a.mu b.mu
+  && Util.Numerics.approx_eq ~rtol:tol a.var b.var
+
+let pp ppf t = Format.fprintf ppf "N(mu=%g, sigma=%g)" t.mu (sigma t)
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,51 @@
+(** Normally distributed schedule times and delays (paper Section 3).
+
+    Every delay-inducing quantity — the arrival (schedule) time [T] of a
+    signal and the propagation delay [t] of a gate — is modelled as a
+    normal random variable.  Internally we carry the {e variance} rather
+    than the standard deviation, mirroring the paper's implementation note
+    that only squared standard deviations appear in the sizing
+    formulation. *)
+
+type t = { mu : float; var : float }
+(** Mean and variance.  [var >= 0.] is an invariant maintained by the
+    constructors. *)
+
+val make : mu:float -> sigma:float -> t
+(** [make ~mu ~sigma] with [sigma >= 0.]; raises [Invalid_argument] on a
+    negative [sigma]. *)
+
+val of_var : mu:float -> var:float -> t
+(** [of_var ~mu ~var] with [var >= 0.]; negative variances smaller than a
+    rounding tolerance are clipped to [0.], anything more negative raises
+    [Invalid_argument]. *)
+
+val deterministic : float -> t
+(** A zero-variance (point-mass) value — e.g. a primary-input arrival. *)
+
+val mu : t -> float
+val var : t -> float
+val sigma : t -> float
+
+val add : t -> t -> t
+(** Sum of independent normals (paper eq. 4): means add, variances add. *)
+
+val shift : t -> float -> t
+(** [shift x c] adds the constant [c] to [x]. *)
+
+val scale : t -> float -> t
+(** [scale x a] is the distribution of [a * X]. *)
+
+val cdf_at : t -> float -> float
+(** [cdf_at x d] is [P(X <= d)] — the fraction of circuits meeting a
+    delay constraint [d] (Section 4's conformance percentages). *)
+
+val quantile : t -> float -> float
+(** [quantile x p] is the [p]-quantile of [x]. *)
+
+val mu_plus_k_sigma : t -> float -> float
+(** [mu_plus_k_sigma x k] is the guard-banded delay [mu + k * sigma]. *)
+
+val equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

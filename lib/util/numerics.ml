@@ -1,0 +1,56 @@
+let clamp ~lo ~hi x = if x < lo then lo else if x > hi then hi else x
+
+let approx_eq ?(rtol = 1e-9) ?(atol = 1e-12) a b =
+  abs_float (a -. b) <= atol +. (rtol *. max (abs_float a) (abs_float b))
+
+let linspace lo hi n =
+  if n < 2 then invalid_arg "Numerics.linspace: need at least two points";
+  let step = (hi -. lo) /. float_of_int (n - 1) in
+  Array.init n (fun i -> if i = n - 1 then hi else lo +. (float_of_int i *. step))
+
+let fd_gradient ?(h = 1e-6) f x =
+  let n = Array.length x in
+  let g = Array.make n 0. in
+  let xt = Array.copy x in
+  for i = 0 to n - 1 do
+    let xi = x.(i) in
+    let hi = h *. max 1. (abs_float xi) in
+    xt.(i) <- xi +. hi;
+    let fp = f xt in
+    xt.(i) <- xi -. hi;
+    let fm = f xt in
+    xt.(i) <- xi;
+    g.(i) <- (fp -. fm) /. (2. *. hi)
+  done;
+  g
+
+let dot a b =
+  let n = Array.length a in
+  if Array.length b <> n then invalid_arg "Numerics.dot: length mismatch";
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (a.(i) *. b.(i))
+  done;
+  !acc
+
+let norm2 a = sqrt (dot a a)
+
+let norm_inf a = Array.fold_left (fun m x -> max m (abs_float x)) 0. a
+
+let axpy a x y =
+  let n = Array.length x in
+  if Array.length y <> n then invalid_arg "Numerics.axpy: length mismatch";
+  for i = 0 to n - 1 do
+    y.(i) <- y.(i) +. (a *. x.(i))
+  done
+
+let sum a =
+  let s = ref 0. and c = ref 0. in
+  Array.iter
+    (fun x ->
+      let y = x -. !c in
+      let t = !s +. y in
+      c := t -. !s -. y;
+      s := t)
+    a;
+  !s

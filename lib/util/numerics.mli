@@ -1,0 +1,25 @@
+(** Small numeric helpers shared across the solver and timing code. *)
+
+val clamp : lo:float -> hi:float -> float -> float
+(** [clamp ~lo ~hi x] projects [x] onto [[lo, hi]]. *)
+
+val approx_eq : ?rtol:float -> ?atol:float -> float -> float -> bool
+(** [approx_eq a b] holds when [|a - b| <= atol + rtol * max |a| |b|].
+    Defaults: [rtol = 1e-9], [atol = 1e-12]. *)
+
+val linspace : float -> float -> int -> float array
+(** [linspace lo hi n] is [n] evenly spaced points from [lo] to [hi]
+    inclusive; requires [n >= 2]. *)
+
+val fd_gradient : ?h:float -> (float array -> float) -> float array -> float array
+(** Central finite-difference gradient, used only to cross-check analytic
+    derivatives in tests and the NLP derivative checker. *)
+
+val dot : float array -> float array -> float
+val norm2 : float array -> float
+val norm_inf : float array -> float
+val axpy : float -> float array -> float array -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val sum : float array -> float
+(** Kahan-compensated sum. *)

@@ -1,0 +1,147 @@
+(* Cody-style rational approximations for erf/erfc (cf. netlib CALERF) and
+   Acklam's inverse normal CDF with a Halley refinement. *)
+
+let pi = 4. *. atan 1.
+let sqrt2 = sqrt 2.
+let inv_sqrt_2pi = 1. /. sqrt (2. *. pi)
+let inv_sqrt_pi = 1. /. sqrt pi
+
+(* |x| <= 0.46875 *)
+let erf_small x =
+  let a0 = 3.16112374387056560e+00
+  and a1 = 1.13864154151050156e+02
+  and a2 = 3.77485237685302021e+02
+  and a3 = 3.20937758913846947e+03
+  and a4 = 1.85777706184603153e-01 in
+  let b0 = 2.36012909523441209e+01
+  and b1 = 2.44024637934444173e+02
+  and b2 = 1.28261652607737228e+03
+  and b3 = 2.84423683343917062e+03 in
+  let z = x *. x in
+  let num = ((((a4 *. z +. a0) *. z +. a1) *. z +. a2) *. z +. a3) in
+  let den = ((((z +. b0) *. z +. b1) *. z +. b2) *. z +. b3) in
+  x *. num /. den
+
+(* 0.46875 <= x <= 4, returns erfc x for x >= 0 *)
+let erfc_mid x =
+  let c0 = 5.64188496988670089e-01
+  and c1 = 8.88314979438837594e+00
+  and c2 = 6.61191906371416295e+01
+  and c3 = 2.98635138197400131e+02
+  and c4 = 8.81952221241769090e+02
+  and c5 = 1.71204761263407058e+03
+  and c6 = 2.05107837782607147e+03
+  and c7 = 1.23033935479799725e+03
+  and c8 = 2.15311535474403846e-08 in
+  let d0 = 1.57449261107098347e+01
+  and d1 = 1.17693950891312499e+02
+  and d2 = 5.37181101862009858e+02
+  and d3 = 1.62138957456669019e+03
+  and d4 = 3.29079923573345963e+03
+  and d5 = 4.36261909014324716e+03
+  and d6 = 3.43936767414372164e+03
+  and d7 = 1.23033935480374942e+03 in
+  let horner init coeffs =
+    Array.fold_left (fun acc c -> (acc *. x) +. c) init coeffs
+  in
+  let num = horner c8 [| c0; c1; c2; c3; c4; c5; c6; c7 |] in
+  let den = horner 1. [| d0; d1; d2; d3; d4; d5; d6; d7 |] in
+  exp (-.x *. x) *. num /. den
+
+(* x > 4, returns erfc x *)
+let erfc_large x =
+  let p0 = 3.05326634961232344e-01
+  and p1 = 3.60344899949804439e-01
+  and p2 = 1.25781726111229246e-01
+  and p3 = 1.60837851487422766e-02
+  and p4 = 6.58749161529837803e-04
+  and p5 = 1.63153871373020978e-02 in
+  let q0 = 2.56852019228982242e+00
+  and q1 = 1.87295284992346047e+00
+  and q2 = 5.27905102951428412e-01
+  and q3 = 6.05183413124413191e-02
+  and q4 = 2.33520497626869185e-03 in
+  if x > 26.6 then 0.
+  else
+    let z = 1. /. (x *. x) in
+    let num = ((((p5 *. z +. p0) *. z +. p1) *. z +. p2) *. z +. p3) *. z +. p4 in
+    let den = ((((z +. q0) *. z +. q1) *. z +. q2) *. z +. q3) *. z +. q4 in
+    let r = z *. num /. den in
+    exp (-.x *. x) /. x *. (inv_sqrt_pi -. r)
+
+let erfc_pos x =
+  if x <= 0.46875 then 1. -. erf_small x
+  else if x <= 4. then erfc_mid x
+  else erfc_large x
+
+let erfc x = if x >= 0. then erfc_pos x else 2. -. erfc_pos (-.x)
+
+let erf x =
+  let ax = abs_float x in
+  if ax <= 0.46875 then erf_small x
+  else
+    let e = 1. -. erfc_pos ax in
+    if x >= 0. then e else -.e
+
+let normal_pdf x = inv_sqrt_2pi *. exp (-0.5 *. x *. x)
+let normal_cdf x = 0.5 *. erfc (-.x /. sqrt2)
+
+(* Stable log Phi(x): for x < -8 use the asymptotic expansion of the Mills
+   ratio, otherwise log of the direct value. *)
+let log_normal_cdf x =
+  if x > -8. then log (normal_cdf x)
+  else
+    let z = -.x in
+    let z2 = z *. z in
+    (* Phi(x) ~ phi(z)/z * (1 - 1/z^2 + 3/z^4 - 15/z^6) *)
+    let corr = 1. -. (1. /. z2) +. (3. /. (z2 *. z2)) -. (15. /. (z2 *. z2 *. z2)) in
+    (-0.5 *. z2) -. log (z /. inv_sqrt_2pi) +. log corr
+
+(* Acklam's rational approximation to the inverse normal CDF. *)
+let ppf_estimate p =
+  let a1 = -3.969683028665376e+01
+  and a2 = 2.209460984245205e+02
+  and a3 = -2.759285104469687e+02
+  and a4 = 1.383577518672690e+02
+  and a5 = -3.066479806614716e+01
+  and a6 = 2.506628277459239e+00 in
+  let b1 = -5.447609879822406e+01
+  and b2 = 1.615858368580409e+02
+  and b3 = -1.556989798598866e+02
+  and b4 = 6.680131188771972e+01
+  and b5 = -1.328068155288572e+01 in
+  let c1 = -7.784894002430293e-03
+  and c2 = -3.223964580411365e-01
+  and c3 = -2.400758277161838e+00
+  and c4 = -2.549732539343734e+00
+  and c5 = 4.374664141464968e+00
+  and c6 = 2.938163982698783e+00 in
+  let d1 = 7.784695709041462e-03
+  and d2 = 3.224671290700398e-01
+  and d3 = 2.445134137142996e+00
+  and d4 = 3.754408661907416e+00 in
+  let p_low = 0.02425 in
+  let p_high = 1. -. p_low in
+  if p < p_low then
+    let q = sqrt (-2. *. log p) in
+    (((((c1 *. q +. c2) *. q +. c3) *. q +. c4) *. q +. c5) *. q +. c6)
+    /. ((((d1 *. q +. d2) *. q +. d3) *. q +. d4) *. q +. 1.)
+  else if p <= p_high then
+    let q = p -. 0.5 in
+    let r = q *. q in
+    (((((a1 *. r +. a2) *. r +. a3) *. r +. a4) *. r +. a5) *. r +. a6)
+    *. q
+    /. (((((b1 *. r +. b2) *. r +. b3) *. r +. b4) *. r +. b5) *. r +. 1.)
+  else
+    let q = sqrt (-2. *. log (1. -. p)) in
+    -.((((((c1 *. q +. c2) *. q +. c3) *. q +. c4) *. q +. c5) *. q +. c6)
+       /. ((((d1 *. q +. d2) *. q +. d3) *. q +. d4) *. q +. 1.))
+
+let normal_ppf p =
+  if not (p > 0. && p < 1.) then
+    invalid_arg "Special.normal_ppf: p must lie strictly within (0, 1)";
+  let x = ppf_estimate p in
+  (* One Halley step: e = Phi(x) - p; x <- x - e/(phi(x) + e*x/2) view. *)
+  let e = normal_cdf x -. p in
+  let u = e /. normal_pdf x in
+  x -. (u /. (1. +. (x *. u /. 2.)))

@@ -1,0 +1,39 @@
+(** Special functions for statistical delay calculation.
+
+    Double-precision error function and standard-normal distribution
+    functions.  The error function follows W. J. Cody's rational Chebyshev
+    approximation (as in netlib's CALERF), accurate to about [1e-16]
+    relative error; the inverse normal CDF uses Acklam's rational
+    approximation refined with one Halley step, giving close to full double
+    precision. *)
+
+val erf : float -> float
+(** [erf x] is the error function
+    {m \frac{2}{\sqrt\pi}\int_0^x e^{-t^2}\,dt}. *)
+
+val erfc : float -> float
+(** [erfc x] is the complementary error function [1. -. erf x], computed
+    without cancellation for large [x]. *)
+
+val normal_pdf : float -> float
+(** [normal_pdf x] is the standard normal density
+    {m \varphi(x) = e^{-x^2/2}/\sqrt{2\pi}}. *)
+
+val normal_cdf : float -> float
+(** [normal_cdf x] is the standard normal distribution function
+    {m \Phi(x)}, the paper's (suitably normalised) [phi] of equation 11. *)
+
+val normal_ppf : float -> float
+(** [normal_ppf p] is the quantile function, the inverse of
+    {!normal_cdf}.  Requires [0. < p && p < 1.]; raises
+    [Invalid_argument] otherwise. *)
+
+val log_normal_cdf : float -> float
+(** [log_normal_cdf x] is [log (normal_cdf x)] computed stably in the far
+    left tail (used for log-yield computations). *)
+
+val sqrt2 : float
+(** [sqrt 2.] *)
+
+val inv_sqrt_2pi : float
+(** [1. /. sqrt (2. *. pi)] *)

@@ -1,0 +1,64 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable lo : float;
+  mutable hi : float;
+}
+
+let create () = { n = 0; mean = 0.; m2 = 0.; lo = infinity; hi = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.lo then t.lo <- x;
+  if x > t.hi then t.hi <- x
+
+let count t = t.n
+let mean t = t.mean
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let std_dev t = sqrt (variance t)
+let min_value t = t.lo
+let max_value t = t.hi
+
+let of_array a =
+  let t = create () in
+  Array.iter (add t) a;
+  t
+
+let quantile samples p =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stats.quantile: empty sample";
+  if not (p >= 0. && p <= 1.) then invalid_arg "Stats.quantile: p outside [0, 1]";
+  let sorted = Array.copy samples in
+  Array.sort compare sorted;
+  let pos = p *. float_of_int (n - 1) in
+  let i = int_of_float (floor pos) in
+  let frac = pos -. float_of_int i in
+  if i + 1 >= n then sorted.(n - 1)
+  else sorted.(i) +. (frac *. (sorted.(i + 1) -. sorted.(i)))
+
+let fraction_le samples x =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Stats.fraction_le: empty sample";
+  let c = Array.fold_left (fun acc s -> if s <= x then acc + 1 else acc) 0 samples in
+  float_of_int c /. float_of_int n
+
+type histogram = { lo : float; hi : float; counts : int array }
+
+let histogram samples ~bins =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let t = of_array samples in
+  let lo = min_value t and hi = max_value t in
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  let width = if width <= 0. then 1. else width in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. lo) /. width) in
+      let b = if b >= bins then bins - 1 else if b < 0 then 0 else b in
+      counts.(b) <- counts.(b) + 1)
+    samples;
+  { lo; hi; counts }

@@ -1,0 +1,37 @@
+(** Running statistics and sample summaries for Monte Carlo experiments. *)
+
+type t
+(** Welford running accumulator: numerically stable single-pass mean and
+    variance. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+
+val variance : t -> float
+(** Unbiased sample variance; [0.] with fewer than two samples. *)
+
+val std_dev : t -> float
+
+val min_value : t -> float
+(** Smallest sample seen; [infinity] when empty. *)
+
+val max_value : t -> float
+(** Largest sample seen; [neg_infinity] when empty. *)
+
+val of_array : float array -> t
+
+val quantile : float array -> float -> float
+(** [quantile samples p] is the [p]-quantile (linear interpolation between
+    order statistics).  Sorts a copy; requires a non-empty array and
+    [0. <= p <= 1.]. *)
+
+val fraction_le : float array -> float -> float
+(** [fraction_le samples x] is the empirical probability
+    [P(sample <= x)]. *)
+
+type histogram = { lo : float; hi : float; counts : int array }
+
+val histogram : float array -> bins:int -> histogram
+(** Equal-width histogram over the sample range. *)

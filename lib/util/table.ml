@@ -1,0 +1,73 @@
+type align = Left | Right
+
+type row = Cells of string array | Separator
+
+type t = {
+  header : string array;
+  mutable rows : row list; (* reversed *)
+  aligns : align array;
+}
+
+let create ~header =
+  let header = Array.of_list header in
+  { header; rows = []; aligns = Array.make (Array.length header) Left }
+
+let set_align t col a =
+  if col < 0 || col >= Array.length t.aligns then
+    invalid_arg "Table.set_align: column out of range";
+  t.aligns.(col) <- a
+
+let add_row t cells =
+  let n = Array.length t.header in
+  let cells = Array.of_list cells in
+  let k = Array.length cells in
+  if k > n then invalid_arg "Table.add_row: more cells than columns";
+  let padded = Array.make n "" in
+  Array.blit cells 0 padded 0 k;
+  t.rows <- Cells padded :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let to_string t =
+  let rows = List.rev t.rows in
+  let n = Array.length t.header in
+  let widths = Array.map String.length t.header in
+  List.iter
+    (function
+      | Separator -> ()
+      | Cells cs ->
+          Array.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) cs)
+    rows;
+  let buf = Buffer.create 1024 in
+  let pad align width s =
+    let fill = width - String.length s in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+  in
+  let emit_cells cs =
+    Buffer.add_string buf "| ";
+    for i = 0 to n - 1 do
+      Buffer.add_string buf (pad t.aligns.(i) widths.(i) cs.(i));
+      Buffer.add_string buf (if i = n - 1 then " |" else " | ")
+    done;
+    Buffer.add_char buf '\n'
+  in
+  let emit_rule () =
+    Buffer.add_char buf '+';
+    for i = 0 to n - 1 do
+      Buffer.add_string buf (String.make (widths.(i) + 2) '-');
+      Buffer.add_char buf '+'
+    done;
+    Buffer.add_char buf '\n'
+  in
+  emit_rule ();
+  emit_cells t.header;
+  emit_rule ();
+  List.iter (function Separator -> emit_rule () | Cells cs -> emit_cells cs) rows;
+  emit_rule ();
+  Buffer.contents buf
+
+let print t = print_string (to_string t)
+
+let fmt_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x

@@ -1,0 +1,29 @@
+(** Minimal ASCII table rendering for experiment reports.
+
+    Produces aligned, pipe-separated tables in the style of the paper's
+    Tables 1–3 so that bench output can be compared line-by-line with the
+    published numbers. *)
+
+type align = Left | Right
+
+type t
+
+val create : header:string list -> t
+(** A table with the given column headers.  Numeric-looking columns are
+    right-aligned by default; use {!set_align} to override. *)
+
+val set_align : t -> int -> align -> unit
+(** [set_align t col a] forces the alignment of column [col]. *)
+
+val add_row : t -> string list -> unit
+(** Appends a row.  Rows shorter than the header are padded with empty
+    cells; longer rows raise [Invalid_argument]. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule between row groups. *)
+
+val to_string : t -> string
+val print : t -> unit
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting helper, default 2 decimals. *)

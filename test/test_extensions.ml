@@ -1,0 +1,466 @@
+(* Tests for the future-work extensions: exact n-ary max (Nary),
+   correlated max (Correlation), correlation-aware SSTA (Cssta), switching
+   activity (Activity) and the weighted power objective. *)
+
+open Statdelay
+
+let check_float ?(eps = 1e-12) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+let model = Circuit.Sigma_model.paper_default
+
+(* ---- Gauss-Hermite quadrature -------------------------------------------- *)
+
+let test_gh_polynomial_exactness () =
+  (* The n-point rule integrates polynomials up to degree 2n-1 exactly:
+     int x^k e^{-x^2} = 0 (odd), Gamma((k+1)/2) (even). *)
+  let nodes, weights = Nary.gauss_hermite 12 in
+  let integral k =
+    let acc = ref 0. in
+    Array.iteri (fun i x -> acc := !acc +. (weights.(i) *. (x ** float_of_int k))) nodes;
+    !acc
+  in
+  let sqrt_pi = sqrt Float.pi in
+  check_float ~eps:1e-12 "k=0" sqrt_pi (integral 0);
+  check_float ~eps:1e-12 "k=1" 0. (integral 1);
+  check_float ~eps:1e-12 "k=2" (sqrt_pi /. 2.) (integral 2);
+  check_float ~eps:1e-12 "k=4" (3. *. sqrt_pi /. 4.) (integral 4);
+  check_float ~eps:1e-11 "k=6" (15. *. sqrt_pi /. 8.) (integral 6)
+
+let test_gh_bounds () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Nary.gauss_hermite: need 1 <= n <= 180")
+    (fun () -> ignore (Nary.gauss_hermite 0));
+  let nodes, weights = Nary.gauss_hermite 1 in
+  check_float "single node" 0. nodes.(0);
+  check_float ~eps:1e-12 "single weight" (sqrt Float.pi) weights.(0)
+
+let test_gh_nodes_sorted_symmetric () =
+  let nodes, weights = Nary.gauss_hermite 17 in
+  for i = 1 to 16 do
+    if nodes.(i) <= nodes.(i - 1) then Alcotest.fail "nodes not increasing"
+  done;
+  for i = 0 to 16 do
+    check_float ~eps:1e-12 "node symmetry" (-.nodes.(i)) nodes.(16 - i);
+    check_float ~eps:1e-12 "weight symmetry" weights.(i) weights.(16 - i)
+  done
+
+let test_expectation_moments () =
+  let x = Normal.make ~mu:3. ~sigma:2. in
+  check_float ~eps:1e-10 "E[X]" 3. (Nary.expectation (fun v -> v) x);
+  check_float ~eps:1e-10 "E[X^2]" 13. (Nary.expectation (fun v -> v *. v) x);
+  (* degenerate *)
+  check_float "point mass" 49.
+    (Nary.expectation (fun v -> v *. v) (Normal.deterministic 7.))
+
+(* ---- exact n-ary max -------------------------------------------------------- *)
+
+let test_nary_matches_clark_for_two () =
+  List.iter
+    (fun (ma, sa, mb, sb) ->
+      let a = Normal.make ~mu:ma ~sigma:sa and b = Normal.make ~mu:mb ~sigma:sb in
+      let exact = Nary.max_list [ a; b ] in
+      let clark = Clark.max2 a b in
+      check_float ~eps:1e-8 "mu" (Normal.mu clark) (Normal.mu exact);
+      check_float ~eps:1e-8 "sigma" (Normal.sigma clark) (Normal.sigma exact))
+    [ (0., 1., 0., 1.); (1., 0.3, 1.2, 0.5); (2., 0.1, 0., 1.) ]
+
+let test_nary_vs_monte_carlo () =
+  let ops =
+    List.init 6 (fun i -> Normal.make ~mu:(1. +. (0.05 *. float_of_int i)) ~sigma:0.3)
+  in
+  let exact = Nary.max_list ops in
+  let rng = Util.Rng.create 5 in
+  let samples = Mc.sample_max_list rng ops ~n:500_000 in
+  let st = Util.Stats.of_array samples in
+  Alcotest.(check bool) "mu" true (abs_float (Normal.mu exact -. Util.Stats.mean st) < 0.005);
+  Alcotest.(check bool) "sigma" true
+    (abs_float (Normal.sigma exact -. Util.Stats.std_dev st) < 0.005)
+
+let test_nary_point_masses_only () =
+  let c = Nary.max_list [ Normal.deterministic 2.; Normal.deterministic 5. ] in
+  check_float "mu" 5. (Normal.mu c);
+  check_float "var" 0. (Normal.var c)
+
+let test_nary_mixed_point_mass () =
+  (* max(1.1, N(1, 0.2^2)): censored-normal moments, checked against the
+     closed form E = m Phi(a) + mu Phi(-a) + s phi(a), a = (m - mu)/s. *)
+  let m = 1.1 and mu = 1.0 and s = 0.2 in
+  let a = (m -. mu) /. s in
+  let e1 =
+    (m *. Util.Special.normal_cdf a)
+    +. (mu *. Util.Special.normal_cdf (-.a))
+    +. (s *. Util.Special.normal_pdf a)
+  in
+  let c = Nary.max_list [ Normal.deterministic m; Normal.make ~mu ~sigma:s ] in
+  check_float ~eps:1e-6 "censored mean" e1 (Normal.mu c);
+  Alcotest.(check bool) "positive sigma" true (Normal.sigma c > 0.01)
+
+let test_nary_fold_error_grows () =
+  let ops n =
+    List.init n (fun i -> Normal.make ~mu:(1. +. (0.02 *. float_of_int i)) ~sigma:0.25)
+  in
+  let _, s4 = Nary.fold_error (ops 4) in
+  let _, s12 = Nary.fold_error (ops 12) in
+  Alcotest.(check bool) "sigma error grows with n" true (s12 > s4);
+  let _, s2 = Nary.fold_error (ops 2) in
+  Alcotest.(check bool) "n=2 exact" true (s2 < 1e-8)
+
+let prop_nary_dominates_operands =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 2 6 in
+      let* mus = list_repeat n (float_range (-2.) 2.) in
+      let* sigmas = list_repeat n (float_range 0.05 1.) in
+      return (List.map2 (fun mu sigma -> (mu, sigma)) mus sigmas))
+  in
+  QCheck.Test.make ~name:"exact n-ary max dominates operand means" ~count:50
+    (QCheck.make gen) (fun params ->
+      let ops = List.map (fun (mu, sigma) -> Normal.make ~mu ~sigma) params in
+      let c = Nary.max_list ops in
+      List.for_all (fun (mu, _) -> Normal.mu c >= mu -. 1e-6) params)
+
+(* ---- correlated max ----------------------------------------------------------- *)
+
+let test_corr_rho_zero_matches_clark () =
+  let a = Normal.make ~mu:1. ~sigma:0.3 and b = Normal.make ~mu:1.2 ~sigma:0.5 in
+  let c0 = Correlation.max2 a b ~rho:0. in
+  let c = Clark.max2 a b in
+  check_float ~eps:1e-14 "mu" (Normal.mu c) (Normal.mu c0);
+  check_float ~eps:1e-14 "var" (Normal.var c) (Normal.var c0)
+
+let test_corr_perfect_correlation () =
+  (* rho = 1 with equal sigmas: max(A, B) = A or B surely (whichever mean
+     is larger), so the result is the dominant operand. *)
+  let a = Normal.make ~mu:2. ~sigma:0.4 and b = Normal.make ~mu:1. ~sigma:0.4 in
+  let c = Correlation.max2 a b ~rho:1. in
+  check_float ~eps:1e-12 "mu" 2. (Normal.mu c);
+  check_float ~eps:1e-12 "sigma" 0.4 (Normal.sigma c)
+
+let test_corr_vs_monte_carlo_sweep () =
+  let a = Normal.make ~mu:1. ~sigma:0.3 and b = Normal.make ~mu:1.2 ~sigma:0.5 in
+  let rng = Util.Rng.create 8 in
+  List.iter
+    (fun rho ->
+      let c = Correlation.max2 a b ~rho in
+      let samples = Correlation.mc_max2 rng a b ~rho ~n:400_000 in
+      let st = Util.Stats.of_array samples in
+      if abs_float (Normal.mu c -. Util.Stats.mean st) > 0.01 then
+        Alcotest.failf "rho=%g: mu %.4f vs %.4f" rho (Normal.mu c) (Util.Stats.mean st);
+      if abs_float (Normal.sigma c -. Util.Stats.std_dev st) > 0.01 then
+        Alcotest.failf "rho=%g: sigma %.4f vs %.4f" rho (Normal.sigma c)
+          (Util.Stats.std_dev st))
+    [ -0.9; -0.3; 0.; 0.5; 0.9 ]
+
+let test_corr_sigma_decreases_with_rho () =
+  (* For similar operands, positive correlation reduces the averaging
+     benefit of the max: sigma of the max grows with rho. *)
+  let a = Normal.make ~mu:1. ~sigma:0.4 and b = Normal.make ~mu:1. ~sigma:0.4 in
+  let sig_at rho = Normal.sigma (Correlation.max2 a b ~rho) in
+  Alcotest.(check bool) "monotone in rho" true
+    (sig_at (-0.5) < sig_at 0. && sig_at 0. < sig_at 0.8)
+
+let test_cross_correlation_bounds_and_limits () =
+  let a = Normal.make ~mu:1. ~sigma:0.3 and b = Normal.make ~mu:5. ~sigma:0.3 in
+  (* B dominates: r(max, X) ~ r(B, X). *)
+  let r = Correlation.cross_correlation a b ~rho:0. ~r_a:0.9 ~r_b:0.2 in
+  Alcotest.(check bool) "follows dominant" true (abs_float (r -. 0.2) < 0.01);
+  (* clipping *)
+  let r2 =
+    Correlation.cross_correlation a a ~rho:1. ~r_a:1.5 ~r_b:1.5 (* bogus inputs *)
+  in
+  Alcotest.(check bool) "clipped" true (r2 <= 1. && r2 >= -1.)
+
+(* ---- correlation-aware SSTA ----------------------------------------------------- *)
+
+let test_cssta_matches_ssta_on_tree () =
+  (* No reconvergence: correlations are all zero, the two analyses agree. *)
+  let net = Circuit.Generate.tree () in
+  let sizes = Circuit.Netlist.min_sizes net in
+  let ind, corr = Sta.Cssta.compare_to_independent ~model net ~sizes in
+  check_float ~eps:1e-9 "mu" (Normal.mu ind) (Normal.mu corr);
+  check_float ~eps:1e-9 "var" (Normal.var ind) (Normal.var corr)
+
+let test_cssta_matches_ssta_on_chain () =
+  let net = Circuit.Generate.chain ~length:12 () in
+  let sizes = Circuit.Netlist.min_sizes net in
+  let ind, corr = Sta.Cssta.compare_to_independent ~model net ~sizes in
+  check_float ~eps:1e-9 "mu" (Normal.mu ind) (Normal.mu corr)
+
+let test_cssta_detects_reconvergence () =
+  (* Diamond: one gate fans out to two branches that reconverge.  The two
+     branch arrivals share the root's delay, so their correlation must be
+     substantially positive and CSSTA's sigma must exceed SSTA's. *)
+  let inv = Circuit.Cell.make ~name:"inv" ~n_inputs:1 ~c_in:0.2 () in
+  let nand2 = Circuit.Cell.nand 2 in
+  let b = Circuit.Netlist.Builder.create () in
+  let a = Circuit.Netlist.Builder.add_pi b "a" in
+  let root = Circuit.Netlist.Builder.add_gate b ~cell:inv [ a ] in
+  let l = Circuit.Netlist.Builder.add_gate b ~cell:inv [ root ] in
+  let r = Circuit.Netlist.Builder.add_gate b ~cell:inv [ root ] in
+  let join = Circuit.Netlist.Builder.add_gate b ~cell:nand2 [ l; r ] in
+  Circuit.Netlist.Builder.mark_po b join;
+  let net = Circuit.Netlist.Builder.build b in
+  let sizes = Circuit.Netlist.min_sizes net in
+  let res = Sta.Cssta.analyze ~model net ~sizes in
+  (* gates: root=0, l=1, r=2, join=3 *)
+  Alcotest.(check bool) "branches correlated" true (res.Sta.Cssta.correlation.(1).(2) > 0.3);
+  let ind, corr = Sta.Cssta.compare_to_independent ~model net ~sizes in
+  Alcotest.(check bool) "correlated sigma larger" true
+    (Normal.sigma corr > Normal.sigma ind);
+  Alcotest.(check bool) "correlated mu not larger" true
+    (Normal.mu corr <= Normal.mu ind +. 1e-9);
+  (* and Monte Carlo agrees with the correlated analysis *)
+  let samples =
+    Sta.Yield.sample_circuit_delays ~rng:(Util.Rng.create 4) ~model net ~sizes ~n:100_000
+  in
+  let st = Util.Stats.of_array samples in
+  Alcotest.(check bool) "cssta sigma close to MC" true
+    (abs_float (Normal.sigma corr -. Util.Stats.std_dev st) < 0.02);
+  Alcotest.(check bool) "cssta mu close to MC" true
+    (abs_float (Normal.mu corr -. Util.Stats.mean st) < 0.02)
+
+let test_cssta_closer_to_mc_than_ssta () =
+  let net = Circuit.Generate.apex2_like () in
+  let sizes = Circuit.Netlist.min_sizes net in
+  let ind, corr = Sta.Cssta.compare_to_independent ~model net ~sizes in
+  let samples =
+    Sta.Yield.sample_circuit_delays ~rng:(Util.Rng.create 6) ~model net ~sizes ~n:20_000
+  in
+  let st = Util.Stats.of_array samples in
+  let err_ind = abs_float (Normal.sigma ind -. Util.Stats.std_dev st) in
+  let err_corr = abs_float (Normal.sigma corr -. Util.Stats.std_dev st) in
+  Alcotest.(check bool) "sigma error shrinks" true (err_corr < err_ind);
+  let mu_err_ind = abs_float (Normal.mu ind -. Util.Stats.mean st) in
+  let mu_err_corr = abs_float (Normal.mu corr -. Util.Stats.mean st) in
+  Alcotest.(check bool) "mu error shrinks" true (mu_err_corr < mu_err_ind)
+
+let test_cssta_correlation_matrix_sane () =
+  let net = Circuit.Generate.apex2_like () in
+  let sizes = Circuit.Netlist.min_sizes net in
+  let res = Sta.Cssta.analyze ~model net ~sizes in
+  let n = Circuit.Netlist.n_gates net in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let r = res.Sta.Cssta.correlation.(i).(j) in
+      if r < -1. || r > 1. then Alcotest.failf "corr (%d,%d) = %f out of range" i j r;
+      if abs_float (r -. res.Sta.Cssta.correlation.(j).(i)) > 1e-12 then
+        Alcotest.failf "matrix not symmetric at (%d,%d)" i j
+    done;
+    if res.Sta.Cssta.correlation.(i).(i) <> 1. then
+      Alcotest.failf "diagonal (%d) = %f" i res.Sta.Cssta.correlation.(i).(i)
+  done
+
+(* ---- activity and power ----------------------------------------------------------- *)
+
+let test_activity_inverter_chain () =
+  (* p alternates 0.5 -> stays 0.5 for inverters with p_in = 0.5. *)
+  let net = Circuit.Generate.chain ~length:4 () in
+  let p = Circuit.Activity.signal_probabilities net in
+  Array.iter (fun pi -> check_float ~eps:1e-12 "p = 0.5" 0.5 pi) p;
+  let a = Circuit.Activity.switching_activity net in
+  Array.iter (fun ai -> check_float ~eps:1e-12 "activity = 0.5" 0.5 ai) a
+
+let test_activity_nand_probability () =
+  (* nand2 with p = 0.5 inputs: P(out) = 1 - 0.25 = 0.75. *)
+  let nand2 = Circuit.Cell.nand 2 in
+  let b = Circuit.Netlist.Builder.create () in
+  let x = Circuit.Netlist.Builder.add_pi b "x" in
+  let y = Circuit.Netlist.Builder.add_pi b "y" in
+  let g = Circuit.Netlist.Builder.add_gate b ~cell:nand2 [ x; y ] in
+  Circuit.Netlist.Builder.mark_po b g;
+  let net = Circuit.Netlist.Builder.build b in
+  let p = Circuit.Activity.signal_probabilities net in
+  check_float ~eps:1e-12 "nand prob" 0.75 p.(0);
+  (* biased inputs *)
+  let p2 =
+    Circuit.Activity.signal_probabilities ~pi_probability:(fun _ -> 0.9) net
+  in
+  check_float ~eps:1e-12 "nand biased" (1. -. 0.81) p2.(0)
+
+let test_activity_cell_functions () =
+  let check_cell name n_inputs pis expected =
+    let cell = Circuit.Cell.make ~name ~n_inputs () in
+    let b = Circuit.Netlist.Builder.create () in
+    let inputs = List.init n_inputs (fun i -> Circuit.Netlist.Builder.add_pi b (Printf.sprintf "x%d" i)) in
+    let g = Circuit.Netlist.Builder.add_gate b ~cell inputs in
+    Circuit.Netlist.Builder.mark_po b g;
+    let net = Circuit.Netlist.Builder.build b in
+    let p =
+      Circuit.Activity.signal_probabilities
+        ~pi_probability:(fun i -> List.nth pis i)
+        net
+    in
+    check_float ~eps:1e-12 name expected p.(0)
+  in
+  check_cell "inv" 1 [ 0.3 ] 0.7;
+  check_cell "buf" 1 [ 0.3 ] 0.3;
+  check_cell "and2" 2 [ 0.5; 0.4 ] 0.2;
+  check_cell "or2" 2 [ 0.5; 0.4 ] 0.7;
+  check_cell "nor2" 2 [ 0.5; 0.4 ] 0.3;
+  check_cell "xor2" 2 [ 0.5; 0.4 ] 0.5;
+  check_cell "aoi21" 3 [ 0.5; 0.4; 0.3 ] (1. -. (0.2 +. 0.3 -. 0.06));
+  check_cell "oai21" 3 [ 0.5; 0.4; 0.3 ] (1. -. (0.7 *. 0.3));
+  check_cell "mystery" 2 [ 0.9; 0.9 ] 0.5
+
+let test_power_weights_consistent_with_dynamic_power () =
+  (* dynamic_power(S) - dynamic_power(1) = sum w_c (S_c - 1). *)
+  let net = Circuit.Generate.apex2_like () in
+  let weights = Circuit.Activity.power_weights net in
+  let ones = Circuit.Netlist.min_sizes net in
+  let rng = Util.Rng.create 9 in
+  let sizes = Array.map (fun _ -> Util.Rng.uniform rng ~lo:1. ~hi:3.) ones in
+  let lhs =
+    Circuit.Activity.dynamic_power net ~sizes -. Circuit.Activity.dynamic_power net ~sizes:ones
+  in
+  let rhs = ref 0. in
+  Array.iteri (fun i w -> rhs := !rhs +. (w *. (sizes.(i) -. 1.))) weights;
+  check_float ~eps:1e-9 "affine in sizes" !rhs lhs
+
+let test_min_weighted_objective () =
+  let net = Circuit.Generate.apex2_like () in
+  let weights = Circuit.Activity.power_weights net in
+  let unsized = Sizing.Engine.solve ~model net Sizing.Objective.Min_area in
+  let bound = 0.85 *. unsized.Sizing.Engine.mu in
+  let area_opt =
+    Sizing.Engine.solve ~model net (Sizing.Objective.Min_area_bounded { k = 0.; bound })
+  in
+  let power_opt =
+    Sizing.Engine.solve ~model net
+      (Sizing.Objective.Min_weighted { label = "power"; weights; k = 0.; bound })
+  in
+  Alcotest.(check bool) "converged" true power_opt.Sizing.Engine.converged;
+  Alcotest.(check bool) "meets bound" true (power_opt.Sizing.Engine.mu <= bound +. 1e-3);
+  let power_of s = Circuit.Activity.dynamic_power net ~sizes:s.Sizing.Engine.sizes in
+  Alcotest.(check bool) "power objective saves power" true
+    (power_of power_opt <= power_of area_opt +. 1e-6)
+
+let test_min_weighted_dimension_checked () =
+  let net = Circuit.Generate.tree () in
+  Alcotest.check_raises "bad weights"
+    (Invalid_argument "Engine: weight vector dimension mismatch") (fun () ->
+      ignore
+        (Sizing.Engine.solve ~model net
+           (Sizing.Objective.Min_weighted
+              { label = "power"; weights = [| 1. |]; k = 0.; bound = 10. })))
+
+let test_min_weighted_formulate_agrees () =
+  let net = Circuit.Generate.example_fig2 () in
+  let weights = Circuit.Activity.power_weights net in
+  let unsized = Sizing.Engine.solve ~model net Sizing.Objective.Min_area in
+  let bound = 0.8 *. unsized.Sizing.Engine.mu in
+  let objective = Sizing.Objective.Min_weighted { label = "power"; weights; k = 0.; bound } in
+  let full = Sizing.Formulate.solve (Sizing.Formulate.build ~model net objective) in
+  let reduced = Sizing.Engine.solve ~model net objective in
+  check_float ~eps:0.02 "same mu" reduced.Sizing.Engine.mu full.Sizing.Engine.mu;
+  (* compare on the actual objective: switched capacitance *)
+  let power s = Circuit.Activity.dynamic_power net ~sizes:s.Sizing.Engine.sizes in
+  check_float ~eps:0.02 "same power" (power reduced) (power full)
+
+(* ---- extension experiment drivers --------------------------------------------------- *)
+
+let test_nary_experiment_shape () =
+  let r = Experiments.Nary_exp.run ~max_n:8 () in
+  Alcotest.(check bool) "has rows" true (List.length r.Experiments.Nary_exp.rows >= 8);
+  List.iter
+    (fun row ->
+      let open Experiments.Nary_exp in
+      if row.n = 2 && row.fold_mu_err > 1e-8 then
+        Alcotest.failf "n=2 should be exact, err %.2e" row.fold_mu_err;
+      if row.fold_sigma_err > row.exact_sigma then
+        Alcotest.fail "fold error exceeds the sigma scale")
+    r.Experiments.Nary_exp.rows
+
+let test_correlation_experiment_shape () =
+  let r = Experiments.Correlation_exp.run ~model ~samples:4_000 ~big:false () in
+  match r.Experiments.Correlation_exp.rows with
+  | [ tree; dag ] ->
+      let open Experiments.Correlation_exp in
+      check_float ~eps:1e-6 "tree: cssta = ssta" (Normal.mu tree.ssta) (Normal.mu tree.cssta);
+      Alcotest.(check bool) "dag: cssta sigma larger" true
+        (Normal.sigma dag.cssta > Normal.sigma dag.ssta);
+      Alcotest.(check bool) "dag: cssta mu smaller" true
+        (Normal.mu dag.cssta < Normal.mu dag.ssta)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_robust_experiment_shape () =
+  let r = Experiments.Robust_exp.run ~samples:4_000 ~true_ratios:[ 0.15; 0.45 ] () in
+  match r.Experiments.Robust_exp.rows with
+  | [ low; high ] ->
+      let yield k (row : Experiments.Robust_exp.row) = List.assoc k row.Experiments.Robust_exp.yields in
+      (* lower true uncertainty only helps; higher hurts *)
+      Alcotest.(check bool) "low ratio beats prediction" true (yield 0. low > 0.55);
+      Alcotest.(check bool) "high ratio hurts k=0" true (yield 0. high < 0.45);
+      (* the guard band keeps the high-uncertainty yield much higher *)
+      Alcotest.(check bool) "k=3 degrades gracefully" true
+        (yield 3. high > yield 0. high +. 0.2)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_power_experiment_shape () =
+  let r = Experiments.Power_exp.run ~model ~fractions:[ 0.85 ] () in
+  match r.Experiments.Power_exp.rows with
+  | [ row ] ->
+      let open Experiments.Power_exp in
+      Alcotest.(check bool) "power objective saves power" true
+        (row.power_of_power_opt <= row.power_of_area_opt +. 1e-6);
+      Alcotest.(check bool) "area objective saves area" true
+        (row.area_of_area_opt <= row.area_of_power_opt +. 1e-6)
+  | _ -> Alcotest.fail "expected one row"
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "extensions"
+    [
+      ( "gauss_hermite",
+        [
+          Alcotest.test_case "polynomial exactness" `Quick test_gh_polynomial_exactness;
+          Alcotest.test_case "bounds" `Quick test_gh_bounds;
+          Alcotest.test_case "sorted symmetric" `Quick test_gh_nodes_sorted_symmetric;
+          Alcotest.test_case "expectation moments" `Quick test_expectation_moments;
+        ] );
+      ( "nary",
+        [
+          Alcotest.test_case "n=2 matches Clark" `Quick test_nary_matches_clark_for_two;
+          Alcotest.test_case "vs Monte Carlo" `Slow test_nary_vs_monte_carlo;
+          Alcotest.test_case "point masses only" `Quick test_nary_point_masses_only;
+          Alcotest.test_case "mixed point mass" `Quick test_nary_mixed_point_mass;
+          Alcotest.test_case "fold error grows" `Quick test_nary_fold_error_grows;
+          q prop_nary_dominates_operands;
+        ] );
+      ( "correlation",
+        [
+          Alcotest.test_case "rho=0 matches Clark" `Quick test_corr_rho_zero_matches_clark;
+          Alcotest.test_case "perfect correlation" `Quick test_corr_perfect_correlation;
+          Alcotest.test_case "vs Monte Carlo" `Slow test_corr_vs_monte_carlo_sweep;
+          Alcotest.test_case "sigma grows with rho" `Quick test_corr_sigma_decreases_with_rho;
+          Alcotest.test_case "cross correlation" `Quick test_cross_correlation_bounds_and_limits;
+        ] );
+      ( "cssta",
+        [
+          Alcotest.test_case "tree: matches ssta" `Quick test_cssta_matches_ssta_on_tree;
+          Alcotest.test_case "chain: matches ssta" `Quick test_cssta_matches_ssta_on_chain;
+          Alcotest.test_case "diamond reconvergence" `Slow test_cssta_detects_reconvergence;
+          Alcotest.test_case "closer to MC than ssta" `Slow test_cssta_closer_to_mc_than_ssta;
+          Alcotest.test_case "matrix sanity" `Quick test_cssta_correlation_matrix_sane;
+        ] );
+      ( "activity",
+        [
+          Alcotest.test_case "inverter chain" `Quick test_activity_inverter_chain;
+          Alcotest.test_case "nand probability" `Quick test_activity_nand_probability;
+          Alcotest.test_case "cell functions" `Quick test_activity_cell_functions;
+          Alcotest.test_case "weights = affine power" `Quick
+            test_power_weights_consistent_with_dynamic_power;
+        ] );
+      ( "min_weighted",
+        [
+          Alcotest.test_case "saves power" `Quick test_min_weighted_objective;
+          Alcotest.test_case "dimension checked" `Quick test_min_weighted_dimension_checked;
+          Alcotest.test_case "formulate agrees" `Quick test_min_weighted_formulate_agrees;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "nary shape" `Quick test_nary_experiment_shape;
+          Alcotest.test_case "correlation shape" `Slow test_correlation_experiment_shape;
+          Alcotest.test_case "power shape" `Slow test_power_experiment_shape;
+          Alcotest.test_case "robustness shape" `Slow test_robust_experiment_shape;
+        ] );
+    ]

@@ -1,0 +1,459 @@
+(* Tests for the NLP stack: problem definitions, projected L-BFGS, the
+   augmented-Lagrangian solver, and the derivative checker. *)
+
+let check_float ?(eps = 1e-12) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+(* ---- Problem ------------------------------------------------------------------ *)
+
+let test_bounds_validation () =
+  Alcotest.check_raises "crossed" (Invalid_argument "Problem.bounds: lower > upper")
+    (fun () -> ignore (Nlp.Problem.bounds ~lower:[| 1. |] ~upper:[| 0. |]));
+  Alcotest.check_raises "mismatch" (Invalid_argument "Problem.bounds: length mismatch")
+    (fun () -> ignore (Nlp.Problem.bounds ~lower:[| 1. |] ~upper:[| 2.; 3. |]))
+
+let test_project () =
+  let b = Nlp.Problem.box ~dim:3 ~lo:0. ~hi:1. in
+  let x = [| -1.; 0.5; 7. |] in
+  Nlp.Problem.project b x;
+  Alcotest.(check (array (float 1e-15))) "projected" [| 0.; 0.5; 1. |] x
+
+let test_max_violation () =
+  let base =
+    Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:1)
+      ~objective:(fun x -> (x.(0), [| 1. |]))
+  in
+  let p =
+    Nlp.Problem.constrain base
+      [
+        Nlp.Problem.eq (fun x -> (x.(0) -. 1., [| 1. |]));
+        Nlp.Problem.le (fun x -> (x.(0) -. 10., [| 1. |]));
+      ]
+  in
+  check_float "eq violated" 1. (Nlp.Problem.max_violation p [| 0. |]);
+  check_float "le slack ignored" 1. (Nlp.Problem.max_violation p [| 2. |]);
+  (* at x = 12 the equality misses by 11 and the inequality by 2 *)
+  check_float "worst of both" 11. (Nlp.Problem.max_violation p [| 12. |])
+
+(* ---- L-BFGS --------------------------------------------------------------------- *)
+
+let quadratic center x =
+  let n = Array.length x in
+  let v = ref 0. in
+  let g = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let d = x.(i) -. center.(i) in
+    let w = float_of_int (i + 1) in
+    v := !v +. (w *. d *. d);
+    g.(i) <- 2. *. w *. d
+  done;
+  (!v, g)
+
+let test_lbfgs_quadratic_unbounded () =
+  let center = [| 1.; -2.; 3.; 0.5 |] in
+  let p =
+    Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:4) ~objective:(quadratic center)
+  in
+  let r = Nlp.Lbfgs.minimize p ~x0:[| 0.; 0.; 0.; 0. |] in
+  (* Converged or Stagnated both indicate success here; Stagnated means the
+     objective stopped changing at the optimum before the gradient test. *)
+  Alcotest.(check bool) "finished successfully" true
+    (match r.Nlp.Lbfgs.outcome with
+    | Nlp.Lbfgs.Converged | Nlp.Lbfgs.Stagnated -> true
+    | Nlp.Lbfgs.Iteration_limit | Nlp.Lbfgs.Line_search_failure -> false);
+  Array.iteri
+    (fun i c -> check_float ~eps:1e-6 (Printf.sprintf "x%d" i) c r.Nlp.Lbfgs.x.(i))
+    center
+
+let test_lbfgs_quadratic_active_bounds () =
+  (* Unconstrained optimum at (2, -3) but box is [0,1]^2: solution clips to
+     (1, 0). *)
+  let p =
+    Nlp.Problem.make
+      ~bounds:(Nlp.Problem.box ~dim:2 ~lo:0. ~hi:1.)
+      ~objective:(quadratic [| 2.; -3. |])
+  in
+  let r = Nlp.Lbfgs.minimize p ~x0:[| 0.5; 0.5 |] in
+  check_float ~eps:1e-8 "x0 at upper bound" 1. r.Nlp.Lbfgs.x.(0);
+  check_float ~eps:1e-8 "x1 at lower bound" 0. r.Nlp.Lbfgs.x.(1)
+
+let rosenbrock x =
+  let a = 1. -. x.(0) in
+  let b = x.(1) -. (x.(0) *. x.(0)) in
+  let v = (a *. a) +. (100. *. b *. b) in
+  let g0 = (-2. *. a) -. (400. *. x.(0) *. b) in
+  let g1 = 200. *. b in
+  (v, [| g0; g1 |])
+
+let test_lbfgs_rosenbrock () =
+  let p =
+    Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:2) ~objective:rosenbrock
+  in
+  let r =
+    Nlp.Lbfgs.minimize
+      ~options:{ Nlp.Lbfgs.default_options with Nlp.Lbfgs.max_iterations = 2000 }
+      p ~x0:[| -1.2; 1. |]
+  in
+  check_float ~eps:1e-5 "x" 1. r.Nlp.Lbfgs.x.(0);
+  check_float ~eps:1e-5 "y" 1. r.Nlp.Lbfgs.x.(1)
+
+let test_lbfgs_x0_projected_not_mutated () =
+  let p =
+    Nlp.Problem.make
+      ~bounds:(Nlp.Problem.box ~dim:1 ~lo:0. ~hi:1.)
+      ~objective:(quadratic [| 0.5 |])
+  in
+  let x0 = [| 5. |] in
+  let r = Nlp.Lbfgs.minimize p ~x0 in
+  check_float "x0 untouched" 5. x0.(0);
+  check_float ~eps:1e-8 "solution" 0.5 r.Nlp.Lbfgs.x.(0)
+
+let test_lbfgs_already_optimal () =
+  let p =
+    Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:2)
+      ~objective:(quadratic [| 1.; 1. |])
+  in
+  let r = Nlp.Lbfgs.minimize p ~x0:[| 1.; 1. |] in
+  Alcotest.(check bool) "no iterations needed" true (r.Nlp.Lbfgs.iterations = 0);
+  Alcotest.(check bool) "converged" true (r.Nlp.Lbfgs.outcome = Nlp.Lbfgs.Converged)
+
+let test_lbfgs_iteration_limit () =
+  let p =
+    Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:2) ~objective:rosenbrock
+  in
+  let r =
+    Nlp.Lbfgs.minimize
+      ~options:{ Nlp.Lbfgs.default_options with Nlp.Lbfgs.max_iterations = 3 }
+      p ~x0:[| -1.2; 1. |]
+  in
+  Alcotest.(check bool) "hit limit" true (r.Nlp.Lbfgs.outcome = Nlp.Lbfgs.Iteration_limit);
+  Alcotest.(check int) "3 iterations" 3 r.Nlp.Lbfgs.iterations
+
+let test_lbfgs_dimension_mismatch () =
+  let p =
+    Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:2)
+      ~objective:(quadratic [| 0.; 0. |])
+  in
+  Alcotest.check_raises "dim" (Invalid_argument "Lbfgs.minimize: x0 dimension mismatch")
+    (fun () -> ignore (Nlp.Lbfgs.minimize p ~x0:[| 0. |]))
+
+let prop_lbfgs_quadratic_random =
+  let gen =
+    QCheck.Gen.(
+      let* dim = int_range 1 8 in
+      let* center = array_repeat dim (float_range (-5.) 5.) in
+      let* x0 = array_repeat dim (float_range (-5.) 5.) in
+      return (center, x0))
+  in
+  QCheck.Test.make ~name:"lbfgs solves random diagonal quadratics" ~count:50
+    (QCheck.make gen) (fun (center, x0) ->
+      let p =
+        Nlp.Problem.make
+          ~bounds:(Nlp.Problem.unbounded ~dim:(Array.length center))
+          ~objective:(quadratic center)
+      in
+      let r = Nlp.Lbfgs.minimize p ~x0 in
+      Array.for_all2 (fun a b -> abs_float (a -. b) < 1e-5) r.Nlp.Lbfgs.x center)
+
+(* ---- Augmented Lagrangian ---------------------------------------------------------- *)
+
+let test_auglag_no_constraints_delegates () =
+  let p =
+    Nlp.Problem.constrain
+      (Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:2)
+         ~objective:(quadratic [| 2.; -1. |]))
+      []
+  in
+  let r = Nlp.Auglag.solve p ~x0:[| 0.; 0. |] in
+  Alcotest.(check bool) "converged" true r.Nlp.Auglag.converged;
+  check_float ~eps:1e-6 "x0" 2. r.Nlp.Auglag.x.(0);
+  check_float ~eps:1e-6 "x1" (-1.) r.Nlp.Auglag.x.(1)
+
+let test_auglag_equality_projection () =
+  (* min ||x||^2 s.t. x0 + x1 = 1: solution (0.5, 0.5), multiplier -1. *)
+  let base =
+    Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:2)
+      ~objective:(quadratic [| 0.; 0. |])
+  in
+  (* quadratic with weights 1,2: min x0^2 + 2 x1^2 st x0+x1=1 -> x = (2/3, 1/3) *)
+  let p =
+    Nlp.Problem.constrain base
+      [ Nlp.Problem.eq (fun x -> (x.(0) +. x.(1) -. 1., [| 1.; 1. |])) ]
+  in
+  let r = Nlp.Auglag.solve p ~x0:[| 0.; 0. |] in
+  Alcotest.(check bool) "converged" true r.Nlp.Auglag.converged;
+  check_float ~eps:1e-5 "x0" (2. /. 3.) r.Nlp.Auglag.x.(0);
+  check_float ~eps:1e-5 "x1" (1. /. 3.) r.Nlp.Auglag.x.(1);
+  Alcotest.(check bool) "violation tiny" true (r.Nlp.Auglag.max_violation < 1e-6)
+
+let test_auglag_inequality_inactive () =
+  (* min (x-1)^2 s.t. x <= 5: unconstrained optimum feasible. *)
+  let p =
+    Nlp.Problem.constrain
+      (Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:1)
+         ~objective:(quadratic [| 1. |]))
+      [ Nlp.Problem.le (fun x -> (x.(0) -. 5., [| 1. |])) ]
+  in
+  let r = Nlp.Auglag.solve p ~x0:[| 3. |] in
+  check_float ~eps:1e-6 "x" 1. r.Nlp.Auglag.x.(0)
+
+let test_auglag_inequality_active () =
+  (* min (x-10)^2 s.t. x <= 5: solution at the boundary. *)
+  let p =
+    Nlp.Problem.constrain
+      (Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:1)
+         ~objective:(quadratic [| 10. |]))
+      [ Nlp.Problem.le (fun x -> (x.(0) -. 5., [| 1. |])) ]
+  in
+  let r = Nlp.Auglag.solve p ~x0:[| 0. |] in
+  Alcotest.(check bool) "converged" true r.Nlp.Auglag.converged;
+  check_float ~eps:1e-5 "x at bound" 5. r.Nlp.Auglag.x.(0);
+  Alcotest.(check bool) "multiplier positive" true (r.Nlp.Auglag.multipliers.(0) > 0.)
+
+let test_auglag_mixed_constraints_with_box () =
+  (* min x0^2 + 2 x1^2 s.t. x0 + x1 = 1, x1 <= 0.25, 0 <= x <= 1.
+     Equality + active inequality: x = (0.75, 0.25). *)
+  let p =
+    Nlp.Problem.constrain
+      (Nlp.Problem.make
+         ~bounds:(Nlp.Problem.box ~dim:2 ~lo:0. ~hi:1.)
+         ~objective:(quadratic [| 0.; 0. |]))
+      [
+        Nlp.Problem.eq (fun x -> (x.(0) +. x.(1) -. 1., [| 1.; 1. |]));
+        Nlp.Problem.le (fun x -> (x.(1) -. 0.25, [| 0.; 1. |]));
+      ]
+  in
+  let r = Nlp.Auglag.solve p ~x0:[| 0.5; 0.5 |] in
+  Alcotest.(check bool) "converged" true r.Nlp.Auglag.converged;
+  check_float ~eps:1e-4 "x0" 0.75 r.Nlp.Auglag.x.(0);
+  check_float ~eps:1e-4 "x1" 0.25 r.Nlp.Auglag.x.(1)
+
+let test_auglag_infeasible_reports () =
+  (* x = 0 and x = 1 simultaneously: infeasible; solver must not report
+     convergence and must report a violation. *)
+  let p =
+    Nlp.Problem.constrain
+      (Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:1)
+         ~objective:(quadratic [| 0. |]))
+      [
+        Nlp.Problem.eq (fun x -> (x.(0), [| 1. |]));
+        Nlp.Problem.eq (fun x -> (x.(0) -. 1., [| 1. |]));
+      ]
+  in
+  let options =
+    { Nlp.Auglag.default_options with Nlp.Auglag.outer_iterations = 8 }
+  in
+  let r = Nlp.Auglag.solve ~options p ~x0:[| 0.3 |] in
+  Alcotest.(check bool) "not converged" false r.Nlp.Auglag.converged;
+  Alcotest.(check bool) "violation reported" true (r.Nlp.Auglag.max_violation > 0.1)
+
+let test_auglag_nonlinear_constraint () =
+  (* min x0 + x1 s.t. x0^2 + x1^2 = 1: optimum at (-1/sqrt2, -1/sqrt2). *)
+  let base =
+    Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:2)
+      ~objective:(fun x -> (x.(0) +. x.(1), [| 1.; 1. |]))
+  in
+  let p =
+    Nlp.Problem.constrain base
+      [
+        Nlp.Problem.eq (fun x ->
+            ((x.(0) *. x.(0)) +. (x.(1) *. x.(1)) -. 1., [| 2. *. x.(0); 2. *. x.(1) |]));
+      ]
+  in
+  let r = Nlp.Auglag.solve p ~x0:[| 0.5; -0.8 |] in
+  Alcotest.(check bool) "converged" true r.Nlp.Auglag.converged;
+  let s = -1. /. sqrt 2. in
+  check_float ~eps:1e-4 "x0" s r.Nlp.Auglag.x.(0);
+  check_float ~eps:1e-4 "x1" s r.Nlp.Auglag.x.(1)
+
+let prop_auglag_matches_kkt_solution =
+  (* min sum w_i (x_i - c_i)^2 s.t. a.x = b has the closed-form KKT
+     solution x_i = c_i - lambda a_i / (2 w_i) with
+     lambda = 2 (a.c - b) / sum (a_i^2 / w_i).  The augmented-Lagrangian
+     solver must find it. *)
+  let gen =
+    QCheck.Gen.(
+      let* dim = int_range 2 6 in
+      let* c = array_repeat dim (float_range (-2.) 2.) in
+      let* a = array_repeat dim (float_range 0.5 2.) in
+      let* b = float_range (-3.) 3. in
+      return (c, a, b))
+  in
+  QCheck.Test.make ~name:"auglag finds the KKT point of equality QPs" ~count:40
+    (QCheck.make gen) (fun (c, a, b) ->
+      let dim = Array.length c in
+      let w = Array.init dim (fun i -> float_of_int (i + 1)) in
+      let objective x =
+        let v = ref 0. and g = Array.make dim 0. in
+        for i = 0 to dim - 1 do
+          let d = x.(i) -. c.(i) in
+          v := !v +. (w.(i) *. d *. d);
+          g.(i) <- 2. *. w.(i) *. d
+        done;
+        (!v, g)
+      in
+      let constr x = (Util.Numerics.dot a x -. b, Array.copy a) in
+      let p =
+        Nlp.Problem.constrain
+          (Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim) ~objective)
+          [ Nlp.Problem.eq constr ]
+      in
+      let r = Nlp.Auglag.solve p ~x0:(Array.make dim 0.) in
+      let lambda =
+        2. *. (Util.Numerics.dot a c -. b)
+        /. Array.fold_left ( +. ) 0. (Array.mapi (fun i ai -> ai *. ai /. w.(i)) a)
+      in
+      let expected = Array.mapi (fun i ci -> ci -. (lambda *. a.(i) /. (2. *. w.(i)))) c in
+      r.Nlp.Auglag.converged
+      && Array.for_all2
+           (fun x e -> abs_float (x -. e) < 1e-4)
+           r.Nlp.Auglag.x expected)
+
+(* ---- Newton trust-region ------------------------------------------------------------ *)
+
+let test_newton_quadratic () =
+  let center = [| 1.; -2.; 3.; 0.5 |] in
+  let p =
+    Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:4) ~objective:(quadratic center)
+  in
+  let r = Nlp.Newton.minimize p ~x0:[| 0.; 0.; 0.; 0. |] in
+  Alcotest.(check bool) "converged" true (r.Nlp.Newton.outcome = Nlp.Newton.Converged);
+  Alcotest.(check bool) "few iterations" true (r.Nlp.Newton.iterations <= 10);
+  Array.iteri
+    (fun i c -> check_float ~eps:1e-6 (Printf.sprintf "x%d" i) c r.Nlp.Newton.x.(i))
+    center
+
+let test_newton_rosenbrock () =
+  let p =
+    Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:2) ~objective:rosenbrock
+  in
+  let r = Nlp.Newton.minimize p ~x0:[| -1.2; 1. |] in
+  check_float ~eps:1e-5 "x" 1. r.Nlp.Newton.x.(0);
+  check_float ~eps:1e-5 "y" 1. r.Nlp.Newton.x.(1);
+  (* second-order method: far fewer iterations than first-order needs *)
+  Alcotest.(check bool) "iteration count" true (r.Nlp.Newton.iterations < 100)
+
+let test_newton_active_bounds () =
+  let p =
+    Nlp.Problem.make
+      ~bounds:(Nlp.Problem.box ~dim:2 ~lo:0. ~hi:1.)
+      ~objective:(quadratic [| 2.; -3. |])
+  in
+  let r = Nlp.Newton.minimize p ~x0:[| 0.5; 0.5 |] in
+  check_float ~eps:1e-8 "x0 clipped" 1. r.Nlp.Newton.x.(0);
+  check_float ~eps:1e-8 "x1 clipped" 0. r.Nlp.Newton.x.(1)
+
+let test_newton_dimension_mismatch () =
+  let p =
+    Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:2)
+      ~objective:(quadratic [| 0.; 0. |])
+  in
+  Alcotest.check_raises "dim" (Invalid_argument "Newton.minimize: x0 dimension mismatch")
+    (fun () -> ignore (Nlp.Newton.minimize p ~x0:[| 0. |]))
+
+let test_auglag_newton_inner () =
+  (* Same constrained problem as the L-BFGS test, solved with the Newton
+     inner solver: min x0^2 + 2 x1^2 s.t. x0 + x1 = 1. *)
+  let base =
+    Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:2)
+      ~objective:(quadratic [| 0.; 0. |])
+  in
+  let p =
+    Nlp.Problem.constrain base
+      [ Nlp.Problem.eq (fun x -> (x.(0) +. x.(1) -. 1., [| 1.; 1. |])) ]
+  in
+  let options =
+    {
+      Nlp.Auglag.default_options with
+      Nlp.Auglag.inner_solver = `Newton Nlp.Newton.default_options;
+    }
+  in
+  let r = Nlp.Auglag.solve ~options p ~x0:[| 0.; 0. |] in
+  Alcotest.(check bool) "converged" true r.Nlp.Auglag.converged;
+  check_float ~eps:1e-5 "x0" (2. /. 3.) r.Nlp.Auglag.x.(0);
+  check_float ~eps:1e-5 "x1" (1. /. 3.) r.Nlp.Auglag.x.(1)
+
+let prop_newton_matches_lbfgs =
+  let gen =
+    QCheck.Gen.(
+      let* dim = int_range 1 6 in
+      let* center = array_repeat dim (float_range (-3.) 3.) in
+      let* x0 = array_repeat dim (float_range (-3.) 3.) in
+      return (center, x0))
+  in
+  QCheck.Test.make ~name:"newton and lbfgs agree on quadratics" ~count:30
+    (QCheck.make gen) (fun (center, x0) ->
+      let p =
+        Nlp.Problem.make
+          ~bounds:(Nlp.Problem.box ~dim:(Array.length center) ~lo:(-2.) ~hi:2.)
+          ~objective:(quadratic center)
+      in
+      let a = Nlp.Newton.minimize p ~x0 in
+      let b = Nlp.Lbfgs.minimize p ~x0 in
+      (* both stop at their own tolerance, so compare achieved objective
+         values rather than coordinates *)
+      abs_float (a.Nlp.Newton.f -. b.Nlp.Lbfgs.f)
+      <= 1e-5 *. (1. +. min (abs_float a.Nlp.Newton.f) (abs_float b.Nlp.Lbfgs.f)))
+
+(* ---- Derivative checker --------------------------------------------------------------- *)
+
+let test_check_accepts_correct_gradient () =
+  let f x = ((sin x.(0) *. cos x.(1)) +. (x.(0) *. x.(1)),
+             [| (cos x.(0) *. cos x.(1)) +. x.(1); (-.sin x.(0) *. sin x.(1)) +. x.(0) |])
+  in
+  let v = Nlp.Check.gradient f [| 0.7; -0.3 |] in
+  Alcotest.(check bool) "ok" true v.Nlp.Check.ok
+
+let test_check_rejects_wrong_gradient () =
+  let f x = (x.(0) *. x.(0), [| x.(0) |]) (* gradient should be 2x *) in
+  let v = Nlp.Check.gradient f [| 1.5 |] in
+  Alcotest.(check bool) "not ok" false v.Nlp.Check.ok;
+  Alcotest.(check int) "worst index" 0 v.Nlp.Check.worst_index
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "nlp"
+    [
+      ( "problem",
+        [
+          Alcotest.test_case "bounds validation" `Quick test_bounds_validation;
+          Alcotest.test_case "project" `Quick test_project;
+          Alcotest.test_case "max_violation" `Quick test_max_violation;
+        ] );
+      ( "lbfgs",
+        [
+          Alcotest.test_case "quadratic" `Quick test_lbfgs_quadratic_unbounded;
+          Alcotest.test_case "active bounds" `Quick test_lbfgs_quadratic_active_bounds;
+          Alcotest.test_case "rosenbrock" `Quick test_lbfgs_rosenbrock;
+          Alcotest.test_case "x0 handling" `Quick test_lbfgs_x0_projected_not_mutated;
+          Alcotest.test_case "already optimal" `Quick test_lbfgs_already_optimal;
+          Alcotest.test_case "iteration limit" `Quick test_lbfgs_iteration_limit;
+          Alcotest.test_case "dimension mismatch" `Quick test_lbfgs_dimension_mismatch;
+          q prop_lbfgs_quadratic_random;
+        ] );
+      ( "auglag",
+        [
+          Alcotest.test_case "no constraints" `Quick test_auglag_no_constraints_delegates;
+          Alcotest.test_case "equality" `Quick test_auglag_equality_projection;
+          Alcotest.test_case "inactive inequality" `Quick test_auglag_inequality_inactive;
+          Alcotest.test_case "active inequality" `Quick test_auglag_inequality_active;
+          Alcotest.test_case "mixed with box" `Quick test_auglag_mixed_constraints_with_box;
+          Alcotest.test_case "infeasible" `Quick test_auglag_infeasible_reports;
+          Alcotest.test_case "nonlinear constraint" `Quick test_auglag_nonlinear_constraint;
+          q prop_auglag_matches_kkt_solution;
+        ] );
+      ( "newton",
+        [
+          Alcotest.test_case "quadratic" `Quick test_newton_quadratic;
+          Alcotest.test_case "rosenbrock" `Quick test_newton_rosenbrock;
+          Alcotest.test_case "active bounds" `Quick test_newton_active_bounds;
+          Alcotest.test_case "dimension mismatch" `Quick test_newton_dimension_mismatch;
+          Alcotest.test_case "auglag newton inner" `Quick test_auglag_newton_inner;
+          q prop_newton_matches_lbfgs;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "accepts correct" `Quick test_check_accepts_correct_gradient;
+          Alcotest.test_case "rejects wrong" `Quick test_check_rejects_wrong_gradient;
+        ] );
+    ]

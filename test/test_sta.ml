@@ -1,0 +1,481 @@
+(* Tests for deterministic and statistical STA, the adjoint gradient, and
+   yield estimation. *)
+
+open Circuit
+open Statdelay
+
+let check_float ?(eps = 1e-12) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+let model = Sigma_model.paper_default
+
+(* ---- Deterministic STA ------------------------------------------------------ *)
+
+let test_dsta_chain_by_hand () =
+  (* Chain of 3 identical inverters, all sizes 1: arrival accumulates the
+     per-stage delay; the last stage sees only its wire load. *)
+  let cell = Cell.make ~name:"inv" ~n_inputs:1 ~t_int:0.2 ~drive:1. ~c_in:0.3 () in
+  let n = Generate.chain ~length:3 ~cell ~wire_load:0.5 () in
+  let sizes = Netlist.min_sizes n in
+  let r = Sta.Dsta.analyze n ~sizes in
+  (* stages 0,1 drive an inv (0.3): delay = 0.2 + (0.5 + 0.3) = 1.0;
+     stage 2 drives nothing: delay = 0.2 + 0.5 = 0.7 *)
+  check_float "stage delay" 1.0 r.Sta.Dsta.gate_delay.(0);
+  check_float "last stage" 0.7 r.Sta.Dsta.gate_delay.(2);
+  check_float "arrival 0" 1.0 r.Sta.Dsta.arrival.(0);
+  check_float "arrival 2 / circuit" 2.7 r.Sta.Dsta.circuit
+
+let test_dsta_sizing_speeds_up () =
+  let n = Generate.tree () in
+  let slow = (Sta.Dsta.analyze n ~sizes:(Netlist.min_sizes n)).Sta.Dsta.circuit in
+  let fast = (Sta.Dsta.analyze n ~sizes:(Netlist.max_sizes n)).Sta.Dsta.circuit in
+  Alcotest.(check bool) "max sizes faster" true (fast < slow)
+
+let test_dsta_external_delays () =
+  let n = Generate.chain ~length:2 () in
+  let r = Sta.Dsta.analyze_with_delays n ~gate_delay:[| 1.; 2. |] in
+  check_float "arrival" 3. r.Sta.Dsta.circuit
+
+let test_dsta_pi_arrival () =
+  let n = Generate.chain ~length:2 () in
+  let base = Sta.Dsta.analyze n ~sizes:(Netlist.min_sizes n) in
+  let shifted =
+    Sta.Dsta.analyze ~pi_arrival:(fun _ -> 1.5) n ~sizes:(Netlist.min_sizes n)
+  in
+  check_float ~eps:1e-12 "shifts through" (base.Sta.Dsta.circuit +. 1.5)
+    shifted.Sta.Dsta.circuit
+
+let test_dsta_required_and_slack () =
+  let n = Generate.chain ~length:3 () in
+  let sizes = Netlist.min_sizes n in
+  let r = Sta.Dsta.analyze n ~sizes in
+  let deadline = r.Sta.Dsta.circuit in
+  let slack = Sta.Dsta.slack n ~sizes ~deadline in
+  (* Single path: slack is zero everywhere at a tight deadline. *)
+  Array.iteri (fun i s -> check_float ~eps:1e-9 (Printf.sprintf "slack %d" i) 0. s) slack;
+  let loose = Sta.Dsta.slack n ~sizes ~deadline:(deadline +. 1.) in
+  Array.iter (fun s -> check_float ~eps:1e-9 "loose slack" 1. s) loose
+
+let test_dsta_critical_path_chain () =
+  let n = Generate.chain ~length:4 () in
+  let p = Sta.Dsta.critical_path n ~sizes:(Netlist.min_sizes n) in
+  Alcotest.(check (list int)) "whole chain" [ 0; 1; 2; 3 ] p
+
+let test_dsta_critical_path_unbalanced () =
+  (* Two parallel branches of different lengths into one gate: the critical
+     path goes through the longer branch. *)
+  let inv = Cell.make ~name:"inv" ~n_inputs:1 ~c_in:0.2 () in
+  let nand2 = Cell.nand 2 in
+  let b = Netlist.Builder.create () in
+  let a = Netlist.Builder.add_pi b "a" in
+  let g0 = Netlist.Builder.add_gate b ~cell:inv [ a ] in
+  let g1 = Netlist.Builder.add_gate b ~cell:inv [ g0 ] in
+  (* long branch: g0 -> g1 ; short branch: direct PI *)
+  let g2 = Netlist.Builder.add_gate b ~cell:nand2 [ g1; a ] in
+  Netlist.Builder.mark_po b g2;
+  let n = Netlist.Builder.build b in
+  let p = Sta.Dsta.critical_path n ~sizes:(Netlist.min_sizes n) in
+  Alcotest.(check (list int)) "long branch" [ 0; 1; 2 ] p
+
+(* ---- Statistical STA --------------------------------------------------------- *)
+
+let test_ssta_chain_no_max () =
+  (* A chain has no max operations: mean adds, variance adds. *)
+  let n = Generate.chain ~length:3 () in
+  let sizes = Netlist.min_sizes n in
+  let r = Sta.Ssta.analyze ~model n ~sizes in
+  let expected_mu = ref 0. and expected_var = ref 0. in
+  Array.iter
+    (fun (d : Normal.t) ->
+      expected_mu := !expected_mu +. Normal.mu d;
+      expected_var := !expected_var +. Normal.var d)
+    r.Sta.Ssta.gate_delay;
+  check_float ~eps:1e-12 "mu adds" !expected_mu (Normal.mu r.Sta.Ssta.circuit);
+  check_float ~eps:1e-12 "var adds" !expected_var (Normal.var r.Sta.Ssta.circuit)
+
+let test_ssta_sigma_model_applied () =
+  let n = Generate.chain ~length:1 () in
+  let sizes = Netlist.min_sizes n in
+  let r = Sta.Ssta.analyze ~model n ~sizes in
+  let d = r.Sta.Ssta.gate_delay.(0) in
+  check_float ~eps:1e-12 "sigma = 0.25 mu" (0.25 *. Normal.mu d) (Normal.sigma d)
+
+let test_ssta_zero_model_matches_dsta () =
+  let n = Generate.tree () in
+  let sizes = Array.make (Netlist.n_gates n) 2. in
+  let s = Sta.Ssta.analyze ~model:Sigma_model.Zero n ~sizes in
+  let d = Sta.Dsta.analyze n ~sizes in
+  check_float ~eps:1e-9 "circuit mean = deterministic" d.Sta.Dsta.circuit
+    (Normal.mu s.Sta.Ssta.circuit);
+  check_float "zero variance" 0. (Normal.var s.Sta.Ssta.circuit)
+
+let test_ssta_mu_above_dsta () =
+  (* With uncertainty, the statistical mean exceeds the deterministic delay
+     (max of distributions shifts up). *)
+  let n = Generate.tree () in
+  let sizes = Netlist.min_sizes n in
+  let s = Sta.Ssta.analyze ~model n ~sizes in
+  let d = Sta.Dsta.analyze n ~sizes in
+  Alcotest.(check bool) "mu >= deterministic" true
+    (Normal.mu s.Sta.Ssta.circuit >= d.Sta.Dsta.circuit -. 1e-12)
+
+let test_ssta_balanced_tree_sigma_shrinks () =
+  (* The paper's observation: maxing similar balanced arrivals gives a
+     slightly higher mean but a considerably smaller relative sigma than a
+     single path. *)
+  let n = Generate.tree () in
+  let sizes = Netlist.min_sizes n in
+  let r = Sta.Ssta.analyze ~model n ~sizes in
+  let circuit = r.Sta.Ssta.circuit in
+  (* Path A -> C -> G: sum the three gate delays. *)
+  let path = List.fold_left
+      (fun acc g -> Normal.add acc r.Sta.Ssta.gate_delay.(g))
+      (Normal.deterministic 0.) [ 0; 2; 6 ] in
+  Alcotest.(check bool) "mu circuit > mu path" true
+    (Normal.mu circuit > Normal.mu path);
+  Alcotest.(check bool) "sigma circuit < sigma path" true
+    (Normal.sigma circuit < Normal.sigma path)
+
+let test_ssta_vs_monte_carlo_tree () =
+  let n = Generate.tree () in
+  let sizes = Netlist.min_sizes n in
+  let r = Sta.Ssta.analyze ~model n ~sizes in
+  let samples =
+    Sta.Yield.sample_circuit_delays ~rng:(Util.Rng.create 5) ~model n ~sizes ~n:50_000
+  in
+  let st = Util.Stats.of_array samples in
+  Alcotest.(check bool) "mu close" true
+    (abs_float (Normal.mu r.Sta.Ssta.circuit -. Util.Stats.mean st) < 0.03);
+  Alcotest.(check bool) "sigma close" true
+    (abs_float (Normal.sigma r.Sta.Ssta.circuit -. Util.Stats.std_dev st) < 0.03)
+
+let test_ssta_exact_nary_mode () =
+  (* On a circuit of 2-input gates every max is already exact, so the
+     exact-n-ary analysis agrees with the fold to quadrature accuracy. *)
+  let net = Generate.tree () in
+  let sizes = Netlist.min_sizes net in
+  let folded = Sta.Ssta.analyze ~model net ~sizes in
+  let exact = Sta.Ssta.analyze_exact_nary ~model net ~sizes in
+  check_float ~eps:1e-6 "mu" (Normal.mu folded.Sta.Ssta.circuit)
+    (Normal.mu exact.Sta.Ssta.circuit);
+  check_float ~eps:1e-6 "sigma" (Normal.sigma folded.Sta.Ssta.circuit)
+    (Normal.sigma exact.Sta.Ssta.circuit);
+  (* With 3+ input gates the two differ, but only slightly. *)
+  let fig2 = Generate.example_fig2 () in
+  let sz = Array.make (Netlist.n_gates fig2) 2. in
+  let f = Sta.Ssta.analyze ~model fig2 ~sizes:sz in
+  let e = Sta.Ssta.analyze_exact_nary ~model fig2 ~sizes:sz in
+  Alcotest.(check bool) "small fold error" true
+    (abs_float (Normal.mu f.Sta.Ssta.circuit -. Normal.mu e.Sta.Ssta.circuit) < 0.01)
+
+let test_ssta_pi_arrival_distribution () =
+  (* Uncertain primary-input arrivals propagate. *)
+  let n = Generate.chain ~length:2 () in
+  let sizes = Netlist.min_sizes n in
+  let base = Sta.Ssta.analyze ~model n ~sizes in
+  let r =
+    Sta.Ssta.analyze ~pi_arrival:(fun _ -> Normal.make ~mu:1. ~sigma:0.5) ~model n ~sizes
+  in
+  check_float ~eps:1e-12 "mean shifted" (Normal.mu base.Sta.Ssta.circuit +. 1.)
+    (Normal.mu r.Sta.Ssta.circuit);
+  check_float ~eps:1e-12 "variance added" (Normal.var base.Sta.Ssta.circuit +. 0.25)
+    (Normal.var r.Sta.Ssta.circuit)
+
+(* ---- Adjoint gradients --------------------------------------------------------- *)
+
+let fd_check ?(rtol = 1e-4) ?(atol = 1e-7) net sizes k =
+  let f s =
+    let r = Sta.Ssta.analyze ~model net ~sizes:s in
+    Normal.mu r.Sta.Ssta.circuit +. (k *. Normal.sigma r.Sta.Ssta.circuit)
+  in
+  let grad =
+    Sta.Ssta.gradient ~model net ~sizes ~seed:(Sta.Ssta.mu_plus_k_sigma_seed k)
+  in
+  let fd = Util.Numerics.fd_gradient ~h:1e-6 f sizes in
+  Array.iteri
+    (fun i a ->
+      if not (Util.Numerics.approx_eq ~rtol ~atol a fd.(i)) then
+        Alcotest.failf "gate %d (k=%g): adjoint %.8f vs fd %.8f" i k a fd.(i))
+    grad
+
+let interior_sizes net rng =
+  Array.init (Netlist.n_gates net) (fun _ -> Util.Rng.uniform rng ~lo:1.2 ~hi:2.8)
+
+let test_gradient_fd_tree () =
+  let net = Generate.tree () in
+  let rng = Util.Rng.create 42 in
+  List.iter (fun k -> fd_check net (interior_sizes net rng) k) [ 0.; 1.; 3. ]
+
+let test_gradient_fd_fig2 () =
+  let net = Generate.example_fig2 () in
+  let rng = Util.Rng.create 43 in
+  List.iter (fun k -> fd_check net (interior_sizes net rng) k) [ 0.; 3. ]
+
+let test_gradient_fd_chain () =
+  let net = Generate.chain ~length:6 () in
+  let rng = Util.Rng.create 44 in
+  fd_check net (interior_sizes net rng) 1.
+
+let test_gradient_fd_random_dag () =
+  let net = Generate.random_dag { Generate.default_spec with Generate.n_gates = 40; seed = 12 } in
+  let rng = Util.Rng.create 45 in
+  fd_check net (interior_sizes net rng) 3.
+
+let test_gradient_fd_multi_po () =
+  (* Circuit with several POs exercises the PO-fold backprop. *)
+  let net = Generate.random_dag { Generate.default_spec with Generate.n_gates = 30; seed = 77 } in
+  Alcotest.(check bool) "has multiple pos" true (Netlist.n_pos net > 1);
+  let rng = Util.Rng.create 46 in
+  fd_check net (interior_sizes net rng) 1.
+
+let test_gradient_sigma_seed_fd () =
+  let net = Generate.tree () in
+  let rng = Util.Rng.create 47 in
+  let sizes = interior_sizes net rng in
+  let f s =
+    let r = Sta.Ssta.analyze ~model net ~sizes:s in
+    Normal.sigma r.Sta.Ssta.circuit
+  in
+  let grad = Sta.Ssta.gradient ~model net ~sizes ~seed:Sta.Ssta.sigma_seed in
+  let fd = Util.Numerics.fd_gradient ~h:1e-6 f sizes in
+  Array.iteri
+    (fun i a ->
+      if not (Util.Numerics.approx_eq ~rtol:1e-4 ~atol:1e-7 a fd.(i)) then
+        Alcotest.failf "sigma grad gate %d: %.8f vs %.8f" i a fd.(i))
+    grad
+
+let test_gradient_min_delay_negative_at_min_sizes () =
+  (* At all-minimum sizes, upsizing any gate on the critical cone should
+     not increase the mean delay: gradient entries are <= small tolerance
+     everywhere for a fanout-free tree. *)
+  let net = Generate.tree () in
+  let sizes = Netlist.min_sizes net in
+  let grad =
+    Sta.Ssta.gradient ~model net ~sizes ~seed:(Sta.Ssta.mu_plus_k_sigma_seed 0.)
+  in
+  Array.iteri
+    (fun i g ->
+      if g > 1e-9 then Alcotest.failf "gate %d has positive gradient %.6f" i g)
+    grad
+
+let test_value_and_gradient_consistent () =
+  let net = Generate.tree () in
+  let sizes = Array.make (Netlist.n_gates net) 2. in
+  let res, grad =
+    Sta.Ssta.value_and_gradient ~model net ~sizes ~seed:(Sta.Ssta.mu_plus_k_sigma_seed 0.)
+  in
+  let res2 = Sta.Ssta.analyze ~model net ~sizes in
+  check_float ~eps:1e-15 "same mu" (Normal.mu res2.Sta.Ssta.circuit)
+    (Normal.mu res.Sta.Ssta.circuit);
+  let grad2 =
+    Sta.Ssta.gradient ~model net ~sizes ~seed:(Sta.Ssta.mu_plus_k_sigma_seed 0.)
+  in
+  Alcotest.(check (array (float 1e-15))) "same gradient" grad2 grad
+
+(* ---- Yield ------------------------------------------------------------------------ *)
+
+let test_yield_analytic () =
+  let c = Normal.make ~mu:10. ~sigma:1. in
+  check_float ~eps:1e-12 "at mean" 0.5 (Sta.Yield.analytic c ~deadline:10.);
+  check_float ~eps:1e-9 "at +1 sigma" 0.841344746068543 (Sta.Yield.analytic c ~deadline:11.);
+  check_float ~eps:1e-9 "at +3 sigma" 0.998650101968370 (Sta.Yield.analytic c ~deadline:13.)
+
+let test_yield_monte_carlo_matches_analytic_tree () =
+  let net = Generate.tree () in
+  let sizes = Netlist.min_sizes net in
+  let r = Sta.Ssta.analyze ~model net ~sizes in
+  let deadline = Normal.mu r.Sta.Ssta.circuit +. Normal.sigma r.Sta.Ssta.circuit in
+  let mc =
+    Sta.Yield.monte_carlo ~rng:(Util.Rng.create 8) ~model net ~sizes ~deadline ~n:40_000
+  in
+  let analytic = Sta.Yield.analytic r.Sta.Ssta.circuit ~deadline in
+  Alcotest.(check bool) "within 2%" true (abs_float (mc -. analytic) < 0.02)
+
+let test_yield_monotone_in_deadline () =
+  let net = Generate.tree () in
+  let sizes = Netlist.min_sizes net in
+  let rng = Util.Rng.create 9 in
+  let y d = Sta.Yield.monte_carlo ~rng:(Util.Rng.copy rng) ~model net ~sizes ~deadline:d ~n:5_000 in
+  let r = Sta.Ssta.analyze ~model net ~sizes in
+  let mu = Normal.mu r.Sta.Ssta.circuit in
+  Alcotest.(check bool) "ordered" true (y (0.8 *. mu) <= y mu && y mu <= y (1.2 *. mu))
+
+let test_yield_shape_families_moment_matched () =
+  (* The alternative gate-delay families must actually match the first two
+     moments; checked on a single-gate circuit where the circuit delay IS
+     the gate delay. *)
+  let net = Generate.chain ~length:1 () in
+  let sizes = Netlist.min_sizes net in
+  let d = (Sta.Ssta.analyze ~model net ~sizes).Sta.Ssta.gate_delay.(0) in
+  List.iter
+    (fun (name, shape) ->
+      let samples =
+        Sta.Yield.sample_circuit_delays ~rng:(Util.Rng.create 31) ~shape ~model net
+          ~sizes ~n:200_000
+      in
+      let st = Util.Stats.of_array samples in
+      if abs_float (Util.Stats.mean st -. Normal.mu d) > 0.01 then
+        Alcotest.failf "%s: mean %.4f vs %.4f" name (Util.Stats.mean st) (Normal.mu d);
+      if abs_float (Util.Stats.std_dev st -. Normal.sigma d) > 0.01 then
+        Alcotest.failf "%s: sd %.4f vs %.4f" name (Util.Stats.std_dev st)
+          (Normal.sigma d))
+    [
+      ("gaussian", Sta.Yield.Gaussian);
+      ("uniform", Sta.Yield.Uniform);
+      ("exponential", Sta.Yield.Shifted_exponential);
+      ("two-point", Sta.Yield.Two_point);
+    ]
+
+let test_yield_shape_irrelevance_for_mean () =
+  (* Section 3's claim, tested: the circuit-level mean is insensitive to
+     the element distribution's shape (same moments). *)
+  let net = Generate.tree () in
+  let sizes = Netlist.min_sizes net in
+  let reference = (Sta.Ssta.analyze ~model net ~sizes).Sta.Ssta.circuit in
+  List.iter
+    (fun shape ->
+      let samples =
+        Sta.Yield.sample_circuit_delays ~rng:(Util.Rng.create 32) ~shape ~model net
+          ~sizes ~n:40_000
+      in
+      let st = Util.Stats.of_array samples in
+      let rel = abs_float (Util.Stats.mean st -. Normal.mu reference) /. Normal.mu reference in
+      if rel > 0.015 then Alcotest.failf "circuit mean off by %.2f%%" (100. *. rel))
+    [ Sta.Yield.Uniform; Sta.Yield.Shifted_exponential; Sta.Yield.Two_point ]
+
+(* ---- Criticality ------------------------------------------------------------------ *)
+
+let test_crit_chain_all_critical () =
+  (* A chain has exactly one path: every gate is critical in every sample. *)
+  let net = Generate.chain ~length:5 () in
+  let r = Sta.Crit.monte_carlo ~model net ~sizes:(Netlist.min_sizes net) ~n:500 in
+  Array.iter (fun c -> check_float "always critical" 1. c) r.Sta.Crit.criticality
+
+let test_crit_balanced_tree_split () =
+  (* Balanced tree: root always critical; each mid-level gate ~50%; each
+     leaf ~25%. *)
+  let net = Generate.tree () in
+  let r = Sta.Crit.monte_carlo ~model net ~sizes:(Netlist.min_sizes net) ~n:20_000 in
+  let c = r.Sta.Crit.criticality in
+  check_float ~eps:1e-9 "root" 1. c.(6);
+  List.iter
+    (fun mid ->
+      if abs_float (c.(mid) -. 0.5) > 0.03 then
+        Alcotest.failf "mid gate %d criticality %.3f (expected ~0.5)" mid c.(mid))
+    [ 2; 5 ];
+  List.iter
+    (fun leaf ->
+      if abs_float (c.(leaf) -. 0.25) > 0.03 then
+        Alcotest.failf "leaf gate %d criticality %.3f (expected ~0.25)" leaf c.(leaf))
+    [ 0; 1; 3; 4 ]
+
+let test_crit_sums_and_ranking () =
+  let net = Generate.tree () in
+  let r = Sta.Crit.monte_carlo ~model net ~sizes:(Netlist.min_sizes net) ~n:2_000 in
+  Array.iter
+    (fun c ->
+      if c < 0. || c > 1. then Alcotest.failf "criticality %.3f out of range" c)
+    r.Sta.Crit.criticality;
+  match Sta.Crit.ranked r net with
+  | (top, c) :: _ ->
+      Alcotest.(check string) "root ranked first" "G" top;
+      check_float ~eps:1e-9 "root always critical" 1. c
+  | [] -> Alcotest.fail "empty ranking"
+
+let test_crit_invalid_n () =
+  let net = Generate.tree () in
+  Alcotest.check_raises "n=0" (Invalid_argument "Crit.monte_carlo: n must be positive")
+    (fun () ->
+      ignore (Sta.Crit.monte_carlo ~model net ~sizes:(Netlist.min_sizes net) ~n:0))
+
+let () =
+  Alcotest.run "sta"
+    [
+      ( "dsta",
+        [
+          Alcotest.test_case "chain by hand" `Quick test_dsta_chain_by_hand;
+          Alcotest.test_case "sizing speeds up" `Quick test_dsta_sizing_speeds_up;
+          Alcotest.test_case "external delays" `Quick test_dsta_external_delays;
+          Alcotest.test_case "pi arrival" `Quick test_dsta_pi_arrival;
+          Alcotest.test_case "required / slack" `Quick test_dsta_required_and_slack;
+          Alcotest.test_case "critical path chain" `Quick test_dsta_critical_path_chain;
+          Alcotest.test_case "critical path unbalanced" `Quick
+            test_dsta_critical_path_unbalanced;
+        ] );
+      ( "ssta",
+        [
+          Alcotest.test_case "chain adds" `Quick test_ssta_chain_no_max;
+          Alcotest.test_case "sigma model applied" `Quick test_ssta_sigma_model_applied;
+          Alcotest.test_case "zero model = dsta" `Quick test_ssta_zero_model_matches_dsta;
+          Alcotest.test_case "mu above deterministic" `Quick test_ssta_mu_above_dsta;
+          Alcotest.test_case "balanced tree shrinks sigma" `Quick
+            test_ssta_balanced_tree_sigma_shrinks;
+          Alcotest.test_case "matches Monte Carlo (tree)" `Slow test_ssta_vs_monte_carlo_tree;
+          Alcotest.test_case "pi arrival distribution" `Quick test_ssta_pi_arrival_distribution;
+          Alcotest.test_case "exact n-ary mode" `Quick test_ssta_exact_nary_mode;
+        ] );
+      ( "gradient",
+        [
+          Alcotest.test_case "fd tree" `Quick test_gradient_fd_tree;
+          Alcotest.test_case "fd fig2" `Quick test_gradient_fd_fig2;
+          Alcotest.test_case "fd chain" `Quick test_gradient_fd_chain;
+          Alcotest.test_case "fd random dag" `Quick test_gradient_fd_random_dag;
+          Alcotest.test_case "fd multi-po" `Quick test_gradient_fd_multi_po;
+          Alcotest.test_case "fd sigma seed" `Quick test_gradient_sigma_seed_fd;
+          Alcotest.test_case "descent at min sizes" `Quick
+            test_gradient_min_delay_negative_at_min_sizes;
+          Alcotest.test_case "value_and_gradient consistent" `Quick
+            test_value_and_gradient_consistent;
+        ] );
+      ( "yield",
+        [
+          Alcotest.test_case "analytic" `Quick test_yield_analytic;
+          Alcotest.test_case "mc matches analytic" `Slow
+            test_yield_monte_carlo_matches_analytic_tree;
+          Alcotest.test_case "monotone in deadline" `Quick test_yield_monotone_in_deadline;
+          Alcotest.test_case "shape families moment-matched" `Slow
+            test_yield_shape_families_moment_matched;
+          Alcotest.test_case "shape irrelevance for mean" `Slow
+            test_yield_shape_irrelevance_for_mean;
+        ] );
+      ( "corner",
+        [
+          Alcotest.test_case "ordering" `Quick (fun () ->
+              let net = Generate.tree () in
+              let sizes = Netlist.min_sizes net in
+              let c = Sta.Corner.analyze ~model net ~sizes in
+              Alcotest.(check bool) "best < typical < worst" true
+                (c.Sta.Corner.best < c.Sta.Corner.typical
+                && c.Sta.Corner.typical < c.Sta.Corner.worst));
+          Alcotest.test_case "typical = deterministic" `Quick (fun () ->
+              let net = Generate.tree () in
+              let sizes = Netlist.min_sizes net in
+              let c = Sta.Corner.analyze ~model net ~sizes in
+              let d = Sta.Dsta.analyze net ~sizes in
+              check_float ~eps:1e-9 "typical" d.Sta.Dsta.circuit c.Sta.Corner.typical);
+          Alcotest.test_case "zero model collapses corners" `Quick (fun () ->
+              let net = Generate.tree () in
+              let sizes = Netlist.min_sizes net in
+              let c = Sta.Corner.analyze ~model:Sigma_model.Zero net ~sizes in
+              check_float ~eps:1e-9 "best = worst" c.Sta.Corner.best c.Sta.Corner.worst);
+          Alcotest.test_case "pessimism vs statistical" `Slow (fun () ->
+              let net = Generate.tree () in
+              let sizes = Netlist.min_sizes net in
+              let p = Sta.Corner.pessimism ~model net ~sizes ~samples:10_000 in
+              Alcotest.(check bool) "worst corner above statistical" true
+                (p.Sta.Corner.corners.Sta.Corner.worst > p.Sta.Corner.statistical);
+              Alcotest.(check bool) "overestimates reality" true
+                (p.Sta.Corner.overestimate > 1.05);
+              Alcotest.(check bool) "statistical tracks MC" true
+                (abs_float (p.Sta.Corner.statistical -. p.Sta.Corner.monte_carlo_quantile)
+                 /. p.Sta.Corner.monte_carlo_quantile
+                < 0.02));
+        ] );
+      ( "criticality",
+        [
+          Alcotest.test_case "chain all critical" `Quick test_crit_chain_all_critical;
+          Alcotest.test_case "balanced tree split" `Slow test_crit_balanced_tree_split;
+          Alcotest.test_case "range and ranking" `Quick test_crit_sums_and_ranking;
+          Alcotest.test_case "invalid n" `Quick test_crit_invalid_n;
+        ] );
+    ]

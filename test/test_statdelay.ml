@@ -1,0 +1,455 @@
+(* Tests for the statistical delay operators: Normal arithmetic, the Clark
+   analytical max (values and derivatives), and the Monte Carlo reference. *)
+
+open Statdelay
+
+let check_float ?(eps = 1e-12) msg expected actual =
+  Alcotest.check (Alcotest.float eps) msg expected actual
+
+(* ---- Normal -------------------------------------------------------------- *)
+
+let test_normal_make () =
+  let x = Normal.make ~mu:2. ~sigma:0.5 in
+  check_float "mu" 2. (Normal.mu x);
+  check_float "var" 0.25 (Normal.var x);
+  check_float "sigma" 0.5 (Normal.sigma x);
+  Alcotest.check_raises "negative sigma" (Invalid_argument "Normal.make: negative sigma")
+    (fun () -> ignore (Normal.make ~mu:0. ~sigma:(-1.)))
+
+let test_normal_of_var () =
+  let x = Normal.of_var ~mu:1. ~var:4. in
+  check_float "sigma" 2. (Normal.sigma x);
+  (* tiny negative variance from rounding is clipped *)
+  let y = Normal.of_var ~mu:1. ~var:(-1e-15) in
+  check_float "clipped" 0. (Normal.var y);
+  Alcotest.check_raises "negative var" (Invalid_argument "Normal.of_var: negative variance")
+    (fun () -> ignore (Normal.of_var ~mu:0. ~var:(-1.)))
+
+let test_normal_add () =
+  let a = Normal.make ~mu:1. ~sigma:3. and b = Normal.make ~mu:2. ~sigma:4. in
+  let c = Normal.add a b in
+  check_float "mu adds" 3. (Normal.mu c);
+  check_float "var adds" 25. (Normal.var c);
+  check_float "sigma pythagorean" 5. (Normal.sigma c)
+
+let test_normal_shift_scale () =
+  let x = Normal.make ~mu:2. ~sigma:1. in
+  let s = Normal.shift x 3. in
+  check_float "shift mu" 5. (Normal.mu s);
+  check_float "shift var" 1. (Normal.var s);
+  let sc = Normal.scale x 2. in
+  check_float "scale mu" 4. (Normal.mu sc);
+  check_float "scale var" 4. (Normal.var sc)
+
+let test_normal_cdf_quantile () =
+  let x = Normal.make ~mu:10. ~sigma:2. in
+  check_float ~eps:1e-12 "cdf at mean" 0.5 (Normal.cdf_at x 10.);
+  check_float ~eps:1e-10 "cdf at +1s" 0.841344746068543 (Normal.cdf_at x 12.);
+  check_float ~eps:1e-9 "quantile roundtrip" 12. (Normal.quantile x 0.841344746068543);
+  check_float "mu_plus_k_sigma" 16. (Normal.mu_plus_k_sigma x 3.)
+
+let test_normal_deterministic_cdf () =
+  let x = Normal.deterministic 5. in
+  check_float "below" 0. (Normal.cdf_at x 4.9);
+  check_float "at" 1. (Normal.cdf_at x 5.);
+  check_float "quantile" 5. (Normal.quantile x 0.3)
+
+(* ---- Clark max: values --------------------------------------------------- *)
+
+(* Closed-form check for equal means and sigmas: for A, B ~ N(m, s^2) iid,
+   mu_max = m + s/sqrt(pi), var_max = s^2 (1 - 1/pi). *)
+let test_clark_equal_operands () =
+  let m = 3. and s = 0.8 in
+  let a = Normal.make ~mu:m ~sigma:s in
+  let c = Clark.max2 a a in
+  check_float ~eps:1e-12 "mu" (m +. (s /. sqrt Float.pi)) (Normal.mu c);
+  check_float ~eps:1e-12 "var" (s *. s *. (1. -. (1. /. Float.pi))) (Normal.var c)
+
+let test_clark_dominant_operand () =
+  (* When A is far above B, max(A, B) ~ A. *)
+  let a = Normal.make ~mu:100. ~sigma:1. and b = Normal.make ~mu:0. ~sigma:1. in
+  let c = Clark.max2 a b in
+  check_float ~eps:1e-9 "mu ~ muA" 100. (Normal.mu c);
+  check_float ~eps:1e-9 "var ~ varA" 1. (Normal.var c)
+
+let test_clark_commutative () =
+  let a = Normal.make ~mu:1. ~sigma:0.3 and b = Normal.make ~mu:1.4 ~sigma:0.6 in
+  let c1 = Clark.max2 a b and c2 = Clark.max2 b a in
+  check_float ~eps:1e-14 "mu" (Normal.mu c1) (Normal.mu c2);
+  check_float ~eps:1e-14 "var" (Normal.var c1) (Normal.var c2)
+
+let test_clark_degenerate_both () =
+  let a = Normal.deterministic 2. and b = Normal.deterministic 5. in
+  let c = Clark.max2 a b in
+  check_float "mu" 5. (Normal.mu c);
+  check_float "var" 0. (Normal.var c)
+
+let test_clark_degenerate_tie () =
+  let a = Normal.deterministic 2. and b = Normal.deterministic 2. in
+  let c = Clark.max2 a b in
+  check_float "mu" 2. (Normal.mu c);
+  check_float "var" 0. (Normal.var c)
+
+let test_clark_mu_exceeds_operands () =
+  (* mu_max >= max(mu_A, mu_B) always. *)
+  let cases =
+    [ (0., 1., 0., 1.); (1., 0.5, 1.2, 0.1); (-3., 2., 4., 0.01); (0., 0.1, 0., 3.) ]
+  in
+  List.iter
+    (fun (ma, sa, mb, sb) ->
+      let c = Clark.max2 (Normal.make ~mu:ma ~sigma:sa) (Normal.make ~mu:mb ~sigma:sb) in
+      if Normal.mu c < max ma mb -. 1e-12 then
+        Alcotest.failf "mu_max %.6f below operands (%g, %g)" (Normal.mu c) ma mb)
+    cases
+
+let test_clark_expectation_sq_consistent () =
+  let a = Normal.make ~mu:1. ~sigma:0.4 and b = Normal.make ~mu:1.5 ~sigma:0.2 in
+  let c = Clark.max2 a b in
+  let e2 = Clark.expectation_sq a b in
+  check_float ~eps:1e-12 "var = E2 - mu^2" (Normal.var c)
+    (e2 -. (Normal.mu c *. Normal.mu c))
+
+let test_clark_max_list () =
+  let xs =
+    [
+      Normal.make ~mu:1. ~sigma:0.1;
+      Normal.make ~mu:2. ~sigma:0.2;
+      Normal.make ~mu:1.5 ~sigma:0.4;
+    ]
+  in
+  let c = Clark.max_list xs in
+  Alcotest.(check bool) "above all means" true (Normal.mu c >= 2.);
+  (* singleton *)
+  let single = Clark.max_list [ List.hd xs ] in
+  check_float "singleton mu" 1. (Normal.mu single);
+  Alcotest.check_raises "empty" (Invalid_argument "Clark.max_list: empty list")
+    (fun () -> ignore (Clark.max_list []))
+
+let test_clark_max_array_matches_list () =
+  let xs =
+    [|
+      Normal.make ~mu:0.5 ~sigma:0.2;
+      Normal.make ~mu:0.7 ~sigma:0.1;
+      Normal.make ~mu:0.4 ~sigma:0.5;
+      Normal.make ~mu:0.9 ~sigma:0.05;
+    |]
+  in
+  let a = Clark.max_array xs and l = Clark.max_list (Array.to_list xs) in
+  check_float ~eps:1e-15 "mu" (Normal.mu l) (Normal.mu a);
+  check_float ~eps:1e-15 "var" (Normal.var l) (Normal.var a)
+
+let test_clark_min2 () =
+  (* min(A, B) = -max(-A, -B): check against sampling and duality. *)
+  let a = Normal.make ~mu:1. ~sigma:0.3 and b = Normal.make ~mu:1.2 ~sigma:0.5 in
+  let m = Clark.min2 a b in
+  Alcotest.(check bool) "below both means" true (Normal.mu m <= 1.);
+  let rng = Util.Rng.create 55 in
+  let st =
+    Util.Stats.of_array
+      (Array.init 200_000 (fun _ ->
+           min
+             (Util.Rng.gaussian rng ~mu:1. ~sigma:0.3)
+             (Util.Rng.gaussian rng ~mu:1.2 ~sigma:0.5)))
+  in
+  Alcotest.(check bool) "mu matches MC" true
+    (abs_float (Normal.mu m -. Util.Stats.mean st) < 0.01);
+  Alcotest.(check bool) "sigma matches MC" true
+    (abs_float (Normal.sigma m -. Util.Stats.std_dev st) < 0.01);
+  (* duality: min(A,B) + max(A,B) has mean mu_A + mu_B *)
+  let mx = Clark.max2 a b in
+  check_float ~eps:1e-12 "mean duality" (1. +. 1.2) (Normal.mu m +. Normal.mu mx);
+  (* min_list folds *)
+  let ml = Clark.min_list [ a; b; Normal.make ~mu:0.5 ~sigma:0.1 ] in
+  Alcotest.(check bool) "n-ary min below" true (Normal.mu ml < Normal.mu m);
+  Alcotest.check_raises "empty" (Invalid_argument "Clark.min_list: empty list")
+    (fun () -> ignore (Clark.min_list []))
+
+let test_clark_vs_monte_carlo () =
+  let rng = Util.Rng.create 101 in
+  let cases =
+    [ (0., 1., 0., 1.); (1., 0.5, 1.3, 0.25); (2., 0.1, 0., 1.); (0., 0.3, 0.1, 0.3) ]
+  in
+  List.iter
+    (fun (ma, sa, mb, sb) ->
+      let a = Normal.make ~mu:ma ~sigma:sa and b = Normal.make ~mu:mb ~sigma:sb in
+      let cmp = Mc.compare_max2 rng a b ~n:400_000 in
+      if cmp.Mc.mu_abs_err > 0.01 then
+        Alcotest.failf "mu error %.4f too large" cmp.Mc.mu_abs_err;
+      if cmp.Mc.sigma_abs_err > 0.01 then
+        Alcotest.failf "sigma error %.4f too large" cmp.Mc.sigma_abs_err)
+    cases
+
+(* ---- Clark max: derivatives ------------------------------------------------ *)
+
+(* Pack the four Clark inputs as a vector and check all eight partials
+   against central finite differences of the value functions. *)
+let clark_fd_check ~mu_a ~var_a ~mu_b ~var_b =
+  let make x =
+    ( Normal.of_var ~mu:x.(0) ~var:x.(1),
+      Normal.of_var ~mu:x.(2) ~var:x.(3) )
+  in
+  let x0 = [| mu_a; var_a; mu_b; var_b |] in
+  let _, p = Clark.max2_full (Normal.of_var ~mu:mu_a ~var:var_a)
+      (Normal.of_var ~mu:mu_b ~var:var_b) in
+  let fd_mu =
+    Util.Numerics.fd_gradient ~h:1e-7
+      (fun x ->
+        let a, b = make x in
+        Normal.mu (Clark.max2 a b))
+      x0
+  in
+  let fd_var =
+    Util.Numerics.fd_gradient ~h:1e-7
+      (fun x ->
+        let a, b = make x in
+        Normal.var (Clark.max2 a b))
+      x0
+  in
+  let pairs =
+    [
+      ("dmu/dmu_a", p.Clark.dmu_dmu_a, fd_mu.(0));
+      ("dmu/dvar_a", p.Clark.dmu_dvar_a, fd_mu.(1));
+      ("dmu/dmu_b", p.Clark.dmu_dmu_b, fd_mu.(2));
+      ("dmu/dvar_b", p.Clark.dmu_dvar_b, fd_mu.(3));
+      ("dvar/dmu_a", p.Clark.dvar_dmu_a, fd_var.(0));
+      ("dvar/dvar_a", p.Clark.dvar_dvar_a, fd_var.(1));
+      ("dvar/dmu_b", p.Clark.dvar_dmu_b, fd_var.(2));
+      ("dvar/dvar_b", p.Clark.dvar_dvar_b, fd_var.(3));
+    ]
+  in
+  List.iter
+    (fun (name, analytic, numeric) ->
+      if not (Util.Numerics.approx_eq ~rtol:1e-4 ~atol:1e-6 analytic numeric) then
+        Alcotest.failf "%s: analytic %.8f vs fd %.8f (at mu_a=%g var_a=%g mu_b=%g var_b=%g)"
+          name analytic numeric mu_a var_a mu_b var_b)
+    pairs
+
+let test_clark_partials_fd_grid () =
+  List.iter
+    (fun (mu_a, var_a, mu_b, var_b) -> clark_fd_check ~mu_a ~var_a ~mu_b ~var_b)
+    [
+      (0., 1., 0., 1.);
+      (1., 0.09, 1.2, 0.25);
+      (2., 0.5, 0., 0.1);
+      (-1., 0.2, 1., 0.2);
+      (5., 1., 4.5, 2.);
+      (0.3, 0.01, 0.31, 0.02);
+    ]
+
+let prop_clark_partials_fd =
+  let gen =
+    QCheck.Gen.(
+      let* mu_a = float_range (-3.) 3. in
+      let* var_a = float_range 0.05 2. in
+      let* mu_b = float_range (-3.) 3. in
+      let* var_b = float_range 0.05 2. in
+      return (mu_a, var_a, mu_b, var_b))
+  in
+  QCheck.Test.make ~name:"Clark partials match finite differences" ~count:100
+    (QCheck.make gen) (fun (mu_a, var_a, mu_b, var_b) ->
+      clark_fd_check ~mu_a ~var_a ~mu_b ~var_b;
+      true)
+
+let prop_clark_mu_partials_sum_to_one =
+  (* d mu_C / d mu_A + d mu_C / d mu_B = Phi(a) + Phi(-a) = 1: shifting both
+     operands by delta shifts the max by delta. *)
+  let gen =
+    QCheck.Gen.(
+      let* mu_a = float_range (-5.) 5. in
+      let* var_a = float_range 0.01 4. in
+      let* mu_b = float_range (-5.) 5. in
+      let* var_b = float_range 0.01 4. in
+      return (mu_a, var_a, mu_b, var_b))
+  in
+  QCheck.Test.make ~name:"translation invariance of mu partials" ~count:300
+    (QCheck.make gen) (fun (mu_a, var_a, mu_b, var_b) ->
+      let _, p =
+        Clark.max2_full
+          (Normal.of_var ~mu:mu_a ~var:var_a)
+          (Normal.of_var ~mu:mu_b ~var:var_b)
+      in
+      Util.Numerics.approx_eq ~rtol:1e-10 1. (p.Clark.dmu_dmu_a +. p.Clark.dmu_dmu_b))
+
+let prop_clark_var_bounded =
+  (* var_max <= var_A + var_B (in fact <= max, but the loose bound is a
+     safe invariant) and var_max >= 0. *)
+  let gen =
+    QCheck.Gen.(
+      let* mu_a = float_range (-5.) 5. in
+      let* var_a = float_range 0. 4. in
+      let* mu_b = float_range (-5.) 5. in
+      let* var_b = float_range 0. 4. in
+      return (mu_a, var_a, mu_b, var_b))
+  in
+  QCheck.Test.make ~name:"variance of max is bounded" ~count:500 (QCheck.make gen)
+    (fun (mu_a, var_a, mu_b, var_b) ->
+      let c =
+        Clark.max2 (Normal.of_var ~mu:mu_a ~var:var_a) (Normal.of_var ~mu:mu_b ~var:var_b)
+      in
+      Normal.var c >= 0. && Normal.var c <= var_a +. var_b +. 1e-9)
+
+let prop_clark_monotone_in_means =
+  (* Increasing an operand's mean cannot decrease the mean of the max. *)
+  let gen =
+    QCheck.Gen.(
+      let* mu_a = float_range (-3.) 3. in
+      let* var_a = float_range 0.01 2. in
+      let* mu_b = float_range (-3.) 3. in
+      let* var_b = float_range 0.01 2. in
+      let* bump = float_range 0. 2. in
+      return (mu_a, var_a, mu_b, var_b, bump))
+  in
+  QCheck.Test.make ~name:"mu of max monotone in operand means" ~count:300
+    (QCheck.make gen) (fun (mu_a, var_a, mu_b, var_b, bump) ->
+      let b = Normal.of_var ~mu:mu_b ~var:var_b in
+      let c1 = Clark.max2 (Normal.of_var ~mu:mu_a ~var:var_a) b in
+      let c2 = Clark.max2 (Normal.of_var ~mu:(mu_a +. bump) ~var:var_a) b in
+      Normal.mu c2 >= Normal.mu c1 -. 1e-12)
+
+let prop_clark_scale_equivariance =
+  (* max(aA, aB) = a max(A, B) for a > 0: scaling both operands scales the
+     max.  Exercises the full formula including the theta term. *)
+  let gen =
+    QCheck.Gen.(
+      let* mu_a = float_range (-2.) 2. in
+      let* var_a = float_range 0.01 2. in
+      let* mu_b = float_range (-2.) 2. in
+      let* var_b = float_range 0.01 2. in
+      let* a = float_range 0.1 5. in
+      return (mu_a, var_a, mu_b, var_b, a))
+  in
+  QCheck.Test.make ~name:"Clark max scale equivariance" ~count:300 (QCheck.make gen)
+    (fun (mu_a, var_a, mu_b, var_b, a) ->
+      let c1 =
+        Clark.max2
+          (Normal.of_var ~mu:(a *. mu_a) ~var:(a *. a *. var_a))
+          (Normal.of_var ~mu:(a *. mu_b) ~var:(a *. a *. var_b))
+      in
+      let c2 =
+        Normal.scale (Clark.max2 (Normal.of_var ~mu:mu_a ~var:var_a)
+                        (Normal.of_var ~mu:mu_b ~var:var_b))
+          a
+      in
+      Util.Numerics.approx_eq ~rtol:1e-9 ~atol:1e-12 (Normal.mu c1) (Normal.mu c2)
+      && Util.Numerics.approx_eq ~rtol:1e-8 ~atol:1e-12 (Normal.var c1) (Normal.var c2))
+
+let prop_clark_translation_equivariance =
+  (* max(A + c, B + c) = max(A, B) + c. *)
+  let gen =
+    QCheck.Gen.(
+      let* mu_a = float_range (-2.) 2. in
+      let* var_a = float_range 0.01 2. in
+      let* mu_b = float_range (-2.) 2. in
+      let* var_b = float_range 0.01 2. in
+      let* c = float_range (-10.) 10. in
+      return (mu_a, var_a, mu_b, var_b, c))
+  in
+  QCheck.Test.make ~name:"Clark max translation equivariance" ~count:300
+    (QCheck.make gen) (fun (mu_a, var_a, mu_b, var_b, c) ->
+      let shifted =
+        Clark.max2
+          (Normal.of_var ~mu:(mu_a +. c) ~var:var_a)
+          (Normal.of_var ~mu:(mu_b +. c) ~var:var_b)
+      in
+      let base =
+        Clark.max2 (Normal.of_var ~mu:mu_a ~var:var_a) (Normal.of_var ~mu:mu_b ~var:var_b)
+      in
+      Util.Numerics.approx_eq ~rtol:1e-9 ~atol:1e-9 (Normal.mu shifted)
+        (Normal.mu base +. c)
+      && Util.Numerics.approx_eq ~rtol:1e-8 ~atol:1e-10 (Normal.var shifted)
+           (Normal.var base))
+
+let prop_correlated_max_monotone_in_rho =
+  (* For identical operands the mean of the max decreases as the operands
+     become more correlated (less independent spread to exploit). *)
+  let gen =
+    QCheck.Gen.(
+      let* mu = float_range (-2.) 2. in
+      let* sigma = float_range 0.1 2. in
+      let* rho1 = float_range (-0.99) 0.99 in
+      let* rho2 = float_range (-0.99) 0.99 in
+      return (mu, sigma, min rho1 rho2, max rho1 rho2))
+  in
+  QCheck.Test.make ~name:"correlated max mean monotone in rho" ~count:300
+    (QCheck.make gen) (fun (mu, sigma, rho_lo, rho_hi) ->
+      let x = Normal.make ~mu ~sigma in
+      Normal.mu (Correlation.max2 x x ~rho:rho_hi)
+      <= Normal.mu (Correlation.max2 x x ~rho:rho_lo) +. 1e-12)
+
+(* ---- Monte Carlo reference -------------------------------------------------- *)
+
+let test_mc_sample_max_list () =
+  let rng = Util.Rng.create 77 in
+  let xs = [ Normal.make ~mu:0. ~sigma:1.; Normal.make ~mu:0.5 ~sigma:0.5 ] in
+  let samples = Mc.sample_max_list rng xs ~n:10_000 in
+  Alcotest.(check int) "count" 10_000 (Array.length samples);
+  let st = Util.Stats.of_array samples in
+  Alcotest.(check bool) "mean above both" true (Util.Stats.mean st > 0.5)
+
+let test_mc_compare_list_close () =
+  let rng = Util.Rng.create 78 in
+  let xs =
+    [
+      Normal.make ~mu:1. ~sigma:0.2;
+      Normal.make ~mu:1.1 ~sigma:0.2;
+      Normal.make ~mu:0.9 ~sigma:0.3;
+      Normal.make ~mu:1.05 ~sigma:0.25;
+    ]
+  in
+  let cmp = Mc.compare_max_list rng xs ~n:400_000 in
+  (* The repeated two-operand fold is an approximation for n > 2; errors
+     stay small (the paper's Section 7 notes the n-ary max as future
+     work). *)
+  Alcotest.(check bool) "mu err < 2%" true (cmp.Mc.mu_abs_err < 0.02);
+  Alcotest.(check bool) "sigma err < 2%" true (cmp.Mc.sigma_abs_err < 0.02)
+
+let test_mc_empty_list_rejected () =
+  let rng = Util.Rng.create 1 in
+  Alcotest.check_raises "empty" (Invalid_argument "Mc.sample_max_list: empty list")
+    (fun () -> ignore (Mc.sample_max_list rng [] ~n:10))
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "statdelay"
+    [
+      ( "normal",
+        [
+          Alcotest.test_case "make" `Quick test_normal_make;
+          Alcotest.test_case "of_var" `Quick test_normal_of_var;
+          Alcotest.test_case "add" `Quick test_normal_add;
+          Alcotest.test_case "shift/scale" `Quick test_normal_shift_scale;
+          Alcotest.test_case "cdf/quantile" `Quick test_normal_cdf_quantile;
+          Alcotest.test_case "deterministic cdf" `Quick test_normal_deterministic_cdf;
+        ] );
+      ( "clark_values",
+        [
+          Alcotest.test_case "equal operands closed form" `Quick test_clark_equal_operands;
+          Alcotest.test_case "dominant operand" `Quick test_clark_dominant_operand;
+          Alcotest.test_case "commutative" `Quick test_clark_commutative;
+          Alcotest.test_case "degenerate" `Quick test_clark_degenerate_both;
+          Alcotest.test_case "degenerate tie" `Quick test_clark_degenerate_tie;
+          Alcotest.test_case "mu dominates operands" `Quick test_clark_mu_exceeds_operands;
+          Alcotest.test_case "E2 consistency" `Quick test_clark_expectation_sq_consistent;
+          Alcotest.test_case "max_list" `Quick test_clark_max_list;
+          Alcotest.test_case "max_array = max_list" `Quick test_clark_max_array_matches_list;
+          Alcotest.test_case "min2 / min_list" `Slow test_clark_min2;
+          Alcotest.test_case "matches Monte Carlo" `Slow test_clark_vs_monte_carlo;
+        ] );
+      ( "clark_derivatives",
+        [
+          Alcotest.test_case "partials vs FD (grid)" `Quick test_clark_partials_fd_grid;
+          q prop_clark_partials_fd;
+          q prop_clark_mu_partials_sum_to_one;
+          q prop_clark_var_bounded;
+          q prop_clark_monotone_in_means;
+          q prop_clark_scale_equivariance;
+          q prop_clark_translation_equivariance;
+          q prop_correlated_max_monotone_in_rho;
+        ] );
+      ( "monte_carlo",
+        [
+          Alcotest.test_case "sample_max_list" `Quick test_mc_sample_max_list;
+          Alcotest.test_case "fold vs exact n-ary" `Slow test_mc_compare_list_close;
+          Alcotest.test_case "empty rejected" `Quick test_mc_empty_list_rejected;
+        ] );
+    ]
