@@ -17,7 +17,14 @@
      dune exec bench/main.exe             # tables then micro-benchmarks
      dune exec bench/main.exe -- tables   # tables only
      dune exec bench/main.exe -- micro    # micro-benchmarks only
-     dune exec bench/main.exe -- table1|table2|table3|example|yield|mc|ablation *)
+     dune exec bench/main.exe -- table1|table2|table3|example|yield|mc|ablation
+     dune exec bench/main.exe -- --jobs 4 parallel   # serial vs pooled SSTA
+     dune exec bench/main.exe -- --jobs 4 table1     # pooled table regeneration
+
+   [--jobs N] creates an N-domain Util.Pool; the sections that evaluate
+   large circuits (table1, scale, parallel) thread it into the SSTA
+   sweeps.  The [parallel] section checks serial/parallel bit-identity
+   and reports the measured speedup on a >= 2000-gate circuit. *)
 
 let model = Circuit.Sigma_model.paper_default
 
@@ -27,9 +34,9 @@ let section name f =
   f ();
   Printf.printf "[%s: %.1f s CPU]\n\n%!" name (Sys.time () -. t0)
 
-let run_table1 () =
+let run_table1 ?pool () =
   section "Table 1: statistical sizing of large benchmark circuits" (fun () ->
-      Experiments.Table1.(print (run ~model ())))
+      Experiments.Table1.(print (run ~model ?pool ())))
 
 let run_table2 () =
   section "Table 2: tree circuit objectives and constraints" (fun () ->
@@ -59,8 +66,9 @@ let run_corner () =
   section "Corner-analysis pessimism (Section 1 motivation)" (fun () ->
       Experiments.Corner_exp.(print (run ~model ())))
 
-let run_scale () =
-  section "Scalability sweep" (fun () -> Experiments.Scale_exp.(print (run ~model ())))
+let run_scale ?pool () =
+  section "Scalability sweep" (fun () ->
+      Experiments.Scale_exp.(print (run ~model ?pool ())))
 
 let run_ablation () =
   section "Ablations (sigma model, eq14/eq15 form, deterministic baseline)"
@@ -77,7 +85,7 @@ let run_extensions () =
       Sizing.Sweep.print
         (Sizing.Sweep.area_delay ~model ~k:3. ~points:6 (Circuit.Generate.apex2_like ())))
 
-let run_tables () =
+let run_tables ?pool () =
   run_example ();
   run_table2 ();
   run_table3 ();
@@ -86,8 +94,92 @@ let run_tables () =
   run_corner ();
   run_ablation ();
   run_extensions ();
-  run_table1 ();
-  run_scale ()
+  run_table1 ?pool ();
+  run_scale ?pool ()
+
+(* ---- serial vs parallel SSTA ----------------------------------------------- *)
+
+(* Wall-clock per-call seconds of [f] (the monotonic clock — [Sys.time]
+   sums CPU over domains and would hide any speedup). *)
+let wall_time_per_call ~reps f =
+  ignore (f ());
+  let t0 = Util.Instr.now_ns () in
+  for _ = 1 to reps do
+    ignore (f ())
+  done;
+  float_of_int (Util.Instr.now_ns () - t0) *. 1e-9 /. float_of_int reps
+
+let run_parallel ~jobs () =
+  section
+    (Printf.sprintf "Parallel levelized SSTA (jobs=%d, %d cores available)" jobs
+       (Domain.recommended_domain_count ()))
+    (fun () ->
+      let spec =
+        {
+          Circuit.Generate.default_spec with
+          Circuit.Generate.n_gates = 2400;
+          n_pis = 96;
+          target_depth = 12;
+          seed = 77;
+        }
+      in
+      let net = Circuit.Generate.random_dag spec in
+      let sizes = Circuit.Netlist.min_sizes net in
+      let seed = Sta.Ssta.mu_plus_k_sigma_seed 3. in
+      Format.printf "%a@." Circuit.Netlist.pp_summary net;
+      let reps = 20 in
+      let serial_analyze () = Sta.Ssta.analyze ~model net ~sizes in
+      let serial_grad () = Sta.Ssta.value_and_gradient ~model net ~sizes ~seed in
+      let res_s, grad_s = serial_grad () in
+      let t_a_serial = wall_time_per_call ~reps serial_analyze in
+      let t_g_serial = wall_time_per_call ~reps serial_grad in
+      let t = Util.Table.create ~header:[ "sweep"; "jobs"; "time/run"; "speedup"; "bit-identical" ] in
+      for i = 1 to 4 do
+        Util.Table.set_align t i Util.Table.Right
+      done;
+      let ms s = Printf.sprintf "%.2f ms" (s *. 1e3) in
+      Util.Table.add_row t [ "analyze"; "1"; ms t_a_serial; "1.00x"; "-" ];
+      Util.Table.add_row t [ "value_and_gradient"; "1"; ms t_g_serial; "1.00x"; "-" ];
+      if jobs > 1 then
+        Util.Pool.with_pool ~jobs (fun pool ->
+            let par_analyze () = Sta.Ssta.analyze ~pool ~model net ~sizes in
+            let par_grad () =
+              Sta.Ssta.value_and_gradient ~pool ~model net ~sizes ~seed
+            in
+            let res_p, grad_p = par_grad () in
+            let bits = Int64.bits_of_float in
+            let same_normal (a : Statdelay.Normal.t) (b : Statdelay.Normal.t) =
+              Int64.equal (bits a.Statdelay.Normal.mu) (bits b.Statdelay.Normal.mu)
+              && Int64.equal (bits a.Statdelay.Normal.var) (bits b.Statdelay.Normal.var)
+            in
+            let identical =
+              same_normal res_s.Sta.Ssta.circuit res_p.Sta.Ssta.circuit
+              && Array.for_all2 same_normal res_s.Sta.Ssta.arrival
+                   res_p.Sta.Ssta.arrival
+              && Array.for_all2
+                   (fun (a : float) b -> Int64.equal (bits a) (bits b))
+                   grad_s grad_p
+            in
+            let t_a_par = wall_time_per_call ~reps par_analyze in
+            let t_g_par = wall_time_per_call ~reps par_grad in
+            let row name ts tp =
+              Util.Table.add_row t
+                [
+                  name;
+                  string_of_int jobs;
+                  ms tp;
+                  Printf.sprintf "%.2fx" (ts /. tp);
+                  (if identical then "yes" else "NO");
+                ]
+            in
+            row "analyze" t_a_serial t_a_par;
+            row "value_and_gradient" t_g_serial t_g_par;
+            if not identical then
+              Printf.printf "ERROR: parallel results differ from serial!\n")
+      else
+        Printf.printf "(pass --jobs N with N > 1 to time the pooled path)\n";
+      Util.Table.print t;
+      print_newline ())
 
 (* ---- micro-benchmarks ------------------------------------------------------ *)
 
@@ -210,27 +302,50 @@ let run_micro () =
   Util.Table.print t;
   print_newline ()
 
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [--jobs N] \
+     [all|tables|micro|parallel|table1|table2|table3|example|yield|mc|corner|ablation|extensions|scale]...\n"
+
 let () =
-  let arg = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
-  match arg with
-  | "all" ->
-      run_tables ();
-      run_micro ()
-  | "tables" -> run_tables ()
-  | "micro" -> run_micro ()
-  | "table1" -> run_table1 ()
-  | "table2" -> run_table2 ()
-  | "table3" -> run_table3 ()
-  | "example" -> run_example ()
-  | "yield" -> run_yield ()
-  | "mc" -> run_mc ()
-  | "ablation" -> run_ablation ()
-  | "extensions" -> run_extensions ()
-  | "corner" -> run_corner ()
-  | "scale" -> run_scale ()
-  | other ->
-      Printf.eprintf
-        "unknown section %S (expected \
-         all|tables|micro|table1|table2|table3|example|yield|mc|corner|ablation|extensions|scale)\n"
-        other;
-      exit 2
+  let rec parse jobs sections = function
+    | [] -> (jobs, List.rev sections)
+    | "--jobs" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 -> parse j sections rest
+        | _ ->
+            Printf.eprintf "--jobs expects a positive integer, got %S\n" n;
+            exit 2)
+    | [ "--jobs" ] ->
+        Printf.eprintf "--jobs expects an argument\n";
+        exit 2
+    | s :: rest -> parse jobs (s :: sections) rest
+  in
+  let jobs, sections = parse 1 [] (List.tl (Array.to_list Sys.argv)) in
+  let sections = if sections = [] then [ "all" ] else sections in
+  let pool = if jobs > 1 then Some (Util.Pool.create ~jobs ()) else None in
+  let run_section = function
+    | "all" ->
+        run_tables ?pool ();
+        run_parallel ~jobs ();
+        run_micro ()
+    | "tables" -> run_tables ?pool ()
+    | "micro" -> run_micro ()
+    | "parallel" -> run_parallel ~jobs ()
+    | "table1" -> run_table1 ?pool ()
+    | "table2" -> run_table2 ()
+    | "table3" -> run_table3 ()
+    | "example" -> run_example ()
+    | "yield" -> run_yield ()
+    | "mc" -> run_mc ()
+    | "ablation" -> run_ablation ()
+    | "extensions" -> run_extensions ()
+    | "corner" -> run_corner ()
+    | "scale" -> run_scale ?pool ()
+    | other ->
+        Printf.eprintf "unknown section %S\n" other;
+        usage ();
+        exit 2
+  in
+  List.iter run_section sections;
+  Option.iter Util.Pool.shutdown pool

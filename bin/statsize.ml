@@ -74,15 +74,56 @@ let sizes_arg =
   let doc = "Uniform speed factor applied to every gate (default 1.0)." in
   Arg.(value & opt float 1.0 & info [ "sizes" ] ~docv:"S" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Evaluate the statistical timing sweeps on N domains (a Util.Pool; results \
+     are bit-identical to the serial path)."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let profile_arg =
+  let doc =
+    "Write instrumentation counters and phase timings (JSON) to $(docv) on exit."
+  in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+
+(* Run [f] with the pool/instrumentation environment the common [--jobs]
+   and [--profile] flags describe, dumping the profile afterwards. *)
+let with_runtime ~jobs ~profile f =
+  if jobs < 1 then begin
+    Printf.eprintf "statsize: --jobs must be >= 1\n";
+    exit 1
+  end;
+  if profile <> None then Util.Instr.enable ();
+  let pool = if jobs > 1 then Some (Util.Pool.create ~jobs ()) else None in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Util.Pool.shutdown pool)
+    (fun () ->
+      let result = f pool in
+      (match profile with
+      | None -> ()
+      | Some path -> (
+          let json = Util.Instr.to_json (Util.Instr.snapshot ()) in
+          match
+            Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc json)
+          with
+          | () -> Printf.printf "profile written to %s\n" path
+          | exception Sys_error msg ->
+              Printf.eprintf "statsize: cannot write profile: %s\n" msg;
+              exit 1));
+      result)
+
 (* ---- analyze ----------------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run circuit blif bench library_file wire_load sigma_ratio size mc cssta crit =
+  let run circuit blif bench library_file wire_load sigma_ratio size mc cssta crit
+      jobs profile =
     match load_circuit ~blif ~bench ~library_file ~circuit ~wire_load with
     | Error msg ->
         Printf.eprintf "statsize: %s\n" msg;
         exit 1
     | Ok net ->
+        with_runtime ~jobs ~profile @@ fun pool ->
         let model = model_of_ratio sigma_ratio in
         let n = Circuit.Netlist.n_gates net in
         let sizes =
@@ -90,7 +131,7 @@ let analyze_cmd =
               min size (Circuit.Netlist.gate net i).Circuit.Netlist.cell.Circuit.Cell.max_size)
         in
         Format.printf "%a@." Circuit.Netlist.pp_summary net;
-        let res = Sta.Ssta.analyze ~model net ~sizes in
+        let res = Sta.Ssta.analyze ?pool ~model net ~sizes in
         let c = res.Sta.Ssta.circuit in
         let d = Sta.Dsta.analyze net ~sizes in
         Printf.printf "deterministic worst-case delay: %.4f\n" d.Sta.Dsta.circuit;
@@ -143,7 +184,8 @@ let analyze_cmd =
   let term =
     Term.(
       const run $ circuit_arg $ blif_arg $ bench_arg $ library_arg $ wire_load_arg
-      $ sigma_ratio_arg $ sizes_arg $ mc_arg $ cssta_arg $ crit_arg)
+      $ sigma_ratio_arg $ sizes_arg $ mc_arg $ cssta_arg $ crit_arg $ jobs_arg
+      $ profile_arg)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Statistical timing report of a circuit at fixed sizes")
@@ -167,7 +209,7 @@ let objective_of ~objective ~k ~bound ~mu =
 
 let size_cmd =
   let run circuit blif bench library_file wire_load sigma_ratio objective k bound mu
-      print_sizes mc =
+      print_sizes mc jobs profile =
     match load_circuit ~blif ~bench ~library_file ~circuit ~wire_load with
     | Error msg ->
         Printf.eprintf "statsize: %s\n" msg;
@@ -178,8 +220,9 @@ let size_cmd =
             Printf.eprintf "statsize: %s\n" msg;
             exit 1
         | Ok obj ->
+            with_runtime ~jobs ~profile @@ fun pool ->
             let model = model_of_ratio sigma_ratio in
-            let s = Sizing.Engine.solve ~model net obj in
+            let s = Sizing.Engine.solve ?pool ~model net obj in
             Format.printf "%a@." Sizing.Report.pp_solution s;
             if not s.Sizing.Engine.converged then
               Printf.printf "warning: solver did not fully converge (violation %.2e)\n"
@@ -225,7 +268,7 @@ let size_cmd =
     Term.(
       const run $ circuit_arg $ blif_arg $ bench_arg $ library_arg $ wire_load_arg
       $ sigma_ratio_arg $ objective_arg $ k_arg $ bound_arg $ mu_arg $ print_sizes_arg
-      $ mc_arg)
+      $ mc_arg $ jobs_arg $ profile_arg)
   in
   Cmd.v (Cmd.info "size" ~doc:"Solve a statistical gate sizing problem") term
 

@@ -15,6 +15,9 @@ type t = {
   pos : node array;
   po_names : string array;
   fanout : (int * int) list array;
+  mutable bucket_cache : int array array option;
+      (* per-level gate-id buckets, computed once per netlist on first
+         use (the topology never changes after [Builder.build]) *)
 }
 
 module Builder = struct
@@ -108,6 +111,7 @@ module Builder = struct
       pos = Array.of_list (List.map fst pos_pairs);
       po_names = Array.of_list (List.map snd pos_pairs);
       fanout;
+      bucket_cache = None;
     }
 end
 
@@ -165,6 +169,29 @@ let levels t =
   lvl
 
 let depth t = if n_gates t = 0 then 0 else Array.fold_left max 0 (levels t)
+
+let compute_buckets t =
+  let lvl = levels t in
+  let d = Array.fold_left max 0 lvl in
+  let counts = Array.make d 0 in
+  Array.iter (fun l -> counts.(l - 1) <- counts.(l - 1) + 1) lvl;
+  let buckets = Array.map (fun c -> Array.make c 0) counts in
+  let fill = Array.make d 0 in
+  (* ascending-id iteration keeps every bucket sorted by gate id *)
+  Array.iteri
+    (fun id l ->
+      buckets.(l - 1).(fill.(l - 1)) <- id;
+      fill.(l - 1) <- fill.(l - 1) + 1)
+    lvl;
+  buckets
+
+let level_buckets t =
+  match t.bucket_cache with
+  | Some b -> b
+  | None ->
+      let b = compute_buckets t in
+      t.bucket_cache <- Some b;
+      b
 
 type stats = {
   gates_count : int;

@@ -88,6 +88,19 @@ val levels : t -> int array
 
 val depth : t -> int
 
+val level_buckets : t -> int array array
+(** [level_buckets t] partitions the gate ids by logic level:
+    [(level_buckets t).(l)] lists, in ascending id order, the gates at
+    level [l + 1].  Every fanin of a gate in bucket [l] is a PI or a gate
+    in a bucket [< l], so the gates of one bucket are independent — this
+    is the schedule the levelized (and parallel) SSTA sweeps follow.
+    Computed once per netlist and cached; the concatenation of all
+    buckets is a permutation of [0 .. n_gates - 1].
+
+    The cache is filled lazily: when a netlist is shared across domains,
+    the first analysis (which happens on one domain before any parallel
+    region starts) populates it. *)
+
 type stats = {
   gates_count : int;
   pi_count : int;

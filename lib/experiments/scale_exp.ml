@@ -12,7 +12,7 @@ type row = {
 type result = { rows : row list }
 
 let run ?(model = Circuit.Sigma_model.paper_default)
-    ?(sizes_list = [ 100; 300; 1000; 3000; 5000 ]) ?(seed = 53) () =
+    ?(sizes_list = [ 100; 300; 1000; 3000; 5000 ]) ?(seed = 53) ?pool () =
   let rows =
     List.map
       (fun gates ->
@@ -26,11 +26,11 @@ let run ?(model = Circuit.Sigma_model.paper_default)
           }
         in
         let net = Circuit.Generate.random_dag spec in
-        let unsized = Engine.solve ~model net Objective.Min_area in
-        let fast = Engine.solve ~model net (Objective.Min_delay 3.) in
+        let unsized = Engine.solve ?pool ~model net Objective.Min_area in
+        let fast = Engine.solve ?pool ~model net (Objective.Min_delay 3.) in
         let bound = 0.75 *. unsized.Engine.mu in
         let bounded =
-          Engine.solve ~model net (Objective.Min_area_bounded { k = 3.; bound })
+          Engine.solve ?pool ~model net (Objective.Min_area_bounded { k = 3.; bound })
         in
         {
           gates;

@@ -19,7 +19,13 @@ type row = {
 type result = { rows : row list }
 
 val run :
-  ?model:Circuit.Sigma_model.t -> ?sizes_list:int list -> ?seed:int -> unit -> result
-(** Default sweep: 100, 300, 1000, 3000, 5000 gates. *)
+  ?model:Circuit.Sigma_model.t ->
+  ?sizes_list:int list ->
+  ?seed:int ->
+  ?pool:Util.Pool.t ->
+  unit ->
+  result
+(** Default sweep: 100, 300, 1000, 3000, 5000 gates.  [pool]
+    parallelises the SSTA evaluations inside every solve. *)
 
 val print : result -> unit

@@ -27,9 +27,9 @@ type case_result = {
   rows : Engine.solution list;
 }
 
-let run_case ?(model = Sigma_model.paper_default) case =
+let run_case ?(model = Sigma_model.paper_default) ?pool case =
   let net = case.net in
-  let unsized = Engine.solve ~model net Objective.Min_area in
+  let unsized = Engine.solve ?pool ~model net Objective.Min_area in
   let bound = case.bound_fraction *. unsized.Engine.mu in
   let objectives =
     [
@@ -41,10 +41,10 @@ let run_case ?(model = Sigma_model.paper_default) case =
       Objective.Min_area_bounded { k = 3.; bound };
     ]
   in
-  let rows = unsized :: List.map (Engine.solve ~model net) objectives in
+  let rows = unsized :: List.map (Engine.solve ?pool ~model net) objectives in
   { case; bound; rows }
 
-let run ?small ?model () = List.map (run_case ?model) (cases ?small ())
+let run ?small ?model ?pool () = List.map (run_case ?model ?pool) (cases ?small ())
 
 let print results =
   List.iter

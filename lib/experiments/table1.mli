@@ -30,9 +30,17 @@ type case_result = {
   rows : Sizing.Engine.solution list;  (** the seven experiments in order *)
 }
 
-val run_case : ?model:Circuit.Sigma_model.t -> case -> case_result
+val run_case :
+  ?model:Circuit.Sigma_model.t -> ?pool:Util.Pool.t -> case -> case_result
 
-val run : ?small:bool -> ?model:Circuit.Sigma_model.t -> unit -> case_result list
+val run :
+  ?small:bool ->
+  ?model:Circuit.Sigma_model.t ->
+  ?pool:Util.Pool.t ->
+  unit ->
+  case_result list
+(** [pool] parallelises the SSTA evaluations inside every solve (these
+    are the Table-1-scale circuits the levelized engine targets). *)
 
 val print : case_result list -> unit
 (** Renders the paper-format table to stdout. *)

@@ -23,9 +23,15 @@ let default_options =
     inner_solver = `Lbfgs;
   }
 
+let c_outer = Instr.counter "auglag.outer_iterations"
+let c_inner = Instr.counter "auglag.inner_iterations"
+let c_evals = Instr.counter "auglag.evaluations"
+let t_inner = Instr.timer "auglag.inner_solve"
+
 (* Uniform view of the two inner solvers: final point, iterations,
    evaluations, and whether the run ended for a benign reason. *)
 let run_inner options problem ~x0 =
+  Instr.time t_inner @@ fun () ->
   match options.inner_solver with
   | `Lbfgs ->
       let r = Lbfgs.minimize ~options:options.inner problem ~x0 in
@@ -83,6 +89,8 @@ let solve ?(options = default_options) (problem : Problem.constrained) ~x0 =
   let base = problem.Problem.base in
   if m = 0 then begin
     let x, iterations, evaluations, ok = run_inner options base ~x0 in
+    Instr.add c_inner iterations;
+    Instr.add c_evals evaluations;
     let f, _ = base.Problem.objective x in
     {
       x;
@@ -108,11 +116,14 @@ let solve ?(options = default_options) (problem : Problem.constrained) ~x0 =
     let outer = ref 0 in
     while !result = None && !outer < options.outer_iterations do
       incr outer;
+      Instr.incr c_outer;
       let sub =
         Problem.make ~bounds:base.Problem.bnds ~objective:(fun x ->
             augmented problem lambda !rho x)
       in
       let xr, iterations, evals, _ = run_inner options sub ~x0:x in
+      Instr.add c_inner iterations;
+      Instr.add c_evals evals;
       inner_iterations := !inner_iterations + iterations;
       evaluations := !evaluations + evals;
       Array.blit xr 0 x 0 base.Problem.dim;

@@ -15,6 +15,7 @@ type options = {
 }
 
 val default_options : options
+(** [{ bump = 1.15; max_moves = 100_000 }]. *)
 
 type result = {
   sizes : float array;

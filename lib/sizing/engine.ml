@@ -44,8 +44,13 @@ type solution = {
   converged : bool;
 }
 
-let evaluate ~model net ~sizes =
-  let res = Sta.Ssta.analyze ~model net ~sizes in
+let c_solves = Util.Instr.counter "engine.solve"
+let c_cache_hits = Util.Instr.counter "engine.cache_hit"
+let c_cache_misses = Util.Instr.counter "engine.cache_miss"
+let t_solve = Util.Instr.timer "engine.solve"
+
+let evaluate ?pool ~model net ~sizes =
+  let res = Sta.Ssta.analyze ?pool ~model net ~sizes in
   (res, Netlist.area net ~sizes)
 
 (* The reverse sweep is linear in its seed, so the gradient for any
@@ -60,18 +65,21 @@ type cache_entry = {
   grad_var : float array;
 }
 
-let make_cache ~model net =
+let make_cache ?pool ~model net =
   let cache : cache_entry option ref = ref None in
   fun x ->
     match !cache with
-    | Some e when Array.for_all2 (fun a b -> a = b) e.cx x -> e
+    | Some e when Array.for_all2 (fun a b -> a = b) e.cx x ->
+        Util.Instr.incr c_cache_hits;
+        e
     | _ ->
+        Util.Instr.incr c_cache_misses;
         let res, grad_mu =
-          Sta.Ssta.value_and_gradient ~model net ~sizes:x ~seed:(fun _ ->
+          Sta.Ssta.value_and_gradient ?pool ~model net ~sizes:x ~seed:(fun _ ->
               { Sta.Ssta.d_mu = 1.; d_var = 0. })
         in
         let grad_var =
-          Sta.Ssta.gradient ~model net ~sizes:x ~seed:(fun _ ->
+          Sta.Ssta.gradient ?pool ~model net ~sizes:x ~seed:(fun _ ->
               { Sta.Ssta.d_mu = 0.; d_var = 1. })
         in
         let e = { cx = Array.copy x; res; grad_mu; grad_var } in
@@ -94,11 +102,11 @@ let area_objective net x =
   let grad = Array.map (fun (g : Netlist.gate) -> g.Netlist.cell.Cell.area) (Netlist.gates net) in
   (Netlist.area net ~sizes:x, grad)
 
-let build_problem ~model net objective =
+let build_problem ?pool ~model net objective =
   let bounds =
     Nlp.Problem.bounds ~lower:(Netlist.min_sizes net) ~upper:(Netlist.max_sizes net)
   in
-  let lookup = make_cache ~model net in
+  let lookup = make_cache ?pool ~model net in
   let mu_of e = Normal.mu e.res.Sta.Ssta.circuit in
   let sigma_of e = Normal.sigma e.res.Sta.Ssta.circuit in
   match objective with
@@ -160,8 +168,8 @@ let start_point ~options net =
       Netlist.check_sizes net x;
       Array.copy x
 
-let trivial_solution ~model net objective sizes started =
-  let timing, area = evaluate ~model net ~sizes in
+let trivial_solution ?pool ~model net objective sizes started =
+  let timing, area = evaluate ?pool ~model net ~sizes in
   {
     objective;
     sizes;
@@ -176,13 +184,13 @@ let trivial_solution ~model net objective sizes started =
     converged = true;
   }
 
-let rec solve ?(options = default_options) ~model net objective =
+let rec solve_impl ?(options = default_options) ?pool ~model net objective =
   let started = Sys.time () in
   match objective with
   | Objective.Min_area ->
       (* Every speed factor at its lower bound is optimal: area is strictly
          increasing in every size and there is no delay constraint. *)
-      trivial_solution ~model net objective (Netlist.min_sizes net) started
+      trivial_solution ?pool ~model net objective (Netlist.min_sizes net) started
   | (Objective.Min_sigma { mu } | Objective.Max_sigma { mu })
     when (match options.start with `Given _ -> false | `Low | `Mid | `High -> true) ->
       if mu <= 0. then invalid_arg "Engine: target mean delay must be positive";
@@ -192,7 +200,7 @@ let rec solve ?(options = default_options) ~model net objective =
          start from a feasible point: the area-optimal sizing whose delay
          constraint is active at the target mean. *)
       let warm =
-        solve ~options:{ options with restarts = 0 } ~model net
+        solve_impl ~options:{ options with restarts = 0 } ?pool ~model net
           (Objective.Min_area_bounded { k = 0.; bound = mu })
       in
       (* A stiff initial penalty keeps the sigma objective from dragging
@@ -205,13 +213,13 @@ let rec solve ?(options = default_options) ~model net objective =
         }
       in
       let inner =
-        solve
+        solve_impl
           ~options:{ options with start = `Given warm.sizes; solver }
-          ~model net objective
+          ?pool ~model net objective
       in
       { inner with wall_time = Sys.time () -. started }
   | _ ->
-      let problem = build_problem ~model net objective in
+      let problem = build_problem ?pool ~model net objective in
       let solve_from x0 = Nlp.Auglag.solve ~options:options.solver problem ~x0 in
       let first = solve_from (start_point ~options net) in
       let better (a : Nlp.Auglag.report) (b : Nlp.Auglag.report) =
@@ -237,7 +245,7 @@ let rec solve ?(options = default_options) ~model net objective =
         end
       in
       let sizes = report.Nlp.Auglag.x in
-      let timing, area = evaluate ~model net ~sizes in
+      let timing, area = evaluate ?pool ~model net ~sizes in
       {
         objective;
         sizes;
@@ -251,3 +259,7 @@ let rec solve ?(options = default_options) ~model net objective =
         max_violation = report.Nlp.Auglag.max_violation;
         converged = report.Nlp.Auglag.converged;
       }
+
+let solve ?options ?pool ~model net objective =
+  Util.Instr.incr c_solves;
+  Util.Instr.time t_solve (fun () -> solve_impl ?options ?pool ~model net objective)

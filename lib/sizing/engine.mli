@@ -8,7 +8,14 @@
     Mathematically this optimises over exactly the feasible manifold of
     the paper's equality constraints, so the two formulations have the
     same minimisers (the tests cross-check this against
-    {!Formulate}). *)
+    {!Formulate}).
+
+    Every timing evaluation inside a solve goes through a one-entry
+    cache (see {!make_cache}); passing [?pool] threads a
+    {!Util.Pool.t} down to the SSTA sweeps so large circuits evaluate
+    level-parallel.  Instrumented via {!Util.Instr}: counters
+    [engine.solve], [engine.cache_hit], [engine.cache_miss] and timer
+    [engine.solve]. *)
 
 type options = {
   solver : Nlp.Auglag.options;
@@ -38,15 +45,44 @@ type solution = {
 
 val solve :
   ?options:options ->
+  ?pool:Util.Pool.t ->
   model:Circuit.Sigma_model.t ->
   Circuit.Netlist.t ->
   Objective.t ->
   solution
+(** Solves the sizing problem; see {!options} for the solver knobs.
+    [pool] parallelises every SSTA evaluation of the run — solutions are
+    bit-identical with and without it. *)
 
 val evaluate :
+  ?pool:Util.Pool.t ->
   model:Circuit.Sigma_model.t ->
   Circuit.Netlist.t ->
   sizes:float array ->
   Sta.Ssta.result * float
 (** Forward timing and area of a given sizing — used to report rows for
     fixed (e.g. all-min) sizings. *)
+
+type cache_entry = {
+  cx : float array;  (** the point the entry was computed at *)
+  res : Sta.Ssta.result;  (** forward timing at [cx] *)
+  grad_mu : float array;  (** gradient of {m \mu_{T_{max}}} *)
+  grad_var : float array;  (** gradient of {m \sigma^2_{T_{max}}} *)
+}
+
+val make_cache :
+  ?pool:Util.Pool.t ->
+  model:Circuit.Sigma_model.t ->
+  Circuit.Netlist.t ->
+  float array ->
+  cache_entry
+(** [make_cache ~model net] returns a memoised evaluator with a
+    {e one-entry} cache: calling it at the same point (element-wise
+    float equality) as the previous call returns the stored entry
+    without re-running the analysis.  The reverse sweep is linear in its
+    seed, so the entry stores the two {e basis} gradients (of the mean
+    and of the variance) and the gradient of any functional
+    {m f(\mu, \sigma^2)} is their linear combination — objective and
+    constraint closures evaluated at one iterate share a single timing
+    analysis.  The returned entry's arrays are owned by the cache;
+    callers must not mutate them. *)

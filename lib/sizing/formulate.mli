@@ -45,7 +45,12 @@ val build :
     solver efficiency, and the A-FORM ablation measures that choice. *)
 
 val n_variables : t -> int
+(** Total NLP variables: speed factors plus all auxiliary timing
+    quantities (the worked example has 26). *)
+
 val n_constraints : t -> int
+(** Equality constraints tying the auxiliary variables together (the
+    worked example has 22). *)
 
 val problem : t -> Nlp.Problem.constrained
 (** The underlying NLP (for inspection or custom solving). *)

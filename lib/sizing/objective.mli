@@ -35,3 +35,4 @@ val describe : t -> string
     ["min mu+3sigma"] or ["min area s.t. mu+sigma <= 120"]. *)
 
 val pp : Format.formatter -> t -> unit
+(** Pretty-printer for {!describe}. *)

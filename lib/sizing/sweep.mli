@@ -31,3 +31,4 @@ val area_delay :
     leaving small margins at both ends so every subproblem is feasible. *)
 
 val print : curve -> unit
+(** ASCII table of the curve, tightest budget first. *)

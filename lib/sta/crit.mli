@@ -27,6 +27,10 @@ val monte_carlo :
   sizes:float array ->
   n:int ->
   result
+(** [n]-sample criticality estimate at the given sizing.  Each sample
+    draws every gate delay from the sigma model, retimes the circuit with
+    {!Dsta.analyze_with_delays} and traces one critical path; ties are
+    broken by the randomness of the draws themselves. *)
 
 val ranked : result -> Circuit.Netlist.t -> (string * float) list
 (** Gate name / criticality pairs, most critical first. *)

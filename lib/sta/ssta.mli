@@ -13,7 +13,23 @@
     respect to {e all} gate sizes is computed exactly by one adjoint
     sweep — the same derivative information the paper feeds to LANCELOT,
     organised as reverse-mode differentiation instead of explicit
-    constraint derivatives. *)
+    constraint derivatives.
+
+    {2 Parallel evaluation}
+
+    Both sweeps walk the netlist level by level
+    ({!Circuit.Netlist.level_buckets}); gates within a level are
+    independent, so passing [?pool] evaluates each sufficiently wide
+    level across the pool's domains.  Results are {e bit-identical} to
+    the serial path: parallel phases only write per-gate slots, and every
+    shared accumulation (the adjoint and gradient scatters) runs serially
+    in a fixed order — see ARCHITECTURE.md's determinism contract.  When
+    [?pool] is used, a caller-supplied [pi_arrival] must be pure (it is
+    called concurrently from worker domains).
+
+    Instrumented via {!Util.Instr}: counters [ssta.analyze],
+    [ssta.gradient], [ssta.parallel_levels], [ssta.serial_levels] and
+    timers [ssta.forward], [ssta.reverse]. *)
 
 open Statdelay
 
@@ -25,13 +41,16 @@ type result = {
 }
 
 val analyze :
+  ?pool:Util.Pool.t ->
   ?pi_arrival:(int -> Normal.t) ->
   model:Circuit.Sigma_model.t ->
   Circuit.Netlist.t ->
   sizes:float array ->
   result
 (** Forward statistical timing.  [pi_arrival] defaults to the
-    deterministic arrival [Normal.deterministic 0.] at every input. *)
+    deterministic arrival [Normal.deterministic 0.] at every input.
+    [pool] parallelises the per-level gate evaluations (bit-identical to
+    the serial result). *)
 
 val analyze_exact_nary :
   ?pi_arrival:(int -> Normal.t) ->
@@ -48,9 +67,14 @@ val analyze_exact_nary :
 
 type seed = { d_mu : float; d_var : float }
 (** Derivative of the objective functional with respect to the circuit
-    distribution's mean and variance. *)
+    distribution's mean ([d_mu]) and variance ([d_var]) — the reverse
+    sweep is seeded with {m (\partial f/\partial\mu,
+    \partial f/\partial\sigma^2)} of the functional [f] being
+    differentiated.  Note the variance, not the standard deviation:
+    {!mu_plus_k_sigma_seed} shows the conversion. *)
 
 val gradient :
+  ?pool:Util.Pool.t ->
   ?pi_arrival:(int -> Normal.t) ->
   model:Circuit.Sigma_model.t ->
   Circuit.Netlist.t ->
@@ -61,9 +85,11 @@ val gradient :
     {m \nabla_S\, f(\mu_{T_{max}}(S), \sigma^2_{T_{max}}(S))} where the
     caller supplies {m (\partial f/\partial\mu, \partial f/\partial\sigma^2)}
     via [seed] (evaluated on the forward result).  One forward plus one
-    reverse sweep, O(edges). *)
+    reverse sweep, O(edges).  [pool] parallelises both sweeps
+    (bit-identical to the serial result). *)
 
 val value_and_gradient :
+  ?pool:Util.Pool.t ->
   ?pi_arrival:(int -> Normal.t) ->
   model:Circuit.Sigma_model.t ->
   Circuit.Netlist.t ->

@@ -53,7 +53,10 @@ let moments (a : Normal.t) (b : Normal.t) =
   in
   (theta, alpha, pdf, cdf_a, cdf_b, mu_c, e2)
 
+let c_max2 = Util.Instr.counter "clark.max2"
+
 let max2 a b =
+  Util.Instr.incr c_max2;
   if a.Normal.var +. b.Normal.var < degenerate_theta *. degenerate_theta then
     fst (max2_degenerate a b)
   else
@@ -69,6 +72,7 @@ let expectation_sq a b =
     e2
 
 let max2_full a b =
+  Util.Instr.incr c_max2;
   if a.Normal.var +. b.Normal.var < degenerate_theta *. degenerate_theta then
     max2_degenerate a b
   else begin

@@ -1,0 +1,137 @@
+type counter = { cname : string; value : int Atomic.t }
+type timer = { tname : string; calls : int Atomic.t; ns : int Atomic.t }
+
+(* The registry is touched only at module-initialisation time (interning)
+   and when reporting, never on the instrumented hot path. *)
+let registry_lock = Mutex.create ()
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 16
+let timers : (string, timer) Hashtbl.t = Hashtbl.create 16
+let on = Atomic.make false
+
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+let enabled () = Atomic.get on
+
+let intern table make name =
+  Mutex.lock registry_lock;
+  let v =
+    match Hashtbl.find_opt table name with
+    | Some v -> v
+    | None ->
+        let v = make name in
+        Hashtbl.add table name v;
+        v
+  in
+  Mutex.unlock registry_lock;
+  v
+
+let counter name =
+  intern counters (fun cname -> { cname; value = Atomic.make 0 }) name
+
+let timer name =
+  intern timers
+    (fun tname -> { tname; calls = Atomic.make 0; ns = Atomic.make 0 })
+    name
+
+let incr c = if Atomic.get on then Atomic.incr c.value
+let add c k = if Atomic.get on then ignore (Atomic.fetch_and_add c.value k)
+let count c = Atomic.get c.value
+
+(* CLOCK_MONOTONIC via bechamel's tiny stub library (the only C binding
+   already in the build); [Sys.time] would sum CPU time over domains. *)
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let time t f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.incr t.calls;
+        ignore (Atomic.fetch_and_add t.ns (now_ns () - t0)))
+      f
+  end
+
+let reset () =
+  Mutex.lock registry_lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c.value 0) counters;
+  Hashtbl.iter
+    (fun _ t ->
+      Atomic.set t.calls 0;
+      Atomic.set t.ns 0)
+    timers;
+  Mutex.unlock registry_lock
+
+type timed = { calls : int; seconds : float }
+
+type snapshot = {
+  counters : (string * int) list;
+  timers : (string * timed) list;
+}
+
+let snapshot () =
+  Mutex.lock registry_lock;
+  let cs =
+    Hashtbl.fold
+      (fun name c acc ->
+        let v = Atomic.get c.value in
+        if v = 0 then acc else (name, v) :: acc)
+      counters []
+  in
+  let ts =
+    Hashtbl.fold
+      (fun name (t : timer) acc ->
+        let calls = Atomic.get t.calls in
+        if calls = 0 then acc
+        else (name, { calls; seconds = float_of_int (Atomic.get t.ns) *. 1e-9 }) :: acc)
+      timers []
+  in
+  Mutex.unlock registry_lock;
+  {
+    counters = List.sort (fun (a, _) (b, _) -> compare a b) cs;
+    timers = List.sort (fun (a, _) (b, _) -> compare a b) ts;
+  }
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json s =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{\n  \"counters\": {";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "\n    \"%s\": %d" (json_escape name) v))
+    s.counters;
+  if s.counters <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "},\n  \"timers\": {";
+  List.iteri
+    (fun i (name, t) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "\n    \"%s\": {\"calls\": %d, \"seconds\": %.9f}"
+           (json_escape name) t.calls t.seconds))
+    s.timers;
+  if s.timers <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "}\n}\n";
+  Buffer.contents b
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (name, v) -> Format.fprintf ppf "%-32s %12d@," name v) s.counters;
+  List.iter
+    (fun (name, t) ->
+      Format.fprintf ppf "%-32s %12d calls %10.3f ms@," name t.calls
+        (t.seconds *. 1e3))
+    s.timers;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,73 @@
+(** Lightweight instrumentation: named counters and monotonic-clock
+    timers with zero-cost-when-disabled semantics.
+
+    Counters and timers are interned by name in a global registry at
+    module initialisation time ([let c = Instr.counter "ssta.analyze"]
+    at top level), so the hot path touches no hash table.  While
+    instrumentation is disabled (the default) {!incr}, {!add} and
+    {!time} reduce to a single load-and-branch; when enabled they update
+    atomics, so they are safe to call from pool worker domains (see
+    {!Pool}).
+
+    Timers use the process monotonic clock ([CLOCK_MONOTONIC], via
+    bechamel's stub), not [Sys.time]: CPU time sums over domains and
+    would hide any parallel speedup. *)
+
+(** {1 Enabling} *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zeroes every registered counter and timer (registration survives). *)
+
+(** {1 Counters} *)
+
+type counter
+
+val counter : string -> counter
+(** Interns (or retrieves) the counter named [name].  Names are
+    conventionally dot-separated, [subsystem.event]. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val count : counter -> int
+(** Current value (0 while disabled unless previously enabled). *)
+
+(** {1 Timers} *)
+
+type timer
+
+val timer : string -> timer
+(** Interns (or retrieves) the timer named [name]. *)
+
+val time : timer -> (unit -> 'a) -> 'a
+(** [time t f] runs [f ()], attributing its wall-clock duration to [t]
+    and counting one call — or just runs [f ()] when disabled.  The
+    duration is recorded even if [f] raises. *)
+
+val now_ns : unit -> int
+(** Monotonic clock reading in nanoseconds (works regardless of
+    {!enabled}); useful for ad-hoc wall-clock measurement. *)
+
+(** {1 Reporting} *)
+
+type timed = { calls : int; seconds : float }
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  timers : (string * timed) list;  (** sorted by name *)
+}
+
+val snapshot : unit -> snapshot
+(** Registered counters and timers with non-zero activity. *)
+
+val to_json : snapshot -> string
+(** The snapshot as a JSON object:
+    [{"counters": {name: count, ...},
+      "timers": {name: {"calls": n, "seconds": s}, ...}}]. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Human-readable two-column rendering. *)

@@ -1,0 +1,149 @@
+(* Spawn-once domain pool with a chunked work queue.
+
+   One job is posted at a time.  Workers sleep on a condition variable
+   between jobs; posting a job bumps [generation] and broadcasts.  Each
+   participant (workers and the caller) claims chunks of indices with a
+   fetch-and-add on the job's [next] counter, so load balancing is
+   dynamic while every index is still executed exactly once.
+
+   Completion is tracked by the job itself, not the pool: [next >= n]
+   means no unclaimed work remains and [outstanding = 0] means no claimed
+   chunk is still running.  Because each job is a fresh record, a worker
+   that wakes late simply finds the old job drained and goes back to
+   sleep — it can never touch the fields of a newer job through a stale
+   reference. *)
+
+type job = {
+  body : int -> unit;
+  n : int;
+  chunk : int;
+  next : int Atomic.t;  (* first unclaimed index *)
+  outstanding : int Atomic.t;  (* participants inside a claimed chunk *)
+  error : exn option Atomic.t;  (* first exception raised by a body *)
+}
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  work : Condition.t;
+  mutable generation : int;
+  mutable current : job option;
+  mutable stopped : bool;
+  mutable domains : unit Domain.t list;
+}
+
+(* Claim and run chunks until the queue is drained or a body failed.
+   [outstanding] is raised *before* the claim so the caller can never
+   observe "queue drained, nothing outstanding" while a chunk is being
+   claimed. *)
+let rec claim (j : job) =
+  if Atomic.get j.error = None then begin
+    Atomic.incr j.outstanding;
+    let lo = Atomic.fetch_and_add j.next j.chunk in
+    if lo >= j.n then ignore (Atomic.fetch_and_add j.outstanding (-1))
+    else begin
+      let hi = min j.n (lo + j.chunk) in
+      (try
+         for i = lo to hi - 1 do
+           j.body i
+         done
+       with e -> ignore (Atomic.compare_and_set j.error None (Some e)));
+      ignore (Atomic.fetch_and_add j.outstanding (-1));
+      claim j
+    end
+  end
+
+let rec worker t seen =
+  Mutex.lock t.mutex;
+  while (not t.stopped) && t.generation = seen do
+    Condition.wait t.work t.mutex
+  done;
+  let gen = t.generation and job = t.current and stop = t.stopped in
+  Mutex.unlock t.mutex;
+  if not stop then begin
+    (match job with Some j -> claim j | None -> ());
+    worker t gen
+  end
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | None -> Domain.recommended_domain_count ()
+    | Some j ->
+        if j < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+        j
+  in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      generation = 0;
+      current = None;
+      stopped = false;
+      domains = [];
+    }
+  in
+  if jobs > 1 then
+    t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+  t
+
+let size t = t.jobs
+
+let run_serial n body =
+  for i = 0 to n - 1 do
+    body i
+  done
+
+let wait_done (j : job) =
+  while
+    not
+      ((Atomic.get j.next >= j.n || Atomic.get j.error <> None)
+      && Atomic.get j.outstanding = 0)
+  do
+    Domain.cpu_relax ()
+  done
+
+let parallel_for ?(grain = 1) t ~n body =
+  if grain < 1 then invalid_arg "Pool.parallel_for: grain must be >= 1";
+  if n > 0 then
+    if t.jobs = 1 || n < 2 * grain then run_serial n body
+    else begin
+      (* Aim for a few chunks per domain so the fetch-and-add queue can
+         rebalance uneven chunk costs, but never below [grain]. *)
+      let chunk = max grain (1 + ((n - 1) / (t.jobs * 4))) in
+      let j =
+        {
+          body;
+          n;
+          chunk;
+          next = Atomic.make 0;
+          outstanding = Atomic.make 0;
+          error = Atomic.make None;
+        }
+      in
+      Mutex.lock t.mutex;
+      if t.stopped then begin
+        Mutex.unlock t.mutex;
+        invalid_arg "Pool.parallel_for: pool is shut down"
+      end;
+      t.current <- Some j;
+      t.generation <- t.generation + 1;
+      Condition.broadcast t.work;
+      Mutex.unlock t.mutex;
+      claim j;
+      wait_done j;
+      match Atomic.get j.error with Some e -> raise e | None -> ()
+    end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stopped <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

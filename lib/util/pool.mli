@@ -1,0 +1,57 @@
+(** Reusable domain pool for data-parallel index loops (OCaml 5).
+
+    A pool spawns its worker domains once ({!create}) and reuses them for
+    every subsequent {!parallel_for}, so the per-call cost is a mutex
+    broadcast rather than a domain spawn (~ tens of microseconds versus
+    milliseconds).  The calling domain participates in the work, so a
+    pool of size [j] applies [j] domains to each loop.
+
+    {2 Determinism contract}
+
+    [parallel_for] makes {e no} guarantee about which domain executes
+    which index or in which order — only that [body i] runs exactly once
+    for every [0 <= i < n] before the call returns.  Callers obtain
+    results that are bit-identical to a serial [for] loop by obeying two
+    rules, which every use in this codebase follows:
+
+    - [body i] writes only to slot [i] of pre-allocated output arrays
+      (disjoint writes, no shared accumulation);
+    - any reduction over the slots (sums of adjoints, folds of maxima) is
+      performed by the caller {e after} the loop, serially, in a fixed
+      order.
+
+    Under those rules every floating-point operation sees the same
+    operands in the same order regardless of the number of domains, so
+    parallel results are bit-identical to serial ones.
+
+    Nested [parallel_for] calls (from inside a [body]) are not
+    supported. *)
+
+type t
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs] total
+    including the caller).  [jobs] defaults to
+    [Domain.recommended_domain_count ()].  Raises [Invalid_argument] if
+    [jobs < 1].  A pool of size 1 spawns nothing and runs every loop
+    inline. *)
+
+val size : t -> int
+(** Number of domains the pool applies to a loop, caller included. *)
+
+val parallel_for : ?grain:int -> t -> n:int -> (int -> unit) -> unit
+(** [parallel_for pool ~n body] runs [body i] once for each
+    [0 <= i < n], distributing chunks of indices over the pool's domains
+    through a shared work queue.  [grain] (default 1) is the minimum
+    chunk size: loops with [n < 2 * grain] — too small to amortise the
+    wake-up — run inline on the caller.  If any [body] raises, the
+    remaining chunks are abandoned, all domains quiesce, and the first
+    exception is re-raised on the caller. *)
+
+val shutdown : t -> unit
+(** Joins the worker domains.  Idempotent.  Using the pool afterwards
+    raises [Invalid_argument]. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] on a fresh pool and shuts it down afterwards,
+    whether [f] returns or raises. *)
