@@ -19,6 +19,7 @@
      dune exec bench/main.exe -- micro    # micro-benchmarks only
      dune exec bench/main.exe -- table1|table2|table3|example|yield|mc|ablation
      dune exec bench/main.exe -- --jobs 4 parallel   # serial vs pooled SSTA
+     dune exec bench/main.exe -- --jobs 4 mcsta      # serial vs pooled MC sampling
      dune exec bench/main.exe -- --jobs 4 table1     # pooled table regeneration
 
    [--jobs N] creates an N-domain Util.Pool; the sections that evaluate
@@ -181,6 +182,65 @@ let run_parallel ~jobs () =
       Util.Table.print t;
       print_newline ())
 
+(* ---- batched Monte Carlo oracle -------------------------------------------- *)
+
+let run_mcsta ~jobs () =
+  section
+    (Printf.sprintf "Batched Monte Carlo SSTA oracle (jobs=%d, %d cores available)"
+       jobs
+       (Domain.recommended_domain_count ()))
+    (fun () ->
+      let spec =
+        {
+          Circuit.Generate.default_spec with
+          Circuit.Generate.n_gates = 2400;
+          n_pis = 96;
+          target_depth = 12;
+          seed = 77;
+        }
+      in
+      let net = Circuit.Generate.random_dag spec in
+      let sizes = Circuit.Netlist.min_sizes net in
+      Format.printf "%a@." Circuit.Netlist.pp_summary net;
+      let n = 5_000 in
+      let sample ?pool ?(batch = 1024) () =
+        Sta.Mcsta.sample ?pool ~batch ~seed:7 ~model net ~sizes ~n
+      in
+      let serial = sample () in
+      let t_serial = wall_time_per_call ~reps:2 (fun () -> sample ()) in
+      let bits = Int64.bits_of_float in
+      let same a b =
+        Array.length a = Array.length b
+        && Array.for_all2 (fun (x : float) y -> Int64.equal (bits x) (bits y)) a b
+      in
+      (* Batch size must not change a single bit of the output. *)
+      let batch_identical =
+        List.for_all (fun batch -> same serial (sample ~batch ())) [ 1; 37; n ]
+      in
+      let t = Util.Table.create ~header:[ "jobs"; "samples/s"; "speedup"; "bit-identical" ] in
+      for i = 0 to 3 do
+        Util.Table.set_align t i Util.Table.Right
+      done;
+      let rate s = Printf.sprintf "%.0f" (float_of_int n /. s) in
+      Util.Table.add_row t
+        [ "1"; rate t_serial; "1.00x"; (if batch_identical then "yes" else "NO") ];
+      if jobs > 1 then
+        Util.Pool.with_pool ~jobs (fun pool ->
+            let pooled = sample ~pool () in
+            let t_pool = wall_time_per_call ~reps:2 (fun () -> sample ~pool ()) in
+            Util.Table.add_row t
+              [
+                string_of_int jobs;
+                rate t_pool;
+                Printf.sprintf "%.2fx" (t_serial /. t_pool);
+                (if same serial pooled then "yes" else "NO");
+              ])
+      else Printf.printf "(pass --jobs N with N > 1 to time the pooled path)\n";
+      Util.Table.print t;
+      if not batch_identical then
+        Printf.printf "ERROR: batch size changed the sampled values!\n";
+      print_newline ())
+
 (* ---- micro-benchmarks ------------------------------------------------------ *)
 
 open Bechamel
@@ -305,7 +365,7 @@ let run_micro () =
 let usage () =
   Printf.eprintf
     "usage: main.exe [--jobs N] \
-     [all|tables|micro|parallel|table1|table2|table3|example|yield|mc|corner|ablation|extensions|scale]...\n"
+     [all|tables|micro|parallel|mcsta|table1|table2|table3|example|yield|mc|corner|ablation|extensions|scale]...\n"
 
 let () =
   let rec parse jobs sections = function
@@ -328,10 +388,12 @@ let () =
     | "all" ->
         run_tables ?pool ();
         run_parallel ~jobs ();
+        run_mcsta ~jobs ();
         run_micro ()
     | "tables" -> run_tables ?pool ()
     | "micro" -> run_micro ()
     | "parallel" -> run_parallel ~jobs ()
+    | "mcsta" -> run_mcsta ~jobs ()
     | "table1" -> run_table1 ?pool ()
     | "table2" -> run_table2 ()
     | "table3" -> run_table3 ()

@@ -3,6 +3,7 @@
    Subcommands:
      analyze  - statistical timing report of a circuit at given sizes
      size     - solve a sizing problem and report the result
+     mc       - batched Monte Carlo sampling of the circuit delay distribution
      tables   - regenerate the paper's tables (same harness as bench/) *)
 
 open Cmdliner
@@ -272,6 +273,151 @@ let size_cmd =
   in
   Cmd.v (Cmd.info "size" ~doc:"Solve a statistical gate sizing problem") term
 
+(* ---- mc ------------------------------------------------------------------------ *)
+
+let phi_of_k k =
+  (* P(Z <= k) for the guard-band factor, via the library's own CDF. *)
+  Sta.Yield.analytic (Statdelay.Normal.make ~mu:0. ~sigma:1.) ~deadline:k
+
+let mc_cmd =
+  let run circuit blif bench library_file wire_load sigma_ratio size samples batch
+      seed budgets claim bound_fraction jobs profile =
+    match load_circuit ~blif ~bench ~library_file ~circuit ~wire_load with
+    | Error msg ->
+        Printf.eprintf "statsize: %s\n" msg;
+        exit 1
+    | Ok net ->
+        if samples <= 0 then begin
+          Printf.eprintf "statsize: --samples must be >= 1\n";
+          exit 1
+        end;
+        with_runtime ~jobs ~profile @@ fun pool ->
+        let model = model_of_ratio sigma_ratio in
+        Format.printf "%a@." Circuit.Netlist.pp_summary net;
+        if claim then begin
+          (* Section 4's conformance claim: size to mu + k sigma <= D and
+             measure the realised yield against Phi(k). *)
+          let unsized, _ =
+            Sizing.Engine.evaluate ?pool ~model net
+              ~sizes:(Circuit.Netlist.min_sizes net)
+          in
+          let deadline =
+            bound_fraction *. Statdelay.Normal.mu unsized.Sta.Ssta.circuit
+          in
+          Printf.printf
+            "guard-band conformance claim: D = %.4f (%g x unsized mu), %d samples\n"
+            deadline bound_fraction samples;
+          let t =
+            Util.Table.create
+              ~header:
+                [ "constraint"; "mu"; "sigma"; "area"; "predicted"; "MC"; "95% CI" ]
+          in
+          for i = 1 to 6 do
+            Util.Table.set_align t i Util.Table.Right
+          done;
+          List.iter
+            (fun k ->
+              let sol =
+                Sizing.Engine.solve ?pool ~model net
+                  (Sizing.Objective.Min_area_bounded { k; bound = deadline })
+              in
+              let mc =
+                Sta.Mcsta.sample ?pool ~batch ~seed ~model net
+                  ~sizes:sol.Sizing.Engine.sizes ~n:samples
+              in
+              let c = Sta.Mcsta.conformance mc ~budget:deadline in
+              Util.Table.add_row t
+                [
+                  Printf.sprintf "mu + %gsigma <= D" k;
+                  Printf.sprintf "%.4f" sol.Sizing.Engine.mu;
+                  Printf.sprintf "%.4f" sol.Sizing.Engine.sigma;
+                  Printf.sprintf "%.2f" sol.Sizing.Engine.area;
+                  Printf.sprintf "%.2f%%" (100. *. phi_of_k k);
+                  Printf.sprintf "%.2f%%" (100. *. c.Sta.Mcsta.p);
+                  Printf.sprintf "[%.2f%%, %.2f%%]" (100. *. c.Sta.Mcsta.ci_lo)
+                    (100. *. c.Sta.Mcsta.ci_hi);
+                ])
+            [ 0.; 1.; 3. ];
+          Util.Table.print t;
+          Printf.printf
+            "(paper, Section 4: the three constraints should conform at 50%% / 84.1%% \
+             / 99.8%%)\n"
+        end
+        else begin
+          let n = Circuit.Netlist.n_gates net in
+          let sizes =
+            Array.init n (fun i ->
+                min size
+                  (Circuit.Netlist.gate net i).Circuit.Netlist.cell
+                    .Circuit.Cell.max_size)
+          in
+          let res = Sta.Ssta.analyze ?pool ~model net ~sizes in
+          let c = res.Sta.Ssta.circuit in
+          Printf.printf "SSTA (analytic): mu = %.4f, sigma = %.4f\n"
+            (Statdelay.Normal.mu c) (Statdelay.Normal.sigma c);
+          let t0 = Util.Instr.now_ns () in
+          let mc = Sta.Mcsta.sample ?pool ~batch ~seed ~model net ~sizes ~n:samples in
+          let dt = float_of_int (Util.Instr.now_ns () - t0) /. 1e9 in
+          Format.printf "%a@." Sta.Mcsta.pp_summary (Sta.Mcsta.summarize mc);
+          Printf.printf "throughput: %.0f samples/s (%d domains, batch %d)\n"
+            (float_of_int samples /. dt)
+            (match pool with Some p -> Util.Pool.size p | None -> 1)
+            batch;
+          List.iter
+            (fun budget ->
+              let conf = Sta.Mcsta.conformance mc ~budget in
+              Format.printf "%a | analytic %.2f%%@." Sta.Mcsta.pp_conformance conf
+                (100. *. Sta.Yield.analytic c ~deadline:budget))
+            budgets
+        end
+  in
+  let samples_arg =
+    let doc = "Number of Monte Carlo samples." in
+    Arg.(value & opt int 20_000 & info [ "n"; "samples" ] ~docv:"N" ~doc)
+  in
+  let batch_arg =
+    let doc =
+      "Samples per propagation batch (results are identical for any batch size)."
+    in
+    Arg.(value & opt int 1024 & info [ "batch" ] ~docv:"B" ~doc)
+  in
+  let seed_arg =
+    let doc = "Seed of the deterministic per-gate sample streams." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"S" ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Report P(Tmax <= D) with a binomial confidence interval (repeatable)."
+    in
+    Arg.(value & opt_all float [] & info [ "budget" ] ~docv:"D" ~doc)
+  in
+  let claim_arg =
+    let doc =
+      "Reproduce Section 4's conformance claim: size the circuit to mu + k*sigma \
+       <= D for k = 0, 1, 3 and compare the Monte Carlo yield with Phi(k)."
+    in
+    Arg.(value & flag & info [ "claim" ] ~doc)
+  in
+  let bound_fraction_arg =
+    let doc =
+      "With --claim, the deadline as a fraction of the unsized mean delay \
+       (loose enough that all three guard-band constraints bind)."
+    in
+    Arg.(value & opt float 0.92 & info [ "bound-fraction" ] ~docv:"F" ~doc)
+  in
+  let term =
+    Term.(
+      const run $ circuit_arg $ blif_arg $ bench_arg $ library_arg $ wire_load_arg
+      $ sigma_ratio_arg $ sizes_arg $ samples_arg $ batch_arg $ seed_arg
+      $ budget_arg $ claim_arg $ bound_fraction_arg $ jobs_arg $ profile_arg)
+  in
+  Cmd.v
+    (Cmd.info "mc"
+       ~doc:
+         "Batched Monte Carlo SSTA: sample the circuit delay distribution \
+          (deterministic across --jobs and --batch)")
+    term
+
 (* ---- tables -------------------------------------------------------------------- *)
 
 let tables_cmd =
@@ -316,6 +462,6 @@ let tables_cmd =
 let main_cmd =
   let doc = "gate sizing under a statistical delay model (DATE 2000 reproduction)" in
   let info = Cmd.info "statsize" ~version:"1.0.0" ~doc in
-  Cmd.group info [ analyze_cmd; size_cmd; tables_cmd ]
+  Cmd.group info [ analyze_cmd; size_cmd; mc_cmd; tables_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -180,11 +180,15 @@ let parse_string ?wire_load ~library text =
   | exception Invalid_argument m -> Error { line = 0; message = m }
 
 let parse_file ?wire_load ~library path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  parse_string ?wire_load ~library text
+  match open_in path with
+  | exception Sys_error m -> Result.Error { line = 0; message = m }
+  | ic ->
+      let text =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      in
+      parse_string ?wire_load ~library text
 
 let to_string netlist =
   let buf = Buffer.create 1024 in
@@ -194,9 +198,24 @@ let to_string netlist =
     Buffer.add_string buf (" " ^ Netlist.pi_name netlist i)
   done;
   Buffer.add_char buf '\n';
+  (* Gate output nets are synthesised as [n<id>]; if a primary input
+     already uses such a name (ISCAS netlists name PIs n1, n2, ...),
+     underscores are appended until the name is fresh — otherwise the
+     reparsed netlist would silently rewire those PIs. *)
+  let pi_names = Hashtbl.create 16 in
+  for i = 0 to Netlist.n_pis netlist - 1 do
+    Hashtbl.replace pi_names (Netlist.pi_name netlist i) ()
+  done;
+  let gate_net =
+    Array.init (Netlist.n_gates netlist) (fun g ->
+        let rec fresh name =
+          if Hashtbl.mem pi_names name then fresh (name ^ "_") else name
+        in
+        fresh (Printf.sprintf "n%d" g))
+  in
   let net_of = function
     | Netlist.Pi i -> Netlist.pi_name netlist i
-    | Netlist.Gate g -> Printf.sprintf "n%d" g
+    | Netlist.Gate g -> gate_net.(g)
   in
   Buffer.add_string buf ".outputs";
   Array.iter (fun po -> Buffer.add_string buf (" " ^ net_of po)) (Netlist.pos netlist);
@@ -207,7 +226,7 @@ let to_string netlist =
       Array.iteri
         (fun pin fan -> Buffer.add_string buf (Printf.sprintf " i%d=%s" pin (net_of fan)))
         g.Netlist.fanin;
-      Buffer.add_string buf (Printf.sprintf " O=n%d\n" g.Netlist.id))
+      Buffer.add_string buf (Printf.sprintf " O=%s\n" gate_net.(g.Netlist.id)))
     (Netlist.gates netlist);
   Buffer.add_string buf ".end\n";
   Buffer.contents buf

@@ -19,6 +19,9 @@ val parse_string :
 
 val parse_file :
   ?wire_load:float -> library:Cell.Library.t -> string -> (Netlist.t, error) result
+(** Like {!parse_string} on the file's contents.  Malformed input — a
+    truncated or syntactically broken file, or an unreadable path — comes
+    back as [Error], never as an escaping exception. *)
 
 val to_string : Netlist.t -> string
 (** Serialises a netlist back to the same subset (input pins are named

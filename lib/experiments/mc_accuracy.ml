@@ -28,8 +28,8 @@ type result = {
   shape_reference : circuit_row;
 }
 
-let run ?(model = Circuit.Sigma_model.paper_default) ?(samples = 200_000) ?(seed = 11)
-    () =
+let run ?pool ?(model = Circuit.Sigma_model.paper_default) ?(samples = 200_000)
+    ?(seed = 11) () =
   let rng = Util.Rng.create seed in
   let grid =
     List.concat_map
@@ -43,11 +43,16 @@ let run ?(model = Circuit.Sigma_model.paper_default) ?(samples = 200_000) ?(seed
           [ 0.5; 1.; 2. ])
       [ 0.; 0.5; 1.; 2.; 4. ]
   in
-  let circuit net =
+  (* Circuit-level comparisons run on the batched oracle: same per-gate
+     moments as the analytic engine, exact max/+ propagation of sampled
+     delays.  The seed is offset per circuit so rows are independent. *)
+  let circuit_samples = max 2 (samples / 4) in
+  let circuit idx net =
     let sizes = Circuit.Netlist.min_sizes net in
     let res = Sta.Ssta.analyze ~model net ~sizes in
     let mc =
-      Sta.Yield.sample_circuit_delays ~rng ~model net ~sizes ~n:(max 1 (samples / 10))
+      Sta.Mcsta.sample ?pool ~model ~seed:(seed + (97 * (idx + 1))) net ~sizes
+        ~n:circuit_samples
     in
     let st = Util.Stats.of_array mc in
     {
@@ -59,15 +64,16 @@ let run ?(model = Circuit.Sigma_model.paper_default) ?(samples = 200_000) ?(seed
     }
   in
   (* F-SHAPE: same circuit, same per-gate moments, different element
-     distribution families. *)
+     distribution families, injected through the oracle's [draw] hook. *)
   let shape_net = Circuit.Generate.tree () in
   let shape_sizes = Circuit.Netlist.min_sizes shape_net in
-  let shape_samples = max 1 (samples / 4) in
+  let shape_samples = max 2 (samples / 4) in
   let shapes =
     List.map
       (fun (shape_name, shape) ->
+        let draw rng ~mu ~sigma = Sta.Yield.draw_shape rng shape ~mu ~sigma in
         let mc =
-          Sta.Yield.sample_circuit_delays ~rng ~shape ~model shape_net
+          Sta.Mcsta.sample ?pool ~model ~seed:(seed + 1) ~draw shape_net
             ~sizes:shape_sizes ~n:shape_samples
         in
         let st = Util.Stats.of_array mc in
@@ -86,14 +92,15 @@ let run ?(model = Circuit.Sigma_model.paper_default) ?(samples = 200_000) ?(seed
   {
     grid;
     circuits =
-      [
-        circuit (Circuit.Generate.tree ());
-        circuit (Circuit.Generate.chain ~length:30 ());
-        circuit (Circuit.Generate.apex2_like ());
-        circuit (Circuit.Generate.apex1_like ());
-      ];
+      List.mapi circuit
+        [
+          Circuit.Generate.tree ();
+          Circuit.Generate.chain ~length:30 ();
+          Circuit.Generate.apex2_like ();
+          Circuit.Generate.apex1_like ();
+        ];
     shapes;
-    shape_reference = circuit shape_net;
+    shape_reference = circuit 0 shape_net;
   }
 
 let print r =
@@ -115,7 +122,7 @@ let print r =
         ])
     r.grid;
   Util.Table.print t;
-  Printf.printf "\n# circuit-level SSTA vs Monte Carlo (unsized circuits)\n";
+  Printf.printf "\n# circuit-level SSTA vs batched MC oracle (unsized circuits)\n";
   let t2 =
     Util.Table.create
       ~header:[ "circuit"; "SSTA mu"; "SSTA sigma"; "MC mu"; "MC sigma" ]

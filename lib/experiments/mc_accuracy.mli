@@ -4,7 +4,8 @@
 
     Two experiments: a parameter grid for the single two-operand max
     (varying mean separation and sigma ratio), and whole-circuit SSTA
-    versus Monte Carlo on the tree and a benchmark stand-in. *)
+    versus the batched circuit-level oracle {!Sta.Mcsta} on the tree and
+    a benchmark stand-in. *)
 
 type grid_row = {
   dmu : float;  (** mean separation in units of {m \sigma_A} *)
@@ -38,7 +39,14 @@ type result = {
 }
 
 val run :
-  ?model:Circuit.Sigma_model.t -> ?samples:int -> ?seed:int -> unit -> result
-(** Default 200_000 samples per grid point, 20_000 per circuit. *)
+  ?pool:Util.Pool.t ->
+  ?model:Circuit.Sigma_model.t ->
+  ?samples:int ->
+  ?seed:int ->
+  unit ->
+  result
+(** Default 200_000 samples per grid point, [samples / 4] per circuit and
+    per shape.  The circuit-level rows are drawn with {!Sta.Mcsta.sample},
+    so results are identical for any [?pool]. *)
 
 val print : result -> unit

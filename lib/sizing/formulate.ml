@@ -328,15 +328,9 @@ let problem t = t.problem
 
 let sizes_of t x = Array.map (fun ix -> x.(ix)) t.s_ix
 
-let initial_point t start =
+let consistent_point t ~sizes =
   let net = t.net in
-  let lo = Netlist.min_sizes net and hi = Netlist.max_sizes net in
-  let sizes =
-    match start with
-    | `Low -> lo
-    | `High -> hi
-    | `Mid -> Array.init (Netlist.n_gates net) (fun i -> 0.5 *. (lo.(i) +. hi.(i)))
-  in
+  Netlist.check_sizes net sizes;
   let res = Sta.Ssta.analyze ~pi_arrival:t.pi_arrival ~model:t.model net ~sizes in
   let x = Array.make t.dim 0. in
   Array.iteri (fun g ix -> x.(ix) <- sizes.(g)) t.s_ix;
@@ -359,6 +353,17 @@ let initial_point t start =
       x.(st.out_var) <- Normal.var c)
     (List.rev t.max_steps);
   x
+
+let initial_point t start =
+  let net = t.net in
+  let lo = Netlist.min_sizes net and hi = Netlist.max_sizes net in
+  let sizes =
+    match start with
+    | `Low -> lo
+    | `High -> hi
+    | `Mid -> Array.init (Netlist.n_gates net) (fun i -> 0.5 *. (lo.(i) +. hi.(i)))
+  in
+  consistent_point t ~sizes
 
 (* The auxiliary-variable NLP is larger and much worse conditioned than the
    reduced problem; the first-order inner solver needs thousands of

@@ -55,10 +55,17 @@ val n_constraints : t -> int
 val problem : t -> Nlp.Problem.constrained
 (** The underlying NLP (for inspection or custom solving). *)
 
+val consistent_point : t -> sizes:float array -> float array
+(** [consistent_point t ~sizes] is the full variable vector whose
+    auxiliary timing variables are made consistent with the given speed
+    factors by a forward SSTA pass — i.e. a point on the feasible
+    manifold of the structural equality constraints (feasible for
+    everything except, possibly, the delay bound).  This is how the test
+    suite manufactures {e random} feasible points for gradient checks. *)
+
 val initial_point : t -> [ `Low | `Mid | `High ] -> float array
-(** A point whose auxiliary variables are made consistent with the chosen
-    speed factors by a forward SSTA pass — i.e. feasible for everything
-    except (possibly) the delay constraint. *)
+(** {!consistent_point} at the all-min, mid-box or all-max speed
+    factors. *)
 
 val sizes_of : t -> float array -> float array
 (** Extracts the speed factors from a full variable vector. *)

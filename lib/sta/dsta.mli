@@ -12,6 +12,11 @@ type result = {
   circuit : float;  (** max arrival over the primary outputs *)
 }
 
+val delays : Circuit.Netlist.t -> sizes:float array -> float array
+(** Mean cell propagation delay per gate at the given sizes — the
+    deterministic half of the delay model, shared with the Monte Carlo
+    engine ({!Mcsta}), which adds the sampled uncertainty on top. *)
+
 val analyze :
   ?pi_arrival:(int -> float) -> Circuit.Netlist.t -> sizes:float array -> result
 (** Worst-case arrival times.  [pi_arrival] defaults to [fun _ -> 0.]. *)

@@ -1,0 +1,152 @@
+open Circuit
+
+type draw = Util.Rng.t -> mu:float -> sigma:float -> float
+
+let gaussian_draw rng ~mu ~sigma = Util.Rng.gaussian rng ~mu ~sigma
+
+(* ---- instrumentation ------------------------------------------------------- *)
+
+let c_sample = Util.Instr.counter "mc.sample"
+let c_samples = Util.Instr.counter "mc.samples"
+let c_batches = Util.Instr.counter "mc.batches"
+let c_par_levels = Util.Instr.counter "mc.parallel_levels"
+let c_ser_levels = Util.Instr.counter "mc.serial_levels"
+let t_sample = Util.Instr.timer "mc.sample"
+
+(* Unlike the analytic sweeps, one gate's body here covers a whole batch
+   of draws (microseconds of work), so a level is worth distributing as
+   soon as it holds two gates. *)
+let for_level pool n body =
+  match pool with
+  | Some p when Util.Pool.size p > 1 && n >= 2 ->
+      Util.Instr.incr c_par_levels;
+      Util.Pool.parallel_for ~grain:1 p ~n body
+  | _ ->
+      Util.Instr.incr c_ser_levels;
+      for i = 0 to n - 1 do
+        body i
+      done
+
+let sample ?pool ?(batch = 1024) ?(seed = 1) ?(draw = gaussian_draw)
+    ?(pi_arrival = fun _ -> 0.) ~model net ~sizes ~n =
+  if n <= 0 then invalid_arg "Mcsta.sample: n must be positive";
+  if batch <= 0 then invalid_arg "Mcsta.sample: batch must be positive";
+  Netlist.check_sizes net sizes;
+  Util.Instr.incr c_sample;
+  Util.Instr.add c_samples n;
+  Util.Instr.time t_sample @@ fun () ->
+  let ng = Netlist.n_gates net in
+  (* Per-gate delay moments at the given sizes (fixed for the whole run). *)
+  let mu_t = Dsta.delays net ~sizes in
+  let sigma_t = Array.map (fun mu -> Sigma_model.sigma model mu) mu_t in
+  (* One private stream per gate: sample k of gate g depends only on
+     (seed, g, k), never on the batch boundaries or the schedule. *)
+  let streams = Array.init ng (fun g -> Util.Rng.keyed seed ~key:g) in
+  let buckets = Netlist.level_buckets net in
+  let pos = Netlist.pos net in
+  let out = Array.make n 0. in
+  let b = min batch n in
+  (* Flat row-major arrival buffer: gate g's sample k lives at g*b + k. *)
+  let arrival = Array.make (ng * b) 0. in
+  let completed = ref 0 in
+  while !completed < n do
+    let bsz = min b (n - !completed) in
+    Util.Instr.incr c_batches;
+    Array.iter
+      (fun bucket ->
+        for_level pool (Array.length bucket) (fun i ->
+            let id = bucket.(i) in
+            let g = Netlist.gate net id in
+            let rng = streams.(id) in
+            let mu = mu_t.(id) and sigma = sigma_t.(id) in
+            let fanin = g.Netlist.fanin in
+            let deg = Array.length fanin in
+            let base = id * b in
+            for k = 0 to bsz - 1 do
+              let u = ref 0. in
+              if deg > 0 then begin
+                u := neg_infinity;
+                for j = 0 to deg - 1 do
+                  let v =
+                    match fanin.(j) with
+                    | Netlist.Pi p -> pi_arrival p
+                    | Netlist.Gate f -> arrival.((f * b) + k)
+                  in
+                  if v > !u then u := v
+                done
+              end;
+              arrival.(base + k) <- !u +. draw rng ~mu ~sigma
+            done))
+      buckets;
+    (* Primary-output reduction: serial, fixed order. *)
+    for k = 0 to bsz - 1 do
+      let t =
+        Array.fold_left
+          (fun acc po ->
+            let v =
+              match po with
+              | Netlist.Pi p -> pi_arrival p
+              | Netlist.Gate g -> arrival.((g * b) + k)
+            in
+            if v > acc then v else acc)
+          neg_infinity pos
+      in
+      out.(!completed + k) <- t
+    done;
+    completed := !completed + bsz
+  done;
+  out
+
+(* ---- reductions ------------------------------------------------------------- *)
+
+type summary = {
+  n : int;
+  mu : float;
+  sigma : float;
+  min_t : float;
+  max_t : float;
+  quantiles : (float * float) list;
+}
+
+let default_quantiles = [ 0.5; 0.841344746068543; 0.998650101968370 ]
+
+let summarize ?(quantiles = default_quantiles) samples =
+  if Array.length samples = 0 then invalid_arg "Mcsta.summarize: empty sample";
+  let st = Util.Stats.of_array samples in
+  {
+    n = Util.Stats.count st;
+    mu = Util.Stats.mean st;
+    sigma = Util.Stats.std_dev st;
+    min_t = Util.Stats.min_value st;
+    max_t = Util.Stats.max_value st;
+    quantiles = List.map (fun p -> (p, Util.Stats.quantile samples p)) quantiles;
+  }
+
+type conformance = {
+  budget : float;
+  n : int;
+  hits : int;
+  p : float;
+  ci_lo : float;
+  ci_hi : float;
+}
+
+let conformance ?(z = 1.96) samples ~budget =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Mcsta.conformance: empty sample";
+  let hits =
+    Array.fold_left (fun acc t -> if t <= budget then acc + 1 else acc) 0 samples
+  in
+  let ci_lo, ci_hi = Util.Stats.wilson_interval ~z ~hits ~n () in
+  { budget; n; hits; p = float_of_int hits /. float_of_int n; ci_lo; ci_hi }
+
+let pp_summary ppf (s : summary) =
+  Format.fprintf ppf "MC (%d samples): mu = %.4f, sigma = %.4f, range [%.4f, %.4f]"
+    s.n s.mu s.sigma s.min_t s.max_t;
+  List.iter (fun (p, q) -> Format.fprintf ppf "@.  q%.5g = %.4f" (100. *. p) q)
+    s.quantiles
+
+let pp_conformance ppf c =
+  Format.fprintf ppf
+    "P(Tmax <= %g) = %.2f%% (%d/%d, 95%% CI [%.2f%%, %.2f%%])" c.budget
+    (100. *. c.p) c.hits c.n (100. *. c.ci_lo) (100. *. c.ci_hi)

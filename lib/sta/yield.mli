@@ -22,6 +22,11 @@ type delay_shape =
     shape is almost irrelevant to the circuit-level delay distribution;
     sampling with these families tests that claim (experiment F-SHAPE). *)
 
+val draw_shape : Util.Rng.t -> delay_shape -> mu:float -> sigma:float -> float
+(** One draw from the given family with the given first two moments —
+    the per-gate sampler behind {!sample_circuit_delays}, exposed so the
+    batched engine ({!Mcsta}) can run the same shape experiment. *)
+
 val sample_circuit_delays :
   ?rng:Util.Rng.t ->
   ?shape:delay_shape ->

@@ -12,6 +12,12 @@ let sample_max_list rng xs ~n =
       Array.init n (fun _ ->
           List.fold_left (fun acc x -> max acc (draw rng x)) neg_infinity xs)
 
+let standard_errors ~sigma ~n =
+  if n <= 1 then invalid_arg "Mc.standard_errors: need n > 1";
+  if sigma < 0. then invalid_arg "Mc.standard_errors: negative sigma";
+  let nf = float_of_int n in
+  (sigma /. sqrt nf, sigma /. sqrt (2. *. nf))
+
 type comparison = {
   analytic : Normal.t;
   sampled_mu : float;

@@ -22,6 +22,23 @@ let create seed =
   let s3 = splitmix64 st in
   { s0; s1; s2; s3; spare = None }
 
+let keyed seed ~key =
+  (* Mix the seed and the key through two rounds of splitmix64 so that
+     nearby (seed, key) pairs yield decorrelated streams, then expand the
+     mixed value into the xoshiro state exactly as [create] does.  The
+     result is a pure function of (seed, key): stream [key] of run [seed]
+     is the same no matter how many other streams were created before it,
+     which is what makes keyed per-gate sampling batch- and
+     schedule-independent. *)
+  let st = ref (Int64.of_int seed) in
+  let mixed_seed = splitmix64 st in
+  st := Int64.add mixed_seed (Int64.mul (Int64.of_int key) 0x9E3779B97F4A7C15L);
+  let s0 = splitmix64 st in
+  let s1 = splitmix64 st in
+  let s2 = splitmix64 st in
+  let s3 = splitmix64 st in
+  { s0; s1; s2; s3; spare = None }
+
 let rotl x k =
   Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
 

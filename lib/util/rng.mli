@@ -16,6 +16,16 @@ val split : t -> t
 (** [split t] derives a new generator from [t]'s stream, advancing [t].
     Used to hand independent streams to parallel experiments. *)
 
+val keyed : int -> key:int -> t
+(** [keyed seed ~key] is the [key]-th stream of the run identified by
+    [seed]: a pure function of [(seed, key)], with no shared state between
+    streams.  Unlike {!split} (which advances the parent and therefore
+    depends on creation order), keyed streams can be created in any order
+    — or concurrently on worker domains — and always produce the same
+    draws.  This is the seeding discipline behind the deterministic
+    batched Monte Carlo engine ({!Sta.Mcsta}): one stream per gate, so
+    results are independent of batch size and domain count. *)
+
 val copy : t -> t
 (** [copy t] is an independent clone of the current state. *)
 

@@ -46,6 +46,19 @@ let fraction_le samples x =
   let c = Array.fold_left (fun acc s -> if s <= x then acc + 1 else acc) 0 samples in
   float_of_int c /. float_of_int n
 
+let wilson_interval ?(z = 1.96) ~hits ~n () =
+  if n <= 0 then invalid_arg "Stats.wilson_interval: n must be positive";
+  if hits < 0 || hits > n then invalid_arg "Stats.wilson_interval: hits outside [0, n]";
+  let nf = float_of_int n in
+  let p = float_of_int hits /. nf in
+  let z2 = z *. z in
+  let denom = 1. +. (z2 /. nf) in
+  let center = (p +. (z2 /. (2. *. nf))) /. denom in
+  let half =
+    z /. denom *. sqrt ((p *. (1. -. p) /. nf) +. (z2 /. (4. *. nf *. nf)))
+  in
+  (max 0. (center -. half), min 1. (center +. half))
+
 type histogram = { lo : float; hi : float; counts : int array }
 
 let histogram samples ~bins =

@@ -31,6 +31,13 @@ val fraction_le : float array -> float -> float
 (** [fraction_le samples x] is the empirical probability
     [P(sample <= x)]. *)
 
+val wilson_interval : ?z:float -> hits:int -> n:int -> unit -> float * float
+(** [wilson_interval ~hits ~n ()] is the Wilson score confidence interval
+    for a binomial proportion observed as [hits] successes in [n] trials,
+    at the normal quantile [z] (default 1.96, i.e. 95%).  Unlike the Wald
+    interval it behaves sensibly near 0 and 1 — which is where the
+    mu+3sigma conformance estimates live. *)
+
 type histogram = { lo : float; hi : float; counts : int array }
 
 val histogram : float array -> bins:int -> histogram

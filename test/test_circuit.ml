@@ -397,6 +397,78 @@ let test_blif_file_io () =
   | Error e -> Alcotest.failf "parse_file: %s" (Format.asprintf "%a" Blif.pp_error e));
   Sys.remove path
 
+(* examples/c17.blif is a test/dune dep; `dune runtest` runs from the
+   stanza directory but `dune exec test/...` from the invocation one, so
+   look the file up from either. *)
+let c17_path () =
+  match List.find_opt Sys.file_exists [ "../examples/c17.blif"; "examples/c17.blif" ] with
+  | Some p -> p
+  | None -> Alcotest.fail "examples/c17.blif not found (is it a test dep?)"
+
+let test_blif_c17_roundtrip () =
+  (* The shipped ISCAS c17 netlist survives file -> netlist -> text ->
+     netlist with structure intact. *)
+  let lib = Cell.Library.default () in
+  match Blif.parse_file ~library:lib (c17_path ()) with
+  | Error e -> Alcotest.failf "c17: %s" (Format.asprintf "%a" Blif.pp_error e)
+  | Ok n -> (
+      Alcotest.(check string) "model" "c17" (Netlist.name n);
+      Alcotest.(check int) "gates" 6 (Netlist.n_gates n);
+      Alcotest.(check int) "pis" 5 (Netlist.n_pis n);
+      Alcotest.(check int) "pos" 2 (Netlist.n_pos n);
+      Array.iter
+        (fun (g : Netlist.gate) ->
+          Alcotest.(check string) "all nand2" "nand2" g.Netlist.cell.Cell.name)
+        (Netlist.gates n);
+      match Blif.parse_string ~library:lib (Blif.to_string n) with
+      | Error e ->
+          Alcotest.failf "c17 reparse: %s" (Format.asprintf "%a" Blif.pp_error e)
+      | Ok n2 ->
+          Alcotest.(check int) "gates" (Netlist.n_gates n) (Netlist.n_gates n2);
+          Alcotest.(check int) "pis" (Netlist.n_pis n) (Netlist.n_pis n2);
+          Alcotest.(check int) "pos" (Netlist.n_pos n) (Netlist.n_pos n2);
+          Alcotest.(check int) "depth" (Netlist.depth n) (Netlist.depth n2);
+          (* Same timing, therefore the same circuit for the engines. *)
+          let sizes = Netlist.min_sizes n in
+          Alcotest.(check (float 1e-12))
+            "same deterministic delay"
+            (Sta.Dsta.analyze n ~sizes).Sta.Dsta.circuit
+            (Sta.Dsta.analyze n2 ~sizes).Sta.Dsta.circuit)
+
+let test_blif_truncated_inputs () =
+  (* Cutting the file anywhere — mid-token, mid-continuation, before
+     [.end] — must yield Ok (if the prefix happens to be well-formed) or
+     a clean Error, never an escaping exception. *)
+  let lib = Cell.Library.default () in
+  let whole =
+    match In_channel.with_open_text (c17_path ()) In_channel.input_all with
+    | text -> text
+    | exception Sys_error m -> Alcotest.failf "cannot read c17.blif: %s" m
+  in
+  let saw_error = ref false in
+  for len = 0 to String.length whole - 1 do
+    match Blif.parse_string ~library:lib (String.sub whole 0 len) with
+    | Ok _ -> ()
+    | Error e ->
+        saw_error := true;
+        let msg = Format.asprintf "%a" Blif.pp_error e in
+        Alcotest.(check bool)
+          (Printf.sprintf "prefix %d has a message" len)
+          true
+          (String.length msg > 0)
+    | exception e ->
+        Alcotest.failf "prefix %d escaped with %s" len (Printexc.to_string e)
+  done;
+  Alcotest.(check bool) "some prefixes are malformed" true !saw_error
+
+let test_blif_parse_file_missing () =
+  match Blif.parse_file ~library:(Cell.Library.default ()) "no/such/file.blif" with
+  | Ok _ -> Alcotest.fail "expected an error"
+  | Error e ->
+      Alcotest.(check bool) "mentions the path" true
+        (Format.asprintf "%a" Blif.pp_error e <> "")
+  | exception e -> Alcotest.failf "escaped with %s" (Printexc.to_string e)
+
 let prop_blif_roundtrip_random_dags =
   (* Any generated netlist survives serialise -> parse with its structure
      (counts, depth, per-position cells) intact. *)
@@ -612,6 +684,11 @@ let () =
           Alcotest.test_case "errors" `Quick test_blif_errors;
           Alcotest.test_case "roundtrip" `Quick test_blif_roundtrip;
           Alcotest.test_case "file io" `Quick test_blif_file_io;
+          Alcotest.test_case "c17 roundtrip" `Quick test_blif_c17_roundtrip;
+          Alcotest.test_case "truncated inputs fail cleanly" `Quick
+            test_blif_truncated_inputs;
+          Alcotest.test_case "missing file is a clean error" `Quick
+            test_blif_parse_file_missing;
           QCheck_alcotest.to_alcotest prop_blif_roundtrip_random_dags;
         ] );
       ( "bench_format",

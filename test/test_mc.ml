@@ -1,0 +1,357 @@
+(* Tests for the batched circuit-level Monte Carlo SSTA oracle
+   (Sta.Mcsta) and its differential/property layer:
+
+   - determinism: Int64-bitwise-identical samples for any batch size and
+     any domain count (the engine's core contract),
+   - differential agreement with the analytic Clark engine on
+     independence-respecting circuits, with tolerances budgeted from
+     Statdelay.Mc.standard_errors plus the known fold bias,
+   - directional checks on reconvergent DAGs (where the paper's
+     independence assumption is only an approximation),
+   - the deterministic limit: sigma -> 0 collapses both Ssta and Mcsta
+     onto Dsta exactly,
+   - the Section-4 conformance claim (50% / 84.1% / 99.8%) on the sized
+     tree, within the binomial confidence interval plus the documented
+     model bias. *)
+
+open Circuit
+module Mcsta = Sta.Mcsta
+
+let model = Sigma_model.paper_default
+let bits = Int64.bits_of_float
+
+(* The pooled tests default to 2- and 4-domain pools; CI overrides the
+   larger one via STATSIZE_TEST_JOBS to pin the pooled path width. *)
+let big_jobs =
+  match Sys.getenv_opt "STATSIZE_TEST_JOBS" with
+  | Some s -> (match int_of_string_opt s with Some j when j >= 2 -> j | _ -> 4)
+  | None -> 4
+
+let pool2 = Util.Pool.create ~jobs:2 ()
+let pool_big = Util.Pool.create ~jobs:big_jobs ()
+
+let wide_dag ?(n_gates = 600) seed =
+  Generate.random_dag
+    {
+      Generate.default_spec with
+      Generate.n_gates;
+      n_pis = 40;
+      target_depth = 8;
+      seed;
+    }
+
+let check_samples_identical msg a b =
+  Alcotest.(check int) (msg ^ ": length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if not (Int64.equal (bits x) (bits b.(i))) then
+        Alcotest.failf "%s: sample %d differs (%h vs %h)" msg i x b.(i))
+    a
+
+(* ---- determinism ------------------------------------------------------------ *)
+
+let test_batch_invariance () =
+  let net = Generate.apex2_like () in
+  let sizes = Netlist.min_sizes net in
+  let reference = Mcsta.sample ~model ~seed:3 ~batch:1024 net ~sizes ~n:777 in
+  List.iter
+    (fun batch ->
+      let s = Mcsta.sample ~model ~seed:3 ~batch net ~sizes ~n:777 in
+      check_samples_identical (Printf.sprintf "batch %d" batch) reference s)
+    [ 1; 7; 64; 777; 4096 ]
+
+let test_pool_invariance () =
+  let net = wide_dag 51 in
+  let sizes = Netlist.min_sizes net in
+  let serial = Mcsta.sample ~model ~seed:5 net ~sizes ~n:512 in
+  List.iter
+    (fun (label, pool) ->
+      (* Vary the batch size at the same time: neither knob may matter. *)
+      List.iter
+        (fun batch ->
+          let s = Mcsta.sample ~pool ~batch ~model ~seed:5 net ~sizes ~n:512 in
+          check_samples_identical (Printf.sprintf "%s batch %d" label batch) serial s)
+        [ 64; 512 ])
+    [ ("2 domains", pool2); (Printf.sprintf "%d domains" big_jobs, pool_big) ]
+
+let test_seed_sensitivity () =
+  let net = Generate.tree () in
+  let sizes = Netlist.min_sizes net in
+  let a = Mcsta.sample ~model ~seed:1 net ~sizes ~n:64 in
+  let b = Mcsta.sample ~model ~seed:2 net ~sizes ~n:64 in
+  Alcotest.(check bool) "different seeds differ" true (a <> b);
+  let a' = Mcsta.sample ~model ~seed:1 net ~sizes ~n:64 in
+  check_samples_identical "same seed reproduces" a a'
+
+let test_prefix_property () =
+  (* Growing n must extend, not reshuffle, the sample stream: sample k of
+     gate g depends only on (seed, g, k). *)
+  let net = Generate.tree () in
+  let sizes = Netlist.min_sizes net in
+  let long = Mcsta.sample ~model ~seed:4 ~batch:50 net ~sizes ~n:150 in
+  let short = Mcsta.sample ~model ~seed:4 ~batch:50 net ~sizes ~n:60 in
+  check_samples_identical "prefix" short (Array.sub long 0 60)
+
+let test_invalid_args () =
+  let net = Generate.tree () in
+  let sizes = Netlist.min_sizes net in
+  Alcotest.check_raises "n = 0" (Invalid_argument "Mcsta.sample: n must be positive")
+    (fun () -> ignore (Mcsta.sample ~model net ~sizes ~n:0));
+  Alcotest.check_raises "batch = 0"
+    (Invalid_argument "Mcsta.sample: batch must be positive") (fun () ->
+      ignore (Mcsta.sample ~model ~batch:0 net ~sizes ~n:10))
+
+(* ---- differential: analytic SSTA vs sampled moments ------------------------- *)
+
+(* Error budget for comparing the analytic result with empirical moments:
+   sampling noise (Statdelay.Mc.standard_errors at z = 5) plus a bias
+   allowance for the two-operand fold, as fraction of sigma. *)
+let moment_budget ~sigma ~n ~bias_frac =
+  let se_mu, se_sigma = Statdelay.Mc.standard_errors ~sigma ~n in
+  ((5. *. se_mu) +. (bias_frac *. sigma), (5. *. se_sigma) +. (bias_frac *. sigma))
+
+let check_moments name net ~n ~bias_frac =
+  let sizes = Netlist.min_sizes net in
+  let analytic = (Sta.Ssta.analyze ~model net ~sizes).Sta.Ssta.circuit in
+  let mu_a = Statdelay.Normal.mu analytic in
+  let sigma_a = Statdelay.Normal.sigma analytic in
+  let s = Mcsta.summarize (Mcsta.sample ~pool:pool2 ~model ~seed:17 net ~sizes ~n) in
+  let tol_mu, tol_sigma = moment_budget ~sigma:sigma_a ~n ~bias_frac in
+  if abs_float (s.Mcsta.mu -. mu_a) > tol_mu then
+    Alcotest.failf "%s: mu %.4f vs analytic %.4f (tol %.4f)" name s.Mcsta.mu mu_a
+      tol_mu;
+  if abs_float (s.Mcsta.sigma -. sigma_a) > tol_sigma then
+    Alcotest.failf "%s: sigma %.4f vs analytic %.4f (tol %.4f)" name s.Mcsta.sigma
+      sigma_a tol_sigma
+
+let test_moments_chain () =
+  (* A chain has no max at all: eq. 4 addition is exact, so the only
+     error is sampling noise. *)
+  check_moments "chain" (Generate.chain ~length:30 ()) ~n:40_000 ~bias_frac:0.005
+
+let test_moments_tree () =
+  (* The tree's paths share no gates, so independence holds exactly and
+     the residual is the two-operand fold bias (~1-2% of sigma). *)
+  check_moments "tree" (Generate.tree ()) ~n:40_000 ~bias_frac:0.02
+
+let test_reconvergent_directional () =
+  (* Under reconvergent fanout the paper's independence assumption makes
+     the analytic engine overestimate mu and underestimate sigma (its
+     declared future work); the oracle must sit on the proper side. *)
+  List.iter
+    (fun (name, net) ->
+      let sizes = Netlist.min_sizes net in
+      let analytic = (Sta.Ssta.analyze ~model net ~sizes).Sta.Ssta.circuit in
+      let mu_a = Statdelay.Normal.mu analytic in
+      let sigma_a = Statdelay.Normal.sigma analytic in
+      let s = Mcsta.summarize (Mcsta.sample ~pool:pool2 ~model ~seed:23 net ~sizes ~n:20_000) in
+      let se_mu, _ = Statdelay.Mc.standard_errors ~sigma:s.Mcsta.sigma ~n:s.Mcsta.n in
+      if s.Mcsta.mu > mu_a +. (5. *. se_mu) then
+        Alcotest.failf "%s: sampled mu %.4f above analytic %.4f" name s.Mcsta.mu mu_a;
+      if s.Mcsta.sigma < 0.9 *. sigma_a then
+        Alcotest.failf "%s: sampled sigma %.4f below 0.9x analytic %.4f" name
+          s.Mcsta.sigma sigma_a;
+      (* and the gap stays bounded: the approximation is usable. *)
+      if abs_float (s.Mcsta.mu -. mu_a) > 0.10 *. mu_a then
+        Alcotest.failf "%s: mu gap exceeds 10%%" name)
+    [
+      ("apex2*", Generate.apex2_like ());
+      ("dag42", wide_dag ~n_gates:300 42);
+      ("dag43", wide_dag ~n_gates:300 43);
+    ]
+
+(* ---- the deterministic limit ------------------------------------------------ *)
+
+let test_sigma_zero_collapses_to_dsta () =
+  List.iter
+    (fun (name, net) ->
+      let sizes = Netlist.min_sizes net in
+      let d = Sta.Dsta.analyze net ~sizes in
+      (* Ssta with the Zero model is Dsta gate by gate. *)
+      let s = Sta.Ssta.analyze ~model:Sigma_model.Zero net ~sizes in
+      Array.iteri
+        (fun g (a : Statdelay.Normal.t) ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "%s: gate %d mu" name g)
+            d.Sta.Dsta.arrival.(g) a.Statdelay.Normal.mu;
+          Alcotest.(check (float 0.)) "var" 0. a.Statdelay.Normal.var)
+        s.Sta.Ssta.arrival;
+      (* Mcsta with the Zero model: every sample IS the deterministic
+         delay, bit for bit (mu +. 0. *. z leaves mu untouched). *)
+      let mc = Mcsta.sample ~model:Sigma_model.Zero ~seed:12 net ~sizes ~n:16 in
+      Array.iteri
+        (fun i t ->
+          if not (Int64.equal (bits t) (bits d.Sta.Dsta.circuit)) then
+            Alcotest.failf "%s: sample %d = %h <> dsta %h" name i t
+              d.Sta.Dsta.circuit)
+        mc)
+    [ ("tree", Generate.tree ()); ("dag44", wide_dag ~n_gates:200 44) ]
+
+let test_sigma_limit_continuity () =
+  (* Proportional r -> 0 approaches the deterministic answer smoothly. *)
+  let net = Generate.tree () in
+  let sizes = Netlist.min_sizes net in
+  let d = (Sta.Dsta.analyze net ~sizes).Sta.Dsta.circuit in
+  let mu_at r =
+    Statdelay.Normal.mu
+      (Sta.Ssta.analyze ~model:(Sigma_model.Proportional r) net ~sizes).Sta.Ssta.circuit
+  in
+  Alcotest.(check (float 1e-6)) "r = 1e-9" d (mu_at 1e-9);
+  let err r = abs_float (mu_at r -. d) in
+  Alcotest.(check bool) "monotone approach" true (err 1e-3 < err 1e-2 && err 1e-2 < err 1e-1)
+
+(* ---- pi_arrival and draw hooks ---------------------------------------------- *)
+
+let test_pi_arrival_shift () =
+  let net = Generate.tree () in
+  let sizes = Netlist.min_sizes net in
+  let base = Mcsta.sample ~model ~seed:6 net ~sizes ~n:256 in
+  let shifted =
+    Mcsta.sample ~model ~seed:6 ~pi_arrival:(fun _ -> 2.5) net ~sizes ~n:256
+  in
+  Array.iteri
+    (fun i t ->
+      Alcotest.(check (float 1e-9)) (Printf.sprintf "sample %d" i) (t +. 2.5)
+        shifted.(i))
+    base
+
+let test_draw_hook_two_point () =
+  (* With the two-point family every gate delay is mu +/- sigma, so on a
+     single-path chain each sample is a sum of n such terms: bounded by
+     the all-plus / all-minus extremes, and matching the model moments. *)
+  let net = Generate.chain ~length:10 () in
+  let sizes = Netlist.min_sizes net in
+  let mu_t = Sta.Dsta.delays net ~sizes in
+  let hi =
+    Array.fold_left (fun acc mu -> acc +. mu +. Sigma_model.sigma model mu) 0. mu_t
+  in
+  let lo =
+    Array.fold_left (fun acc mu -> acc +. mu -. Sigma_model.sigma model mu) 0. mu_t
+  in
+  let draw rng ~mu ~sigma = Sta.Yield.draw_shape rng Sta.Yield.Two_point ~mu ~sigma in
+  let samples = Mcsta.sample ~model ~seed:8 ~draw net ~sizes ~n:4096 in
+  Array.iter
+    (fun t ->
+      if t < lo -. 1e-9 || t > hi +. 1e-9 then
+        Alcotest.failf "two-point sample %.4f outside [%.4f, %.4f]" t lo hi)
+    samples;
+  let s = Mcsta.summarize samples in
+  let analytic = (Sta.Ssta.analyze ~model net ~sizes).Sta.Ssta.circuit in
+  let tol_mu, tol_sigma =
+    moment_budget ~sigma:(Statdelay.Normal.sigma analytic) ~n:4096 ~bias_frac:0.01
+  in
+  Alcotest.(check (float tol_mu)) "two-point mu" (Statdelay.Normal.mu analytic) s.Mcsta.mu;
+  Alcotest.(check (float tol_sigma)) "two-point sigma"
+    (Statdelay.Normal.sigma analytic) s.Mcsta.sigma
+
+(* ---- reductions ------------------------------------------------------------- *)
+
+let test_summarize_and_conformance () =
+  let samples = Array.init 1000 (fun i -> float_of_int i) in
+  let s = Mcsta.summarize ~quantiles:[ 0.; 0.5; 1. ] samples in
+  Alcotest.(check int) "n" 1000 s.Mcsta.n;
+  Alcotest.(check (float 1e-9)) "mu" 499.5 s.Mcsta.mu;
+  Alcotest.(check (float 1e-9)) "min" 0. s.Mcsta.min_t;
+  Alcotest.(check (float 1e-9)) "max" 999. s.Mcsta.max_t;
+  (match s.Mcsta.quantiles with
+  | [ (_, q0); (_, q50); (_, q100) ] ->
+      Alcotest.(check (float 1e-9)) "q0" 0. q0;
+      Alcotest.(check (float 1e-9)) "q50" 499.5 q50;
+      Alcotest.(check (float 1e-9)) "q100" 999. q100
+  | _ -> Alcotest.fail "expected three quantiles");
+  let c = Mcsta.conformance samples ~budget:249. in
+  Alcotest.(check int) "hits" 250 c.Mcsta.hits;
+  Alcotest.(check (float 1e-9)) "p" 0.25 c.Mcsta.p;
+  Alcotest.(check bool) "ci ordered" true
+    (0. <= c.Mcsta.ci_lo && c.Mcsta.ci_lo <= c.Mcsta.p
+    && c.Mcsta.p <= c.Mcsta.ci_hi && c.Mcsta.ci_hi <= 1.);
+  (* Wilson never collapses to a point at the extremes. *)
+  let none = Mcsta.conformance samples ~budget:(-1.) in
+  Alcotest.(check int) "no hits" 0 none.Mcsta.hits;
+  Alcotest.(check bool) "ci_hi > 0 at p = 0" true (none.Mcsta.ci_hi > 0.)
+
+(* ---- the Section-4 conformance claim ---------------------------------------- *)
+
+let test_conformance_claim_sized_tree () =
+  let net = Generate.tree () in
+  let unsized, _ =
+    Sizing.Engine.evaluate ~model net ~sizes:(Netlist.min_sizes net)
+  in
+  (* 92% of the unsized mean: loose enough that all three guard-band
+     constraints bind (at 85% the k=3 sizing saturates; see
+     EXPERIMENTS.md), tight enough to be a real constraint. *)
+  let deadline = 0.92 *. Statdelay.Normal.mu unsized.Sta.Ssta.circuit in
+  let n = 20_000 in
+  List.iter
+    (fun (k, bias_allowance) ->
+      let predicted = Util.Special.normal_cdf k in
+      let sol =
+        Sizing.Engine.solve ~model net
+          (Sizing.Objective.Min_area_bounded { k; bound = deadline })
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "k=%g converged" k)
+        true sol.Sizing.Engine.converged;
+      (* the constraint must actually bind, or Phi(k) is the wrong target *)
+      Alcotest.(check (float 5e-3))
+        (Printf.sprintf "k=%g constraint active" k)
+        deadline
+        (sol.Sizing.Engine.mu +. (k *. sol.Sizing.Engine.sigma));
+      let samples =
+        Mcsta.sample ~pool:pool_big ~model ~seed:9 net
+          ~sizes:sol.Sizing.Engine.sizes ~n
+      in
+      let c = Mcsta.conformance samples ~budget:deadline in
+      (* (a) the estimate sits within binomial noise + model bias of the
+         prediction.  The bias allowance covers what the normal model
+         cannot: the sampled max is right-skewed (median < mean, so k=0
+         reads ~0.5% high) and the folded sigma is ~0.5% low. *)
+      let se = sqrt (predicted *. (1. -. predicted) /. float_of_int n) in
+      let dev = abs_float (c.Mcsta.p -. predicted) in
+      if dev > (3. *. se) +. bias_allowance then
+        Alcotest.failf "k=%g: MC %.4f vs predicted %.4f (tol %.4f)" k c.Mcsta.p
+          predicted
+          ((3. *. se) +. bias_allowance);
+      (* (b) the paper's rounded claim lies inside the reported CI. *)
+      let claim = match k with 0. -> 0.5 | 1. -> 0.841 | _ -> 0.998 in
+      if claim < c.Mcsta.ci_lo -. bias_allowance
+         || claim > c.Mcsta.ci_hi +. bias_allowance
+      then
+        Alcotest.failf "k=%g: paper claim %.3f outside CI [%.4f, %.4f]" k claim
+          c.Mcsta.ci_lo c.Mcsta.ci_hi)
+    [ (0., 0.008); (1., 0.005); (3., 0.0015) ]
+
+let () =
+  let open Alcotest in
+  run "mc"
+    [
+      ( "determinism",
+        [
+          test_case "batch invariance" `Quick test_batch_invariance;
+          test_case "pool invariance" `Quick test_pool_invariance;
+          test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          test_case "prefix property" `Quick test_prefix_property;
+          test_case "invalid args" `Quick test_invalid_args;
+        ] );
+      ( "differential",
+        [
+          test_case "chain moments" `Quick test_moments_chain;
+          test_case "tree moments" `Quick test_moments_tree;
+          test_case "reconvergent directional" `Quick test_reconvergent_directional;
+        ] );
+      ( "deterministic limit",
+        [
+          test_case "sigma = 0 collapses to Dsta" `Quick
+            test_sigma_zero_collapses_to_dsta;
+          test_case "sigma -> 0 continuity" `Quick test_sigma_limit_continuity;
+        ] );
+      ( "hooks",
+        [
+          test_case "pi_arrival shift" `Quick test_pi_arrival_shift;
+          test_case "two-point draw" `Quick test_draw_hook_two_point;
+        ] );
+      ( "reductions",
+        [ test_case "summarize/conformance" `Quick test_summarize_and_conformance ] );
+      ( "claim",
+        [ test_case "50/84.1/99.8 on the sized tree" `Slow test_conformance_claim_sized_tree ] );
+    ]

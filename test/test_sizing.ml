@@ -235,6 +235,80 @@ let test_formulate_constraint_jacobians () =
   let v = Nlp.Check.gradient ~rtol:1e-4 ~atol:1e-6 p.Nlp.Problem.base.Nlp.Problem.objective x in
   Alcotest.(check bool) "objective gradient ok" true v.Nlp.Check.ok
 
+let test_formulate_gradients_all_objectives () =
+  (* Gradient verification across the whole objective menu, at random
+     feasible points (manufactured by Formulate.consistent_point from
+     random interior sizings) on several generated circuits — not just
+     the worked example at the canonical mid start. *)
+  let rng = Util.Rng.create 97 in
+  let small_dag =
+    Generate.random_dag
+      {
+        Generate.default_spec with
+        Generate.n_gates = 24;
+        n_pis = 6;
+        target_depth = 4;
+        seed = 5;
+      }
+  in
+  List.iter
+    (fun (cname, net) ->
+      let lo = Netlist.min_sizes net and hi = Netlist.max_sizes net in
+      (* A mu target both Min_sigma and Max_sigma can reach: between the
+         all-min (slowest) and all-max (fastest) mean delays. *)
+      let mu_at sizes =
+        Statdelay.Normal.mu (Sta.Ssta.analyze ~model net ~sizes).Sta.Ssta.circuit
+      in
+      let mu_slow = mu_at lo and mu_fast = mu_at hi in
+      let mu_target = 0.5 *. (mu_slow +. mu_fast) in
+      let bound = 0.95 *. mu_slow in
+      let weights = Activity.power_weights net in
+      List.iter
+        (fun (oname, obj) ->
+          let f = Formulate.build ~model net obj in
+          let p = Formulate.problem f in
+          for trial = 1 to 2 do
+            let sizes =
+              Array.init (Netlist.n_gates net) (fun i ->
+                  Util.Rng.uniform rng ~lo:lo.(i) ~hi:hi.(i))
+            in
+            let x = Formulate.consistent_point f ~sizes in
+            (* Nudge off the feasible manifold so the check does not sit
+               at a special point of the max constraints. *)
+            let x =
+              Array.map (fun v -> v +. Util.Rng.uniform rng ~lo:0.005 ~hi:0.02) x
+            in
+            Array.iteri
+              (fun i (c : Nlp.Problem.constr) ->
+                let v = Nlp.Check.gradient ~rtol:1e-4 ~atol:1e-6 c.Nlp.Problem.eval x in
+                if not v.Nlp.Check.ok then
+                  Alcotest.failf "%s/%s trial %d constraint %d (%s): %s" cname oname
+                    trial i c.Nlp.Problem.cname
+                    (Format.asprintf "%a" Nlp.Check.pp_verdict v))
+              p.Nlp.Problem.constraints;
+            let v =
+              Nlp.Check.gradient ~rtol:1e-4 ~atol:1e-6
+                p.Nlp.Problem.base.Nlp.Problem.objective x
+            in
+            if not v.Nlp.Check.ok then
+              Alcotest.failf "%s/%s trial %d objective: %s" cname oname trial
+                (Format.asprintf "%a" Nlp.Check.pp_verdict v)
+          done)
+        [
+          ("min-delay-mu", Objective.Min_delay 0.);
+          ("min-delay-3s", Objective.Min_delay 3.);
+          ("min-area-bounded", Objective.Min_area_bounded { k = 1.; bound });
+          ("min-sigma", Objective.Min_sigma { mu = mu_target });
+          ("max-sigma", Objective.Max_sigma { mu = mu_target });
+          ( "min-power",
+            Objective.Min_weighted { label = "power"; weights; k = 1.; bound } );
+        ])
+    [
+      ("fig2", Generate.example_fig2 ());
+      ("tree", Generate.tree ());
+      ("dag24", small_dag);
+    ]
+
 let test_formulate_matches_reduced_fig2 () =
   let net = Generate.example_fig2 () in
   let objective = Objective.Min_delay 3. in
@@ -442,6 +516,8 @@ let () =
             test_formulate_initial_point_feasible;
           Alcotest.test_case "constraint jacobians vs FD" `Quick
             test_formulate_constraint_jacobians;
+          Alcotest.test_case "gradients: all objectives, random feasible points"
+            `Slow test_formulate_gradients_all_objectives;
           Alcotest.test_case "matches reduced (fig2)" `Quick test_formulate_matches_reduced_fig2;
           Alcotest.test_case "matches reduced (tree bounded)" `Slow
             test_formulate_matches_reduced_tree_bounded;

@@ -102,6 +102,64 @@ let test_clark_mu_exceeds_operands () =
         Alcotest.failf "mu_max %.6f below operands (%g, %g)" (Normal.mu c) ma mb)
     cases
 
+(* Property sweep over Util.Rng-driven random operands — the same
+   deterministic generator the Monte Carlo oracle uses, so the sweep is
+   reproducible bit for bit across runs and machines. *)
+let test_clark_random_properties () =
+  let rng = Util.Rng.create 4242 in
+  for _ = 1 to 1000 do
+    let mu_a = Util.Rng.uniform rng ~lo:(-4.) ~hi:4. in
+    let mu_b = Util.Rng.uniform rng ~lo:(-4.) ~hi:4. in
+    let sigma_a = Util.Rng.uniform rng ~lo:0. ~hi:2. in
+    let sigma_b = Util.Rng.uniform rng ~lo:0. ~hi:2. in
+    let a = Normal.make ~mu:mu_a ~sigma:sigma_a in
+    let b = Normal.make ~mu:mu_b ~sigma:sigma_b in
+    let c = Clark.max2 a b and c' = Clark.max2 b a in
+    (* operand symmetry: eq. 10/12 are symmetric in (A, B) *)
+    if abs_float (Normal.mu c -. Normal.mu c') > 1e-11 then
+      Alcotest.failf "max2 not symmetric in mu at (%g,%g)/(%g,%g): %g vs %g" mu_a
+        sigma_a mu_b sigma_b (Normal.mu c) (Normal.mu c');
+    if abs_float (Normal.var c -. Normal.var c') > 1e-11 then
+      Alcotest.failf "max2 not symmetric in var at (%g,%g)/(%g,%g)" mu_a sigma_a
+        mu_b sigma_b;
+    (* the mean of the max dominates both operand means *)
+    if Normal.mu c < Float.max mu_a mu_b -. 1e-11 then
+      Alcotest.failf "mu_C %.9f below max(%.9f, %.9f)" (Normal.mu c) mu_a mu_b
+  done
+
+let test_clark_random_degenerate () =
+  (* sigma = 0 on both operands must reduce to the deterministic max
+     exactly — no epsilon: this is what guarantees the SSTA engine
+     collapses onto the deterministic one in the sigma -> 0 limit. *)
+  let rng = Util.Rng.create 77 in
+  for _ = 1 to 300 do
+    let mu_a = Util.Rng.uniform rng ~lo:(-10.) ~hi:10. in
+    let mu_b = Util.Rng.uniform rng ~lo:(-10.) ~hi:10. in
+    let c = Clark.max2 (Normal.deterministic mu_a) (Normal.deterministic mu_b) in
+    if Normal.mu c <> Float.max mu_a mu_b then
+      Alcotest.failf "degenerate max2 %.17g <> max(%.17g, %.17g)" (Normal.mu c)
+        mu_a mu_b;
+    if Normal.var c <> 0. then Alcotest.failf "degenerate var %.3g <> 0" (Normal.var c)
+  done
+
+let test_clark_random_continuity () =
+  (* Continuity across the degenerate cutoff: just-above-zero sigmas must
+     give (nearly) the deterministic answer, not jump. *)
+  let rng = Util.Rng.create 78 in
+  for _ = 1 to 300 do
+    let mu_a = Util.Rng.uniform rng ~lo:(-5.) ~hi:5. in
+    let mu_b = Util.Rng.uniform rng ~lo:(-5.) ~hi:5. in
+    let s = Util.Rng.uniform rng ~lo:1e-9 ~hi:1e-7 in
+    let c = Clark.max2 (Normal.make ~mu:mu_a ~sigma:s) (Normal.make ~mu:mu_b ~sigma:s) in
+    let exact = Float.max mu_a mu_b in
+    (* theta = s sqrt 2, and mu_C - max(mu) <= theta phi(alpha) <= 0.4 theta *)
+    if abs_float (Normal.mu c -. exact) > 1e-6 then
+      Alcotest.failf "continuity: sigma %.3g gives mu %.9f vs exact %.9f" s
+        (Normal.mu c) exact;
+    if Normal.sigma c > 1e-6 then
+      Alcotest.failf "continuity: sigma_C %.3g not near zero" (Normal.sigma c)
+  done
+
 let test_clark_expectation_sq_consistent () =
   let a = Normal.make ~mu:1. ~sigma:0.4 and b = Normal.make ~mu:1.5 ~sigma:0.2 in
   let c = Clark.max2 a b in
@@ -386,6 +444,16 @@ let test_mc_sample_max_list () =
   let st = Util.Stats.of_array samples in
   Alcotest.(check bool) "mean above both" true (Util.Stats.mean st > 0.5)
 
+let test_mc_standard_errors () =
+  let se_mu, se_sigma = Mc.standard_errors ~sigma:2. ~n:400 in
+  check_float "se_mu = sigma/sqrt n" 0.1 se_mu;
+  check_float "se_sigma = sigma/sqrt 2n" (2. /. sqrt 800.) se_sigma;
+  Alcotest.check_raises "n = 1" (Invalid_argument "Mc.standard_errors: need n > 1")
+    (fun () -> ignore (Mc.standard_errors ~sigma:1. ~n:1));
+  Alcotest.check_raises "sigma < 0"
+    (Invalid_argument "Mc.standard_errors: negative sigma") (fun () ->
+      ignore (Mc.standard_errors ~sigma:(-1.) ~n:10))
+
 let test_mc_compare_list_close () =
   let rng = Util.Rng.create 78 in
   let xs =
@@ -396,12 +464,29 @@ let test_mc_compare_list_close () =
       Normal.make ~mu:1.05 ~sigma:0.25;
     ]
   in
-  let cmp = Mc.compare_max_list rng xs ~n:400_000 in
-  (* The repeated two-operand fold is an approximation for n > 2; errors
-     stay small (the paper's Section 7 notes the n-ary max as future
-     work). *)
-  Alcotest.(check bool) "mu err < 2%" true (cmp.Mc.mu_abs_err < 0.02);
-  Alcotest.(check bool) "sigma err < 2%" true (cmp.Mc.sigma_abs_err < 0.02)
+  let n = 400_000 in
+  let cmp = Mc.compare_max_list rng xs ~n in
+  (* The observable error decomposes as bias + noise: the repeated
+     two-operand fold is an approximation for n-ary maxima (the paper's
+     Section 7 lists the explicit n-ary max as future work) with a bias
+     of 1-2% of sigma for similar operands, plus sampling noise bounded
+     by Mc.standard_errors.  At 400k samples the noise terms are ~3e-4,
+     so the budget is dominated by the fold-bias allowance. *)
+  let sigma = Normal.sigma cmp.Mc.analytic in
+  let se_mu, se_sigma = Mc.standard_errors ~sigma ~n in
+  let bias_allowance = 0.02 *. sigma in
+  let mu_budget = bias_allowance +. (5. *. se_mu) in
+  let sigma_budget = bias_allowance +. (5. *. se_sigma) in
+  if cmp.Mc.mu_abs_err > mu_budget then
+    Alcotest.failf "mu err %.5f exceeds bias + noise budget %.5f" cmp.Mc.mu_abs_err
+      mu_budget;
+  if cmp.Mc.sigma_abs_err > sigma_budget then
+    Alcotest.failf "sigma err %.5f exceeds bias + noise budget %.5f"
+      cmp.Mc.sigma_abs_err sigma_budget;
+  (* and the budget is not vacuous: it is well under the bare 2%-of-a-unit
+     constant this test used to assert. *)
+  Alcotest.(check bool) "budget tighter than the old constant" true
+    (mu_budget < 0.02 && sigma_budget < 0.02)
 
 let test_mc_empty_list_rejected () =
   let rng = Util.Rng.create 1 in
@@ -429,6 +514,12 @@ let () =
           Alcotest.test_case "degenerate" `Quick test_clark_degenerate_both;
           Alcotest.test_case "degenerate tie" `Quick test_clark_degenerate_tie;
           Alcotest.test_case "mu dominates operands" `Quick test_clark_mu_exceeds_operands;
+          Alcotest.test_case "random properties (Rng sweep)" `Quick
+            test_clark_random_properties;
+          Alcotest.test_case "random degenerate exact" `Quick
+            test_clark_random_degenerate;
+          Alcotest.test_case "continuity near sigma = 0" `Quick
+            test_clark_random_continuity;
           Alcotest.test_case "E2 consistency" `Quick test_clark_expectation_sq_consistent;
           Alcotest.test_case "max_list" `Quick test_clark_max_list;
           Alcotest.test_case "max_array = max_list" `Quick test_clark_max_array_matches_list;
@@ -449,6 +540,7 @@ let () =
       ( "monte_carlo",
         [
           Alcotest.test_case "sample_max_list" `Quick test_mc_sample_max_list;
+          Alcotest.test_case "standard errors" `Quick test_mc_standard_errors;
           Alcotest.test_case "fold vs exact n-ary" `Slow test_mc_compare_list_close;
           Alcotest.test_case "empty rejected" `Quick test_mc_empty_list_rejected;
         ] );
