@@ -182,6 +182,82 @@ let run_parallel ~jobs () =
       Util.Table.print t;
       print_newline ())
 
+(* ---- resilience layer ------------------------------------------------------- *)
+
+(* Measures the guard overhead on a healthy solve and drills the
+   recovery ladder with injected faults, printing the trail each fault
+   class takes.  The guard adds an O(dim) finiteness scan per
+   evaluation — visible on the toy tree where an SSTA evaluation is
+   sub-microsecond, amortised to noise on real circuits — and never
+   changes a bit of the result. *)
+let run_resilience () =
+  section "Resilience: guard overhead and recovery ladder" (fun () ->
+      let net = Circuit.Generate.tree () in
+      let obj = Sizing.Objective.Min_delay 3. in
+      let solve ?instrument ?(guard = true) () =
+        let solver =
+          {
+            Sizing.Engine.default_options.Sizing.Engine.solver with
+            Nlp.Auglag.guard;
+          }
+        in
+        Sizing.Engine.solve
+          ~options:
+            {
+              Sizing.Engine.default_options with
+              Sizing.Engine.solver = solver;
+              instrument;
+            }
+          ~model net obj
+      in
+      let t_guarded = wall_time_per_call ~reps:5 (fun () -> solve ()) in
+      let t_raw = wall_time_per_call ~reps:5 (fun () -> solve ~guard:false ()) in
+      let s_g = solve () and s_r = solve ~guard:false () in
+      Printf.printf
+        "guarded %.2f ms, unguarded %.2f ms (overhead %+.1f%%), bit-identical: %s\n\n"
+        (t_guarded *. 1e3) (t_raw *. 1e3)
+        (100. *. (t_guarded -. t_raw) /. t_raw)
+        (if s_g.Sizing.Engine.sizes = s_r.Sizing.Engine.sizes then "yes" else "NO");
+      let t =
+        Util.Table.create ~header:[ "injected fault"; "termination"; "ladder" ]
+      in
+      let drill name sites =
+        let plan = Util.Fault.plan sites in
+        let inject problem =
+          Nlp.Problem.map_components
+            (fun ~component f ->
+              Util.Fault.wrap plan
+                ~component:(Nlp.Problem.component_index component)
+                f)
+            problem
+        in
+        let s = solve ~instrument:inject () in
+        Util.Table.add_row t
+          [
+            name;
+            Nlp.Auglag.termination_name s.Sizing.Engine.termination;
+            (match s.Sizing.Engine.recovery with
+            | [] -> "(none)"
+            | l ->
+                String.concat " -> "
+                  (List.map
+                     (fun (a : Sizing.Engine.attempt) ->
+                       Sizing.Engine.rung_name a.Sizing.Engine.rung)
+                     l));
+          ]
+      in
+      let site kind trigger =
+        { Util.Fault.kind; Util.Fault.component = Some 0; Util.Fault.trigger }
+      in
+      drill "none" [];
+      drill "nan value, first eval" [ site Util.Fault.Nan_value (Util.Fault.First 1) ];
+      drill "inf gradient, first eval"
+        [ site Util.Fault.Inf_gradient (Util.Fault.First 1) ];
+      drill "nan value, first 3" [ site Util.Fault.Nan_value (Util.Fault.First 3) ];
+      drill "nan value, always" [ site Util.Fault.Nan_value Util.Fault.Always ];
+      Util.Table.print t;
+      print_newline ())
+
 (* ---- batched Monte Carlo oracle -------------------------------------------- *)
 
 let run_mcsta ~jobs () =
@@ -365,7 +441,7 @@ let run_micro () =
 let usage () =
   Printf.eprintf
     "usage: main.exe [--jobs N] \
-     [all|tables|micro|parallel|mcsta|table1|table2|table3|example|yield|mc|corner|ablation|extensions|scale]...\n"
+     [all|tables|micro|parallel|mcsta|resilience|table1|table2|table3|example|yield|mc|corner|ablation|extensions|scale]...\n"
 
 let () =
   let rec parse jobs sections = function
@@ -394,6 +470,7 @@ let () =
     | "micro" -> run_micro ()
     | "parallel" -> run_parallel ~jobs ()
     | "mcsta" -> run_mcsta ~jobs ()
+    | "resilience" -> run_resilience ()
     | "table1" -> run_table1 ?pool ()
     | "table2" -> run_table2 ()
     | "table3" -> run_table3 ()

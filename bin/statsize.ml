@@ -210,7 +210,7 @@ let objective_of ~objective ~k ~bound ~mu =
 
 let size_cmd =
   let run circuit blif bench library_file wire_load sigma_ratio objective k bound mu
-      print_sizes mc jobs profile =
+      print_sizes mc deadline max_evals no_recovery jobs profile =
     match load_circuit ~blif ~bench ~library_file ~circuit ~wire_load with
     | Error msg ->
         Printf.eprintf "statsize: %s\n" msg;
@@ -221,13 +221,28 @@ let size_cmd =
             Printf.eprintf "statsize: %s\n" msg;
             exit 1
         | Ok obj ->
+            (match deadline with
+            | Some d when d <= 0. ->
+                Printf.eprintf "statsize: --deadline must be positive\n";
+                exit 1
+            | _ -> ());
+            (match max_evals with
+            | Some m when m <= 0 ->
+                Printf.eprintf "statsize: --max-evals must be positive\n";
+                exit 1
+            | _ -> ());
             with_runtime ~jobs ~profile @@ fun pool ->
             let model = model_of_ratio sigma_ratio in
-            let s = Sizing.Engine.solve ?pool ~model net obj in
+            let options =
+              {
+                Sizing.Engine.default_options with
+                Sizing.Engine.deadline;
+                Sizing.Engine.max_evaluations = max_evals;
+                Sizing.Engine.recovery = not no_recovery;
+              }
+            in
+            let s = Sizing.Engine.solve ~options ?pool ~model net obj in
             Format.printf "%a@." Sizing.Report.pp_solution s;
-            if not s.Sizing.Engine.converged then
-              Printf.printf "warning: solver did not fully converge (violation %.2e)\n"
-                s.Sizing.Engine.max_violation;
             if print_sizes then
               List.iter
                 (fun (name, sz) -> Printf.printf "  S_%s = %.3f\n" name sz)
@@ -239,7 +254,15 @@ let size_cmd =
                     ~sizes:s.Sizing.Engine.sizes ~deadline ~n:mc
                 in
                 Printf.printf "Monte Carlo yield at D = %g: %.1f%%\n" deadline (100. *. y)
-            | _ -> ()))
+            | _ -> ());
+            (* A solve that did not end Converged is a failure, even when the
+               ladder degraded gracefully: print the machine-readable
+               diagnosis and exit non-zero so scripts cannot mistake it for
+               a clean result. *)
+            if not s.Sizing.Engine.converged then begin
+              print_endline (Sizing.Report.diagnosis_json s);
+              exit 2
+            end)
   in
   let objective_arg =
     let doc = "Objective: min-delay, min-area, min-sigma or max-sigma." in
@@ -265,11 +288,31 @@ let size_cmd =
     let doc = "Validate a delay bound with N Monte Carlo samples." in
     Arg.(value & opt int 0 & info [ "mc" ] ~docv:"N" ~doc)
   in
+  let deadline_arg =
+    let doc =
+      "Wall-clock budget in seconds for the whole solve (including any \
+       recovery attempts); an expired budget returns the best iterate seen \
+       with a 'deadline' diagnosis."
+    in
+    Arg.(value & opt (some float) None & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_evals_arg =
+    let doc = "Budget on objective/constraint evaluations across all attempts." in
+    Arg.(value & opt (some int) None & info [ "max-evals" ] ~docv:"N" ~doc)
+  in
+  let no_recovery_arg =
+    let doc =
+      "Disable the recovery ladder: report the first attempt's typed failure \
+       instead of retrying."
+    in
+    Arg.(value & flag & info [ "no-recovery" ] ~doc)
+  in
   let term =
     Term.(
       const run $ circuit_arg $ blif_arg $ bench_arg $ library_arg $ wire_load_arg
       $ sigma_ratio_arg $ objective_arg $ k_arg $ bound_arg $ mu_arg $ print_sizes_arg
-      $ mc_arg $ jobs_arg $ profile_arg)
+      $ mc_arg $ deadline_arg $ max_evals_arg $ no_recovery_arg $ jobs_arg
+      $ profile_arg)
   in
   Cmd.v (Cmd.info "size" ~doc:"Solve a statistical gate sizing problem") term
 

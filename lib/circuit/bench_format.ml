@@ -181,8 +181,15 @@ let parse_string ?wire_load ~library text =
   | exception Invalid_argument m -> Error { line = 0; message = m }
 
 let parse_file ?wire_load ~library path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  parse_string ?wire_load ~library text
+  match open_in path with
+  | exception Sys_error m -> Result.Error { line = 0; message = m }
+  | ic -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | text -> parse_string ?wire_load ~library text
+      | exception Sys_error m -> Result.Error { line = 0; message = m }
+      | exception End_of_file ->
+          Result.Error { line = 0; message = path ^ ": truncated read" })

@@ -32,3 +32,5 @@ val parse_file :
   library:Cell.Library.t ->
   string ->
   (Netlist.t, error) result
+(** Never raises: missing, unreadable or truncated files come back as
+    [Error] with [line = 0], like syntax errors do. *)

@@ -78,11 +78,18 @@ let parse_string text =
   | exception Invalid_argument m -> Error { line = 0; message = m }
 
 let parse_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let text = really_input_string ic len in
-  close_in ic;
-  parse_string text
+  match open_in path with
+  | exception Sys_error m -> Result.Error { line = 0; message = m }
+  | ic -> (
+      match
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | text -> parse_string text
+      | exception Sys_error m -> Result.Error { line = 0; message = m }
+      | exception End_of_file ->
+          Result.Error { line = 0; message = path ^ ": truncated read" })
 
 let to_string library =
   let cells =

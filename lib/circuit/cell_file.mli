@@ -17,7 +17,10 @@ type error = { line : int; message : string }
 val pp_error : Format.formatter -> error -> unit
 
 val parse_string : string -> (Cell.Library.t, error) result
+
 val parse_file : string -> (Cell.Library.t, error) result
+(** Never raises: missing, unreadable or truncated files come back as
+    [Error] with [line = 0], like syntax errors do. *)
 
 val to_string : Cell.Library.t -> string
 (** Cells sorted by name; [parse_string] of the result reproduces the

@@ -9,6 +9,9 @@ type options = {
   violation_decrease : float;
   inner : Lbfgs.options;
   inner_solver : [ `Lbfgs | `Newton of Newton.options ];
+  deadline : float option;
+  max_evaluations : int option;
+  guard : bool;
 }
 
 let default_options =
@@ -21,15 +24,20 @@ let default_options =
     violation_decrease = 0.25;
     inner = Lbfgs.default_options;
     inner_solver = `Lbfgs;
+    deadline = None;
+    max_evaluations = None;
+    guard = true;
   }
 
 let c_outer = Instr.counter "auglag.outer_iterations"
 let c_inner = Instr.counter "auglag.inner_iterations"
 let c_evals = Instr.counter "auglag.evaluations"
+let c_breakdowns = Instr.counter "auglag.breakdowns"
+let c_budget_stops = Instr.counter "auglag.budget_stops"
 let t_inner = Instr.timer "auglag.inner_solve"
 
 (* Uniform view of the two inner solvers: final point, iterations,
-   evaluations, and whether the run ended for a benign reason. *)
+   evaluations, and how the run ended. *)
 let run_inner options problem ~x0 =
   Instr.time t_inner @@ fun () ->
   match options.inner_solver with
@@ -38,13 +46,37 @@ let run_inner options problem ~x0 =
       ( r.Lbfgs.x,
         r.Lbfgs.iterations,
         r.Lbfgs.evaluations,
-        r.Lbfgs.outcome <> Lbfgs.Iteration_limit )
+        match r.Lbfgs.outcome with
+        | Lbfgs.Converged | Lbfgs.Stagnated | Lbfgs.Line_search_failure -> `Ok
+        | Lbfgs.Iteration_limit -> `Limit
+        | Lbfgs.Interrupted -> `Interrupted )
   | `Newton newton_options ->
       let r = Newton.minimize ~options:newton_options problem ~x0 in
       ( r.Newton.x,
         r.Newton.iterations,
         r.Newton.evaluations,
-        r.Newton.outcome <> Newton.Iteration_limit )
+        match r.Newton.outcome with
+        | Newton.Converged | Newton.Step_failure -> `Ok
+        | Newton.Iteration_limit -> `Limit
+        | Newton.Interrupted -> `Interrupted )
+
+type termination = Converged | Deadline | Breakdown | Stalled | Penalty_ceiling
+
+let pp_termination ppf t =
+  Format.pp_print_string ppf
+    (match t with
+    | Converged -> "converged"
+    | Deadline -> "deadline"
+    | Breakdown -> "breakdown"
+    | Stalled -> "stalled"
+    | Penalty_ceiling -> "penalty ceiling")
+
+let termination_name = function
+  | Converged -> "converged"
+  | Deadline -> "deadline"
+  | Breakdown -> "breakdown"
+  | Stalled -> "stalled"
+  | Penalty_ceiling -> "penalty-ceiling"
 
 type report = {
   x : float array;
@@ -55,6 +87,8 @@ type report = {
   outer_iterations : int;
   inner_iterations : int;
   evaluations : int;
+  termination : termination;
+  breakdown : Problem.breakdown option;
   converged : bool;
 }
 
@@ -84,25 +118,73 @@ let augmented (problem : Problem.constrained) lambda rho x =
     problem.Problem.constraints;
   (!total, g)
 
+(* Objective value and violation for abnormal-exit reports, measured on
+   the caller's unguarded problem so the budget cannot interfere with
+   producing the diagnosis.  Any exception (e.g. a fault that is still
+   live at this evaluation index) degrades to NaN instead of escaping. *)
+let safe_f (problem : Problem.constrained) x =
+  try fst (problem.Problem.base.Problem.objective x) with _ -> nan
+
+let safe_violation problem x =
+  try Problem.max_violation problem x with _ -> nan
+
 let solve ?(options = default_options) (problem : Problem.constrained) ~x0 =
   let m = Array.length problem.Problem.constraints in
-  let base = problem.Problem.base in
+  let budget =
+    match (options.deadline, options.max_evaluations) with
+    | None, None -> None
+    | deadline, max_evals -> Some (Guard.budget ?deadline ?max_evals ())
+  in
+  (* [problem] stays the caller's raw problem (used only for final
+     reporting); [g] is the guarded/budgeted view every solver-side
+     evaluation goes through. *)
+  let g =
+    if options.guard || budget <> None then
+      Problem.guarded ?budget ~check:options.guard problem
+    else problem
+  in
+  let base = g.Problem.base in
   if m = 0 then begin
-    let x, iterations, evaluations, ok = run_inner options base ~x0 in
-    Instr.add c_inner iterations;
-    Instr.add c_evals evaluations;
-    let f, _ = base.Problem.objective x in
-    {
-      x;
-      f;
-      multipliers = [||];
-      penalty = 0.;
-      max_violation = 0.;
-      outer_iterations = 0;
-      inner_iterations = iterations;
-      evaluations;
-      converged = ok;
-    }
+    match run_inner options base ~x0 with
+    | exception Problem.Numerical_breakdown b ->
+        Instr.incr c_breakdowns;
+        {
+          x = Array.copy b.Problem.b_x;
+          f = safe_f problem b.Problem.b_x;
+          multipliers = [||];
+          penalty = 0.;
+          max_violation = 0.;
+          outer_iterations = 0;
+          inner_iterations = 0;
+          evaluations = 0;
+          termination = Breakdown;
+          breakdown = Some b;
+          converged = false;
+        }
+    | x, iterations, evaluations, status ->
+        Instr.add c_inner iterations;
+        Instr.add c_evals evaluations;
+        let termination =
+          match status with
+          | `Ok -> Converged
+          | `Limit -> Stalled
+          | `Interrupted ->
+              Instr.incr c_budget_stops;
+              Deadline
+        in
+        {
+          x;
+          f = safe_f problem x;
+          multipliers = [||];
+          penalty = 0.;
+          max_violation = 0.;
+          outer_iterations = 0;
+          inner_iterations = iterations;
+          evaluations;
+          termination;
+          breakdown = None;
+          converged = (termination = Converged);
+        }
   end
   else begin
     let lambda = Array.make m 0. in
@@ -112,69 +194,121 @@ let solve ?(options = default_options) (problem : Problem.constrained) ~x0 =
     let inner_iterations = ref 0 in
     let evaluations = ref 0 in
     let prev_violation = ref infinity in
+    let ceiling_stall = ref 0 in
     let result = ref None in
     let outer = ref 0 in
-    while !result = None && !outer < options.outer_iterations do
-      incr outer;
-      Instr.incr c_outer;
-      let sub =
-        Problem.make ~bounds:base.Problem.bnds ~objective:(fun x ->
-            augmented problem lambda !rho x)
+    (* Checkpoint of the most feasible iterate seen at outer-iteration
+       granularity; abnormal exits return it rather than nothing. *)
+    let best = ref None in
+    let checkpoint xv violation =
+      match !best with
+      | Some (_, v) when v <= violation -> ()
+      | _ -> best := Some (Array.copy xv, violation)
+    in
+    let abnormal termination breakdown =
+      let bx, bviol =
+        match !best with Some (xb, v) -> (xb, v) | None -> (Array.copy x, nan)
       in
-      let xr, iterations, evals, _ = run_inner options sub ~x0:x in
-      Instr.add c_inner iterations;
-      Instr.add c_evals evals;
-      inner_iterations := !inner_iterations + iterations;
-      evaluations := !evaluations + evals;
-      Array.blit xr 0 x 0 base.Problem.dim;
-      (* Multiplier updates and violation measurement. *)
-      let violation = ref 0. in
-      Array.iteri
-        (fun i (c : Problem.constr) ->
-          let v, _ = c.Problem.eval x in
-          (match c.Problem.kind with
-          | Problem.Eq ->
-              violation := max !violation (abs_float v);
-              lambda.(i) <- lambda.(i) +. (!rho *. v)
-          | Problem.Le ->
-              violation := max !violation (max 0. v);
-              lambda.(i) <- max 0. (lambda.(i) +. (!rho *. v))))
-        problem.Problem.constraints;
-      if !violation <= options.constraint_tolerance then begin
-        let f, _ = base.Problem.objective x in
-        result :=
-          Some
-            {
-              x = Array.copy x;
-              f;
-              multipliers = Array.copy lambda;
-              penalty = !rho;
-              max_violation = !violation;
-              outer_iterations = !outer;
-              inner_iterations = !inner_iterations;
-              evaluations = !evaluations;
-              converged = true;
-            }
-      end
-      else begin
-        if !violation > options.violation_decrease *. !prev_violation then
-          rho := min options.max_penalty (!rho *. options.penalty_growth);
-        prev_violation := !violation
-      end
-    done;
-    match !result with
-    | Some r -> r
-    | None ->
-        let f, _ = base.Problem.objective x in
+      let bviol = if Guard.is_finite bviol then bviol else safe_violation problem bx in
+      Some
         {
-          x;
-          f;
-          multipliers = lambda;
+          x = bx;
+          f = safe_f problem bx;
+          multipliers = Array.copy lambda;
           penalty = !rho;
-          max_violation = Problem.max_violation problem x;
+          max_violation = bviol;
           outer_iterations = !outer;
           inner_iterations = !inner_iterations;
           evaluations = !evaluations;
+          termination;
+          breakdown;
           converged = false;
         }
+    in
+    (try
+       while !result = None && !outer < options.outer_iterations do
+         incr outer;
+         Instr.incr c_outer;
+         let sub =
+           Problem.make ~bounds:base.Problem.bnds ~objective:(fun x ->
+               augmented g lambda !rho x)
+         in
+         let xr, iterations, evals, status = run_inner options sub ~x0:x in
+         Instr.add c_inner iterations;
+         Instr.add c_evals evals;
+         inner_iterations := !inner_iterations + iterations;
+         evaluations := !evaluations + evals;
+         Array.blit xr 0 x 0 base.Problem.dim;
+         if status = `Interrupted then begin
+           (* The budget died inside the inner solve: the multiplier/penalty
+              state is stale, so stop here with the best checkpoint. *)
+           Instr.incr c_budget_stops;
+           checkpoint x (safe_violation problem x);
+           result := abnormal Deadline None
+         end
+         else begin
+           (* Multiplier updates and violation measurement. *)
+           let violation = ref 0. in
+           Array.iteri
+             (fun i (c : Problem.constr) ->
+               let v, _ = c.Problem.eval x in
+               match c.Problem.kind with
+               | Problem.Eq ->
+                   violation := max !violation (abs_float v);
+                   lambda.(i) <- lambda.(i) +. (!rho *. v)
+               | Problem.Le ->
+                   violation := max !violation (max 0. v);
+                   lambda.(i) <- max 0. (lambda.(i) +. (!rho *. v)))
+             g.Problem.constraints;
+           checkpoint x !violation;
+           if !violation <= options.constraint_tolerance then begin
+             let f, _ = base.Problem.objective x in
+             result :=
+               Some
+                 {
+                   x = Array.copy x;
+                   f;
+                   multipliers = Array.copy lambda;
+                   penalty = !rho;
+                   max_violation = !violation;
+                   outer_iterations = !outer;
+                   inner_iterations = !inner_iterations;
+                   evaluations = !evaluations;
+                   termination = Converged;
+                   breakdown = None;
+                   converged = true;
+                 }
+           end
+           else begin
+             let improved = !violation <= options.violation_decrease *. !prev_violation in
+             if not improved then
+               rho := min options.max_penalty (!rho *. options.penalty_growth);
+             (* With the penalty pinned at its ceiling and the violation no
+                longer shrinking, further outer iterations just replay the
+                same subproblem: diagnose Penalty_ceiling instead of
+                burning the iteration allowance. *)
+             if !rho >= options.max_penalty && not improved then begin
+               incr ceiling_stall;
+               if !ceiling_stall >= 3 then result := abnormal Penalty_ceiling None
+             end
+             else ceiling_stall := 0;
+             prev_violation := !violation
+           end
+         end
+       done
+     with
+    | Problem.Numerical_breakdown b ->
+        Instr.incr c_breakdowns;
+        result := abnormal Breakdown (Some b)
+    | Guard.Out_of_budget _ ->
+        Instr.incr c_budget_stops;
+        result := abnormal Deadline None);
+    match !result with
+    | Some r -> r
+    | None -> (
+        (* Outer-iteration allowance exhausted without convergence. *)
+        let at_ceiling = !rho >= options.max_penalty in
+        match abnormal (if at_ceiling then Penalty_ceiling else Stalled) None with
+        | Some r -> r
+        | None -> assert false)
   end

@@ -7,7 +7,17 @@
     {m \frac{\rho}{2}\big(\max(0, c + \lambda/\rho)^2 - (\lambda/\rho)^2\big)}.
     Each outer iteration minimises the augmented Lagrangian over the box
     with {!Lbfgs}, then updates multipliers and, when the violation does
-    not shrink enough, increases the penalty. *)
+    not shrink enough, increases the penalty.
+
+    {b Resilience.}  By default every evaluation runs behind
+    {!Problem.guarded}, so NaN/Inf leaking out of an objective,
+    constraint or gradient surfaces as a [Breakdown] termination with
+    the typed {!Problem.breakdown} diagnosis instead of corrupting the
+    iteration or escaping as an exception.  Optional [deadline] /
+    [max_evaluations] budgets bound the solve; when one expires the
+    report carries the most feasible iterate checkpointed so far and a
+    [Deadline] termination.  [solve] never raises on numerical failure —
+    every exit path is a {!report} with a {!termination} reason. *)
 
 type options = {
   outer_iterations : int;  (** default 50 *)
@@ -24,9 +34,35 @@ type options = {
           Lagrangian: the first-order projected L-BFGS (default) or the
           second-order trust-region Newton-CG — LANCELOT's flavour
           (A-SOLVER ablation) *)
+  deadline : float option;
+      (** wall-clock budget in seconds for the whole solve, default [None] *)
+  max_evaluations : int option;
+      (** budget on component (objective/constraint) evaluations, default
+          [None] *)
+  guard : bool;
+      (** check every evaluation for NaN/Inf and out-of-box iterates
+          (default [true]); purely observational — guarded and unguarded
+          solves of a healthy problem are bit-identical *)
 }
 
 val default_options : options
+
+type termination =
+  | Converged  (** constraint violation within tolerance *)
+  | Deadline  (** a wall-clock or evaluation budget expired *)
+  | Breakdown  (** a guard caught NaN/Inf — see [report.breakdown] *)
+  | Stalled
+      (** the outer-iteration allowance ran out (or, with no
+          constraints, the inner solver hit its iteration limit) *)
+  | Penalty_ceiling
+      (** the penalty reached [max_penalty] and the violation stopped
+          shrinking — the classic signature of an infeasible or
+          ill-posed constraint set *)
+
+val pp_termination : Format.formatter -> termination -> unit
+
+val termination_name : termination -> string
+(** Stable kebab-case identifier, e.g. for JSON diagnoses. *)
 
 type report = {
   x : float array;
@@ -37,9 +73,17 @@ type report = {
   outer_iterations : int;
   inner_iterations : int;
   evaluations : int;
-  converged : bool;
+  termination : termination;
+  breakdown : Problem.breakdown option;
+      (** the typed diagnosis when [termination = Breakdown] *)
+  converged : bool;  (** [termination = Converged] *)
 }
 
 val solve : ?options:options -> Problem.constrained -> x0:float array -> report
 (** Solves the constrained problem from [x0].  When the constraint list is
-    empty this reduces to a single {!Lbfgs} run. *)
+    empty this reduces to a single {!Lbfgs} run.  On [Deadline],
+    [Breakdown], [Stalled] and [Penalty_ceiling] exits the report holds
+    the most feasible iterate seen (checkpointed once per outer
+    iteration), with [f]/[max_violation] re-measured on the caller's
+    unguarded problem so the diagnosis itself cannot run out of
+    budget. *)

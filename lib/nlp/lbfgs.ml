@@ -19,7 +19,7 @@ let default_options =
     max_backtracks = 40;
   }
 
-type outcome = Converged | Stagnated | Iteration_limit | Line_search_failure
+type outcome = Converged | Stagnated | Iteration_limit | Line_search_failure | Interrupted
 
 type report = {
   x : float array;
@@ -36,6 +36,7 @@ let pp_outcome ppf = function
   | Stagnated -> Format.pp_print_string ppf "stagnated"
   | Iteration_limit -> Format.pp_print_string ppf "iteration limit"
   | Line_search_failure -> Format.pp_print_string ppf "line search failure"
+  | Interrupted -> Format.pp_print_string ppf "interrupted"
 
 (* ||P(x - g) - x||_inf : first-order criticality measure on a box. *)
 let projected_gradient_norm (bnds : Problem.bounds) x g =
@@ -80,11 +81,7 @@ let minimize ?(options = default_options) (p : Problem.t) ~x0 =
     incr evaluations;
     p.Problem.objective x
   in
-  let f = ref 0. and g = ref [||] in
-  let f0, g0 = eval x in
-  f := f0;
-  g := g0;
-  let history = ref [] in
+  let f = ref nan and g = ref (Array.make n 0.) in
   let finish iterations outcome =
     {
       x;
@@ -96,7 +93,21 @@ let minimize ?(options = default_options) (p : Problem.t) ~x0 =
       outcome;
     }
   in
+  (* Best-so-far checkpointing is implicit: x/f/g are only overwritten on
+     accepted (strictly improving) steps, so when a budget expires
+     mid-iteration the state refs still hold the best iterate seen and we
+     can return it instead of nothing. *)
+  let iterations_done = ref 0 in
+  match
+    let f0, g0 = eval x in
+    f := f0;
+    g := g0
+  with
+  | exception Util.Guard.Out_of_budget _ -> finish 0 Interrupted
+  | () ->
+  let history = ref [] in
   let rec loop iter stagnant =
+    iterations_done := iter;
     if projected_gradient_norm p.Problem.bnds x !g <= options.tolerance then
       finish iter Converged
     else if iter >= options.max_iterations then finish iter Iteration_limit
@@ -180,4 +191,5 @@ let minimize ?(options = default_options) (p : Problem.t) ~x0 =
           else loop (iter + 1) (if tiny then stagnant + 1 else 0)
     end
   in
-  loop 0 0
+  (try loop 0 0
+   with Util.Guard.Out_of_budget _ -> finish !iterations_done Interrupted)

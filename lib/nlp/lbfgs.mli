@@ -18,7 +18,15 @@ type options = {
 
 val default_options : options
 
-type outcome = Converged | Stagnated | Iteration_limit | Line_search_failure
+type outcome =
+  | Converged
+  | Stagnated
+  | Iteration_limit
+  | Line_search_failure
+  | Interrupted
+      (** a {!Util.Guard.Out_of_budget} fired during an evaluation; the
+          report carries the best iterate seen so far (NaN objective if
+          the budget expired before the very first evaluation) *)
 
 type report = {
   x : float array;

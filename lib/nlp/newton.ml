@@ -21,7 +21,7 @@ let default_options =
     fd_epsilon = 1e-7;
   }
 
-type outcome = Converged | Iteration_limit | Step_failure
+type outcome = Converged | Iteration_limit | Step_failure | Interrupted
 
 type report = {
   x : float array;
@@ -114,10 +114,7 @@ let minimize ?(options = default_options) (p : Problem.t) ~x0 =
     incr evaluations;
     p.Problem.objective x
   in
-  let f = ref 0. and g = ref [||] in
-  let f0, g0 = eval x in
-  f := f0;
-  g := g0;
+  let f = ref nan and g = ref (Array.make n 0.) in
   let radius = ref options.initial_radius in
   let finish iterations outcome =
     {
@@ -147,7 +144,9 @@ let minimize ?(options = default_options) (p : Problem.t) ~x0 =
       Array.init n (fun i -> (gt.(i) -. g.(i)) /. eps)
     end
   in
+  let iterations_done = ref 0 in
   let rec loop iter consecutive_failures =
+    iterations_done := iter;
     if projected_gradient_norm p.Problem.bnds x !g <= options.tolerance then
       finish iter Converged
     else if iter >= options.max_iterations then finish iter Iteration_limit
@@ -189,4 +188,14 @@ let minimize ?(options = default_options) (p : Problem.t) ~x0 =
       end
     end
   in
-  loop 0 0
+  (* As in Lbfgs, x/f/g only change on accepted improving steps, so an
+     expired budget returns the best iterate seen rather than nothing. *)
+  match
+    let f0, g0 = eval x in
+    f := f0;
+    g := g0
+  with
+  | exception Util.Guard.Out_of_budget _ -> finish 0 Interrupted
+  | () -> (
+      try loop 0 0
+      with Util.Guard.Out_of_budget _ -> finish !iterations_done Interrupted)

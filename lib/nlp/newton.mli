@@ -27,7 +27,13 @@ type options = {
 
 val default_options : options
 
-type outcome = Converged | Iteration_limit | Step_failure
+type outcome =
+  | Converged
+  | Iteration_limit
+  | Step_failure
+  | Interrupted
+      (** a {!Util.Guard.Out_of_budget} fired during an evaluation; the
+          report carries the best iterate seen so far *)
 
 type report = {
   x : float array;

@@ -40,3 +40,91 @@ let max_violation problem x =
       let viol = match c.kind with Eq -> abs_float v | Le -> max 0. v in
       max acc viol)
     0. problem.constraints
+
+(* ---- resilience layer ---------------------------------------------------- *)
+
+type component = Objective | Constraint of int
+
+let component_index = function Objective -> 0 | Constraint i -> i + 1
+
+let pp_component ppf = function
+  | Objective -> Format.pp_print_string ppf "objective"
+  | Constraint i -> Format.fprintf ppf "constraint %d" i
+
+type fault =
+  | Nonfinite_value of float
+  | Nonfinite_gradient of int
+  | Nonfinite_iterate of int
+  | Out_of_box of int
+
+let pp_fault ppf = function
+  | Nonfinite_value v -> Format.fprintf ppf "non-finite value %h" v
+  | Nonfinite_gradient i -> Format.fprintf ppf "non-finite gradient entry %d" i
+  | Nonfinite_iterate i -> Format.fprintf ppf "non-finite iterate entry %d" i
+  | Out_of_box i -> Format.fprintf ppf "iterate entry %d outside the bounds" i
+
+type breakdown = {
+  b_component : component;
+  b_fault : fault;
+  b_x : float array;
+  b_eval : int;
+}
+
+exception Numerical_breakdown of breakdown
+
+let pp_breakdown ppf b =
+  Format.fprintf ppf "numerical breakdown in the %a at evaluation %d: %a"
+    pp_component b.b_component b.b_eval pp_fault b.b_fault
+
+let () =
+  Printexc.register_printer (function
+    | Numerical_breakdown b -> Some (Format.asprintf "%a" pp_breakdown b)
+    | _ -> None)
+
+let map_components f problem =
+  {
+    base = { problem.base with objective = f ~component:Objective problem.base.objective };
+    constraints =
+      Array.mapi
+        (fun i c -> { c with eval = f ~component:(Constraint i) c.eval })
+        problem.constraints;
+  }
+
+(* Box-membership tolerance: iterates are produced by [project], so any
+   genuine excursion is a solver bug or an injected fault, but allow a
+   whisker of floating-point slack around the face of the box. *)
+let box_slack = 1e-9
+
+let guarded ?budget ?(check = true) problem =
+  let bnds = problem.base.bnds in
+  let evals = ref 0 in
+  let wrap ~component f x =
+    Option.iter Util.Guard.tick budget;
+    let eval = !evals in
+    incr evals;
+    let break fault =
+      raise (Numerical_breakdown
+               { b_component = component; b_fault = fault; b_x = Array.copy x;
+                 b_eval = eval })
+    in
+    if check then begin
+      (match Util.Guard.first_nonfinite x with
+      | Some i -> break (Nonfinite_iterate i)
+      | None -> ());
+      Array.iteri
+        (fun i xi ->
+          let slack = box_slack *. (1. +. abs_float xi) in
+          if xi < bnds.lower.(i) -. slack || xi > bnds.upper.(i) +. slack then
+            break (Out_of_box i))
+        x
+    end;
+    let v, g = f x in
+    if check then begin
+      if not (Util.Guard.is_finite v) then break (Nonfinite_value v);
+      match Util.Guard.first_nonfinite g with
+      | Some i -> break (Nonfinite_gradient i)
+      | None -> ()
+    end;
+    (v, g)
+  in
+  map_components wrap problem

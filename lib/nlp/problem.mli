@@ -47,3 +47,57 @@ val le : ?name:string -> objective -> constr
 val max_violation : constrained -> float array -> float
 (** Largest constraint violation at [x] ([|c|] for equalities,
     [max 0 c] for inequalities). *)
+
+(** {1 Resilience layer}
+
+    The guarded wrapper is the first rung of the solver resilience
+    story (DESIGN.md §7): every component evaluation is checked for
+    NaN/Inf values, non-finite gradients and out-of-box iterates, and
+    any violation raises the typed {!Numerical_breakdown} carrying the
+    offending component, the fault class, a snapshot of the iterate and
+    the global evaluation index.  {!Auglag.solve} installs it by
+    default, catches the exception, and reports a [Breakdown]
+    termination instead of crashing or looping. *)
+
+type component = Objective | Constraint of int  (** constraint array index *)
+
+val component_index : component -> int
+(** Stable integer id: 0 for the objective, [i + 1] for constraint [i]
+    — the numbering used by {!Util.Fault} sites. *)
+
+val pp_component : Format.formatter -> component -> unit
+
+type fault =
+  | Nonfinite_value of float  (** the evaluation returned NaN/Inf *)
+  | Nonfinite_gradient of int  (** gradient entry index *)
+  | Nonfinite_iterate of int  (** NaN/Inf in the evaluation point itself *)
+  | Out_of_box of int  (** iterate entry escaped the bounds *)
+
+val pp_fault : Format.formatter -> fault -> unit
+
+type breakdown = {
+  b_component : component;
+  b_fault : fault;
+  b_x : float array;  (** snapshot of the iterate at the failure *)
+  b_eval : int;  (** global guarded-evaluation index *)
+}
+
+exception Numerical_breakdown of breakdown
+
+val pp_breakdown : Format.formatter -> breakdown -> unit
+
+val map_components :
+  (component:component -> objective -> objective) -> constrained -> constrained
+(** Rewraps every evaluation closure (objective and each constraint)
+    — the hook {!Util.Fault} injectors and custom monitors attach
+    through. *)
+
+val guarded : ?budget:Util.Guard.budget -> ?check:bool -> constrained -> constrained
+(** [guarded ?budget ?check p] returns an observationally identical
+    problem whose evaluations (i) tick [budget] first, so an exhausted
+    budget raises {!Util.Guard.Out_of_budget} before the next
+    evaluation starts, and (ii) when [check] (default [true]), verify
+    iterate/value/gradient sanity and raise {!Numerical_breakdown} on
+    the first violation.  Values and gradients pass through unchanged,
+    so a guarded solve is bit-identical to an unguarded one until the
+    moment it fails. *)

@@ -6,6 +6,10 @@ type options = {
   start : [ `Low | `Mid | `High | `Given of float array ];
   restarts : int;
   restart_seed : int;
+  deadline : float option;
+  max_evaluations : int option;
+  recovery : bool;
+  instrument : (Nlp.Problem.constrained -> Nlp.Problem.constrained) option;
 }
 
 (* Sizing-tuned solver defaults: speed factors live in [1, limit] and the
@@ -28,7 +32,35 @@ let default_options =
     start = `Mid;
     restarts = 0;
     restart_seed = 99;
+    deadline = None;
+    max_evaluations = None;
+    recovery = true;
+    instrument = None;
   }
+
+type rung =
+  | Initial
+  | Perturbed_restart
+  | Alternate_solver
+  | Gentler_penalty
+  | Baseline_fallback
+
+let rung_name = function
+  | Initial -> "initial"
+  | Perturbed_restart -> "perturbed-restart"
+  | Alternate_solver -> "alternate-solver"
+  | Gentler_penalty -> "gentler-penalty"
+  | Baseline_fallback -> "baseline-fallback"
+
+let pp_rung ppf r = Format.pp_print_string ppf (rung_name r)
+
+type attempt = {
+  rung : rung;
+  outcome : Nlp.Auglag.termination;
+  breakdown : Nlp.Problem.breakdown option;
+  violation : float;
+  evals : int;
+}
 
 type solution = {
   objective : Objective.t;
@@ -42,11 +74,18 @@ type solution = {
   iterations : int;
   max_violation : float;
   converged : bool;
+  termination : Nlp.Auglag.termination;
+  recovery : attempt list;
 }
 
 let c_solves = Util.Instr.counter "engine.solve"
 let c_cache_hits = Util.Instr.counter "engine.cache_hit"
 let c_cache_misses = Util.Instr.counter "engine.cache_miss"
+let c_recovery = Util.Instr.counter "engine.recovery.engaged"
+let c_rung_perturbed = Util.Instr.counter "engine.recovery.perturbed_restart"
+let c_rung_alternate = Util.Instr.counter "engine.recovery.alternate_solver"
+let c_rung_gentler = Util.Instr.counter "engine.recovery.gentler_penalty"
+let c_rung_baseline = Util.Instr.counter "engine.recovery.baseline_fallback"
 let t_solve = Util.Instr.timer "engine.solve"
 
 let evaluate ?pool ~model net ~sizes =
@@ -182,10 +221,40 @@ let trivial_solution ?pool ~model net objective sizes started =
     iterations = 0;
     max_violation = 0.;
     converged = true;
+    termination = Nlp.Auglag.Converged;
+    recovery = [];
   }
+
+(* The ladder retries transient failures; a Deadline exit means the budget
+   itself is spent, so there is nothing left to retry with. *)
+let retryable = function
+  | Nlp.Auglag.Breakdown | Nlp.Auglag.Stalled | Nlp.Auglag.Penalty_ceiling -> true
+  | Nlp.Auglag.Converged | Nlp.Auglag.Deadline -> false
+
+(* Between two failed reports, prefer the more feasible, then the lower
+   objective (NaNs lose every comparison). *)
+let less_broken (a : Nlp.Auglag.report) (b : Nlp.Auglag.report) =
+  let key (r : Nlp.Auglag.report) =
+    let v = r.Nlp.Auglag.max_violation and f = r.Nlp.Auglag.f in
+    ( (if Util.Guard.is_finite v then v else infinity),
+      if Util.Guard.is_finite f then f else infinity )
+  in
+  if key a <= key b then a else b
+
+let baseline_fallback net objective =
+  match objective with
+  | Objective.Min_delay _ -> Some (Baseline.minimize_delay net).Baseline.sizes
+  | Objective.Min_area_bounded { bound; _ } | Objective.Min_weighted { bound; _ } ->
+      Some (Baseline.meet_deadline net ~deadline:bound).Baseline.sizes
+  | Objective.Min_area | Objective.Min_sigma _ | Objective.Max_sigma _ ->
+      (* Min_area never reaches the ladder; the sigma objectives have no
+         deterministic counterpart to fall back to. *)
+      None
 
 let rec solve_impl ?(options = default_options) ?pool ~model net objective =
   let started = Sys.time () in
+  let wall0 = Util.Instr.now_ns () in
+  let elapsed () = float_of_int (Util.Instr.now_ns () - wall0) /. 1e9 in
   match objective with
   | Objective.Min_area ->
       (* Every speed factor at its lower bound is optimal: area is strictly
@@ -212,23 +281,67 @@ let rec solve_impl ?(options = default_options) ?pool ~model net objective =
           Nlp.Auglag.initial_penalty = max 100. options.solver.Nlp.Auglag.initial_penalty;
         }
       in
-      let inner =
-        solve_impl
-          ~options:{ options with start = `Given warm.sizes; solver }
-          ?pool ~model net objective
+      let remaining_options =
+        {
+          options with
+          start = `Given warm.sizes;
+          solver;
+          deadline = Option.map (fun d -> Float.max 0. (d -. elapsed ())) options.deadline;
+          max_evaluations =
+            Option.map (fun m -> max 0 (m - warm.evaluations)) options.max_evaluations;
+        }
       in
-      { inner with wall_time = Sys.time () -. started }
+      let inner = solve_impl ~options:remaining_options ?pool ~model net objective in
+      {
+        inner with
+        wall_time = Sys.time () -. started;
+        evaluations = warm.evaluations + inner.evaluations;
+        recovery = warm.recovery @ inner.recovery;
+      }
   | _ ->
       let problem = build_problem ?pool ~model net objective in
-      let solve_from x0 = Nlp.Auglag.solve ~options:options.solver problem ~x0 in
-      let first = solve_from (start_point ~options net) in
+      let problem =
+        match options.instrument with None -> problem | Some f -> f problem
+      in
+      let total_evals = ref 0 in
+      (* Each attempt gets whatever is left of the overall budget, so the
+         deadline bounds the whole ladder, not each rung. *)
+      let with_budget (solver : Nlp.Auglag.options) =
+        {
+          solver with
+          Nlp.Auglag.deadline =
+            Option.map (fun d -> Float.max 0. (d -. elapsed ())) options.deadline;
+          Nlp.Auglag.max_evaluations =
+            Option.map (fun m -> max 0 (m - !total_evals)) options.max_evaluations;
+        }
+      in
+      let solve_from ?(solver = options.solver) x0 =
+        let r = Nlp.Auglag.solve ~options:(with_budget solver) problem ~x0 in
+        total_evals := !total_evals + r.Nlp.Auglag.evaluations;
+        r
+      in
+      let attempts = ref [] in
+      let record rung (r : Nlp.Auglag.report) =
+        attempts :=
+          {
+            rung;
+            outcome = r.Nlp.Auglag.termination;
+            breakdown = r.Nlp.Auglag.breakdown;
+            violation = r.Nlp.Auglag.max_violation;
+            evals = r.Nlp.Auglag.evaluations;
+          }
+          :: !attempts
+      in
+      let start = start_point ~options net in
+      let first = solve_from start in
       let better (a : Nlp.Auglag.report) (b : Nlp.Auglag.report) =
         match (a.Nlp.Auglag.converged, b.Nlp.Auglag.converged) with
         | true, false -> a
         | false, true -> b
-        | _ -> if a.Nlp.Auglag.f <= b.Nlp.Auglag.f then a else b
+        | true, true -> if a.Nlp.Auglag.f <= b.Nlp.Auglag.f then a else b
+        | false, false -> less_broken a b
       in
-      let report =
+      let first =
         if options.restarts <= 0 then first
         else begin
           let rng = Util.Rng.create options.restart_seed in
@@ -244,21 +357,186 @@ let rec solve_impl ?(options = default_options) ?pool ~model net objective =
           !best
         end
       in
-      let sizes = report.Nlp.Auglag.x in
-      let timing, area = evaluate ?pool ~model net ~sizes in
-      {
-        objective;
-        sizes;
-        timing;
-        mu = Normal.mu timing.Sta.Ssta.circuit;
-        sigma = Normal.sigma timing.Sta.Ssta.circuit;
-        area;
-        wall_time = Sys.time () -. started;
-        evaluations = report.Nlp.Auglag.evaluations;
-        iterations = report.Nlp.Auglag.inner_iterations;
-        max_violation = report.Nlp.Auglag.max_violation;
-        converged = report.Nlp.Auglag.converged;
-      }
+      (* Recovery ladder: perturbed restart -> other inner solver ->
+         gentler penalty growth -> deterministic baseline.  Each rung only
+         runs while budget remains and the failure class is retryable. *)
+      let budget_left () =
+        (match options.deadline with Some d -> elapsed () < d | None -> true)
+        && (match options.max_evaluations with
+           | Some m -> !total_evals < m
+           | None -> true)
+      in
+      let report, baseline_sizes =
+        if
+          first.Nlp.Auglag.converged
+          || (not options.recovery)
+          || not (retryable first.Nlp.Auglag.termination)
+        then (first, None)
+        else begin
+          Util.Instr.incr c_recovery;
+          record Initial first;
+          let rungs =
+            [
+              ( Perturbed_restart,
+                c_rung_perturbed,
+                fun () ->
+                  let rng = Util.Rng.keyed options.restart_seed ~key:1 in
+                  let lo = Netlist.min_sizes net and hi = Netlist.max_sizes net in
+                  let x0 =
+                    Array.init (Netlist.n_gates net) (fun i ->
+                        Util.Numerics.clamp ~lo:lo.(i) ~hi:hi.(i)
+                          (start.(i)
+                          +. (0.1 *. (hi.(i) -. lo.(i))
+                             *. Util.Rng.uniform rng ~lo:(-1.) ~hi:1.)))
+                  in
+                  solve_from x0 );
+              ( Alternate_solver,
+                c_rung_alternate,
+                fun () ->
+                  let solver =
+                    {
+                      options.solver with
+                      Nlp.Auglag.inner_solver =
+                        (match options.solver.Nlp.Auglag.inner_solver with
+                        | `Lbfgs -> `Newton Nlp.Newton.default_options
+                        | `Newton _ -> `Lbfgs);
+                    }
+                  in
+                  solve_from ~solver start );
+              ( Gentler_penalty,
+                c_rung_gentler,
+                fun () ->
+                  let s = options.solver in
+                  let solver =
+                    {
+                      s with
+                      Nlp.Auglag.penalty_growth = Float.min 3. s.Nlp.Auglag.penalty_growth;
+                      Nlp.Auglag.initial_penalty = Float.max 1. (s.Nlp.Auglag.initial_penalty /. 10.);
+                      Nlp.Auglag.violation_decrease = 0.5;
+                      Nlp.Auglag.outer_iterations = 2 * s.Nlp.Auglag.outer_iterations;
+                    }
+                  in
+                  solve_from ~solver start );
+            ]
+          in
+          let rec climb best = function
+            | [] ->
+                (* Solver rungs exhausted: deterministic baseline, if the
+                   objective has one. *)
+                if budget_left () then begin
+                  match baseline_fallback net objective with
+                  | Some sizes ->
+                      Util.Instr.incr c_rung_baseline;
+                      (best, Some sizes)
+                  | None -> (best, None)
+                end
+                else (best, None)
+            | (rung, counter, attempt) :: rest ->
+                if not (budget_left ()) then (best, None)
+                else begin
+                  Util.Instr.incr counter;
+                  let r = attempt () in
+                  record rung r;
+                  if r.Nlp.Auglag.converged then (r, None)
+                  else if r.Nlp.Auglag.termination = Nlp.Auglag.Deadline then
+                    (better best r, None)
+                  else climb (better best r) rest
+                end
+          in
+          climb first rungs
+        end
+      in
+      let recovery = List.rev !attempts in
+      let solver_violation = report.Nlp.Auglag.max_violation in
+      let solver_f = report.Nlp.Auglag.f in
+      let baseline_wins bviol =
+        (* The deterministic greedy targets worst-case delay, not the
+           statistical metric, so its point can be worse than the best
+           solver iterate; adopt it only when it actually is more
+           feasible — or when the solver left nothing usable behind. *)
+        (not (Util.Guard.is_finite solver_violation))
+        || (not (Util.Guard.is_finite solver_f))
+        || bviol < solver_violation
+      in
+      (match baseline_sizes with
+      | Some sizes ->
+          (* Graceful degrade: deterministic sizes, statistical report, and
+             the failure trail preserved in [recovery]/[termination]. *)
+          let timing, area = evaluate ?pool ~model net ~sizes in
+          let nc = Normal.mu timing.Sta.Ssta.circuit
+          and sc = Normal.sigma timing.Sta.Ssta.circuit in
+          let max_violation =
+            match objective with
+            | Objective.Min_area_bounded { k; bound }
+            | Objective.Min_weighted { k; bound; _ } ->
+                Float.max 0. (((nc +. (k *. sc)) /. bound) -. 1.)
+            | _ -> 0.
+          in
+          let recovery =
+            recovery
+            @ [
+                {
+                  rung = Baseline_fallback;
+                  outcome = Nlp.Auglag.Converged;
+                  breakdown = None;
+                  violation = max_violation;
+                  evals = 0;
+                };
+              ]
+          in
+          if not (baseline_wins max_violation) then begin
+            let sizes = report.Nlp.Auglag.x in
+            let timing, area = evaluate ?pool ~model net ~sizes in
+            {
+              objective;
+              sizes;
+              timing;
+              mu = Normal.mu timing.Sta.Ssta.circuit;
+              sigma = Normal.sigma timing.Sta.Ssta.circuit;
+              area;
+              wall_time = Sys.time () -. started;
+              evaluations = !total_evals;
+              iterations = report.Nlp.Auglag.inner_iterations;
+              max_violation = solver_violation;
+              converged = false;
+              termination = report.Nlp.Auglag.termination;
+              recovery;
+            }
+          end
+          else
+            {
+              objective;
+              sizes;
+              timing;
+              mu = nc;
+              sigma = sc;
+              area;
+              wall_time = Sys.time () -. started;
+              evaluations = !total_evals;
+              iterations = 0;
+              max_violation;
+              converged = false;
+              termination = report.Nlp.Auglag.termination;
+              recovery;
+            }
+      | None ->
+          let sizes = report.Nlp.Auglag.x in
+          let timing, area = evaluate ?pool ~model net ~sizes in
+          {
+            objective;
+            sizes;
+            timing;
+            mu = Normal.mu timing.Sta.Ssta.circuit;
+            sigma = Normal.sigma timing.Sta.Ssta.circuit;
+            area;
+            wall_time = Sys.time () -. started;
+            evaluations = !total_evals;
+            iterations = report.Nlp.Auglag.inner_iterations;
+            max_violation = report.Nlp.Auglag.max_violation;
+            converged = report.Nlp.Auglag.converged;
+            termination = report.Nlp.Auglag.termination;
+            recovery;
+          })
 
 let solve ?options ?pool ~model net objective =
   Util.Instr.incr c_solves;

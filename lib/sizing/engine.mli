@@ -13,8 +13,21 @@
     Every timing evaluation inside a solve goes through a one-entry
     cache (see {!make_cache}); passing [?pool] threads a
     {!Util.Pool.t} down to the SSTA sweeps so large circuits evaluate
-    level-parallel.  Instrumented via {!Util.Instr}: counters
-    [engine.solve], [engine.cache_hit], [engine.cache_miss] and timer
+    level-parallel.
+
+    {b Resilience.}  [solve] never raises on numerical failure.  The
+    solver stack runs behind {!Nlp.Problem.guarded}; when the initial
+    attempt ends in [Breakdown], [Stalled] or [Penalty_ceiling] and
+    [options.recovery] is on, a recovery ladder retries with (1) a
+    perturbed start, (2) the other inner solver (Lbfgs <-> Newton),
+    (3) gentler penalty growth, and finally (4) the deterministic
+    {!Baseline} sizing, recording every rung taken in
+    [solution.recovery].  Optional [deadline] / [max_evaluations]
+    budgets bound the {e whole} ladder, not each rung; a [Deadline]
+    exit returns the best iterate seen and stops the ladder.
+    Instrumented via {!Util.Instr}: counters [engine.solve],
+    [engine.cache_hit], [engine.cache_miss],
+    [engine.recovery.engaged], [engine.recovery.<rung>] and timer
     [engine.solve]. *)
 
 type options = {
@@ -25,9 +38,40 @@ type options = {
       (** additional multi-start attempts from perturbed starting points;
           best result wins.  0 (default) disables. *)
   restart_seed : int;
+  deadline : float option;
+      (** wall-clock budget in seconds for the whole solve including
+          recovery, default [None] *)
+  max_evaluations : int option;
+      (** budget on objective/constraint evaluations across all attempts,
+          default [None] *)
+  recovery : bool;  (** enable the recovery ladder (default [true]) *)
+  instrument : (Nlp.Problem.constrained -> Nlp.Problem.constrained) option;
+      (** hook applied to the internally built problem before solving —
+          used by the fault-injection tests to corrupt evaluations;
+          default [None] *)
 }
 
 val default_options : options
+
+type rung =
+  | Initial  (** the first (non-recovery) attempt, recorded only on failure *)
+  | Perturbed_restart  (** deterministic keyed perturbation of the start *)
+  | Alternate_solver  (** flip the inner solver: Lbfgs <-> Newton *)
+  | Gentler_penalty  (** slower penalty growth, more outer iterations *)
+  | Baseline_fallback  (** deterministic {!Baseline} sizing *)
+
+val rung_name : rung -> string
+(** Stable kebab-case identifier, e.g. for JSON diagnoses. *)
+
+val pp_rung : Format.formatter -> rung -> unit
+
+type attempt = {
+  rung : rung;
+  outcome : Nlp.Auglag.termination;
+  breakdown : Nlp.Problem.breakdown option;
+  violation : float;
+  evals : int;
+}
 
 type solution = {
   objective : Objective.t;
@@ -37,10 +81,19 @@ type solution = {
   sigma : float;  (** {m \sigma_{T_{max}}} at the solution *)
   area : float;  (** {m \sum_i area_i S_i} *)
   wall_time : float;  (** seconds spent in [solve] *)
-  evaluations : int;  (** objective/constraint evaluations *)
-  iterations : int;  (** inner solver iterations *)
+  evaluations : int;
+      (** objective/constraint evaluations, summed over every attempt *)
+  iterations : int;  (** inner solver iterations of the accepted attempt *)
   max_violation : float;  (** residual constraint violation *)
   converged : bool;
+  termination : Nlp.Auglag.termination;
+      (** why the accepted attempt ended; [Converged] iff [converged].
+          After a baseline fallback this keeps the {e failure} reason of
+          the best solver attempt — the fallback is a graceful degrade,
+          not a statistical solve. *)
+  recovery : attempt list;
+      (** every ladder rung taken, in order; [[]] when the first attempt
+          converged (guards are observability, not behaviour change) *)
 }
 
 val solve :
@@ -52,7 +105,10 @@ val solve :
   solution
 (** Solves the sizing problem; see {!options} for the solver knobs.
     [pool] parallelises every SSTA evaluation of the run — solutions are
-    bit-identical with and without it. *)
+    bit-identical with and without it.  Never raises on numerical
+    failure: guards, budgets and the recovery ladder turn NaN/Inf,
+    stalls and expired budgets into a typed [termination] plus the
+    [recovery] trail. *)
 
 val evaluate :
   ?pool:Util.Pool.t ->
@@ -86,3 +142,12 @@ val make_cache :
     constraint closures evaluated at one iterate share a single timing
     analysis.  The returned entry's arrays are owned by the cache;
     callers must not mutate them. *)
+
+val build_problem :
+  ?pool:Util.Pool.t ->
+  model:Circuit.Sigma_model.t ->
+  Circuit.Netlist.t ->
+  Objective.t ->
+  Nlp.Problem.constrained
+(** The reduced-space NLP the engine solves for a given objective —
+    exposed so tests can instrument it directly. *)

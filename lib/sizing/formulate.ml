@@ -403,4 +403,6 @@ let solve ?(solver = default_solver_options) ?(start = `Mid) t =
     iterations = report.Nlp.Auglag.inner_iterations;
     max_violation = report.Nlp.Auglag.max_violation;
     converged = report.Nlp.Auglag.converged;
+    termination = report.Nlp.Auglag.termination;
+    recovery = [];
   }

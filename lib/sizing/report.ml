@@ -48,8 +48,70 @@ let speed_factors net (s : Engine.solution) =
        (Circuit.Netlist.gates net))
 
 let pp_solution ppf (s : Engine.solution) =
-  Format.fprintf ppf "%s: mu=%.3f sigma=%.4f area=%.1f%s (%s)"
+  Format.fprintf ppf "%s: mu=%.3f sigma=%.4f area=%.1f%s%s (%s)"
     (Objective.describe s.Engine.objective)
     s.Engine.mu s.Engine.sigma s.Engine.area
-    (if s.Engine.converged then "" else " [NOT CONVERGED]")
+    (if s.Engine.converged then ""
+     else
+       Printf.sprintf " [NOT CONVERGED: %s]"
+         (Nlp.Auglag.termination_name s.Engine.termination))
+    (match s.Engine.recovery with
+    | [] -> ""
+    | rungs ->
+        Printf.sprintf " [recovery: %s]"
+          (String.concat " -> " (List.map (fun a -> Engine.rung_name a.Engine.rung) rungs)))
     (cpu_string s.Engine.wall_time)
+
+(* Machine-readable failure diagnosis for the CLI: what stopped the solve,
+   which ladder rungs ran, and the typed breakdown when a guard fired. *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Util.Guard.is_finite f then Printf.sprintf "%.6g" f else Printf.sprintf "\"%h\"" f
+
+let diagnosis_json (s : Engine.solution) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "{";
+  Buffer.add_string b
+    (Printf.sprintf "\"status\": %S, " (if s.Engine.converged then "ok" else "failed"));
+  Buffer.add_string b
+    (Printf.sprintf "\"termination\": %S, "
+       (Nlp.Auglag.termination_name s.Engine.termination));
+  Buffer.add_string b
+    (Printf.sprintf "\"max_violation\": %s, " (json_float s.Engine.max_violation));
+  Buffer.add_string b (Printf.sprintf "\"evaluations\": %d, " s.Engine.evaluations);
+  let breakdown =
+    List.find_map (fun (a : Engine.attempt) -> a.Engine.breakdown) s.Engine.recovery
+  in
+  (match breakdown with
+  | None -> ()
+  | Some bd ->
+      Buffer.add_string b
+        (Printf.sprintf "\"breakdown\": {\"component\": %d, \"fault\": \"%s\", \"eval\": %d}, "
+           (Nlp.Problem.component_index bd.Nlp.Problem.b_component)
+           (json_escape (Format.asprintf "%a" Nlp.Problem.pp_fault bd.Nlp.Problem.b_fault))
+           bd.Nlp.Problem.b_eval));
+  Buffer.add_string b "\"recovery\": [";
+  List.iteri
+    (fun i (a : Engine.attempt) ->
+      if i > 0 then Buffer.add_string b ", ";
+      Buffer.add_string b
+        (Printf.sprintf
+           "{\"rung\": %S, \"outcome\": %S, \"violation\": %s, \"evaluations\": %d}"
+           (Engine.rung_name a.Engine.rung)
+           (Nlp.Auglag.termination_name a.Engine.outcome)
+           (json_float a.Engine.violation) a.Engine.evals))
+    s.Engine.recovery;
+  Buffer.add_string b "]}";
+  Buffer.contents b

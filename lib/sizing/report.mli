@@ -22,4 +22,11 @@ val cpu_string : float -> string
     ["18.5 s"]). *)
 
 val pp_solution : Format.formatter -> Engine.solution -> unit
-(** One-line summary. *)
+(** One-line summary, including the termination reason and recovery trail
+    when the solve did not converge cleanly. *)
+
+val diagnosis_json : Engine.solution -> string
+(** Machine-readable failure diagnosis: status, termination reason, the
+    recovery rungs taken (with outcome/violation/evaluations each), and
+    the typed breakdown when a guard fired.  Printed by the CLI on
+    abnormal exits. *)

@@ -1,0 +1,82 @@
+type kind = Nan_value | Inf_value | Nan_gradient | Inf_gradient | Perturb of float
+
+type trigger = At of int | First of int | Always
+
+type site = { kind : kind; component : int option; trigger : trigger }
+
+type fired = { eval : int; component : int; kind : kind }
+
+type plan = {
+  seed : int;
+  sites : site array;
+  hits : int array;  (* per-site fire count, for First *)
+  mutable next_eval : int;
+  mutable log : fired list;
+}
+
+let plan ?(seed = 0) sites =
+  let sites = Array.of_list sites in
+  { seed; sites; hits = Array.make (Array.length sites) 0; next_eval = 0; log = [] }
+
+let evaluations p = p.next_eval
+
+let log p = List.rev p.log
+
+let pp_kind ppf = function
+  | Nan_value -> Format.pp_print_string ppf "nan-value"
+  | Inf_value -> Format.pp_print_string ppf "inf-value"
+  | Nan_gradient -> Format.pp_print_string ppf "nan-gradient"
+  | Inf_gradient -> Format.pp_print_string ppf "inf-gradient"
+  | Perturb a -> Format.fprintf ppf "perturb(%g)" a
+
+(* First matching armed site wins; its hit counter advances. *)
+let select p ~eval ~component =
+  let n = Array.length p.sites in
+  let rec go i =
+    if i >= n then None
+    else
+      let s = p.sites.(i) in
+      let component_matches =
+        match s.component with None -> true | Some c -> c = component
+      in
+      let armed =
+        match s.trigger with
+        | At e -> e = eval
+        | First k -> p.hits.(i) < k
+        | Always -> true
+      in
+      if component_matches && armed then begin
+        p.hits.(i) <- p.hits.(i) + 1;
+        Some s.kind
+      end
+      else go (i + 1)
+  in
+  go 0
+
+let corrupt p ~eval kind (v, g) =
+  (* All randomness is a pure function of (seed, eval): the Mcsta keyed
+     discipline, so injections replay identically run to run. *)
+  let rng () = Rng.keyed p.seed ~key:eval in
+  let with_entry poison =
+    let g = Array.copy g in
+    if Array.length g > 0 then g.(Rng.int (rng ()) (Array.length g)) <- poison;
+    (v, g)
+  in
+  match kind with
+  | Nan_value -> (Float.nan, g)
+  | Inf_value -> (Float.infinity, g)
+  | Nan_gradient -> with_entry Float.nan
+  | Inf_gradient -> with_entry Float.infinity
+  | Perturb amp ->
+      let scale = 1. +. (amp *. Rng.normal (rng ())) in
+      (v *. scale, Array.map (fun gi -> gi *. scale) g)
+
+let wrap p ~component f x =
+  let eval = p.next_eval in
+  p.next_eval <- eval + 1;
+  let result = f x in
+  match select p ~eval ~component with
+  | None -> result
+  | Some kind ->
+      p.log <- { eval; component; kind } :: p.log;
+      corrupt p ~eval kind result

@@ -1,0 +1,71 @@
+(** Deterministic fault injection for evaluation closures.
+
+    The resilience layer is only trustworthy if its guards and recovery
+    rungs are exercised; this module manufactures the failures.  A
+    {!plan} is a schedule of {!site}s — {e which} corruption to apply,
+    to {e which} component, at {e which} global evaluation index — and
+    {!wrap} turns any [float array -> float * float array] evaluation
+    (the shape of every {!Nlp.Problem} objective/constraint) into one
+    that follows the schedule.
+
+    Determinism follows the same keying discipline as the batched Monte
+    Carlo engine ({!Sta.Mcsta}): every random choice (which gradient
+    entry to corrupt, the perturbation draw) comes from {!Rng.keyed}
+    [seed ~key:eval_index], a pure function of the plan seed and the
+    evaluation index.  Two runs over the same deterministic solver
+    trajectory therefore inject bit-identical faults, independent of
+    when the plan was built.
+
+    The evaluation counter is shared by all components wrapped with the
+    same plan, and keeps counting across solver restarts — so a fault
+    pinned to one index is {e transient}: a retry from a recovery rung
+    sees a clean problem.  Use [First n] to break exactly the first [n]
+    guarded attempts instead. *)
+
+type kind =
+  | Nan_value  (** replace the value with NaN *)
+  | Inf_value  (** replace the value with +inf *)
+  | Nan_gradient  (** NaN into one keyed-random gradient entry *)
+  | Inf_gradient  (** +inf into one keyed-random gradient entry *)
+  | Perturb of float
+      (** multiply value and gradient by [1 + amp * z], [z] a keyed
+          standard-normal draw *)
+
+type trigger =
+  | At of int  (** fire at exactly this global evaluation index *)
+  | First of int  (** fire on the first [n] matching evaluations *)
+  | Always  (** fire on every matching evaluation *)
+
+type site = {
+  kind : kind;
+  component : int option;
+      (** restrict to one component index ([None] = any); the component
+          numbering is chosen by the caller of {!wrap} *)
+  trigger : trigger;
+}
+
+type fired = { eval : int; component : int; kind : kind }
+(** One log entry: the fault that was actually injected. *)
+
+type plan
+
+val plan : ?seed:int -> site list -> plan
+(** A fresh schedule with its evaluation counter at zero. *)
+
+val wrap :
+  plan ->
+  component:int ->
+  (float array -> float * float array) ->
+  float array ->
+  float * float array
+(** [wrap plan ~component f] evaluates [f] and corrupts its result when
+    a site matches.  Every call advances the plan's shared evaluation
+    counter, corrupted or not. *)
+
+val evaluations : plan -> int
+(** Evaluations seen so far across all wrapped components. *)
+
+val log : plan -> fired list
+(** The faults injected so far, in firing order. *)
+
+val pp_kind : Format.formatter -> kind -> unit

@@ -1,0 +1,59 @@
+let is_finite x = x -. x = 0.
+
+let first_nonfinite a =
+  let n = Array.length a in
+  let rec go i = if i >= n then None else if is_finite a.(i) then go (i + 1) else Some i in
+  go 0
+
+let all_finite a = first_nonfinite a = None
+
+type stop = Deadline | Eval_budget
+
+let pp_stop ppf = function
+  | Deadline -> Format.pp_print_string ppf "deadline"
+  | Eval_budget -> Format.pp_print_string ppf "evaluation budget"
+
+exception Out_of_budget of stop
+
+type budget = {
+  deadline_ns : int option;  (* absolute monotonic-clock instant *)
+  max_evals : int option;
+  mutable ticked : int;
+}
+
+let budget ?deadline ?max_evals () =
+  (match deadline with
+  | Some d when not (is_finite d) || d < 0. ->
+      invalid_arg "Guard.budget: deadline must be finite and non-negative"
+  | _ -> ());
+  (match max_evals with
+  | Some m when m < 0 -> invalid_arg "Guard.budget: max_evals must be non-negative"
+  | _ -> ());
+  {
+    deadline_ns =
+      Option.map (fun d -> Instr.now_ns () + int_of_float (d *. 1e9)) deadline;
+    max_evals;
+    ticked = 0;
+  }
+
+let exhausted b =
+  match b.max_evals with
+  | Some m when b.ticked >= m -> Some Eval_budget
+  | _ -> (
+      match b.deadline_ns with
+      | Some t when Instr.now_ns () > t -> Some Deadline
+      | _ -> None)
+
+let tick b =
+  match exhausted b with
+  | Some stop -> raise (Out_of_budget stop)
+  | None -> b.ticked <- b.ticked + 1
+
+let used b = b.ticked
+
+let remaining_seconds b =
+  Option.map
+    (fun t -> Float.max 0. (float_of_int (t - Instr.now_ns ()) /. 1e9))
+    b.deadline_ns
+
+let remaining_evals b = Option.map (fun m -> max 0 (m - b.ticked)) b.max_evals

@@ -1,0 +1,62 @@
+(** Numerical-sanity primitives and evaluation budgets for the solver
+    resilience layer.
+
+    The NLP stack promises that every solve either succeeds, degrades
+    gracefully, or fails with a structured diagnosis.  This module holds
+    the two low-level ingredients of that promise:
+
+    - {e finiteness checks} ({!is_finite}, {!first_nonfinite}) used by the
+      guarded problem wrapper ({!Nlp.Problem.guarded}) to detect NaN/Inf
+      leaking out of objective, constraint or gradient evaluations;
+    - {e budgets} ({!budget}, {!tick}) bounding a solve by wall-clock
+      deadline and/or a maximum number of component evaluations, so a
+      runaway solve returns the best iterate seen instead of spinning.
+
+    Budgets are mutable tokens threaded through the evaluation closures;
+    {!tick} raises {!Out_of_budget} at the first evaluation past the
+    limit, and the solvers ({!Nlp.Lbfgs}, {!Nlp.Newton}, {!Nlp.Auglag})
+    catch it and return their best-so-far iterate with a [Deadline]
+    termination reason. *)
+
+val is_finite : float -> bool
+(** [false] exactly for NaN and the two infinities. *)
+
+val first_nonfinite : float array -> int option
+(** Index of the first NaN/Inf entry, if any. *)
+
+val all_finite : float array -> bool
+
+(** {1 Budgets} *)
+
+type stop =
+  | Deadline  (** the wall-clock deadline passed *)
+  | Eval_budget  (** the evaluation allowance is spent *)
+
+val pp_stop : Format.formatter -> stop -> unit
+
+exception Out_of_budget of stop
+
+type budget
+(** Mutable budget token.  A budget with neither limit never stops. *)
+
+val budget : ?deadline:float -> ?max_evals:int -> unit -> budget
+(** [budget ?deadline ?max_evals ()] starts the wall clock now:
+    [deadline] is in seconds from this call (monotonic clock),
+    [max_evals] bounds the number of successful {!tick}s. *)
+
+val tick : budget -> unit
+(** Accounts for one evaluation.  Raises {!Out_of_budget} — {e before}
+    counting — once the deadline has passed or the allowance is spent. *)
+
+val used : budget -> int
+(** Evaluations successfully ticked so far. *)
+
+val exhausted : budget -> stop option
+(** Non-raising probe of the current state. *)
+
+val remaining_seconds : budget -> float option
+(** Seconds left until the deadline ([None] when no deadline is set);
+    never negative. *)
+
+val remaining_evals : budget -> int option
+(** Evaluations left ([None] when unlimited); never negative. *)

@@ -633,6 +633,63 @@ let test_cell_file_errors () =
   expect "cell x inputs=2\ncell x inputs=2\n" "duplicate";
   expect "cell x\n" "missing inputs"
 
+(* Mirrors the BLIF hardening: file-level failures surface as the same
+   clean Error the syntax path produces, never an escaping Sys_error. *)
+let test_cell_file_parse_file_robust () =
+  (match Cell_file.parse_file "no/such/library.cells" with
+  | Ok _ -> Alcotest.fail "expected an error for a missing file"
+  | Error e ->
+      Alcotest.(check bool) "has a message" true
+        (Format.asprintf "%a" Cell_file.pp_error e <> "")
+  | exception e -> Alcotest.failf "missing file escaped with %s" (Printexc.to_string e));
+  match Cell_file.parse_file "." with
+  | Ok _ -> Alcotest.fail "expected an error for a directory"
+  | Error _ -> ()
+  | exception e -> Alcotest.failf "directory escaped with %s" (Printexc.to_string e)
+
+let test_bench_parse_file_robust () =
+  let lib = Cell.Library.default () in
+  (match Bench_format.parse_file ~library:lib "no/such/circuit.bench" with
+  | Ok _ -> Alcotest.fail "expected an error for a missing file"
+  | Error e ->
+      Alcotest.(check bool) "has a message" true
+        (Format.asprintf "%a" Bench_format.pp_error e <> "")
+  | exception e -> Alcotest.failf "missing file escaped with %s" (Printexc.to_string e));
+  match Bench_format.parse_file ~library:lib "." with
+  | Ok _ -> Alcotest.fail "expected an error for a directory"
+  | Error _ -> ()
+  | exception e -> Alcotest.failf "directory escaped with %s" (Printexc.to_string e)
+
+let test_bench_truncated_prefixes () =
+  (* Every prefix of a valid .bench text parses to Ok or a clean Error,
+     never an escaping exception (the truncated-input hardening). *)
+  let lib = Cell.Library.default () in
+  let whole =
+    "# c17-ish\nINPUT(G1)\nINPUT(G2)\nINPUT(G3)\nOUTPUT(G22)\n\
+     G10 = NAND(G1, G3)\nG11 = NAND(G3, G2)\nG22 = NAND(G10, G11)\n"
+  in
+  let saw_error = ref false in
+  for len = 0 to String.length whole - 1 do
+    match Bench_format.parse_string ~library:lib (String.sub whole 0 len) with
+    | Ok _ -> ()
+    | Error _ -> saw_error := true
+    | exception e ->
+        Alcotest.failf "prefix %d escaped with %s" len (Printexc.to_string e)
+  done;
+  Alcotest.(check bool) "some prefixes are malformed" true !saw_error
+
+let test_cell_file_truncated_prefixes () =
+  let whole = "# lib\ncell inv inputs=1 t_int=0.05 c_in=0.15\ncell nand2 inputs=2 area=1.2\n" in
+  let saw_error = ref false in
+  for len = 0 to String.length whole - 1 do
+    match Cell_file.parse_string (String.sub whole 0 len) with
+    | Ok _ -> ()
+    | Error _ -> saw_error := true
+    | exception e ->
+        Alcotest.failf "prefix %d escaped with %s" len (Printexc.to_string e)
+  done;
+  Alcotest.(check bool) "some prefixes are malformed" true !saw_error
+
 let () =
   Alcotest.run "circuit"
     [
@@ -699,11 +756,15 @@ let () =
             test_bench_wide_gate_decomposition;
           Alcotest.test_case "dff cut" `Quick test_bench_dff_cut;
           Alcotest.test_case "errors" `Quick test_bench_errors;
+          Alcotest.test_case "parse_file robustness" `Quick test_bench_parse_file_robust;
+          Alcotest.test_case "truncated prefixes" `Quick test_bench_truncated_prefixes;
         ] );
       ( "cell_file",
         [
           Alcotest.test_case "parse" `Quick test_cell_file_parse;
           Alcotest.test_case "roundtrip" `Quick test_cell_file_roundtrip;
           Alcotest.test_case "errors" `Quick test_cell_file_errors;
+          Alcotest.test_case "parse_file robustness" `Quick test_cell_file_parse_file_robust;
+          Alcotest.test_case "truncated prefixes" `Quick test_cell_file_truncated_prefixes;
         ] );
     ]

@@ -60,7 +60,9 @@ let test_lbfgs_quadratic_unbounded () =
   Alcotest.(check bool) "finished successfully" true
     (match r.Nlp.Lbfgs.outcome with
     | Nlp.Lbfgs.Converged | Nlp.Lbfgs.Stagnated -> true
-    | Nlp.Lbfgs.Iteration_limit | Nlp.Lbfgs.Line_search_failure -> false);
+    | Nlp.Lbfgs.Iteration_limit | Nlp.Lbfgs.Line_search_failure
+    | Nlp.Lbfgs.Interrupted ->
+        false);
   Array.iteri
     (fun i c -> check_float ~eps:1e-6 (Printf.sprintf "x%d" i) c r.Nlp.Lbfgs.x.(i))
     center
@@ -266,6 +268,208 @@ let test_auglag_nonlinear_constraint () =
   check_float ~eps:1e-4 "x0" s r.Nlp.Auglag.x.(0);
   check_float ~eps:1e-4 "x1" s r.Nlp.Auglag.x.(1)
 
+(* ---- termination taxonomy (resilience layer) ------------------------------- *)
+
+(* x = 0 and x = 1 simultaneously: structurally infeasible. *)
+let infeasible_problem () =
+  Nlp.Problem.constrain
+    (Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:1)
+       ~objective:(quadratic [| 0. |]))
+    [
+      Nlp.Problem.eq (fun x -> (x.(0), [| 1. |]));
+      Nlp.Problem.eq (fun x -> (x.(0) -. 1., [| 1. |]));
+    ]
+
+let test_auglag_penalty_ceiling () =
+  (* With the ceiling reachable, the infeasible set must be diagnosed as
+     Penalty_ceiling — the violation cannot shrink no matter how hard the
+     penalty squeezes. *)
+  let options =
+    { Nlp.Auglag.default_options with Nlp.Auglag.max_penalty = 1e6 }
+  in
+  let r = Nlp.Auglag.solve ~options (infeasible_problem ()) ~x0:[| 0.3 |] in
+  Alcotest.(check bool) "not converged" false r.Nlp.Auglag.converged;
+  Alcotest.(check bool) "penalty ceiling" true
+    (r.Nlp.Auglag.termination = Nlp.Auglag.Penalty_ceiling);
+  Alcotest.(check bool) "no breakdown" true (r.Nlp.Auglag.breakdown = None);
+  (* best checkpoint: violation ~ 1/2 at the midpoint between the targets *)
+  Alcotest.(check bool) "violation reported" true (r.Nlp.Auglag.max_violation > 0.4);
+  check_float ~eps:1e-2 "best iterate between targets" 0.5 r.Nlp.Auglag.x.(0)
+
+let test_auglag_stalled () =
+  (* Outer allowance too small to converge, penalty still well below the
+     ceiling: Stalled, not Penalty_ceiling. *)
+  let options =
+    { Nlp.Auglag.default_options with Nlp.Auglag.outer_iterations = 2 }
+  in
+  let r = Nlp.Auglag.solve ~options (infeasible_problem ()) ~x0:[| 0.3 |] in
+  Alcotest.(check bool) "not converged" false r.Nlp.Auglag.converged;
+  Alcotest.(check bool) "stalled" true (r.Nlp.Auglag.termination = Nlp.Auglag.Stalled)
+
+let test_auglag_inner_stagnation_reports_ok () =
+  (* Inner Stagnated on a well-posed problem is not an error: the outer
+     loop keeps going and still converges. *)
+  let p =
+    Nlp.Problem.constrain
+      (Nlp.Problem.make ~bounds:(Nlp.Problem.box ~dim:2 ~lo:(-5.) ~hi:5.)
+         ~objective:(quadratic [| 1.; -2. |]))
+      [ Nlp.Problem.le (fun x -> (x.(0) -. 0.5, [| 1.; 0. |])) ]
+  in
+  let options =
+    {
+      Nlp.Auglag.default_options with
+      Nlp.Auglag.inner =
+        { Nlp.Lbfgs.default_options with Nlp.Lbfgs.f_tolerance = 1e-6 };
+    }
+  in
+  let r = Nlp.Auglag.solve ~options p ~x0:[| 3.; 3. |] in
+  Alcotest.(check bool) "converged" true r.Nlp.Auglag.converged;
+  Alcotest.(check bool) "termination converged" true
+    (r.Nlp.Auglag.termination = Nlp.Auglag.Converged)
+
+let test_auglag_m0_iteration_limit_is_stalled () =
+  (* No constraints + inner iteration limit -> Stalled. *)
+  let p =
+    Nlp.Problem.constrain
+      (Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:2) ~objective:rosenbrock)
+      []
+  in
+  let options =
+    {
+      Nlp.Auglag.default_options with
+      Nlp.Auglag.inner =
+        { Nlp.Lbfgs.default_options with Nlp.Lbfgs.max_iterations = 3 };
+    }
+  in
+  let r = Nlp.Auglag.solve ~options p ~x0:[| -1.2; 1. |] in
+  Alcotest.(check bool) "not converged" false r.Nlp.Auglag.converged;
+  Alcotest.(check bool) "stalled" true (r.Nlp.Auglag.termination = Nlp.Auglag.Stalled)
+
+let test_auglag_breakdown_nan_objective () =
+  (* Fault-inject NaN into the objective: the default guard must turn it
+     into a Breakdown report with the typed diagnosis, not a crash. *)
+  let plan =
+    Util.Fault.plan
+      [
+        {
+          Util.Fault.kind = Util.Fault.Nan_value;
+          component = Some 0;
+          trigger = Util.Fault.First 1;
+        };
+      ]
+  in
+  let p =
+    Nlp.Problem.map_components
+      (fun ~component f ->
+        Util.Fault.wrap plan ~component:(Nlp.Problem.component_index component) f)
+      (Nlp.Problem.constrain
+         (Nlp.Problem.make ~bounds:(Nlp.Problem.box ~dim:2 ~lo:(-5.) ~hi:5.)
+            ~objective:(quadratic [| 1.; 1. |]))
+         [ Nlp.Problem.le (fun x -> (x.(0) -. 2., [| 1.; 0. |])) ])
+  in
+  let r = Nlp.Auglag.solve p ~x0:[| 3.; 3. |] in
+  Alcotest.(check bool) "not converged" false r.Nlp.Auglag.converged;
+  Alcotest.(check bool) "breakdown" true
+    (r.Nlp.Auglag.termination = Nlp.Auglag.Breakdown);
+  (match r.Nlp.Auglag.breakdown with
+  | None -> Alcotest.fail "expected a breakdown diagnosis"
+  | Some b ->
+      Alcotest.(check bool) "objective blamed" true
+        (b.Nlp.Problem.b_component = Nlp.Problem.Objective);
+      (match b.Nlp.Problem.b_fault with
+      | Nlp.Problem.Nonfinite_value v ->
+          Alcotest.(check bool) "NaN recorded" true (Float.is_nan v)
+      | f ->
+          Alcotest.failf "wrong fault: %s"
+            (Format.asprintf "%a" Nlp.Problem.pp_fault f));
+      Alcotest.(check bool) "iterate snapshot present" true
+        (Array.length b.Nlp.Problem.b_x = 2));
+  Alcotest.(check int) "fault fired once" 1 (List.length (Util.Fault.log plan))
+
+let test_auglag_breakdown_inf_constraint_gradient () =
+  let plan =
+    Util.Fault.plan
+      [
+        {
+          Util.Fault.kind = Util.Fault.Inf_gradient;
+          component = Some 1;
+          trigger = Util.Fault.At 5;
+        };
+      ]
+  in
+  let p =
+    Nlp.Problem.map_components
+      (fun ~component f ->
+        Util.Fault.wrap plan ~component:(Nlp.Problem.component_index component) f)
+      (Nlp.Problem.constrain
+         (Nlp.Problem.make ~bounds:(Nlp.Problem.box ~dim:2 ~lo:(-5.) ~hi:5.)
+            ~objective:(quadratic [| 1.; 1. |]))
+         [ Nlp.Problem.le (fun x -> (x.(0) -. 0.5, [| 1.; 0. |])) ])
+  in
+  let r = Nlp.Auglag.solve p ~x0:[| 3.; 3. |] in
+  Alcotest.(check bool) "breakdown" true
+    (r.Nlp.Auglag.termination = Nlp.Auglag.Breakdown);
+  match r.Nlp.Auglag.breakdown with
+  | Some { Nlp.Problem.b_component = Nlp.Problem.Constraint 0;
+           b_fault = Nlp.Problem.Nonfinite_gradient _; _ } ->
+      ()
+  | Some b ->
+      Alcotest.failf "wrong diagnosis: %s"
+        (Format.asprintf "%a" Nlp.Problem.pp_breakdown b)
+  | None -> Alcotest.fail "expected a breakdown diagnosis"
+
+let test_auglag_eval_budget_deadline () =
+  (* A tiny evaluation budget must stop the solve with Deadline and the
+     best checkpoint, not spin or crash. *)
+  let p =
+    Nlp.Problem.constrain
+      (Nlp.Problem.make ~bounds:(Nlp.Problem.box ~dim:2 ~lo:(-5.) ~hi:5.)
+         ~objective:(quadratic [| 1.; -2. |]))
+      [ Nlp.Problem.le (fun x -> (x.(0) -. 0.5, [| 1.; 0. |])) ]
+  in
+  let options =
+    { Nlp.Auglag.default_options with Nlp.Auglag.max_evaluations = Some 12 }
+  in
+  let r = Nlp.Auglag.solve ~options p ~x0:[| 3.; 3. |] in
+  Alcotest.(check bool) "not converged" false r.Nlp.Auglag.converged;
+  Alcotest.(check bool) "deadline" true
+    (r.Nlp.Auglag.termination = Nlp.Auglag.Deadline);
+  Alcotest.(check bool) "iterate finite" true
+    (Util.Guard.all_finite r.Nlp.Auglag.x);
+  (* m = 0 flavour: the inner solver returns Interrupted *)
+  let p0 =
+    Nlp.Problem.constrain
+      (Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:2) ~objective:rosenbrock)
+      []
+  in
+  let r0 = Nlp.Auglag.solve ~options p0 ~x0:[| -1.2; 1. |] in
+  Alcotest.(check bool) "m=0 deadline" true
+    (r0.Nlp.Auglag.termination = Nlp.Auglag.Deadline)
+
+let test_auglag_guard_bit_identical () =
+  (* Guards are observability, not behaviour: a healthy solve is
+     bit-identical with and without them. *)
+  let make () =
+    Nlp.Problem.constrain
+      (Nlp.Problem.make ~bounds:(Nlp.Problem.unbounded ~dim:2)
+         ~objective:(fun x -> (x.(0) +. x.(1), [| 1.; 1. |])))
+      [
+        Nlp.Problem.eq (fun x ->
+            ((x.(0) *. x.(0)) +. (x.(1) *. x.(1)) -. 1., [| 2. *. x.(0); 2. *. x.(1) |]));
+      ]
+  in
+  let on = Nlp.Auglag.solve (make ()) ~x0:[| 0.5; -0.8 |] in
+  let off =
+    Nlp.Auglag.solve
+      ~options:{ Nlp.Auglag.default_options with Nlp.Auglag.guard = false }
+      (make ()) ~x0:[| 0.5; -0.8 |]
+  in
+  Alcotest.(check bool) "same x (bitwise)" true (on.Nlp.Auglag.x = off.Nlp.Auglag.x);
+  Alcotest.(check bool) "same f (bitwise)" true
+    (Int64.bits_of_float on.Nlp.Auglag.f = Int64.bits_of_float off.Nlp.Auglag.f);
+  Alcotest.(check int) "same evaluations" off.Nlp.Auglag.evaluations
+    on.Nlp.Auglag.evaluations
+
 let prop_auglag_matches_kkt_solution =
   (* min sum w_i (x_i - c_i)^2 s.t. a.x = b has the closed-form KKT
      solution x_i = c_i - lambda a_i / (2 w_i) with
@@ -440,6 +644,18 @@ let () =
           Alcotest.test_case "mixed with box" `Quick test_auglag_mixed_constraints_with_box;
           Alcotest.test_case "infeasible" `Quick test_auglag_infeasible_reports;
           Alcotest.test_case "nonlinear constraint" `Quick test_auglag_nonlinear_constraint;
+          Alcotest.test_case "penalty ceiling" `Quick test_auglag_penalty_ceiling;
+          Alcotest.test_case "stalled" `Quick test_auglag_stalled;
+          Alcotest.test_case "inner stagnation ok" `Quick
+            test_auglag_inner_stagnation_reports_ok;
+          Alcotest.test_case "m=0 iteration limit" `Quick
+            test_auglag_m0_iteration_limit_is_stalled;
+          Alcotest.test_case "breakdown: NaN objective" `Quick
+            test_auglag_breakdown_nan_objective;
+          Alcotest.test_case "breakdown: Inf gradient" `Quick
+            test_auglag_breakdown_inf_constraint_gradient;
+          Alcotest.test_case "evaluation budget" `Quick test_auglag_eval_budget_deadline;
+          Alcotest.test_case "guard bit-identity" `Quick test_auglag_guard_bit_identical;
           q prop_auglag_matches_kkt_solution;
         ] );
       ( "newton",

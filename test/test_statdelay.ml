@@ -160,6 +160,72 @@ let test_clark_random_continuity () =
       Alcotest.failf "continuity: sigma_C %.3g not near zero" (Normal.sigma c)
   done
 
+let all_partials_finite (p : Clark.partials) =
+  List.for_all
+    (fun v -> v -. v = 0.)
+    [
+      p.Clark.dmu_dmu_a; p.Clark.dmu_dmu_b; p.Clark.dmu_dvar_a; p.Clark.dmu_dvar_b;
+      p.Clark.dvar_dmu_a; p.Clark.dvar_dmu_b; p.Clark.dvar_dvar_a; p.Clark.dvar_dvar_b;
+    ]
+
+let test_clark_degenerate_partials_pinned () =
+  (* Regression for the theta -> 0 guard: at sigma_a = sigma_b = 0 the
+     partials must be the exact indicator of the dominant operand — in
+     particular finite, never the 0/0 of the raw formulas. *)
+  let a = Normal.deterministic 4. and b = Normal.deterministic 2. in
+  let c, p = Clark.max2_full a b in
+  check_float "mu" 4. (Normal.mu c);
+  check_float "var" 0. (Normal.var c);
+  Alcotest.(check bool) "partials finite" true (all_partials_finite p);
+  check_float "dmu/dmu_a" 1. p.Clark.dmu_dmu_a;
+  check_float "dmu/dmu_b" 0. p.Clark.dmu_dmu_b;
+  check_float "dvar/dvar_a" 1. p.Clark.dvar_dvar_a;
+  check_float "dvar/dvar_b" 0. p.Clark.dvar_dvar_b;
+  (* Exact tie: the symmetric Phi(0) = 1/2 limit, still finite. *)
+  let t = Normal.deterministic 3. in
+  let ct, pt = Clark.max2_full t t in
+  check_float "tie mu" 3. (Normal.mu ct);
+  Alcotest.(check bool) "tie partials finite" true (all_partials_finite pt);
+  check_float "tie dmu/dmu_a" 0.5 pt.Clark.dmu_dmu_a;
+  check_float "tie dmu/dmu_b" 0.5 pt.Clark.dmu_dmu_b
+
+let test_clark_just_above_threshold_finite () =
+  (* Spreads straddling degenerate_theta: both branches must stay finite
+     and agree to the continuity tolerance of the cutoff. *)
+  let th = Clark.degenerate_theta in
+  List.iter
+    (fun s ->
+      let a = Normal.make ~mu:1. ~sigma:s
+      and b = Normal.make ~mu:(1. +. (1e-3 *. s)) ~sigma:s in
+      let c, p = Clark.max2_full a b in
+      if not (Normal.mu c -. Normal.mu c = 0.) then
+        Alcotest.failf "mu not finite at sigma = %.3g" s;
+      if not (all_partials_finite p) then
+        Alcotest.failf "partials not finite at sigma = %.3g" s)
+    [ 0.1 *. th; 0.49 *. th; 0.71 *. th; 1.01 *. th; 2. *. th; 10. *. th ]
+
+let test_correlation_rho_near_one () =
+  (* rho = 1 - 1e-12 with equal spreads drives the correlated theta to
+     ~sigma*sqrt(2e-12): far below the degenerate threshold, so the max
+     must collapse to the dominant operand exactly — the raw alpha would
+     be ~1e6 and the formulas would still work, but at rho exactly 1 (or
+     slightly above, from upstream rounding) theta is 0 and alpha is
+     0/0; the guard keeps the whole family finite. *)
+  let a = Normal.make ~mu:5. ~sigma:0.3 and b = Normal.make ~mu:4. ~sigma:0.3 in
+  List.iter
+    (fun rho ->
+      let c = Correlation.max2 a b ~rho in
+      check_float "mu = dominant mu" (Normal.mu a) (Normal.mu c);
+      check_float "sigma = dominant sigma" (Normal.sigma a) (Normal.sigma c))
+    [ 1. -. 1e-12; 1.; 1. +. 1e-9 (* clipped back to 1 *) ];
+  (* theta itself: clamped to 0, never NaN from a tiny negative variance *)
+  List.iter
+    (fun rho ->
+      let th = Correlation.theta a b ~rho in
+      Alcotest.(check bool) "theta finite" true (th -. th = 0.);
+      Alcotest.(check bool) "theta >= 0" true (th >= 0.))
+    [ 1. -. 1e-12; 1.; 1. +. 1e-9 ]
+
 let test_clark_expectation_sq_consistent () =
   let a = Normal.make ~mu:1. ~sigma:0.4 and b = Normal.make ~mu:1.5 ~sigma:0.2 in
   let c = Clark.max2 a b in
@@ -521,6 +587,12 @@ let () =
           Alcotest.test_case "continuity near sigma = 0" `Quick
             test_clark_random_continuity;
           Alcotest.test_case "E2 consistency" `Quick test_clark_expectation_sq_consistent;
+          Alcotest.test_case "degenerate partials pinned" `Quick
+            test_clark_degenerate_partials_pinned;
+          Alcotest.test_case "finite across theta cutoff" `Quick
+            test_clark_just_above_threshold_finite;
+          Alcotest.test_case "rho ~ 1 collapses to dominant" `Quick
+            test_correlation_rho_near_one;
           Alcotest.test_case "max_list" `Quick test_clark_max_list;
           Alcotest.test_case "max_array = max_list" `Quick test_clark_max_array_matches_list;
           Alcotest.test_case "min2 / min_list" `Slow test_clark_min2;
