@@ -20,6 +20,7 @@
      dune exec bench/main.exe -- table1|table2|table3|example|yield|mc|ablation
      dune exec bench/main.exe -- --jobs 4 parallel   # serial vs pooled SSTA
      dune exec bench/main.exe -- --jobs 4 mcsta      # serial vs pooled MC sampling
+     dune exec bench/main.exe -- incremental         # incremental vs scratch solves
      dune exec bench/main.exe -- --jobs 4 table1     # pooled table regeneration
 
    [--jobs N] creates an N-domain Util.Pool; the sections that evaluate
@@ -258,6 +259,92 @@ let run_resilience () =
       Util.Table.print t;
       print_newline ())
 
+(* ---- incremental re-timing --------------------------------------------------- *)
+
+(* Runs the paper's area-minimisation solve twice — once re-timing every
+   candidate from scratch, once through a shared Sta.Incr engine — and
+   checks that the whole solver trajectory is bit-identical while only a
+   fraction of the gates is re-evaluated per analysis.  Exits non-zero
+   if the two solves diverge or the mean dirty-gate fraction reaches
+   1.0 (i.e. the incremental path degenerated to full sweeps), so CI
+   can use this section as a smoke test. *)
+let run_incremental ?pool () =
+  section "Incremental SSTA (dirty-cone re-timing) inside the solver" (fun () ->
+      let cases =
+        [
+          ("apex1*", Circuit.Generate.apex1_like (), 0.69);
+          ("k2*", Circuit.Generate.k2_like (), 0.65);
+        ]
+      in
+      let t =
+        Util.Table.create
+          ~header:
+            [
+              "circuit";
+              "objective";
+              "scratch";
+              "incremental";
+              "speedup";
+              "dirty fraction";
+              "bit-identical";
+            ]
+      in
+      for i = 2 to 5 do
+        Util.Table.set_align t i Util.Table.Right
+      done;
+      let bad = ref false in
+      List.iter
+        (fun (name, net, fraction) ->
+          let unsized = Sizing.Engine.solve ?pool ~model net Sizing.Objective.Min_area in
+          let objective =
+            Sizing.Objective.Min_area_bounded
+              { k = 3.; bound = fraction *. unsized.Sizing.Engine.mu }
+          in
+          let timed f =
+            let t0 = Util.Instr.now_ns () in
+            let r = f () in
+            (r, float_of_int (Util.Instr.now_ns () - t0) *. 1e-9)
+          in
+          let off =
+            { Sizing.Engine.default_options with Sizing.Engine.incremental = false }
+          in
+          let s_off, t_off =
+            timed (fun () -> Sizing.Engine.solve ~options:off ?pool ~model net objective)
+          in
+          let eng = Sta.Incr.create ?pool ~model net in
+          let s_on, t_on =
+            timed (fun () -> Sizing.Engine.solve ~timing:eng ?pool ~model net objective)
+          in
+          let bits = Int64.bits_of_float in
+          let identical =
+            Array.for_all2
+              (fun (a : float) b -> Int64.equal (bits a) (bits b))
+              s_off.Sizing.Engine.sizes s_on.Sizing.Engine.sizes
+            && Int64.equal (bits s_off.Sizing.Engine.mu) (bits s_on.Sizing.Engine.mu)
+            && Int64.equal (bits s_off.Sizing.Engine.sigma) (bits s_on.Sizing.Engine.sigma)
+            && s_off.Sizing.Engine.evaluations = s_on.Sizing.Engine.evaluations
+          in
+          let frac = Sta.Incr.dirty_fraction eng in
+          if frac >= 1.0 || not identical then bad := true;
+          Util.Table.add_row t
+            [
+              name;
+              Sizing.Objective.describe objective;
+              Printf.sprintf "%.2f s" t_off;
+              Printf.sprintf "%.2f s" t_on;
+              Printf.sprintf "%.2fx" (t_off /. t_on);
+              Printf.sprintf "%.3f" frac;
+              (if identical then "yes" else "NO");
+            ])
+        cases;
+      Util.Table.print t;
+      if !bad then begin
+        Printf.printf
+          "ERROR: incremental solve diverged from scratch or dirty fraction >= 1.0\n";
+        exit 1
+      end;
+      print_newline ())
+
 (* ---- batched Monte Carlo oracle -------------------------------------------- *)
 
 let run_mcsta ~jobs () =
@@ -441,7 +528,7 @@ let run_micro () =
 let usage () =
   Printf.eprintf
     "usage: main.exe [--jobs N] \
-     [all|tables|micro|parallel|mcsta|resilience|table1|table2|table3|example|yield|mc|corner|ablation|extensions|scale]...\n"
+     [all|tables|micro|parallel|mcsta|resilience|incremental|table1|table2|table3|example|yield|mc|corner|ablation|extensions|scale]...\n"
 
 let () =
   let rec parse jobs sections = function
@@ -465,12 +552,14 @@ let () =
         run_tables ?pool ();
         run_parallel ~jobs ();
         run_mcsta ~jobs ();
+        run_incremental ?pool ();
         run_micro ()
     | "tables" -> run_tables ?pool ()
     | "micro" -> run_micro ()
     | "parallel" -> run_parallel ~jobs ()
     | "mcsta" -> run_mcsta ~jobs ()
     | "resilience" -> run_resilience ()
+    | "incremental" -> run_incremental ?pool ()
     | "table1" -> run_table1 ?pool ()
     | "table2" -> run_table2 ()
     | "table3" -> run_table3 ()

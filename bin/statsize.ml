@@ -210,7 +210,7 @@ let objective_of ~objective ~k ~bound ~mu =
 
 let size_cmd =
   let run circuit blif bench library_file wire_load sigma_ratio objective k bound mu
-      print_sizes mc deadline max_evals no_recovery jobs profile =
+      print_sizes mc deadline max_evals no_recovery no_incremental jobs profile =
     match load_circuit ~blif ~bench ~library_file ~circuit ~wire_load with
     | Error msg ->
         Printf.eprintf "statsize: %s\n" msg;
@@ -239,6 +239,7 @@ let size_cmd =
                 Sizing.Engine.deadline;
                 Sizing.Engine.max_evaluations = max_evals;
                 Sizing.Engine.recovery = not no_recovery;
+                Sizing.Engine.incremental = not no_incremental;
               }
             in
             let s = Sizing.Engine.solve ~options ?pool ~model net obj in
@@ -307,12 +308,21 @@ let size_cmd =
     in
     Arg.(value & flag & info [ "no-recovery" ] ~doc)
   in
+  let no_incremental_arg =
+    let doc =
+      "Disable incremental (dirty-cone) re-timing between solver evaluations \
+       and run a full SSTA sweep per evaluation.  Results are bit-identical \
+       either way; with --profile, the incr.* counters show what the cache \
+       saved."
+    in
+    Arg.(value & flag & info [ "no-incremental" ] ~doc)
+  in
   let term =
     Term.(
       const run $ circuit_arg $ blif_arg $ bench_arg $ library_arg $ wire_load_arg
       $ sigma_ratio_arg $ objective_arg $ k_arg $ bound_arg $ mu_arg $ print_sizes_arg
-      $ mc_arg $ deadline_arg $ max_evals_arg $ no_recovery_arg $ jobs_arg
-      $ profile_arg)
+      $ mc_arg $ deadline_arg $ max_evals_arg $ no_recovery_arg $ no_incremental_arg
+      $ jobs_arg $ profile_arg)
   in
   Cmd.v (Cmd.info "size" ~doc:"Solve a statistical gate sizing problem") term
 

@@ -5,9 +5,9 @@ type verdict = {
   ok : bool;
 }
 
-let gradient ?(h = 1e-6) ?(rtol = 1e-5) ?(atol = 1e-7) f x =
+let gradient ?(h = 1e-6) ?(rtol = 1e-5) ?(atol = 1e-7) ?lo ?hi f x =
   let _, analytic = f x in
-  let numeric = Util.Numerics.fd_gradient ~h (fun x -> fst (f x)) x in
+  let numeric = Util.Numerics.fd_gradient ~h ?lo ?hi (fun x -> fst (f x)) x in
   let max_abs = ref 0. and max_rel = ref 0. and worst = ref 0 in
   Array.iteri
     (fun i a ->

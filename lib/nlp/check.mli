@@ -16,10 +16,21 @@ val gradient :
   ?h:float ->
   ?rtol:float ->
   ?atol:float ->
+  ?lo:float array ->
+  ?hi:float array ->
   (float array -> float * float array) ->
   float array ->
   verdict
 (** Compares the analytic gradient with central differences at the given
-    point.  Defaults: [h = 1e-6], [rtol = 1e-5], [atol = 1e-7]. *)
+    point.  Defaults: [h = 1e-6], [rtol = 1e-5], [atol = 1e-7].
+
+    Pass the feasible box as [lo]/[hi] when [f]'s domain is bounded —
+    e.g. sizing objectives, defined only for speed factors {m S_i \ge 1}:
+    the stencil is then clamped into the box
+    ({!Util.Numerics.fd_gradient}), so checking an iterate {e at} a bound
+    degrades to a one-sided difference instead of stepping outside the
+    simplex-like feasible set and evaluating [f] where it raises.  When
+    a coordinate sits at a bound, prefer an [h] coarse enough that the
+    {m O(h)} one-sided truncation error stays below [atol]/[rtol]. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

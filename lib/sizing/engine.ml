@@ -9,6 +9,7 @@ type options = {
   deadline : float option;
   max_evaluations : int option;
   recovery : bool;
+  incremental : bool;
   instrument : (Nlp.Problem.constrained -> Nlp.Problem.constrained) option;
 }
 
@@ -35,6 +36,7 @@ let default_options =
     deadline = None;
     max_evaluations = None;
     recovery = true;
+    incremental = true;
     instrument = None;
   }
 
@@ -104,7 +106,10 @@ type cache_entry = {
   grad_var : float array;
 }
 
-let make_cache ?pool ~model net =
+let basis_mu _ = { Sta.Ssta.d_mu = 1.; d_var = 0. }
+let basis_var _ = { Sta.Ssta.d_mu = 0.; d_var = 1. }
+
+let make_cache ?pool ?timing ~model net =
   let cache : cache_entry option ref = ref None in
   fun x ->
     match !cache with
@@ -113,13 +118,25 @@ let make_cache ?pool ~model net =
         e
     | _ ->
         Util.Instr.incr c_cache_misses;
-        let res, grad_mu =
-          Sta.Ssta.value_and_gradient ?pool ~model net ~sizes:x ~seed:(fun _ ->
-              { Sta.Ssta.d_mu = 1.; d_var = 0. })
-        in
-        let grad_var =
-          Sta.Ssta.gradient ?pool ~model net ~sizes:x ~seed:(fun _ ->
-              { Sta.Ssta.d_mu = 0.; d_var = 1. })
+        let res, grad_mu, grad_var =
+          match timing with
+          | Some eng ->
+              (* The incremental engine re-times only the fan-out cone of
+                 the delta against the previous iterate, and the second
+                 basis differentiation hits its forward cache outright
+                 (zero dirty gates).  Exact mode: bit-identical to the
+                 from-scratch path below. *)
+              let res, grad_mu =
+                Sta.Incr.value_and_gradient eng ~sizes:x ~seed:basis_mu
+              in
+              (res, grad_mu, Sta.Incr.gradient eng ~sizes:x ~seed:basis_var)
+          | None ->
+              let res, grad_mu =
+                Sta.Ssta.value_and_gradient ?pool ~model net ~sizes:x ~seed:basis_mu
+              in
+              ( res,
+                grad_mu,
+                Sta.Ssta.gradient ?pool ~model net ~sizes:x ~seed:basis_var )
         in
         let e = { cx = Array.copy x; res; grad_mu; grad_var } in
         cache := Some e;
@@ -141,11 +158,11 @@ let area_objective net x =
   let grad = Array.map (fun (g : Netlist.gate) -> g.Netlist.cell.Cell.area) (Netlist.gates net) in
   (Netlist.area net ~sizes:x, grad)
 
-let build_problem ?pool ~model net objective =
+let build_problem ?pool ?timing ~model net objective =
   let bounds =
     Nlp.Problem.bounds ~lower:(Netlist.min_sizes net) ~upper:(Netlist.max_sizes net)
   in
-  let lookup = make_cache ?pool ~model net in
+  let lookup = make_cache ?pool ?timing ~model net in
   let mu_of e = Normal.mu e.res.Sta.Ssta.circuit in
   let sigma_of e = Normal.sigma e.res.Sta.Ssta.circuit in
   match objective with
@@ -251,7 +268,7 @@ let baseline_fallback net objective =
          deterministic counterpart to fall back to. *)
       None
 
-let rec solve_impl ?(options = default_options) ?pool ~model net objective =
+let rec solve_impl ?(options = default_options) ?pool ?timing ~model net objective =
   let started = Sys.time () in
   let wall0 = Util.Instr.now_ns () in
   let elapsed () = float_of_int (Util.Instr.now_ns () - wall0) /. 1e9 in
@@ -269,7 +286,7 @@ let rec solve_impl ?(options = default_options) ?pool ~model net objective =
          start from a feasible point: the area-optimal sizing whose delay
          constraint is active at the target mean. *)
       let warm =
-        solve_impl ~options:{ options with restarts = 0 } ?pool ~model net
+        solve_impl ~options:{ options with restarts = 0 } ?pool ?timing ~model net
           (Objective.Min_area_bounded { k = 0.; bound = mu })
       in
       (* A stiff initial penalty keeps the sigma objective from dragging
@@ -291,7 +308,9 @@ let rec solve_impl ?(options = default_options) ?pool ~model net objective =
             Option.map (fun m -> max 0 (m - warm.evaluations)) options.max_evaluations;
         }
       in
-      let inner = solve_impl ~options:remaining_options ?pool ~model net objective in
+      let inner =
+        solve_impl ~options:remaining_options ?pool ?timing ~model net objective
+      in
       {
         inner with
         wall_time = Sys.time () -. started;
@@ -299,7 +318,15 @@ let rec solve_impl ?(options = default_options) ?pool ~model net objective =
         recovery = warm.recovery @ inner.recovery;
       }
   | _ ->
-      let problem = build_problem ?pool ~model net objective in
+      (* One persistent incremental timing engine per solve (or the
+         caller's, when sharing across solves): consecutive solver
+         evaluations re-time only the changed fan-out cones. *)
+      let timing =
+        match timing with
+        | Some _ as t -> t
+        | None -> if options.incremental then Some (Sta.Incr.create ?pool ~model net) else None
+      in
+      let problem = build_problem ?pool ?timing ~model net objective in
       let problem =
         match options.instrument with None -> problem | Some f -> f problem
       in
@@ -316,6 +343,12 @@ let rec solve_impl ?(options = default_options) ?pool ~model net objective =
         }
       in
       let solve_from ?(solver = options.solver) x0 =
+        (* Every attempt — the initial one, multi-start restarts and each
+           recovery rung — starts from a wholesale-invalidated timing
+           cache: the perturbed/fault-recovery paths must never trust
+           state from a failed trajectory, and an objective switch on a
+           shared engine gets a full sweep the same way. *)
+        Option.iter Sta.Incr.invalidate timing;
         let r = Nlp.Auglag.solve ~options:(with_budget solver) problem ~x0 in
         total_evals := !total_evals + r.Nlp.Auglag.evaluations;
         r
@@ -538,6 +571,11 @@ let rec solve_impl ?(options = default_options) ?pool ~model net objective =
             recovery;
           })
 
-let solve ?options ?pool ~model net objective =
+let solve ?options ?pool ?timing ~model net objective =
   Util.Instr.incr c_solves;
-  Util.Instr.time t_solve (fun () -> solve_impl ?options ?pool ~model net objective)
+  (match timing with
+  | Some eng when not (Sta.Incr.netlist eng == net) ->
+      invalid_arg "Engine.solve: timing engine bound to a different netlist"
+  | _ -> ());
+  Util.Instr.time t_solve (fun () ->
+      solve_impl ?options ?pool ?timing ~model net objective)

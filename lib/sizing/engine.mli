@@ -15,6 +15,16 @@
     {!Util.Pool.t} down to the SSTA sweeps so large circuits evaluate
     level-parallel.
 
+    {b Incremental re-timing.}  With [options.incremental] (the
+    default) each solve owns a persistent {!Sta.Incr} engine, so
+    consecutive solver evaluations re-propagate only the fan-out cones
+    of the sizes the line search actually moved — in exact mode this is
+    bit-identical to from-scratch evaluation, so solutions do not move
+    by a bit when it is disabled.  The cache is invalidated wholesale at
+    every attempt boundary (multi-start restarts, each recovery-ladder
+    rung, and any objective switch on a caller-shared [?timing] engine).
+    Counters surface as [incr.*] (see {!Sta.Incr}).
+
     {b Resilience.}  [solve] never raises on numerical failure.  The
     solver stack runs behind {!Nlp.Problem.guarded}; when the initial
     attempt ends in [Breakdown], [Stalled] or [Penalty_ceiling] and
@@ -45,6 +55,10 @@ type options = {
       (** budget on objective/constraint evaluations across all attempts,
           default [None] *)
   recovery : bool;  (** enable the recovery ladder (default [true]) *)
+  incremental : bool;
+      (** evaluate through a persistent {!Sta.Incr} dirty-cone engine
+          instead of from-scratch sweeps (default [true]; bit-identical
+          results either way) *)
   instrument : (Nlp.Problem.constrained -> Nlp.Problem.constrained) option;
       (** hook applied to the internally built problem before solving —
           used by the fault-injection tests to corrupt evaluations;
@@ -99,16 +113,20 @@ type solution = {
 val solve :
   ?options:options ->
   ?pool:Util.Pool.t ->
+  ?timing:Sta.Incr.t ->
   model:Circuit.Sigma_model.t ->
   Circuit.Netlist.t ->
   Objective.t ->
   solution
 (** Solves the sizing problem; see {!options} for the solver knobs.
     [pool] parallelises every SSTA evaluation of the run — solutions are
-    bit-identical with and without it.  Never raises on numerical
-    failure: guards, budgets and the recovery ladder turn NaN/Inf,
-    stalls and expired budgets into a typed [termination] plus the
-    [recovery] trail. *)
+    bit-identical with and without it.  [timing] shares a caller-owned
+    incremental engine across solves (it must be bound to [net], else
+    [Invalid_argument]); it is invalidated at every attempt boundary, so
+    switching objectives between solves forces a full sweep.  Never
+    raises on numerical failure: guards, budgets and the recovery ladder
+    turn NaN/Inf, stalls and expired budgets into a typed [termination]
+    plus the [recovery] trail. *)
 
 val evaluate :
   ?pool:Util.Pool.t ->
@@ -128,6 +146,7 @@ type cache_entry = {
 
 val make_cache :
   ?pool:Util.Pool.t ->
+  ?timing:Sta.Incr.t ->
   model:Circuit.Sigma_model.t ->
   Circuit.Netlist.t ->
   float array ->
@@ -140,11 +159,15 @@ val make_cache :
     and of the variance) and the gradient of any functional
     {m f(\mu, \sigma^2)} is their linear combination — objective and
     constraint closures evaluated at one iterate share a single timing
-    analysis.  The returned entry's arrays are owned by the cache;
-    callers must not mutate them. *)
+    analysis.  With [timing], cache misses evaluate through the
+    incremental engine (dirty-cone re-timing; the second basis gradient
+    hits its forward cache) instead of from-scratch sweeps.  The
+    returned entry's arrays are owned by the cache; callers must not
+    mutate them. *)
 
 val build_problem :
   ?pool:Util.Pool.t ->
+  ?timing:Sta.Incr.t ->
   model:Circuit.Sigma_model.t ->
   Circuit.Netlist.t ->
   Objective.t ->

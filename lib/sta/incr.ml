@@ -1,0 +1,609 @@
+open Circuit
+open Statdelay
+
+type mode = Exact | Epsilon of float
+
+(* ---- instrumentation -------------------------------------------------------- *)
+
+let c_analyze = Util.Instr.counter "incr.analyze"
+let c_cache_hit = Util.Instr.counter "incr.cache_hit"
+let c_full_sweep = Util.Instr.counter "incr.full_sweep"
+let c_reeval = Util.Instr.counter "incr.gates_reevaluated"
+let c_cutoff = Util.Instr.counter "incr.cutoff"
+let c_gradient = Util.Instr.counter "incr.gradient"
+let c_p1_reused = Util.Instr.counter "incr.phase1_reused"
+let c_p1_recomputed = Util.Instr.counter "incr.phase1_recomputed"
+let c_partials_reused = Util.Instr.counter "incr.partials_reused"
+let t_forward = Util.Instr.timer "incr.forward"
+let t_reverse = Util.Instr.timer "incr.reverse"
+
+type counters = {
+  analyzes : int;
+  cache_hits : int;
+  full_sweeps : int;
+  gates_reevaluated : int;
+  cutoffs : int;
+  gradients : int;
+  phase1_reused : int;
+  phase1_recomputed : int;
+  partials_reused : int;
+}
+
+(* Per-engine totals, updated only from serial sections (unit tests read
+   them without enabling the global Instr registry). *)
+type stats = {
+  mutable s_analyzes : int;
+  mutable s_cache_hits : int;
+  mutable s_full_sweeps : int;
+  mutable s_reeval : int;
+  mutable s_cutoffs : int;
+  mutable s_gradients : int;
+  mutable s_p1_reused : int;
+  mutable s_p1_recomputed : int;
+  mutable s_partials_reused : int;
+}
+
+(* ---- gradient reuse slots --------------------------------------------------- *)
+
+(* One reuse history per distinct seed root: the previous reverse sweep's
+   adjoints and phase-1 products (Clark-partial backprops and gate-delay
+   mean adjoints), plus the engine version they were computed against.
+   Sizing.Engine differentiates with the two constant basis seeds (1,0)
+   and (0,1), so each gets a stable slot; roots that vary per call (e.g.
+   a direct mu+3sigma seed) never pass the bitwise-adjoint guard and just
+   cycle through the LRU slots. *)
+type slot = {
+  mutable root_mu_bits : int64;
+  mutable root_var_bits : int64;
+  mutable s_valid : bool;
+  mutable s_version : int;
+  mutable s_adj : Ssta.seed array;
+  mutable s_active : bool array;
+  mutable s_dmu : float array;
+  mutable s_fan : Ssta.seed array array;
+  mutable s_bumps : int;
+      (** [t.stamp_bumps] at save time: when many stamps moved since, the
+          per-gate reuse checks cannot succeed and are skipped wholesale *)
+  mutable s_used : int;  (** LRU tick *)
+}
+
+let max_slots = 4
+
+type t = {
+  net : Netlist.t;
+  model : Sigma_model.t;
+  pool : Util.Pool.t option;
+  mode : mode;
+  n : int;
+  (* Cached state of the last analyze. *)
+  sizes : float array;
+  arrival : Normal.t array;
+  gate_delay : Normal.t array;
+  loads : float array;
+  mutable circuit : Normal.t;
+  mutable f_valid : bool;
+      (* cached forward state may serve as a delta base; cleared by
+         [invalidate] *)
+  mutable initialized : bool;
+      (* the arrays hold a completed analysis (never cleared: change
+         stamps stay meaningful across invalidations) *)
+  (* Change tracking.  [version] counts state-changing analyzes;
+     [stamp_arrival.(g)] / [stamp_local.(g)] record the last version at
+     which gate [g]'s arrival / own delay+load changed value. *)
+  mutable version : int;
+  stamp_arrival : int array;
+  stamp_local : int array;
+  mutable stamp_bumps : int;  (* total arrival-stamp writes, ever *)
+  (* Seed-independent Clark partials of each gate's fanin fold, valid
+     while every gate-fanin arrival is unchanged since [pc_version.(g)].
+     Lets the second basis-seed gradient at the same point (and any gate
+     whose input cone is clean) replay the reverse chain with eight
+     multiplies per operand instead of re-running the Clark operators. *)
+  pc_partials : Clark.partials array array;
+  pc_version : int array;
+  pc_hit : bool array;
+  (* PO-fold partials, valid for the current version only. *)
+  mutable po_partials : Clark.partials array;
+  mutable po_version : int;
+  (* Scratch for one sweep. *)
+  dirty : bool array;
+  changed : bool array;
+  changed_local : bool array;
+  mutable marked : int list;
+  (* Gradient reuse. *)
+  mutable slots : slot list;
+  mutable use_tick : int;
+  st : stats;
+}
+
+let create ?pool ?(mode = Exact) ~model net =
+  (match mode with
+  | Exact -> ()
+  | Epsilon e ->
+      if not (e >= 0.) then invalid_arg "Incr.create: epsilon must be >= 0");
+  let n = Netlist.n_gates net in
+  {
+    net;
+    model;
+    pool;
+    mode;
+    n;
+    sizes = Array.make n 0.;
+    arrival = Array.make n (Normal.deterministic 0.);
+    gate_delay = Array.make n (Normal.deterministic 0.);
+    loads = Array.make n 0.;
+    circuit = Normal.deterministic 0.;
+    f_valid = false;
+    initialized = false;
+    version = 0;
+    stamp_arrival = Array.make n 0;
+    stamp_local = Array.make n 0;
+    stamp_bumps = 0;
+    pc_partials = Array.make n [||];
+    pc_version = Array.make n (-1);
+    pc_hit = Array.make n false;
+    po_partials = [||];
+    po_version = -1;
+    dirty = Array.make n false;
+    changed = Array.make n false;
+    changed_local = Array.make n false;
+    marked = [];
+    slots = [];
+    use_tick = 0;
+    st =
+      {
+        s_analyzes = 0;
+        s_cache_hits = 0;
+        s_full_sweeps = 0;
+        s_reeval = 0;
+        s_cutoffs = 0;
+        s_gradients = 0;
+        s_p1_reused = 0;
+        s_p1_recomputed = 0;
+        s_partials_reused = 0;
+      };
+  }
+
+let netlist t = t.net
+let mode t = t.mode
+
+let counters t =
+  {
+    analyzes = t.st.s_analyzes;
+    cache_hits = t.st.s_cache_hits;
+    full_sweeps = t.st.s_full_sweeps;
+    gates_reevaluated = t.st.s_reeval;
+    cutoffs = t.st.s_cutoffs;
+    gradients = t.st.s_gradients;
+    phase1_reused = t.st.s_p1_reused;
+    phase1_recomputed = t.st.s_p1_recomputed;
+    partials_reused = t.st.s_partials_reused;
+  }
+
+let dirty_fraction t =
+  if t.st.s_analyzes = 0 || t.n = 0 then 0.
+  else float_of_int t.st.s_reeval /. (float_of_int t.st.s_analyzes *. float_of_int t.n)
+
+let invalidate t = t.f_valid <- false
+
+(* ---- forward sweep ---------------------------------------------------------- *)
+
+let bits = Int64.bits_of_float
+
+let normal_same_bits a b =
+  Int64.equal (bits (Normal.mu a)) (bits (Normal.mu b))
+  && Int64.equal (bits (Normal.var a)) (bits (Normal.var b))
+
+let normal_close eps a b =
+  abs_float (Normal.mu a -. Normal.mu b) <= eps *. (1. +. abs_float (Normal.mu b))
+  && abs_float (Normal.sigma a -. Normal.sigma b) <= eps *. (1. +. Normal.sigma b)
+
+let node_arrival t = Ssta.Kernel.node_arrival ~pi_arrival:Ssta.Kernel.default_pi_arrival t.arrival
+
+let pooled_for t n body =
+  match t.pool with
+  | Some p when Util.Pool.size p > 1 && n >= 2 * Ssta.Kernel.level_grain ->
+      Util.Pool.parallel_for ~grain:Ssta.Kernel.level_grain p ~n body
+  | _ ->
+      for i = 0 to n - 1 do
+        body i
+      done
+
+(* Re-evaluate the gates of [ids] (one level, or a level's dirty subset)
+   against the engine's current sizes and cached fanin arrivals — the
+   exact operations of Ssta.analyze's eval_gate, so recomputed values are
+   bit-identical to a from-scratch sweep.  Pure per-gate slot writes:
+   safe to run on the pool.  Change flags (vs the previously cached
+   values) are left in [t.changed] / [t.changed_local] for the caller's
+   serial stamp-and-mark pass. *)
+let recompute t ids =
+  pooled_for t (Array.length ids) (fun i ->
+      let id = ids.(i) in
+      let g = Netlist.gate t.net id in
+      let load = Netlist.load t.net ~sizes:t.sizes id in
+      let mu_t = Cell.delay g.Netlist.cell ~size:t.sizes.(id) ~load in
+      let tdel = Normal.of_var ~mu:mu_t ~var:(Sigma_model.var t.model mu_t) in
+      let operands = Array.map (node_arrival t) g.Netlist.fanin in
+      let arr = Normal.add (Ssta.Kernel.fold_max_last operands) tdel in
+      let changed =
+        (not t.initialized)
+        ||
+        match t.mode with
+        | Exact -> not (normal_same_bits arr t.arrival.(id))
+        | Epsilon e -> not (normal_close e arr t.arrival.(id))
+      in
+      let changed_local =
+        (not t.initialized)
+        || (not (Int64.equal (bits load) (bits t.loads.(id))))
+        || not (normal_same_bits tdel t.gate_delay.(id))
+      in
+      t.loads.(id) <- load;
+      t.gate_delay.(id) <- tdel;
+      (match (t.mode, changed) with
+      | Epsilon _, false ->
+          (* Epsilon cutoff keeps the lagged arrival: consumers then see a
+             value consistent with what they were last timed against. *)
+          ()
+      | _ -> t.arrival.(id) <- arr);
+      t.changed.(id) <- changed;
+      t.changed_local.(id) <- changed_local)
+
+let refold_pos t =
+  let po_operands = Array.map (node_arrival t) (Netlist.pos t.net) in
+  t.circuit <- Ssta.Kernel.fold_max_last po_operands
+
+let full_sweep t ~sizes =
+  t.version <- t.version + 1;
+  Array.blit sizes 0 t.sizes 0 t.n;
+  Array.iter (fun bucket -> recompute t bucket) (Netlist.level_buckets t.net);
+  for id = 0 to t.n - 1 do
+    if t.changed.(id) then begin
+      t.stamp_arrival.(id) <- t.version;
+      t.stamp_bumps <- t.stamp_bumps + 1
+    end;
+    if t.changed_local.(id) then t.stamp_local.(id) <- t.version
+  done;
+  refold_pos t;
+  t.st.s_full_sweeps <- t.st.s_full_sweeps + 1;
+  t.st.s_reeval <- t.st.s_reeval + t.n;
+  Util.Instr.incr c_full_sweep;
+  Util.Instr.add c_reeval t.n
+
+let mark t id =
+  if not t.dirty.(id) then begin
+    t.dirty.(id) <- true;
+    t.marked <- id :: t.marked
+  end
+
+let incremental_sweep t ~sizes changed_ids =
+  t.version <- t.version + 1;
+  (* Seed the dirty set: the changed gates themselves, plus every gate
+     fanin of a changed gate — the driver's load (hence delay and
+     arrival) depends on the consumer's size. *)
+  List.iter
+    (fun id ->
+      mark t id;
+      Array.iter
+        (function Netlist.Pi _ -> () | Netlist.Gate d -> mark t d)
+        (Netlist.gate t.net id).Netlist.fanin)
+    changed_ids;
+  Array.blit sizes 0 t.sizes 0 t.n;
+  let reeval = ref 0 and cuts = ref 0 in
+  Array.iter
+    (fun bucket ->
+      let k = ref 0 in
+      Array.iter (fun id -> if t.dirty.(id) then incr k) bucket;
+      if !k > 0 then begin
+        (* The bucket's dirty subset, in bucket (ascending id) order. *)
+        let ids = Array.make !k 0 in
+        let j = ref 0 in
+        Array.iter
+          (fun id ->
+            if t.dirty.(id) then begin
+              ids.(!j) <- id;
+              incr j
+            end)
+          bucket;
+        recompute t ids;
+        reeval := !reeval + !k;
+        Array.iter
+          (fun id ->
+            if t.changed_local.(id) then t.stamp_local.(id) <- t.version;
+            if t.changed.(id) then begin
+              t.stamp_arrival.(id) <- t.version;
+              t.stamp_bumps <- t.stamp_bumps + 1;
+              List.iter (fun (c, _) -> mark t c) (Netlist.fanout t.net id)
+            end
+            else incr cuts)
+          ids
+      end)
+    (Netlist.level_buckets t.net);
+  List.iter (fun id -> t.dirty.(id) <- false) t.marked;
+  t.marked <- [];
+  refold_pos t;
+  t.st.s_reeval <- t.st.s_reeval + !reeval;
+  t.st.s_cutoffs <- t.st.s_cutoffs + !cuts;
+  Util.Instr.add c_reeval !reeval;
+  Util.Instr.add c_cutoff !cuts
+
+(* Bring the engine's cached state to [sizes]. *)
+let analyze_state t ~sizes =
+  Netlist.check_sizes t.net sizes;
+  t.st.s_analyzes <- t.st.s_analyzes + 1;
+  Util.Instr.incr c_analyze;
+  Util.Instr.time t_forward @@ fun () ->
+  if not t.f_valid then full_sweep t ~sizes
+  else begin
+    let changed_ids = ref [] in
+    for id = t.n - 1 downto 0 do
+      if not (Int64.equal (bits sizes.(id)) (bits t.sizes.(id))) then
+        changed_ids := id :: !changed_ids
+    done;
+    match !changed_ids with
+    | [] ->
+        t.st.s_cache_hits <- t.st.s_cache_hits + 1;
+        Util.Instr.incr c_cache_hit
+    | ids -> incremental_sweep t ~sizes ids
+  end;
+  t.f_valid <- true;
+  t.initialized <- true
+
+let snapshot t : Ssta.result =
+  {
+    Ssta.arrival = Array.copy t.arrival;
+    gate_delay = Array.copy t.gate_delay;
+    loads = Array.copy t.loads;
+    circuit = t.circuit;
+  }
+
+let analyze t ~sizes =
+  analyze_state t ~sizes;
+  snapshot t
+
+(* ---- reverse sweep ---------------------------------------------------------- *)
+
+let zero_seed = { Ssta.d_mu = 0.; d_var = 0. }
+
+let seed_bits_eq (a : Ssta.seed) (b : Ssta.seed) =
+  Int64.equal (bits a.Ssta.d_mu) (bits b.Ssta.d_mu)
+  && Int64.equal (bits a.Ssta.d_var) (bits b.Ssta.d_var)
+
+(* Seed-independent Clark partials of the left-fold max over [operands]:
+   the exact [Clark.max2_full] evaluations Ssta's [backprop_fold]
+   performs, hoisted out so they can be cached across seeds (the two
+   basis gradients of one evaluation share them) and across sparse
+   deltas (gates whose input cone is clean keep them). *)
+let fold_partials operands =
+  let k = Array.length operands in
+  if k <= 1 then [||]
+  else begin
+    let prefix = Ssta.Kernel.fold_max operands in
+    Array.init (k - 1) (fun j -> snd (Clark.max2_full prefix.(j) operands.(j + 1)))
+  end
+
+(* Replays [Ssta.Kernel.backprop_fold]'s multiply chain against stored
+   partials — identical expressions in identical order, so the result is
+   bitwise equal to recomputing the fold from the operands. *)
+let backprop_with partials k (adj : Ssta.seed) =
+  let out = Array.make k zero_seed in
+  let acc = ref adj in
+  for i = k - 1 downto 1 do
+    let p = partials.(i - 1) in
+    let a = !acc in
+    out.(i) <-
+      {
+        Ssta.d_mu =
+          (a.Ssta.d_mu *. p.Clark.dmu_dmu_b) +. (a.Ssta.d_var *. p.Clark.dvar_dmu_b);
+        d_var =
+          (a.Ssta.d_mu *. p.Clark.dmu_dvar_b) +. (a.Ssta.d_var *. p.Clark.dvar_dvar_b);
+      };
+    acc :=
+      {
+        Ssta.d_mu =
+          (a.Ssta.d_mu *. p.Clark.dmu_dmu_a) +. (a.Ssta.d_var *. p.Clark.dvar_dmu_a);
+        d_var =
+          (a.Ssta.d_mu *. p.Clark.dmu_dvar_a) +. (a.Ssta.d_var *. p.Clark.dvar_dvar_a);
+      }
+  done;
+  out.(0) <- !acc;
+  out
+
+let fresh_slot rmu rvar =
+  {
+    root_mu_bits = rmu;
+    root_var_bits = rvar;
+    s_valid = false;
+    s_version = 0;
+    s_adj = [||];
+    s_active = [||];
+    s_dmu = [||];
+    s_fan = [||];
+    s_bumps = 0;
+    s_used = 0;
+  }
+
+let slot_for t (root : Ssta.seed) =
+  let rmu = bits root.Ssta.d_mu and rvar = bits root.Ssta.d_var in
+  let slot =
+    match
+      List.find_opt
+        (fun s -> Int64.equal s.root_mu_bits rmu && Int64.equal s.root_var_bits rvar)
+        t.slots
+    with
+    | Some s -> s
+    | None ->
+        if List.length t.slots < max_slots then begin
+          let s = fresh_slot rmu rvar in
+          t.slots <- s :: t.slots;
+          s
+        end
+        else begin
+          (* Recycle the least recently used slot for this new root. *)
+          let s =
+            List.fold_left
+              (fun a b -> if b.s_used < a.s_used then b else a)
+              (List.hd t.slots) t.slots
+          in
+          s.root_mu_bits <- rmu;
+          s.root_var_bits <- rvar;
+          s.s_valid <- false;
+          s
+        end
+  in
+  t.use_tick <- t.use_tick + 1;
+  slot.s_used <- t.use_tick;
+  slot
+
+(* The reverse sweep mirrors Ssta.value_and_gradient phase for phase.
+   Phase 2 (the serial fixed-order scatter into adj/grad) always runs in
+   full — it is the cheap part, and replaying it identically is what
+   keeps incremental gradients bit-identical.  Phase 1 (the Clark
+   partial replays) is where the time goes; a gate's phase-1 products
+   are reused from the slot when provably unchanged:
+
+   - the slot is valid and the gate was active in it,
+   - the gate's adjoint is bitwise equal to the slot's (adjoints are
+     finalized top-down, so at decision time adj.(id) is final),
+   - the gate's own delay and every fanin arrival are unchanged since
+     the slot's version (change stamps).
+
+   Under these conditions a recompute would replay bit-identical
+   operations on bit-identical operands, so reuse is exact. *)
+let value_and_gradient t ~sizes ~seed =
+  analyze_state t ~sizes;
+  let res = snapshot t in
+  t.st.s_gradients <- t.st.s_gradients + 1;
+  Util.Instr.incr c_gradient;
+  Util.Instr.time t_reverse @@ fun () ->
+  let net = t.net and n = t.n in
+  let adj = Array.make n zero_seed in
+  let add_adj node (a : Ssta.seed) =
+    match node with
+    | Netlist.Pi _ -> ()
+    | Netlist.Gate g ->
+        let cur = adj.(g) in
+        adj.(g) <-
+          { Ssta.d_mu = cur.Ssta.d_mu +. a.Ssta.d_mu; d_var = cur.Ssta.d_var +. a.Ssta.d_var }
+  in
+  let po_nodes = Netlist.pos net in
+  if t.po_version <> t.version then begin
+    t.po_partials <- fold_partials (Array.map (node_arrival t) po_nodes);
+    t.po_version <- t.version
+  end;
+  let root = seed res in
+  let po_adj = backprop_with t.po_partials (Array.length po_nodes) root in
+  Array.iteri (fun i node -> add_adj node po_adj.(i)) po_nodes;
+  let grad = Array.make n 0. in
+  let slot = slot_for t root in
+  let active = Array.make n false in
+  let dmu_ts = Array.make n 0. in
+  let fan_adjs = Array.make n [||] in
+  let todo = Array.make n 0 in
+  let reused = ref 0 and recomputed = ref 0 and p_hits = ref 0 in
+  (* When most arrival stamps moved since the slot was saved, the
+     per-gate checks below cannot succeed; skip them wholesale. *)
+  let try_reuse = slot.s_valid && t.stamp_bumps - slot.s_bumps <= t.n / 2 in
+  let buckets = Netlist.level_buckets net in
+  for l = Array.length buckets - 1 downto 0 do
+    let bucket = buckets.(l) in
+    let len = Array.length bucket in
+    (* Serial reuse-decision pass (cheap comparisons only). *)
+    let n_todo = ref 0 in
+    for i = 0 to len - 1 do
+      let id = bucket.(i) in
+      let a = adj.(id) in
+      if a.Ssta.d_mu <> 0. || a.Ssta.d_var <> 0. then begin
+        active.(id) <- true;
+        let reusable =
+          try_reuse && slot.s_active.(id)
+          && t.stamp_local.(id) <= slot.s_version
+          && seed_bits_eq a slot.s_adj.(id)
+          && Array.for_all
+               (function
+                 | Netlist.Pi _ -> true
+                 | Netlist.Gate d -> t.stamp_arrival.(d) <= slot.s_version)
+               (Netlist.gate net id).Netlist.fanin
+        in
+        if reusable then begin
+          dmu_ts.(id) <- slot.s_dmu.(id);
+          fan_adjs.(id) <- slot.s_fan.(id);
+          incr reused
+        end
+        else begin
+          todo.(!n_todo) <- id;
+          incr n_todo;
+          incr recomputed
+        end
+      end
+    done;
+    (* Phase 1 on the non-reusable subset: bit-identical to the per-gate
+       operations of Ssta.value_and_gradient's phase 1, with the Clark
+       partials themselves served from the point-keyed cache when the
+       gate's input cone is unchanged since they were computed. *)
+    pooled_for t !n_todo (fun i ->
+        let id = todo.(i) in
+        let a = adj.(id) in
+        let g = Netlist.gate net id in
+        let tdel = t.gate_delay.(id) in
+        dmu_ts.(id) <-
+          a.Ssta.d_mu +. (a.Ssta.d_var *. Sigma_model.dvar_dmu t.model (Normal.mu tdel));
+        let fanin = g.Netlist.fanin in
+        let pv = t.pc_version.(id) in
+        let fresh =
+          pv < 0
+          || not
+               (Array.for_all
+                  (function
+                    | Netlist.Pi _ -> true
+                    | Netlist.Gate d -> t.stamp_arrival.(d) <= pv)
+                  fanin)
+        in
+        if fresh then begin
+          t.pc_partials.(id) <- fold_partials (Array.map (node_arrival t) fanin);
+          t.pc_version.(id) <- t.version
+        end;
+        t.pc_hit.(id) <- not fresh;
+        fan_adjs.(id) <- backprop_with t.pc_partials.(id) (Array.length fanin) a);
+    for i = 0 to !n_todo - 1 do
+      if t.pc_hit.(todo.(i)) then incr p_hits
+    done;
+    (* Phase 2, serial in decreasing id: identical accumulation order to
+       Ssta.value_and_gradient (fan_adjs are kept for the slot rather
+       than dropped — same numbers either way). *)
+    for i = len - 1 downto 0 do
+      let id = bucket.(i) in
+      if active.(id) then begin
+        let g = Netlist.gate net id in
+        let dmu_t = dmu_ts.(id) in
+        let cell = g.Netlist.cell in
+        let s_g = t.sizes.(id) in
+        grad.(id) <-
+          grad.(id) -. (dmu_t *. cell.Cell.drive *. t.loads.(id) /. (s_g *. s_g));
+        List.iter
+          (fun (consumer, mult) ->
+            let c = Netlist.gate net consumer in
+            grad.(consumer) <-
+              grad.(consumer)
+              +. dmu_t *. cell.Cell.drive *. float_of_int mult
+                 *. c.Netlist.cell.Cell.c_in /. s_g)
+          (Netlist.fanout net id);
+        Array.iteri (fun i node -> add_adj node fan_adjs.(id).(i)) g.Netlist.fanin
+      end
+    done
+  done;
+  slot.s_adj <- adj;
+  slot.s_active <- active;
+  slot.s_dmu <- dmu_ts;
+  slot.s_fan <- fan_adjs;
+  slot.s_version <- t.version;
+  slot.s_bumps <- t.stamp_bumps;
+  slot.s_valid <- true;
+  t.st.s_p1_reused <- t.st.s_p1_reused + !reused;
+  t.st.s_p1_recomputed <- t.st.s_p1_recomputed + !recomputed;
+  t.st.s_partials_reused <- t.st.s_partials_reused + !p_hits;
+  Util.Instr.add c_p1_reused !reused;
+  Util.Instr.add c_p1_recomputed !recomputed;
+  Util.Instr.add c_partials_reused !p_hits;
+  (res, grad)
+
+let gradient t ~sizes ~seed = snd (value_and_gradient t ~sizes ~seed)

@@ -1,0 +1,137 @@
+(** Incremental statistical timing: dirty-cone re-evaluation.
+
+    The sizing solver re-evaluates the circuit at a sequence of iterates
+    that differ in only some of the speed factors (line searches move the
+    interior coordinates while projected coordinates stay pinned at their
+    bounds, and multiplier updates re-evaluate at the {e same} point).  A
+    full forward/reverse sweep per evaluation — the dominant hot path —
+    recomputes every gate regardless.  This engine is a persistent
+    alternative: it caches the last analysis (per-gate arrival moments,
+    gate delays, loads) and, given the next size vector, re-propagates
+    {e only} the transitive fan-out cone of the changed gates.
+
+    {2 Dirty-cone rule}
+
+    A gate must be re-evaluated when any input of its delay/arrival
+    computation changed:
+
+    - its own size changed, or
+    - its load changed — i.e. the size of one of its {e fanout}
+      consumers changed, so the drivers of every changed gate are seeded
+      dirty alongside it, or
+    - the arrival of one of its fanin gates changed.
+
+    Dirtiness propagates level by level ({!Circuit.Netlist.level_buckets})
+    with {e early cutoff}: if a re-evaluated gate's arrival is unchanged
+    (bit-identical in {!Exact} mode, within tolerance in {!Epsilon}
+    mode), its consumers are not marked.  Clean gates keep their cached
+    values, which are bit-identical to what a from-scratch sweep would
+    produce because every kernel operation ({!Ssta.Kernel}) is replayed
+    with bit-identical operands.
+
+    {2 Gradient}
+
+    The reverse sweep re-runs its cheap scatter phase in full (in the
+    exact order of {!Ssta.value_and_gradient}, which is what keeps
+    gradients bit-identical), but the expensive phase — the
+    {!Statdelay.Clark.max2_full} partial replays per gate — is reused
+    from the previous gradient evaluation whenever the gate's operands,
+    delay and adjoint are unchanged since.  Reuse histories are kept per
+    seed root (the engine's basis seeds {m (1,0)} and {m (0,1)} each get
+    their own slot).
+
+    {2 Modes}
+
+    {!Exact} (the default) guarantees results — values {e and}
+    gradients — bit-identical to {!Ssta.analyze} /
+    {!Ssta.value_and_gradient} at every step; the differential harness
+    [test/test_incr.ml] asserts this over randomized delta sequences at
+    1/2/4 domains.  {!Epsilon}[ e] additionally cuts propagation when a
+    recomputed arrival moved by less than [e] (relative, on mu and
+    sigma); the cached arrival then {e lags} the recomputed one by up to
+    [e] per gate, trading exactness for a smaller cone.
+
+    {2 Parallelism and instrumentation}
+
+    [?pool] parallelises the per-level dirty recomputation and the
+    reverse phase-1 replays exactly as in {!Ssta} (disjoint per-gate
+    writes, serial scatters), so pooled results are bit-identical to
+    serial ones.  Instrumented via {!Util.Instr}: counters
+    [incr.analyze], [incr.cache_hit], [incr.full_sweep],
+    [incr.gates_reevaluated], [incr.cutoff], [incr.gradient],
+    [incr.phase1_reused], [incr.phase1_recomputed],
+    [incr.partials_reused]. *)
+
+type mode =
+  | Exact
+      (** cut propagation only on bit-identical arrivals; results are
+          bit-identical to from-scratch sweeps *)
+  | Epsilon of float
+      (** cut propagation when mu and sigma moved less than this
+          relative tolerance; approximate, bounded per-gate lag *)
+
+type t
+(** A persistent engine bound to one netlist, sigma model and optional
+    pool.  Not thread-safe: one engine per solver. *)
+
+val create :
+  ?pool:Util.Pool.t ->
+  ?mode:mode ->
+  model:Circuit.Sigma_model.t ->
+  Circuit.Netlist.t ->
+  t
+(** A fresh engine with an empty cache; the first {!analyze} is a full
+    sweep.  [mode] defaults to {!Exact}.  Primary-input arrivals are the
+    default deterministic zero ({!Ssta.Kernel.default_pi_arrival}). *)
+
+val netlist : t -> Circuit.Netlist.t
+val mode : t -> mode
+
+val analyze : t -> sizes:float array -> Ssta.result
+(** Forward timing at [sizes], re-evaluating only the dirty cone of the
+    delta against the engine's cached state.  The returned result is a
+    fresh snapshot (safe to hold across later calls).  In {!Exact} mode
+    it is bit-identical to [Ssta.analyze ~model net ~sizes]. *)
+
+val value_and_gradient :
+  t ->
+  sizes:float array ->
+  seed:(Ssta.result -> Ssta.seed) ->
+  Ssta.result * float array
+(** Incremental counterpart of {!Ssta.value_and_gradient}; in {!Exact}
+    mode both components are bit-identical to it. *)
+
+val gradient :
+  t -> sizes:float array -> seed:(Ssta.result -> Ssta.seed) -> float array
+(** [snd] of {!value_and_gradient}. *)
+
+val invalidate : t -> unit
+(** Wholesale invalidation: the next {!analyze} runs a full sweep
+    (counted in [incr.full_sweep]).  Called by {!Sizing.Engine} at every
+    solve attempt boundary — recovery-ladder rungs, perturbed restarts
+    and objective switches on a reused engine.  Gradient reuse histories
+    survive (they are guarded by change stamps, not by this flag). *)
+
+type counters = {
+  analyzes : int;  (** {!analyze} calls, including via the gradient *)
+  cache_hits : int;  (** calls with no size delta *)
+  full_sweeps : int;  (** cold or invalidated calls *)
+  gates_reevaluated : int;  (** dirty gates recomputed, full sweeps included *)
+  cutoffs : int;  (** recomputed gates whose arrival was unchanged *)
+  gradients : int;  (** gradient calls *)
+  phase1_reused : int;  (** reverse-sweep partial replays skipped *)
+  phase1_recomputed : int;  (** reverse-sweep partial replays executed *)
+  partials_reused : int;
+      (** recomputed replays that served their Clark partials from the
+          point-keyed cache (shared across seeds at one point) instead of
+          re-running the Clark operators *)
+}
+
+val counters : t -> counters
+(** This engine's lifetime totals (the [incr.*] {!Util.Instr} counters
+    aggregate the same quantities across engines). *)
+
+val dirty_fraction : t -> float
+(** [gates_reevaluated / (analyzes * n_gates)] — the mean fraction of
+    the circuit re-evaluated per analyze; [1.0] means caching never
+    engaged, full sweeps on every call. *)

@@ -8,20 +8,54 @@ let linspace lo hi n =
   let step = (hi -. lo) /. float_of_int (n - 1) in
   Array.init n (fun i -> if i = n - 1 then hi else lo +. (float_of_int i *. step))
 
-let fd_gradient ?(h = 1e-6) f x =
+let fd_gradient ?(h = 1e-6) ?lo ?hi f x =
   let n = Array.length x in
+  let check_dim name = function
+    | Some (b : float array) when Array.length b <> n ->
+        invalid_arg (Printf.sprintf "Numerics.fd_gradient: %s dimension mismatch" name)
+    | _ -> ()
+  in
+  check_dim "lo" lo;
+  check_dim "hi" hi;
   let g = Array.make n 0. in
   let xt = Array.copy x in
-  for i = 0 to n - 1 do
-    let xi = x.(i) in
-    let hi = h *. max 1. (abs_float xi) in
-    xt.(i) <- xi +. hi;
-    let fp = f xt in
-    xt.(i) <- xi -. hi;
-    let fm = f xt in
-    xt.(i) <- xi;
-    g.(i) <- (fp -. fm) /. (2. *. hi)
-  done;
+  (match (lo, hi) with
+  | None, None ->
+      for i = 0 to n - 1 do
+        let xi = x.(i) in
+        let hi = h *. max 1. (abs_float xi) in
+        xt.(i) <- xi +. hi;
+        let fp = f xt in
+        xt.(i) <- xi -. hi;
+        let fm = f xt in
+        xt.(i) <- xi;
+        g.(i) <- (fp -. fm) /. (2. *. hi)
+      done
+  | _ ->
+      (* Box-aware differencing: sample points are clamped into
+         [lo, hi], degrading to a one-sided difference at an active
+         bound instead of evaluating f outside its domain (e.g. below
+         the S_i >= 1 size bound, where the timing evaluators raise). *)
+      for i = 0 to n - 1 do
+        let xi = x.(i) in
+        let step = h *. max 1. (abs_float xi) in
+        let xp =
+          match hi with Some u -> Float.min (xi +. step) u.(i) | None -> xi +. step
+        in
+        let xm =
+          match lo with Some l -> Float.max (xi -. step) l.(i) | None -> xi -. step
+        in
+        if xp > xm then begin
+          xt.(i) <- xp;
+          let fp = f xt in
+          xt.(i) <- xm;
+          let fm = f xt in
+          xt.(i) <- xi;
+          g.(i) <- (fp -. fm) /. (xp -. xm)
+        end
+        (* xp = xm: the box pinches this coordinate to a point — no
+           variation to measure, leave the slot 0. *)
+      done);
   g
 
 let dot a b =

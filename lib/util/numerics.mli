@@ -11,9 +11,21 @@ val linspace : float -> float -> int -> float array
 (** [linspace lo hi n] is [n] evenly spaced points from [lo] to [hi]
     inclusive; requires [n >= 2]. *)
 
-val fd_gradient : ?h:float -> (float array -> float) -> float array -> float array
+val fd_gradient :
+  ?h:float ->
+  ?lo:float array ->
+  ?hi:float array ->
+  (float array -> float) ->
+  float array ->
+  float array
 (** Central finite-difference gradient, used only to cross-check analytic
-    derivatives in tests and the NLP derivative checker. *)
+    derivatives in tests and the NLP derivative checker.  With [lo]/[hi],
+    the sample points are clamped into the box, so a coordinate at an
+    active bound is differenced one-sidedly ({m O(h)} instead of
+    {m O(h^2)}, but never evaluating [f] outside its domain); a
+    coordinate whose box pinches to a point gets slope [0.].  Without
+    bounds the classic symmetric stencil is used unchanged.  Raises
+    [Invalid_argument] on a bound-vector dimension mismatch. *)
 
 val dot : float array -> float array -> float
 val norm2 : float array -> float

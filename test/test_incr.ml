@@ -1,0 +1,453 @@
+(* Differential tests for the incremental SSTA engine (Sta.Incr).
+
+   The headline harness drives randomized sparse size-delta sequences
+   over generated and .bench netlists and asserts that, in exact mode,
+   the incremental engine is bit-identical to a from-scratch Ssta
+   analysis at every step — values and gradients — at 1, 2 and 4
+   domains.  Further groups cover cache-hit/cutoff accounting, epsilon
+   mode, wholesale invalidation, and the solver-facing invalidation
+   edges (recovery-ladder restart, fault-injected breakdown, objective
+   switch on a reused engine). *)
+
+open Circuit
+
+let model = Sigma_model.paper_default
+
+(* Long-lived pools shared across tests (spawning is the expensive part). *)
+let pool2 = Util.Pool.create ~jobs:2 ()
+let pool4 = Util.Pool.create ~jobs:4 ()
+let pools = [ (1, None); (2, Some pool2); (4, Some pool4) ]
+
+(* ---- bit-level comparison helpers ------------------------------------------- *)
+
+let bits = Int64.bits_of_float
+
+let check_normal_identical msg (a : Statdelay.Normal.t) (b : Statdelay.Normal.t) =
+  if
+    not
+      (Int64.equal (bits a.Statdelay.Normal.mu) (bits b.Statdelay.Normal.mu)
+      && Int64.equal (bits a.Statdelay.Normal.var) (bits b.Statdelay.Normal.var))
+  then
+    Alcotest.failf "%s: (%h, %h) <> (%h, %h)" msg a.Statdelay.Normal.mu
+      a.Statdelay.Normal.var b.Statdelay.Normal.mu b.Statdelay.Normal.var
+
+let check_floats_identical msg (a : float array) (b : float array) =
+  Alcotest.(check int) (msg ^ ": length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if not (Int64.equal (bits x) (bits b.(i))) then
+        Alcotest.failf "%s: slot %d: %h <> %h" msg i x b.(i))
+    a
+
+let check_results_identical msg (a : Sta.Ssta.result) (b : Sta.Ssta.result) =
+  check_normal_identical (msg ^ ": circuit") a.Sta.Ssta.circuit b.Sta.Ssta.circuit;
+  Array.iteri
+    (fun i x -> check_normal_identical (msg ^ ": arrival") x b.Sta.Ssta.arrival.(i))
+    a.Sta.Ssta.arrival;
+  Array.iteri
+    (fun i x ->
+      check_normal_identical (msg ^ ": gate_delay") x b.Sta.Ssta.gate_delay.(i))
+    a.Sta.Ssta.gate_delay;
+  check_floats_identical (msg ^ ": loads") a.Sta.Ssta.loads b.Sta.Ssta.loads
+
+(* ---- circuits under test ---------------------------------------------------- *)
+
+let wide_dag ?(n_gates = 300) seed =
+  Generate.random_dag
+    {
+      Generate.default_spec with
+      Generate.n_gates;
+      n_pis = 30;
+      target_depth = 8;
+      seed;
+    }
+
+(* examples/cla4.bench is a test/dune dep; `dune runtest` runs from the
+   test build directory, a manual `dune exec` from the project root. *)
+let bench_net =
+  lazy
+    (let path =
+       match
+         List.find_opt Sys.file_exists
+           [ "../examples/cla4.bench"; "examples/cla4.bench" ]
+       with
+       | Some p -> p
+       | None -> Alcotest.fail "examples/cla4.bench not found (is it a test dep?)"
+     in
+     match Bench_format.parse_file ~library:(Cell.Library.default ()) path with
+     | Ok net -> net
+     | Error e ->
+         Alcotest.failf "cla4.bench: %s" (Format.asprintf "%a" Bench_format.pp_error e))
+
+let nets_under_test () =
+  [
+    ("cla4.bench", Lazy.force bench_net);
+    ("apex2*", Generate.apex2_like ());
+    ("dag300", wide_dag 7);
+  ]
+
+(* ---- the differential harness ----------------------------------------------- *)
+
+(* One randomized sparse delta: re-draw k coordinates uniformly within
+   their box.  Every 7th step re-sends the same sizes (a cache hit for
+   the incremental engine, which must still match the reference). *)
+let mutate rng ~maxs ~step sizes =
+  if step mod 7 <> 0 then begin
+    let n = Array.length sizes in
+    let k = 1 + Util.Rng.int rng (max 1 (n / 20)) in
+    for _ = 1 to k do
+      let i = Util.Rng.int rng n in
+      sizes.(i) <- Util.Rng.uniform rng ~lo:1.0 ~hi:maxs.(i)
+    done
+  end
+
+let basis_mu _ = { Sta.Ssta.d_mu = 1.; d_var = 0. }
+let basis_var _ = { Sta.Ssta.d_mu = 0.; d_var = 1. }
+
+(* Rotate through the engine's two basis seeds (constant roots, so the
+   phase-1 reuse path is exercised) and the varying mu+3sigma root. *)
+let seed_for step =
+  match step mod 3 with
+  | 0 -> ("mu", basis_mu)
+  | 1 -> ("var", basis_var)
+  | _ -> ("mu+3s", Sta.Ssta.mu_plus_k_sigma_seed 3.)
+
+(* Run [steps] randomized deltas on [net], asserting the incremental
+   engine bit-identical to from-scratch Ssta at every step.  Returns the
+   engine's counters so callers can assert caching really engaged. *)
+let run_differential ?pool ~steps ~seed name net =
+  let rng = Util.Rng.create seed in
+  let eng = Sta.Incr.create ?pool ~model net in
+  let sizes = Array.copy (Netlist.min_sizes net) in
+  let maxs = Netlist.max_sizes net in
+  for step = 1 to steps do
+    mutate rng ~maxs ~step sizes;
+    let msg = Printf.sprintf "%s step %d" name step in
+    if step mod 5 = 0 then begin
+      (* Forward-only step. *)
+      let reference = Sta.Ssta.analyze ?pool ~model net ~sizes in
+      let incremental = Sta.Incr.analyze eng ~sizes in
+      check_results_identical msg reference incremental
+    end
+    else begin
+      let seed_name, seedf = seed_for step in
+      let msg = Printf.sprintf "%s (%s)" msg seed_name in
+      let res_ref, grad_ref =
+        Sta.Ssta.value_and_gradient ?pool ~model net ~sizes ~seed:seedf
+      in
+      let res_inc, grad_inc = Sta.Incr.value_and_gradient eng ~sizes ~seed:seedf in
+      check_results_identical msg res_ref res_inc;
+      check_floats_identical (msg ^ ": grad") grad_ref grad_inc
+    end
+  done;
+  Sta.Incr.counters eng
+
+let test_differential_all_circuits () =
+  List.iter
+    (fun (name, net) ->
+      List.iter
+        (fun (jobs, pool) ->
+          let name = Printf.sprintf "%s jobs=%d" name jobs in
+          let c = run_differential ?pool ~steps:25 ~seed:(17 * jobs) name net in
+          Alcotest.(check int) (name ^ ": one full sweep") 1 c.Sta.Incr.full_sweeps;
+          Alcotest.(check bool)
+            (name ^ ": cache hits happened")
+            true
+            (c.Sta.Incr.cache_hits > 0))
+        pools)
+    (nets_under_test ())
+
+(* The re-sent-sizes steps must hit the cache without drifting, and the
+   sparse deltas must keep the mean re-evaluated fraction below a full
+   sweep per analyze. *)
+let test_dirty_fraction_below_one () =
+  let net = wide_dag ~n_gates:400 11 in
+  let c = run_differential ~steps:40 ~seed:3 "dag400" net in
+  let eng_fraction =
+    float_of_int c.Sta.Incr.gates_reevaluated
+    /. (float_of_int c.Sta.Incr.analyzes *. float_of_int (Netlist.n_gates net))
+  in
+  Alcotest.(check bool) "fraction < 1" true (eng_fraction < 1.)
+
+(* Phase-1 reuse needs bitwise-equal adjoints, which a sparse delta
+   rarely preserves (any moved PO arrival perturbs the PO fold partials
+   globally); the guaranteed case is re-differentiating an unchanged
+   point with the same seed root. *)
+let test_phase1_reuse_on_repeated_point () =
+  let net = Generate.apex2_like () in
+  let eng = Sta.Incr.create ~model net in
+  let sizes = Netlist.min_sizes net in
+  let _, g1 = Sta.Incr.value_and_gradient eng ~sizes ~seed:basis_mu in
+  let c1 = Sta.Incr.counters eng in
+  Alcotest.(check int) "first call recomputes" 0 c1.Sta.Incr.phase1_reused;
+  let _, g2 = Sta.Incr.value_and_gradient eng ~sizes ~seed:basis_mu in
+  let c2 = Sta.Incr.counters eng in
+  check_floats_identical "repeat grad" g1 g2;
+  Alcotest.(check int) "second call reuses everything"
+    c1.Sta.Incr.phase1_recomputed c2.Sta.Incr.phase1_reused;
+  Alcotest.(check int) "nothing recomputed on repeat" c1.Sta.Incr.phase1_recomputed
+    c2.Sta.Incr.phase1_recomputed;
+  (* A different seed root gets its own slot: no cross-talk, still exact. *)
+  let g_var = Sta.Incr.gradient eng ~sizes ~seed:basis_var in
+  let g_var_ref = Sta.Ssta.gradient ~model net ~sizes ~seed:basis_var in
+  check_floats_identical "other-root grad" g_var_ref g_var
+
+let prop_random_dag_differential =
+  QCheck.Test.make ~name:"incremental bit-identical on random netlists" ~count:8
+    (QCheck.make QCheck.Gen.(pair (int_range 0 10_000) (int_range 80 400)))
+    (fun (seed, n_gates) ->
+      let net = wide_dag ~n_gates (seed + 1) in
+      let c = run_differential ~steps:12 ~seed:(seed + 13) "qcheck" net in
+      c.Sta.Incr.analyzes >= 12)
+
+(* ---- cache accounting ------------------------------------------------------- *)
+
+let test_cache_hit_on_identical_sizes () =
+  let net = Generate.apex2_like () in
+  let eng = Sta.Incr.create ~model net in
+  let sizes = Netlist.min_sizes net in
+  ignore (Sta.Incr.analyze eng ~sizes);
+  ignore (Sta.Incr.analyze eng ~sizes);
+  ignore (Sta.Incr.analyze eng ~sizes:(Array.copy sizes));
+  let c = Sta.Incr.counters eng in
+  Alcotest.(check int) "analyzes" 3 c.Sta.Incr.analyzes;
+  Alcotest.(check int) "full sweeps" 1 c.Sta.Incr.full_sweeps;
+  Alcotest.(check int) "cache hits" 2 c.Sta.Incr.cache_hits;
+  Alcotest.(check int) "reevaluated = n" (Netlist.n_gates net)
+    c.Sta.Incr.gates_reevaluated
+
+let test_single_gate_delta_touches_cone_only () =
+  (* On a chain, changing the size of gate k re-evaluates its driver
+     (load change), itself, and — the chain being a single path with no
+     cutoff slack — its fan-out suffix; never the prefix before the
+     driver. *)
+  let net = Generate.chain ~length:60 () in
+  let n = Netlist.n_gates net in
+  let eng = Sta.Incr.create ~model net in
+  let sizes = Array.copy (Netlist.min_sizes net) in
+  ignore (Sta.Incr.analyze eng ~sizes);
+  let k = 40 in
+  sizes.(k) <- 2.5;
+  let reference = Sta.Ssta.analyze ~model net ~sizes in
+  let incremental = Sta.Incr.analyze eng ~sizes in
+  check_results_identical "chain delta" reference incremental;
+  let c = Sta.Incr.counters eng in
+  let cone = n - k + 1 (* driver k-1, gate k, suffix k+1 .. n-1 *) in
+  Alcotest.(check bool)
+    (Printf.sprintf "reevaluated %d <= cone %d"
+       (c.Sta.Incr.gates_reevaluated - n) cone)
+    true
+    (c.Sta.Incr.gates_reevaluated - n <= cone)
+
+let test_invalidate_forces_full_sweep () =
+  let net = Generate.apex2_like () in
+  let eng = Sta.Incr.create ~model net in
+  let sizes = Netlist.min_sizes net in
+  ignore (Sta.Incr.analyze eng ~sizes);
+  Sta.Incr.invalidate eng;
+  let reference = Sta.Ssta.analyze ~model net ~sizes in
+  let incremental = Sta.Incr.analyze eng ~sizes in
+  check_results_identical "post-invalidate" reference incremental;
+  let c = Sta.Incr.counters eng in
+  Alcotest.(check int) "full sweeps" 2 c.Sta.Incr.full_sweeps;
+  Alcotest.(check int) "cache hits" 0 c.Sta.Incr.cache_hits
+
+(* ---- epsilon mode ----------------------------------------------------------- *)
+
+let test_epsilon_mode_bounded_drift () =
+  let net = wide_dag ~n_gates:300 19 in
+  let eps = 1e-9 in
+  let eng = Sta.Incr.create ~mode:(Sta.Incr.Epsilon eps) ~model net in
+  let rng = Util.Rng.create 5 in
+  let sizes = Array.copy (Netlist.min_sizes net) in
+  let maxs = Netlist.max_sizes net in
+  (* Relative drift is bounded by roughly eps per gate per step along a
+     path, so depth * steps * eps with slack is a safe envelope. *)
+  let tol = eps *. float_of_int (Netlist.depth net * 30) *. 1e3 in
+  for step = 1 to 30 do
+    mutate rng ~maxs ~step sizes;
+    let reference = Sta.Ssta.analyze ~model net ~sizes in
+    let approx = Sta.Incr.analyze eng ~sizes in
+    let rel a b = abs_float (a -. b) /. (1. +. abs_float b) in
+    let dmu =
+      rel
+        (Statdelay.Normal.mu approx.Sta.Ssta.circuit)
+        (Statdelay.Normal.mu reference.Sta.Ssta.circuit)
+    and dsig =
+      rel
+        (Statdelay.Normal.sigma approx.Sta.Ssta.circuit)
+        (Statdelay.Normal.sigma reference.Sta.Ssta.circuit)
+    in
+    if dmu > tol || dsig > tol then
+      Alcotest.failf "epsilon drift step %d: dmu=%g dsig=%g > %g" step dmu dsig tol
+  done
+
+(* ---- solver integration: invalidation edges --------------------------------- *)
+
+(* A bounded-area problem that forces real solver work (the all-min
+   start violates the delay bound). *)
+let bounded_setup () =
+  let net = Generate.tree () in
+  let unsized, _ =
+    Sizing.Engine.evaluate ~model net ~sizes:(Netlist.min_sizes net)
+  in
+  let bound = 0.9 *. Statdelay.Normal.mu unsized.Sta.Ssta.circuit in
+  (net, Sizing.Objective.Min_area_bounded { k = 0.; bound })
+
+let test_engine_incremental_bit_identical () =
+  (* The whole solver trajectory — thousands of evaluations — must not
+     move by a bit when evaluations go through the incremental engine. *)
+  let net = wide_dag ~n_gates:150 41 in
+  let solve incremental =
+    Sizing.Engine.solve
+      ~options:{ Sizing.Engine.default_options with Sizing.Engine.incremental }
+      ~model net (Sizing.Objective.Min_delay 3.)
+  in
+  let full = solve false and inc = solve true in
+  check_floats_identical "sizes" full.Sizing.Engine.sizes inc.Sizing.Engine.sizes;
+  check_normal_identical "circuit" full.Sizing.Engine.timing.Sta.Ssta.circuit
+    inc.Sizing.Engine.timing.Sta.Ssta.circuit;
+  Alcotest.(check int) "same evaluation count" full.Sizing.Engine.evaluations
+    inc.Sizing.Engine.evaluations
+
+let test_objective_switch_forces_full_sweep () =
+  let net, bounded = bounded_setup () in
+  let eng = Sta.Incr.create ~model net in
+  let s1 = Sizing.Engine.solve ~timing:eng ~model net (Sizing.Objective.Min_delay 0.) in
+  let sweeps_after_first = (Sta.Incr.counters eng).Sta.Incr.full_sweeps in
+  Alcotest.(check bool) "first solve swept" true (sweeps_after_first >= 1);
+  (* Same engine, different objective: the first attempt must not trust
+     the previous objective's cached trajectory. *)
+  let s2 = Sizing.Engine.solve ~timing:eng ~model net bounded in
+  let c = Sta.Incr.counters eng in
+  Alcotest.(check bool) "objective switch swept again" true
+    (c.Sta.Incr.full_sweeps > sweeps_after_first);
+  Alcotest.(check bool) "solves usable" true
+    (s1.Sizing.Engine.converged && s2.Sizing.Engine.converged);
+  (* And the shared-engine solve matches a fresh from-scratch solve. *)
+  let fresh = Sizing.Engine.solve ~model net bounded in
+  check_floats_identical "shared-engine sizes" fresh.Sizing.Engine.sizes
+    s2.Sizing.Engine.sizes
+
+let test_multistart_restarts_invalidate () =
+  let net, bounded = bounded_setup () in
+  let eng = Sta.Incr.create ~model net in
+  let options = { Sizing.Engine.default_options with Sizing.Engine.restarts = 2 } in
+  let _ = Sizing.Engine.solve ~options ~timing:eng ~model net bounded in
+  let c = Sta.Incr.counters eng in
+  (* initial + 2 restarts, each from an invalidated cache *)
+  Alcotest.(check bool)
+    (Printf.sprintf "full sweeps %d >= attempts 3" c.Sta.Incr.full_sweeps)
+    true
+    (c.Sta.Incr.full_sweeps >= 3)
+
+let test_fault_recovery_invalidates () =
+  (* A NaN injected into the first objective evaluation makes the initial
+     attempt break down; every recovery rung the ladder then climbs must
+     start from a wholesale-invalidated timing cache. *)
+  let net, bounded = bounded_setup () in
+  let eng = Sta.Incr.create ~model net in
+  let plan =
+    Util.Fault.plan
+      [
+        {
+          Util.Fault.kind = Util.Fault.Nan_value;
+          Util.Fault.component = Some 0;
+          Util.Fault.trigger = Util.Fault.First 1;
+        };
+      ]
+  in
+  let inject problem =
+    Nlp.Problem.map_components
+      (fun ~component f ->
+        Util.Fault.wrap plan ~component:(Nlp.Problem.component_index component) f)
+      problem
+  in
+  let s =
+    Sizing.Engine.solve
+      ~options:
+        { Sizing.Engine.default_options with Sizing.Engine.instrument = Some inject }
+      ~timing:eng ~model net bounded
+  in
+  let attempts = 1 + List.length s.Sizing.Engine.recovery in
+  let c = Sta.Incr.counters eng in
+  Alcotest.(check bool) "recovery engaged" true (s.Sizing.Engine.recovery <> []);
+  Alcotest.(check bool)
+    (Printf.sprintf "full sweeps %d >= solver attempts" c.Sta.Incr.full_sweeps)
+    true
+    (c.Sta.Incr.full_sweeps >= min attempts 2)
+
+let test_full_sweep_instr_counter () =
+  (* The invalidation edges are also observable through the global
+     incr.full_sweep counter (what statsize --profile reports). *)
+  Util.Instr.reset ();
+  Util.Instr.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Util.Instr.disable ();
+      Util.Instr.reset ())
+    (fun () ->
+      let net, bounded = bounded_setup () in
+      let eng = Sta.Incr.create ~model net in
+      let _ = Sizing.Engine.solve ~timing:eng ~model net bounded in
+      let _ = Sizing.Engine.solve ~timing:eng ~model net (Sizing.Objective.Min_delay 0.) in
+      let snap = Util.Instr.snapshot () in
+      let count name =
+        match List.assoc_opt name snap.Util.Instr.counters with Some n -> n | None -> 0
+      in
+      Alcotest.(check bool) "incr.full_sweep >= 2" true (count "incr.full_sweep" >= 2);
+      Alcotest.(check bool) "incr.analyze counted" true (count "incr.analyze" > 0);
+      Alcotest.(check bool) "cutoffs or cache hits observed" true
+        (count "incr.cache_hit" + count "incr.cutoff" > 0))
+
+let test_timing_engine_netlist_mismatch () =
+  let eng = Sta.Incr.create ~model (Generate.tree ()) in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Engine.solve: timing engine bound to a different netlist")
+    (fun () ->
+      ignore
+        (Sizing.Engine.solve ~timing:eng ~model (Generate.chain ~length:5 ())
+           (Sizing.Objective.Min_delay 0.)))
+
+let test_epsilon_rejects_negative () =
+  Alcotest.check_raises "negative eps"
+    (Invalid_argument "Incr.create: epsilon must be >= 0") (fun () ->
+      ignore (Sta.Incr.create ~mode:(Sta.Incr.Epsilon (-1.)) ~model (Generate.tree ())))
+
+let () =
+  let open Alcotest in
+  run "incr"
+    [
+      ( "differential",
+        [
+          test_case "all circuits x 1/2/4 domains" `Quick test_differential_all_circuits;
+          test_case "dirty fraction < 1" `Quick test_dirty_fraction_below_one;
+          test_case "phase-1 reuse on repeated point" `Quick
+            test_phase1_reuse_on_repeated_point;
+          QCheck_alcotest.to_alcotest prop_random_dag_differential;
+        ] );
+      ( "cache",
+        [
+          test_case "hit on identical sizes" `Quick test_cache_hit_on_identical_sizes;
+          test_case "single-gate delta cone" `Quick test_single_gate_delta_touches_cone_only;
+          test_case "invalidate" `Quick test_invalidate_forces_full_sweep;
+        ] );
+      ( "epsilon",
+        [
+          test_case "bounded drift" `Quick test_epsilon_mode_bounded_drift;
+          test_case "invalid eps" `Quick test_epsilon_rejects_negative;
+        ] );
+      ( "engine",
+        [
+          test_case "incremental solve bit-identical" `Quick
+            test_engine_incremental_bit_identical;
+          test_case "objective switch invalidates" `Quick
+            test_objective_switch_forces_full_sweep;
+          test_case "multi-start restarts invalidate" `Quick
+            test_multistart_restarts_invalidate;
+          test_case "fault recovery invalidates" `Quick test_fault_recovery_invalidates;
+          test_case "incr.full_sweep counter" `Quick test_full_sweep_instr_counter;
+          test_case "netlist mismatch rejected" `Quick
+            test_timing_engine_netlist_mismatch;
+        ] );
+    ]

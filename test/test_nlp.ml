@@ -614,6 +614,75 @@ let test_check_rejects_wrong_gradient () =
   Alcotest.(check bool) "not ok" false v.Nlp.Check.ok;
   Alcotest.(check int) "worst index" 0 v.Nlp.Check.worst_index
 
+(* Regression: the checker's stencil must respect simplex-like bounds.
+   With a coordinate at the lower bound, the unclamped central
+   difference steps outside the domain (below S_i = 1, where the timing
+   evaluators raise); passing the box clamps the stencil to a one-sided
+   difference that stays feasible. *)
+let test_check_clamps_stencil_at_lower_bound () =
+  let f x =
+    Array.iter (fun v -> if v < 1. then invalid_arg "below simplex bound") x;
+    ((x.(0) *. x.(0)) +. (3. *. x.(1)), [| 2. *. x.(0); 3. |])
+  in
+  let x = [| 1.0; 2.0 |] (* first coordinate exactly at the bound *) in
+  Alcotest.check_raises "unclamped stencil leaves the domain"
+    (Invalid_argument "below simplex bound") (fun () ->
+      ignore (Nlp.Check.gradient f x));
+  let v = Nlp.Check.gradient ~lo:[| 1.; 1. |] ~hi:[| 10.; 10. |] f x in
+  Alcotest.(check bool) "clamped verdict ok" true v.Nlp.Check.ok
+
+let test_check_clamps_at_upper_bound () =
+  let f x =
+    if x.(0) > 4. then invalid_arg "above bound";
+    (exp x.(0), [| exp x.(0) |])
+  in
+  (* One-sided truncation error is O(h); widen rtol accordingly. *)
+  let v = Nlp.Check.gradient ~rtol:1e-4 ~lo:[| 0. |] ~hi:[| 4. |] f [| 4. |] in
+  Alcotest.(check bool) "ok at upper bound" true v.Nlp.Check.ok
+
+let test_check_pinched_coordinate_reports_zero () =
+  (* lo = hi pinches the coordinate: no feasible variation, numeric slope
+     0, so a nonzero analytic derivative is flagged rather than crashing
+     on a zero step. *)
+  let f x = (x.(0) *. x.(0), [| 2. *. x.(0) |]) in
+  let v = Nlp.Check.gradient ~lo:[| 2. |] ~hi:[| 2. |] f [| 2. |] in
+  Alcotest.(check bool) "mismatch reported" false v.Nlp.Check.ok;
+  Alcotest.(check (float 0.)) "numeric slope is zero" 4. v.Nlp.Check.max_abs_error
+
+let test_check_bound_dimension_mismatch () =
+  let f x = (x.(0), [| 1. |]) in
+  Alcotest.check_raises "lo mismatch"
+    (Invalid_argument "Numerics.fd_gradient: lo dimension mismatch") (fun () ->
+      ignore (Nlp.Check.gradient ~lo:[| 0.; 0. |] f [| 1. |]))
+
+(* The motivating case end-to-end: a sizing objective checked at the
+   all-min iterate, where every speed factor sits on its S_i = 1 bound
+   and Netlist.check_sizes rejects any step below it. *)
+let test_check_sizing_objective_at_min_sizes () =
+  let net = Circuit.Generate.tree () in
+  let model = Circuit.Sigma_model.paper_default in
+  let lookup = Sizing.Engine.make_cache ~model net in
+  let k = 3. in
+  let f x =
+    let e = lookup x in
+    let c = e.Sizing.Engine.res.Sta.Ssta.circuit in
+    let mu = Statdelay.Normal.mu c and sigma = Statdelay.Normal.sigma c in
+    let dvar = if sigma > 0. then k /. (2. *. sigma) else 0. in
+    ( mu +. (k *. sigma),
+      Array.mapi (fun i g -> g +. (dvar *. e.Sizing.Engine.grad_var.(i))) e.Sizing.Engine.grad_mu )
+  in
+  let x = Circuit.Netlist.min_sizes net in
+  (match Nlp.Check.gradient f x with
+  | _ -> Alcotest.fail "unclamped check should step below the size bound"
+  | exception Invalid_argument _ -> ());
+  let v =
+    Nlp.Check.gradient ~h:1e-4 ~rtol:1e-2 ~atol:1e-4
+      ~lo:(Circuit.Netlist.min_sizes net) ~hi:(Circuit.Netlist.max_sizes net) f x
+  in
+  if not v.Nlp.Check.ok then
+    Alcotest.failf "sizing gradient at bound: %s"
+      (Format.asprintf "%a" Nlp.Check.pp_verdict v)
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "nlp"
@@ -671,5 +740,15 @@ let () =
         [
           Alcotest.test_case "accepts correct" `Quick test_check_accepts_correct_gradient;
           Alcotest.test_case "rejects wrong" `Quick test_check_rejects_wrong_gradient;
+          Alcotest.test_case "clamps at lower bound" `Quick
+            test_check_clamps_stencil_at_lower_bound;
+          Alcotest.test_case "clamps at upper bound" `Quick
+            test_check_clamps_at_upper_bound;
+          Alcotest.test_case "pinched coordinate" `Quick
+            test_check_pinched_coordinate_reports_zero;
+          Alcotest.test_case "bound dimension mismatch" `Quick
+            test_check_bound_dimension_mismatch;
+          Alcotest.test_case "sizing objective at min sizes" `Quick
+            test_check_sizing_objective_at_min_sizes;
         ] );
     ]

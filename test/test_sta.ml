@@ -388,6 +388,200 @@ let test_crit_invalid_n () =
     (fun () ->
       ignore (Sta.Crit.monte_carlo ~model net ~sizes:(Netlist.min_sizes net) ~n:0))
 
+(* ---- Perturbation cone locality ---------------------------------------------------- *)
+
+(* Resizing one gate only changes the delay model inside a well-defined
+   region: the gate itself and its gate fanin drivers (whose load includes
+   the resized input capacitance) get new delays, and arrivals can change
+   only in the transitive fanout of that affected set.  Everything outside
+   keeps its timing bit-for-bit — the structural fact the incremental
+   engine's dirty-cone rule (Sta.Incr) relies on. *)
+
+let bits = Int64.bits_of_float
+let same_bits a b = bits a = bits b
+
+let same_normal_bits a b =
+  same_bits (Normal.mu a) (Normal.mu b) && same_bits (Normal.var a) (Normal.var b)
+
+let gate_id = function Netlist.Gate g -> g | Netlist.Pi _ -> Alcotest.fail "expected gate"
+
+let fanout_cone net seeds =
+  let inside = Array.make (Netlist.n_gates net) false in
+  let rec visit g =
+    if not inside.(g) then begin
+      inside.(g) <- true;
+      List.iter (fun (c, _) -> visit c) (Netlist.fanout net g)
+    end
+  in
+  List.iter visit seeds;
+  inside
+
+let fanin_cone net seeds =
+  let inside = Array.make (Netlist.n_gates net) false in
+  let rec visit g =
+    if not inside.(g) then begin
+      inside.(g) <- true;
+      Array.iter
+        (function Netlist.Gate s -> visit s | Netlist.Pi _ -> ())
+        (Netlist.gate net g).Netlist.fanin
+    end
+  in
+  List.iter visit seeds;
+  inside
+
+(* Gates whose own delay changes when gate [p] is resized. *)
+let affected_by net p =
+  let drivers =
+    Array.to_list (Netlist.gate net p).Netlist.fanin
+    |> List.filter_map (function Netlist.Gate s -> Some s | Netlist.Pi _ -> None)
+  in
+  p :: drivers
+
+let prop_perturbation_locality =
+  QCheck.Test.make ~count:20 ~name:"single-gate perturbation stays in its fanout cone"
+    QCheck.(pair small_nat small_nat)
+    (fun (net_seed, pert_seed) ->
+      let net =
+        Generate.random_dag
+          { Generate.default_spec with Generate.n_gates = 50; seed = 300 + net_seed }
+      in
+      let n = Netlist.n_gates net in
+      let maxs = Netlist.max_sizes net in
+      let rng = Util.Rng.create (7 * pert_seed) in
+      let sizes =
+        Array.init n (fun g -> Util.Rng.uniform rng ~lo:1. ~hi:(0.9 *. maxs.(g)))
+      in
+      let p = Util.Rng.int rng n in
+      let sizes' = Array.copy sizes in
+      sizes'.(p) <- Util.Rng.uniform rng ~lo:1. ~hi:maxs.(p);
+      let affected = affected_by net p in
+      let cone = fanout_cone net affected in
+      let in_affected = Array.make n false in
+      List.iter (fun g -> in_affected.(g) <- true) affected;
+      let s0 = Sta.Ssta.analyze ~model net ~sizes in
+      let s1 = Sta.Ssta.analyze ~model net ~sizes:sizes' in
+      let d0 = Sta.Dsta.analyze net ~sizes in
+      let d1 = Sta.Dsta.analyze net ~sizes:sizes' in
+      for g = 0 to n - 1 do
+        if (not in_affected.(g))
+           && not (same_normal_bits s0.Sta.Ssta.gate_delay.(g) s1.Sta.Ssta.gate_delay.(g))
+        then
+          QCheck.Test.fail_reportf "gate %d delay changed outside affected set" g;
+        if not cone.(g) then begin
+          if not (same_normal_bits s0.Sta.Ssta.arrival.(g) s1.Sta.Ssta.arrival.(g)) then
+            QCheck.Test.fail_reportf "gate %d ssta arrival changed outside cone" g;
+          if not (same_bits d0.Sta.Dsta.arrival.(g) d1.Sta.Dsta.arrival.(g)) then
+            QCheck.Test.fail_reportf "gate %d dsta arrival changed outside cone" g
+        end
+      done;
+      true)
+
+let test_slack_unchanged_outside_cones () =
+  (* Slack mixes a forward pass (arrival) with a backward pass (required),
+     so it is invariant outside the union of the affected set's fanout
+     cone (arrival unchanged) and fanin cone (required unchanged). *)
+  let net =
+    Generate.random_dag { Generate.default_spec with Generate.n_gates = 60; seed = 5 }
+  in
+  let n = Netlist.n_gates net in
+  let sizes = Netlist.min_sizes net in
+  let p = n / 2 in
+  let sizes' = Array.copy sizes in
+  sizes'.(p) <- 2.5;
+  let affected = affected_by net p in
+  let out_cone = fanout_cone net affected and in_cone = fanin_cone net affected in
+  let deadline = (Sta.Dsta.analyze net ~sizes).Sta.Dsta.circuit +. 2. in
+  let s0 = Sta.Dsta.slack net ~sizes ~deadline in
+  let s1 = Sta.Dsta.slack net ~sizes:sizes' ~deadline in
+  let untouched = ref 0 and changed = ref 0 in
+  for g = 0 to n - 1 do
+    if (not out_cone.(g)) && not in_cone.(g) then begin
+      incr untouched;
+      if not (same_bits s0.(g) s1.(g)) then
+        Alcotest.failf "gate %d slack changed outside both cones" g
+    end
+    else if not (same_bits s0.(g) s1.(g)) then incr changed
+  done;
+  Alcotest.(check bool) "some gates outside both cones" true (!untouched > 0);
+  Alcotest.(check bool) "perturbation actually moved some slack" true (!changed > 0)
+
+(* A netlist with two structurally disjoint components: A is a NAND tree
+   over 8 PIs feeding a 6-stage inverter chain (deep, always the latest
+   PO by a ~9 sigma margin), B is a short 2-inverter chain. *)
+let two_component_net () =
+  let nand2 = Cell.nand 2 in
+  let inv = Cell.make ~name:"inv" ~n_inputs:1 ~c_in:0.25 () in
+  let b = Netlist.Builder.create ~name:"two-comp" () in
+  let pis =
+    Array.init 8 (fun i -> Netlist.Builder.add_pi b (Printf.sprintf "a%d" i))
+  in
+  let rec reduce = function
+    | [] -> Alcotest.fail "empty reduction"
+    | [ x ] -> x
+    | xs ->
+        let rec pair = function
+          | x :: y :: tl -> Netlist.Builder.add_gate b ~cell:nand2 [ x; y ] :: pair tl
+          | tl -> tl
+        in
+        reduce (pair xs)
+  in
+  let root = ref (reduce (Array.to_list pis)) in
+  for _ = 1 to 6 do
+    root := Netlist.Builder.add_gate b ~cell:inv [ !root ]
+  done;
+  Netlist.Builder.mark_po b !root;
+  let bp = Netlist.Builder.add_pi b "b0" in
+  let b1 = Netlist.Builder.add_gate b ~cell:inv [ bp ] in
+  let b2 = Netlist.Builder.add_gate b ~cell:inv [ b1 ] in
+  Netlist.Builder.mark_po b b2;
+  (Netlist.Builder.build b, gate_id b1, gate_id b2)
+
+let test_crit_unchanged_outside_perturbed_cone () =
+  let net, b1, b2 = two_component_net () in
+  let n = Netlist.n_gates net in
+  let sizes = Netlist.min_sizes net in
+  let sizes' = Array.copy sizes in
+  sizes'.(b2) <- 2.5;
+  let cone = fanout_cone net (affected_by net b2) in
+  Alcotest.(check bool) "cone is exactly component B" true
+    (Array.to_list (Array.mapi (fun g c -> (g, c)) cone)
+    |> List.for_all (fun (g, c) -> c = (g = b1 || g = b2)));
+  (* Same seed on both runs: per-gate delay draws consume the same
+     uniforms whatever mu/sigma they are scaled by, so samples for
+     unperturbed gates are bitwise identical across the two estimates. *)
+  let c0 = Sta.Crit.monte_carlo ~rng:(Util.Rng.create 123) ~model net ~sizes ~n:4_000 in
+  let c1 =
+    Sta.Crit.monte_carlo ~rng:(Util.Rng.create 123) ~model net ~sizes:sizes' ~n:4_000
+  in
+  let nondegenerate = ref 0 in
+  for g = 0 to n - 1 do
+    if not cone.(g) then begin
+      if not (same_bits c0.Sta.Crit.criticality.(g) c1.Sta.Crit.criticality.(g)) then
+        Alcotest.failf "gate %d criticality changed outside the perturbed cone" g;
+      let c = c0.Sta.Crit.criticality.(g) in
+      if c > 0.05 && c < 0.95 then incr nondegenerate
+    end
+    else
+      check_float ~eps:1e-9 "B gates never traced (off the critical component)" 0.
+        c1.Sta.Crit.criticality.(g)
+  done;
+  Alcotest.(check bool) "comparison covers fractional criticalities" true
+    (!nondegenerate >= 4)
+
+let test_crit_rng_determinism () =
+  let net = Generate.tree () in
+  let sizes = Netlist.min_sizes net in
+  let run () =
+    Sta.Crit.monte_carlo ~rng:(Util.Rng.create 77) ~model net ~sizes ~n:1_000
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "same sample count" a.Sta.Crit.samples b.Sta.Crit.samples;
+  Array.iteri
+    (fun g c ->
+      if not (same_bits c b.Sta.Crit.criticality.(g)) then
+        Alcotest.failf "gate %d criticality not reproducible" g)
+    a.Sta.Crit.criticality
+
 let () =
   Alcotest.run "sta"
     [
@@ -477,5 +671,15 @@ let () =
           Alcotest.test_case "balanced tree split" `Slow test_crit_balanced_tree_split;
           Alcotest.test_case "range and ranking" `Quick test_crit_sums_and_ranking;
           Alcotest.test_case "invalid n" `Quick test_crit_invalid_n;
+        ] );
+      ( "cone locality",
+        [
+          QCheck_alcotest.to_alcotest prop_perturbation_locality;
+          Alcotest.test_case "slack outside both cones" `Quick
+            test_slack_unchanged_outside_cones;
+          Alcotest.test_case "criticality outside perturbed cone" `Quick
+            test_crit_unchanged_outside_perturbed_cone;
+          Alcotest.test_case "criticality rng determinism" `Quick
+            test_crit_rng_determinism;
         ] );
     ]
