@@ -345,6 +345,135 @@ let run_incremental ?pool () =
       end;
       print_newline ())
 
+(* ---- flat timing arena ------------------------------------------------------ *)
+
+(* Differential + allocation smoke for the structure-of-arrays arena
+   (DESIGN.md Section 9): the arena sweeps must agree with the boxed
+   reference to the last bit, run materially faster serially, and a
+   steady-state forward+reverse pair must stay under a committed
+   words/eval ceiling.  Exits non-zero when identity or the ceiling is
+   violated, so CI gates on this section. *)
+let run_arena () =
+  section "Flat timing arena: serial speedup, words/eval, bit-identity" (fun () ->
+      let spec =
+        {
+          Circuit.Generate.default_spec with
+          Circuit.Generate.n_gates = 2400;
+          n_pis = 96;
+          target_depth = 12;
+          seed = 77;
+        }
+      in
+      let net = Circuit.Generate.random_dag spec in
+      let n_gates = Circuit.Netlist.n_gates net in
+      let sizes = Circuit.Netlist.min_sizes net in
+      let seed = Sta.Ssta.mu_plus_k_sigma_seed 3. in
+      Format.printf "%a@." Circuit.Netlist.pp_summary net;
+      let boxed () = Sta.Ssta.Boxed.value_and_gradient ~model net ~sizes ~seed in
+      let res_b, grad_b = boxed () in
+      let root = seed res_b in
+      let arena = Sta.Arena.create net in
+      (* The steady-state solver evaluation: raw sweeps on a reused
+         arena, no result snapshot. *)
+      let flat () =
+        Sta.Ssta.forward_raw ~model arena ~sizes;
+        Sta.Ssta.reverse_raw ~model arena ~d_mu:root.Sta.Ssta.d_mu
+          ~d_var:root.Sta.Ssta.d_var
+      in
+      flat ();
+      let res_a = Sta.Ssta.of_arena arena in
+      let grad_a = Array.sub arena.Sta.Arena.grad 0 n_gates in
+      let bits = Int64.bits_of_float in
+      let same (x : float) y = Int64.equal (bits x) (bits y) in
+      let same_normal (a : Statdelay.Normal.t) (b : Statdelay.Normal.t) =
+        same a.Statdelay.Normal.mu b.Statdelay.Normal.mu
+        && same a.Statdelay.Normal.var b.Statdelay.Normal.var
+      in
+      let identical =
+        same_normal res_b.Sta.Ssta.circuit res_a.Sta.Ssta.circuit
+        && Array.for_all2 same_normal res_b.Sta.Ssta.arrival res_a.Sta.Ssta.arrival
+        && Array.for_all2 same_normal res_b.Sta.Ssta.gate_delay
+             res_a.Sta.Ssta.gate_delay
+        && Array.for_all2 same res_b.Sta.Ssta.loads res_a.Sta.Ssta.loads
+        && Array.for_all2 same grad_b grad_a
+      in
+      let reps = 20 in
+      let t_boxed = wall_time_per_call ~reps boxed in
+      let t_flat = wall_time_per_call ~reps flat in
+      let words_per_eval f =
+        f ();
+        Gc.full_major ();
+        let w0 = Gc.minor_words () in
+        for _ = 1 to reps do
+          f ()
+        done;
+        (Gc.minor_words () -. w0) /. float_of_int reps
+      in
+      let w_boxed = words_per_eval (fun () -> ignore (boxed ())) in
+      let w_flat = words_per_eval flat in
+      (* Inlining canary: the dev profile compiles with -opaque, which
+         blocks cross-library inlining of the Clark kernels — every call
+         then boxes its float arguments.  The strict zero-allocation
+         ceiling only holds when the kernels inline (release profile);
+         otherwise the ceiling scales with the boxed kernel arguments. *)
+      let canary =
+        let mu = Array.make 1 0. and var = Array.make 1 0. in
+        (* Computed (not literal) float arguments: literals are static
+           data and never allocate, computed ones box at every
+           non-inlined call. *)
+        let x = Sys.opaque_identity 0.5 in
+        Gc.full_major ();
+        let w0 = Gc.minor_words () in
+        for _ = 1 to 1000 do
+          Statdelay.Clark.add_into ~mu_a:(x +. 0.5) ~var_a:(x *. 0.2)
+            ~mu_b:(x +. 1.5) ~var_b:(x *. 0.4) mu var 0
+        done;
+        ignore (Sys.opaque_identity (mu.(0) +. var.(0)));
+        Gc.minor_words () -. w0
+      in
+      (* [Gc.minor_words] itself boxes its float result, so a perfectly
+         clean loop still reads a few words; boxed kernel calls read
+         thousands (>= 4 words per call over 1000 calls). *)
+      let inlined = canary < 64. in
+      let ceiling =
+        if inlined then 512. else 128. *. float_of_int n_gates
+      in
+      let t =
+        Util.Table.create
+          ~header:[ "sweep pair (fwd+rev)"; "time/run"; "words/eval"; "bit-identical" ]
+      in
+      for i = 1 to 3 do
+        Util.Table.set_align t i Util.Table.Right
+      done;
+      let ms s = Printf.sprintf "%.2f ms" (s *. 1e3) in
+      Util.Table.add_row t
+        [ "boxed reference"; ms t_boxed; Printf.sprintf "%.0f" w_boxed; "-" ];
+      Util.Table.add_row t
+        [
+          "arena (raw)";
+          ms t_flat;
+          Printf.sprintf "%.0f" w_flat;
+          (if identical then "yes" else "NO");
+        ];
+      Util.Table.print t;
+      Printf.printf
+        "serial speedup %.2fx, words/eval reduction %.0fx (kernels inlined: %s, \
+         ceiling %.0f)\n"
+        (t_boxed /. t_flat)
+        (if w_flat > 0. then w_boxed /. w_flat else infinity)
+        (if inlined then "yes" else "no — dev profile, -opaque")
+        ceiling;
+      if not identical then begin
+        Printf.printf "ERROR: arena results differ from the boxed reference!\n";
+        exit 1
+      end;
+      if w_flat > ceiling then begin
+        Printf.printf "ERROR: arena words/eval %.0f exceeds the committed ceiling %.0f\n"
+          w_flat ceiling;
+        exit 1
+      end;
+      print_newline ())
+
 (* ---- batched Monte Carlo oracle -------------------------------------------- *)
 
 let run_mcsta ~jobs () =
@@ -528,7 +657,7 @@ let run_micro () =
 let usage () =
   Printf.eprintf
     "usage: main.exe [--jobs N] \
-     [all|tables|micro|parallel|mcsta|resilience|incremental|table1|table2|table3|example|yield|mc|corner|ablation|extensions|scale]...\n"
+     [all|tables|micro|parallel|arena|mcsta|resilience|incremental|table1|table2|table3|example|yield|mc|corner|ablation|extensions|scale]...\n"
 
 let () =
   let rec parse jobs sections = function
@@ -551,12 +680,14 @@ let () =
     | "all" ->
         run_tables ?pool ();
         run_parallel ~jobs ();
+        run_arena ();
         run_mcsta ~jobs ();
         run_incremental ?pool ();
         run_micro ()
     | "tables" -> run_tables ?pool ()
     | "micro" -> run_micro ()
     | "parallel" -> run_parallel ~jobs ()
+    | "arena" -> run_arena ()
     | "mcsta" -> run_mcsta ~jobs ()
     | "resilience" -> run_resilience ()
     | "incremental" -> run_incremental ?pool ()

@@ -8,6 +8,22 @@ type gate = {
   wire_load : float;
 }
 
+type flat = {
+  fi_off : int array;
+  fi_node : int array;
+  po_node : int array;
+  po_base : int;
+  fold_slots : int;
+  fo_off : int array;
+  fo_consumer : int array;
+  fo_mult : float array;
+  fo_cin : float array;
+  g_t_int : float array;
+  g_drive : float array;
+  g_wire_load : float array;
+  g_max_size : float array;
+}
+
 type t = {
   name : string;
   pis : string array;
@@ -18,6 +34,9 @@ type t = {
   mutable bucket_cache : int array array option;
       (* per-level gate-id buckets, computed once per netlist on first
          use (the topology never changes after [Builder.build]) *)
+  mutable flat_cache : flat option;
+      (* flat CSR topology view for the structure-of-arrays timing
+         engines, same once-per-netlist lifecycle as [bucket_cache] *)
 }
 
 module Builder = struct
@@ -112,6 +131,7 @@ module Builder = struct
       po_names = Array.of_list (List.map snd pos_pairs);
       fanout;
       bucket_cache = None;
+      flat_cache = None;
     }
 end
 
@@ -192,6 +212,70 @@ let level_buckets t =
       let b = compute_buckets t in
       t.bucket_cache <- Some b;
       b
+
+(* Flat CSR encoding of the topology.  Fanin nodes are encoded as ints:
+   [Gate g] is [g], [Pi i] is [-i - 1].  Fanout entries preserve the
+   order of the [fanout] adjacency lists (fixed at build time), so a
+   fold over a CSR row performs the same floating-point accumulation
+   order as [load]'s list fold. *)
+let encode_node = function Gate g -> g | Pi i -> -i - 1
+
+let compute_flat t =
+  let n = n_gates t in
+  let fi_off = Array.make (n + 1) 0 in
+  Array.iter
+    (fun g -> fi_off.(g.id + 1) <- fi_off.(g.id) + Array.length g.fanin)
+    t.gates;
+  let nfi = fi_off.(n) in
+  let fi_node = Array.make (max 1 nfi) 0 in
+  Array.iter
+    (fun g ->
+      let base = fi_off.(g.id) in
+      Array.iteri (fun j nd -> fi_node.(base + j) <- encode_node nd) g.fanin)
+    t.gates;
+  let po_node = Array.map encode_node t.pos in
+  let fo_off = Array.make (n + 1) 0 in
+  for g = 0 to n - 1 do
+    fo_off.(g + 1) <- fo_off.(g) + List.length t.fanout.(g)
+  done;
+  let nfo = fo_off.(n) in
+  let fo_consumer = Array.make (max 1 nfo) 0 in
+  let fo_mult = Array.make (max 1 nfo) 0. in
+  let fo_cin = Array.make (max 1 nfo) 0. in
+  Array.iteri
+    (fun g l ->
+      let j = ref fo_off.(g) in
+      List.iter
+        (fun (consumer, mult) ->
+          fo_consumer.(!j) <- consumer;
+          fo_mult.(!j) <- float_of_int mult;
+          fo_cin.(!j) <- t.gates.(consumer).cell.Cell.c_in;
+          incr j)
+        l)
+    t.fanout;
+  {
+    fi_off;
+    fi_node;
+    po_node;
+    po_base = nfi;
+    fold_slots = nfi + Array.length t.pos;
+    fo_off;
+    fo_consumer;
+    fo_mult;
+    fo_cin;
+    g_t_int = Array.map (fun g -> g.cell.Cell.t_int) t.gates;
+    g_drive = Array.map (fun g -> g.cell.Cell.drive) t.gates;
+    g_wire_load = Array.map (fun g -> g.wire_load) t.gates;
+    g_max_size = Array.map (fun g -> g.cell.Cell.max_size) t.gates;
+  }
+
+let flat t =
+  match t.flat_cache with
+  | Some f -> f
+  | None ->
+      let f = compute_flat t in
+      t.flat_cache <- Some f;
+      f
 
 type stats = {
   gates_count : int;

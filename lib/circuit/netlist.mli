@@ -101,6 +101,43 @@ val level_buckets : t -> int array array
     the first analysis (which happens on one domain before any parallel
     region starts) populates it. *)
 
+(** {1 Flat topology view}
+
+    A compressed-sparse-row encoding of the whole topology in unboxed
+    [int array] / [float array] planes, for the structure-of-arrays
+    timing engines ({!Sta.Arena}): walking the graph then touches no
+    lists, records or closures.  Computed once per netlist and cached
+    (same lazy, fill-before-sharing lifecycle as {!level_buckets}). *)
+
+type flat = {
+  fi_off : int array;
+      (** fanin row offsets, length [n_gates + 1]: gate [g]'s fanin
+          nodes live at [fi_node.(fi_off.(g)) .. fi_node.(fi_off.(g+1) - 1)] *)
+  fi_node : int array;
+      (** encoded fanin nodes, in [gate.fanin] order: [Gate g] is [g],
+          [Pi i] is [-i - 1] *)
+  po_node : int array;  (** encoded primary-output nodes, in {!pos} order *)
+  po_base : int;
+      (** [fi_off.(n_gates)]: the primary-output segment's base in a
+          fold-slot-indexed scratch plane *)
+  fold_slots : int;
+      (** [po_base + n_pos]: total slots a per-operand scratch plane
+          needs (one per fanin edge plus one per primary output) *)
+  fo_off : int array;  (** fanout row offsets, length [n_gates + 1] *)
+  fo_consumer : int array;  (** consumer gate id per fanout entry *)
+  fo_mult : float array;  (** pin multiplicity, pre-converted to float *)
+  fo_cin : float array;  (** consumer cell input capacitance [C_in] *)
+  g_t_int : float array;  (** per-gate cell intrinsic delay *)
+  g_drive : float array;  (** per-gate cell drive resistance *)
+  g_wire_load : float array;  (** per-gate output wire capacitance *)
+  g_max_size : float array;  (** per-gate size upper bound *)
+}
+(** Entries of one fanout row appear in {!fanout}-list order, so a fold
+    over the row accumulates in the same floating-point order as
+    {!load}. *)
+
+val flat : t -> flat
+
 type stats = {
   gates_count : int;
   pi_count : int;

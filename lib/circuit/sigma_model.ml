@@ -6,18 +6,21 @@ type t =
 
 let paper_default = Proportional 0.25
 
-let sigma t mu =
+(* [@inline]: called once per gate per timing evaluation from the flat
+   sweeps (Sta.Arena); without inlining the classic-mode call boundary
+   boxes the float argument and result. *)
+let[@inline] sigma t mu =
   match t with
   | Zero -> 0.
   | Proportional k -> k *. mu
   | Affine { base; ratio } -> base +. (ratio *. mu)
   | Constant s -> s
 
-let var t mu =
+let[@inline] var t mu =
   let s = sigma t mu in
   s *. s
 
-let dvar_dmu t mu =
+let[@inline] dvar_dmu t mu =
   match t with
   | Zero -> 0.
   | Proportional k -> 2. *. k *. k *. mu

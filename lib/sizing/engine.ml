@@ -90,67 +90,96 @@ let c_rung_gentler = Util.Instr.counter "engine.recovery.gentler_penalty"
 let c_rung_baseline = Util.Instr.counter "engine.recovery.baseline_fallback"
 let t_solve = Util.Instr.timer "engine.solve"
 
-let evaluate ?pool ~model net ~sizes =
-  let res = Sta.Ssta.analyze ?pool ~model net ~sizes in
+let evaluate ?pool ?arena ~model net ~sizes =
+  let res = Sta.Ssta.analyze ?pool ?arena ~model net ~sizes in
   (res, Netlist.area net ~sizes)
 
 (* The reverse sweep is linear in its seed, so the gradient for any
    functional f(mu, var) is df/dmu * grad_mu + df/dvar * grad_var.  One
-   cache entry holds the forward result and both basis gradients for the
-   most recent point, so objective and constraint closures evaluated at
-   the same iterate share the timing analysis. *)
+   cache entry holds the circuit moments and both basis gradients for
+   the most recent point, so objective and constraint closures evaluated
+   at the same iterate share the timing analysis.  All buffers are
+   allocated once and overwritten in place on each miss: together with
+   the allocation-free arena sweeps underneath, a steady-state solver
+   evaluation puts nothing on the heap from the timing path. *)
 type cache_entry = {
   cx : float array;
-  res : Sta.Ssta.result;
+  cmom : float array;
   grad_mu : float array;
   grad_var : float array;
+  mutable filled : bool;
 }
 
-let basis_mu _ = { Sta.Ssta.d_mu = 1.; d_var = 0. }
-let basis_var _ = { Sta.Ssta.d_mu = 0.; d_var = 1. }
+let circuit_mu_of e = e.cmom.(0)
+let circuit_var_of e = e.cmom.(1)
 
-let make_cache ?pool ?timing ~model net =
-  let cache : cache_entry option ref = ref None in
+let make_cache ?pool ?timing ?arena ~model net =
+  let n = Netlist.n_gates net in
+  let entry =
+    {
+      cx = Array.make (max 1 n) nan;
+      cmom = Array.make 2 0.;
+      grad_mu = Array.make (max 1 n) 0.;
+      grad_var = Array.make (max 1 n) 0.;
+      filled = false;
+    }
+  in
+  (* From-scratch path: one private arena (or the caller's), forward
+     once per miss, one reverse per basis seed. *)
+  let arena =
+    lazy
+      (match arena with
+      | Some a ->
+          if not (Sta.Arena.netlist a == net) then
+            invalid_arg "Engine: arena was created for a different netlist";
+          a
+      | None -> Sta.Arena.create net)
+  in
   fun x ->
-    match !cache with
-    | Some e when Array.for_all2 (fun a b -> a = b) e.cx x ->
-        Util.Instr.incr c_cache_hits;
-        e
-    | _ ->
-        Util.Instr.incr c_cache_misses;
-        let res, grad_mu, grad_var =
-          match timing with
-          | Some eng ->
-              (* The incremental engine re-times only the fan-out cone of
-                 the delta against the previous iterate, and the second
-                 basis differentiation hits its forward cache outright
-                 (zero dirty gates).  Exact mode: bit-identical to the
-                 from-scratch path below. *)
-              let res, grad_mu =
-                Sta.Incr.value_and_gradient eng ~sizes:x ~seed:basis_mu
-              in
-              (res, grad_mu, Sta.Incr.gradient eng ~sizes:x ~seed:basis_var)
-          | None ->
-              let res, grad_mu =
-                Sta.Ssta.value_and_gradient ?pool ~model net ~sizes:x ~seed:basis_mu
-              in
-              ( res,
-                grad_mu,
-                Sta.Ssta.gradient ?pool ~model net ~sizes:x ~seed:basis_var )
-        in
-        let e = { cx = Array.copy x; res; grad_mu; grad_var } in
-        cache := Some e;
-        e
+    if entry.filled && Array.for_all2 (fun a b -> a = b) entry.cx x then begin
+      Util.Instr.incr c_cache_hits;
+      entry
+    end
+    else begin
+      Util.Instr.incr c_cache_misses;
+      (match timing with
+      | Some eng ->
+          (* The incremental engine re-times only the fan-out cone of
+             the delta against the previous iterate, and the second
+             basis differentiation hits its forward cache outright (zero
+             dirty gates).  Exact mode: bit-identical to the
+             from-scratch path below. *)
+          Sta.Incr.analyze_raw eng ~sizes:x;
+          let a = Sta.Incr.arena eng in
+          entry.cmom.(0) <- Sta.Arena.circuit_mu a;
+          entry.cmom.(1) <- Sta.Arena.circuit_var a;
+          Sta.Incr.gradient_into eng ~sizes:x ~d_mu:1. ~d_var:0.
+            ~out:entry.grad_mu;
+          Sta.Incr.gradient_into eng ~sizes:x ~d_mu:0. ~d_var:1.
+            ~out:entry.grad_var
+      | None ->
+          let a = Lazy.force arena in
+          Sta.Ssta.forward_raw ?pool ~model a ~sizes:x;
+          entry.cmom.(0) <- Sta.Arena.circuit_mu a;
+          entry.cmom.(1) <- Sta.Arena.circuit_var a;
+          Sta.Ssta.reverse_raw ?pool ~model a ~d_mu:1. ~d_var:0.;
+          Array.blit a.Sta.Arena.grad 0 entry.grad_mu 0 n;
+          Sta.Ssta.reverse_raw ?pool ~model a ~d_mu:0. ~d_var:1.;
+          Array.blit a.Sta.Arena.grad 0 entry.grad_var 0 n);
+      Array.blit x 0 entry.cx 0 n;
+      entry.filled <- true;
+      entry
+    end
 
 (* grad (mu + k*sigma) from the basis gradients. *)
 let combine ~k entry =
-  let var = Normal.var entry.res.Sta.Ssta.circuit in
+  let var = circuit_var_of entry in
   let dvar = if k = 0. || var <= 0. then 0. else k /. (2. *. sqrt var) in
   Array.init (Array.length entry.grad_mu) (fun i ->
       entry.grad_mu.(i) +. (dvar *. entry.grad_var.(i)))
 
 let sigma_gradient entry =
-  let var = Normal.var entry.res.Sta.Ssta.circuit in
+  let var = circuit_var_of entry in
   let dvar = if var <= 0. then 0. else 1. /. (2. *. sqrt var) in
   Array.map (fun g -> dvar *. g) entry.grad_var
 
@@ -158,13 +187,13 @@ let area_objective net x =
   let grad = Array.map (fun (g : Netlist.gate) -> g.Netlist.cell.Cell.area) (Netlist.gates net) in
   (Netlist.area net ~sizes:x, grad)
 
-let build_problem ?pool ?timing ~model net objective =
+let build_problem ?pool ?timing ?arena ~model net objective =
   let bounds =
     Nlp.Problem.bounds ~lower:(Netlist.min_sizes net) ~upper:(Netlist.max_sizes net)
   in
-  let lookup = make_cache ?pool ?timing ~model net in
-  let mu_of e = Normal.mu e.res.Sta.Ssta.circuit in
-  let sigma_of e = Normal.sigma e.res.Sta.Ssta.circuit in
+  let lookup = make_cache ?pool ?timing ?arena ~model net in
+  let mu_of = circuit_mu_of in
+  let sigma_of e = sqrt (circuit_var_of e) in
   match objective with
   | Objective.Min_area ->
       Nlp.Problem.constrain
@@ -325,6 +354,12 @@ let rec solve_impl ?(options = default_options) ?pool ?timing ~model net objecti
         match timing with
         | Some _ as t -> t
         | None -> if options.incremental then Some (Sta.Incr.create ?pool ~model net) else None
+      in
+      (* One snapshot arena for the final reporting evaluations (never
+         the incremental engine's — that one owns its planes). *)
+      let snap_arena = lazy (Sta.Arena.create net) in
+      let evaluate_snap sizes =
+        evaluate ?pool ~arena:(Lazy.force snap_arena) ~model net ~sizes
       in
       let problem = build_problem ?pool ?timing ~model net objective in
       let problem =
@@ -495,7 +530,7 @@ let rec solve_impl ?(options = default_options) ?pool ?timing ~model net objecti
       | Some sizes ->
           (* Graceful degrade: deterministic sizes, statistical report, and
              the failure trail preserved in [recovery]/[termination]. *)
-          let timing, area = evaluate ?pool ~model net ~sizes in
+          let timing, area = evaluate_snap sizes in
           let nc = Normal.mu timing.Sta.Ssta.circuit
           and sc = Normal.sigma timing.Sta.Ssta.circuit in
           let max_violation =
@@ -519,7 +554,7 @@ let rec solve_impl ?(options = default_options) ?pool ?timing ~model net objecti
           in
           if not (baseline_wins max_violation) then begin
             let sizes = report.Nlp.Auglag.x in
-            let timing, area = evaluate ?pool ~model net ~sizes in
+            let timing, area = evaluate_snap sizes in
             {
               objective;
               sizes;
@@ -554,7 +589,7 @@ let rec solve_impl ?(options = default_options) ?pool ?timing ~model net objecti
             }
       | None ->
           let sizes = report.Nlp.Auglag.x in
-          let timing, area = evaluate ?pool ~model net ~sizes in
+          let timing, area = evaluate_snap sizes in
           {
             objective;
             sizes;

@@ -130,23 +130,29 @@ val solve :
 
 val evaluate :
   ?pool:Util.Pool.t ->
+  ?arena:Sta.Arena.t ->
   model:Circuit.Sigma_model.t ->
   Circuit.Netlist.t ->
   sizes:float array ->
   Sta.Ssta.result * float
 (** Forward timing and area of a given sizing — used to report rows for
-    fixed (e.g. all-min) sizings. *)
+    fixed (e.g. all-min) sizings.  [arena] reuses a flat {!Sta.Arena}'s
+    planes for the sweep. *)
 
 type cache_entry = {
   cx : float array;  (** the point the entry was computed at *)
-  res : Sta.Ssta.result;  (** forward timing at [cx] *)
+  cmom : float array;
+      (** circuit moments at [cx]: [cmom.(0)] the mean, [cmom.(1)] the
+          variance of {m T_{max}} *)
   grad_mu : float array;  (** gradient of {m \mu_{T_{max}}} *)
   grad_var : float array;  (** gradient of {m \sigma^2_{T_{max}}} *)
+  mutable filled : bool;  (** false only before the first evaluation *)
 }
 
 val make_cache :
   ?pool:Util.Pool.t ->
   ?timing:Sta.Incr.t ->
+  ?arena:Sta.Arena.t ->
   model:Circuit.Sigma_model.t ->
   Circuit.Netlist.t ->
   float array ->
@@ -161,13 +167,15 @@ val make_cache :
     constraint closures evaluated at one iterate share a single timing
     analysis.  With [timing], cache misses evaluate through the
     incremental engine (dirty-cone re-timing; the second basis gradient
-    hits its forward cache) instead of from-scratch sweeps.  The
-    returned entry's arrays are owned by the cache; callers must not
-    mutate them. *)
+    hits its forward cache); otherwise through allocation-free sweeps on
+    [arena] (or a private {!Sta.Arena}).  The single entry and its
+    buffers are allocated once and overwritten in place — callers must
+    not mutate or retain them across calls. *)
 
 val build_problem :
   ?pool:Util.Pool.t ->
   ?timing:Sta.Incr.t ->
+  ?arena:Sta.Arena.t ->
   model:Circuit.Sigma_model.t ->
   Circuit.Netlist.t ->
   Objective.t ->

@@ -20,6 +20,7 @@ type t = {
   max_steps : max_step list;  (* all intermediate two-operand maxima *)
   tmax : operand;  (* circuit-level distribution *)
   problem : Nlp.Problem.constrained;
+  arena : Sta.Arena.t;  (* reused by every forward evaluation on [net] *)
 }
 
 let operand_value x = function
@@ -320,6 +321,7 @@ let build ?(pi_arrival = fun _ -> Normal.deterministic 0.) ?(linearized = true) 
     max_steps = !max_steps;
     tmax;
     problem;
+    arena = Sta.Arena.create net;
   }
 
 let n_variables t = t.dim
@@ -331,7 +333,10 @@ let sizes_of t x = Array.map (fun ix -> x.(ix)) t.s_ix
 let consistent_point t ~sizes =
   let net = t.net in
   Netlist.check_sizes net sizes;
-  let res = Sta.Ssta.analyze ~pi_arrival:t.pi_arrival ~model:t.model net ~sizes in
+  let res =
+    Sta.Ssta.analyze ~arena:t.arena ~pi_arrival:t.pi_arrival ~model:t.model net
+      ~sizes
+  in
   let x = Array.make t.dim 0. in
   Array.iteri (fun g ix -> x.(ix) <- sizes.(g)) t.s_ix;
   Array.iteri
@@ -390,7 +395,7 @@ let solve ?(solver = default_solver_options) ?(start = `Mid) t =
       let cell = (Netlist.gate t.net g).Netlist.cell in
       sizes.(g) <- Util.Numerics.clamp ~lo:1. ~hi:cell.Cell.max_size s)
     sizes;
-  let timing, area = Engine.evaluate ~model:t.model t.net ~sizes in
+  let timing, area = Engine.evaluate ~arena:t.arena ~model:t.model t.net ~sizes in
   {
     Engine.objective = t.objective;
     sizes;

@@ -1,0 +1,367 @@
+open Circuit
+open Statdelay
+
+(* Flat structure-of-arrays timing state shared by every STA engine.
+
+   One arena holds every per-gate and per-fold-step quantity of a
+   statistical timing analysis in unboxed [float array] planes, indexed
+   by gate id (or by fold slot, see Netlist.flat).  All planes are
+   allocated once in [create]; the forward and reverse sweeps then write
+   in place, so a steady-state evaluation — the inner loop of an
+   augmented-Lagrangian sizing solve — allocates nothing on the OCaml
+   heap.
+
+   Bit-identity contract: the sweeps perform the same floating-point
+   operations in the same order as the boxed reference implementation
+   (Ssta.Boxed), via the flat Clark kernels (Clark.max2_into and
+   friends), so arrivals, circuit moments and gradients are
+   Int64-bit-identical to the record-returning path at 1, 2 or 4
+   domains.  test/test_arena.ml enforces this differentially.
+
+   Scratch-plane layout.  A gate's fanin fold of Clark.max2 owns the
+   slot range [fi_off.(g) .. fi_off.(g+1) - 1] of the [pre_*] (prefix
+   moments), [fadj_*] (per-operand adjoints) and [pp] (8 partials per
+   step) planes; the primary-output fold owns the trailing
+   [po_base .. po_base + n_pos - 1] segment.  Ranges are disjoint across
+   gates, which is what lets the level-parallel phases write without
+   synchronisation while keeping the serial scatter order fixed (the
+   same two-phase scheme as the boxed sweeps). *)
+
+type t = {
+  net : Netlist.t;
+  flat : Netlist.flat;
+  buckets : int array array;
+  n : int;  (** gate count; every per-gate plane has this length *)
+  (* -- forward state, valid after [forward] -- *)
+  sizes : float array;  (** copy of the last sizes swept *)
+  load : float array;
+  del_mu : float array;  (** gate delay mean [mu_t] *)
+  del_var : float array;  (** gate delay variance *)
+  arr_mu : float array;  (** arrival mean per gate *)
+  arr_var : float array;
+  pre_mu : float array;  (** fold-slot plane: prefix maxima of each fold *)
+  pre_var : float array;
+  pi_mu : float array;  (** primary-input arrivals (zero by default) *)
+  pi_var : float array;
+  (* -- reverse state, valid after [reverse] -- *)
+  pp : float array;  (** fold-slot plane x8: Clark partials per fold step *)
+  adj_mu : float array;  (** arrival adjoints per gate *)
+  adj_var : float array;
+  dmu_t : float array;  (** gate-delay mean adjoint per gate *)
+  active : bool array;  (** gate has a non-zero arrival adjoint *)
+  fadj_mu : float array;  (** fold-slot plane: per-operand adjoints *)
+  fadj_var : float array;
+  grad : float array;  (** d(seeded objective)/d(size) per gate *)
+}
+
+let create net =
+  let n = Netlist.n_gates net in
+  let fl = Netlist.flat net in
+  let fs = fl.Netlist.fold_slots in
+  let npi = max 1 (Netlist.n_pis net) in
+  {
+    net;
+    flat = fl;
+    buckets = Netlist.level_buckets net;
+    n;
+    sizes = Array.make (max 1 n) 0.;
+    load = Array.make (max 1 n) 0.;
+    del_mu = Array.make (max 1 n) 0.;
+    del_var = Array.make (max 1 n) 0.;
+    arr_mu = Array.make (max 1 n) 0.;
+    arr_var = Array.make (max 1 n) 0.;
+    pre_mu = Array.make fs 0.;
+    pre_var = Array.make fs 0.;
+    pi_mu = Array.make npi 0.;
+    pi_var = Array.make npi 0.;
+    pp = Array.make (Clark.partials_width * fs) 0.;
+    adj_mu = Array.make (max 1 n) 0.;
+    adj_var = Array.make (max 1 n) 0.;
+    dmu_t = Array.make (max 1 n) 0.;
+    active = Array.make (max 1 n) false;
+    fadj_mu = Array.make fs 0.;
+    fadj_var = Array.make fs 0.;
+    grad = Array.make (max 1 n) 0.;
+  }
+
+let netlist t = t.net
+
+(* ---- primary-input arrivals ------------------------------------------------- *)
+
+(* The boxed sweeps query a [pi_arrival] closure at every operand
+   occurrence; the arena samples it once per PI into planes.  Identical
+   by the Pool determinism contract (the closure must be pure). *)
+let set_pi_arrival t f =
+  for i = 0 to Netlist.n_pis t.net - 1 do
+    let d = f i in
+    t.pi_mu.(i) <- Normal.mu d;
+    t.pi_var.(i) <- Normal.var d
+  done
+
+let clear_pi_arrival t =
+  Array.fill t.pi_mu 0 (Array.length t.pi_mu) 0.;
+  Array.fill t.pi_var 0 (Array.length t.pi_var) 0.
+
+(* ---- instrumentation and level scheduling ----------------------------------- *)
+
+(* Shared with Ssta's boxed sweeps so bench sections aggregate. *)
+let c_par_levels = Util.Instr.counter "ssta.parallel_levels"
+let c_ser_levels = Util.Instr.counter "ssta.serial_levels"
+let level_grain = 16
+
+(* ---- size validation -------------------------------------------------------- *)
+
+(* Same checks, same exceptions, same messages as Netlist.check_sizes —
+   but loop-and-compare over the flat planes, with the message built
+   only in the cold failure branch. *)
+let bad_size t id s =
+  invalid_arg
+    (Printf.sprintf "Netlist.check_sizes: size %g of gate %s outside [1, %g]" s
+       (Netlist.gate t.net id).Netlist.gate_name
+       t.flat.Netlist.g_max_size.(id))
+
+let check_sizes t (sizes : float array) =
+  if Array.length sizes <> t.n then
+    invalid_arg "Netlist.check_sizes: dimension mismatch";
+  for id = 0 to t.n - 1 do
+    let s = sizes.(id) in
+    if s < 1. -. 1e-9 || s > t.flat.Netlist.g_max_size.(id) +. 1e-9 then
+      bad_size t id s
+  done
+
+(* ---- forward sweep ---------------------------------------------------------- *)
+
+(* One gate: load (CSR fold in fanout-list order, Netlist.load's exact
+   accumulation), delay moments (Cell.delay + Sigma_model.var with
+   Normal.of_var's validation unfolded), fanin fold of Clark.max2 into
+   this gate's prefix slots, arrival = fold + delay. *)
+let eval_gate t model id =
+  let fl = t.flat in
+  let sizes = t.sizes in
+  let acc = ref fl.Netlist.g_wire_load.(id) in
+  let j1 = fl.Netlist.fo_off.(id + 1) in
+  for j = fl.Netlist.fo_off.(id) to j1 - 1 do
+    acc :=
+      !acc
+      +. fl.Netlist.fo_mult.(j)
+         *. (fl.Netlist.fo_cin.(j) *. sizes.(fl.Netlist.fo_consumer.(j)))
+  done;
+  let load = !acc in
+  t.load.(id) <- load;
+  let s = sizes.(id) in
+  if s < 1. then invalid_arg "Cell.delay: size below 1";
+  let mu_t = fl.Netlist.g_t_int.(id) +. (fl.Netlist.g_drive.(id) *. load /. s) in
+  let var_t = Sigma_model.var model mu_t in
+  (* Normal.of_var, unfolded to avoid the record. *)
+  let var_t =
+    if var_t < 0. then
+      if var_t > -1e-12 then 0.
+      else invalid_arg "Normal.of_var: negative variance"
+    else var_t
+  in
+  t.del_mu.(id) <- mu_t;
+  t.del_var.(id) <- var_t;
+  let base = fl.Netlist.fi_off.(id) in
+  let k = fl.Netlist.fi_off.(id + 1) - base in
+  let e0 = fl.Netlist.fi_node.(base) in
+  if e0 >= 0 then begin
+    t.pre_mu.(base) <- t.arr_mu.(e0);
+    t.pre_var.(base) <- t.arr_var.(e0)
+  end
+  else begin
+    t.pre_mu.(base) <- t.pi_mu.(-e0 - 1);
+    t.pre_var.(base) <- t.pi_var.(-e0 - 1)
+  end;
+  for j = 1 to k - 1 do
+    let e = fl.Netlist.fi_node.(base + j) in
+    let mu_b = if e >= 0 then t.arr_mu.(e) else t.pi_mu.(-e - 1) in
+    let var_b = if e >= 0 then t.arr_var.(e) else t.pi_var.(-e - 1) in
+    Clark.max2_into
+      ~mu_a:t.pre_mu.(base + j - 1)
+      ~var_a:t.pre_var.(base + j - 1)
+      ~mu_b ~var_b t.pre_mu t.pre_var (base + j)
+  done;
+  Clark.add_into
+    ~mu_a:t.pre_mu.(base + k - 1)
+    ~var_a:t.pre_var.(base + k - 1)
+    ~mu_b:mu_t ~var_b:var_t t.arr_mu t.arr_var id
+
+(* Primary-output fold into the trailing fold-slot segment; the circuit
+   moments end up in the segment's last slot. *)
+let fold_pos t =
+  let fl = t.flat in
+  let base = fl.Netlist.po_base in
+  let m = Array.length fl.Netlist.po_node in
+  let e0 = fl.Netlist.po_node.(0) in
+  if e0 >= 0 then begin
+    t.pre_mu.(base) <- t.arr_mu.(e0);
+    t.pre_var.(base) <- t.arr_var.(e0)
+  end
+  else begin
+    t.pre_mu.(base) <- t.pi_mu.(-e0 - 1);
+    t.pre_var.(base) <- t.pi_var.(-e0 - 1)
+  end;
+  for j = 1 to m - 1 do
+    let e = fl.Netlist.po_node.(j) in
+    let mu_b = if e >= 0 then t.arr_mu.(e) else t.pi_mu.(-e - 1) in
+    let var_b = if e >= 0 then t.arr_var.(e) else t.pi_var.(-e - 1) in
+    Clark.max2_into
+      ~mu_a:t.pre_mu.(base + j - 1)
+      ~var_a:t.pre_var.(base + j - 1)
+      ~mu_b ~var_b t.pre_mu t.pre_var (base + j)
+  done
+
+let[@inline] circuit_mu t =
+  t.pre_mu.(t.flat.Netlist.po_base + Array.length t.flat.Netlist.po_node - 1)
+
+let[@inline] circuit_var t =
+  t.pre_var.(t.flat.Netlist.po_base + Array.length t.flat.Netlist.po_node - 1)
+
+let forward ?pool ~model t ~sizes =
+  check_sizes t sizes;
+  Array.blit sizes 0 t.sizes 0 t.n;
+  let buckets = t.buckets in
+  (match pool with
+  | Some p when Util.Pool.size p > 1 ->
+      Array.iter
+        (fun bucket ->
+          let n = Array.length bucket in
+          if n >= 2 * level_grain then begin
+            Util.Instr.incr c_par_levels;
+            Util.Pool.parallel_for ~grain:level_grain p ~n (fun i ->
+                eval_gate t model bucket.(i))
+          end
+          else begin
+            Util.Instr.incr c_ser_levels;
+            for i = 0 to n - 1 do
+              eval_gate t model bucket.(i)
+            done
+          end)
+        buckets
+  | _ ->
+      (* Serial fast path: plain nested loops, no closures — this is
+         the allocation-free branch the zero-alloc regression pins. *)
+      for l = 0 to Array.length buckets - 1 do
+        Util.Instr.incr c_ser_levels;
+        let bucket = buckets.(l) in
+        for i = 0 to Array.length bucket - 1 do
+          eval_gate t model bucket.(i)
+        done
+      done);
+  fold_pos t
+
+(* ---- reverse sweep ---------------------------------------------------------- *)
+
+(* Phase 1 of one gate (write-disjoint, parallelisable): fold the
+   arrival adjoint through the gate's recorded fanin fold.  The forward
+   sweep's prefix slots still hold this gate's fold prefixes, so the
+   partials are computed from stored moments instead of re-folding —
+   the same values bit-for-bit, since the boxed path recomputes them
+   with identical operations. *)
+let phase1_gate t model id =
+  let fl = t.flat in
+  let a_mu = t.adj_mu.(id) and a_var = t.adj_var.(id) in
+  t.dmu_t.(id) <- a_mu +. (a_var *. Sigma_model.dvar_dmu model t.del_mu.(id));
+  let base = fl.Netlist.fi_off.(id) in
+  let k = fl.Netlist.fi_off.(id + 1) - base in
+  t.fadj_mu.(base) <- a_mu;
+  t.fadj_var.(base) <- a_var;
+  for j = k - 1 downto 1 do
+    let e = fl.Netlist.fi_node.(base + j) in
+    let mu_b = if e >= 0 then t.arr_mu.(e) else t.pi_mu.(-e - 1) in
+    let var_b = if e >= 0 then t.arr_var.(e) else t.pi_var.(-e - 1) in
+    Clark.partials_into
+      ~mu_a:t.pre_mu.(base + j - 1)
+      ~var_a:t.pre_var.(base + j - 1)
+      ~mu_b ~var_b t.pp (base + j);
+    Clark.backprop_apply t.pp (base + j) t.fadj_mu t.fadj_var ~acc:base
+      ~out:(base + j)
+  done
+
+(* Phase 2 of one gate (serial, fixed order): scatter the gradient
+   contributions of mu_t = t_int + drive * load / S and the fanin
+   adjoints into the shared accumulators — the same expressions and the
+   same accumulation order as the boxed phase 2. *)
+let phase2_gate t id =
+  if t.active.(id) then begin
+    let fl = t.flat in
+    let dmu_t = t.dmu_t.(id) in
+    let drive = fl.Netlist.g_drive.(id) in
+    let s_g = t.sizes.(id) in
+    t.grad.(id) <-
+      t.grad.(id) -. (dmu_t *. drive *. t.load.(id) /. (s_g *. s_g));
+    let j1 = fl.Netlist.fo_off.(id + 1) in
+    for j = fl.Netlist.fo_off.(id) to j1 - 1 do
+      let c = fl.Netlist.fo_consumer.(j) in
+      t.grad.(c) <-
+        t.grad.(c)
+        +. dmu_t *. drive *. fl.Netlist.fo_mult.(j) *. fl.Netlist.fo_cin.(j)
+           /. s_g
+    done;
+    let base = fl.Netlist.fi_off.(id) in
+    let k = fl.Netlist.fi_off.(id + 1) - base in
+    for i = 0 to k - 1 do
+      let e = fl.Netlist.fi_node.(base + i) in
+      if e >= 0 then begin
+        t.adj_mu.(e) <- t.adj_mu.(e) +. t.fadj_mu.(base + i);
+        t.adj_var.(e) <- t.adj_var.(e) +. t.fadj_var.(base + i)
+      end
+    done
+  end
+
+let reverse ?pool ~model t ~d_mu ~d_var =
+  let fl = t.flat in
+  Array.fill t.adj_mu 0 t.n 0.;
+  Array.fill t.adj_var 0 t.n 0.;
+  Array.fill t.grad 0 t.n 0.;
+  Array.fill t.active 0 t.n false;
+  (* Seed the primary-output fold and scatter its per-operand adjoints
+     (ascending PO order, as the boxed sweep does). *)
+  let base = fl.Netlist.po_base in
+  let m = Array.length fl.Netlist.po_node in
+  t.fadj_mu.(base) <- d_mu;
+  t.fadj_var.(base) <- d_var;
+  for j = m - 1 downto 1 do
+    let e = fl.Netlist.po_node.(j) in
+    let mu_b = if e >= 0 then t.arr_mu.(e) else t.pi_mu.(-e - 1) in
+    let var_b = if e >= 0 then t.arr_var.(e) else t.pi_var.(-e - 1) in
+    Clark.partials_into
+      ~mu_a:t.pre_mu.(base + j - 1)
+      ~var_a:t.pre_var.(base + j - 1)
+      ~mu_b ~var_b t.pp (base + j);
+    Clark.backprop_apply t.pp (base + j) t.fadj_mu t.fadj_var ~acc:base
+      ~out:(base + j)
+  done;
+  for i = 0 to m - 1 do
+    let e = fl.Netlist.po_node.(i) in
+    if e >= 0 then begin
+      t.adj_mu.(e) <- t.adj_mu.(e) +. t.fadj_mu.(base + i);
+      t.adj_var.(e) <- t.adj_var.(e) +. t.fadj_var.(base + i)
+    end
+  done;
+  let buckets = t.buckets in
+  for l = Array.length buckets - 1 downto 0 do
+    let bucket = buckets.(l) in
+    let n = Array.length bucket in
+    (match pool with
+    | Some p when Util.Pool.size p > 1 && n >= 2 * level_grain ->
+        Util.Instr.incr c_par_levels;
+        Util.Pool.parallel_for ~grain:level_grain p ~n (fun i ->
+            let id = bucket.(i) in
+            if t.adj_mu.(id) <> 0. || t.adj_var.(id) <> 0. then begin
+              t.active.(id) <- true;
+              phase1_gate t model id
+            end)
+    | _ ->
+        Util.Instr.incr c_ser_levels;
+        for i = 0 to n - 1 do
+          let id = bucket.(i) in
+          if t.adj_mu.(id) <> 0. || t.adj_var.(id) <> 0. then begin
+            t.active.(id) <- true;
+            phase1_gate t model id
+          end
+        done);
+    for i = n - 1 downto 0 do
+      phase2_gate t bucket.(i)
+    done
+  done

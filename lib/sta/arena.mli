@@ -1,0 +1,104 @@
+(** Flat structure-of-arrays timing state shared by every STA engine.
+
+    An arena packs all per-gate and per-fold-step state of a statistical
+    timing analysis into unboxed [float array] planes indexed by gate id
+    (or by fold slot — see {!Circuit.Netlist.flat}), allocated once per
+    circuit by {!create}.  {!forward} and {!reverse} then sweep in
+    place: a steady-state evaluation allocates zero words on the OCaml
+    heap, which is what collapses minor-GC traffic in sizing solves
+    (DESIGN.md Section 9).
+
+    The sweeps perform bit-identical floating-point operations to the
+    boxed reference ({!Ssta.Boxed}), via the in-place Clark kernels, at
+    any pool width — [test/test_arena.ml] enforces Int64 equality of
+    arrivals, circuit moments and gradients differentially.
+
+    The record is exposed so the engines built on top ([Ssta], [Incr],
+    [Mcsta], [Sizing.Engine]) and the differential tests can read the
+    planes directly.  Treat it as read-only outside [lib/sta]; the
+    layout is engine-internal and may change. *)
+
+type t = {
+  net : Circuit.Netlist.t;
+  flat : Circuit.Netlist.flat;
+  buckets : int array array;
+  n : int;  (** gate count; every per-gate plane has this length *)
+  sizes : float array;  (** copy of the sizes last swept by {!forward} *)
+  load : float array;  (** capacitive load per gate *)
+  del_mu : float array;  (** gate delay mean *)
+  del_var : float array;  (** gate delay variance *)
+  arr_mu : float array;  (** arrival mean per gate *)
+  arr_var : float array;  (** arrival variance per gate *)
+  pre_mu : float array;  (** fold-slot plane: prefix maxima of each fold *)
+  pre_var : float array;
+  pi_mu : float array;  (** primary-input arrival means (zero by default) *)
+  pi_var : float array;
+  pp : float array;  (** fold-slot plane x8: Clark partials per fold step *)
+  adj_mu : float array;  (** arrival mean adjoint per gate *)
+  adj_var : float array;
+  dmu_t : float array;  (** gate-delay mean adjoint per gate *)
+  active : bool array;  (** gate has a non-zero arrival adjoint *)
+  fadj_mu : float array;  (** fold-slot plane: per-operand adjoints *)
+  fadj_var : float array;
+  grad : float array;  (** gradient w.r.t. gate sizes, after {!reverse} *)
+}
+
+val create : Circuit.Netlist.t -> t
+(** Allocates every plane (the only allocation site).  O(gates + fanin
+    edges) words; reusable across any number of sweeps. *)
+
+val netlist : t -> Circuit.Netlist.t
+
+val set_pi_arrival : t -> (int -> Statdelay.Normal.t) -> unit
+(** Samples a primary-input arrival closure into the [pi_*] planes (the
+    boxed engines' [?pi_arrival] argument). *)
+
+val clear_pi_arrival : t -> unit
+(** Resets primary inputs to the default deterministic-zero arrival. *)
+
+val check_sizes : t -> float array -> unit
+(** {!Circuit.Netlist.check_sizes} — same checks, same exceptions, same
+    messages — as a flat loop over the planes (no closure, no
+    allocation on the success path). *)
+
+val forward :
+  ?pool:Util.Pool.t -> model:Circuit.Sigma_model.t -> t -> sizes:float array -> unit
+(** Levelized forward sweep: loads, gate delay moments, fanin folds,
+    arrivals, primary-output fold.  Validates [sizes] (as
+    {!check_sizes} plus [Cell.delay]'s size-below-1 guard) and copies
+    them into the arena.  Allocation-free when [pool] is absent or has
+    size 1. *)
+
+val reverse :
+  ?pool:Util.Pool.t ->
+  model:Circuit.Sigma_model.t ->
+  t ->
+  d_mu:float ->
+  d_var:float ->
+  unit
+(** Adjoint sweep seeded with [(d_mu, d_var)] on the circuit
+    distribution; requires the state left by {!forward}.  Fills [grad]
+    (and the adjoint planes).  Same two-phase levelized schedule as the
+    boxed sweep, so results are bit-identical at any pool width.
+    Allocation-free in serial mode. *)
+
+val fold_pos : t -> unit
+(** Re-runs only the primary-output fold over the current [arr_*]
+    planes (the tail step of {!forward}), for engines ({!Incr}) that
+    update arrivals selectively. *)
+
+val circuit_mu : t -> float
+(** Circuit-level max arrival mean, after {!forward}. *)
+
+val circuit_var : t -> float
+
+val phase2_gate : t -> int -> unit
+(** One gate's serial scatter step of the reverse sweep (gradient
+    contributions of [mu_t] plus the fanin adjoint scatter), exposed for
+    {!Incr}, whose phase 1 differs (partials caching) but whose phase 2
+    must replay exactly these accumulations.  Requires [dmu_t], the
+    [fadj_*] segment and [active] for the gate to be set. *)
+
+val level_grain : int
+(** Minimum bucket width (per the [2 * grain] rule) before a level is
+    handed to the pool — same threshold as the boxed sweeps. *)

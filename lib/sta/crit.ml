@@ -36,13 +36,16 @@ let trace net arrival gate_delay mark =
   in
   match last with None -> () | Some g -> walk g
 
-let monte_carlo ?rng ~model net ~sizes ~n =
+let monte_carlo ?rng ?arena ~model net ~sizes ~n =
   if n <= 0 then invalid_arg "Crit.monte_carlo: n must be positive";
   let rng = match rng with Some r -> r | None -> Util.Rng.create 23 in
-  let dists = (Ssta.analyze ~model net ~sizes).Ssta.gate_delay in
+  let dists = (Ssta.analyze ?arena ~model net ~sizes).Ssta.gate_delay in
   let n_gates = Netlist.n_gates net in
   let counts = Array.make n_gates 0 in
   let gate_delay = Array.make n_gates 0. in
+  (* One arrival scratch for all samples — the per-sample propagation
+     allocates nothing. *)
+  let arrival = Array.make n_gates 0. in
   for _ = 1 to n do
     for g = 0 to n_gates - 1 do
       let d = dists.(g) in
@@ -50,8 +53,8 @@ let monte_carlo ?rng ~model net ~sizes ~n =
         Util.Rng.gaussian rng ~mu:(Statdelay.Normal.mu d)
           ~sigma:(Statdelay.Normal.sigma d)
     done;
-    let r = Dsta.analyze_with_delays net ~gate_delay in
-    trace net r.Dsta.arrival gate_delay (fun g -> counts.(g) <- counts.(g) + 1)
+    let (_ : float) = Dsta.propagate_into net ~gate_delay ~arrival in
+    trace net arrival gate_delay (fun g -> counts.(g) <- counts.(g) + 1)
   done;
   {
     criticality = Array.map (fun c -> float_of_int c /. float_of_int n) counts;

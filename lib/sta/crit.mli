@@ -22,6 +22,7 @@ type result = {
 
 val monte_carlo :
   ?rng:Util.Rng.t ->
+  ?arena:Arena.t ->
   model:Circuit.Sigma_model.t ->
   Circuit.Netlist.t ->
   sizes:float array ->
@@ -29,8 +30,10 @@ val monte_carlo :
   result
 (** [n]-sample criticality estimate at the given sizing.  Each sample
     draws every gate delay from the sigma model, retimes the circuit with
-    {!Dsta.analyze_with_delays} and traces one critical path; ties are
-    broken by the randomness of the draws themselves. *)
+    {!Dsta.propagate_into} (one arrival scratch for the whole run) and
+    traces one critical path; ties are broken by the randomness of the
+    draws themselves.  [arena] reuses a flat {!Arena} for the analytic
+    sweep that supplies the delay moments. *)
 
 val ranked : result -> Circuit.Netlist.t -> (string * float) list
 (** Gate name / criticality pairs, most critical first. *)

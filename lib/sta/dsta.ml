@@ -14,11 +14,10 @@ let delays net ~sizes =
       Cell.delay g.Netlist.cell ~size:sizes.(g.Netlist.id) ~load)
     (Netlist.gates net)
 
-let analyze_with_delays ?(pi_arrival = fun _ -> 0.) net ~gate_delay =
+let propagate_into ?(pi_arrival = fun _ -> 0.) net ~gate_delay ~arrival =
   let n = Netlist.n_gates net in
-  if Array.length gate_delay <> n then
-    invalid_arg "Dsta.analyze_with_delays: dimension mismatch";
-  let arrival = Array.make n 0. in
+  if Array.length gate_delay <> n || Array.length arrival < n then
+    invalid_arg "Dsta.propagate_into: dimension mismatch";
   let node_arrival = function
     | Netlist.Pi i -> pi_arrival i
     | Netlist.Gate g -> arrival.(g)
@@ -32,11 +31,13 @@ let analyze_with_delays ?(pi_arrival = fun _ -> 0.) net ~gate_delay =
       in
       arrival.(g.Netlist.id) <- u +. gate_delay.(g.Netlist.id))
     (Netlist.gates net);
-  let circuit =
-    Array.fold_left
-      (fun acc po -> max acc (node_arrival po))
-      neg_infinity (Netlist.pos net)
-  in
+  Array.fold_left
+    (fun acc po -> max acc (node_arrival po))
+    neg_infinity (Netlist.pos net)
+
+let analyze_with_delays ?pi_arrival net ~gate_delay =
+  let arrival = Array.make (Netlist.n_gates net) 0. in
+  let circuit = propagate_into ?pi_arrival net ~gate_delay ~arrival in
   { arrival; gate_delay; circuit }
 
 let analyze ?pi_arrival net ~sizes =

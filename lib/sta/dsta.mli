@@ -29,6 +29,18 @@ val analyze_with_delays :
 (** Propagation with externally supplied per-gate delays (one Monte Carlo
     sample). *)
 
+val propagate_into :
+  ?pi_arrival:(int -> float) ->
+  Circuit.Netlist.t ->
+  gate_delay:float array ->
+  arrival:float array ->
+  float
+(** Allocation-free core of {!analyze_with_delays}: fills the
+    caller-owned [arrival] scratch (length at least [n_gates]) and
+    returns the circuit delay.  The Monte Carlo loops ({!Crit},
+    {!Yield}) reuse one scratch across all samples.  Same operations,
+    same bits as {!analyze_with_delays}. *)
+
 val required :
   Circuit.Netlist.t -> gate_delay:float array -> deadline:float -> float array
 (** Required times per gate for the given deadline (backwards pass). *)

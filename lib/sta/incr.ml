@@ -46,21 +46,25 @@ type stats = {
 (* ---- gradient reuse slots --------------------------------------------------- *)
 
 (* One reuse history per distinct seed root: the previous reverse sweep's
-   adjoints and phase-1 products (Clark-partial backprops and gate-delay
-   mean adjoints), plus the engine version they were computed against.
-   Sizing.Engine differentiates with the two constant basis seeds (1,0)
-   and (0,1), so each gets a stable slot; roots that vary per call (e.g.
-   a direct mu+3sigma seed) never pass the bitwise-adjoint guard and just
-   cycle through the LRU slots. *)
+   adjoints and phase-1 products (per-operand fold adjoints and the
+   gate-delay mean adjoints), plus the engine version they were computed
+   against — all stored as plane copies, blitted in and out, so slot
+   maintenance allocates nothing after engine creation.  Sizing.Engine
+   differentiates with the two constant basis seeds (1,0) and (0,1), so
+   each gets a stable slot; roots that vary per call (e.g. a direct
+   mu+3sigma seed) never pass the bitwise-adjoint guard and just cycle
+   through the LRU slots. *)
 type slot = {
   mutable root_mu_bits : int64;
   mutable root_var_bits : int64;
   mutable s_valid : bool;
   mutable s_version : int;
-  mutable s_adj : Ssta.seed array;
-  mutable s_active : bool array;
-  mutable s_dmu : float array;
-  mutable s_fan : Ssta.seed array array;
+  s_adj_mu : float array;  (* per gate: final arrival adjoints *)
+  s_adj_var : float array;
+  s_active : bool array;
+  s_dmu : float array;  (* per gate: gate-delay mean adjoint *)
+  s_fan_mu : float array;  (* fold-slot planes: per-operand adjoints *)
+  s_fan_var : float array;
   mutable s_bumps : int;
       (** [t.stamp_bumps] at save time: when many stamps moved since, the
           per-gate reuse checks cannot succeed and are skipped wholesale *)
@@ -75,17 +79,17 @@ type t = {
   pool : Util.Pool.t option;
   mode : mode;
   n : int;
-  (* Cached state of the last analyze. *)
-  sizes : float array;
-  arrival : Normal.t array;
-  gate_delay : Normal.t array;
-  loads : float array;
-  mutable circuit : Normal.t;
+  (* Cached state of the last analyze lives in the arena's planes: sizes,
+     loads, delay moments, arrivals and the per-gate fold prefixes
+     ([pre_*]).  The engine owns the arena exclusively — its [pp] plane
+     doubles as the point-keyed Clark-partials cache below, so nothing
+     else may run [Arena.reverse] on it. *)
+  a : Arena.t;
   mutable f_valid : bool;
       (* cached forward state may serve as a delta base; cleared by
          [invalidate] *)
   mutable initialized : bool;
-      (* the arrays hold a completed analysis (never cleared: change
+      (* the planes hold a completed analysis (never cleared: change
          stamps stay meaningful across invalidations) *)
   (* Change tracking.  [version] counts state-changing analyzes;
      [stamp_arrival.(g)] / [stamp_local.(g)] record the last version at
@@ -94,22 +98,23 @@ type t = {
   stamp_arrival : int array;
   stamp_local : int array;
   mutable stamp_bumps : int;  (* total arrival-stamp writes, ever *)
-  (* Seed-independent Clark partials of each gate's fanin fold, valid
-     while every gate-fanin arrival is unchanged since [pc_version.(g)].
-     Lets the second basis-seed gradient at the same point (and any gate
-     whose input cone is clean) replay the reverse chain with eight
-     multiplies per operand instead of re-running the Clark operators. *)
-  pc_partials : Clark.partials array array;
+  (* Seed-independent Clark partials of each gate's fanin fold, stored in
+     the arena's [pp] plane (the gate's fold-slot segment), valid while
+     every gate-fanin arrival is unchanged since [pc_version.(g)].  Lets
+     the second basis-seed gradient at the same point (and any gate whose
+     input cone is clean) replay the reverse chain with eight multiplies
+     per operand instead of re-running the Clark operators. *)
   pc_version : int array;
   pc_hit : bool array;
-  (* PO-fold partials, valid for the current version only. *)
-  mutable po_partials : Clark.partials array;
+  (* PO-fold partials (the [pp] plane's trailing segment), valid for the
+     current version only. *)
   mutable po_version : int;
   (* Scratch for one sweep. *)
   dirty : bool array;
   changed : bool array;
   changed_local : bool array;
   mutable marked : int list;
+  todo : int array;  (* phase-1 worklist, one bucket at a time *)
   (* Gradient reuse. *)
   mutable slots : slot list;
   mutable use_tick : int;
@@ -128,26 +133,21 @@ let create ?pool ?(mode = Exact) ~model net =
     pool;
     mode;
     n;
-    sizes = Array.make n 0.;
-    arrival = Array.make n (Normal.deterministic 0.);
-    gate_delay = Array.make n (Normal.deterministic 0.);
-    loads = Array.make n 0.;
-    circuit = Normal.deterministic 0.;
+    a = Arena.create net;
     f_valid = false;
     initialized = false;
     version = 0;
     stamp_arrival = Array.make n 0;
     stamp_local = Array.make n 0;
     stamp_bumps = 0;
-    pc_partials = Array.make n [||];
     pc_version = Array.make n (-1);
     pc_hit = Array.make n false;
-    po_partials = [||];
     po_version = -1;
     dirty = Array.make n false;
     changed = Array.make n false;
     changed_local = Array.make n false;
     marked = [];
+    todo = Array.make (max 1 n) 0;
     slots = [];
     use_tick = 0;
     st =
@@ -166,6 +166,7 @@ let create ?pool ?(mode = Exact) ~model net =
 
 let netlist t = t.net
 let mode t = t.mode
+let arena t = t.a
 
 let counters t =
   {
@@ -182,28 +183,26 @@ let counters t =
 
 let dirty_fraction t =
   if t.st.s_analyzes = 0 || t.n = 0 then 0.
-  else float_of_int t.st.s_reeval /. (float_of_int t.st.s_analyzes *. float_of_int t.n)
+  else
+    float_of_int t.st.s_reeval /. (float_of_int t.st.s_analyzes *. float_of_int t.n)
 
 let invalidate t = t.f_valid <- false
 
 (* ---- forward sweep ---------------------------------------------------------- *)
 
 let bits = Int64.bits_of_float
+let fbits_eq a b = Int64.equal (bits a) (bits b)
 
-let normal_same_bits a b =
-  Int64.equal (bits (Normal.mu a)) (bits (Normal.mu b))
-  && Int64.equal (bits (Normal.var a)) (bits (Normal.var b))
-
-let normal_close eps a b =
-  abs_float (Normal.mu a -. Normal.mu b) <= eps *. (1. +. abs_float (Normal.mu b))
-  && abs_float (Normal.sigma a -. Normal.sigma b) <= eps *. (1. +. Normal.sigma b)
-
-let node_arrival t = Ssta.Kernel.node_arrival ~pi_arrival:Ssta.Kernel.default_pi_arrival t.arrival
+(* Epsilon-mode closeness on (mu, var) pairs — the operations of the old
+   record-based [normal_close], on plane scalars. *)
+let close eps nmu nvar omu ovar =
+  abs_float (nmu -. omu) <= eps *. (1. +. abs_float omu)
+  && abs_float (sqrt nvar -. sqrt ovar) <= eps *. (1. +. sqrt ovar)
 
 let pooled_for t n body =
   match t.pool with
-  | Some p when Util.Pool.size p > 1 && n >= 2 * Ssta.Kernel.level_grain ->
-      Util.Pool.parallel_for ~grain:Ssta.Kernel.level_grain p ~n body
+  | Some p when Util.Pool.size p > 1 && n >= 2 * Arena.level_grain ->
+      Util.Pool.parallel_for ~grain:Arena.level_grain p ~n body
   | _ ->
       for i = 0 to n - 1 do
         body i
@@ -211,50 +210,98 @@ let pooled_for t n body =
 
 (* Re-evaluate the gates of [ids] (one level, or a level's dirty subset)
    against the engine's current sizes and cached fanin arrivals — the
-   exact operations of Ssta.analyze's eval_gate, so recomputed values are
-   bit-identical to a from-scratch sweep.  Pure per-gate slot writes:
-   safe to run on the pool.  Change flags (vs the previously cached
-   values) are left in [t.changed] / [t.changed_local] for the caller's
-   serial stamp-and-mark pass. *)
+   exact operations of Arena.eval_gate (hence of a from-scratch sweep),
+   computed into locals first so the new values can be bit-compared
+   against the cached planes before overwriting them.  Pure per-gate slot
+   writes: safe to run on the pool.  Change flags are left in
+   [t.changed] / [t.changed_local] for the caller's serial
+   stamp-and-mark pass. *)
 let recompute t ids =
+  let a = t.a in
+  let fl = a.Arena.flat in
   pooled_for t (Array.length ids) (fun i ->
       let id = ids.(i) in
-      let g = Netlist.gate t.net id in
-      let load = Netlist.load t.net ~sizes:t.sizes id in
-      let mu_t = Cell.delay g.Netlist.cell ~size:t.sizes.(id) ~load in
-      let tdel = Normal.of_var ~mu:mu_t ~var:(Sigma_model.var t.model mu_t) in
-      let operands = Array.map (node_arrival t) g.Netlist.fanin in
-      let arr = Normal.add (Ssta.Kernel.fold_max_last operands) tdel in
+      let sizes = a.Arena.sizes in
+      let acc = ref fl.Netlist.g_wire_load.(id) in
+      for j = fl.Netlist.fo_off.(id) to fl.Netlist.fo_off.(id + 1) - 1 do
+        acc :=
+          !acc
+          +. fl.Netlist.fo_mult.(j)
+             *. (fl.Netlist.fo_cin.(j) *. sizes.(fl.Netlist.fo_consumer.(j)))
+      done;
+      let load = !acc in
+      let s = sizes.(id) in
+      if s < 1. then invalid_arg "Cell.delay: size below 1";
+      let mu_t =
+        fl.Netlist.g_t_int.(id) +. (fl.Netlist.g_drive.(id) *. load /. s)
+      in
+      let var_t = Sigma_model.var t.model mu_t in
+      let var_t =
+        if var_t < 0. then
+          if var_t > -1e-12 then 0.
+          else invalid_arg "Normal.of_var: negative variance"
+        else var_t
+      in
+      let base = fl.Netlist.fi_off.(id) in
+      let k = fl.Netlist.fi_off.(id + 1) - base in
+      let e0 = fl.Netlist.fi_node.(base) in
+      if e0 >= 0 then begin
+        a.Arena.pre_mu.(base) <- a.Arena.arr_mu.(e0);
+        a.Arena.pre_var.(base) <- a.Arena.arr_var.(e0)
+      end
+      else begin
+        a.Arena.pre_mu.(base) <- a.Arena.pi_mu.(-e0 - 1);
+        a.Arena.pre_var.(base) <- a.Arena.pi_var.(-e0 - 1)
+      end;
+      for j = 1 to k - 1 do
+        let e = fl.Netlist.fi_node.(base + j) in
+        let mu_b = if e >= 0 then a.Arena.arr_mu.(e) else a.Arena.pi_mu.(-e - 1) in
+        let var_b =
+          if e >= 0 then a.Arena.arr_var.(e) else a.Arena.pi_var.(-e - 1)
+        in
+        Clark.max2_into
+          ~mu_a:a.Arena.pre_mu.(base + j - 1)
+          ~var_a:a.Arena.pre_var.(base + j - 1)
+          ~mu_b ~var_b a.Arena.pre_mu a.Arena.pre_var (base + j)
+      done;
+      let arr_mu = a.Arena.pre_mu.(base + k - 1) +. mu_t in
+      let arr_var = a.Arena.pre_var.(base + k - 1) +. var_t in
       let changed =
         (not t.initialized)
         ||
         match t.mode with
-        | Exact -> not (normal_same_bits arr t.arrival.(id))
-        | Epsilon e -> not (normal_close e arr t.arrival.(id))
+        | Exact ->
+            not
+              (fbits_eq arr_mu a.Arena.arr_mu.(id)
+              && fbits_eq arr_var a.Arena.arr_var.(id))
+        | Epsilon e ->
+            not (close e arr_mu arr_var a.Arena.arr_mu.(id) a.Arena.arr_var.(id))
       in
       let changed_local =
         (not t.initialized)
-        || (not (Int64.equal (bits load) (bits t.loads.(id))))
-        || not (normal_same_bits tdel t.gate_delay.(id))
+        || (not (fbits_eq load a.Arena.load.(id)))
+        || (not (fbits_eq mu_t a.Arena.del_mu.(id)))
+        || not (fbits_eq var_t a.Arena.del_var.(id))
       in
-      t.loads.(id) <- load;
-      t.gate_delay.(id) <- tdel;
+      a.Arena.load.(id) <- load;
+      a.Arena.del_mu.(id) <- mu_t;
+      a.Arena.del_var.(id) <- var_t;
       (match (t.mode, changed) with
       | Epsilon _, false ->
           (* Epsilon cutoff keeps the lagged arrival: consumers then see a
              value consistent with what they were last timed against. *)
           ()
-      | _ -> t.arrival.(id) <- arr);
+      | _ ->
+          a.Arena.arr_mu.(id) <- arr_mu;
+          a.Arena.arr_var.(id) <- arr_var);
       t.changed.(id) <- changed;
       t.changed_local.(id) <- changed_local)
 
-let refold_pos t =
-  let po_operands = Array.map (node_arrival t) (Netlist.pos t.net) in
-  t.circuit <- Ssta.Kernel.fold_max_last po_operands
+let refold_pos t = Arena.fold_pos t.a
 
 let full_sweep t ~sizes =
   t.version <- t.version + 1;
-  Array.blit sizes 0 t.sizes 0 t.n;
+  Array.blit sizes 0 t.a.Arena.sizes 0 t.n;
   Array.iter (fun bucket -> recompute t bucket) (Netlist.level_buckets t.net);
   for id = 0 to t.n - 1 do
     if t.changed.(id) then begin
@@ -280,14 +327,16 @@ let incremental_sweep t ~sizes changed_ids =
   (* Seed the dirty set: the changed gates themselves, plus every gate
      fanin of a changed gate — the driver's load (hence delay and
      arrival) depends on the consumer's size. *)
+  let fl = t.a.Arena.flat in
   List.iter
     (fun id ->
       mark t id;
-      Array.iter
-        (function Netlist.Pi _ -> () | Netlist.Gate d -> mark t d)
-        (Netlist.gate t.net id).Netlist.fanin)
+      for j = fl.Netlist.fi_off.(id) to fl.Netlist.fi_off.(id + 1) - 1 do
+        let e = fl.Netlist.fi_node.(j) in
+        if e >= 0 then mark t e
+      done)
     changed_ids;
-  Array.blit sizes 0 t.sizes 0 t.n;
+  Array.blit sizes 0 t.a.Arena.sizes 0 t.n;
   let reeval = ref 0 and cuts = ref 0 in
   Array.iter
     (fun bucket ->
@@ -312,7 +361,9 @@ let incremental_sweep t ~sizes changed_ids =
             if t.changed.(id) then begin
               t.stamp_arrival.(id) <- t.version;
               t.stamp_bumps <- t.stamp_bumps + 1;
-              List.iter (fun (c, _) -> mark t c) (Netlist.fanout t.net id)
+              for j = fl.Netlist.fo_off.(id) to fl.Netlist.fo_off.(id + 1) - 1 do
+                mark t fl.Netlist.fo_consumer.(j)
+              done
             end
             else incr cuts)
           ids
@@ -328,7 +379,7 @@ let incremental_sweep t ~sizes changed_ids =
 
 (* Bring the engine's cached state to [sizes]. *)
 let analyze_state t ~sizes =
-  Netlist.check_sizes t.net sizes;
+  Arena.check_sizes t.a sizes;
   t.st.s_analyzes <- t.st.s_analyzes + 1;
   Util.Instr.incr c_analyze;
   Util.Instr.time t_forward @@ fun () ->
@@ -336,7 +387,7 @@ let analyze_state t ~sizes =
   else begin
     let changed_ids = ref [] in
     for id = t.n - 1 downto 0 do
-      if not (Int64.equal (bits sizes.(id)) (bits t.sizes.(id))) then
+      if not (fbits_eq sizes.(id) t.a.Arena.sizes.(id)) then
         changed_ids := id :: !changed_ids
     done;
     match !changed_ids with
@@ -348,92 +399,44 @@ let analyze_state t ~sizes =
   t.f_valid <- true;
   t.initialized <- true
 
-let snapshot t : Ssta.result =
-  {
-    Ssta.arrival = Array.copy t.arrival;
-    gate_delay = Array.copy t.gate_delay;
-    loads = Array.copy t.loads;
-    circuit = t.circuit;
-  }
+let analyze_raw t ~sizes = analyze_state t ~sizes
 
 let analyze t ~sizes =
   analyze_state t ~sizes;
-  snapshot t
+  Ssta.of_arena t.a
 
 (* ---- reverse sweep ---------------------------------------------------------- *)
 
-let zero_seed = { Ssta.d_mu = 0.; d_var = 0. }
-
-let seed_bits_eq (a : Ssta.seed) (b : Ssta.seed) =
-  Int64.equal (bits a.Ssta.d_mu) (bits b.Ssta.d_mu)
-  && Int64.equal (bits a.Ssta.d_var) (bits b.Ssta.d_var)
-
-(* Seed-independent Clark partials of the left-fold max over [operands]:
-   the exact [Clark.max2_full] evaluations Ssta's [backprop_fold]
-   performs, hoisted out so they can be cached across seeds (the two
-   basis gradients of one evaluation share them) and across sparse
-   deltas (gates whose input cone is clean keep them). *)
-let fold_partials operands =
-  let k = Array.length operands in
-  if k <= 1 then [||]
-  else begin
-    let prefix = Ssta.Kernel.fold_max operands in
-    Array.init (k - 1) (fun j -> snd (Clark.max2_full prefix.(j) operands.(j + 1)))
-  end
-
-(* Replays [Ssta.Kernel.backprop_fold]'s multiply chain against stored
-   partials — identical expressions in identical order, so the result is
-   bitwise equal to recomputing the fold from the operands. *)
-let backprop_with partials k (adj : Ssta.seed) =
-  let out = Array.make k zero_seed in
-  let acc = ref adj in
-  for i = k - 1 downto 1 do
-    let p = partials.(i - 1) in
-    let a = !acc in
-    out.(i) <-
-      {
-        Ssta.d_mu =
-          (a.Ssta.d_mu *. p.Clark.dmu_dmu_b) +. (a.Ssta.d_var *. p.Clark.dvar_dmu_b);
-        d_var =
-          (a.Ssta.d_mu *. p.Clark.dmu_dvar_b) +. (a.Ssta.d_var *. p.Clark.dvar_dvar_b);
-      };
-    acc :=
-      {
-        Ssta.d_mu =
-          (a.Ssta.d_mu *. p.Clark.dmu_dmu_a) +. (a.Ssta.d_var *. p.Clark.dvar_dmu_a);
-        d_var =
-          (a.Ssta.d_mu *. p.Clark.dmu_dvar_a) +. (a.Ssta.d_var *. p.Clark.dvar_dvar_a);
-      }
-  done;
-  out.(0) <- !acc;
-  out
-
-let fresh_slot rmu rvar =
+let fresh_slot t rmu rvar =
+  let fs = t.a.Arena.flat.Netlist.fold_slots in
   {
     root_mu_bits = rmu;
     root_var_bits = rvar;
     s_valid = false;
     s_version = 0;
-    s_adj = [||];
-    s_active = [||];
-    s_dmu = [||];
-    s_fan = [||];
+    s_adj_mu = Array.make (max 1 t.n) 0.;
+    s_adj_var = Array.make (max 1 t.n) 0.;
+    s_active = Array.make (max 1 t.n) false;
+    s_dmu = Array.make (max 1 t.n) 0.;
+    s_fan_mu = Array.make fs 0.;
+    s_fan_var = Array.make fs 0.;
     s_bumps = 0;
     s_used = 0;
   }
 
-let slot_for t (root : Ssta.seed) =
-  let rmu = bits root.Ssta.d_mu and rvar = bits root.Ssta.d_var in
+let slot_for t ~d_mu ~d_var =
+  let rmu = bits d_mu and rvar = bits d_var in
   let slot =
     match
       List.find_opt
-        (fun s -> Int64.equal s.root_mu_bits rmu && Int64.equal s.root_var_bits rvar)
+        (fun s ->
+          Int64.equal s.root_mu_bits rmu && Int64.equal s.root_var_bits rvar)
         t.slots
     with
     | Some s -> s
     | None ->
         if List.length t.slots < max_slots then begin
-          let s = fresh_slot rmu rvar in
+          let s = fresh_slot t rmu rvar in
           t.slots <- s :: t.slots;
           s
         end
@@ -454,12 +457,22 @@ let slot_for t (root : Ssta.seed) =
   slot.s_used <- t.use_tick;
   slot
 
-(* The reverse sweep mirrors Ssta.value_and_gradient phase for phase.
-   Phase 2 (the serial fixed-order scatter into adj/grad) always runs in
-   full — it is the cheap part, and replaying it identically is what
-   keeps incremental gradients bit-identical.  Phase 1 (the Clark
-   partial replays) is where the time goes; a gate's phase-1 products
-   are reused from the slot when provably unchanged:
+(* Every gate fanin's arrival unchanged since version [limit]? *)
+let fanin_clean t limit id =
+  let fl = t.a.Arena.flat in
+  let ok = ref true in
+  for j = fl.Netlist.fi_off.(id) to fl.Netlist.fi_off.(id + 1) - 1 do
+    let e = fl.Netlist.fi_node.(j) in
+    if e >= 0 && t.stamp_arrival.(e) > limit then ok := false
+  done;
+  !ok
+
+(* The reverse sweep mirrors the arena reverse sweep phase for phase.
+   Phase 2 (the serial fixed-order scatter into the adjoint and gradient
+   planes) always runs in full — it is the cheap part, and replaying it
+   identically is what keeps incremental gradients bit-identical.
+   Phase 1 (the Clark partial replays) is where the time goes; a gate's
+   phase-1 products are reused from the slot when provably unchanged:
 
    - the slot is valid and the gate was active in it,
    - the gate's adjoint is bitwise equal to the slot's (adjoints are
@@ -468,42 +481,59 @@ let slot_for t (root : Ssta.seed) =
      the slot's version (change stamps).
 
    Under these conditions a recompute would replay bit-identical
-   operations on bit-identical operands, so reuse is exact. *)
-let value_and_gradient t ~sizes ~seed =
-  analyze_state t ~sizes;
-  let res = snapshot t in
-  t.st.s_gradients <- t.st.s_gradients + 1;
-  Util.Instr.incr c_gradient;
-  Util.Instr.time t_reverse @@ fun () ->
-  let net = t.net and n = t.n in
-  let adj = Array.make n zero_seed in
-  let add_adj node (a : Ssta.seed) =
-    match node with
-    | Netlist.Pi _ -> ()
-    | Netlist.Gate g ->
-        let cur = adj.(g) in
-        adj.(g) <-
-          { Ssta.d_mu = cur.Ssta.d_mu +. a.Ssta.d_mu; d_var = cur.Ssta.d_var +. a.Ssta.d_var }
-  in
-  let po_nodes = Netlist.pos net in
+   operations on bit-identical operands, so reuse is exact.
+
+   The Clark partials themselves (seed-independent) live in the arena's
+   [pp] plane under a separate per-gate version guard [pc_version]: the
+   second basis-seed gradient at the same point replays the multiply
+   chain against them without touching a Clark operator. *)
+let reverse_core t ~d_mu ~d_var =
+  let a = t.a in
+  let fl = a.Arena.flat in
+  let n = t.n in
+  Array.fill a.Arena.adj_mu 0 n 0.;
+  Array.fill a.Arena.adj_var 0 n 0.;
+  Array.fill a.Arena.grad 0 n 0.;
+  Array.fill a.Arena.active 0 n false;
+  (* PO-fold partials: recompute into the pp plane's trailing segment
+     only when the engine state moved since they were last taken. *)
+  let base = fl.Netlist.po_base in
+  let m = Array.length fl.Netlist.po_node in
   if t.po_version <> t.version then begin
-    t.po_partials <- fold_partials (Array.map (node_arrival t) po_nodes);
+    for j = 1 to m - 1 do
+      let e = fl.Netlist.po_node.(j) in
+      let mu_b = if e >= 0 then a.Arena.arr_mu.(e) else a.Arena.pi_mu.(-e - 1) in
+      let var_b =
+        if e >= 0 then a.Arena.arr_var.(e) else a.Arena.pi_var.(-e - 1)
+      in
+      Clark.partials_into
+        ~mu_a:a.Arena.pre_mu.(base + j - 1)
+        ~var_a:a.Arena.pre_var.(base + j - 1)
+        ~mu_b ~var_b a.Arena.pp (base + j)
+    done;
     t.po_version <- t.version
   end;
-  let root = seed res in
-  let po_adj = backprop_with t.po_partials (Array.length po_nodes) root in
-  Array.iteri (fun i node -> add_adj node po_adj.(i)) po_nodes;
-  let grad = Array.make n 0. in
-  let slot = slot_for t root in
-  let active = Array.make n false in
-  let dmu_ts = Array.make n 0. in
-  let fan_adjs = Array.make n [||] in
-  let todo = Array.make n 0 in
+  (* Backprop the PO fold against the stored partials, then scatter its
+     per-operand adjoints in ascending PO order. *)
+  a.Arena.fadj_mu.(base) <- d_mu;
+  a.Arena.fadj_var.(base) <- d_var;
+  for j = m - 1 downto 1 do
+    Clark.backprop_apply a.Arena.pp (base + j) a.Arena.fadj_mu a.Arena.fadj_var
+      ~acc:base ~out:(base + j)
+  done;
+  for i = 0 to m - 1 do
+    let e = fl.Netlist.po_node.(i) in
+    if e >= 0 then begin
+      a.Arena.adj_mu.(e) <- a.Arena.adj_mu.(e) +. a.Arena.fadj_mu.(base + i);
+      a.Arena.adj_var.(e) <- a.Arena.adj_var.(e) +. a.Arena.fadj_var.(base + i)
+    end
+  done;
+  let slot = slot_for t ~d_mu ~d_var in
   let reused = ref 0 and recomputed = ref 0 and p_hits = ref 0 in
   (* When most arrival stamps moved since the slot was saved, the
      per-gate checks below cannot succeed; skip them wholesale. *)
   let try_reuse = slot.s_valid && t.stamp_bumps - slot.s_bumps <= t.n / 2 in
-  let buckets = Netlist.level_buckets net in
+  let buckets = Netlist.level_buckets t.net in
   for l = Array.length buckets - 1 downto 0 do
     let bucket = buckets.(l) in
     let len = Array.length bucket in
@@ -511,90 +541,83 @@ let value_and_gradient t ~sizes ~seed =
     let n_todo = ref 0 in
     for i = 0 to len - 1 do
       let id = bucket.(i) in
-      let a = adj.(id) in
-      if a.Ssta.d_mu <> 0. || a.Ssta.d_var <> 0. then begin
-        active.(id) <- true;
+      let am = a.Arena.adj_mu.(id) and av = a.Arena.adj_var.(id) in
+      if am <> 0. || av <> 0. then begin
+        a.Arena.active.(id) <- true;
         let reusable =
           try_reuse && slot.s_active.(id)
           && t.stamp_local.(id) <= slot.s_version
-          && seed_bits_eq a slot.s_adj.(id)
-          && Array.for_all
-               (function
-                 | Netlist.Pi _ -> true
-                 | Netlist.Gate d -> t.stamp_arrival.(d) <= slot.s_version)
-               (Netlist.gate net id).Netlist.fanin
+          && fbits_eq am slot.s_adj_mu.(id)
+          && fbits_eq av slot.s_adj_var.(id)
+          && fanin_clean t slot.s_version id
         in
         if reusable then begin
-          dmu_ts.(id) <- slot.s_dmu.(id);
-          fan_adjs.(id) <- slot.s_fan.(id);
+          a.Arena.dmu_t.(id) <- slot.s_dmu.(id);
+          let fb = fl.Netlist.fi_off.(id) in
+          let fk = fl.Netlist.fi_off.(id + 1) - fb in
+          Array.blit slot.s_fan_mu fb a.Arena.fadj_mu fb fk;
+          Array.blit slot.s_fan_var fb a.Arena.fadj_var fb fk;
           incr reused
         end
         else begin
-          todo.(!n_todo) <- id;
+          t.todo.(!n_todo) <- id;
           incr n_todo;
           incr recomputed
         end
       end
     done;
     (* Phase 1 on the non-reusable subset: bit-identical to the per-gate
-       operations of Ssta.value_and_gradient's phase 1, with the Clark
-       partials themselves served from the point-keyed cache when the
-       gate's input cone is unchanged since they were computed. *)
+       operations of the arena reverse sweep, with the Clark partials
+       themselves served from the point-keyed pp cache when the gate's
+       input cone is unchanged since they were computed. *)
     pooled_for t !n_todo (fun i ->
-        let id = todo.(i) in
-        let a = adj.(id) in
-        let g = Netlist.gate net id in
-        let tdel = t.gate_delay.(id) in
-        dmu_ts.(id) <-
-          a.Ssta.d_mu +. (a.Ssta.d_var *. Sigma_model.dvar_dmu t.model (Normal.mu tdel));
-        let fanin = g.Netlist.fanin in
+        let id = t.todo.(i) in
+        let am = a.Arena.adj_mu.(id) and av = a.Arena.adj_var.(id) in
+        a.Arena.dmu_t.(id) <-
+          am +. (av *. Sigma_model.dvar_dmu t.model a.Arena.del_mu.(id));
+        let fb = fl.Netlist.fi_off.(id) in
+        let fk = fl.Netlist.fi_off.(id + 1) - fb in
         let pv = t.pc_version.(id) in
-        let fresh =
-          pv < 0
-          || not
-               (Array.for_all
-                  (function
-                    | Netlist.Pi _ -> true
-                    | Netlist.Gate d -> t.stamp_arrival.(d) <= pv)
-                  fanin)
-        in
+        let fresh = pv < 0 || not (fanin_clean t pv id) in
         if fresh then begin
-          t.pc_partials.(id) <- fold_partials (Array.map (node_arrival t) fanin);
+          for j = 1 to fk - 1 do
+            let e = fl.Netlist.fi_node.(fb + j) in
+            let mu_b =
+              if e >= 0 then a.Arena.arr_mu.(e) else a.Arena.pi_mu.(-e - 1)
+            in
+            let var_b =
+              if e >= 0 then a.Arena.arr_var.(e) else a.Arena.pi_var.(-e - 1)
+            in
+            Clark.partials_into
+              ~mu_a:a.Arena.pre_mu.(fb + j - 1)
+              ~var_a:a.Arena.pre_var.(fb + j - 1)
+              ~mu_b ~var_b a.Arena.pp (fb + j)
+          done;
           t.pc_version.(id) <- t.version
         end;
         t.pc_hit.(id) <- not fresh;
-        fan_adjs.(id) <- backprop_with t.pc_partials.(id) (Array.length fanin) a);
+        a.Arena.fadj_mu.(fb) <- am;
+        a.Arena.fadj_var.(fb) <- av;
+        for j = fk - 1 downto 1 do
+          Clark.backprop_apply a.Arena.pp (fb + j) a.Arena.fadj_mu
+            a.Arena.fadj_var ~acc:fb ~out:(fb + j)
+        done);
     for i = 0 to !n_todo - 1 do
-      if t.pc_hit.(todo.(i)) then incr p_hits
+      if t.pc_hit.(t.todo.(i)) then incr p_hits
     done;
     (* Phase 2, serial in decreasing id: identical accumulation order to
-       Ssta.value_and_gradient (fan_adjs are kept for the slot rather
-       than dropped — same numbers either way). *)
+       the arena reverse sweep. *)
     for i = len - 1 downto 0 do
-      let id = bucket.(i) in
-      if active.(id) then begin
-        let g = Netlist.gate net id in
-        let dmu_t = dmu_ts.(id) in
-        let cell = g.Netlist.cell in
-        let s_g = t.sizes.(id) in
-        grad.(id) <-
-          grad.(id) -. (dmu_t *. cell.Cell.drive *. t.loads.(id) /. (s_g *. s_g));
-        List.iter
-          (fun (consumer, mult) ->
-            let c = Netlist.gate net consumer in
-            grad.(consumer) <-
-              grad.(consumer)
-              +. dmu_t *. cell.Cell.drive *. float_of_int mult
-                 *. c.Netlist.cell.Cell.c_in /. s_g)
-          (Netlist.fanout net id);
-        Array.iteri (fun i node -> add_adj node fan_adjs.(id).(i)) g.Netlist.fanin
-      end
+      Arena.phase2_gate a bucket.(i)
     done
   done;
-  slot.s_adj <- adj;
-  slot.s_active <- active;
-  slot.s_dmu <- dmu_ts;
-  slot.s_fan <- fan_adjs;
+  (* Save this sweep's products for the next same-root gradient. *)
+  Array.blit a.Arena.adj_mu 0 slot.s_adj_mu 0 n;
+  Array.blit a.Arena.adj_var 0 slot.s_adj_var 0 n;
+  Array.blit a.Arena.dmu_t 0 slot.s_dmu 0 n;
+  Array.blit a.Arena.fadj_mu 0 slot.s_fan_mu 0 (Array.length a.Arena.fadj_mu);
+  Array.blit a.Arena.fadj_var 0 slot.s_fan_var 0 (Array.length a.Arena.fadj_var);
+  Array.blit a.Arena.active 0 slot.s_active 0 n;
   slot.s_version <- t.version;
   slot.s_bumps <- t.stamp_bumps;
   slot.s_valid <- true;
@@ -603,7 +626,26 @@ let value_and_gradient t ~sizes ~seed =
   t.st.s_partials_reused <- t.st.s_partials_reused + !p_hits;
   Util.Instr.add c_p1_reused !reused;
   Util.Instr.add c_p1_recomputed !recomputed;
-  Util.Instr.add c_partials_reused !p_hits;
-  (res, grad)
+  Util.Instr.add c_partials_reused !p_hits
+
+let value_and_gradient t ~sizes ~seed =
+  analyze_state t ~sizes;
+  let res = Ssta.of_arena t.a in
+  t.st.s_gradients <- t.st.s_gradients + 1;
+  Util.Instr.incr c_gradient;
+  Util.Instr.time t_reverse @@ fun () ->
+  let root = seed res in
+  reverse_core t ~d_mu:root.Ssta.d_mu ~d_var:root.Ssta.d_var;
+  (res, Array.sub t.a.Arena.grad 0 t.n)
 
 let gradient t ~sizes ~seed = snd (value_and_gradient t ~sizes ~seed)
+
+(* Raw plane-level variant for the sizing engine's inner loop: no result
+   snapshot, no gradient copy — the caller reads the arena (via {!arena})
+   and receives the gradient in its own buffer. *)
+let gradient_into t ~sizes ~d_mu ~d_var ~out =
+  analyze_state t ~sizes;
+  t.st.s_gradients <- t.st.s_gradients + 1;
+  Util.Instr.incr c_gradient;
+  (Util.Instr.time t_reverse @@ fun () -> reverse_core t ~d_mu ~d_var);
+  Array.blit t.a.Arena.grad 0 out 0 t.n

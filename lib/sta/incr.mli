@@ -26,15 +26,15 @@
     (bit-identical in {!Exact} mode, within tolerance in {!Epsilon}
     mode), its consumers are not marked.  Clean gates keep their cached
     values, which are bit-identical to what a from-scratch sweep would
-    produce because every kernel operation ({!Ssta.Kernel}) is replayed
-    with bit-identical operands.
+    produce because every in-place Clark kernel ({!Statdelay.Clark})
+    is replayed with bit-identical operands on the same arena planes.
 
     {2 Gradient}
 
     The reverse sweep re-runs its cheap scatter phase in full (in the
     exact order of {!Ssta.value_and_gradient}, which is what keeps
     gradients bit-identical), but the expensive phase — the
-    {!Statdelay.Clark.max2_full} partial replays per gate — is reused
+    {!Statdelay.Clark.partials_into} replays per gate — is reused
     from the previous gradient evaluation whenever the gate's operands,
     delay and adjoint are unchanged since.  Reuse histories are kept per
     seed root (the engine's basis seeds {m (1,0)} and {m (0,1)} each get
@@ -104,6 +104,31 @@ val value_and_gradient :
 val gradient :
   t -> sizes:float array -> seed:(Ssta.result -> Ssta.seed) -> float array
 (** [snd] of {!value_and_gradient}. *)
+
+(** {2 Raw plane-level access}
+
+    The engine's cached state lives in a flat {!Arena} it owns
+    exclusively (its partials plane doubles as the point-keyed Clark
+    cache).  The sizing engine's inner loop uses these entry points to
+    evaluate timing with {e zero} per-call allocation: no result
+    snapshot, no fresh gradient array. *)
+
+val arena : t -> Arena.t
+(** The engine's arena.  Read-only for callers: after {!analyze_raw}
+    the [load], [del_*], [arr_*] planes and {!Arena.circuit_mu} /
+    {!Arena.circuit_var} reflect the analysis at the last [sizes].  Do
+    not run {!Arena.reverse} (or any other writer) on it — that would
+    corrupt the partials cache. *)
+
+val analyze_raw : t -> sizes:float array -> unit
+(** {!analyze} without the snapshot: brings the arena planes to
+    [sizes]. *)
+
+val gradient_into :
+  t -> sizes:float array -> d_mu:float -> d_var:float -> out:float array -> unit
+(** {!gradient} with a raw constant seed [(d_mu, d_var)] and a
+    caller-owned output buffer (length [n_gates], overwritten).  Same
+    reuse machinery, same bits as the snapshot path. *)
 
 val invalidate : t -> unit
 (** Wholesale invalidation: the next {!analyze} runs a full sweep

@@ -27,7 +27,7 @@ let for_level pool n body =
         body i
       done
 
-let sample ?pool ?(batch = 1024) ?(seed = 1) ?(draw = gaussian_draw)
+let sample ?pool ?arena ?(batch = 1024) ?(seed = 1) ?(draw = gaussian_draw)
     ?(pi_arrival = fun _ -> 0.) ~model net ~sizes ~n =
   if n <= 0 then invalid_arg "Mcsta.sample: n must be positive";
   if batch <= 0 then invalid_arg "Mcsta.sample: batch must be positive";
@@ -36,9 +36,22 @@ let sample ?pool ?(batch = 1024) ?(seed = 1) ?(draw = gaussian_draw)
   Util.Instr.add c_samples n;
   Util.Instr.time t_sample @@ fun () ->
   let ng = Netlist.n_gates net in
-  (* Per-gate delay moments at the given sizes (fixed for the whole run). *)
-  let mu_t = Dsta.delays net ~sizes in
-  let sigma_t = Array.map (fun mu -> Sigma_model.sigma model mu) mu_t in
+  (* Per-gate delay moments at the given sizes (fixed for the whole run).
+     With an arena they are read off its [del_mu] plane — same loads,
+     same delay expression, bit-identical to [Dsta.delays] — instead of
+     a fresh array.  The sigma is always recomputed from the model (the
+     [del_var] plane holds the variance; [sqrt] of it is not guaranteed
+     bit-identical to [Sigma_model.sigma]). *)
+  let mu_t =
+    match arena with
+    | Some a ->
+        if not (Arena.netlist a == net) then
+          invalid_arg "Mcsta.sample: arena was created for a different netlist";
+        Arena.forward ?pool ~model a ~sizes;
+        a.Arena.del_mu
+    | None -> Dsta.delays net ~sizes
+  in
+  let sigma_t = Array.init ng (fun g -> Sigma_model.sigma model mu_t.(g)) in
   (* One private stream per gate: sample k of gate g depends only on
      (seed, g, k), never on the batch boundaries or the schedule. *)
   let streams = Array.init ng (fun g -> Util.Rng.keyed seed ~key:g) in

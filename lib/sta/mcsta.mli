@@ -39,6 +39,7 @@ val gaussian_draw : draw
 
 val sample :
   ?pool:Util.Pool.t ->
+  ?arena:Arena.t ->
   ?batch:int ->
   ?seed:int ->
   ?draw:draw ->
@@ -59,7 +60,12 @@ val sample :
     (default 1) selects the keyed stream family.  [pi_arrival] gives each
     primary input a deterministic arrival time (default [0.]).  [pool]
     distributes the per-level gate rows over its domains; see the
-    determinism contract above. *)
+    determinism contract above.
+
+    [arena] reuses a flat {!Arena}'s planes for the per-gate delay means
+    (one {!Arena.forward} instead of a fresh {!Dsta.delays} array) —
+    bit-identical samples either way.  Raises [Invalid_argument] if the
+    arena belongs to a different netlist. *)
 
 (** {1 Reductions} *)
 

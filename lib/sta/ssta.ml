@@ -91,7 +91,7 @@ let analyze_with_max ~max_op ~pi_arrival ~model net ~sizes =
    the sweep) and writes its own slots, so the levels can be evaluated
    bucket-parallel with results bit-identical to the serial gate-order
    sweep. *)
-let analyze ?pool ?(pi_arrival = default_pi_arrival) ~model net ~sizes =
+let boxed_analyze ?pool ?(pi_arrival = default_pi_arrival) ~model net ~sizes =
   Util.Instr.incr c_analyze;
   Util.Instr.time t_forward @@ fun () ->
   Netlist.check_sizes net sizes;
@@ -164,9 +164,9 @@ let backprop_fold operands prefix (adj : seed) =
    Phase 2's fixed order makes every floating-point accumulation happen
    in the same sequence whether or not phase 1 ran on a pool, which is
    what makes parallel gradients bit-identical to serial ones. *)
-let value_and_gradient ?pool ?(pi_arrival = default_pi_arrival) ~model net ~sizes
-    ~seed =
-  let res = analyze ?pool ~pi_arrival ~model net ~sizes in
+let boxed_value_and_gradient ?pool ?(pi_arrival = default_pi_arrival) ~model net
+    ~sizes ~seed =
+  let res = boxed_analyze ?pool ~pi_arrival ~model net ~sizes in
   Util.Instr.incr c_gradient;
   Util.Instr.time t_reverse @@ fun () ->
   let n = Netlist.n_gates net in
@@ -239,8 +239,90 @@ let value_and_gradient ?pool ?(pi_arrival = default_pi_arrival) ~model net ~size
   done;
   (res, grad)
 
-let gradient ?pool ?pi_arrival ~model net ~sizes ~seed =
-  snd (value_and_gradient ?pool ?pi_arrival ~model net ~sizes ~seed)
+(* The original record-based sweeps, kept verbatim as the golden
+   reference the arena path is differentially tested against
+   (test/test_arena.ml asserts Int64 bit-identity of every arrival,
+   delay, load, circuit moment and gradient entry). *)
+module Boxed = struct
+  let analyze = boxed_analyze
+  let value_and_gradient = boxed_value_and_gradient
+
+  let gradient ?pool ?pi_arrival ~model net ~sizes ~seed =
+    snd (boxed_value_and_gradient ?pool ?pi_arrival ~model net ~sizes ~seed)
+end
+
+(* ---- arena-backed entry points ----------------------------------------------
+
+   The public [analyze] / [value_and_gradient] sweep a flat
+   structure-of-arrays arena (see Arena) and convert back to the boxed
+   [result] at the boundary.  Passing [?arena] (built for the same
+   netlist) reuses its planes so the sweep itself allocates nothing;
+   otherwise a fresh arena is created for the call. *)
+
+let arena_for ?arena net =
+  match arena with
+  | Some a ->
+      if not (Arena.netlist a == net) then
+        invalid_arg "Ssta: arena was created for a different netlist";
+      a
+  | None -> Arena.create net
+
+(* Boundary conversion: planes -> the public result shape.  The Normal.t
+   records are built directly from the plane values (the arena already
+   performed of_var's validation), so the snapshot is bit-exact. *)
+let of_arena (a : Arena.t) : result =
+  let n = a.Arena.n in
+  {
+    arrival =
+      Array.init n (fun i ->
+          { Normal.mu = a.Arena.arr_mu.(i); var = a.Arena.arr_var.(i) });
+    gate_delay =
+      Array.init n (fun i ->
+          { Normal.mu = a.Arena.del_mu.(i); var = a.Arena.del_var.(i) });
+    loads = Array.sub a.Arena.load 0 n;
+    circuit = { Normal.mu = Arena.circuit_mu a; var = Arena.circuit_var a };
+  }
+
+let run_forward ?pool ?pi_arrival ~model a ~sizes =
+  Util.Instr.incr c_analyze;
+  Util.Instr.time t_forward @@ fun () ->
+  (match pi_arrival with
+  | Some f -> Arena.set_pi_arrival a f
+  | None -> Arena.clear_pi_arrival a);
+  Arena.forward ?pool ~model a ~sizes;
+  of_arena a
+
+let analyze ?pool ?arena ?pi_arrival ~model net ~sizes =
+  let a = arena_for ?arena net in
+  run_forward ?pool ?pi_arrival ~model a ~sizes
+
+let value_and_gradient ?pool ?arena ?pi_arrival ~model net ~sizes ~seed =
+  let a = arena_for ?arena net in
+  let res = run_forward ?pool ?pi_arrival ~model a ~sizes in
+  Util.Instr.incr c_gradient;
+  Util.Instr.time t_reverse @@ fun () ->
+  let root = seed res in
+  Arena.reverse ?pool ~model a ~d_mu:root.d_mu ~d_var:root.d_var;
+  (res, Array.sub a.Arena.grad 0 (Array.length sizes))
+
+let gradient ?pool ?arena ?pi_arrival ~model net ~sizes ~seed =
+  snd (value_and_gradient ?pool ?arena ?pi_arrival ~model net ~sizes ~seed)
+
+(* Raw plane-level entry points: same sweeps, same instrumentation, but
+   no result snapshot and no fresh gradient array — the sizing engine's
+   inner loop reads the planes in place. *)
+let forward_raw ?pool ?pi_arrival ~model a ~sizes =
+  Util.Instr.incr c_analyze;
+  Util.Instr.time t_forward @@ fun () ->
+  (match pi_arrival with
+  | Some f -> Arena.set_pi_arrival a f
+  | None -> Arena.clear_pi_arrival a);
+  Arena.forward ?pool ~model a ~sizes
+
+let reverse_raw ?pool ~model a ~d_mu ~d_var =
+  Util.Instr.incr c_gradient;
+  Util.Instr.time t_reverse @@ fun () ->
+  Arena.reverse ?pool ~model a ~d_mu ~d_var
 
 (* The exact floating-point kernels of both sweeps, re-exported so the
    incremental engine (Incr) replays bit-identical operations instead of

@@ -42,6 +42,7 @@ type result = {
 
 val analyze :
   ?pool:Util.Pool.t ->
+  ?arena:Arena.t ->
   ?pi_arrival:(int -> Normal.t) ->
   model:Circuit.Sigma_model.t ->
   Circuit.Netlist.t ->
@@ -50,7 +51,13 @@ val analyze :
 (** Forward statistical timing.  [pi_arrival] defaults to the
     deterministic arrival [Normal.deterministic 0.] at every input.
     [pool] parallelises the per-level gate evaluations (bit-identical to
-    the serial result). *)
+    the serial result).
+
+    The sweep runs over a flat structure-of-arrays {!Arena}; passing
+    [?arena] (created with {!Arena.create} on the same netlist) reuses
+    its planes so repeated evaluations allocate only the returned
+    [result] snapshot.  Raises [Invalid_argument] if the arena belongs
+    to a different netlist. *)
 
 val analyze_exact_nary :
   ?pi_arrival:(int -> Normal.t) ->
@@ -75,6 +82,7 @@ type seed = { d_mu : float; d_var : float }
 
 val gradient :
   ?pool:Util.Pool.t ->
+  ?arena:Arena.t ->
   ?pi_arrival:(int -> Normal.t) ->
   model:Circuit.Sigma_model.t ->
   Circuit.Netlist.t ->
@@ -90,6 +98,7 @@ val gradient :
 
 val value_and_gradient :
   ?pool:Util.Pool.t ->
+  ?arena:Arena.t ->
   ?pi_arrival:(int -> Normal.t) ->
   model:Circuit.Sigma_model.t ->
   Circuit.Netlist.t ->
@@ -97,6 +106,71 @@ val value_and_gradient :
   seed:(result -> seed) ->
   result * float array
 (** Like {!gradient} but also returns the forward result. *)
+
+val of_arena : Arena.t -> result
+(** Boundary conversion: snapshot an arena's forward state (as left by
+    {!Arena.forward}) into the public result shape.  Bit-exact — the
+    records are built directly from the plane values. *)
+
+val forward_raw :
+  ?pool:Util.Pool.t ->
+  ?pi_arrival:(int -> Normal.t) ->
+  model:Circuit.Sigma_model.t ->
+  Arena.t ->
+  sizes:float array ->
+  unit
+(** {!analyze} without the snapshot: runs the forward sweep on the given
+    arena (same instrumentation) and leaves the results in its planes —
+    {!Arena.circuit_mu} / {!Arena.circuit_var} and the per-gate planes.
+    Allocation-free in serial mode; the sizing engine's inner loop is
+    built on this. *)
+
+val reverse_raw :
+  ?pool:Util.Pool.t ->
+  model:Circuit.Sigma_model.t ->
+  Arena.t ->
+  d_mu:float ->
+  d_var:float ->
+  unit
+(** The adjoint sweep of {!gradient} without the snapshot or the fresh
+    gradient array: requires the state left by {!forward_raw}, fills the
+    arena's [grad] plane.  Counted as [ssta.gradient]. *)
+
+(** {1 Boxed reference implementation}
+
+    The original record-based sweeps, kept verbatim.  The arena-backed
+    entry points above must agree with these to the last bit —
+    [test/test_arena.ml] compares them with [Int64.bits_of_float] on
+    every arrival, delay, load, circuit moment and gradient entry.
+    Slower and allocation-heavy; use only as a differential oracle. *)
+
+module Boxed : sig
+  val analyze :
+    ?pool:Util.Pool.t ->
+    ?pi_arrival:(int -> Normal.t) ->
+    model:Circuit.Sigma_model.t ->
+    Circuit.Netlist.t ->
+    sizes:float array ->
+    result
+
+  val value_and_gradient :
+    ?pool:Util.Pool.t ->
+    ?pi_arrival:(int -> Normal.t) ->
+    model:Circuit.Sigma_model.t ->
+    Circuit.Netlist.t ->
+    sizes:float array ->
+    seed:(result -> seed) ->
+    result * float array
+
+  val gradient :
+    ?pool:Util.Pool.t ->
+    ?pi_arrival:(int -> Normal.t) ->
+    model:Circuit.Sigma_model.t ->
+    Circuit.Netlist.t ->
+    sizes:float array ->
+    seed:(result -> seed) ->
+    float array
+end
 
 (** {1 Common functionals} *)
 

@@ -30,6 +30,7 @@ val draw_shape : Util.Rng.t -> delay_shape -> mu:float -> sigma:float -> float
 val sample_circuit_delays :
   ?rng:Util.Rng.t ->
   ?shape:delay_shape ->
+  ?arena:Arena.t ->
   model:Circuit.Sigma_model.t ->
   Circuit.Netlist.t ->
   sizes:float array ->
@@ -38,10 +39,14 @@ val sample_circuit_delays :
 (** [n] Monte Carlo samples of the true circuit delay: each sample draws
     every gate delay independently from the given [shape] (default
     {!Gaussian}) with the model's {m (\mu_t, \sigma_t)} and propagates
-    worst-case arrivals deterministically. *)
+    worst-case arrivals deterministically ({!Dsta.propagate_into}, one
+    shared arrival scratch).  The delay moments come from the
+    arena-backed {!Ssta.analyze}; [arena] reuses a caller-owned
+    {!Arena}. *)
 
 val monte_carlo :
   ?rng:Util.Rng.t ->
+  ?arena:Arena.t ->
   model:Circuit.Sigma_model.t ->
   Circuit.Netlist.t ->
   sizes:float array ->

@@ -113,6 +113,137 @@ let max2_full a b =
       } )
   end
 
+(* ---- flat in-place kernels --------------------------------------------------
+
+   The same operators as [max2] / [max2_full] / the adjoint chain of a
+   recorded fold, operating on caller-owned [float array] planes instead
+   of returning [Normal.t] records — the allocation-free form the
+   structure-of-arrays timing arena (Sta.Arena) sweeps are built from.
+
+   Bit-identity contract: every kernel performs the {e same}
+   floating-point operations in the {e same} order as its record-based
+   counterpart above, so values and gradients computed through the
+   planes are Int64-bit-identical to the boxed path (test/test_arena.ml
+   asserts this differentially).  Two deliberate rewrites preserve bits:
+
+   - [Stdlib.max 0. v] is unfolded to [if 0. >= v then 0. else v] — the
+     literal definition of [max] specialised at [x = 0.], identical for
+     every [v] including NaN and [-0.] — because the polymorphic [max]
+     call would box its float arguments;
+   - [Normal.of_var]'s validation is a no-op for the non-negative (or
+     NaN) variances produced here, so the kernels store the variance
+     directly.
+
+   All kernels are [@inline]: in classic (non-flambda) mode this is what
+   lets ocamlopt keep the scalar float arguments unboxed through the
+   call (verified: the steady-state arena sweep allocates zero words). *)
+
+let[@inline] add_into ~mu_a ~var_a ~mu_b ~var_b (mu_out : float array)
+    (var_out : float array) i =
+  mu_out.(i) <- mu_a +. mu_b;
+  var_out.(i) <- var_a +. var_b
+
+(* [max2] on scalars, result written to plane slot [i]. *)
+let[@inline] max2_into ~mu_a ~var_a ~mu_b ~var_b (mu_out : float array)
+    (var_out : float array) i =
+  Util.Instr.incr c_max2;
+  if var_a +. var_b < degenerate_theta *. degenerate_theta then begin
+    let wa, wb =
+      if mu_a > mu_b then (1., 0.)
+      else if mu_a < mu_b then (0., 1.)
+      else (0.5, 0.5)
+    in
+    mu_out.(i) <- (wa *. mu_a) +. (wb *. mu_b);
+    var_out.(i) <- (wa *. var_a) +. (wb *. var_b)
+  end
+  else begin
+    let theta = sqrt (var_a +. var_b) in
+    let alpha = (mu_a -. mu_b) /. theta in
+    let pdf = Util.Special.normal_pdf alpha in
+    let cdf_a = Util.Special.normal_cdf alpha in
+    let cdf_b = Util.Special.normal_cdf (-.alpha) in
+    let mu_c = (mu_a *. cdf_a) +. (mu_b *. cdf_b) +. (theta *. pdf) in
+    let e2 =
+      ((var_a +. (mu_a *. mu_a)) *. cdf_a)
+      +. ((var_b +. (mu_b *. mu_b)) *. cdf_b)
+      +. ((mu_a +. mu_b) *. theta *. pdf)
+    in
+    let v = e2 -. (mu_c *. mu_c) in
+    mu_out.(i) <- mu_c;
+    var_out.(i) <- (if 0. >= v then 0. else v)
+  end
+
+(* Eight [partials] fields per fold step, stored flat at slots
+   [8*pj .. 8*pj+7] in record-field order. *)
+let partials_width = 8
+
+(* [max2_full]'s partials (the value is discarded: the forward sweep has
+   already recorded the prefix), written to the partials plane [pp] at
+   step slot [pj].  Same arithmetic as [max2_full], degenerate branch
+   included. *)
+let[@inline] partials_into ~mu_a ~var_a ~mu_b ~var_b (pp : float array) pj =
+  Util.Instr.incr c_max2;
+  let o = partials_width * pj in
+  if var_a +. var_b < degenerate_theta *. degenerate_theta then begin
+    let wa, wb =
+      if mu_a > mu_b then (1., 0.)
+      else if mu_a < mu_b then (0., 1.)
+      else (0.5, 0.5)
+    in
+    pp.(o) <- wa;
+    pp.(o + 1) <- wb;
+    pp.(o + 2) <- 0.;
+    pp.(o + 3) <- 0.;
+    pp.(o + 4) <- 0.;
+    pp.(o + 5) <- 0.;
+    pp.(o + 6) <- wa;
+    pp.(o + 7) <- wb
+  end
+  else begin
+    let theta = sqrt (var_a +. var_b) in
+    let alpha = (mu_a -. mu_b) /. theta in
+    let pdf = Util.Special.normal_pdf alpha in
+    let cdf_a = Util.Special.normal_cdf alpha in
+    let cdf_b = Util.Special.normal_cdf (-.alpha) in
+    let mu_c = (mu_a *. cdf_a) +. (mu_b *. cdf_b) +. (theta *. pdf) in
+    let de2_dmu_a = (2. *. mu_a *. cdf_a) +. (2. *. var_a *. pdf /. theta) in
+    let de2_dmu_b = (2. *. mu_b *. cdf_b) +. (2. *. var_b *. pdf /. theta) in
+    let dmu_dvar = pdf /. (2. *. theta) in
+    let common = (mu_a +. mu_b) /. (2. *. theta) in
+    let skew = alpha *. (var_a -. var_b) /. (2. *. theta *. theta) in
+    let de2_dvar_a = cdf_a +. (pdf *. (common -. skew)) in
+    let de2_dvar_b = cdf_b +. (pdf *. (common -. skew)) in
+    pp.(o) <- cdf_a;
+    pp.(o + 1) <- cdf_b;
+    pp.(o + 2) <- dmu_dvar;
+    pp.(o + 3) <- dmu_dvar;
+    pp.(o + 4) <- de2_dmu_a -. (2. *. mu_c *. cdf_a);
+    pp.(o + 5) <- de2_dmu_b -. (2. *. mu_c *. cdf_b);
+    pp.(o + 6) <- de2_dvar_a -. (2. *. mu_c *. dmu_dvar);
+    pp.(o + 7) <- de2_dvar_b -. (2. *. mu_c *. dmu_dvar)
+  end
+
+(* One adjoint step of a recorded fold against stored partials: reads the
+   prefix adjoint at slot [acc] of the adjoint planes, writes operand b's
+   adjoint to slot [out] and the propagated prefix adjoint back to [acc]
+   — the multiply chain of [Ssta]'s [backprop_fold], verbatim. *)
+let[@inline] backprop_apply (pp : float array) pj (adj_mu : float array)
+    (adj_var : float array) ~acc ~out =
+  let o = partials_width * pj in
+  let dmu_dmu_a = pp.(o)
+  and dmu_dmu_b = pp.(o + 1)
+  and dmu_dvar_a = pp.(o + 2)
+  and dmu_dvar_b = pp.(o + 3)
+  and dvar_dmu_a = pp.(o + 4)
+  and dvar_dmu_b = pp.(o + 5)
+  and dvar_dvar_a = pp.(o + 6)
+  and dvar_dvar_b = pp.(o + 7) in
+  let am = adj_mu.(acc) and av = adj_var.(acc) in
+  adj_mu.(out) <- (am *. dmu_dmu_b) +. (av *. dvar_dmu_b);
+  adj_var.(out) <- (am *. dmu_dvar_b) +. (av *. dvar_dvar_b);
+  adj_mu.(acc) <- (am *. dmu_dmu_a) +. (av *. dvar_dmu_a);
+  adj_var.(acc) <- (am *. dmu_dvar_a) +. (av *. dvar_dvar_a)
+
 let max_list = function
   | [] -> invalid_arg "Clark.max_list: empty list"
   | x :: rest -> List.fold_left max2 x rest

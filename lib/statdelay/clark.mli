@@ -48,6 +48,63 @@ val max2_full : Normal.t -> Normal.t -> Normal.t * partials
 val expectation_sq : Normal.t -> Normal.t -> float
 (** [E[max(A,B)^2]] (paper eq. 12), exposed for tests. *)
 
+(** {1 Flat in-place kernels}
+
+    The same operators on caller-owned [float array] planes — no
+    [Normal.t] records, no allocation.  These are what the
+    structure-of-arrays timing arena ({!Sta.Arena}) sweeps run on; each
+    performs bit-identical floating-point operations to its boxed
+    counterpart above (differentially enforced by [test/test_arena.ml]).
+    All are [[@inline]] so the scalar float arguments stay unboxed in
+    classic-mode native code. *)
+
+val add_into :
+  mu_a:float ->
+  var_a:float ->
+  mu_b:float ->
+  var_b:float ->
+  float array ->
+  float array ->
+  int ->
+  unit
+(** [add_into ~mu_a ~var_a ~mu_b ~var_b mu_out var_out i] — independent
+    sum ({!Normal.add}) written to slot [i] of the output planes. *)
+
+val max2_into :
+  mu_a:float ->
+  var_a:float ->
+  mu_b:float ->
+  var_b:float ->
+  float array ->
+  float array ->
+  int ->
+  unit
+(** {!max2} on scalars, result moments written to slot [i]. *)
+
+val partials_width : int
+(** Slots per fold step in a partials plane: the eight {!partials}
+    fields, stored flat in record-field order. *)
+
+val partials_into :
+  mu_a:float ->
+  var_a:float ->
+  mu_b:float ->
+  var_b:float ->
+  float array ->
+  int ->
+  unit
+(** [partials_into ~mu_a ~var_a ~mu_b ~var_b pp pj] writes
+    {!max2_full}'s eight partials to slots
+    [partials_width*pj .. partials_width*pj+7] of [pp]. *)
+
+val backprop_apply :
+  float array -> int -> float array -> float array -> acc:int -> out:int -> unit
+(** [backprop_apply pp pj adj_mu adj_var ~acc ~out] — one adjoint step
+    of a recorded left fold: reads the prefix adjoint at slot [acc],
+    writes operand b's adjoint to slot [out] and the propagated prefix
+    adjoint back to [acc], using the partials stored at step [pj] of
+    [pp].  The exact multiply chain of the boxed reverse sweep. *)
+
 val max_list : Normal.t list -> Normal.t
 (** Repeated two-operand max, left to right (the paper folds multi-input
     maxima the same way, eq. 18b).  Raises [Invalid_argument] on the empty

@@ -1,5 +1,12 @@
 type counter = { cname : string; value : int Atomic.t }
-type timer = { tname : string; calls : int Atomic.t; ns : int Atomic.t }
+
+type timer = {
+  tname : string;
+  calls : int Atomic.t;
+  ns : int Atomic.t;
+  minor_w : int Atomic.t;  (* minor-heap words allocated inside timed sections *)
+  promoted_w : int Atomic.t;  (* words promoted to the major heap inside them *)
+}
 
 (* The registry is touched only at module-initialisation time (interning)
    and when reporting, never on the instrumented hot path. *)
@@ -30,7 +37,14 @@ let counter name =
 
 let timer name =
   intern timers
-    (fun tname -> { tname; calls = Atomic.make 0; ns = Atomic.make 0 })
+    (fun tname ->
+      {
+        tname;
+        calls = Atomic.make 0;
+        ns = Atomic.make 0;
+        minor_w = Atomic.make 0;
+        promoted_w = Atomic.make 0;
+      })
     name
 
 let incr c = if Atomic.get on then Atomic.incr c.value
@@ -41,14 +55,24 @@ let count c = Atomic.get c.value
    already in the build); [Sys.time] would sum CPU time over domains. *)
 let now_ns () = Int64.to_int (Monotonic_clock.now ())
 
+(* Allocation is tracked per timed section through [Gc.counters] deltas
+   (cheap: reads the current domain's allocation pointers, no heap
+   walk).  The bookkeeping itself allocates a few words per call (the
+   counters tuple and closure), so enabled-mode figures carry a small
+   constant per-call overhead; with instrumentation disabled the hot
+   path is still a single load-and-branch. *)
 let time t f =
   if not (Atomic.get on) then f ()
   else begin
     let t0 = now_ns () in
+    let m0, p0, _ = Gc.counters () in
     Fun.protect
       ~finally:(fun () ->
+        let m1, p1, _ = Gc.counters () in
         Atomic.incr t.calls;
-        ignore (Atomic.fetch_and_add t.ns (now_ns () - t0)))
+        ignore (Atomic.fetch_and_add t.ns (now_ns () - t0));
+        ignore (Atomic.fetch_and_add t.minor_w (int_of_float (m1 -. m0)));
+        ignore (Atomic.fetch_and_add t.promoted_w (int_of_float (p1 -. p0))))
       f
   end
 
@@ -58,11 +82,18 @@ let reset () =
   Hashtbl.iter
     (fun _ t ->
       Atomic.set t.calls 0;
-      Atomic.set t.ns 0)
+      Atomic.set t.ns 0;
+      Atomic.set t.minor_w 0;
+      Atomic.set t.promoted_w 0)
     timers;
   Mutex.unlock registry_lock
 
-type timed = { calls : int; seconds : float }
+type timed = {
+  calls : int;
+  seconds : float;
+  minor_words : int;
+  promoted_words : int;
+}
 
 type snapshot = {
   counters : (string * int) list;
@@ -83,7 +114,15 @@ let snapshot () =
       (fun name (t : timer) acc ->
         let calls = Atomic.get t.calls in
         if calls = 0 then acc
-        else (name, { calls; seconds = float_of_int (Atomic.get t.ns) *. 1e-9 }) :: acc)
+        else
+          ( name,
+            {
+              calls;
+              seconds = float_of_int (Atomic.get t.ns) *. 1e-9;
+              minor_words = Atomic.get t.minor_w;
+              promoted_words = Atomic.get t.promoted_w;
+            } )
+          :: acc)
       timers []
   in
   Mutex.unlock registry_lock;
@@ -119,8 +158,10 @@ let to_json s =
     (fun i (name, t) ->
       if i > 0 then Buffer.add_char b ',';
       Buffer.add_string b
-        (Printf.sprintf "\n    \"%s\": {\"calls\": %d, \"seconds\": %.9f}"
-           (json_escape name) t.calls t.seconds))
+        (Printf.sprintf
+           "\n    \"%s\": {\"calls\": %d, \"seconds\": %.9f, \"minor_words\": \
+            %d, \"promoted_words\": %d}"
+           (json_escape name) t.calls t.seconds t.minor_words t.promoted_words))
     s.timers;
   if s.timers <> [] then Buffer.add_string b "\n  ";
   Buffer.add_string b "}\n}\n";
@@ -131,7 +172,9 @@ let pp ppf s =
   List.iter (fun (name, v) -> Format.fprintf ppf "%-32s %12d@," name v) s.counters;
   List.iter
     (fun (name, t) ->
-      Format.fprintf ppf "%-32s %12d calls %10.3f ms@," name t.calls
-        (t.seconds *. 1e3))
+      Format.fprintf ppf "%-32s %12d calls %10.3f ms %10.0f w/call@," name
+        t.calls (t.seconds *. 1e3)
+        (if t.calls = 0 then 0.
+         else float_of_int t.minor_words /. float_of_int t.calls))
     s.timers;
   Format.fprintf ppf "@]"

@@ -44,9 +44,13 @@ val timer : string -> timer
 (** Interns (or retrieves) the timer named [name]. *)
 
 val time : timer -> (unit -> 'a) -> 'a
-(** [time t f] runs [f ()], attributing its wall-clock duration to [t]
-    and counting one call — or just runs [f ()] when disabled.  The
-    duration is recorded even if [f] raises. *)
+(** [time t f] runs [f ()], attributing its wall-clock duration — and
+    the calling domain's minor-heap / promoted words allocated during it
+    ([Gc.counters] deltas) — to [t], counting one call; or just runs
+    [f ()] when disabled.  Everything is recorded even if [f] raises.
+    The allocation bookkeeping itself costs a few words per enabled
+    call, so a section that allocates nothing reports a small constant
+    rather than exactly zero when timers nest. *)
 
 val now_ns : unit -> int
 (** Monotonic clock reading in nanoseconds (works regardless of
@@ -54,7 +58,12 @@ val now_ns : unit -> int
 
 (** {1 Reporting} *)
 
-type timed = { calls : int; seconds : float }
+type timed = {
+  calls : int;
+  seconds : float;
+  minor_words : int;  (** minor-heap words allocated inside the section *)
+  promoted_words : int;  (** words promoted to the major heap inside it *)
+}
 
 type snapshot = {
   counters : (string * int) list;  (** sorted by name *)
@@ -67,7 +76,8 @@ val snapshot : unit -> snapshot
 val to_json : snapshot -> string
 (** The snapshot as a JSON object:
     [{"counters": {name: count, ...},
-      "timers": {name: {"calls": n, "seconds": s}, ...}}]. *)
+      "timers": {name: {"calls": n, "seconds": s,
+                        "minor_words": w, "promoted_words": p}, ...}}]. *)
 
 val pp : Format.formatter -> snapshot -> unit
 (** Human-readable two-column rendering. *)

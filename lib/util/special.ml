@@ -6,8 +6,15 @@ let sqrt2 = sqrt 2.
 let inv_sqrt_2pi = 1. /. sqrt (2. *. pi)
 let inv_sqrt_pi = 1. /. sqrt pi
 
+(* The hot functions below ([erf_small] through [normal_cdf]) carry
+   [@inline]: the statistical-max kernels (Statdelay.Clark) call them
+   per gate per evaluation, and in classic (non-flambda) mode the
+   cross-module call boundary would otherwise box the float argument
+   and result.  Inlined, the whole pdf/cdf chain compiles to
+   straight-line unboxed float code. *)
+
 (* |x| <= 0.46875 *)
-let erf_small x =
+let[@inline] erf_small x =
   let a0 = 3.16112374387056560e+00
   and a1 = 1.13864154151050156e+02
   and a2 = 3.77485237685302021e+02
@@ -23,7 +30,7 @@ let erf_small x =
   x *. num /. den
 
 (* 0.46875 <= x <= 4, returns erfc x for x >= 0 *)
-let erfc_mid x =
+let[@inline] erfc_mid x =
   let c0 = 5.64188496988670089e-01
   and c1 = 8.88314979438837594e+00
   and c2 = 6.61191906371416295e+01
@@ -41,15 +48,25 @@ let erfc_mid x =
   and d5 = 4.36261909014324716e+03
   and d6 = 3.43936767414372164e+03
   and d7 = 1.23033935480374942e+03 in
-  let horner init coeffs =
-    Array.fold_left (fun acc c -> (acc *. x) +. c) init coeffs
+  (* Straight-line Horner chains: the exact left-fold the previous
+     array-literal formulation performed, without allocating the
+     coefficient arrays and fold closure per call.  Bit-identical. *)
+  let num =
+    ((((((((c8 *. x) +. c0) *. x +. c1) *. x +. c2) *. x +. c3) *. x +. c4)
+      *. x +. c5)
+     *. x +. c6)
+    *. x +. c7
   in
-  let num = horner c8 [| c0; c1; c2; c3; c4; c5; c6; c7 |] in
-  let den = horner 1. [| d0; d1; d2; d3; d4; d5; d6; d7 |] in
+  let den =
+    ((((((((1. *. x) +. d0) *. x +. d1) *. x +. d2) *. x +. d3) *. x +. d4)
+      *. x +. d5)
+     *. x +. d6)
+    *. x +. d7
+  in
   exp (-.x *. x) *. num /. den
 
 (* x > 4, returns erfc x *)
-let erfc_large x =
+let[@inline] erfc_large x =
   let p0 = 3.05326634961232344e-01
   and p1 = 3.60344899949804439e-01
   and p2 = 1.25781726111229246e-01
@@ -69,12 +86,12 @@ let erfc_large x =
     let r = z *. num /. den in
     exp (-.x *. x) /. x *. (inv_sqrt_pi -. r)
 
-let erfc_pos x =
+let[@inline] erfc_pos x =
   if x <= 0.46875 then 1. -. erf_small x
   else if x <= 4. then erfc_mid x
   else erfc_large x
 
-let erfc x = if x >= 0. then erfc_pos x else 2. -. erfc_pos (-.x)
+let[@inline] erfc x = if x >= 0. then erfc_pos x else 2. -. erfc_pos (-.x)
 
 let erf x =
   let ax = abs_float x in
@@ -83,8 +100,8 @@ let erf x =
     let e = 1. -. erfc_pos ax in
     if x >= 0. then e else -.e
 
-let normal_pdf x = inv_sqrt_2pi *. exp (-0.5 *. x *. x)
-let normal_cdf x = 0.5 *. erfc (-.x /. sqrt2)
+let[@inline] normal_pdf x = inv_sqrt_2pi *. exp (-0.5 *. x *. x)
+let[@inline] normal_cdf x = 0.5 *. erfc (-.x /. sqrt2)
 
 (* Stable log Phi(x): for x < -8 use the asymptotic expansion of the Mills
    ratio, otherwise log of the direct value. *)

@@ -1,0 +1,288 @@
+(* Differential tests for the flat structure-of-arrays timing arena.
+
+   Sta.Ssta.Boxed is the pre-refactor record-based implementation kept
+   verbatim as a golden oracle: every arena-backed engine entry point
+   must produce Int64-bit-identical values AND gradients against it, on
+   generated and .bench circuits, at 1, 2 and 4 domains, across arena
+   reuse (the same planes swept at many size vectors).  A second group
+   is a Gc-based regression test: a steady-state forward (and reverse)
+   sweep on a reused arena must not allocate — strictly in the release
+   profile where the Clark kernels inline, within a loose per-gate
+   ceiling in the dev profile (whose -opaque flag blocks cross-library
+   inlining and re-boxes kernel arguments). *)
+
+open Circuit
+
+let model = Sigma_model.paper_default
+let pool2 = Util.Pool.create ~jobs:2 ()
+let pool4 = Util.Pool.create ~jobs:4 ()
+let pools = [ (1, None); (2, Some pool2); (4, Some pool4) ]
+
+(* ---- bit-level comparison helpers ------------------------------------------- *)
+
+let bits = Int64.bits_of_float
+
+let check_normal_identical msg (a : Statdelay.Normal.t) (b : Statdelay.Normal.t) =
+  if
+    not
+      (Int64.equal (bits a.Statdelay.Normal.mu) (bits b.Statdelay.Normal.mu)
+      && Int64.equal (bits a.Statdelay.Normal.var) (bits b.Statdelay.Normal.var))
+  then
+    Alcotest.failf "%s: (%h, %h) <> (%h, %h)" msg a.Statdelay.Normal.mu
+      a.Statdelay.Normal.var b.Statdelay.Normal.mu b.Statdelay.Normal.var
+
+let check_floats_identical msg (a : float array) (b : float array) =
+  Alcotest.(check int) (msg ^ ": length") (Array.length a) (Array.length b);
+  Array.iteri
+    (fun i x ->
+      if not (Int64.equal (bits x) (bits b.(i))) then
+        Alcotest.failf "%s: slot %d: %h <> %h" msg i x b.(i))
+    a
+
+let check_results_identical msg (a : Sta.Ssta.result) (b : Sta.Ssta.result) =
+  check_normal_identical (msg ^ ": circuit") a.Sta.Ssta.circuit b.Sta.Ssta.circuit;
+  Array.iteri
+    (fun i x -> check_normal_identical (msg ^ ": arrival") x b.Sta.Ssta.arrival.(i))
+    a.Sta.Ssta.arrival;
+  Array.iteri
+    (fun i x ->
+      check_normal_identical (msg ^ ": gate_delay") x b.Sta.Ssta.gate_delay.(i))
+    a.Sta.Ssta.gate_delay;
+  check_floats_identical (msg ^ ": loads") a.Sta.Ssta.loads b.Sta.Ssta.loads
+
+(* ---- circuits under test ---------------------------------------------------- *)
+
+let wide_dag ?(n_gates = 300) seed =
+  Generate.random_dag
+    {
+      Generate.default_spec with
+      Generate.n_gates;
+      n_pis = 30;
+      target_depth = 8;
+      seed;
+    }
+
+let bench_net =
+  lazy
+    (let path =
+       match
+         List.find_opt Sys.file_exists
+           [ "../examples/cla4.bench"; "examples/cla4.bench" ]
+       with
+       | Some p -> p
+       | None -> Alcotest.fail "examples/cla4.bench not found (is it a test dep?)"
+     in
+     match Bench_format.parse_file ~library:(Cell.Library.default ()) path with
+     | Ok net -> net
+     | Error e ->
+         Alcotest.failf "cla4.bench: %s" (Format.asprintf "%a" Bench_format.pp_error e))
+
+let nets_under_test () =
+  [
+    ("fig2", Generate.example_fig2 ());
+    ("tree", Generate.tree ());
+    ("cla4.bench", Lazy.force bench_net);
+    ("apex2*", Generate.apex2_like ());
+    ("dag300", wide_dag 13);
+  ]
+
+(* ---- differential harness --------------------------------------------------- *)
+
+let basis_mu _ = { Sta.Ssta.d_mu = 1.; d_var = 0. }
+let basis_var _ = { Sta.Ssta.d_mu = 0.; d_var = 1. }
+
+let seed_for step =
+  match step mod 3 with
+  | 0 -> ("mu", basis_mu)
+  | 1 -> ("var", basis_var)
+  | _ -> ("mu+3s", Sta.Ssta.mu_plus_k_sigma_seed 3.)
+
+(* Sweep the SAME arena at a sequence of random interior points,
+   asserting every snapshot and gradient bit-identical to the boxed
+   golden path. *)
+let run_differential ?pool ~steps ~seed name net =
+  let rng = Util.Rng.create seed in
+  let arena = Sta.Arena.create net in
+  let n = Netlist.n_gates net in
+  let maxs = Netlist.max_sizes net in
+  let sizes = Array.copy (Netlist.min_sizes net) in
+  for step = 1 to steps do
+    for _ = 1 to 1 + Util.Rng.int rng (max 1 (n / 10)) do
+      let i = Util.Rng.int rng n in
+      sizes.(i) <- Util.Rng.uniform rng ~lo:1.0 ~hi:maxs.(i)
+    done;
+    let msg = Printf.sprintf "%s step %d" name step in
+    if step mod 4 = 0 then
+      check_results_identical msg
+        (Sta.Ssta.Boxed.analyze ?pool ~model net ~sizes)
+        (Sta.Ssta.analyze ?pool ~arena ~model net ~sizes)
+    else begin
+      let seed_name, seedf = seed_for step in
+      let msg = Printf.sprintf "%s (%s)" msg seed_name in
+      let res_b, grad_b =
+        Sta.Ssta.Boxed.value_and_gradient ?pool ~model net ~sizes ~seed:seedf
+      in
+      let res_a, grad_a =
+        Sta.Ssta.value_and_gradient ?pool ~arena ~model net ~sizes ~seed:seedf
+      in
+      check_results_identical msg res_b res_a;
+      check_floats_identical (msg ^ ": grad") grad_b grad_a
+    end
+  done
+
+let test_differential_all_circuits () =
+  List.iter
+    (fun (name, net) ->
+      List.iter
+        (fun (jobs, pool) ->
+          let name = Printf.sprintf "%s jobs=%d" name jobs in
+          run_differential ?pool ~steps:12 ~seed:(31 * jobs) name net)
+        pools)
+    (nets_under_test ())
+
+(* Non-default primary-input arrivals exercise the pi planes. *)
+let test_differential_pi_arrival () =
+  let net = Generate.apex2_like () in
+  let sizes = Netlist.min_sizes net in
+  let pi_arrival i =
+    Statdelay.Normal.make ~mu:(0.1 *. float_of_int (i mod 5)) ~sigma:0.05
+  in
+  let seedf = Sta.Ssta.mu_plus_k_sigma_seed 3. in
+  let res_b, grad_b =
+    Sta.Ssta.Boxed.value_and_gradient ~pi_arrival ~model net ~sizes ~seed:seedf
+  in
+  let res_a, grad_a =
+    Sta.Ssta.value_and_gradient ~pi_arrival ~model net ~sizes ~seed:seedf
+  in
+  check_results_identical "pi arrivals" res_b res_a;
+  check_floats_identical "pi arrivals: grad" grad_b grad_a
+
+(* The satellite engines must not drift when handed an arena. *)
+let test_engines_arena_identical () =
+  let net = Generate.apex2_like () in
+  let sizes = Netlist.min_sizes net in
+  let arena = Sta.Arena.create net in
+  let mc = Sta.Mcsta.sample ~seed:5 ~model net ~sizes ~n:256 in
+  let mc_arena = Sta.Mcsta.sample ~arena ~seed:5 ~model net ~sizes ~n:256 in
+  check_floats_identical "mcsta samples" mc mc_arena;
+  let y =
+    Sta.Yield.sample_circuit_delays ~rng:(Util.Rng.create 7) ~model net ~sizes
+      ~n:64
+  in
+  let y_arena =
+    Sta.Yield.sample_circuit_delays ~rng:(Util.Rng.create 7) ~arena ~model net
+      ~sizes ~n:64
+  in
+  check_floats_identical "yield samples" y y_arena;
+  let c = Sta.Crit.monte_carlo ~rng:(Util.Rng.create 11) ~model net ~sizes ~n:64 in
+  let c_arena =
+    Sta.Crit.monte_carlo ~rng:(Util.Rng.create 11) ~arena ~model net ~sizes ~n:64
+  in
+  check_floats_identical "criticalities" c.Sta.Crit.criticality
+    c_arena.Sta.Crit.criticality
+
+(* Dsta.propagate_into against its allocating wrapper. *)
+let test_propagate_into_identical () =
+  let net = Generate.apex2_like () in
+  let sizes = Netlist.min_sizes net in
+  let gate_delay = Sta.Dsta.delays net ~sizes in
+  let r = Sta.Dsta.analyze_with_delays net ~gate_delay in
+  let arrival = Array.make (Netlist.n_gates net) nan in
+  let circuit = Sta.Dsta.propagate_into net ~gate_delay ~arrival in
+  check_floats_identical "arrival" r.Sta.Dsta.arrival arrival;
+  check_floats_identical "circuit" [| r.Sta.Dsta.circuit |] [| circuit |]
+
+let test_arena_netlist_mismatch () =
+  let arena = Sta.Arena.create (Generate.tree ()) in
+  let net = Generate.example_fig2 () in
+  Alcotest.check_raises "wrong netlist"
+    (Invalid_argument "Ssta: arena was created for a different netlist")
+    (fun () ->
+      ignore (Sta.Ssta.analyze ~arena ~model net ~sizes:(Netlist.min_sizes net)))
+
+let prop_random_dag_differential =
+  QCheck.Test.make ~name:"arena bit-identical on random netlists" ~count:8
+    (QCheck.make QCheck.Gen.(pair (int_range 0 10_000) (int_range 80 400)))
+    (fun (seed, n_gates) ->
+      let net = wide_dag ~n_gates (seed + 1) in
+      run_differential ~steps:6 ~seed
+        (Printf.sprintf "dag%d seed=%d" n_gates seed)
+        net;
+      true)
+
+(* ---- zero-allocation regression --------------------------------------------- *)
+
+(* Same canary as bench/main.ml: computed float arguments to an
+   in-place kernel allocate at every call unless the call was inlined
+   (dev profile compiles with -opaque, which suppresses cross-library
+   inlining; release inlines and the sweeps run allocation-free). *)
+let kernels_inlined () =
+  let mu = Array.make 1 0. and var = Array.make 1 0. in
+  let x = Sys.opaque_identity 0.5 in
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    Statdelay.Clark.add_into ~mu_a:(x +. 0.5) ~var_a:(x *. 0.2) ~mu_b:(x +. 1.5)
+      ~var_b:(x *. 0.4) mu var 0
+  done;
+  ignore (Sys.opaque_identity (mu.(0) +. var.(0)));
+  Gc.minor_words () -. w0 < 64.
+
+let words_per_eval ~reps f =
+  f ();
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  for _ = 1 to reps do
+    f ()
+  done;
+  (Gc.minor_words () -. w0) /. float_of_int reps
+
+let test_steady_state_allocation () =
+  let net = wide_dag ~n_gates:400 29 in
+  let n = Netlist.n_gates net in
+  let sizes = Netlist.min_sizes net in
+  let arena = Sta.Arena.create net in
+  (* Strict bound when the kernels inline: a handful of words from the
+     instrumentation shims ([Gc.minor_words] itself boxes, [Instr.time]
+     closes over the section).  Loose per-gate ceiling otherwise (boxed
+     kernel arguments only — still far below the boxed sweeps' hundreds
+     of words per gate). *)
+  let ceiling = if kernels_inlined () then 256. else 128. *. float_of_int n in
+  let w_fwd =
+    words_per_eval ~reps:10 (fun () -> Sta.Ssta.forward_raw ~model arena ~sizes)
+  in
+  if w_fwd > ceiling then
+    Alcotest.failf "steady-state forward sweep allocates %.0f words/eval (ceiling %.0f)"
+      w_fwd ceiling;
+  let w_rev =
+    words_per_eval ~reps:10 (fun () ->
+        Sta.Ssta.forward_raw ~model arena ~sizes;
+        Sta.Ssta.reverse_raw ~model arena ~d_mu:1. ~d_var:0.)
+  in
+  if w_rev > 2. *. ceiling then
+    Alcotest.failf
+      "steady-state forward+reverse pair allocates %.0f words/eval (ceiling %.0f)"
+      w_rev (2. *. ceiling)
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "arena"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "all circuits x 1/2/4 domains" `Quick
+            test_differential_all_circuits;
+          Alcotest.test_case "pi arrivals" `Quick test_differential_pi_arrival;
+          Alcotest.test_case "satellite engines" `Quick test_engines_arena_identical;
+          Alcotest.test_case "dsta propagate_into" `Quick
+            test_propagate_into_identical;
+          Alcotest.test_case "netlist mismatch rejected" `Quick
+            test_arena_netlist_mismatch;
+          q prop_random_dag_differential;
+        ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "steady-state sweeps" `Quick
+            test_steady_state_allocation;
+        ] );
+    ]

@@ -665,8 +665,8 @@ let test_check_sizing_objective_at_min_sizes () =
   let k = 3. in
   let f x =
     let e = lookup x in
-    let c = e.Sizing.Engine.res.Sta.Ssta.circuit in
-    let mu = Statdelay.Normal.mu c and sigma = Statdelay.Normal.sigma c in
+    let mu = e.Sizing.Engine.cmom.(0)
+    and sigma = sqrt e.Sizing.Engine.cmom.(1) in
     let dvar = if sigma > 0. then k /. (2. *. sigma) else 0. in
     ( mu +. (k *. sigma),
       Array.mapi (fun i g -> g +. (dvar *. e.Sizing.Engine.grad_var.(i))) e.Sizing.Engine.grad_mu )
