@@ -382,7 +382,8 @@ let run_arena () =
       in
       flat ();
       let res_a = Sta.Ssta.of_arena arena in
-      let grad_a = Array.sub arena.Sta.Arena.grad 0 n_gates in
+      let grad_a = Array.make n_gates 0. in
+      Sta.Arena.gradient_into arena grad_a;
       let bits = Int64.bits_of_float in
       let same (x : float) y = Int64.equal (bits x) (bits y) in
       let same_normal (a : Statdelay.Normal.t) (b : Statdelay.Normal.t) =
@@ -417,7 +418,10 @@ let run_arena () =
          ceiling only holds when the kernels inline (release profile);
          otherwise the ceiling scales with the boxed kernel arguments. *)
       let canary =
-        let mu = Array.make 1 0. and var = Array.make 1 0. in
+        let out =
+          Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 2
+        in
+        Bigarray.Array1.fill out 0.;
         (* Computed (not literal) float arguments: literals are static
            data and never allocate, computed ones box at every
            non-inlined call. *)
@@ -426,9 +430,11 @@ let run_arena () =
         let w0 = Gc.minor_words () in
         for _ = 1 to 1000 do
           Statdelay.Clark.add_into ~mu_a:(x +. 0.5) ~var_a:(x *. 0.2)
-            ~mu_b:(x +. 1.5) ~var_b:(x *. 0.4) mu var 0
+            ~mu_b:(x +. 1.5) ~var_b:(x *. 0.4) out 0
         done;
-        ignore (Sys.opaque_identity (mu.(0) +. var.(0)));
+        ignore
+          (Sys.opaque_identity
+             (Statdelay.Clark.vget out 0 +. Statdelay.Clark.vget out 1));
         Gc.minor_words () -. w0
       in
       (* [Gc.minor_words] itself boxes its float result, so a perfectly
@@ -654,12 +660,204 @@ let run_micro () =
   Util.Table.print t;
   print_newline ()
 
+(* Same inlining canary as run_arena / test_arena: computed float
+   arguments to an in-place kernel allocate at every call unless the
+   call inlined (dev's -opaque blocks cross-library inlining). *)
+let kernels_inlined () =
+  let out = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout 2 in
+  Bigarray.Array1.fill out 0.;
+  let x = Sys.opaque_identity 0.5 in
+  Gc.full_major ();
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    Statdelay.Clark.add_into ~mu_a:(x +. 0.5) ~var_a:(x *. 0.2) ~mu_b:(x +. 1.5)
+      ~var_b:(x *. 0.4) out 0
+  done;
+  ignore
+    (Sys.opaque_identity (Statdelay.Clark.vget out 0 +. Statdelay.Clark.vget out 1));
+  Gc.minor_words () -. w0 < 64.
+
+(* ---- machine-readable benchmark snapshot ("json" section) -------------------
+
+   Emits the BENCH_<date>.json scaling trajectory committed at the repo
+   root and diffed by CI (scripts/bench_diff.py): per circuit size, the
+   forward-sweep and gradient throughput of the flat arena, the level
+   structure the cache-blocked sweep sees, allocation per evaluation,
+   arena footprint and peak RSS.  Timing is min-of-5 (minimum over 5
+   batches of [reps] sweeps), the estimator least sensitive to
+   machine-share noise. *)
+
+let json_default_sizes = [ 2_400; 24_000; 240_000; 1_000_000 ]
+
+(* The generated-DAG family used across bench sections: wider and
+   deeper as n grows, seed fixed. *)
+let json_spec n =
+  let n_pis, target_depth =
+    match n with
+    | 2_400 -> (96, 12)
+    | 24_000 -> (300, 24)
+    | 240_000 -> (1_000, 48)
+    | 1_000_000 -> (2_000, 64)
+    | _ ->
+        ( max 16 (n / 500),
+          max 8 (int_of_float (16. *. log10 (float_of_int n))) )
+  in
+  {
+    Circuit.Generate.default_spec with
+    Circuit.Generate.n_gates = n;
+    n_pis;
+    target_depth;
+    seed = 77;
+  }
+
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+      let rec scan () =
+        match In_channel.input_line ic with
+        | None -> 0
+        | Some line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d" Fun.id
+            else scan ()
+      in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) scan
+
+let arena_bytes (a : Sta.Arena.t) =
+  let v (p : Sta.Arena.vec) = 8 * Bigarray.Array1.dim p in
+  let iv (p : Sta.Arena.ivec) = 4 * Bigarray.Array1.dim p in
+  v a.Sta.Arena.sizes + v a.Sta.Arena.load + v a.Sta.Arena.del
+  + v a.Sta.Arena.arr + v a.Sta.Arena.pre + v a.Sta.Arena.opnd
+  + v a.Sta.Arena.fosz + v a.Sta.Arena.pi + v a.Sta.Arena.pp
+  + v a.Sta.Arena.adj + v a.Sta.Arena.dmu_t + v a.Sta.Arena.fadj
+  + v a.Sta.Arena.grad + iv a.Sta.Arena.fi_b + iv a.Sta.Arena.fo_c
+  + Bytes.length a.Sta.Arena.active
+
+let json_one_size buf n =
+  let spec = json_spec n in
+  let t0 = Util.Instr.now_ns () in
+  let net = Circuit.Generate.random_dag spec in
+  let gen_s = float_of_int (Util.Instr.now_ns () - t0) /. 1e9 in
+  let arena = Sta.Arena.create net in
+  let sizes = Circuit.Netlist.min_sizes net in
+  let fl = Circuit.Netlist.flat net in
+  let lvl_off = fl.Circuit.Netlist.lvl_off in
+  let levels = Array.length lvl_off - 1 in
+  let wmin = ref max_int and wmax = ref 0 in
+  for l = 0 to levels - 1 do
+    let w = lvl_off.(l + 1) - lvl_off.(l) in
+    if w < !wmin then wmin := w;
+    if w > !wmax then wmax := w
+  done;
+  let n_gates = Circuit.Netlist.n_gates net in
+  let reps = max 2 (2_000_000 / n_gates) in
+  let min_of_5 f =
+    (* warm-up *)
+    f ();
+    let best = ref infinity in
+    for _ = 1 to 5 do
+      let t0 = Util.Instr.now_ns () in
+      for _ = 1 to reps do
+        f ()
+      done;
+      let ms =
+        float_of_int (Util.Instr.now_ns () - t0) /. 1e6 /. float_of_int reps
+      in
+      if ms < !best then best := ms
+    done;
+    !best
+  in
+  let fwd () = Sta.Ssta.forward_raw ~model arena ~sizes in
+  let fwd_rev () =
+    Sta.Ssta.forward_raw ~model arena ~sizes;
+    Sta.Ssta.reverse_raw ~model arena ~d_mu:1. ~d_var:0.
+  in
+  let fwd_ms = min_of_5 fwd in
+  let fwd_rev_ms = min_of_5 fwd_rev in
+  let words_per_eval =
+    fwd_rev ();
+    Gc.full_major ();
+    let w0 = Gc.minor_words () in
+    let r = 5 in
+    for _ = 1 to r do
+      fwd_rev ()
+    done;
+    (Gc.minor_words () -. w0) /. float_of_int r
+  in
+  let mu = Sta.Arena.circuit_mu arena and var = Sta.Arena.circuit_var arena in
+  Printf.printf
+    "  n=%8d  depth=%3d  fwd=%10.4f ms (%.0f gates/s)  fwd+rev=%10.4f ms      (%.0f grads/s)  mu=%.6f\n%!"
+    n_gates (levels - 1) fwd_ms
+    (float_of_int n_gates /. (fwd_ms /. 1e3))
+    fwd_rev_ms
+    (float_of_int n_gates /. (fwd_rev_ms /. 1e3))
+    mu;
+  Printf.bprintf buf
+    {|    { "n_gates": %d,
+      "n_pis": %d,
+      "depth": %d,
+      "levels": %d,
+      "level_width_min": %d,
+      "level_width_max": %d,
+      "level_width_mean": %.2f,
+      "fanin_edges": %d,
+      "gen_seconds": %.3f,
+      "arena_bytes": %d,
+      "reps": %d,
+      "fwd_ms": %.4f,
+      "fwd_gates_per_sec": %.0f,
+      "fwd_rev_ms": %.4f,
+      "grads_per_sec": %.0f,
+      "words_per_eval": %.1f,
+      "peak_rss_kb": %d,
+      "circuit_mu": %.17g,
+      "circuit_var": %.17g }|}
+    n_gates
+    (Circuit.Netlist.n_pis net)
+    (levels - 1) levels !wmin !wmax
+    (float_of_int n_gates /. float_of_int levels)
+    fl.Circuit.Netlist.fi_off.(n_gates)
+    gen_s (arena_bytes arena) reps fwd_ms
+    (float_of_int n_gates /. (fwd_ms /. 1e3))
+    fwd_rev_ms
+    (float_of_int n_gates /. (fwd_rev_ms /. 1e3))
+    words_per_eval (peak_rss_kb ()) mu var
+
+let run_json ~out ~sizes () =
+  section "Machine-readable benchmark snapshot" (fun () ->
+      let sizes = match sizes with [] -> json_default_sizes | l -> l in
+      let buf = Buffer.create 4096 in
+      Printf.bprintf buf
+        {|{ "schema_version": 1,
+  "generator": "bench/main.exe json",
+  "ocaml_version": %S,
+  "word_size": %d,
+  "kernels_inlined": %b,
+  "timing": "min over 5 batches, mean over per-batch reps",
+  "sizes": [
+|}
+        Sys.ocaml_version Sys.word_size (kernels_inlined ());
+      List.iteri
+        (fun i n ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          json_one_size buf n)
+        sizes;
+      Buffer.add_string buf "\n  ]\n}\n";
+      match out with
+      | None -> print_string (Buffer.contents buf)
+      | Some path ->
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Buffer.contents buf));
+          Printf.printf "  wrote %s\n" path)
+
 let usage () =
   Printf.eprintf
-    "usage: main.exe [--jobs N] \
-     [all|tables|micro|parallel|arena|mcsta|resilience|incremental|table1|table2|table3|example|yield|mc|corner|ablation|extensions|scale]...\n"
+    "usage: main.exe [--jobs N] [--out FILE] [--sizes N,N,...] \
+     [all|tables|micro|parallel|arena|mcsta|resilience|incremental|table1|table2|table3|example|yield|mc|corner|ablation|extensions|scale|json]...\n"
 
 let () =
+  let out = ref None and size_list = ref [] in
   let rec parse jobs sections = function
     | [] -> (jobs, List.rev sections)
     | "--jobs" :: n :: rest -> (
@@ -670,6 +868,27 @@ let () =
             exit 2)
     | [ "--jobs" ] ->
         Printf.eprintf "--jobs expects an argument\n";
+        exit 2
+    | "--out" :: path :: rest ->
+        out := Some path;
+        parse jobs sections rest
+    | [ "--out" ] ->
+        Printf.eprintf "--out expects an argument\n";
+        exit 2
+    | "--sizes" :: ns :: rest -> (
+        match
+          String.split_on_char ',' ns
+          |> List.map (fun x -> int_of_string_opt (String.trim x))
+        with
+        | sizes when List.for_all (function Some n -> n > 0 | None -> false) sizes
+          ->
+            size_list := List.filter_map Fun.id sizes;
+            parse jobs sections rest
+        | _ ->
+            Printf.eprintf "--sizes expects positive integers, got %S\n" ns;
+            exit 2)
+    | [ "--sizes" ] ->
+        Printf.eprintf "--sizes expects an argument\n";
         exit 2
     | s :: rest -> parse jobs (s :: sections) rest
   in
@@ -701,6 +920,7 @@ let () =
     | "extensions" -> run_extensions ()
     | "corner" -> run_corner ()
     | "scale" -> run_scale ?pool ()
+    | "json" -> run_json ~out:!out ~sizes:!size_list ()
     | other ->
         Printf.eprintf "unknown section %S\n" other;
         usage ();

@@ -21,6 +21,22 @@ type error = { line : int; message : string }
 
 val pp_error : Format.formatter -> error -> unit
 
+exception Error of error
+
+(** {1 Statement-level parsing}
+
+    Exposed for {!Bench_stream}, which re-uses the line grammar but
+    builds CSR columns instead of a {!Netlist.Builder} record graph. *)
+
+type assign = { target : string; op : string; args : string list }
+(** One [target = OP(arg, ...)] line; [op] is upper-cased. *)
+
+type statement = Input of string | Output of string | Assign of assign
+
+val parse_line : int -> string -> statement option
+(** [parse_line line_no raw] parses one raw line ([None] for blank
+    lines and comments).  Raises {!Error} on a syntax error. *)
+
 val parse_string :
   ?wire_load:float ->
   library:Cell.Library.t ->

@@ -1,0 +1,36 @@
+(** Streaming [.bench] reader for large circuits.
+
+    Same grammar and elaboration semantics as {!Bench_format} — same
+    three statement passes, same worklist rounds, same wide-operator
+    decomposition — but the circuit is accumulated directly as the
+    old-id CSR columns {!Netlist.of_csr} consumes, never materialising
+    the {!Netlist.Builder} record graph.  The result is
+    indistinguishable from {!Bench_format.parse_file}: same gate ids
+    and names, same flat view, bit-identical sweep results
+    ([test/test_arena.ml] pins the equivalence on every bundled
+    circuit).
+
+    Memory contract: peak construction footprint is the retained
+    statement text plus a few machine words per fanin edge (the CSR
+    columns themselves, which the netlist then owns), instead of a
+    gate record, a fanin node list and fanout list cells per gate.
+    Use this loader for 10{^5}-gate-and-up files; prefer
+    {!Bench_format} only when its richer per-line error positions
+    matter more than footprint. *)
+
+val parse_string :
+  ?wire_load:float ->
+  library:Cell.Library.t ->
+  string ->
+  (Netlist.t, Bench_format.error) result
+(** Parses a whole [.bench] text held in memory.  Mostly for tests —
+    the point of this module is {!parse_file}, which never holds the
+    file contents at once. *)
+
+val parse_file :
+  ?wire_load:float ->
+  library:Cell.Library.t ->
+  string ->
+  (Netlist.t, Bench_format.error) result
+(** Reads the file line by line ([Error] with [line = 0] for missing
+    or unreadable files, like {!Bench_format.parse_file}). *)

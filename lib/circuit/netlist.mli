@@ -107,15 +107,34 @@ val level_buckets : t -> int array array
     [int array] / [float array] planes, for the structure-of-arrays
     timing engines ({!Sta.Arena}): walking the graph then touches no
     lists, records or closures.  Computed once per netlist and cached
-    (same lazy, fill-before-sharing lifecycle as {!level_buckets}). *)
+    (same lazy, fill-before-sharing lifecycle as {!level_buckets}).
+
+    The flat view renumbers gates {e level-major}: new ids are assigned
+    level by level, ascending old id within each level, so one level's
+    gates occupy the contiguous new-id range
+    [lvl_off.(l) .. lvl_off.(l+1) - 1] and a levelized sweep walks
+    memory in cache-blocked order.  Every column and every encoded gate
+    reference below is in new-id space; {!flat.perm} / {!flat.inv_perm}
+    translate.  Because the permutation is monotone inside each level,
+    ascending (or descending) new-id order within a level coincides
+    with ascending (descending) old-id order — which is what keeps the
+    permuted sweeps' floating-point operation order, and hence their
+    bits, identical to the id-ordered boxed reference. *)
 
 type flat = {
+  perm : int array;
+      (** old gate id -> new (level-major) id, length [n_gates] *)
+  inv_perm : int array;  (** new id -> old gate id *)
+  lvl_off : int array;
+      (** level segment offsets, length [depth + 1]: the gates of level
+          [l + 1] hold new ids [lvl_off.(l) .. lvl_off.(l+1) - 1] *)
   fi_off : int array;
-      (** fanin row offsets, length [n_gates + 1]: gate [g]'s fanin
-          nodes live at [fi_node.(fi_off.(g)) .. fi_node.(fi_off.(g+1) - 1)] *)
+      (** fanin row offsets, length [n_gates + 1], indexed by new id:
+          gate [g]'s fanin nodes live at
+          [fi_node.(fi_off.(g)) .. fi_node.(fi_off.(g+1) - 1)] *)
   fi_node : int array;
-      (** encoded fanin nodes, in [gate.fanin] order: [Gate g] is [g],
-          [Pi i] is [-i - 1] *)
+      (** encoded fanin nodes, in [gate.fanin] order: a gate is its new
+          id, [Pi i] is [-i - 1] *)
   po_node : int array;  (** encoded primary-output nodes, in {!pos} order *)
   po_base : int;
       (** [fi_off.(n_gates)]: the primary-output segment's base in a
@@ -123,20 +142,57 @@ type flat = {
   fold_slots : int;
       (** [po_base + n_pos]: total slots a per-operand scratch plane
           needs (one per fanin edge plus one per primary output) *)
-  fo_off : int array;  (** fanout row offsets, length [n_gates + 1] *)
-  fo_consumer : int array;  (** consumer gate id per fanout entry *)
+  fo_off : int array;  (** fanout row offsets, length [n_gates + 1], new-id *)
+  fo_consumer : int array;  (** consumer new id per fanout entry *)
   fo_mult : float array;  (** pin multiplicity, pre-converted to float *)
   fo_cin : float array;  (** consumer cell input capacitance [C_in] *)
-  g_t_int : float array;  (** per-gate cell intrinsic delay *)
-  g_drive : float array;  (** per-gate cell drive resistance *)
-  g_wire_load : float array;  (** per-gate output wire capacitance *)
-  g_max_size : float array;  (** per-gate size upper bound *)
+  g_t_int : float array;  (** per-gate cell intrinsic delay, new-id order *)
+  g_drive : float array;  (** per-gate cell drive resistance, new-id order *)
+  g_wire_load : float array;  (** per-gate output wire capacitance, new-id *)
+  g_max_size : float array;  (** per-gate size upper bound, new-id order *)
 }
-(** Entries of one fanout row appear in {!fanout}-list order, so a fold
-    over the row accumulates in the same floating-point order as
-    {!load}. *)
+(** Entries of one fanout row appear in {!fanout}-list order (consumer
+    ids renamed, order untouched), so a fold over the row accumulates
+    in the same floating-point order as {!load}. *)
 
 val flat : t -> flat
+
+(** {1 Streaming construction}
+
+    Loaders that stream a large design can hand the topology over as
+    old-id CSR columns instead of going through {!Builder}, skipping
+    the boxed record graph entirely: {!of_csr} computes the flat view
+    and the level buckets straight from the columns, and only
+    reconstructs the per-gate records / fanout adjacency lists (from
+    the retained columns, lazily) if a record-level accessor such as
+    {!gate} or {!fanout} is later called.  Peak construction memory is
+    the columns themselves — a few [int]/[float] words per fanin edge —
+    rather than a record and a list cell per gate. *)
+
+val of_csr :
+  ?name:string ->
+  pi_names:string array ->
+  cells:Cell.t array ->
+  wire_loads:float array ->
+  fi_off:int array ->
+  fi_node:int array ->
+  pos:node array ->
+  po_names:string array ->
+  unit ->
+  t
+(** [of_csr ~pi_names ~cells ~wire_loads ~fi_off ~fi_node ~pos ~po_names ()]
+    builds a netlist from old-id CSR columns: gate [g] (ids must be
+    topologically ordered — every gate fanin reference strictly below
+    [g]) uses cell [cells.(g)], drives wire capacitance
+    [wire_loads.(g)], and its encoded fanin nodes (gate [g'] as [g'],
+    [Pi i] as [-i - 1]) sit at [fi_node.(fi_off.(g))
+    .. fi_node.(fi_off.(g+1) - 1)].  Gate names default to ["g<id>"],
+    as with unnamed {!Builder.add_gate}.  The resulting netlist is
+    indistinguishable from the equivalent {!Builder} sequence — same
+    flat view, same fanout lists, same floating-point sweep results
+    bit for bit.  Raises [Invalid_argument] on ragged columns, fanin
+    arity/cell mismatches, out-of-range references or an empty
+    [pos]. *)
 
 type stats = {
   gates_count : int;

@@ -163,9 +163,9 @@ let make_cache ?pool ?timing ?arena ~model net =
           entry.cmom.(0) <- Sta.Arena.circuit_mu a;
           entry.cmom.(1) <- Sta.Arena.circuit_var a;
           Sta.Ssta.reverse_raw ?pool ~model a ~d_mu:1. ~d_var:0.;
-          Array.blit a.Sta.Arena.grad 0 entry.grad_mu 0 n;
+          Sta.Arena.gradient_into a entry.grad_mu;
           Sta.Ssta.reverse_raw ?pool ~model a ~d_mu:0. ~d_var:1.;
-          Array.blit a.Sta.Arena.grad 0 entry.grad_var 0 n);
+          Sta.Arena.gradient_into a entry.grad_var);
       Array.blit x 0 entry.cx 0 n;
       entry.filled <- true;
       entry

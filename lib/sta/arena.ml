@@ -4,12 +4,25 @@ open Statdelay
 (* Flat structure-of-arrays timing state shared by every STA engine.
 
    One arena holds every per-gate and per-fold-step quantity of a
-   statistical timing analysis in unboxed [float array] planes, indexed
-   by gate id (or by fold slot, see Netlist.flat).  All planes are
-   allocated once in [create]; the forward and reverse sweeps then write
-   in place, so a steady-state evaluation — the inner loop of an
-   augmented-Lagrangian sizing solve — allocates nothing on the OCaml
-   heap.
+   statistical timing analysis in unboxed [Bigarray.Array1] (float64)
+   planes, indexed by the flat view's {e level-major} gate ids (or by
+   fold slot, see Netlist.flat).  Moment planes interleave (mu, var)
+   pairs — slot [i] at indices [2i] / [2i + 1] — so a random gather of
+   a fanin arrival touches one cache line instead of two parallel
+   planes, and a levelized sweep walks each level's pairs as one
+   contiguous block.  All planes are allocated once in [create] (off
+   the OCaml heap: the GC neither scans nor moves them); the forward
+   and reverse sweeps then write in place, so a steady-state
+   evaluation — the inner loop of an augmented-Lagrangian sizing
+   solve — allocates nothing.
+
+   Id spaces.  Everything inside the arena is in new (level-major) ids;
+   the public boundary stays in old gate ids: [forward ~sizes] takes an
+   old-id size vector (gathered through [flat.inv_perm] once per sweep)
+   and [gradient_into] / [delay_means_into] scatter back through the
+   same permutation.  Because the permutation is monotone within each
+   level (Netlist.flat's contract), the new-id sweep order coincides
+   with the old-id order the boxed reference uses, level by level.
 
    Bit-identity contract: the sweeps perform the same floating-point
    operations in the same order as the boxed reference implementation
@@ -19,69 +32,141 @@ open Statdelay
    domains.  test/test_arena.ml enforces this differentially.
 
    Scratch-plane layout.  A gate's fanin fold of Clark.max2 owns the
-   slot range [fi_off.(g) .. fi_off.(g+1) - 1] of the [pre_*] (prefix
-   moments), [fadj_*] (per-operand adjoints) and [pp] (8 partials per
+   slot range [fi_off.(g) .. fi_off.(g+1) - 1] of the [pre] (prefix
+   moments), [fadj] (per-operand adjoints) and [pp] (8 partials per
    step) planes; the primary-output fold owns the trailing
    [po_base .. po_base + n_pos - 1] segment.  Ranges are disjoint across
    gates, which is what lets the level-parallel phases write without
    synchronisation while keeping the serial scatter order fixed (the
    same two-phase scheme as the boxed sweeps). *)
 
+type vec = Clark.vec
+
+(* Compact index column: staging reads one index per fold slot / fanout
+   edge, so storing them as int32 halves that stream's bandwidth next
+   to OCaml's 8-byte [int array]. *)
+type ivec = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+
+(* Staging gathers in C (stage_stubs.c): pure pair/size copies — no
+   floating-point arithmetic, so bit-identity is untouched — with
+   software prefetch keeping a couple of dozen cache misses in flight,
+   which the OCaml loop's out-of-order window alone cannot. *)
+external stage_gather_pairs : Clark.vec -> ivec -> Clark.vec -> int -> int -> unit
+  = "sta_stage_gather_pairs"
+[@@noalloc]
+
+external stage_gather_sizes : Clark.vec -> ivec -> Clark.vec -> int -> int -> unit
+  = "sta_stage_gather_sizes"
+[@@noalloc]
+
 type t = {
   net : Netlist.t;
   flat : Netlist.flat;
-  buckets : int array array;
-  n : int;  (** gate count; every per-gate plane has this length *)
+  n : int;  (** gate count; every per-gate plane has this many slots *)
   (* -- forward state, valid after [forward] -- *)
-  sizes : float array;  (** copy of the last sizes swept *)
-  load : float array;
-  del_mu : float array;  (** gate delay mean [mu_t] *)
-  del_var : float array;  (** gate delay variance *)
-  arr_mu : float array;  (** arrival mean per gate *)
-  arr_var : float array;
-  pre_mu : float array;  (** fold-slot plane: prefix maxima of each fold *)
-  pre_var : float array;
-  pi_mu : float array;  (** primary-input arrivals (zero by default) *)
-  pi_var : float array;
+  sizes : vec;  (** last sizes swept, permuted to new-id order *)
+  load : vec;
+  del : vec;  (** gate delay (mu, var) pairs *)
+  arr : vec;  (** arrival (mu, var) pairs per gate *)
+  pre : vec;  (** fold-slot pair plane: prefix maxima of each fold *)
+  opnd : vec;
+      (** level-window pair scratch: the current level's staged fanin
+          operands, indexed by [slot - fi_off.(level lo)] — sized for
+          the widest level so it stays cache-resident across levels *)
+  fosz : vec;
+      (** level-window scratch: the current level's staged consumer
+          sizes, indexed by [edge - fo_off.(level lo)] *)
+  fi_b : ivec;
+      (** fold-slot column: pair index of each operand in [arr] —
+          [2 * e] for a gate fanin, [2 * (n + i)] for primary input
+          [i] (whose pairs live in [arr]'s tail section) — so staging
+          is a branch-free gather from a single plane *)
+  fo_c : ivec;  (** fanout-edge column: [fo_consumer] as int32 *)
+  pi : vec;  (** primary-input arrival pairs (zero by default) *)
   (* -- reverse state, valid after [reverse] -- *)
-  pp : float array;  (** fold-slot plane x8: Clark partials per fold step *)
-  adj_mu : float array;  (** arrival adjoints per gate *)
-  adj_var : float array;
-  dmu_t : float array;  (** gate-delay mean adjoint per gate *)
-  active : bool array;  (** gate has a non-zero arrival adjoint *)
-  fadj_mu : float array;  (** fold-slot plane: per-operand adjoints *)
-  fadj_var : float array;
-  grad : float array;  (** d(seeded objective)/d(size) per gate *)
+  pp : vec;  (** fold-slot plane x8: Clark partials per fold step *)
+  adj : vec;  (** arrival adjoint pairs per gate *)
+  dmu_t : vec;  (** gate-delay mean adjoint per gate *)
+  active : Bytes.t;  (** ['\001'] iff gate has a non-zero arrival adjoint *)
+  fadj : vec;  (** fold-slot pair plane: per-operand adjoints *)
+  grad : vec;  (** d(seeded objective)/d(size) per gate, new-id order *)
 }
+
+(* Bigarray.Array1.create leaves the plane uninitialised — always
+   zero-fill before first use.  Large planes are advised onto 2 MiB
+   pages before that first touch: the sweeps gather fanin operands and
+   consumer sizes at random across whole planes, and with 4 KiB pages
+   a million-gate plane costs a TLB walk per gather (DESIGN.md
+   Section 10). *)
+let make_vec len =
+  let v = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (max 1 len) in
+  Util.Hugepage.advise v;
+  Bigarray.Array1.fill v 0.;
+  v
 
 let create net =
   let n = Netlist.n_gates net in
   let fl = Netlist.flat net in
   let fs = fl.Netlist.fold_slots in
   let npi = max 1 (Netlist.n_pis net) in
+  (* Primary-input pairs live in a tail section of [arr] (pair index
+     [n + i] for PI [i]); [pi] is a shared sub-view of that section.
+     With every operand in one plane, [fi_b] can pre-resolve each fold
+     slot's source to a plain pair index and staging needs no branch. *)
+  let arr = make_vec (2 * (n + npi)) in
+  let pi = Bigarray.Array1.sub arr (2 * n) (2 * npi) in
+  let make_ivec len =
+    let v =
+      Bigarray.Array1.create Bigarray.int32 Bigarray.c_layout (max 1 len)
+    in
+    Util.Hugepage.advise v;
+    Bigarray.Array1.fill v 0l;
+    v
+  in
+  let fi_b = make_ivec (Array.length fl.Netlist.fi_node) in
+  Array.iteri
+    (fun sl e ->
+      let b = if e >= 0 then 2 * e else 2 * (n + ((-e) - 1)) in
+      Bigarray.Array1.set fi_b sl (Int32.of_int b))
+    fl.Netlist.fi_node;
+  let fo_c = make_ivec (Array.length fl.Netlist.fo_consumer) in
+  Array.iteri
+    (fun j c -> Bigarray.Array1.set fo_c j (Int32.of_int c))
+    fl.Netlist.fo_consumer;
+  (* The staging scratch only needs to hold one level at a time:
+     re-using a widest-level window keeps it L2-resident instead of
+     streaming a cold fold-slot-sized plane past the cache each
+     sweep. *)
+  let max_fi = ref 1 and max_fo = ref 1 in
+  let lvl_off = fl.Netlist.lvl_off in
+  for l = 0 to Array.length lvl_off - 2 do
+    let lo = lvl_off.(l) and hi = lvl_off.(l + 1) in
+    let fi = fl.Netlist.fi_off.(hi) - fl.Netlist.fi_off.(lo) in
+    let fo = fl.Netlist.fo_off.(hi) - fl.Netlist.fo_off.(lo) in
+    if fi > !max_fi then max_fi := fi;
+    if fo > !max_fo then max_fo := fo
+  done;
   {
     net;
     flat = fl;
-    buckets = Netlist.level_buckets net;
     n;
-    sizes = Array.make (max 1 n) 0.;
-    load = Array.make (max 1 n) 0.;
-    del_mu = Array.make (max 1 n) 0.;
-    del_var = Array.make (max 1 n) 0.;
-    arr_mu = Array.make (max 1 n) 0.;
-    arr_var = Array.make (max 1 n) 0.;
-    pre_mu = Array.make fs 0.;
-    pre_var = Array.make fs 0.;
-    pi_mu = Array.make npi 0.;
-    pi_var = Array.make npi 0.;
-    pp = Array.make (Clark.partials_width * fs) 0.;
-    adj_mu = Array.make (max 1 n) 0.;
-    adj_var = Array.make (max 1 n) 0.;
-    dmu_t = Array.make (max 1 n) 0.;
-    active = Array.make (max 1 n) false;
-    fadj_mu = Array.make fs 0.;
-    fadj_var = Array.make fs 0.;
-    grad = Array.make (max 1 n) 0.;
+    sizes = make_vec n;
+    load = make_vec n;
+    del = make_vec (2 * n);
+    arr;
+    pre = make_vec (2 * fs);
+    opnd = make_vec (2 * !max_fi);
+    fosz = make_vec !max_fo;
+    fi_b;
+    fo_c;
+    pi;
+    pp = make_vec (Clark.partials_width * fs);
+    adj = make_vec (2 * n);
+    dmu_t = make_vec n;
+    active = Bytes.make (max 1 n) '\000';
+    fadj = make_vec (2 * fs);
+    grad = make_vec n;
   }
 
 let netlist t = t.net
@@ -89,18 +174,17 @@ let netlist t = t.net
 (* ---- primary-input arrivals ------------------------------------------------- *)
 
 (* The boxed sweeps query a [pi_arrival] closure at every operand
-   occurrence; the arena samples it once per PI into planes.  Identical
-   by the Pool determinism contract (the closure must be pure). *)
+   occurrence; the arena samples it once per PI into the pair plane.
+   Identical by the Pool determinism contract (the closure must be
+   pure). *)
 let set_pi_arrival t f =
   for i = 0 to Netlist.n_pis t.net - 1 do
     let d = f i in
-    t.pi_mu.(i) <- Normal.mu d;
-    t.pi_var.(i) <- Normal.var d
+    Clark.vset t.pi (2 * i) (Normal.mu d);
+    Clark.vset t.pi ((2 * i) + 1) (Normal.var d)
   done
 
-let clear_pi_arrival t =
-  Array.fill t.pi_mu 0 (Array.length t.pi_mu) 0.;
-  Array.fill t.pi_var 0 (Array.length t.pi_var) 0.
+let clear_pi_arrival t = Bigarray.Array1.fill t.pi 0.
 
 (* ---- instrumentation and level scheduling ----------------------------------- *)
 
@@ -109,48 +193,83 @@ let c_par_levels = Util.Instr.counter "ssta.parallel_levels"
 let c_ser_levels = Util.Instr.counter "ssta.serial_levels"
 let level_grain = 16
 
+(* Serial sweeps stage-and-evaluate wide levels in sub-blocks of this
+   many gates, so the staged window (~40 fanin pairs + fanout sizes
+   per gate block) cycles through the closest cache levels instead of
+   round-tripping a whole level's worth of scratch through L2. *)
+let stage_block = 4096
+
 (* ---- size validation -------------------------------------------------------- *)
 
 (* Same checks, same exceptions, same messages as Netlist.check_sizes —
-   but loop-and-compare over the flat planes, with the message built
-   only in the cold failure branch. *)
+   iterating old gate ids so the first offender reported matches — with
+   the message built only in the cold failure branch. *)
 let bad_size t id s =
   invalid_arg
     (Printf.sprintf "Netlist.check_sizes: size %g of gate %s outside [1, %g]" s
        (Netlist.gate t.net id).Netlist.gate_name
-       t.flat.Netlist.g_max_size.(id))
+       t.flat.Netlist.g_max_size.(t.flat.Netlist.perm.(id)))
 
 let check_sizes t (sizes : float array) =
   if Array.length sizes <> t.n then
     invalid_arg "Netlist.check_sizes: dimension mismatch";
+  let gmax = t.flat.Netlist.g_max_size in
+  let perm = t.flat.Netlist.perm in
   for id = 0 to t.n - 1 do
     let s = sizes.(id) in
-    if s < 1. -. 1e-9 || s > t.flat.Netlist.g_max_size.(id) +. 1e-9 then
-      bad_size t id s
+    if s < 1. -. 1e-9 || s > Array.unsafe_get gmax (Array.unsafe_get perm id) +. 1e-9
+    then bad_size t id s
   done
 
 (* ---- forward sweep ---------------------------------------------------------- *)
 
+(* Gather one level's fanin operand pairs and consumer sizes into the
+   contiguous staging planes ([opnd], [fosz]).  These are the sweep's
+   only random accesses; issued from inside the Clark fold they would
+   serialise behind the compute chain, while these tight
+   independent-iteration copy loops keep many cache misses in flight
+   at once (memory-level parallelism).  Pure copies, so the staged
+   values — and everything computed from them — are bit-identical to a
+   direct gather. *)
+let stage_fanin t lo hi =
+  let fl = t.flat in
+  let s0 = Array.unsafe_get fl.Netlist.fi_off lo in
+  let s1 = Array.unsafe_get fl.Netlist.fi_off hi in
+  stage_gather_pairs t.arr t.fi_b t.opnd s0 s1
+
+let stage_fanout t lo hi =
+  let fl = t.flat in
+  let f0 = Array.unsafe_get fl.Netlist.fo_off lo in
+  let f1 = Array.unsafe_get fl.Netlist.fo_off hi in
+  stage_gather_sizes t.sizes t.fo_c t.fosz f0 f1
+
 (* One gate: load (CSR fold in fanout-list order, Netlist.load's exact
    accumulation), delay moments (Cell.delay + Sigma_model.var with
    Normal.of_var's validation unfolded), fanin fold of Clark.max2 into
-   this gate's prefix slots, arrival = fold + delay. *)
-let eval_gate t model id =
+   this gate's prefix slots, arrival = fold + delay.  [id] is a new
+   (level-major) id; every column and plane index below is too.
+   Requires [stage_fanin] / [stage_fanout] to have staged the gate's
+   level; [s0] / [f0] are that level's first fold slot and fanout edge
+   (the scratch-window origins). *)
+let eval_gate t model s0 f0 id =
   let fl = t.flat in
-  let sizes = t.sizes in
-  let acc = ref fl.Netlist.g_wire_load.(id) in
-  let j1 = fl.Netlist.fo_off.(id + 1) in
-  for j = fl.Netlist.fo_off.(id) to j1 - 1 do
+  let acc = ref (Array.unsafe_get fl.Netlist.g_wire_load id) in
+  let j1 = Array.unsafe_get fl.Netlist.fo_off (id + 1) in
+  for j = Array.unsafe_get fl.Netlist.fo_off id to j1 - 1 do
     acc :=
       !acc
-      +. fl.Netlist.fo_mult.(j)
-         *. (fl.Netlist.fo_cin.(j) *. sizes.(fl.Netlist.fo_consumer.(j)))
+      +. Array.unsafe_get fl.Netlist.fo_mult j
+         *. (Array.unsafe_get fl.Netlist.fo_cin j
+            *. Clark.vget t.fosz (j - f0))
   done;
   let load = !acc in
-  t.load.(id) <- load;
-  let s = sizes.(id) in
+  Clark.vset t.load id load;
+  let s = Clark.vget t.sizes id in
   if s < 1. then invalid_arg "Cell.delay: size below 1";
-  let mu_t = fl.Netlist.g_t_int.(id) +. (fl.Netlist.g_drive.(id) *. load /. s) in
+  let mu_t =
+    Array.unsafe_get fl.Netlist.g_t_int id
+    +. (Array.unsafe_get fl.Netlist.g_drive id *. load /. s)
+  in
   let var_t = Sigma_model.var model mu_t in
   (* Normal.of_var, unfolded to avoid the record. *)
   let var_t =
@@ -159,32 +278,36 @@ let eval_gate t model id =
       else invalid_arg "Normal.of_var: negative variance"
     else var_t
   in
-  t.del_mu.(id) <- mu_t;
-  t.del_var.(id) <- var_t;
-  let base = fl.Netlist.fi_off.(id) in
-  let k = fl.Netlist.fi_off.(id + 1) - base in
-  let e0 = fl.Netlist.fi_node.(base) in
-  if e0 >= 0 then begin
-    t.pre_mu.(base) <- t.arr_mu.(e0);
-    t.pre_var.(base) <- t.arr_var.(e0)
-  end
+  Clark.vset t.del (2 * id) mu_t;
+  Clark.vset t.del ((2 * id) + 1) var_t;
+  let base = Array.unsafe_get fl.Netlist.fi_off id in
+  let k = Array.unsafe_get fl.Netlist.fi_off (id + 1) - base in
+  let ob = base - s0 in
+  if k = 1 then
+    (* Single-operand fold: the prefix slot would only ever be read
+       back by this [add_into], and the reverse sweep's partials loop
+       never touches it — feed the staged operand straight through
+       (the exact same value, so bit-identity is untouched). *)
+    Clark.add_into
+      ~mu_a:(Clark.vget t.opnd (2 * ob))
+      ~var_a:(Clark.vget t.opnd ((2 * ob) + 1))
+      ~mu_b:mu_t ~var_b:var_t t.arr id
   else begin
-    t.pre_mu.(base) <- t.pi_mu.(-e0 - 1);
-    t.pre_var.(base) <- t.pi_var.(-e0 - 1)
-  end;
-  for j = 1 to k - 1 do
-    let e = fl.Netlist.fi_node.(base + j) in
-    let mu_b = if e >= 0 then t.arr_mu.(e) else t.pi_mu.(-e - 1) in
-    let var_b = if e >= 0 then t.arr_var.(e) else t.pi_var.(-e - 1) in
-    Clark.max2_into
-      ~mu_a:t.pre_mu.(base + j - 1)
-      ~var_a:t.pre_var.(base + j - 1)
-      ~mu_b ~var_b t.pre_mu t.pre_var (base + j)
-  done;
-  Clark.add_into
-    ~mu_a:t.pre_mu.(base + k - 1)
-    ~var_a:t.pre_var.(base + k - 1)
-    ~mu_b:mu_t ~var_b:var_t t.arr_mu t.arr_var id
+    Clark.vset t.pre (2 * base) (Clark.vget t.opnd (2 * ob));
+    Clark.vset t.pre ((2 * base) + 1) (Clark.vget t.opnd ((2 * ob) + 1));
+    for j = 1 to k - 1 do
+      Clark.max2_into
+        ~mu_a:(Clark.vget t.pre (2 * (base + j) - 2))
+        ~var_a:(Clark.vget t.pre (2 * (base + j) - 1))
+        ~mu_b:(Clark.vget t.opnd (2 * (ob + j)))
+        ~var_b:(Clark.vget t.opnd ((2 * (ob + j)) + 1))
+        t.pre (base + j)
+    done;
+    Clark.add_into
+      ~mu_a:(Clark.vget t.pre (2 * (base + k) - 2))
+      ~var_a:(Clark.vget t.pre (2 * (base + k) - 1))
+      ~mu_b:mu_t ~var_b:var_t t.arr id
+  end
 
 (* Primary-output fold into the trailing fold-slot segment; the circuit
    moments end up in the segment's last slot. *)
@@ -193,59 +316,78 @@ let fold_pos t =
   let base = fl.Netlist.po_base in
   let m = Array.length fl.Netlist.po_node in
   let e0 = fl.Netlist.po_node.(0) in
-  if e0 >= 0 then begin
-    t.pre_mu.(base) <- t.arr_mu.(e0);
-    t.pre_var.(base) <- t.arr_var.(e0)
-  end
-  else begin
-    t.pre_mu.(base) <- t.pi_mu.(-e0 - 1);
-    t.pre_var.(base) <- t.pi_var.(-e0 - 1)
-  end;
+  let b0 = if e0 >= 0 then 2 * e0 else (-2 * e0) - 2 in
+  let src0 = if e0 >= 0 then t.arr else t.pi in
+  Clark.vset t.pre (2 * base) (Clark.vget src0 b0);
+  Clark.vset t.pre ((2 * base) + 1) (Clark.vget src0 (b0 + 1));
   for j = 1 to m - 1 do
     let e = fl.Netlist.po_node.(j) in
-    let mu_b = if e >= 0 then t.arr_mu.(e) else t.pi_mu.(-e - 1) in
-    let var_b = if e >= 0 then t.arr_var.(e) else t.pi_var.(-e - 1) in
+    let b = if e >= 0 then 2 * e else (-2 * e) - 2 in
+    let src = if e >= 0 then t.arr else t.pi in
     Clark.max2_into
-      ~mu_a:t.pre_mu.(base + j - 1)
-      ~var_a:t.pre_var.(base + j - 1)
-      ~mu_b ~var_b t.pre_mu t.pre_var (base + j)
+      ~mu_a:(Clark.vget t.pre (2 * (base + j) - 2))
+      ~var_a:(Clark.vget t.pre (2 * (base + j) - 1))
+      ~mu_b:(Clark.vget src b)
+      ~var_b:(Clark.vget src (b + 1))
+      t.pre (base + j)
   done
 
 let[@inline] circuit_mu t =
-  t.pre_mu.(t.flat.Netlist.po_base + Array.length t.flat.Netlist.po_node - 1)
+  Clark.vget t.pre
+    (2 * (t.flat.Netlist.po_base + Array.length t.flat.Netlist.po_node - 1))
 
 let[@inline] circuit_var t =
-  t.pre_var.(t.flat.Netlist.po_base + Array.length t.flat.Netlist.po_node - 1)
+  Clark.vget t.pre
+    ((2 * (t.flat.Netlist.po_base + Array.length t.flat.Netlist.po_node - 1)) + 1)
 
 let forward ?pool ~model t ~sizes =
   check_sizes t sizes;
-  Array.blit sizes 0 t.sizes 0 t.n;
-  let buckets = t.buckets in
+  let inv = t.flat.Netlist.inv_perm in
+  for i = 0 to t.n - 1 do
+    Clark.vset t.sizes i (Array.unsafe_get sizes (Array.unsafe_get inv i))
+  done;
+  let lvl_off = t.flat.Netlist.lvl_off in
+  let d = Array.length lvl_off - 1 in
   (match pool with
   | Some p when Util.Pool.size p > 1 ->
-      Array.iter
-        (fun bucket ->
-          let n = Array.length bucket in
-          if n >= 2 * level_grain then begin
-            Util.Instr.incr c_par_levels;
-            Util.Pool.parallel_for ~grain:level_grain p ~n (fun i ->
-                eval_gate t model bucket.(i))
-          end
-          else begin
-            Util.Instr.incr c_ser_levels;
-            for i = 0 to n - 1 do
-              eval_gate t model bucket.(i)
-            done
-          end)
-        buckets
+      for l = 0 to d - 1 do
+        let lo = lvl_off.(l) in
+        let w = lvl_off.(l + 1) - lo in
+        stage_fanin t lo (lo + w);
+        stage_fanout t lo (lo + w);
+        let s0 = t.flat.Netlist.fi_off.(lo)
+        and f0 = t.flat.Netlist.fo_off.(lo) in
+        if w >= 2 * level_grain then begin
+          Util.Instr.incr c_par_levels;
+          Util.Pool.parallel_for ~grain:level_grain ~align:8 p ~n:w (fun i ->
+              eval_gate t model s0 f0 (lo + i))
+        end
+        else begin
+          Util.Instr.incr c_ser_levels;
+          for id = lo to lo + w - 1 do
+            eval_gate t model s0 f0 id
+          done
+        end
+      done
   | _ ->
       (* Serial fast path: plain nested loops, no closures — this is
-         the allocation-free branch the zero-alloc regression pins. *)
-      for l = 0 to Array.length buckets - 1 do
+         the allocation-free branch the zero-alloc regression pins.
+         Each level is one contiguous new-id segment, so the sweep
+         streams the pair planes level block by level block. *)
+      for l = 0 to d - 1 do
         Util.Instr.incr c_ser_levels;
-        let bucket = buckets.(l) in
-        for i = 0 to Array.length bucket - 1 do
-          eval_gate t model bucket.(i)
+        let lo = lvl_off.(l) and hi = lvl_off.(l + 1) in
+        let b0 = ref lo in
+        while !b0 < hi do
+          let b1 = min hi (!b0 + stage_block) in
+          stage_fanin t !b0 b1;
+          stage_fanout t !b0 b1;
+          let s0 = t.flat.Netlist.fi_off.(!b0)
+          and f0 = t.flat.Netlist.fo_off.(!b0) in
+          for id = !b0 to b1 - 1 do
+            eval_gate t model s0 f0 id
+          done;
+          b0 := b1
         done
       done);
   fold_pos t
@@ -258,24 +400,28 @@ let forward ?pool ~model t ~sizes =
    partials are computed from stored moments instead of re-folding —
    the same values bit-for-bit, since the boxed path recomputes them
    with identical operations. *)
-let phase1_gate t model id =
+let phase1_gate t model s0 id =
   let fl = t.flat in
-  let a_mu = t.adj_mu.(id) and a_var = t.adj_var.(id) in
-  t.dmu_t.(id) <- a_mu +. (a_var *. Sigma_model.dvar_dmu model t.del_mu.(id));
+  let a_mu = Clark.vget t.adj (2 * id)
+  and a_var = Clark.vget t.adj ((2 * id) + 1) in
+  Clark.vset t.dmu_t id
+    (a_mu +. (a_var *. Sigma_model.dvar_dmu model (Clark.vget t.del (2 * id))));
   let base = fl.Netlist.fi_off.(id) in
   let k = fl.Netlist.fi_off.(id + 1) - base in
-  t.fadj_mu.(base) <- a_mu;
-  t.fadj_var.(base) <- a_var;
+  let ob = base - s0 in
+  Clark.vset t.fadj (2 * base) a_mu;
+  Clark.vset t.fadj ((2 * base) + 1) a_var;
+  (* Operand moments come from the level's re-staged scratch window —
+     the reverse sweep never writes arrivals, so [stage_fanin] gathers
+     exactly the pairs the forward sweep folded. *)
   for j = k - 1 downto 1 do
-    let e = fl.Netlist.fi_node.(base + j) in
-    let mu_b = if e >= 0 then t.arr_mu.(e) else t.pi_mu.(-e - 1) in
-    let var_b = if e >= 0 then t.arr_var.(e) else t.pi_var.(-e - 1) in
     Clark.partials_into
-      ~mu_a:t.pre_mu.(base + j - 1)
-      ~var_a:t.pre_var.(base + j - 1)
-      ~mu_b ~var_b t.pp (base + j);
-    Clark.backprop_apply t.pp (base + j) t.fadj_mu t.fadj_var ~acc:base
-      ~out:(base + j)
+      ~mu_a:(Clark.vget t.pre (2 * (base + j) - 2))
+      ~var_a:(Clark.vget t.pre (2 * (base + j) - 1))
+      ~mu_b:(Clark.vget t.opnd (2 * (ob + j)))
+      ~var_b:(Clark.vget t.opnd ((2 * (ob + j)) + 1))
+      t.pp (base + j);
+    Clark.backprop_apply t.pp (base + j) t.fadj ~acc:base ~out:(base + j)
   done
 
 (* Phase 2 of one gate (serial, fixed order): scatter the gradient
@@ -283,85 +429,128 @@ let phase1_gate t model id =
    adjoints into the shared accumulators — the same expressions and the
    same accumulation order as the boxed phase 2. *)
 let phase2_gate t id =
-  if t.active.(id) then begin
+  if Bytes.unsafe_get t.active id <> '\000' then begin
     let fl = t.flat in
-    let dmu_t = t.dmu_t.(id) in
+    let dmu_t = Clark.vget t.dmu_t id in
     let drive = fl.Netlist.g_drive.(id) in
-    let s_g = t.sizes.(id) in
-    t.grad.(id) <-
-      t.grad.(id) -. (dmu_t *. drive *. t.load.(id) /. (s_g *. s_g));
+    let s_g = Clark.vget t.sizes id in
+    Clark.vset t.grad id
+      (Clark.vget t.grad id
+      -. (dmu_t *. drive *. Clark.vget t.load id /. (s_g *. s_g)));
     let j1 = fl.Netlist.fo_off.(id + 1) in
     for j = fl.Netlist.fo_off.(id) to j1 - 1 do
       let c = fl.Netlist.fo_consumer.(j) in
-      t.grad.(c) <-
-        t.grad.(c)
+      Clark.vset t.grad c
+        (Clark.vget t.grad c
         +. dmu_t *. drive *. fl.Netlist.fo_mult.(j) *. fl.Netlist.fo_cin.(j)
-           /. s_g
+           /. s_g)
     done;
     let base = fl.Netlist.fi_off.(id) in
     let k = fl.Netlist.fi_off.(id + 1) - base in
     for i = 0 to k - 1 do
       let e = fl.Netlist.fi_node.(base + i) in
       if e >= 0 then begin
-        t.adj_mu.(e) <- t.adj_mu.(e) +. t.fadj_mu.(base + i);
-        t.adj_var.(e) <- t.adj_var.(e) +. t.fadj_var.(base + i)
+        Clark.vset t.adj (2 * e)
+          (Clark.vget t.adj (2 * e) +. Clark.vget t.fadj (2 * (base + i)));
+        Clark.vset t.adj ((2 * e) + 1)
+          (Clark.vget t.adj ((2 * e) + 1)
+          +. Clark.vget t.fadj ((2 * (base + i)) + 1))
       end
     done
   end
 
 let reverse ?pool ~model t ~d_mu ~d_var =
   let fl = t.flat in
-  Array.fill t.adj_mu 0 t.n 0.;
-  Array.fill t.adj_var 0 t.n 0.;
-  Array.fill t.grad 0 t.n 0.;
-  Array.fill t.active 0 t.n false;
+  Bigarray.Array1.fill t.adj 0.;
+  Bigarray.Array1.fill t.grad 0.;
+  Bytes.fill t.active 0 (Bytes.length t.active) '\000';
   (* Seed the primary-output fold and scatter its per-operand adjoints
      (ascending PO order, as the boxed sweep does). *)
   let base = fl.Netlist.po_base in
   let m = Array.length fl.Netlist.po_node in
-  t.fadj_mu.(base) <- d_mu;
-  t.fadj_var.(base) <- d_var;
+  Clark.vset t.fadj (2 * base) d_mu;
+  Clark.vset t.fadj ((2 * base) + 1) d_var;
   for j = m - 1 downto 1 do
     let e = fl.Netlist.po_node.(j) in
-    let mu_b = if e >= 0 then t.arr_mu.(e) else t.pi_mu.(-e - 1) in
-    let var_b = if e >= 0 then t.arr_var.(e) else t.pi_var.(-e - 1) in
+    let b = if e >= 0 then 2 * e else (-2 * e) - 2 in
+    let src = if e >= 0 then t.arr else t.pi in
     Clark.partials_into
-      ~mu_a:t.pre_mu.(base + j - 1)
-      ~var_a:t.pre_var.(base + j - 1)
-      ~mu_b ~var_b t.pp (base + j);
-    Clark.backprop_apply t.pp (base + j) t.fadj_mu t.fadj_var ~acc:base
-      ~out:(base + j)
+      ~mu_a:(Clark.vget t.pre (2 * (base + j) - 2))
+      ~var_a:(Clark.vget t.pre (2 * (base + j) - 1))
+      ~mu_b:(Clark.vget src b)
+      ~var_b:(Clark.vget src (b + 1))
+      t.pp (base + j);
+    Clark.backprop_apply t.pp (base + j) t.fadj ~acc:base ~out:(base + j)
   done;
   for i = 0 to m - 1 do
     let e = fl.Netlist.po_node.(i) in
     if e >= 0 then begin
-      t.adj_mu.(e) <- t.adj_mu.(e) +. t.fadj_mu.(base + i);
-      t.adj_var.(e) <- t.adj_var.(e) +. t.fadj_var.(base + i)
+      Clark.vset t.adj (2 * e)
+        (Clark.vget t.adj (2 * e) +. Clark.vget t.fadj (2 * (base + i)));
+      Clark.vset t.adj ((2 * e) + 1)
+        (Clark.vget t.adj ((2 * e) + 1) +. Clark.vget t.fadj ((2 * (base + i)) + 1))
     end
   done;
-  let buckets = t.buckets in
-  for l = Array.length buckets - 1 downto 0 do
-    let bucket = buckets.(l) in
-    let n = Array.length bucket in
+  let lvl_off = fl.Netlist.lvl_off in
+  let d = Array.length lvl_off - 1 in
+  for l = d - 1 downto 0 do
+    let lo = lvl_off.(l) in
+    let hi = lvl_off.(l + 1) in
+    let w = hi - lo in
+    (* Re-stage this level's fanin operands: the forward sweep's
+       window now holds a later level's.  Phase 1 is per-gate
+       write-disjoint, so block order within the level is free. *)
     (match pool with
-    | Some p when Util.Pool.size p > 1 && n >= 2 * level_grain ->
+    | Some p when Util.Pool.size p > 1 && w >= 2 * level_grain ->
         Util.Instr.incr c_par_levels;
-        Util.Pool.parallel_for ~grain:level_grain p ~n (fun i ->
-            let id = bucket.(i) in
-            if t.adj_mu.(id) <> 0. || t.adj_var.(id) <> 0. then begin
-              t.active.(id) <- true;
-              phase1_gate t model id
+        stage_fanin t lo hi;
+        let s0 = fl.Netlist.fi_off.(lo) in
+        Util.Pool.parallel_for ~grain:level_grain ~align:8 p ~n:w (fun i ->
+            let id = lo + i in
+            if
+              Clark.vget t.adj (2 * id) <> 0.
+              || Clark.vget t.adj ((2 * id) + 1) <> 0.
+            then begin
+              Bytes.unsafe_set t.active id '\001';
+              phase1_gate t model s0 id
             end)
     | _ ->
         Util.Instr.incr c_ser_levels;
-        for i = 0 to n - 1 do
-          let id = bucket.(i) in
-          if t.adj_mu.(id) <> 0. || t.adj_var.(id) <> 0. then begin
-            t.active.(id) <- true;
-            phase1_gate t model id
-          end
+        let b0 = ref lo in
+        while !b0 < hi do
+          let b1 = min hi (!b0 + stage_block) in
+          stage_fanin t !b0 b1;
+          let s0 = fl.Netlist.fi_off.(!b0) in
+          for id = !b0 to b1 - 1 do
+            if
+              Clark.vget t.adj (2 * id) <> 0.
+              || Clark.vget t.adj ((2 * id) + 1) <> 0.
+            then begin
+              Bytes.unsafe_set t.active id '\001';
+              phase1_gate t model s0 id
+            end
+          done;
+          b0 := b1
         done);
-    for i = n - 1 downto 0 do
-      phase2_gate t bucket.(i)
+    for id = hi - 1 downto lo do
+      phase2_gate t id
     done
+  done
+
+(* ---- old-id boundary accessors ---------------------------------------------- *)
+
+let gradient_into t (out : float array) =
+  if Array.length out < t.n then
+    invalid_arg "Arena.gradient_into: output shorter than the gate count";
+  let inv = t.flat.Netlist.inv_perm in
+  for i = 0 to t.n - 1 do
+    Array.unsafe_set out (Array.unsafe_get inv i) (Clark.vget t.grad i)
+  done
+
+let delay_means_into t (out : float array) =
+  if Array.length out < t.n then
+    invalid_arg "Arena.delay_means_into: output shorter than the gate count";
+  let inv = t.flat.Netlist.inv_perm in
+  for i = 0 to t.n - 1 do
+    Array.unsafe_set out (Array.unsafe_get inv i) (Clark.vget t.del (2 * i))
   done

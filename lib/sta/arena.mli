@@ -1,12 +1,21 @@
 (** Flat structure-of-arrays timing state shared by every STA engine.
 
     An arena packs all per-gate and per-fold-step state of a statistical
-    timing analysis into unboxed [float array] planes indexed by gate id
-    (or by fold slot — see {!Circuit.Netlist.flat}), allocated once per
-    circuit by {!create}.  {!forward} and {!reverse} then sweep in
-    place: a steady-state evaluation allocates zero words on the OCaml
-    heap, which is what collapses minor-GC traffic in sizing solves
-    (DESIGN.md Section 9).
+    timing analysis into unboxed [Bigarray.Array1] float64 planes
+    ({!Statdelay.Clark.vec}), allocated once per circuit by {!create}.
+    Planes are indexed by the flat view's {e level-major} gate ids
+    ({!Circuit.Netlist.flat}), and moment planes interleave (mu, var)
+    pairs — slot [i] at indices [2i] / [2i + 1] — so one level is one
+    contiguous memory block and a fanin gather costs one cache line.
+    Bigarray data lives outside the OCaml heap: million-gate planes are
+    neither scanned nor moved by the GC.  {!forward} and {!reverse}
+    sweep in place: a steady-state evaluation allocates zero words,
+    which is what collapses minor-GC traffic in sizing solves
+    (DESIGN.md Sections 9 and 10).
+
+    The public boundary stays in {e old} gate ids: {!forward} takes the
+    caller's old-id size vector, and {!gradient_into} /
+    {!delay_means_into} scatter results back through the permutation.
 
     The sweeps perform bit-identical floating-point operations to the
     boxed reference ({!Ssta.Boxed}), via the in-place Clark kernels, at
@@ -18,29 +27,46 @@
     planes directly.  Treat it as read-only outside [lib/sta]; the
     layout is engine-internal and may change. *)
 
+type vec = Statdelay.Clark.vec
+
+type ivec = (int32, Bigarray.int32_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** Compact (int32) index column, halving the staging loops' index
+    stream next to OCaml's 8-byte [int array]. *)
+
 type t = {
   net : Circuit.Netlist.t;
   flat : Circuit.Netlist.flat;
-  buckets : int array array;
-  n : int;  (** gate count; every per-gate plane has this length *)
-  sizes : float array;  (** copy of the sizes last swept by {!forward} *)
-  load : float array;  (** capacitive load per gate *)
-  del_mu : float array;  (** gate delay mean *)
-  del_var : float array;  (** gate delay variance *)
-  arr_mu : float array;  (** arrival mean per gate *)
-  arr_var : float array;  (** arrival variance per gate *)
-  pre_mu : float array;  (** fold-slot plane: prefix maxima of each fold *)
-  pre_var : float array;
-  pi_mu : float array;  (** primary-input arrival means (zero by default) *)
-  pi_var : float array;
-  pp : float array;  (** fold-slot plane x8: Clark partials per fold step *)
-  adj_mu : float array;  (** arrival mean adjoint per gate *)
-  adj_var : float array;
-  dmu_t : float array;  (** gate-delay mean adjoint per gate *)
-  active : bool array;  (** gate has a non-zero arrival adjoint *)
-  fadj_mu : float array;  (** fold-slot plane: per-operand adjoints *)
-  fadj_var : float array;
-  grad : float array;  (** gradient w.r.t. gate sizes, after {!reverse} *)
+  n : int;  (** gate count; every per-gate plane has this many slots *)
+  sizes : vec;  (** sizes last swept by {!forward}, new-id order *)
+  load : vec;  (** capacitive load per gate *)
+  del : vec;  (** gate delay (mu, var) pairs *)
+  arr : vec;  (** arrival (mu, var) pairs per gate *)
+  pre : vec;  (** fold-slot pair plane: prefix maxima of each fold *)
+  opnd : vec;
+      (** level-window pair scratch (sized for the widest level): the
+          current level's staged fanin operands at
+          [slot - fi_off.(level lo)] — the sweep's random reads,
+          gathered by tight copy loops so the cache misses overlap,
+          re-used across levels so the window stays cache-resident
+          (both sweeps stage each level before folding it) *)
+  fosz : vec;
+      (** level-window scratch: the current level's staged consumer
+          sizes at [edge - fo_off.(level lo)] *)
+  fi_b : ivec;
+      (** fold-slot column: each operand's pair index in [arr] ([2e]
+          for gate [e]; [2 (n + i)] for primary input [i], whose pairs
+          occupy [arr]'s tail section), making staging a branch-free
+          single-plane gather *)
+  fo_c : ivec;  (** fanout-edge column: [fo_consumer] as int32 *)
+  pi : vec;
+      (** primary-input arrival pairs (zero by default) — a shared
+          sub-view of [arr]'s tail section, {e not} a separate plane *)
+  pp : vec;  (** fold-slot plane x8: Clark partials per fold step *)
+  adj : vec;  (** arrival adjoint pairs per gate *)
+  dmu_t : vec;  (** gate-delay mean adjoint per gate *)
+  active : Bytes.t;  (** ['\001'] iff gate has a non-zero arrival adjoint *)
+  fadj : vec;  (** fold-slot pair plane: per-operand adjoints *)
+  grad : vec;  (** gradient w.r.t. gate sizes (new-id), after {!reverse} *)
 }
 
 val create : Circuit.Netlist.t -> t
@@ -50,24 +76,24 @@ val create : Circuit.Netlist.t -> t
 val netlist : t -> Circuit.Netlist.t
 
 val set_pi_arrival : t -> (int -> Statdelay.Normal.t) -> unit
-(** Samples a primary-input arrival closure into the [pi_*] planes (the
-    boxed engines' [?pi_arrival] argument). *)
+(** Samples a primary-input arrival closure into the [pi] pair plane
+    (the boxed engines' [?pi_arrival] argument). *)
 
 val clear_pi_arrival : t -> unit
 (** Resets primary inputs to the default deterministic-zero arrival. *)
 
 val check_sizes : t -> float array -> unit
 (** {!Circuit.Netlist.check_sizes} — same checks, same exceptions, same
-    messages — as a flat loop over the planes (no closure, no
-    allocation on the success path). *)
+    messages, same (old-id) reporting order — as a flat loop over the
+    columns (no closure, no allocation on the success path). *)
 
 val forward :
   ?pool:Util.Pool.t -> model:Circuit.Sigma_model.t -> t -> sizes:float array -> unit
 (** Levelized forward sweep: loads, gate delay moments, fanin folds,
-    arrivals, primary-output fold.  Validates [sizes] (as
-    {!check_sizes} plus [Cell.delay]'s size-below-1 guard) and copies
-    them into the arena.  Allocation-free when [pool] is absent or has
-    size 1. *)
+    arrivals, primary-output fold.  [sizes] is in old gate-id order
+    (validated as {!check_sizes} plus [Cell.delay]'s size-below-1
+    guard, then gathered into the arena's new-id plane).
+    Allocation-free when [pool] is absent or has size 1. *)
 
 val reverse :
   ?pool:Util.Pool.t ->
@@ -82,9 +108,18 @@ val reverse :
     boxed sweep, so results are bit-identical at any pool width.
     Allocation-free in serial mode. *)
 
+val gradient_into : t -> float array -> unit
+(** [gradient_into t out] scatters the gradient left by {!reverse} into
+    [out] in old gate-id order ([out.(old_id)]).  Raises
+    [Invalid_argument] if [out] is shorter than the gate count. *)
+
+val delay_means_into : t -> float array -> unit
+(** [delay_means_into t out] scatters the per-gate delay means left by
+    {!forward} into [out] in old gate-id order. *)
+
 val fold_pos : t -> unit
-(** Re-runs only the primary-output fold over the current [arr_*]
-    planes (the tail step of {!forward}), for engines ({!Incr}) that
+(** Re-runs only the primary-output fold over the current [arr]
+    plane (the tail step of {!forward}), for engines ({!Incr}) that
     update arrivals selectively. *)
 
 val circuit_mu : t -> float
@@ -96,9 +131,10 @@ val phase2_gate : t -> int -> unit
 (** One gate's serial scatter step of the reverse sweep (gradient
     contributions of [mu_t] plus the fanin adjoint scatter), exposed for
     {!Incr}, whose phase 1 differs (partials caching) but whose phase 2
-    must replay exactly these accumulations.  Requires [dmu_t], the
-    [fadj_*] segment and [active] for the gate to be set. *)
+    must replay exactly these accumulations.  Takes a {e new-id};
+    requires [dmu_t], the [fadj] segment and [active] for the gate to
+    be set. *)
 
 val level_grain : int
-(** Minimum bucket width (per the [2 * grain] rule) before a level is
+(** Minimum level width (per the [2 * grain] rule) before a level is
     handed to the pool — same threshold as the boxed sweeps. *)

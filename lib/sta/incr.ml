@@ -48,23 +48,23 @@ type stats = {
 (* One reuse history per distinct seed root: the previous reverse sweep's
    adjoints and phase-1 products (per-operand fold adjoints and the
    gate-delay mean adjoints), plus the engine version they were computed
-   against — all stored as plane copies, blitted in and out, so slot
-   maintenance allocates nothing after engine creation.  Sizing.Engine
+   against — all stored as plane copies (same interleaved Bigarray
+   layout as the arena's), blitted in and out, so slot maintenance
+   allocates nothing after engine creation.  Sizing.Engine
    differentiates with the two constant basis seeds (1,0) and (0,1), so
    each gets a stable slot; roots that vary per call (e.g. a direct
    mu+3sigma seed) never pass the bitwise-adjoint guard and just cycle
-   through the LRU slots. *)
+   through the LRU slots.  Like everything inside the engine, slot
+   planes are indexed by the flat view's new (level-major) gate ids. *)
 type slot = {
   mutable root_mu_bits : int64;
   mutable root_var_bits : int64;
   mutable s_valid : bool;
   mutable s_version : int;
-  s_adj_mu : float array;  (* per gate: final arrival adjoints *)
-  s_adj_var : float array;
-  s_active : bool array;
-  s_dmu : float array;  (* per gate: gate-delay mean adjoint *)
-  s_fan_mu : float array;  (* fold-slot planes: per-operand adjoints *)
-  s_fan_var : float array;
+  s_adj : Arena.vec;  (* per gate: final arrival adjoint pairs *)
+  s_active : Bytes.t;
+  s_dmu : Arena.vec;  (* per gate: gate-delay mean adjoint *)
+  s_fan : Arena.vec;  (* fold-slot pair plane: per-operand adjoints *)
   mutable s_bumps : int;
       (** [t.stamp_bumps] at save time: when many stamps moved since, the
           per-gate reuse checks cannot succeed and are skipped wholesale *)
@@ -81,9 +81,11 @@ type t = {
   n : int;
   (* Cached state of the last analyze lives in the arena's planes: sizes,
      loads, delay moments, arrivals and the per-gate fold prefixes
-     ([pre_*]).  The engine owns the arena exclusively — its [pp] plane
+     ([pre]).  The engine owns the arena exclusively — its [pp] plane
      doubles as the point-keyed Clark-partials cache below, so nothing
-     else may run [Arena.reverse] on it. *)
+     else may run [Arena.reverse] on it.  Every per-gate array in this
+     record is indexed by new (level-major) gate id, matching the
+     arena. *)
   a : Arena.t;
   mutable f_valid : bool;
       (* cached forward state may serve as a delta base; cleared by
@@ -114,7 +116,7 @@ type t = {
   changed : bool array;
   changed_local : bool array;
   mutable marked : int list;
-  todo : int array;  (* phase-1 worklist, one bucket at a time *)
+  todo : int array;  (* per-level worklist (dirty subset / phase 1) *)
   (* Gradient reuse. *)
   mutable slots : slot list;
   mutable use_tick : int;
@@ -202,107 +204,115 @@ let close eps nmu nvar omu ovar =
 let pooled_for t n body =
   match t.pool with
   | Some p when Util.Pool.size p > 1 && n >= 2 * Arena.level_grain ->
-      Util.Pool.parallel_for ~grain:Arena.level_grain p ~n body
+      Util.Pool.parallel_for ~grain:Arena.level_grain ~align:8 p ~n body
   | _ ->
       for i = 0 to n - 1 do
         body i
       done
 
-(* Re-evaluate the gates of [ids] (one level, or a level's dirty subset)
-   against the engine's current sizes and cached fanin arrivals — the
-   exact operations of Arena.eval_gate (hence of a from-scratch sweep),
-   computed into locals first so the new values can be bit-compared
-   against the cached planes before overwriting them.  Pure per-gate slot
-   writes: safe to run on the pool.  Change flags are left in
-   [t.changed] / [t.changed_local] for the caller's serial
-   stamp-and-mark pass. *)
-let recompute t ids =
+(* Re-evaluate one gate against the engine's current sizes and cached
+   fanin arrivals — the exact operations of Arena.eval_gate (hence of a
+   from-scratch sweep), computed into locals first so the new values can
+   be bit-compared against the cached planes before overwriting them.
+   Pure per-gate slot writes: safe to run on the pool.  Change flags are
+   left in [t.changed] / [t.changed_local] for the caller's serial
+   stamp-and-mark pass.  [id] is a new (level-major) id. *)
+let[@inline] recompute_one t id =
   let a = t.a in
   let fl = a.Arena.flat in
-  pooled_for t (Array.length ids) (fun i ->
-      let id = ids.(i) in
-      let sizes = a.Arena.sizes in
-      let acc = ref fl.Netlist.g_wire_load.(id) in
-      for j = fl.Netlist.fo_off.(id) to fl.Netlist.fo_off.(id + 1) - 1 do
-        acc :=
-          !acc
-          +. fl.Netlist.fo_mult.(j)
-             *. (fl.Netlist.fo_cin.(j) *. sizes.(fl.Netlist.fo_consumer.(j)))
-      done;
-      let load = !acc in
-      let s = sizes.(id) in
-      if s < 1. then invalid_arg "Cell.delay: size below 1";
-      let mu_t =
-        fl.Netlist.g_t_int.(id) +. (fl.Netlist.g_drive.(id) *. load /. s)
-      in
-      let var_t = Sigma_model.var t.model mu_t in
-      let var_t =
-        if var_t < 0. then
-          if var_t > -1e-12 then 0.
-          else invalid_arg "Normal.of_var: negative variance"
-        else var_t
-      in
-      let base = fl.Netlist.fi_off.(id) in
-      let k = fl.Netlist.fi_off.(id + 1) - base in
-      let e0 = fl.Netlist.fi_node.(base) in
-      if e0 >= 0 then begin
-        a.Arena.pre_mu.(base) <- a.Arena.arr_mu.(e0);
-        a.Arena.pre_var.(base) <- a.Arena.arr_var.(e0)
-      end
-      else begin
-        a.Arena.pre_mu.(base) <- a.Arena.pi_mu.(-e0 - 1);
-        a.Arena.pre_var.(base) <- a.Arena.pi_var.(-e0 - 1)
-      end;
-      for j = 1 to k - 1 do
-        let e = fl.Netlist.fi_node.(base + j) in
-        let mu_b = if e >= 0 then a.Arena.arr_mu.(e) else a.Arena.pi_mu.(-e - 1) in
-        let var_b =
-          if e >= 0 then a.Arena.arr_var.(e) else a.Arena.pi_var.(-e - 1)
-        in
-        Clark.max2_into
-          ~mu_a:a.Arena.pre_mu.(base + j - 1)
-          ~var_a:a.Arena.pre_var.(base + j - 1)
-          ~mu_b ~var_b a.Arena.pre_mu a.Arena.pre_var (base + j)
-      done;
-      let arr_mu = a.Arena.pre_mu.(base + k - 1) +. mu_t in
-      let arr_var = a.Arena.pre_var.(base + k - 1) +. var_t in
-      let changed =
-        (not t.initialized)
-        ||
-        match t.mode with
-        | Exact ->
-            not
-              (fbits_eq arr_mu a.Arena.arr_mu.(id)
-              && fbits_eq arr_var a.Arena.arr_var.(id))
-        | Epsilon e ->
-            not (close e arr_mu arr_var a.Arena.arr_mu.(id) a.Arena.arr_var.(id))
-      in
-      let changed_local =
-        (not t.initialized)
-        || (not (fbits_eq load a.Arena.load.(id)))
-        || (not (fbits_eq mu_t a.Arena.del_mu.(id)))
-        || not (fbits_eq var_t a.Arena.del_var.(id))
-      in
-      a.Arena.load.(id) <- load;
-      a.Arena.del_mu.(id) <- mu_t;
-      a.Arena.del_var.(id) <- var_t;
-      (match (t.mode, changed) with
-      | Epsilon _, false ->
-          (* Epsilon cutoff keeps the lagged arrival: consumers then see a
-             value consistent with what they were last timed against. *)
-          ()
-      | _ ->
-          a.Arena.arr_mu.(id) <- arr_mu;
-          a.Arena.arr_var.(id) <- arr_var);
-      t.changed.(id) <- changed;
-      t.changed_local.(id) <- changed_local)
+  let sizes = a.Arena.sizes in
+  let acc = ref fl.Netlist.g_wire_load.(id) in
+  for j = fl.Netlist.fo_off.(id) to fl.Netlist.fo_off.(id + 1) - 1 do
+    acc :=
+      !acc
+      +. fl.Netlist.fo_mult.(j)
+         *. (fl.Netlist.fo_cin.(j)
+            *. Clark.vget sizes fl.Netlist.fo_consumer.(j))
+  done;
+  let load = !acc in
+  let s = Clark.vget sizes id in
+  if s < 1. then invalid_arg "Cell.delay: size below 1";
+  let mu_t = fl.Netlist.g_t_int.(id) +. (fl.Netlist.g_drive.(id) *. load /. s) in
+  let var_t = Sigma_model.var t.model mu_t in
+  let var_t =
+    if var_t < 0. then
+      if var_t > -1e-12 then 0.
+      else invalid_arg "Normal.of_var: negative variance"
+    else var_t
+  in
+  let base = fl.Netlist.fi_off.(id) in
+  let k = fl.Netlist.fi_off.(id + 1) - base in
+  let e0 = fl.Netlist.fi_node.(base) in
+  let b0 = if e0 >= 0 then 2 * e0 else (-2 * e0) - 2 in
+  let src0 = if e0 >= 0 then a.Arena.arr else a.Arena.pi in
+  Clark.vset a.Arena.pre (2 * base) (Clark.vget src0 b0);
+  Clark.vset a.Arena.pre ((2 * base) + 1) (Clark.vget src0 (b0 + 1));
+  for j = 1 to k - 1 do
+    let e = fl.Netlist.fi_node.(base + j) in
+    let b = if e >= 0 then 2 * e else (-2 * e) - 2 in
+    let src = if e >= 0 then a.Arena.arr else a.Arena.pi in
+    Clark.max2_into
+      ~mu_a:(Clark.vget a.Arena.pre (2 * (base + j) - 2))
+      ~var_a:(Clark.vget a.Arena.pre (2 * (base + j) - 1))
+      ~mu_b:(Clark.vget src b)
+      ~var_b:(Clark.vget src (b + 1))
+      a.Arena.pre (base + j)
+  done;
+  let arr_mu = Clark.vget a.Arena.pre (2 * (base + k) - 2) +. mu_t in
+  let arr_var = Clark.vget a.Arena.pre (2 * (base + k) - 1) +. var_t in
+  let old_mu = Clark.vget a.Arena.arr (2 * id)
+  and old_var = Clark.vget a.Arena.arr ((2 * id) + 1) in
+  let changed =
+    (not t.initialized)
+    ||
+    match t.mode with
+    | Exact -> not (fbits_eq arr_mu old_mu && fbits_eq arr_var old_var)
+    | Epsilon e -> not (close e arr_mu arr_var old_mu old_var)
+  in
+  let changed_local =
+    (not t.initialized)
+    || (not (fbits_eq load (Clark.vget a.Arena.load id)))
+    || (not (fbits_eq mu_t (Clark.vget a.Arena.del (2 * id))))
+    || not (fbits_eq var_t (Clark.vget a.Arena.del ((2 * id) + 1)))
+  in
+  Clark.vset a.Arena.load id load;
+  Clark.vset a.Arena.del (2 * id) mu_t;
+  Clark.vset a.Arena.del ((2 * id) + 1) var_t;
+  (match (t.mode, changed) with
+  | Epsilon _, false ->
+      (* Epsilon cutoff keeps the lagged arrival: consumers then see a
+         value consistent with what they were last timed against. *)
+      ()
+  | _ ->
+      Clark.vset a.Arena.arr (2 * id) arr_mu;
+      Clark.vset a.Arena.arr ((2 * id) + 1) arr_var);
+  t.changed.(id) <- changed;
+  t.changed_local.(id) <- changed_local
+
+(* One whole level: the contiguous new-id range [lo, hi). *)
+let recompute_range t lo hi =
+  pooled_for t (hi - lo) (fun i -> recompute_one t (lo + i))
+
+(* A level's dirty subset, [ids.(0 .. k - 1)]. *)
+let recompute_ids t (ids : int array) k =
+  pooled_for t k (fun i -> recompute_one t ids.(i))
 
 let refold_pos t = Arena.fold_pos t.a
 
+(* Gather the caller's old-id sizes into the arena's new-id plane. *)
+let gather_sizes t (sizes : float array) =
+  let inv = t.a.Arena.flat.Netlist.inv_perm in
+  for i = 0 to t.n - 1 do
+    Clark.vset t.a.Arena.sizes i (Array.unsafe_get sizes (Array.unsafe_get inv i))
+  done
+
 let full_sweep t ~sizes =
   t.version <- t.version + 1;
-  Array.blit sizes 0 t.a.Arena.sizes 0 t.n;
-  Array.iter (fun bucket -> recompute t bucket) (Netlist.level_buckets t.net);
+  gather_sizes t sizes;
+  let lvl_off = t.a.Arena.flat.Netlist.lvl_off in
+  for l = 0 to Array.length lvl_off - 2 do
+    recompute_range t lvl_off.(l) lvl_off.(l + 1)
+  done;
   for id = 0 to t.n - 1 do
     if t.changed.(id) then begin
       t.stamp_arrival.(id) <- t.version;
@@ -336,39 +346,37 @@ let incremental_sweep t ~sizes changed_ids =
         if e >= 0 then mark t e
       done)
     changed_ids;
-  Array.blit sizes 0 t.a.Arena.sizes 0 t.n;
+  gather_sizes t sizes;
   let reeval = ref 0 and cuts = ref 0 in
-  Array.iter
-    (fun bucket ->
-      let k = ref 0 in
-      Array.iter (fun id -> if t.dirty.(id) then incr k) bucket;
-      if !k > 0 then begin
-        (* The bucket's dirty subset, in bucket (ascending id) order. *)
-        let ids = Array.make !k 0 in
-        let j = ref 0 in
-        Array.iter
-          (fun id ->
-            if t.dirty.(id) then begin
-              ids.(!j) <- id;
-              incr j
-            end)
-          bucket;
-        recompute t ids;
-        reeval := !reeval + !k;
-        Array.iter
-          (fun id ->
-            if t.changed_local.(id) then t.stamp_local.(id) <- t.version;
-            if t.changed.(id) then begin
-              t.stamp_arrival.(id) <- t.version;
-              t.stamp_bumps <- t.stamp_bumps + 1;
-              for j = fl.Netlist.fo_off.(id) to fl.Netlist.fo_off.(id + 1) - 1 do
-                mark t fl.Netlist.fo_consumer.(j)
-              done
-            end
-            else incr cuts)
-          ids
-      end)
-    (Netlist.level_buckets t.net);
+  let lvl_off = fl.Netlist.lvl_off in
+  for l = 0 to Array.length lvl_off - 2 do
+    let lo = lvl_off.(l) and hi = lvl_off.(l + 1) in
+    (* The level's dirty subset, in ascending new-id order (within a
+       level that coincides with ascending old-id order). *)
+    let k = ref 0 in
+    for id = lo to hi - 1 do
+      if t.dirty.(id) then begin
+        t.todo.(!k) <- id;
+        incr k
+      end
+    done;
+    if !k > 0 then begin
+      recompute_ids t t.todo !k;
+      reeval := !reeval + !k;
+      for i = 0 to !k - 1 do
+        let id = t.todo.(i) in
+        if t.changed_local.(id) then t.stamp_local.(id) <- t.version;
+        if t.changed.(id) then begin
+          t.stamp_arrival.(id) <- t.version;
+          t.stamp_bumps <- t.stamp_bumps + 1;
+          for j = fl.Netlist.fo_off.(id) to fl.Netlist.fo_off.(id + 1) - 1 do
+            mark t fl.Netlist.fo_consumer.(j)
+          done
+        end
+        else incr cuts
+      done
+    end
+  done;
   List.iter (fun id -> t.dirty.(id) <- false) t.marked;
   t.marked <- [];
   refold_pos t;
@@ -385,10 +393,11 @@ let analyze_state t ~sizes =
   Util.Instr.time t_forward @@ fun () ->
   if not t.f_valid then full_sweep t ~sizes
   else begin
+    let inv = t.a.Arena.flat.Netlist.inv_perm in
     let changed_ids = ref [] in
-    for id = t.n - 1 downto 0 do
-      if not (fbits_eq sizes.(id) t.a.Arena.sizes.(id)) then
-        changed_ids := id :: !changed_ids
+    for i = t.n - 1 downto 0 do
+      if not (fbits_eq sizes.(inv.(i)) (Clark.vget t.a.Arena.sizes i)) then
+        changed_ids := i :: !changed_ids
     done;
     match !changed_ids with
     | [] ->
@@ -407,6 +416,11 @@ let analyze t ~sizes =
 
 (* ---- reverse sweep ---------------------------------------------------------- *)
 
+let make_vec len =
+  let v = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout (max 1 len) in
+  Bigarray.Array1.fill v 0.;
+  v
+
 let fresh_slot t rmu rvar =
   let fs = t.a.Arena.flat.Netlist.fold_slots in
   {
@@ -414,12 +428,10 @@ let fresh_slot t rmu rvar =
     root_var_bits = rvar;
     s_valid = false;
     s_version = 0;
-    s_adj_mu = Array.make (max 1 t.n) 0.;
-    s_adj_var = Array.make (max 1 t.n) 0.;
-    s_active = Array.make (max 1 t.n) false;
-    s_dmu = Array.make (max 1 t.n) 0.;
-    s_fan_mu = Array.make fs 0.;
-    s_fan_var = Array.make fs 0.;
+    s_adj = make_vec (2 * t.n);
+    s_active = Bytes.make (max 1 t.n) '\000';
+    s_dmu = make_vec t.n;
+    s_fan = make_vec (2 * fs);
     s_bumps = 0;
     s_used = 0;
   }
@@ -476,7 +488,7 @@ let fanin_clean t limit id =
 
    - the slot is valid and the gate was active in it,
    - the gate's adjoint is bitwise equal to the slot's (adjoints are
-     finalized top-down, so at decision time adj.(id) is final),
+     finalized top-down, so at decision time the adjoint pair is final),
    - the gate's own delay and every fanin arrival are unchanged since
      the slot's version (change stamps).
 
@@ -491,10 +503,9 @@ let reverse_core t ~d_mu ~d_var =
   let a = t.a in
   let fl = a.Arena.flat in
   let n = t.n in
-  Array.fill a.Arena.adj_mu 0 n 0.;
-  Array.fill a.Arena.adj_var 0 n 0.;
-  Array.fill a.Arena.grad 0 n 0.;
-  Array.fill a.Arena.active 0 n false;
+  Bigarray.Array1.fill a.Arena.adj 0.;
+  Bigarray.Array1.fill a.Arena.grad 0.;
+  Bytes.fill a.Arena.active 0 (Bytes.length a.Arena.active) '\000';
   (* PO-fold partials: recompute into the pp plane's trailing segment
      only when the engine state moved since they were last taken. *)
   let base = fl.Netlist.po_base in
@@ -502,30 +513,33 @@ let reverse_core t ~d_mu ~d_var =
   if t.po_version <> t.version then begin
     for j = 1 to m - 1 do
       let e = fl.Netlist.po_node.(j) in
-      let mu_b = if e >= 0 then a.Arena.arr_mu.(e) else a.Arena.pi_mu.(-e - 1) in
-      let var_b =
-        if e >= 0 then a.Arena.arr_var.(e) else a.Arena.pi_var.(-e - 1)
-      in
+      let b = if e >= 0 then 2 * e else (-2 * e) - 2 in
+      let src = if e >= 0 then a.Arena.arr else a.Arena.pi in
       Clark.partials_into
-        ~mu_a:a.Arena.pre_mu.(base + j - 1)
-        ~var_a:a.Arena.pre_var.(base + j - 1)
-        ~mu_b ~var_b a.Arena.pp (base + j)
+        ~mu_a:(Clark.vget a.Arena.pre (2 * (base + j) - 2))
+        ~var_a:(Clark.vget a.Arena.pre (2 * (base + j) - 1))
+        ~mu_b:(Clark.vget src b)
+        ~var_b:(Clark.vget src (b + 1))
+        a.Arena.pp (base + j)
     done;
     t.po_version <- t.version
   end;
   (* Backprop the PO fold against the stored partials, then scatter its
      per-operand adjoints in ascending PO order. *)
-  a.Arena.fadj_mu.(base) <- d_mu;
-  a.Arena.fadj_var.(base) <- d_var;
+  Clark.vset a.Arena.fadj (2 * base) d_mu;
+  Clark.vset a.Arena.fadj ((2 * base) + 1) d_var;
   for j = m - 1 downto 1 do
-    Clark.backprop_apply a.Arena.pp (base + j) a.Arena.fadj_mu a.Arena.fadj_var
-      ~acc:base ~out:(base + j)
+    Clark.backprop_apply a.Arena.pp (base + j) a.Arena.fadj ~acc:base
+      ~out:(base + j)
   done;
   for i = 0 to m - 1 do
     let e = fl.Netlist.po_node.(i) in
     if e >= 0 then begin
-      a.Arena.adj_mu.(e) <- a.Arena.adj_mu.(e) +. a.Arena.fadj_mu.(base + i);
-      a.Arena.adj_var.(e) <- a.Arena.adj_var.(e) +. a.Arena.fadj_var.(base + i)
+      Clark.vset a.Arena.adj (2 * e)
+        (Clark.vget a.Arena.adj (2 * e) +. Clark.vget a.Arena.fadj (2 * (base + i)));
+      Clark.vset a.Arena.adj ((2 * e) + 1)
+        (Clark.vget a.Arena.adj ((2 * e) + 1)
+        +. Clark.vget a.Arena.fadj ((2 * (base + i)) + 1))
     end
   done;
   let slot = slot_for t ~d_mu ~d_var in
@@ -533,30 +547,31 @@ let reverse_core t ~d_mu ~d_var =
   (* When most arrival stamps moved since the slot was saved, the
      per-gate checks below cannot succeed; skip them wholesale. *)
   let try_reuse = slot.s_valid && t.stamp_bumps - slot.s_bumps <= t.n / 2 in
-  let buckets = Netlist.level_buckets t.net in
-  for l = Array.length buckets - 1 downto 0 do
-    let bucket = buckets.(l) in
-    let len = Array.length bucket in
+  let lvl_off = fl.Netlist.lvl_off in
+  for l = Array.length lvl_off - 2 downto 0 do
+    let lo = lvl_off.(l) and hi = lvl_off.(l + 1) in
     (* Serial reuse-decision pass (cheap comparisons only). *)
     let n_todo = ref 0 in
-    for i = 0 to len - 1 do
-      let id = bucket.(i) in
-      let am = a.Arena.adj_mu.(id) and av = a.Arena.adj_var.(id) in
+    for id = lo to hi - 1 do
+      let am = Clark.vget a.Arena.adj (2 * id)
+      and av = Clark.vget a.Arena.adj ((2 * id) + 1) in
       if am <> 0. || av <> 0. then begin
-        a.Arena.active.(id) <- true;
+        Bytes.unsafe_set a.Arena.active id '\001';
         let reusable =
-          try_reuse && slot.s_active.(id)
+          try_reuse
+          && Bytes.unsafe_get slot.s_active id <> '\000'
           && t.stamp_local.(id) <= slot.s_version
-          && fbits_eq am slot.s_adj_mu.(id)
-          && fbits_eq av slot.s_adj_var.(id)
+          && fbits_eq am (Clark.vget slot.s_adj (2 * id))
+          && fbits_eq av (Clark.vget slot.s_adj ((2 * id) + 1))
           && fanin_clean t slot.s_version id
         in
         if reusable then begin
-          a.Arena.dmu_t.(id) <- slot.s_dmu.(id);
+          Clark.vset a.Arena.dmu_t id (Clark.vget slot.s_dmu id);
           let fb = fl.Netlist.fi_off.(id) in
           let fk = fl.Netlist.fi_off.(id + 1) - fb in
-          Array.blit slot.s_fan_mu fb a.Arena.fadj_mu fb fk;
-          Array.blit slot.s_fan_var fb a.Arena.fadj_var fb fk;
+          for j = 2 * fb to (2 * (fb + fk)) - 1 do
+            Clark.vset a.Arena.fadj j (Clark.vget slot.s_fan j)
+          done;
           incr reused
         end
         else begin
@@ -572,9 +587,11 @@ let reverse_core t ~d_mu ~d_var =
        input cone is unchanged since they were computed. *)
     pooled_for t !n_todo (fun i ->
         let id = t.todo.(i) in
-        let am = a.Arena.adj_mu.(id) and av = a.Arena.adj_var.(id) in
-        a.Arena.dmu_t.(id) <-
-          am +. (av *. Sigma_model.dvar_dmu t.model a.Arena.del_mu.(id));
+        let am = Clark.vget a.Arena.adj (2 * id)
+        and av = Clark.vget a.Arena.adj ((2 * id) + 1) in
+        Clark.vset a.Arena.dmu_t id
+          (am
+          +. (av *. Sigma_model.dvar_dmu t.model (Clark.vget a.Arena.del (2 * id))));
         let fb = fl.Netlist.fi_off.(id) in
         let fk = fl.Netlist.fi_off.(id + 1) - fb in
         let pv = t.pc_version.(id) in
@@ -582,42 +599,38 @@ let reverse_core t ~d_mu ~d_var =
         if fresh then begin
           for j = 1 to fk - 1 do
             let e = fl.Netlist.fi_node.(fb + j) in
-            let mu_b =
-              if e >= 0 then a.Arena.arr_mu.(e) else a.Arena.pi_mu.(-e - 1)
-            in
-            let var_b =
-              if e >= 0 then a.Arena.arr_var.(e) else a.Arena.pi_var.(-e - 1)
-            in
+            let b = if e >= 0 then 2 * e else (-2 * e) - 2 in
+            let src = if e >= 0 then a.Arena.arr else a.Arena.pi in
             Clark.partials_into
-              ~mu_a:a.Arena.pre_mu.(fb + j - 1)
-              ~var_a:a.Arena.pre_var.(fb + j - 1)
-              ~mu_b ~var_b a.Arena.pp (fb + j)
+              ~mu_a:(Clark.vget a.Arena.pre (2 * (fb + j) - 2))
+              ~var_a:(Clark.vget a.Arena.pre (2 * (fb + j) - 1))
+              ~mu_b:(Clark.vget src b)
+              ~var_b:(Clark.vget src (b + 1))
+              a.Arena.pp (fb + j)
           done;
           t.pc_version.(id) <- t.version
         end;
         t.pc_hit.(id) <- not fresh;
-        a.Arena.fadj_mu.(fb) <- am;
-        a.Arena.fadj_var.(fb) <- av;
+        Clark.vset a.Arena.fadj (2 * fb) am;
+        Clark.vset a.Arena.fadj ((2 * fb) + 1) av;
         for j = fk - 1 downto 1 do
-          Clark.backprop_apply a.Arena.pp (fb + j) a.Arena.fadj_mu
-            a.Arena.fadj_var ~acc:fb ~out:(fb + j)
+          Clark.backprop_apply a.Arena.pp (fb + j) a.Arena.fadj ~acc:fb
+            ~out:(fb + j)
         done);
     for i = 0 to !n_todo - 1 do
       if t.pc_hit.(t.todo.(i)) then incr p_hits
     done;
     (* Phase 2, serial in decreasing id: identical accumulation order to
        the arena reverse sweep. *)
-    for i = len - 1 downto 0 do
-      Arena.phase2_gate a bucket.(i)
+    for id = hi - 1 downto lo do
+      Arena.phase2_gate a id
     done
   done;
   (* Save this sweep's products for the next same-root gradient. *)
-  Array.blit a.Arena.adj_mu 0 slot.s_adj_mu 0 n;
-  Array.blit a.Arena.adj_var 0 slot.s_adj_var 0 n;
-  Array.blit a.Arena.dmu_t 0 slot.s_dmu 0 n;
-  Array.blit a.Arena.fadj_mu 0 slot.s_fan_mu 0 (Array.length a.Arena.fadj_mu);
-  Array.blit a.Arena.fadj_var 0 slot.s_fan_var 0 (Array.length a.Arena.fadj_var);
-  Array.blit a.Arena.active 0 slot.s_active 0 n;
+  Bigarray.Array1.blit a.Arena.adj slot.s_adj;
+  Bigarray.Array1.blit a.Arena.dmu_t slot.s_dmu;
+  Bigarray.Array1.blit a.Arena.fadj slot.s_fan;
+  Bytes.blit a.Arena.active 0 slot.s_active 0 n;
   slot.s_version <- t.version;
   slot.s_bumps <- t.stamp_bumps;
   slot.s_valid <- true;
@@ -636,16 +649,18 @@ let value_and_gradient t ~sizes ~seed =
   Util.Instr.time t_reverse @@ fun () ->
   let root = seed res in
   reverse_core t ~d_mu:root.Ssta.d_mu ~d_var:root.Ssta.d_var;
-  (res, Array.sub t.a.Arena.grad 0 t.n)
+  let grad = Array.make t.n 0. in
+  Arena.gradient_into t.a grad;
+  (res, grad)
 
 let gradient t ~sizes ~seed = snd (value_and_gradient t ~sizes ~seed)
 
 (* Raw plane-level variant for the sizing engine's inner loop: no result
    snapshot, no gradient copy — the caller reads the arena (via {!arena})
-   and receives the gradient in its own buffer. *)
+   and receives the gradient in its own buffer (old-id order). *)
 let gradient_into t ~sizes ~d_mu ~d_var ~out =
   analyze_state t ~sizes;
   t.st.s_gradients <- t.st.s_gradients + 1;
   Util.Instr.incr c_gradient;
   (Util.Instr.time t_reverse @@ fun () -> reverse_core t ~d_mu ~d_var);
-  Array.blit t.a.Arena.grad 0 out 0 t.n
+  Arena.gradient_into t.a out

@@ -37,18 +37,21 @@ let sample ?pool ?arena ?(batch = 1024) ?(seed = 1) ?(draw = gaussian_draw)
   Util.Instr.time t_sample @@ fun () ->
   let ng = Netlist.n_gates net in
   (* Per-gate delay moments at the given sizes (fixed for the whole run).
-     With an arena they are read off its [del_mu] plane — same loads,
-     same delay expression, bit-identical to [Dsta.delays] — instead of
-     a fresh array.  The sigma is always recomputed from the model (the
-     [del_var] plane holds the variance; [sqrt] of it is not guaranteed
-     bit-identical to [Sigma_model.sigma]). *)
+     With an arena they are read off its delay pair plane
+     ([Arena.delay_means_into], back in old-id order) — same loads,
+     same delay expression, bit-identical to [Dsta.delays].  The sigma
+     is always recomputed from the model (the plane holds the variance;
+     [sqrt] of it is not guaranteed bit-identical to
+     [Sigma_model.sigma]). *)
   let mu_t =
     match arena with
     | Some a ->
         if not (Arena.netlist a == net) then
           invalid_arg "Mcsta.sample: arena was created for a different netlist";
         Arena.forward ?pool ~model a ~sizes;
-        a.Arena.del_mu
+        let mu = Array.make ng 0. in
+        Arena.delay_means_into a mu;
+        mu
     | None -> Dsta.delays net ~sizes
   in
   let sigma_t = Array.init ng (fun g -> Sigma_model.sigma model mu_t.(g)) in

@@ -272,14 +272,19 @@ let arena_for ?arena net =
    performed of_var's validation), so the snapshot is bit-exact. *)
 let of_arena (a : Arena.t) : result =
   let n = a.Arena.n in
+  let perm = a.Arena.flat.Circuit.Netlist.perm in
   {
     arrival =
       Array.init n (fun i ->
-          { Normal.mu = a.Arena.arr_mu.(i); var = a.Arena.arr_var.(i) });
+          let j = 2 * perm.(i) in
+          { Normal.mu = Clark.vget a.Arena.arr j;
+            var = Clark.vget a.Arena.arr (j + 1) });
     gate_delay =
       Array.init n (fun i ->
-          { Normal.mu = a.Arena.del_mu.(i); var = a.Arena.del_var.(i) });
-    loads = Array.sub a.Arena.load 0 n;
+          let j = 2 * perm.(i) in
+          { Normal.mu = Clark.vget a.Arena.del j;
+            var = Clark.vget a.Arena.del (j + 1) });
+    loads = Array.init n (fun i -> Clark.vget a.Arena.load perm.(i));
     circuit = { Normal.mu = Arena.circuit_mu a; var = Arena.circuit_var a };
   }
 
@@ -303,7 +308,9 @@ let value_and_gradient ?pool ?arena ?pi_arrival ~model net ~sizes ~seed =
   Util.Instr.time t_reverse @@ fun () ->
   let root = seed res in
   Arena.reverse ?pool ~model a ~d_mu:root.d_mu ~d_var:root.d_var;
-  (res, Array.sub a.Arena.grad 0 (Array.length sizes))
+  let grad = Array.make (Array.length sizes) 0. in
+  Arena.gradient_into a grad;
+  (res, grad)
 
 let gradient ?pool ?arena ?pi_arrival ~model net ~sizes ~seed =
   snd (value_and_gradient ?pool ?arena ?pi_arrival ~model net ~sizes ~seed)

@@ -1,0 +1,59 @@
+/* Staging gathers for the flat timing arena.
+ *
+ * These are the sweeps' only random memory accesses: copying each fold
+ * slot's fanin operand pair (and each fanout edge's consumer size)
+ * from its home plane into the level's contiguous scratch window.
+ * They are pure copies -- no floating-point arithmetic -- so doing
+ * them in C cannot perturb results; the point of the C version is
+ * __builtin_prefetch, which OCaml cannot express: issuing the gather
+ * addresses a couple of dozen iterations ahead keeps that many cache
+ * misses in flight instead of the handful the out-of-order window
+ * finds on its own.
+ *
+ * Index columns are trusted (built once in Arena.create from the
+ * validated CSR view); callers pass half-open index ranges.
+ */
+
+#include <stdint.h>
+#include <caml/mlvalues.h>
+#include <caml/bigarray.h>
+
+#define PREFETCH_AHEAD 24
+
+/* opnd[2i .. 2i+1] = arr[fib[s0+i] .. fib[s0+i]+1] for s0+i in [s0, s1) */
+CAMLprim value sta_stage_gather_pairs(value varr, value vfib, value vopnd,
+                                      value vs0, value vs1)
+{
+  const double *arr = (const double *)Caml_ba_data_val(varr);
+  const int32_t *fib = (const int32_t *)Caml_ba_data_val(vfib);
+  double *opnd = (double *)Caml_ba_data_val(vopnd);
+  long s0 = Long_val(vs0);
+  long m = Long_val(vs1) - s0;
+  long i;
+  for (i = 0; i < m; i++) {
+    if (i + PREFETCH_AHEAD < m)
+      __builtin_prefetch(&arr[fib[s0 + i + PREFETCH_AHEAD]], 0, 1);
+    int32_t b = fib[s0 + i];
+    opnd[2 * i] = arr[b];
+    opnd[2 * i + 1] = arr[b + 1];
+  }
+  return Val_unit;
+}
+
+/* fosz[i] = sizes[foc[f0+i]] for f0+i in [f0, f1) */
+CAMLprim value sta_stage_gather_sizes(value vsizes, value vfoc, value vfosz,
+                                      value vf0, value vf1)
+{
+  const double *sizes = (const double *)Caml_ba_data_val(vsizes);
+  const int32_t *foc = (const int32_t *)Caml_ba_data_val(vfoc);
+  double *fosz = (double *)Caml_ba_data_val(vfosz);
+  long f0 = Long_val(vf0);
+  long m = Long_val(vf1) - f0;
+  long i;
+  for (i = 0; i < m; i++) {
+    if (i + PREFETCH_AHEAD < m)
+      __builtin_prefetch(&sizes[foc[f0 + i + PREFETCH_AHEAD]], 0, 1);
+    fosz[i] = sizes[foc[f0 + i]];
+  }
+  return Val_unit;
+}

@@ -43,8 +43,21 @@ let moments (a : Normal.t) (b : Normal.t) =
   let theta = sqrt (var_a +. var_b) in
   let alpha = (mu_a -. mu_b) /. theta in
   let pdf = Special.normal_pdf alpha in
-  let cdf_a = Special.normal_cdf alpha in
-  let cdf_b = Special.normal_cdf (-.alpha) in
+  (* Both normal tails from ONE Cody-kernel evaluation.
+     [Special.normal_cdf alpha] is [0.5 *. erfc y] with
+     [y = -.alpha /. sqrt2], and [Special.erfc]'s two sign branches are
+     [erfc_pos y] and [2. -. erfc_pos (-.y)] — so the single
+     positive-branch value [e = erfc_pos |y|] yields both [Phi alpha]
+     and [Phi (-.alpha)].  The selects replay exactly the branch each
+     [normal_cdf] call would have taken, so [cdf_a] and [cdf_b] are
+     bit-identical to two independent calls while evaluating one
+     rational approximation instead of two. *)
+  let y = -.alpha /. Special.sqrt2 in
+  let e = Special.erfc_pos (if y >= 0. then y else -.y) in
+  let half_e = 0.5 *. e in
+  let half_c = 0.5 *. (2. -. e) in
+  let cdf_a = if y >= 0. then half_e else half_c in
+  let cdf_b = if y >= 0. then half_c else half_e in
   let mu_c = (mu_a *. cdf_a) +. (mu_b *. cdf_b) +. (theta *. pdf) in
   let e2 =
     ((var_a +. (mu_a *. mu_a)) *. cdf_a)
@@ -116,9 +129,13 @@ let max2_full a b =
 (* ---- flat in-place kernels --------------------------------------------------
 
    The same operators as [max2] / [max2_full] / the adjoint chain of a
-   recorded fold, operating on caller-owned [float array] planes instead
-   of returning [Normal.t] records — the allocation-free form the
-   structure-of-arrays timing arena (Sta.Arena) sweeps are built from.
+   recorded fold, operating on caller-owned unboxed [Bigarray.Array1]
+   planes instead of returning [Normal.t] records — the allocation-free
+   form the structure-of-arrays timing arena (Sta.Arena) sweeps are
+   built from.  A moment plane interleaves (mu, var) pairs: slot [i]
+   lives at indices [2i] (mean) and [2i + 1] (variance), so one slot is
+   16 contiguous bytes and a random gather of a fanin arrival touches a
+   single cache line instead of two parallel planes.
 
    Bit-identity contract: every kernel performs the {e same}
    floating-point operations in the {e same} order as its record-based
@@ -138,14 +155,22 @@ let max2_full a b =
    lets ocamlopt keep the scalar float arguments unboxed through the
    call (verified: the steady-state arena sweep allocates zero words). *)
 
-let[@inline] add_into ~mu_a ~var_a ~mu_b ~var_b (mu_out : float array)
-    (var_out : float array) i =
-  mu_out.(i) <- mu_a +. mu_b;
-  var_out.(i) <- var_a +. var_b
+type vec = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
 
-(* [max2] on scalars, result written to plane slot [i]. *)
-let[@inline] max2_into ~mu_a ~var_a ~mu_b ~var_b (mu_out : float array)
-    (var_out : float array) i =
+(* Monomorphic accessors: applied through these [@inline] wrappers the
+   bigarray primitives specialise to float64/c_layout and compile to a
+   single unboxed load/store, while staying readable at call sites.
+   (A plain [let get = Bigarray.Array1.unsafe_get] alias would eta-expand
+   the external into a closure and box every float through it.) *)
+let[@inline] vget (v : vec) i = Bigarray.Array1.unsafe_get v i
+let[@inline] vset (v : vec) i (x : float) = Bigarray.Array1.unsafe_set v i x
+
+let[@inline] add_into ~mu_a ~var_a ~mu_b ~var_b (out : vec) i =
+  Bigarray.Array1.unsafe_set out (2 * i) (mu_a +. mu_b);
+  Bigarray.Array1.unsafe_set out ((2 * i) + 1) (var_a +. var_b)
+
+(* [max2] on scalars, result written to interleaved slot [i]. *)
+let[@inline] max2_into ~mu_a ~var_a ~mu_b ~var_b (out : vec) i =
   Util.Instr.incr c_max2;
   if var_a +. var_b < degenerate_theta *. degenerate_theta then begin
     let wa, wb =
@@ -153,15 +178,20 @@ let[@inline] max2_into ~mu_a ~var_a ~mu_b ~var_b (mu_out : float array)
       else if mu_a < mu_b then (0., 1.)
       else (0.5, 0.5)
     in
-    mu_out.(i) <- (wa *. mu_a) +. (wb *. mu_b);
-    var_out.(i) <- (wa *. var_a) +. (wb *. var_b)
+    Bigarray.Array1.unsafe_set out (2 * i) ((wa *. mu_a) +. (wb *. mu_b));
+    Bigarray.Array1.unsafe_set out ((2 * i) + 1) ((wa *. var_a) +. (wb *. var_b))
   end
   else begin
     let theta = sqrt (var_a +. var_b) in
     let alpha = (mu_a -. mu_b) /. theta in
     let pdf = Util.Special.normal_pdf alpha in
-    let cdf_a = Util.Special.normal_cdf alpha in
-    let cdf_b = Util.Special.normal_cdf (-.alpha) in
+    (* Single-kernel tail pair, see [moments]. *)
+    let y = -.alpha /. Util.Special.sqrt2 in
+    let e = Util.Special.erfc_pos (if y >= 0. then y else -.y) in
+    let half_e = 0.5 *. e in
+    let half_c = 0.5 *. (2. -. e) in
+    let cdf_a = if y >= 0. then half_e else half_c in
+    let cdf_b = if y >= 0. then half_c else half_e in
     let mu_c = (mu_a *. cdf_a) +. (mu_b *. cdf_b) +. (theta *. pdf) in
     let e2 =
       ((var_a +. (mu_a *. mu_a)) *. cdf_a)
@@ -169,8 +199,8 @@ let[@inline] max2_into ~mu_a ~var_a ~mu_b ~var_b (mu_out : float array)
       +. ((mu_a +. mu_b) *. theta *. pdf)
     in
     let v = e2 -. (mu_c *. mu_c) in
-    mu_out.(i) <- mu_c;
-    var_out.(i) <- (if 0. >= v then 0. else v)
+    Bigarray.Array1.unsafe_set out (2 * i) mu_c;
+    Bigarray.Array1.unsafe_set out ((2 * i) + 1) (if 0. >= v then 0. else v)
   end
 
 (* Eight [partials] fields per fold step, stored flat at slots
@@ -181,7 +211,7 @@ let partials_width = 8
    already recorded the prefix), written to the partials plane [pp] at
    step slot [pj].  Same arithmetic as [max2_full], degenerate branch
    included. *)
-let[@inline] partials_into ~mu_a ~var_a ~mu_b ~var_b (pp : float array) pj =
+let[@inline] partials_into ~mu_a ~var_a ~mu_b ~var_b (pp : vec) pj =
   Util.Instr.incr c_max2;
   let o = partials_width * pj in
   if var_a +. var_b < degenerate_theta *. degenerate_theta then begin
@@ -190,21 +220,26 @@ let[@inline] partials_into ~mu_a ~var_a ~mu_b ~var_b (pp : float array) pj =
       else if mu_a < mu_b then (0., 1.)
       else (0.5, 0.5)
     in
-    pp.(o) <- wa;
-    pp.(o + 1) <- wb;
-    pp.(o + 2) <- 0.;
-    pp.(o + 3) <- 0.;
-    pp.(o + 4) <- 0.;
-    pp.(o + 5) <- 0.;
-    pp.(o + 6) <- wa;
-    pp.(o + 7) <- wb
+    vset pp o wa;
+    vset pp (o + 1) wb;
+    vset pp (o + 2) 0.;
+    vset pp (o + 3) 0.;
+    vset pp (o + 4) 0.;
+    vset pp (o + 5) 0.;
+    vset pp (o + 6) wa;
+    vset pp (o + 7) wb
   end
   else begin
     let theta = sqrt (var_a +. var_b) in
     let alpha = (mu_a -. mu_b) /. theta in
     let pdf = Util.Special.normal_pdf alpha in
-    let cdf_a = Util.Special.normal_cdf alpha in
-    let cdf_b = Util.Special.normal_cdf (-.alpha) in
+    (* Single-kernel tail pair, see [moments]. *)
+    let y = -.alpha /. Util.Special.sqrt2 in
+    let e = Util.Special.erfc_pos (if y >= 0. then y else -.y) in
+    let half_e = 0.5 *. e in
+    let half_c = 0.5 *. (2. -. e) in
+    let cdf_a = if y >= 0. then half_e else half_c in
+    let cdf_b = if y >= 0. then half_c else half_e in
     let mu_c = (mu_a *. cdf_a) +. (mu_b *. cdf_b) +. (theta *. pdf) in
     let de2_dmu_a = (2. *. mu_a *. cdf_a) +. (2. *. var_a *. pdf /. theta) in
     let de2_dmu_b = (2. *. mu_b *. cdf_b) +. (2. *. var_b *. pdf /. theta) in
@@ -213,36 +248,36 @@ let[@inline] partials_into ~mu_a ~var_a ~mu_b ~var_b (pp : float array) pj =
     let skew = alpha *. (var_a -. var_b) /. (2. *. theta *. theta) in
     let de2_dvar_a = cdf_a +. (pdf *. (common -. skew)) in
     let de2_dvar_b = cdf_b +. (pdf *. (common -. skew)) in
-    pp.(o) <- cdf_a;
-    pp.(o + 1) <- cdf_b;
-    pp.(o + 2) <- dmu_dvar;
-    pp.(o + 3) <- dmu_dvar;
-    pp.(o + 4) <- de2_dmu_a -. (2. *. mu_c *. cdf_a);
-    pp.(o + 5) <- de2_dmu_b -. (2. *. mu_c *. cdf_b);
-    pp.(o + 6) <- de2_dvar_a -. (2. *. mu_c *. dmu_dvar);
-    pp.(o + 7) <- de2_dvar_b -. (2. *. mu_c *. dmu_dvar)
+    vset pp o cdf_a;
+    vset pp (o + 1) cdf_b;
+    vset pp (o + 2) dmu_dvar;
+    vset pp (o + 3) dmu_dvar;
+    vset pp (o + 4) (de2_dmu_a -. (2. *. mu_c *. cdf_a));
+    vset pp (o + 5) (de2_dmu_b -. (2. *. mu_c *. cdf_b));
+    vset pp (o + 6) (de2_dvar_a -. (2. *. mu_c *. dmu_dvar));
+    vset pp (o + 7) (de2_dvar_b -. (2. *. mu_c *. dmu_dvar))
   end
 
 (* One adjoint step of a recorded fold against stored partials: reads the
-   prefix adjoint at slot [acc] of the adjoint planes, writes operand b's
-   adjoint to slot [out] and the propagated prefix adjoint back to [acc]
-   — the multiply chain of [Ssta]'s [backprop_fold], verbatim. *)
-let[@inline] backprop_apply (pp : float array) pj (adj_mu : float array)
-    (adj_var : float array) ~acc ~out =
+   prefix adjoint at interleaved slot [acc] of the fold-adjoint plane,
+   writes operand b's adjoint to slot [out] and the propagated prefix
+   adjoint back to [acc] — the multiply chain of [Ssta]'s
+   [backprop_fold], verbatim. *)
+let[@inline] backprop_apply (pp : vec) pj (fadj : vec) ~acc ~out =
   let o = partials_width * pj in
-  let dmu_dmu_a = pp.(o)
-  and dmu_dmu_b = pp.(o + 1)
-  and dmu_dvar_a = pp.(o + 2)
-  and dmu_dvar_b = pp.(o + 3)
-  and dvar_dmu_a = pp.(o + 4)
-  and dvar_dmu_b = pp.(o + 5)
-  and dvar_dvar_a = pp.(o + 6)
-  and dvar_dvar_b = pp.(o + 7) in
-  let am = adj_mu.(acc) and av = adj_var.(acc) in
-  adj_mu.(out) <- (am *. dmu_dmu_b) +. (av *. dvar_dmu_b);
-  adj_var.(out) <- (am *. dmu_dvar_b) +. (av *. dvar_dvar_b);
-  adj_mu.(acc) <- (am *. dmu_dmu_a) +. (av *. dvar_dmu_a);
-  adj_var.(acc) <- (am *. dmu_dvar_a) +. (av *. dvar_dvar_a)
+  let dmu_dmu_a = vget pp o
+  and dmu_dmu_b = vget pp (o + 1)
+  and dmu_dvar_a = vget pp (o + 2)
+  and dmu_dvar_b = vget pp (o + 3)
+  and dvar_dmu_a = vget pp (o + 4)
+  and dvar_dmu_b = vget pp (o + 5)
+  and dvar_dvar_a = vget pp (o + 6)
+  and dvar_dvar_b = vget pp (o + 7) in
+  let am = vget fadj (2 * acc) and av = vget fadj ((2 * acc) + 1) in
+  vset fadj (2 * out) ((am *. dmu_dmu_b) +. (av *. dvar_dmu_b));
+  vset fadj ((2 * out) + 1) ((am *. dmu_dvar_b) +. (av *. dvar_dvar_b));
+  vset fadj (2 * acc) ((am *. dmu_dmu_a) +. (av *. dvar_dmu_a));
+  vset fadj ((2 * acc) + 1) ((am *. dmu_dvar_a) +. (av *. dvar_dvar_a))
 
 let max_list = function
   | [] -> invalid_arg "Clark.max_list: empty list"

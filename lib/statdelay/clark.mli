@@ -50,60 +50,58 @@ val expectation_sq : Normal.t -> Normal.t -> float
 
 (** {1 Flat in-place kernels}
 
-    The same operators on caller-owned [float array] planes — no
-    [Normal.t] records, no allocation.  These are what the
-    structure-of-arrays timing arena ({!Sta.Arena}) sweeps run on; each
-    performs bit-identical floating-point operations to its boxed
-    counterpart above (differentially enforced by [test/test_arena.ml]).
-    All are [[@inline]] so the scalar float arguments stay unboxed in
+    The same operators on caller-owned unboxed {!vec} planes — no
+    [Normal.t] records, no allocation, no GC pressure (Bigarray data
+    lives outside the OCaml heap, so million-gate planes neither move
+    nor get scanned).  These are what the structure-of-arrays timing
+    arena ({!Sta.Arena}) sweeps run on; each performs bit-identical
+    floating-point operations to its boxed counterpart above
+    (differentially enforced by [test/test_arena.ml]).  All are
+    [[@inline]] so the scalar float arguments stay unboxed in
     classic-mode native code. *)
 
+type vec = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+(** An unboxed double-precision plane.  Moment planes interleave
+    (mu, var) pairs — slot [i] is indices [2i] (mean) and [2i + 1]
+    (variance) — so one slot occupies 16 contiguous bytes and a random
+    gather of a fanin arrival costs one cache line, not one per
+    plane. *)
+
+val vget : vec -> int -> float
+val vset : vec -> int -> float -> unit
+(** Monomorphic unchecked accessors.  Through these [[@inline]] wrappers
+    the bigarray primitives specialise to float64/c_layout and compile
+    to single unboxed loads/stores — the pattern every plane sweep in
+    {!Sta.Arena} uses.  (A plain alias of [Bigarray.Array1.unsafe_get]
+    would eta-expand the external into a closure and box the floats.) *)
+
 val add_into :
-  mu_a:float ->
-  var_a:float ->
-  mu_b:float ->
-  var_b:float ->
-  float array ->
-  float array ->
-  int ->
-  unit
-(** [add_into ~mu_a ~var_a ~mu_b ~var_b mu_out var_out i] — independent
-    sum ({!Normal.add}) written to slot [i] of the output planes. *)
+  mu_a:float -> var_a:float -> mu_b:float -> var_b:float -> vec -> int -> unit
+(** [add_into ~mu_a ~var_a ~mu_b ~var_b out i] — independent sum
+    ({!Normal.add}) written to interleaved slot [i] of [out]. *)
 
 val max2_into :
-  mu_a:float ->
-  var_a:float ->
-  mu_b:float ->
-  var_b:float ->
-  float array ->
-  float array ->
-  int ->
-  unit
-(** {!max2} on scalars, result moments written to slot [i]. *)
+  mu_a:float -> var_a:float -> mu_b:float -> var_b:float -> vec -> int -> unit
+(** {!max2} on scalars, result moments written to interleaved slot
+    [i]. *)
 
 val partials_width : int
 (** Slots per fold step in a partials plane: the eight {!partials}
     fields, stored flat in record-field order. *)
 
 val partials_into :
-  mu_a:float ->
-  var_a:float ->
-  mu_b:float ->
-  var_b:float ->
-  float array ->
-  int ->
-  unit
+  mu_a:float -> var_a:float -> mu_b:float -> var_b:float -> vec -> int -> unit
 (** [partials_into ~mu_a ~var_a ~mu_b ~var_b pp pj] writes
-    {!max2_full}'s eight partials to slots
+    {!max2_full}'s eight partials to indices
     [partials_width*pj .. partials_width*pj+7] of [pp]. *)
 
-val backprop_apply :
-  float array -> int -> float array -> float array -> acc:int -> out:int -> unit
-(** [backprop_apply pp pj adj_mu adj_var ~acc ~out] — one adjoint step
-    of a recorded left fold: reads the prefix adjoint at slot [acc],
-    writes operand b's adjoint to slot [out] and the propagated prefix
-    adjoint back to [acc], using the partials stored at step [pj] of
-    [pp].  The exact multiply chain of the boxed reverse sweep. *)
+val backprop_apply : vec -> int -> vec -> acc:int -> out:int -> unit
+(** [backprop_apply pp pj fadj ~acc ~out] — one adjoint step of a
+    recorded left fold: reads the prefix adjoint at interleaved slot
+    [acc] of [fadj], writes operand b's adjoint to slot [out] and the
+    propagated prefix adjoint back to [acc], using the partials stored
+    at step [pj] of [pp].  The exact multiply chain of the boxed
+    reverse sweep. *)
 
 val max_list : Normal.t list -> Normal.t
 (** Repeated two-operand max, left to right (the paper folds multi-input

@@ -1,0 +1,10 @@
+external madvise_hugepage :
+  ('a, 'b, 'c) Bigarray.Array1.t -> int -> unit = "util_madvise_hugepage"
+[@@noalloc]
+
+let advise (type a b) (v : (a, b, Bigarray.c_layout) Bigarray.Array1.t) =
+  let bytes =
+    Bigarray.Array1.dim v * Bigarray.kind_size_in_bytes (Bigarray.Array1.kind v)
+  in
+  (* Sub-2-MiB regions can never hold a huge page; skip the syscall. *)
+  if bytes >= 2 * 1024 * 1024 then madvise_hugepage v bytes

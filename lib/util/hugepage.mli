@@ -1,0 +1,18 @@
+(** Transparent-huge-page advice for large Bigarray planes.
+
+    {!advise} asks the kernel ([madvise(MADV_HUGEPAGE)] on Linux) to
+    back a Bigarray's data with 2 MiB pages.  Random gathers over a
+    multi-megabyte float64 plane are otherwise TLB-bound: at 4 KiB
+    pages a million-gate arrival plane (16 MiB) needs 4096 TLB
+    entries, several times the second-level TLB, so nearly every
+    gather adds a page-table walk.  Huge pages cover the same plane
+    with 8 entries.
+
+    Purely advisory and best-effort: a no-op on non-Linux systems,
+    when THP is disabled, or for regions under 2 MiB (which cannot
+    contain a huge page).  Never raises; never affects results — only
+    speed.  Call it right after [Bigarray.Array1.create], {e before}
+    first touch, so pages fault in huge from the start instead of
+    waiting for [khugepaged] to collapse them. *)
+
+val advise : ('a, 'b, Bigarray.c_layout) Bigarray.Array1.t -> unit

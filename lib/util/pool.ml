@@ -104,14 +104,21 @@ let wait_done (j : job) =
     Domain.cpu_relax ()
   done
 
-let parallel_for ?(grain = 1) t ~n body =
+let parallel_for ?(grain = 1) ?(align = 1) t ~n body =
   if grain < 1 then invalid_arg "Pool.parallel_for: grain must be >= 1";
+  if align < 1 then invalid_arg "Pool.parallel_for: align must be >= 1";
   if n > 0 then
     if t.jobs = 1 || n < 2 * grain then run_serial n body
     else begin
       (* Aim for a few chunks per domain so the fetch-and-add queue can
-         rebalance uneven chunk costs, but never below [grain]. *)
+         rebalance uneven chunk costs, but never below [grain].  Rounding
+         the chunk up to a multiple of [align] keeps every chunk boundary
+         (all are multiples of [chunk], since claims start at 0) on an
+         [align]-element stride, so groups of [align] consecutive indices
+         — e.g. the slots sharing a cache line of an interleaved plane —
+         are never split across two domains. *)
       let chunk = max grain (1 + ((n - 1) / (t.jobs * 4))) in
+      let chunk = ((chunk + align - 1) / align) * align in
       let j =
         {
           body;

@@ -35,5 +35,16 @@ val log_normal_cdf : float -> float
 val sqrt2 : float
 (** [sqrt 2.] *)
 
+val erfc_pos : float -> float
+(** [erfc_pos x] is [erfc x] for [x >= 0.] — the positive-branch Cody
+    kernel that {!erfc} dispatches to on either side of zero.  Exposed
+    for callers that need both normal tails [Phi alpha] and
+    [Phi (-. alpha)] of the same argument: by the sign symmetry of
+    {!erfc}, both equal [0.5 *. e] and [0.5 *. (2. -. e)] for the single
+    kernel value [e = erfc_pos (abs_float (alpha /. sqrt2))],
+    bit-identically to two independent {!normal_cdf} calls.  The
+    statistical-max kernels (Statdelay.Clark) use this to evaluate one
+    rational approximation per max instead of two. *)
+
 val inv_sqrt_2pi : float
 (** [1. /. sqrt (2. *. pi)] *)

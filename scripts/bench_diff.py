@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Compare a fresh `bench/main.exe json` snapshot against the committed
+BENCH_*.json trajectory.
+
+Usage: bench_diff.py COMMITTED.json FRESH.json
+
+Compares only the circuit sizes present in BOTH files (CI measures the
+small sizes; the committed snapshot also records the large ones), and
+only checks for order-of-magnitude regressions: CI runners are shared,
+unpinned machines, so the threshold is deliberately lenient (a 3x
+slowdown fails, noise does not).  Structural fields (gate count, depth,
+fanin edges, circuit moments) must match exactly — the same generator
+seed must describe the same circuit, and a moment drift means the
+sweep's arithmetic changed.
+
+Exit status: 0 clean, 1 regression/mismatch, 2 usage or schema error.
+"""
+
+import json
+import sys
+
+SLOWDOWN_LIMIT = 3.0
+
+# Fields that must be bit-for-bit identical across machines.
+EXACT = ["n_pis", "depth", "levels", "fanin_edges", "circuit_mu", "circuit_var"]
+
+# Throughput fields: fresh must be at least committed / SLOWDOWN_LIMIT.
+RATES = ["fwd_gates_per_sec", "grads_per_sec"]
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_diff: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    if doc.get("schema_version") != 1:
+        print(f"bench_diff: {path}: unsupported schema_version "
+              f"{doc.get('schema_version')!r}", file=sys.stderr)
+        sys.exit(2)
+    return {entry["n_gates"]: entry for entry in doc["sizes"]}
+
+
+def main():
+    if len(sys.argv) != 3:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    committed = load(sys.argv[1])
+    fresh = load(sys.argv[2])
+    common = sorted(set(committed) & set(fresh))
+    if not common:
+        print("bench_diff: no common circuit sizes to compare", file=sys.stderr)
+        sys.exit(2)
+
+    failures = 0
+    for n in common:
+        c, f = committed[n], fresh[n]
+        for field in EXACT:
+            if c.get(field) != f.get(field):
+                print(f"FAIL n={n}: {field}: committed {c.get(field)!r} "
+                      f"!= fresh {f.get(field)!r}")
+                failures += 1
+        for field in RATES:
+            base, now = c.get(field), f.get(field)
+            if not base or not now:
+                continue
+            ratio = base / now
+            verdict = "ok"
+            if ratio > SLOWDOWN_LIMIT:
+                verdict = f"FAIL (> {SLOWDOWN_LIMIT:.0f}x slowdown)"
+                failures += 1
+            print(f"{'FAIL' if verdict != 'ok' else '  ok'} n={n}: {field}: "
+                  f"committed {base:.0f}, fresh {now:.0f} "
+                  f"({ratio:.2f}x slower) {verdict if verdict != 'ok' else ''}")
+
+    if failures:
+        print(f"bench_diff: {failures} failure(s) across sizes {common}")
+        sys.exit(1)
+    print(f"bench_diff: clean across sizes {common}")
+
+
+if __name__ == "__main__":
+    main()
