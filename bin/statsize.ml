@@ -512,9 +512,170 @@ let tables_cmd =
     (Cmd.info "tables" ~doc:"Regenerate the paper's tables and figures")
     Term.(const run $ which_arg)
 
+(* ---- sim --------------------------------------------------------------------- *)
+
+(* Deterministic simulation harness over the whole engine stack:
+   generate a keyed-seed op sequence, run it with the invariant suite
+   after every op, and on failure shrink to a minimal trace that
+   `statsize sim --replay FILE` re-executes bit-for-bit.
+   Exit codes: 0 clean, 1 invariant violation, 2 usage/IO error. *)
+let sim_cmd =
+  let parse_dag s =
+    match String.split_on_char ',' s |> List.map int_of_string_opt with
+    | [ Some n_gates; Some n_pis; Some depth; Some seed ] ->
+        Ok (Sim.Op.Dag { n_gates; n_pis; depth; seed })
+    | _ -> Error (Printf.sprintf "bad --dag spec %S (want N,PIS,DEPTH,SEED)" s)
+  in
+  let run seed n_ops circuit dag plant replay out no_shrink max_runs jobs profile =
+    let code =
+      with_runtime ~jobs ~profile @@ fun pool ->
+    let pools = match pool with None -> [] | Some p -> [ (jobs, p) ] in
+    let fail_usage msg =
+      Printf.eprintf "statsize sim: %s\n" msg;
+      2
+    in
+    (* Report a failing run; shrink + persist unless told not to. *)
+    let report_failure (trace : Sim.Trace.t) (f : Sim.Harness.failure) =
+      print_endline
+        (Sim.Harness.describe_failure ~seed:trace.Sim.Trace.seed
+           ~circuit:trace.Sim.Trace.circuit
+           ~n_ops:(List.length trace.Sim.Trace.ops) f);
+      if not no_shrink then begin
+        let rerun t =
+          match (Sim.Trace.run ~pools t).Sim.Harness.outcome with
+          | Sim.Harness.Failed f -> Some f
+          | Sim.Harness.Passed -> None
+        in
+        let shrunk = Sim.Shrink.minimize ~max_runs ~run:rerun trace f in
+        Printf.printf
+          "shrunk to %d ops (%d candidate runs); violating op: %s\n"
+          (List.length shrunk.Sim.Shrink.trace.Sim.Trace.ops)
+          shrunk.Sim.Shrink.runs
+          (Sim.Op.to_line shrunk.Sim.Shrink.failure.Sim.Harness.op);
+        Sim.Trace.save out shrunk.Sim.Shrink.trace;
+        Printf.printf "minimal trace written to %s\n  replay: %s\n" out
+          (Sim.Trace.replay_command out)
+      end;
+      1
+    in
+    match replay with
+    | Some path -> (
+        match Sim.Trace.load path with
+        | Error msg -> fail_usage msg
+        | Ok trace -> (
+            let report = Sim.Trace.run ~pools trace in
+            match report.Sim.Harness.outcome with
+            | Sim.Harness.Passed ->
+                Printf.printf "replay %s: %d ops, all invariants held\n" path
+                  report.Sim.Harness.ops_run;
+                (match trace.Sim.Trace.violation with
+                | Some expected ->
+                    Printf.printf
+                      "note: trace expected violation %S but the run passed\n"
+                      expected
+                | None -> ());
+                0
+            | Sim.Harness.Failed f ->
+                print_endline
+                  (Sim.Harness.describe_failure ~seed:trace.Sim.Trace.seed
+                     ~circuit:trace.Sim.Trace.circuit
+                     ~n_ops:(List.length trace.Sim.Trace.ops) f);
+                1))
+    | None -> (
+        let circuit_spec =
+          match (circuit, dag) with
+          | Some _, Some _ -> Error "--circuit and --dag are mutually exclusive"
+          | Some name, None -> Ok (Sim.Op.Named name)
+          | None, Some spec -> parse_dag spec
+          | None, None -> Ok Sim.Gen.default.Sim.Gen.circuit
+        in
+        match circuit_spec with
+        | Error msg -> fail_usage msg
+        | Ok circuit -> (
+            match
+              try Ok (Sim.Gen.instantiate circuit)
+              with Invalid_argument msg -> Error msg
+            with
+            | Error msg -> fail_usage msg
+            | Ok net -> (
+                let weights =
+                  if plant then
+                    { Sim.Gen.default_weights with Sim.Gen.corrupt = 2 }
+                  else Sim.Gen.default_weights
+                in
+                let config =
+                  { Sim.Gen.default with Sim.Gen.circuit; n_ops; weights }
+                in
+                let ops = Sim.Gen.sequence ~net ~seed config in
+                let report = Sim.Harness.run_net ~pools ~seed net ops in
+                match report.Sim.Harness.outcome with
+                | Sim.Harness.Passed ->
+                    Printf.printf
+                      "seed %d: %d ops on %s, all invariants held (%d solves, %d \
+                       faults injected)\n"
+                      seed report.Sim.Harness.ops_run
+                      (Sim.Op.circuit_flags circuit)
+                      report.Sim.Harness.solves report.Sim.Harness.faults_fired;
+                    0
+                | Sim.Harness.Failed f ->
+                    report_failure
+                      { Sim.Trace.seed; circuit; ops; violation = None }
+                      f)))
+    in
+    if code <> 0 then exit code
+  in
+  let seed_arg =
+    let doc = "Run seed; op $(i,k) is a pure function of (seed, k)." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let ops_arg =
+    let doc = "Number of ops to generate." in
+    Arg.(value & opt int 200 & info [ "ops" ] ~docv:"K" ~doc)
+  in
+  let sim_circuit_arg =
+    let doc = "Drive a built-in circuit (fig2, tree, chain, apex1, apex2, k2)." in
+    Arg.(value & opt (some string) None & info [ "circuit" ] ~docv:"NAME" ~doc)
+  in
+  let dag_arg =
+    let doc = "Drive a generated DAG: gates,pis,depth,seed (default 150,20,8,1)." in
+    Arg.(value & opt (some string) None & info [ "dag" ] ~docv:"SPEC" ~doc)
+  in
+  let plant_arg =
+    let doc =
+      "Enable cache-corruption ops in the generator (a planted divergence the \
+       invariant suite must catch; demonstrates shrinking)."
+    in
+    Arg.(value & flag & info [ "plant" ] ~doc)
+  in
+  let replay_arg =
+    let doc = "Re-execute a saved trace file instead of generating ops." in
+    Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Where to write the shrunk trace on failure." in
+    Arg.(value & opt string "sim_trace.txt" & info [ "out" ] ~docv:"FILE" ~doc)
+  in
+  let no_shrink_arg =
+    let doc = "Report the first failure without shrinking it." in
+    Arg.(value & flag & info [ "no-shrink" ] ~doc)
+  in
+  let max_runs_arg =
+    let doc = "Candidate-run budget for the shrinker." in
+    Arg.(value & opt int 400 & info [ "max-runs" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:
+         "Deterministic randomized simulation of the engine stack with \
+          automatic shrinking")
+    Term.(
+      const run $ seed_arg $ ops_arg $ sim_circuit_arg $ dag_arg $ plant_arg
+      $ replay_arg $ out_arg $ no_shrink_arg $ max_runs_arg $ jobs_arg
+      $ profile_arg)
+
 let main_cmd =
   let doc = "gate sizing under a statistical delay model (DATE 2000 reproduction)" in
   let info = Cmd.info "statsize" ~version:"1.0.0" ~doc in
-  Cmd.group info [ analyze_cmd; size_cmd; mc_cmd; tables_cmd ]
+  Cmd.group info [ analyze_cmd; size_cmd; mc_cmd; tables_cmd; sim_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

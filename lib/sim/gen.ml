@@ -1,0 +1,173 @@
+(* Keyed-seed op-sequence generation.
+
+   Op k of run `seed` is a pure function of (seed, k): every draw for
+   that op comes from Util.Rng.keyed seed ~key:k, the same discipline as
+   the batched Monte Carlo engine.  Sequences are therefore replayable
+   from the seed alone, and shrinking can drop or edit ops without
+   perturbing the draws of the ops it keeps. *)
+
+type weights = {
+  resize : int;
+  batch_resize : int;
+  set_objective : int;
+  invalidate : int;
+  analyze : int;
+  gradient : int;
+  inject_fault : int;
+  set_budget : int;
+  solve : int;
+  corrupt : int;
+}
+
+let zero_weights =
+  {
+    resize = 0;
+    batch_resize = 0;
+    set_objective = 0;
+    invalidate = 0;
+    analyze = 0;
+    gradient = 0;
+    inject_fault = 0;
+    set_budget = 0;
+    solve = 0;
+    corrupt = 0;
+  }
+
+(* Corrupting ops are off by default: under the default mix every
+   invariant must hold, so a clean CI sweep really is a clean bill of
+   health.  The planted-divergence demo and `statsize sim --plant`
+   opt in. *)
+let default_weights =
+  {
+    resize = 30;
+    batch_resize = 12;
+    set_objective = 4;
+    invalidate = 4;
+    analyze = 20;
+    gradient = 14;
+    inject_fault = 3;
+    set_budget = 3;
+    solve = 2;
+    corrupt = 0;
+  }
+
+type config = {
+  circuit : Op.circuit;
+  n_ops : int;
+  weights : weights;
+  max_batch : int;
+}
+
+let default =
+  {
+    circuit = Op.Dag { n_gates = 150; n_pis = 20; depth = 8; seed = 1 };
+    n_ops = 100;
+    weights = default_weights;
+    max_batch = 16;
+  }
+
+let instantiate = function
+  | Op.Named name -> (
+      match Circuit.Generate.by_name name with
+      | Some net -> net
+      | None -> invalid_arg (Printf.sprintf "Sim.Gen: unknown circuit %S" name))
+  | Op.Dag { n_gates; n_pis; depth; seed } ->
+      Circuit.Generate.random_dag
+        {
+          Circuit.Generate.default_spec with
+          Circuit.Generate.n_gates;
+          n_pis;
+          target_depth = depth;
+          seed;
+        }
+
+(* Cumulative class table; a draw in [0, total) selects the class. *)
+let classes w =
+  [
+    (w.resize, `Resize);
+    (w.batch_resize, `Batch);
+    (w.set_objective, `Objective);
+    (w.invalidate, `Invalidate);
+    (w.analyze, `Analyze);
+    (w.gradient, `Gradient);
+    (w.inject_fault, `Fault);
+    (w.set_budget, `Budget);
+    (w.solve, `Solve);
+    (w.corrupt, `Corrupt);
+  ]
+
+let draw_resize rng ~n ~maxs =
+  let gate = Util.Rng.int rng n in
+  let size = Util.Rng.uniform rng ~lo:1.0 ~hi:maxs.(gate) in
+  (gate, size)
+
+let op ~net ~seed ~key config =
+  let rng = Util.Rng.keyed seed ~key in
+  let n = Circuit.Netlist.n_gates net in
+  let maxs = Circuit.Netlist.max_sizes net in
+  let total =
+    List.fold_left (fun acc (w, _) -> acc + max 0 w) 0 (classes config.weights)
+  in
+  if total <= 0 then invalid_arg "Sim.Gen: all op weights are zero";
+  let r = Util.Rng.int rng total in
+  let cls =
+    let rec pick acc = function
+      | [] -> assert false
+      | (w, c) :: rest ->
+          let acc = acc + max 0 w in
+          if r < acc then c else pick acc rest
+    in
+    pick 0 (classes config.weights)
+  in
+  match cls with
+  | `Resize ->
+      let gate, size = draw_resize rng ~n ~maxs in
+      Op.Resize { gate; size }
+  | `Batch ->
+      (* Mirror the legacy test_incr mutation: ~n/20 coordinates per
+         sparse delta, capped by the config. *)
+      let k = 1 + Util.Rng.int rng (min config.max_batch (max 1 (n / 20))) in
+      Op.Batch_resize (Array.init k (fun _ -> draw_resize rng ~n ~maxs))
+  | `Objective -> (
+      match Util.Rng.int rng 4 with
+      | 0 -> Op.Set_objective (Op.Obj_min_delay 0.)
+      | 1 -> Op.Set_objective (Op.Obj_min_delay 3.)
+      | 2 ->
+          let k = if Util.Rng.int rng 2 = 0 then 0. else 1. in
+          let frac = Util.Rng.uniform rng ~lo:0.88 ~hi:0.98 in
+          Op.Set_objective (Op.Obj_min_area_bounded { k; frac })
+      | _ ->
+          let frac = Util.Rng.uniform rng ~lo:1.0 ~hi:1.08 in
+          Op.Set_objective (Op.Obj_min_sigma { frac }))
+  | `Invalidate -> Op.Invalidate
+  | `Analyze -> Op.Analyze
+  | `Gradient -> (
+      match Util.Rng.int rng 3 with
+      | 0 -> Op.Gradient Op.Seed_mu
+      | 1 -> Op.Gradient Op.Seed_var
+      | _ ->
+          let k = if Util.Rng.int rng 2 = 0 then 1. else 3. in
+          Op.Gradient (Op.Seed_mu_k_sigma k))
+  | `Fault ->
+      let kind =
+        match Util.Rng.int rng 5 with
+        | 0 -> Op.Nan_value
+        | 1 -> Op.Inf_value
+        | 2 -> Op.Nan_gradient
+        | 3 -> Op.Inf_gradient
+        | _ -> Op.Perturb (Util.Rng.uniform rng ~lo:0.1 ~hi:0.5)
+      in
+      Op.Inject_fault { kind; first = 1 + Util.Rng.int rng 2 }
+  | `Budget ->
+      (* Evaluation budgets only: deadlines depend on the wall clock and
+         would make replays machine-dependent. *)
+      let max_evals = [| 500; 1000; 2000 |].(Util.Rng.int rng 3) in
+      Op.Set_budget { deadline = None; max_evals = Some max_evals }
+  | `Solve -> Op.Solve
+  | `Corrupt ->
+      let gate = Util.Rng.int rng n in
+      let bump = Util.Rng.uniform rng ~lo:0.5 ~hi:2.0 in
+      Op.Corrupt_cache { gate; bump }
+
+let sequence ~net ~seed config =
+  List.init config.n_ops (fun key -> op ~net ~seed ~key config)

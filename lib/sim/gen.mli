@@ -1,0 +1,50 @@
+(** Keyed-seed generation of replayable op sequences.
+
+    Op [k] of run [seed] is a pure function of [(seed, k)] — every draw
+    for that op comes from {!Util.Rng.keyed}[ seed ~key:k], the seeding
+    discipline of {!Sta.Mcsta}.  A sequence is therefore reproducible
+    from its seed alone (the basis of [statsize sim --seed N --ops K]),
+    and the shrinker can drop or edit individual ops without changing
+    the ops it keeps. *)
+
+(** Relative op-class frequencies; classes with weight 0 are never
+    generated. *)
+type weights = {
+  resize : int;
+  batch_resize : int;
+  set_objective : int;
+  invalidate : int;
+  analyze : int;
+  gradient : int;
+  inject_fault : int;
+  set_budget : int;
+  solve : int;
+  corrupt : int;
+}
+
+val zero_weights : weights
+(** All zero — a base for record updates selecting a few classes. *)
+
+val default_weights : weights
+(** The full clean vocabulary.  [corrupt] is 0: under the default mix
+    every invariant must hold, so corrupting ops are opt-in (the
+    planted-divergence demo and [statsize sim --plant]). *)
+
+type config = {
+  circuit : Op.circuit;
+  n_ops : int;
+  weights : weights;
+  max_batch : int;  (** cap on coordinates per {!Op.Batch_resize} *)
+}
+
+val default : config
+
+val instantiate : Op.circuit -> Circuit.Netlist.t
+(** Build the netlist a circuit spec describes (deterministic).  Raises
+    [Invalid_argument] on an unknown {!Op.Named} circuit. *)
+
+val op : net:Circuit.Netlist.t -> seed:int -> key:int -> config -> Op.t
+(** The [key]-th op of run [seed] — pure in [(seed, key)]. *)
+
+val sequence : net:Circuit.Netlist.t -> seed:int -> config -> Op.t list
+(** [List.init config.n_ops] of {!op}. *)

@@ -1,0 +1,67 @@
+(* Deterministic execution of an op list against a fresh State, with the
+   invariant suite run after every op and execution stopping at the
+   first violation.  Pure in (circuit, seed, ops, suite): the foundation
+   replay and shrinking stand on. *)
+
+type failure = { step : int; op : Op.t; violation : Invariant.violation }
+
+type outcome = Passed | Failed of failure
+
+type report = {
+  outcome : outcome;
+  ops_run : int;
+  counters : Sta.Incr.counters;
+  solves : int;
+  faults_fired : int;
+}
+
+let run_net ?pools ?incr_pool ?suite ?(model = Circuit.Sigma_model.paper_default)
+    ~seed net ops =
+  let suite = match suite with Some s -> s | None -> Invariant.default_suite () in
+  let st = State.create ?pools ?incr_pool ~seed ~model net in
+  let rec go step ops_run = function
+    | [] -> { outcome = Passed; ops_run; counters = Sta.Incr.counters st.State.incr;
+              solves = st.State.solves; faults_fired = st.State.faults_fired }
+    | op :: rest -> (
+        let applied =
+          try Ok (State.apply st op)
+          with exn ->
+            Error
+              {
+                Invariant.name = "exception";
+                Invariant.detail =
+                  Printf.sprintf "op raised %s" (Printexc.to_string exn);
+              }
+        in
+        match applied with
+        | Error violation ->
+            {
+              outcome = Failed { step; op; violation };
+              ops_run = ops_run + 1;
+              counters = Sta.Incr.counters st.State.incr;
+              solves = st.State.solves;
+              faults_fired = st.State.faults_fired;
+            }
+        | Ok () -> (
+            match Invariant.check_all suite st op with
+            | Some violation ->
+                {
+                  outcome = Failed { step; op; violation };
+                  ops_run = ops_run + 1;
+                  counters = Sta.Incr.counters st.State.incr;
+                  solves = st.State.solves;
+                  faults_fired = st.State.faults_fired;
+                }
+            | None -> go (step + 1) (ops_run + 1) rest))
+  in
+  go 0 0 ops
+
+let run ?pools ?incr_pool ?suite ?model ~seed ~circuit ops =
+  run_net ?pools ?incr_pool ?suite ?model ~seed (Gen.instantiate circuit) ops
+
+let describe_failure ~seed ~circuit ~n_ops f =
+  Printf.sprintf
+    "invariant %S violated at op %d (%s)\n  %s\n  reproduce: statsize sim --seed %d --ops %d %s"
+    f.violation.Invariant.name f.step (Op.to_line f.op)
+    f.violation.Invariant.detail seed n_ops
+    (Op.circuit_flags circuit)

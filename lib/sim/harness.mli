@@ -1,0 +1,52 @@
+(** Deterministic op-list execution with per-op invariant checking.
+
+    A run builds a fresh {!State} for the circuit, applies each op in
+    order, and runs the invariant suite after every op, stopping at the
+    first violation.  Runs are pure in [(circuit, seed, ops, suite)] —
+    the property replay and shrinking stand on. *)
+
+type failure = {
+  step : int;  (** 0-based index of the violating op *)
+  op : Op.t;
+  violation : Invariant.violation;
+}
+
+type outcome = Passed | Failed of failure
+
+type report = {
+  outcome : outcome;
+  ops_run : int;  (** ops applied, including the violating one *)
+  counters : Sta.Incr.counters;  (** engine counters at end of run *)
+  solves : int;
+  faults_fired : int;
+}
+
+val run_net :
+  ?pools:(int * Util.Pool.t) list ->
+  ?incr_pool:Util.Pool.t ->
+  ?suite:Invariant.check list ->
+  ?model:Circuit.Sigma_model.t ->
+  seed:int ->
+  Circuit.Netlist.t ->
+  Op.t list ->
+  report
+(** Run against an existing netlist.  [suite] defaults to
+    {!Invariant.default_suite}; [model] to
+    {!Circuit.Sigma_model.paper_default}.  An exception escaping an op
+    is reported as a failure with violation name ["exception"]. *)
+
+val run :
+  ?pools:(int * Util.Pool.t) list ->
+  ?incr_pool:Util.Pool.t ->
+  ?suite:Invariant.check list ->
+  ?model:Circuit.Sigma_model.t ->
+  seed:int ->
+  circuit:Op.circuit ->
+  Op.t list ->
+  report
+(** {!run_net} on {!Gen.instantiate}[ circuit]. *)
+
+val describe_failure :
+  seed:int -> circuit:Op.circuit -> n_ops:int -> failure -> string
+(** Human-readable failure summary ending in a copy-pasteable
+    [statsize sim --seed N --ops K ...] repro command. *)

@@ -1,0 +1,54 @@
+(** The registered invariant suite run after every simulated op.
+
+    The differential checks are bitwise ([Int64.bits_of_float]): in
+    exact mode the warm incremental engine, a from-scratch arena sweep,
+    the boxed reference sweeps and every pooled domain configuration
+    must agree to the last bit.  The structural checks cover the corner
+    envelope against {!Sta.Dsta}/{!Sta.Ssta}, correlation-matrix sanity
+    of {!Sta.Cssta}, recovery-ladder soundness under injected faults,
+    monotone engine counters, and the release-profile words/eval
+    ceiling. *)
+
+type violation = { name : string; detail : string }
+
+type check = {
+  name : string;
+  applies : State.t -> Op.t -> bool;
+      (** cheap predicate deciding whether [run] fires after this op *)
+  run : State.t -> Op.t -> (unit, string) result;
+      (** [Error detail] on violation; exceptions are converted to a
+          violation by {!check_all} *)
+}
+
+val default_suite : ?max_cssta_gates:int -> unit -> check list
+(** The full registry, in run order:
+
+    - [incr-vs-scratch] (every op) — warm {!Sta.Incr.analyze} bitwise
+      equals a from-scratch arena sweep; on [Analyze]/[Gradient] ops
+      also cross-checked against each pooled configuration of the
+      state.  Catches {!Op.Corrupt_cache}.
+    - [monotone-counters] (every op) — engine lifetime counters never
+      decrease.
+    - [arena-vs-boxed] ([Analyze]) — arena sweep vs the boxed oracle.
+    - [gradient-vs-scratch] ([Gradient]) — incremental gradient vs
+      scratch, boxed and pooled gradients, bitwise.
+    - [corner-envelope] ([Analyze]) — best <= typical <= worst, typical
+      equals {!Sta.Dsta}, monotone guard band, statistical mean
+      dominates the typical corner.
+    - [cssta-vs-ssta] ([Analyze], circuits up to [max_cssta_gates]
+      gates, default 200 — the correlation matrix is O(n^2)) —
+      correlation entries in [[-1, 1]], finite moments, nonnegative
+      variance, and the independent half of
+      {!Sta.Cssta.compare_to_independent} bitwise equals the scratch
+      sweep.
+    - [recovery-sound] ([Solve]) — solution inside the box, finite
+      consistent moments, non-converged solves explained by ladder
+      rungs or budget terminations, and fired faults never paired with
+      a silently clean first attempt.
+    - [words-per-eval] ([Analyze]) — when the Clark kernels inline
+      (release profile), a steady-state forward sweep allocates at most
+      256 minor words; skipped in dev builds. *)
+
+val check_all : check list -> State.t -> Op.t -> violation option
+(** First violation in suite order, if any.  An exception raised by a
+    check becomes a violation with the exception text as detail. *)

@@ -1,0 +1,195 @@
+(* The simulation harness's typed operation vocabulary.
+
+   Every op is a closed, serializable description of one action against
+   the engine stack; Sim.State gives each its semantics.  Serialization
+   uses %h hex floats so a saved trace replays with the exact bits that
+   produced a failure. *)
+
+type seed_kind = Seed_mu | Seed_var | Seed_mu_k_sigma of float
+
+type objective =
+  | Obj_min_delay of float
+  | Obj_min_area_bounded of { k : float; frac : float }
+  | Obj_min_sigma of { frac : float }
+
+type fault_kind =
+  | Nan_value
+  | Inf_value
+  | Nan_gradient
+  | Inf_gradient
+  | Perturb of float
+
+type t =
+  | Resize of { gate : int; size : float }
+  | Batch_resize of (int * float) array
+  | Set_objective of objective
+  | Invalidate
+  | Analyze
+  | Gradient of seed_kind
+  | Inject_fault of { kind : fault_kind; first : int }
+  | Set_budget of { deadline : float option; max_evals : int option }
+  | Solve
+  | Corrupt_cache of { gate : int; bump : float }
+
+type circuit =
+  | Named of string
+  | Dag of { n_gates : int; n_pis : int; depth : int; seed : int }
+
+(* ---- serialization ---------------------------------------------------------- *)
+
+(* One op per line, space-separated tokens.  Floats in %h (hex) so the
+   round-trip is bit-exact; int tokens in decimal. *)
+
+let float_to_token f = Printf.sprintf "%h" f
+
+let float_of_token s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "bad float token %S" s)
+
+let int_of_token s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "bad int token %S" s)
+
+let seed_kind_tokens = function
+  | Seed_mu -> [ "mu" ]
+  | Seed_var -> [ "var" ]
+  | Seed_mu_k_sigma k -> [ "mu-k-sigma"; float_to_token k ]
+
+let fault_kind_tokens = function
+  | Nan_value -> [ "nan-value" ]
+  | Inf_value -> [ "inf-value" ]
+  | Nan_gradient -> [ "nan-gradient" ]
+  | Inf_gradient -> [ "inf-gradient" ]
+  | Perturb amp -> [ "perturb"; float_to_token amp ]
+
+let objective_tokens = function
+  | Obj_min_delay k -> [ "min-delay"; float_to_token k ]
+  | Obj_min_area_bounded { k; frac } ->
+      [ "min-area-bounded"; float_to_token k; float_to_token frac ]
+  | Obj_min_sigma { frac } -> [ "min-sigma"; float_to_token frac ]
+
+let to_line op =
+  let tokens =
+    match op with
+    | Resize { gate; size } -> [ "resize"; string_of_int gate; float_to_token size ]
+    | Batch_resize pairs ->
+        "batch" :: string_of_int (Array.length pairs)
+        :: List.concat_map
+             (fun (g, s) -> [ string_of_int g; float_to_token s ])
+             (Array.to_list pairs)
+    | Set_objective o -> "objective" :: objective_tokens o
+    | Invalidate -> [ "invalidate" ]
+    | Analyze -> [ "analyze" ]
+    | Gradient k -> "gradient" :: seed_kind_tokens k
+    | Inject_fault { kind; first } ->
+        ("fault" :: fault_kind_tokens kind) @ [ string_of_int first ]
+    | Set_budget { deadline; max_evals } ->
+        [
+          "budget";
+          (match deadline with None -> "-" | Some d -> float_to_token d);
+          (match max_evals with None -> "-" | Some m -> string_of_int m);
+        ]
+    | Solve -> [ "solve" ]
+    | Corrupt_cache { gate; bump } ->
+        [ "corrupt"; string_of_int gate; float_to_token bump ]
+  in
+  String.concat " " tokens
+
+let ( let* ) = Result.bind
+
+let of_line line =
+  let tokens =
+    String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+  in
+  match tokens with
+  | [ "resize"; g; s ] ->
+      let* gate = int_of_token g in
+      let* size = float_of_token s in
+      Ok (Resize { gate; size })
+  | "batch" :: n :: rest ->
+      let* n = int_of_token n in
+      let rec pairs acc = function
+        | [] -> Ok (List.rev acc)
+        | g :: s :: rest ->
+            let* gate = int_of_token g in
+            let* size = float_of_token s in
+            pairs ((gate, size) :: acc) rest
+        | [ _ ] -> Error "batch: odd token count"
+      in
+      let* ps = pairs [] rest in
+      if List.length ps <> n then Error "batch: length mismatch"
+      else Ok (Batch_resize (Array.of_list ps))
+  | [ "objective"; "min-delay"; k ] ->
+      let* k = float_of_token k in
+      Ok (Set_objective (Obj_min_delay k))
+  | [ "objective"; "min-area-bounded"; k; frac ] ->
+      let* k = float_of_token k in
+      let* frac = float_of_token frac in
+      Ok (Set_objective (Obj_min_area_bounded { k; frac }))
+  | [ "objective"; "min-sigma"; frac ] ->
+      let* frac = float_of_token frac in
+      Ok (Set_objective (Obj_min_sigma { frac }))
+  | [ "invalidate" ] -> Ok Invalidate
+  | [ "analyze" ] -> Ok Analyze
+  | [ "gradient"; "mu" ] -> Ok (Gradient Seed_mu)
+  | [ "gradient"; "var" ] -> Ok (Gradient Seed_var)
+  | [ "gradient"; "mu-k-sigma"; k ] ->
+      let* k = float_of_token k in
+      Ok (Gradient (Seed_mu_k_sigma k))
+  | [ "fault"; kind; first ] ->
+      let* kind =
+        match kind with
+        | "nan-value" -> Ok Nan_value
+        | "inf-value" -> Ok Inf_value
+        | "nan-gradient" -> Ok Nan_gradient
+        | "inf-gradient" -> Ok Inf_gradient
+        | other -> Error (Printf.sprintf "unknown fault kind %S" other)
+      in
+      let* first = int_of_token first in
+      Ok (Inject_fault { kind; first })
+  | [ "fault"; "perturb"; amp; first ] ->
+      let* amp = float_of_token amp in
+      let* first = int_of_token first in
+      Ok (Inject_fault { kind = Perturb amp; first })
+  | [ "budget"; d; m ] ->
+      let* deadline =
+        if d = "-" then Ok None else Result.map Option.some (float_of_token d)
+      in
+      let* max_evals =
+        if m = "-" then Ok None else Result.map Option.some (int_of_token m)
+      in
+      Ok (Set_budget { deadline; max_evals })
+  | [ "solve" ] -> Ok Solve
+  | [ "corrupt"; g; b ] ->
+      let* gate = int_of_token g in
+      let* bump = float_of_token b in
+      Ok (Corrupt_cache { gate; bump })
+  | _ -> Error (Printf.sprintf "unparseable op line %S" line)
+
+let circuit_to_line = function
+  | Named name -> "named " ^ name
+  | Dag { n_gates; n_pis; depth; seed } ->
+      Printf.sprintf "dag %d %d %d %d" n_gates n_pis depth seed
+
+let circuit_of_line line =
+  match
+    String.split_on_char ' ' (String.trim line) |> List.filter (fun s -> s <> "")
+  with
+  | [ "named"; name ] -> Ok (Named name)
+  | [ "dag"; n; p; d; s ] ->
+      let* n_gates = int_of_token n in
+      let* n_pis = int_of_token p in
+      let* depth = int_of_token d in
+      let* seed = int_of_token s in
+      Ok (Dag { n_gates; n_pis; depth; seed })
+  | _ -> Error (Printf.sprintf "unparseable circuit line %S" line)
+
+let circuit_flags = function
+  | Named name -> Printf.sprintf "--circuit %s" name
+  | Dag { n_gates; n_pis; depth; seed } ->
+      Printf.sprintf "--dag %d,%d,%d,%d" n_gates n_pis depth seed
+
+let pp ppf op = Format.pp_print_string ppf (to_line op)
+let pp_circuit ppf c = Format.pp_print_string ppf (circuit_to_line c)

@@ -1,0 +1,79 @@
+(** Typed operation vocabulary of the deterministic simulation harness.
+
+    An op names one action against the real engine APIs — resize a gate,
+    swap the sizing objective, invalidate the incremental cache, analyze,
+    query a gradient, arm a fault, change a budget, run a solve, or
+    corrupt the incremental engine's cached planes (the deliberate fault
+    the invariant suite must catch).  {!Sim.State.apply} gives each op
+    its semantics; this module only defines the vocabulary and its
+    bit-exact line serialization (floats travel as [%h] hex literals, so
+    a saved trace replays the exact bits that produced a failure). *)
+
+type seed_kind =
+  | Seed_mu  (** adjoint seed (1, 0): gradient of {m \mu_{T_{max}}} *)
+  | Seed_var  (** adjoint seed (0, 1): gradient of {m \sigma^2_{T_{max}}} *)
+  | Seed_mu_k_sigma of float  (** gradient of {m \mu + k\sigma} *)
+
+(** Objective specs are relative to the circuit under test: bounds and
+    mean targets are fractions of the unsized mean delay, so one op
+    vocabulary drives any generated circuit. *)
+type objective =
+  | Obj_min_delay of float  (** [Sizing.Objective.Min_delay k] *)
+  | Obj_min_area_bounded of { k : float; frac : float }
+      (** [Min_area_bounded] with [bound = frac * unsized mu] *)
+  | Obj_min_sigma of { frac : float }
+      (** [Min_sigma] with [mu = frac * unsized mu] *)
+
+(** Mirror of {!Util.Fault.kind} (kept separate so op serialization does
+    not depend on that module's representation). *)
+type fault_kind =
+  | Nan_value
+  | Inf_value
+  | Nan_gradient
+  | Inf_gradient
+  | Perturb of float
+
+type t =
+  | Resize of { gate : int; size : float }
+      (** set one speed factor; the gate index is reduced modulo the gate
+          count and the size clamped into the gate's box, so ops stay
+          valid while the shrinker trims the circuit *)
+  | Batch_resize of (int * float) array  (** several resizes in one op *)
+  | Set_objective of objective
+  | Invalidate  (** wholesale {!Sta.Incr.invalidate} *)
+  | Analyze  (** incremental analyze at the current sizes *)
+  | Gradient of seed_kind  (** incremental value-and-gradient query *)
+  | Inject_fault of { kind : fault_kind; first : int }
+      (** arm a fault site ([First first] trigger) for the next {!Solve} *)
+  | Set_budget of { deadline : float option; max_evals : int option }
+      (** budgets for subsequent solves.  The generator only emits
+          evaluation budgets: a wall-clock deadline makes a solve stop at
+          a machine-dependent iterate, which would break replay. *)
+  | Solve  (** run {!Sizing.Engine.solve} at the current objective *)
+  | Corrupt_cache of { gate : int; bump : float }
+      (** fault-inject the incremental engine's cached arrival plane:
+          add [bump] to the gate's cached arrival mean.  The differential
+          invariants must catch this — it is the planted divergence the
+          shrinking demo minimizes. *)
+
+(** The circuit under test, by name ({!Circuit.Generate.by_name}) or as
+    a generated-DAG spec — serialized into traces so a replay rebuilds
+    the identical netlist. *)
+type circuit =
+  | Named of string
+  | Dag of { n_gates : int; n_pis : int; depth : int; seed : int }
+
+val to_line : t -> string
+(** One-line, space-separated rendering; floats as [%h] hex literals. *)
+
+val of_line : string -> (t, string) result
+(** Inverse of {!to_line}; [to_line] round-trips bit-exactly. *)
+
+val circuit_to_line : circuit -> string
+val circuit_of_line : string -> (circuit, string) result
+
+val circuit_flags : circuit -> string
+(** The [statsize sim] flags selecting this circuit, for repro hints. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_circuit : Format.formatter -> circuit -> unit

@@ -1,0 +1,172 @@
+(* Automatic minimization of failing traces.
+
+   Given a trace and its failure, find a smaller trace that violates the
+   SAME invariant (matched by name — shrinking must not wander off to a
+   different bug).  Four passes, each re-truncating to the violating op
+   whenever a candidate is accepted:
+
+     1. truncate  — ops after the violating op are irrelevant by
+        construction (the harness stops at the first violation);
+     2. ddmin     — Zeller-style delta debugging over the op list:
+        remove chunks at increasing granularity;
+     3. circuit   — halve generated-DAG gate counts while the failure
+        persists (op gate indices are reduced modulo the gate count, so
+        the op list stays valid on the smaller circuit);
+     4. args      — per-op argument shrinking: sizes toward 1.0, batches
+        toward singletons, gradient seeds toward Seed_mu, objectives
+        toward Min_delay 0, corruption bumps halved, fault counts to 1;
+
+   followed by a final ddmin pass, since simpler args can unlock further
+   op removals.  Every candidate evaluation is one full deterministic
+   harness run, bounded by [max_runs]. *)
+
+type result = { trace : Trace.t; failure : Harness.failure; runs : int }
+
+let truncate_ops ops keep = List.filteri (fun i _ -> i < keep) ops
+
+let split_chunks ops n =
+  let len = List.length ops in
+  let base = len / n and extra = len mod n in
+  let rec go i rem acc =
+    if i >= n then List.rev acc
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let chunk, rest =
+        let rec take k xs acc =
+          if k = 0 then (List.rev acc, xs)
+          else match xs with [] -> (List.rev acc, []) | x :: r -> take (k - 1) r (x :: acc)
+        in
+        take size rem []
+      in
+      go (i + 1) rest (chunk :: acc)
+  in
+  go 0 ops []
+
+let minimize ?(max_runs = 400) ~run trace0 (fail0 : Harness.failure) =
+  let target = fail0.Harness.violation.Invariant.name in
+  let runs = ref 0 in
+  (* Pass 1: nothing after the violating op matters. *)
+  let best =
+    ref
+      ( { trace0 with Trace.ops = truncate_ops trace0.Trace.ops (fail0.Harness.step + 1) },
+        fail0 )
+  in
+  (* One candidate evaluation; accepts (and re-truncates) on a failure
+     of the same invariant. *)
+  let try_ (candidate : Trace.t) =
+    if !runs >= max_runs || candidate.Trace.ops = [] then false
+    else begin
+      incr runs;
+      match run candidate with
+      | Some (f : Harness.failure)
+        when f.Harness.violation.Invariant.name = target ->
+          best :=
+            ( { candidate with
+                Trace.ops = truncate_ops candidate.Trace.ops (f.Harness.step + 1) },
+              f );
+          true
+      | _ -> false
+    end
+  in
+  (* Pass 2 (and 5): ddmin over the op list. *)
+  let ddmin () =
+    let granularity = ref 2 in
+    let continue_ = ref true in
+    while !continue_ && !runs < max_runs do
+      let trace, _ = !best in
+      let ops = trace.Trace.ops in
+      let len = List.length ops in
+      if len <= 1 then continue_ := false
+      else begin
+        let n = min !granularity len in
+        let chunks = split_chunks ops n in
+        let removed_some =
+          List.exists
+            (fun i ->
+              let candidate_ops =
+                List.concat (List.filteri (fun j _ -> j <> i) chunks)
+              in
+              try_ { trace with Trace.ops = candidate_ops })
+            (List.init (List.length chunks) Fun.id)
+        in
+        if removed_some then granularity := max 2 (!granularity - 1)
+        else if n >= len then continue_ := false
+        else granularity := min len (2 * n)
+      end
+    done
+  in
+  ddmin ();
+  (* Pass 3: shrink the circuit itself (generated DAGs only). *)
+  let rec shrink_circuit () =
+    let trace, _ = !best in
+    match trace.Trace.circuit with
+    | Op.Named _ -> ()
+    | Op.Dag ({ n_gates; n_pis; _ } as spec) when n_gates > 16 ->
+        let n_gates' = max 16 (n_gates / 2) in
+        let smaller =
+          Op.Dag { spec with n_gates = n_gates'; n_pis = max 2 (min n_pis (n_gates' / 4)) }
+        in
+        if try_ { trace with Trace.circuit = smaller } then shrink_circuit ()
+    | Op.Dag _ -> ()
+  in
+  shrink_circuit ();
+  (* Pass 4: shrink op arguments toward their simplest forms. *)
+  let candidates_for = function
+    | Op.Resize { gate; size } ->
+        let simpler = 1. +. ((size -. 1.) /. 2.) in
+        if size <= 1. then []
+        else
+          Op.Resize { gate; size = 1.0 }
+          :: (if simpler < size then [ Op.Resize { gate; size = simpler } ] else [])
+    | Op.Batch_resize pairs when Array.length pairs > 1 ->
+        let g, s = pairs.(0) in
+        [
+          Op.Resize { gate = g; size = s };
+          Op.Batch_resize (Array.sub pairs 0 (Array.length pairs / 2));
+        ]
+    | Op.Batch_resize pairs when Array.length pairs = 1 ->
+        let g, s = pairs.(0) in
+        [ Op.Resize { gate = g; size = s } ]
+    | Op.Batch_resize _ -> []
+    | Op.Gradient (Op.Seed_mu_k_sigma _) | Op.Gradient Op.Seed_var ->
+        [ Op.Gradient Op.Seed_mu ]
+    | Op.Set_objective (Op.Obj_min_delay 0.) -> []
+    | Op.Set_objective _ -> [ Op.Set_objective (Op.Obj_min_delay 0.) ]
+    | Op.Corrupt_cache { gate; bump } when Float.abs bump > 0.125 ->
+        [ Op.Corrupt_cache { gate; bump = bump /. 2. } ]
+    | Op.Inject_fault { kind; first } when first > 1 ->
+        [ Op.Inject_fault { kind; first = 1 } ]
+    | _ -> []
+  in
+  let shrink_args () =
+    let progress = ref true in
+    while !progress && !runs < max_runs do
+      progress := false;
+      let trace, _ = !best in
+      let ops = Array.of_list trace.Trace.ops in
+      Array.iteri
+        (fun i op ->
+          List.iter
+            (fun replacement ->
+              (* Re-read the current best: an earlier acceptance in this
+                 sweep may have changed it. *)
+              let trace, _ = !best in
+              let ops_now = Array.of_list trace.Trace.ops in
+              if i < Array.length ops_now && ops_now.(i) = op then begin
+                let candidate = Array.copy ops_now in
+                candidate.(i) <- replacement;
+                if try_ { trace with Trace.ops = Array.to_list candidate } then
+                  progress := true
+              end)
+            (candidates_for op))
+        ops
+    done
+  in
+  shrink_args ();
+  (* Pass 5: simpler args can unlock further op removals. *)
+  ddmin ();
+  let trace, failure = !best in
+  let trace =
+    { trace with Trace.violation = Some failure.Harness.violation.Invariant.name }
+  in
+  { trace; failure; runs = !runs }

@@ -1,0 +1,30 @@
+(** Automatic minimization of failing traces.
+
+    Shrinking preserves the failure identity: a candidate counts only if
+    it violates the {e same} invariant (matched by name) as the original
+    failure.  Passes, in order — truncate to the violating op, ddmin
+    (delta debugging) over the op list, halve generated-DAG circuits,
+    shrink op arguments (sizes toward 1.0, batches toward singletons,
+    gradient seeds toward [Seed_mu], objectives toward [Min_delay 0],
+    corruption bumps halved), then a final ddmin pass.  Deterministic:
+    same inputs, same minimal trace. *)
+
+type result = {
+  trace : Trace.t;
+      (** minimized trace, with [violation] set to the invariant name *)
+  failure : Harness.failure;  (** the failure the minimized trace produces *)
+  runs : int;  (** candidate harness runs spent *)
+}
+
+val minimize :
+  ?max_runs:int ->
+  run:(Trace.t -> Harness.failure option) ->
+  Trace.t ->
+  Harness.failure ->
+  result
+(** [minimize ~run trace failure] with [run] the candidate evaluator
+    (typically [fun t -> match (Trace.run t).outcome with Failed f ->
+    Some f | Passed -> None]).  [max_runs] (default 400) bounds the
+    total candidate evaluations; the best trace found within the budget
+    is returned.  The result's ops are always a subsequence-with-
+    simplified-arguments of the input's, so it never grows. *)

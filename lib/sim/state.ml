@@ -1,0 +1,169 @@
+(* The world the simulation harness drives: one circuit, one persistent
+   incremental engine, the current sizes/objective/budgets, and the
+   fault sites armed for the next solve.  Op semantics live here;
+   Sim.Invariant reads this state to check the engine stack after every
+   op. *)
+
+type t = {
+  net : Circuit.Netlist.t;
+  model : Circuit.Sigma_model.t;
+  seed : int;  (* scenario seed; keys the fault plans of Solve ops *)
+  sizes : float array;  (* current speed factors, old-id order *)
+  maxs : float array;
+  incr : Sta.Incr.t;  (* the persistent engine under test *)
+  scratch : Sta.Arena.t;  (* arena for from-scratch differential sweeps *)
+  pools : (int * Util.Pool.t) list;  (* extra domain counts to cross-check *)
+  unsized_mu : float;  (* mean delay at all-min sizes: anchors objectives *)
+  mutable objective : Sizing.Objective.t;
+  mutable pending_faults : (Util.Fault.kind * int) list;
+  mutable budget_deadline : float option;
+  mutable budget_max_evals : int option;
+  mutable last_result : Sta.Ssta.result option;
+  mutable last_gradient : (Op.seed_kind * float array) option;
+  mutable last_solve : Sizing.Engine.solution option;
+  mutable last_solve_faults : int;  (* faults fired during the last solve *)
+  mutable solves : int;
+  mutable faults_fired : int;
+  mutable prev_counters : Sta.Incr.counters;
+}
+
+let create ?(pools = []) ?incr_pool ~seed ~model net =
+  let scratch = Sta.Arena.create net in
+  let unsized =
+    Sta.Ssta.analyze ~arena:scratch ~model net ~sizes:(Circuit.Netlist.min_sizes net)
+  in
+  let incr = Sta.Incr.create ?pool:incr_pool ~model net in
+  {
+    net;
+    model;
+    seed;
+    sizes = Array.copy (Circuit.Netlist.min_sizes net);
+    maxs = Circuit.Netlist.max_sizes net;
+    incr;
+    scratch;
+    pools;
+    unsized_mu = Statdelay.Normal.mu unsized.Sta.Ssta.circuit;
+    objective = Sizing.Objective.Min_delay 0.;
+    pending_faults = [];
+    budget_deadline = None;
+    budget_max_evals = None;
+    last_result = None;
+    last_gradient = None;
+    last_solve = None;
+    last_solve_faults = 0;
+    solves = 0;
+    faults_fired = 0;
+    prev_counters = Sta.Incr.counters incr;
+  }
+
+let seed_fun = function
+  | Op.Seed_mu -> fun _ -> { Sta.Ssta.d_mu = 1.; d_var = 0. }
+  | Op.Seed_var -> fun _ -> { Sta.Ssta.d_mu = 0.; d_var = 1. }
+  | Op.Seed_mu_k_sigma k -> Sta.Ssta.mu_plus_k_sigma_seed k
+
+let objective_of t = function
+  | Op.Obj_min_delay k -> Sizing.Objective.Min_delay k
+  | Op.Obj_min_area_bounded { k; frac } ->
+      Sizing.Objective.Min_area_bounded { k; bound = frac *. t.unsized_mu }
+  | Op.Obj_min_sigma { frac } ->
+      Sizing.Objective.Min_sigma { mu = frac *. t.unsized_mu }
+
+let fault_kind = function
+  | Op.Nan_value -> Util.Fault.Nan_value
+  | Op.Inf_value -> Util.Fault.Inf_value
+  | Op.Nan_gradient -> Util.Fault.Nan_gradient
+  | Op.Inf_gradient -> Util.Fault.Inf_gradient
+  | Op.Perturb amp -> Util.Fault.Perturb amp
+
+(* Gate indices are reduced modulo the gate count and sizes clamped into
+   the gate's box, so ops survive circuit shrinking (and hand-edited
+   traces cannot push the engines out of their domain). *)
+let resolve_gate t gate =
+  let n = Array.length t.sizes in
+  ((gate mod n) + n) mod n
+
+let clamp_size t g size =
+  if Util.Guard.is_finite size then Float.max 1.0 (Float.min size t.maxs.(g))
+  else 1.0
+
+let set_size t gate size =
+  let g = resolve_gate t gate in
+  t.sizes.(g) <- clamp_size t g size
+
+let solve t =
+  let plan =
+    match t.pending_faults with
+    | [] -> None
+    | sites ->
+        Some
+          (Util.Fault.plan ~seed:t.seed
+             (List.rev_map
+                (fun (kind, first) ->
+                  {
+                    Util.Fault.kind;
+                    Util.Fault.component = None;
+                    Util.Fault.trigger = Util.Fault.First first;
+                  })
+                sites))
+  in
+  let instrument =
+    Option.map
+      (fun plan problem ->
+        Nlp.Problem.map_components
+          (fun ~component f ->
+            Util.Fault.wrap plan
+              ~component:(Nlp.Problem.component_index component)
+              f)
+          problem)
+      plan
+  in
+  let options =
+    {
+      Sizing.Engine.default_options with
+      Sizing.Engine.deadline = t.budget_deadline;
+      (* Always bounded: a runaway solve must not stall the harness. *)
+      Sizing.Engine.max_evaluations =
+        (match t.budget_max_evals with Some _ as b -> b | None -> Some 2000);
+      Sizing.Engine.instrument;
+    }
+  in
+  let solution =
+    Sizing.Engine.solve ~options ~timing:t.incr ~model:t.model t.net t.objective
+  in
+  let fired = match plan with None -> 0 | Some p -> List.length (Util.Fault.log p) in
+  t.last_solve <- Some solution;
+  t.last_solve_faults <- fired;
+  t.faults_fired <- t.faults_fired + fired;
+  t.solves <- t.solves + 1;
+  t.pending_faults <- []
+
+let apply t op =
+  match op with
+  | Op.Resize { gate; size } -> set_size t gate size
+  | Op.Batch_resize pairs -> Array.iter (fun (g, s) -> set_size t g s) pairs
+  | Op.Set_objective o -> t.objective <- objective_of t o
+  | Op.Invalidate -> Sta.Incr.invalidate t.incr
+  | Op.Analyze -> t.last_result <- Some (Sta.Incr.analyze t.incr ~sizes:t.sizes)
+  | Op.Gradient kind ->
+      let _, grad =
+        Sta.Incr.value_and_gradient t.incr ~sizes:t.sizes ~seed:(seed_fun kind)
+      in
+      t.last_gradient <- Some (kind, grad)
+  | Op.Inject_fault { kind; first } ->
+      t.pending_faults <- (fault_kind kind, max 1 first) :: t.pending_faults
+  | Op.Set_budget { deadline; max_evals } ->
+      t.budget_deadline <- deadline;
+      t.budget_max_evals <- max_evals
+  | Op.Solve -> solve t
+  | Op.Corrupt_cache { gate; bump } ->
+      (* Fault-inject the engine's cached state: poke the arrival-mean
+         plane of the incremental arena.  A cold or invalidated engine
+         overwrites the poke on its next full sweep; a warm one serves
+         the corrupt value from cache — which the differential
+         invariants must catch. *)
+      let g = resolve_gate t gate in
+      let arena = Sta.Incr.arena t.incr in
+      let g' = (Circuit.Netlist.flat t.net).Circuit.Netlist.perm.(g) in
+      let arr = arena.Sta.Arena.arr in
+      Statdelay.Clark.vset arr (2 * g')
+        (Statdelay.Clark.vget arr (2 * g') +. bump)

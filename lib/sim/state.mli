@@ -1,0 +1,58 @@
+(** The mutable world under test: one circuit, one persistent
+    {!Sta.Incr} engine, plus the current sizes, objective, budgets and
+    armed fault sites.  {!apply} gives every {!Op.t} its semantics;
+    {!Sim.Invariant} checks this state after each op. *)
+
+type t = {
+  net : Circuit.Netlist.t;
+  model : Circuit.Sigma_model.t;
+  seed : int;  (** scenario seed; keys the fault plans of [Solve] ops *)
+  sizes : float array;  (** current speed factors, old-id order *)
+  maxs : float array;
+  incr : Sta.Incr.t;  (** the persistent engine under test *)
+  scratch : Sta.Arena.t;  (** arena for from-scratch differential sweeps *)
+  pools : (int * Util.Pool.t) list;
+      (** extra [(domains, pool)] configurations the differential
+          invariants cross-check against the sequential sweep *)
+  unsized_mu : float;
+      (** mean circuit delay at all-minimum sizes; objective bounds are
+          fractions of this, so the op vocabulary is circuit-agnostic *)
+  mutable objective : Sizing.Objective.t;
+  mutable pending_faults : (Util.Fault.kind * int) list;
+      (** fault sites armed (kind, [First n]) for the next [Solve] *)
+  mutable budget_deadline : float option;
+  mutable budget_max_evals : int option;
+  mutable last_result : Sta.Ssta.result option;  (** last [Analyze] *)
+  mutable last_gradient : (Op.seed_kind * float array) option;
+      (** last [Gradient]: the seed kind and the incremental engine's
+          gradient, for differential checking *)
+  mutable last_solve : Sizing.Engine.solution option;
+  mutable last_solve_faults : int;  (** faults fired during the last solve *)
+  mutable solves : int;
+  mutable faults_fired : int;  (** lifetime fault-injection count *)
+  mutable prev_counters : Sta.Incr.counters;
+      (** snapshot for the monotone-counters invariant; that check
+          updates it after comparing *)
+}
+
+val create :
+  ?pools:(int * Util.Pool.t) list ->
+  ?incr_pool:Util.Pool.t ->
+  seed:int ->
+  model:Circuit.Sigma_model.t ->
+  Circuit.Netlist.t ->
+  t
+(** Fresh world at all-minimum sizes with a cold incremental engine.
+    [incr_pool] parallelizes the engine under test itself; [pools] adds
+    domain configurations for the invariants to cross-check. *)
+
+val apply : t -> Op.t -> unit
+(** Execute one op.  Gate indices are reduced modulo the gate count and
+    sizes clamped into the gate's box (non-finite sizes become 1.0), so
+    any op is valid on any circuit — the property that lets the shrinker
+    trim circuits under a fixed op list.  [Solve] is always bounded
+    (default 2000 evaluations when no budget op preceded it). *)
+
+val seed_fun : Op.seed_kind -> Sta.Ssta.result -> Sta.Ssta.seed
+(** The adjoint seed an {!Op.Gradient} op queries, shared with the
+    invariant suite's recomputations. *)

@@ -1,0 +1,106 @@
+(* Serialized failure traces: the file `statsize sim --replay` re-executes.
+
+   Text format, one declaration per line:
+
+     statsize-sim-trace v1
+     seed 42
+     circuit dag 150 20 8 1
+     violation incr-vs-scratch        (optional: what the trace reproduces)
+     op resize 17 0x1.8p+1
+     op analyze
+     end
+
+   Floats ride in %h hex literals (via Op), so a loaded trace replays
+   the exact bits that produced the failure. *)
+
+type t = {
+  seed : int;
+  circuit : Op.circuit;
+  ops : Op.t list;
+  violation : string option;
+}
+
+let magic = "statsize-sim-trace v1"
+
+let to_string t =
+  let b = Buffer.create 256 in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Printf.sprintf "seed %d\n" t.seed);
+  Buffer.add_string b ("circuit " ^ Op.circuit_to_line t.circuit ^ "\n");
+  (match t.violation with
+  | None -> ()
+  | Some v -> Buffer.add_string b ("violation " ^ v ^ "\n"));
+  List.iter (fun op -> Buffer.add_string b ("op " ^ Op.to_line op ^ "\n")) t.ops;
+  Buffer.add_string b "end\n";
+  Buffer.contents b
+
+let ( let* ) = Result.bind
+
+let strip_prefix ~prefix s =
+  let pl = String.length prefix in
+  if String.length s >= pl && String.sub s 0 pl = prefix then
+    Some (String.sub s pl (String.length s - pl))
+  else None
+
+let of_string text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  match lines with
+  | [] -> Error "empty trace"
+  | header :: rest ->
+      let* () =
+        if header = magic then Ok ()
+        else Error (Printf.sprintf "bad trace header %S (want %S)" header magic)
+      in
+      let rec parse seed circuit violation ops = function
+        | [] -> Error "trace missing `end` line"
+        | "end" :: _ -> (
+            match (seed, circuit) with
+            | Some seed, Some circuit ->
+                Ok { seed; circuit; ops = List.rev ops; violation }
+            | None, _ -> Error "trace missing `seed` line"
+            | _, None -> Error "trace missing `circuit` line")
+        | line :: rest -> (
+            match strip_prefix ~prefix:"seed " line with
+            | Some s -> (
+                match int_of_string_opt (String.trim s) with
+                | Some n -> parse (Some n) circuit violation ops rest
+                | None -> Error (Printf.sprintf "bad seed line %S" line))
+            | None -> (
+                match strip_prefix ~prefix:"circuit " line with
+                | Some s ->
+                    let* c = Op.circuit_of_line s in
+                    parse seed (Some c) violation ops rest
+                | None -> (
+                    match strip_prefix ~prefix:"violation " line with
+                    | Some v -> parse seed circuit (Some (String.trim v)) ops rest
+                    | None -> (
+                        match strip_prefix ~prefix:"op " line with
+                        | Some s ->
+                            let* op = Op.of_line s in
+                            parse seed circuit violation (op :: ops) rest
+                        | None ->
+                            Error (Printf.sprintf "unrecognized trace line %S" line)))))
+      in
+      parse None None None [] rest
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+let replay_command path = Printf.sprintf "statsize sim --replay %s" path
+
+let run ?pools ?incr_pool ?suite ?model t =
+  Harness.run ?pools ?incr_pool ?suite ?model ~seed:t.seed ~circuit:t.circuit
+    t.ops

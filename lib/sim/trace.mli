@@ -1,0 +1,35 @@
+(** Serialized failure traces — the file [statsize sim --replay]
+    re-executes.
+
+    A trace pins everything a deterministic re-run needs: the scenario
+    seed (fault-plan keying), the circuit spec (rebuilt, not stored),
+    and the exact op list with floats as [%h] hex literals.  The
+    optional violation name records what the trace reproduces. *)
+
+type t = {
+  seed : int;
+  circuit : Op.circuit;
+  ops : Op.t list;
+  violation : string option;
+}
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+(** [of_string (to_string t) = Ok t].  Blank lines and [#] comment lines
+    are ignored. *)
+
+val save : string -> t -> unit
+val load : string -> (t, string) result
+
+val replay_command : string -> string
+(** The copy-pasteable [statsize sim --replay <path>] invocation. *)
+
+val run :
+  ?pools:(int * Util.Pool.t) list ->
+  ?incr_pool:Util.Pool.t ->
+  ?suite:Invariant.check list ->
+  ?model:Circuit.Sigma_model.t ->
+  t ->
+  Harness.report
+(** Execute the trace: {!Harness.run} with the trace's seed, circuit
+    and ops. *)

@@ -1,0 +1,43 @@
+(* Shared seed discipline for the randomized (QCheck) test cases.
+
+   One process-wide seed — QCHECK_SEED when set, fresh otherwise —
+   drives every property in the executable, announced once on first
+   use.  The wrapper around QCheck_alcotest.to_alcotest re-raises test
+   failures with the exact seed and a copy-pasteable repro command
+   appended, so a red CI log is always one paste away from a local
+   reproduction (the sim-harness tests print `statsize sim` commands
+   the same way). *)
+
+let seed =
+  lazy
+    (let s =
+       match Sys.getenv_opt "QCHECK_SEED" with
+       | Some v -> (
+           match int_of_string_opt (String.trim v) with
+           | Some n -> n
+           | None ->
+               Printf.eprintf "seed_info: ignoring unparseable QCHECK_SEED=%S\n" v;
+               Random.self_init ();
+               Random.int 0x3FFFFFFF)
+       | None ->
+           Random.self_init ();
+           Random.int 0x3FFFFFFF
+     in
+     Printf.printf "qcheck random seed: %d (pin with QCHECK_SEED=%d)\n%!" s s;
+     s)
+
+let repro_command () =
+  let exe = Filename.remove_extension (Filename.basename Sys.executable_name) in
+  Printf.sprintf "QCHECK_SEED=%d dune exec test/%s.exe" (Lazy.force seed) exe
+
+let to_alcotest ?speed_level test =
+  let rand = Random.State.make [| Lazy.force seed |] in
+  let name, speed, run = QCheck_alcotest.to_alcotest ?speed_level ~rand test in
+  let run arg =
+    try run arg
+    with e ->
+      Printf.printf "property %S failed under seed %d\n  reproduce: %s\n%!" name
+        (Lazy.force seed) (repro_command ());
+      raise e
+  in
+  (name, speed, run)

@@ -412,7 +412,7 @@ let test_large_dag_smoke () =
   end
 
 let () =
-  let q = QCheck_alcotest.to_alcotest in
+  let q = Seed_info.to_alcotest in
   Alcotest.run "arena"
     [
       ( "differential",

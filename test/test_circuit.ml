@@ -746,7 +746,7 @@ let () =
             test_blif_truncated_inputs;
           Alcotest.test_case "missing file is a clean error" `Quick
             test_blif_parse_file_missing;
-          QCheck_alcotest.to_alcotest prop_blif_roundtrip_random_dags;
+          Seed_info.to_alcotest prop_blif_roundtrip_random_dags;
         ] );
       ( "bench_format",
         [

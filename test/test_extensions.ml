@@ -407,7 +407,7 @@ let test_power_experiment_shape () =
   | _ -> Alcotest.fail "expected one row"
 
 let () =
-  let q = QCheck_alcotest.to_alcotest in
+  let q = Seed_info.to_alcotest in
   Alcotest.run "extensions"
     [
       ( "gauss_hermite",

@@ -88,59 +88,42 @@ let nets_under_test () =
 
 (* ---- the differential harness ----------------------------------------------- *)
 
-(* One randomized sparse delta: re-draw k coordinates uniformly within
-   their box.  Every 7th step re-sends the same sizes (a cache hit for
-   the incremental engine, which must still match the reference). *)
-let mutate rng ~maxs ~step sizes =
-  if step mod 7 <> 0 then begin
-    let n = Array.length sizes in
-    let k = 1 + Util.Rng.int rng (max 1 (n / 20)) in
-    for _ = 1 to k do
-      let i = Util.Rng.int rng n in
-      sizes.(i) <- Util.Rng.uniform rng ~lo:1.0 ~hi:maxs.(i)
-    done
-  end
-
 let basis_mu _ = { Sta.Ssta.d_mu = 1.; d_var = 0. }
 let basis_var _ = { Sta.Ssta.d_mu = 0.; d_var = 1. }
 
-(* Rotate through the engine's two basis seeds (constant roots, so the
-   phase-1 reuse path is exercised) and the varying mu+3sigma root. *)
-let seed_for step =
-  match step mod 3 with
-  | 0 -> ("mu", basis_mu)
-  | 1 -> ("var", basis_var)
-  | _ -> ("mu+3s", Sta.Ssta.mu_plus_k_sigma_seed 3.)
+(* The randomized driver is the shared simulation harness (lib/sim): a
+   keyed-seed op sequence of sparse batch resizes, forward-only
+   analyzes and gradient queries (rotating over the mu / var / mu+3sigma
+   seed roots, as the bespoke driver here used to), with the invariant
+   suite — incremental vs scratch vs boxed vs pooled, bitwise — run
+   after every op.  Cache-hit coverage comes for free: each invariant
+   check re-analyzes the unchanged point. *)
+let diff_weights =
+  {
+    Sim.Gen.zero_weights with
+    Sim.Gen.batch_resize = 40;
+    resize = 10;
+    analyze = 20;
+    gradient = 30;
+  }
 
-(* Run [steps] randomized deltas on [net], asserting the incremental
-   engine bit-identical to from-scratch Ssta at every step.  Returns the
-   engine's counters so callers can assert caching really engaged. *)
-let run_differential ?pool ~steps ~seed name net =
-  let rng = Util.Rng.create seed in
-  let eng = Sta.Incr.create ?pool ~model net in
-  let sizes = Array.copy (Netlist.min_sizes net) in
-  let maxs = Netlist.max_sizes net in
-  for step = 1 to steps do
-    mutate rng ~maxs ~step sizes;
-    let msg = Printf.sprintf "%s step %d" name step in
-    if step mod 5 = 0 then begin
-      (* Forward-only step. *)
-      let reference = Sta.Ssta.analyze ?pool ~model net ~sizes in
-      let incremental = Sta.Incr.analyze eng ~sizes in
-      check_results_identical msg reference incremental
-    end
-    else begin
-      let seed_name, seedf = seed_for step in
-      let msg = Printf.sprintf "%s (%s)" msg seed_name in
-      let res_ref, grad_ref =
-        Sta.Ssta.value_and_gradient ?pool ~model net ~sizes ~seed:seedf
-      in
-      let res_inc, grad_inc = Sta.Incr.value_and_gradient eng ~sizes ~seed:seedf in
-      check_results_identical msg res_ref res_inc;
-      check_floats_identical (msg ^ ": grad") grad_ref grad_inc
-    end
-  done;
-  Sta.Incr.counters eng
+(* Run a [steps]-op generated sequence on [net] under the full invariant
+   suite, failing the test on the first violation.  Returns the
+   engine-under-test's counters so callers can assert caching engaged. *)
+let run_differential ?(jobs = 1) ?pool ~steps ~seed name net =
+  let config = { Sim.Gen.default with Sim.Gen.n_ops = steps; weights = diff_weights } in
+  let ops = Sim.Gen.sequence ~net ~seed config in
+  let pools = match pool with None -> [] | Some p -> [ (jobs, p) ] in
+  let report = Sim.Harness.run_net ~pools ?incr_pool:pool ~seed net ops in
+  (match report.Sim.Harness.outcome with
+  | Sim.Harness.Passed -> ()
+  | Sim.Harness.Failed f ->
+      Alcotest.failf
+        "%s: invariant %S violated at op %d (%s)\n  %s\n  reproduce: seed %d, %d ops"
+        name f.Sim.Harness.violation.Sim.Invariant.name f.Sim.Harness.step
+        (Sim.Op.to_line f.Sim.Harness.op)
+        f.Sim.Harness.violation.Sim.Invariant.detail seed steps);
+  report.Sim.Harness.counters
 
 let test_differential_all_circuits () =
   List.iter
@@ -148,7 +131,7 @@ let test_differential_all_circuits () =
       List.iter
         (fun (jobs, pool) ->
           let name = Printf.sprintf "%s jobs=%d" name jobs in
-          let c = run_differential ?pool ~steps:25 ~seed:(17 * jobs) name net in
+          let c = run_differential ~jobs ?pool ~steps:25 ~seed:(17 * jobs) name net in
           Alcotest.(check int) (name ^ ": one full sweep") 1 c.Sta.Incr.full_sweeps;
           Alcotest.(check bool)
             (name ^ ": cache hits happened")
@@ -254,18 +237,30 @@ let test_invalidate_forces_full_sweep () =
 
 (* ---- epsilon mode ----------------------------------------------------------- *)
 
+(* Sparse size deltas for the epsilon test, drawn from the shared op
+   generator (batch-resize class only — the epsilon engine is driven
+   directly here, outside the exact-mode harness). *)
+let sparse_delta ~net ~seed ~step sizes =
+  let config =
+    {
+      Sim.Gen.default with
+      Sim.Gen.weights = { Sim.Gen.zero_weights with Sim.Gen.batch_resize = 1 };
+    }
+  in
+  match Sim.Gen.op ~net ~seed ~key:step config with
+  | Sim.Op.Batch_resize pairs -> Array.iter (fun (g, s) -> sizes.(g) <- s) pairs
+  | _ -> ()
+
 let test_epsilon_mode_bounded_drift () =
   let net = wide_dag ~n_gates:300 19 in
   let eps = 1e-9 in
   let eng = Sta.Incr.create ~mode:(Sta.Incr.Epsilon eps) ~model net in
-  let rng = Util.Rng.create 5 in
   let sizes = Array.copy (Netlist.min_sizes net) in
-  let maxs = Netlist.max_sizes net in
   (* Relative drift is bounded by roughly eps per gate per step along a
      path, so depth * steps * eps with slack is a safe envelope. *)
   let tol = eps *. float_of_int (Netlist.depth net * 30) *. 1e3 in
   for step = 1 to 30 do
-    mutate rng ~maxs ~step sizes;
+    sparse_delta ~net ~seed:5 ~step sizes;
     let reference = Sta.Ssta.analyze ~model net ~sizes in
     let approx = Sta.Incr.analyze eng ~sizes in
     let rel a b = abs_float (a -. b) /. (1. +. abs_float b) in
@@ -424,7 +419,7 @@ let () =
           test_case "dirty fraction < 1" `Quick test_dirty_fraction_below_one;
           test_case "phase-1 reuse on repeated point" `Quick
             test_phase1_reuse_on_repeated_point;
-          QCheck_alcotest.to_alcotest prop_random_dag_differential;
+          Seed_info.to_alcotest prop_random_dag_differential;
         ] );
       ( "cache",
         [

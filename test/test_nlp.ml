@@ -684,7 +684,7 @@ let test_check_sizing_objective_at_min_sizes () =
       (Format.asprintf "%a" Nlp.Check.pp_verdict v)
 
 let () =
-  let q = QCheck_alcotest.to_alcotest in
+  let q = Seed_info.to_alcotest in
   Alcotest.run "nlp"
     [
       ( "problem",

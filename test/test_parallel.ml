@@ -334,7 +334,7 @@ let () =
         [
           test_case "analyze" `Quick test_analyze_bit_identical;
           test_case "value_and_gradient" `Quick test_gradient_bit_identical;
-          QCheck_alcotest.to_alcotest prop_random_dags_bit_identical;
+          Seed_info.to_alcotest prop_random_dags_bit_identical;
           test_case "engine solve" `Slow test_engine_solution_bit_identical;
         ] );
     ]

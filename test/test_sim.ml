@@ -1,0 +1,336 @@
+(* Tests for the deterministic simulation harness (lib/sim): op and
+   trace serialization round-trips, keyed-generator determinism, clean
+   runs under the default op mix, fault-injected solve soundness, the
+   shrinking algorithm, and the headline planted-divergence demo — a
+   200-op failing sequence minimized to a handful of ops whose saved
+   trace replays the identical violation bit-for-bit. *)
+
+let sample_ops =
+  [
+    Sim.Op.Resize { gate = 17; size = 2.375 };
+    Sim.Op.Resize { gate = 3; size = 1.0000000000000002 };
+    Sim.Op.Batch_resize [| (0, 1.5); (42, 3.25); (7, 1.1) |];
+    Sim.Op.Set_objective (Sim.Op.Obj_min_delay 3.);
+    Sim.Op.Set_objective (Sim.Op.Obj_min_area_bounded { k = 1.; frac = 0.93 });
+    Sim.Op.Set_objective (Sim.Op.Obj_min_sigma { frac = 1.04 });
+    Sim.Op.Invalidate;
+    Sim.Op.Analyze;
+    Sim.Op.Gradient Sim.Op.Seed_mu;
+    Sim.Op.Gradient Sim.Op.Seed_var;
+    Sim.Op.Gradient (Sim.Op.Seed_mu_k_sigma 3.);
+    Sim.Op.Inject_fault { kind = Sim.Op.Nan_value; first = 1 };
+    Sim.Op.Inject_fault { kind = Sim.Op.Perturb 0.25; first = 2 };
+    Sim.Op.Set_budget { deadline = None; max_evals = Some 500 };
+    Sim.Op.Set_budget { deadline = Some 0.125; max_evals = None };
+    Sim.Op.Solve;
+    Sim.Op.Corrupt_cache { gate = 89; bump = 0.7278906 };
+  ]
+
+let test_op_line_roundtrip () =
+  List.iter
+    (fun op ->
+      let line = Sim.Op.to_line op in
+      match Sim.Op.of_line line with
+      | Ok op' ->
+          if op <> op' then
+            Alcotest.failf "round-trip changed %S -> %S" line (Sim.Op.to_line op')
+      | Error msg -> Alcotest.failf "cannot parse %S back: %s" line msg)
+    sample_ops;
+  (* Bit-exactness through the hex-float tokens. *)
+  let size = 1. +. (Float.pi /. 7.) in
+  match Sim.Op.of_line (Sim.Op.to_line (Sim.Op.Resize { gate = 0; size })) with
+  | Ok (Sim.Op.Resize { size = size'; _ }) ->
+      Alcotest.(check bool)
+        "bits preserved" true
+        (Int64.equal (Int64.bits_of_float size) (Int64.bits_of_float size'))
+  | _ -> Alcotest.fail "resize did not round-trip"
+
+let test_op_line_rejects_garbage () =
+  List.iter
+    (fun line ->
+      match Sim.Op.of_line line with
+      | Error _ -> ()
+      | Ok op ->
+          Alcotest.failf "parsed garbage %S as %s" line (Sim.Op.to_line op))
+    [ ""; "resize"; "resize x 1.0"; "batch 2 0 1.0"; "warp 9"; "fault bogus 1" ]
+
+let test_circuit_line_roundtrip () =
+  List.iter
+    (fun c ->
+      match Sim.Op.circuit_of_line (Sim.Op.circuit_to_line c) with
+      | Ok c' when c = c' -> ()
+      | Ok _ | Error _ ->
+          Alcotest.failf "circuit %S did not round-trip" (Sim.Op.circuit_to_line c))
+    [
+      Sim.Op.Named "tree";
+      Sim.Op.Dag { n_gates = 150; n_pis = 20; depth = 8; seed = 1 };
+    ]
+
+let test_trace_roundtrip () =
+  let trace =
+    {
+      Sim.Trace.seed = 42;
+      circuit = Sim.Op.Dag { n_gates = 64; n_pis = 8; depth = 6; seed = 5 };
+      ops = sample_ops;
+      violation = Some "incr-vs-scratch";
+    }
+  in
+  (match Sim.Trace.of_string (Sim.Trace.to_string trace) with
+  | Ok trace' when trace = trace' -> ()
+  | Ok _ -> Alcotest.fail "trace round-trip changed contents"
+  | Error msg -> Alcotest.failf "trace round-trip failed: %s" msg);
+  let path = Filename.temp_file "sim_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Sim.Trace.save path trace;
+      match Sim.Trace.load path with
+      | Ok trace' when trace = trace' -> ()
+      | Ok _ -> Alcotest.fail "saved trace differs after load"
+      | Error msg -> Alcotest.failf "cannot load saved trace: %s" msg)
+
+let small_dag = Sim.Op.Dag { n_gates = 60; n_pis = 10; depth = 6; seed = 11 }
+
+let test_generator_deterministic () =
+  let net = Sim.Gen.instantiate small_dag in
+  let config = { Sim.Gen.default with Sim.Gen.circuit = small_dag; n_ops = 60 } in
+  let a = Sim.Gen.sequence ~net ~seed:9 config in
+  let b = Sim.Gen.sequence ~net ~seed:9 config in
+  if a <> b then Alcotest.fail "same seed produced different sequences";
+  (* Keyed draws: op k is addressable in isolation, in any order. *)
+  List.iteri
+    (fun k op ->
+      let op' = Sim.Gen.op ~net ~seed:9 ~key:k config in
+      if op <> op' then
+        Alcotest.failf "op %d differs when drawn in isolation: %s vs %s" k
+          (Sim.Op.to_line op) (Sim.Op.to_line op'))
+    a;
+  let c = Sim.Gen.sequence ~net ~seed:10 config in
+  if a = c then Alcotest.fail "different seeds produced identical sequences"
+
+(* Under the default op mix (no corruption) every invariant must hold —
+   on a generated DAG and on a named circuit, exercising solves and
+   fault injection along the way. *)
+let test_clean_run_passes () =
+  let report =
+    Sim.Harness.run ~seed:5 ~circuit:small_dag
+      (let net = Sim.Gen.instantiate small_dag in
+       Sim.Gen.sequence ~net ~seed:5
+         { Sim.Gen.default with Sim.Gen.circuit = small_dag; n_ops = 50 })
+  in
+  (match report.Sim.Harness.outcome with
+  | Sim.Harness.Passed -> ()
+  | Sim.Harness.Failed f ->
+      Alcotest.fail
+        (Sim.Harness.describe_failure ~seed:5 ~circuit:small_dag ~n_ops:50 f));
+  Alcotest.(check int) "all ops ran" 50 report.Sim.Harness.ops_run;
+  Alcotest.(check bool)
+    "caching engaged" true
+    (report.Sim.Harness.counters.Sta.Incr.cache_hits > 0)
+
+let test_clean_run_named_circuit () =
+  let circuit = Sim.Op.Named "tree" in
+  let net = Sim.Gen.instantiate circuit in
+  let ops =
+    Sim.Gen.sequence ~net ~seed:2
+      { Sim.Gen.default with Sim.Gen.circuit; n_ops = 40 }
+  in
+  match (Sim.Harness.run ~seed:2 ~circuit ops).Sim.Harness.outcome with
+  | Sim.Harness.Passed -> ()
+  | Sim.Harness.Failed f ->
+      Alcotest.fail (Sim.Harness.describe_failure ~seed:2 ~circuit ~n_ops:40 f)
+
+(* The Cssta / Corner differential checks ride in the default suite —
+   the satellite engines are invariants of every sim run, not just unit
+   tests. *)
+let test_satellite_invariants_registered () =
+  let names = List.map (fun c -> c.Sim.Invariant.name) (Sim.Invariant.default_suite ()) in
+  List.iter
+    (fun expected ->
+      if not (List.mem expected names) then
+        Alcotest.failf "invariant %S not registered (have: %s)" expected
+          (String.concat ", " names))
+    [
+      "incr-vs-scratch";
+      "arena-vs-boxed";
+      "gradient-vs-scratch";
+      "corner-envelope";
+      "cssta-vs-ssta";
+      "recovery-sound";
+      "monotone-counters";
+      "words-per-eval";
+    ]
+
+(* Armed faults must actually fire inside the solve, and the
+   recovery-sound invariant must hold over the result. *)
+let test_fault_injected_solve () =
+  let circuit = Sim.Op.Named "tree" in
+  let ops =
+    [
+      Sim.Op.Analyze;
+      Sim.Op.Set_budget { deadline = None; max_evals = Some 800 };
+      Sim.Op.Inject_fault { kind = Sim.Op.Nan_value; first = 1 };
+      Sim.Op.Solve;
+      Sim.Op.Analyze;
+      Sim.Op.Inject_fault { kind = Sim.Op.Perturb 0.3; first = 2 };
+      Sim.Op.Solve;
+    ]
+  in
+  let report = Sim.Harness.run ~seed:21 ~circuit ops in
+  (match report.Sim.Harness.outcome with
+  | Sim.Harness.Passed -> ()
+  | Sim.Harness.Failed f ->
+      Alcotest.fail (Sim.Harness.describe_failure ~seed:21 ~circuit ~n_ops:7 f));
+  Alcotest.(check int) "two solves ran" 2 report.Sim.Harness.solves;
+  Alcotest.(check bool) "faults fired" true (report.Sim.Harness.faults_fired >= 2)
+
+(* Shrinker mechanics against a synthetic failure predicate: "fails iff
+   the op list still contains a Corrupt_cache op" — minimal is 1 op. *)
+let test_shrinker_on_synthetic_predicate () =
+  let is_corrupt = function Sim.Op.Corrupt_cache _ -> true | _ -> false in
+  let net = Sim.Gen.instantiate small_dag in
+  let filler =
+    Sim.Gen.sequence ~net ~seed:3
+      { Sim.Gen.default with Sim.Gen.circuit = small_dag; n_ops = 120 }
+  in
+  let planted = Sim.Op.Corrupt_cache { gate = 5; bump = 1.5 } in
+  let ops = List.concat [ List.filteri (fun i _ -> i < 80) filler; [ planted ];
+                          List.filteri (fun i _ -> i >= 80) filler ] in
+  let trace = { Sim.Trace.seed = 3; circuit = small_dag; ops; violation = None } in
+  let fail_of t =
+    let rec find i = function
+      | [] -> None
+      | op :: _ when is_corrupt op ->
+          Some
+            {
+              Sim.Harness.step = i;
+              op;
+              violation = { Sim.Invariant.name = "planted"; detail = "synthetic" };
+            }
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 t.Sim.Trace.ops
+  in
+  let f0 = match fail_of trace with Some f -> f | None -> Alcotest.fail "no corrupt op" in
+  let result = Sim.Shrink.minimize ~run:fail_of trace f0 in
+  let ops' = result.Sim.Shrink.trace.Sim.Trace.ops in
+  Alcotest.(check int) "minimal op count" 1 (List.length ops');
+  Alcotest.(check bool) "the surviving op is the corrupt op" true
+    (is_corrupt (List.hd ops'));
+  (match List.hd ops' with
+  | Sim.Op.Corrupt_cache { bump; _ } ->
+      Alcotest.(check bool)
+        (Printf.sprintf "bump argument shrunk toward 0 (got %h)" bump)
+        true (bump <= 0.25)
+  | _ -> ());
+  Alcotest.(check string) "violation recorded" "planted"
+    (match result.Sim.Shrink.trace.Sim.Trace.violation with
+    | Some v -> v
+    | None -> "<none>")
+
+(* ---- the headline demo ------------------------------------------------------- *)
+
+(* A pinned seed with cache-corruption ops enabled: the 200-op sequence
+   violates incr-vs-scratch, the shrinker reduces it to a handful of
+   ops, and the saved trace replays the identical violation — same
+   invariant, same detail string, bit for bit — on every re-run. *)
+let test_planted_divergence_shrinks_and_replays () =
+  let circuit = Sim.Op.Dag { n_gates = 100; n_pis = 15; depth = 7; seed = 2 } in
+  let seed = 3 in
+  let n_ops = 200 in
+  let net = Sim.Gen.instantiate circuit in
+  let config =
+    {
+      Sim.Gen.default with
+      Sim.Gen.circuit;
+      n_ops;
+      weights = { Sim.Gen.default_weights with Sim.Gen.corrupt = 2 };
+    }
+  in
+  let ops = Sim.Gen.sequence ~net ~seed config in
+  Alcotest.(check int) "the failing sequence has 200 ops" 200 (List.length ops);
+  let report = Sim.Harness.run_net ~seed net ops in
+  let failure =
+    match report.Sim.Harness.outcome with
+    | Sim.Harness.Failed f -> f
+    | Sim.Harness.Passed ->
+        Alcotest.fail "pinned seed no longer fails; pick a new one"
+  in
+  Alcotest.(check string) "the planted bug is a cache divergence"
+    "incr-vs-scratch" failure.Sim.Harness.violation.Sim.Invariant.name;
+  (* Shrink. *)
+  let trace0 = { Sim.Trace.seed; circuit; ops; violation = None } in
+  let rerun t =
+    match (Sim.Trace.run t).Sim.Harness.outcome with
+    | Sim.Harness.Failed f -> Some f
+    | Sim.Harness.Passed -> None
+  in
+  let shrunk = Sim.Shrink.minimize ~run:rerun trace0 failure in
+  let n_min = List.length shrunk.Sim.Shrink.trace.Sim.Trace.ops in
+  Alcotest.(check bool)
+    (Printf.sprintf "shrunk to <= 10 ops (got %d)" n_min)
+    true (n_min <= 10);
+  Alcotest.(check string) "shrunk trace fails the same invariant"
+    "incr-vs-scratch"
+    shrunk.Sim.Shrink.failure.Sim.Harness.violation.Sim.Invariant.name;
+  (* Save, load, replay twice: identical violation, bit for bit. *)
+  let path = Filename.temp_file "sim_shrunk" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Sim.Trace.save path shrunk.Sim.Shrink.trace;
+      let loaded =
+        match Sim.Trace.load path with
+        | Ok t -> t
+        | Error msg -> Alcotest.failf "cannot load shrunk trace: %s" msg
+      in
+      let replay_violation () =
+        match (Sim.Trace.run loaded).Sim.Harness.outcome with
+        | Sim.Harness.Failed f -> f.Sim.Harness.violation
+        | Sim.Harness.Passed -> Alcotest.fail "replay did not reproduce the failure"
+      in
+      let v1 = replay_violation () in
+      let v2 = replay_violation () in
+      Alcotest.(check string) "replayed invariant" "incr-vs-scratch"
+        v1.Sim.Invariant.name;
+      (* The detail strings embed %h-rendered moments: string equality
+         here IS bit-for-bit equality of the diverging values. *)
+      Alcotest.(check string) "bit-identical violation across replays"
+        v1.Sim.Invariant.detail v2.Sim.Invariant.detail;
+      Alcotest.(check string) "replay matches the in-process shrink"
+        shrunk.Sim.Shrink.failure.Sim.Harness.violation.Sim.Invariant.detail
+        v1.Sim.Invariant.detail)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "serialization",
+        [
+          Alcotest.test_case "op line round-trip" `Quick test_op_line_roundtrip;
+          Alcotest.test_case "op line rejects garbage" `Quick
+            test_op_line_rejects_garbage;
+          Alcotest.test_case "circuit line round-trip" `Quick
+            test_circuit_line_roundtrip;
+          Alcotest.test_case "trace round-trip" `Quick test_trace_roundtrip;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "keyed determinism" `Quick test_generator_deterministic;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "clean run passes" `Quick test_clean_run_passes;
+          Alcotest.test_case "clean run on named circuit" `Quick
+            test_clean_run_named_circuit;
+          Alcotest.test_case "satellite invariants registered" `Quick
+            test_satellite_invariants_registered;
+          Alcotest.test_case "fault-injected solve" `Quick test_fault_injected_solve;
+        ] );
+      ( "shrinking",
+        [
+          Alcotest.test_case "synthetic predicate" `Quick
+            test_shrinker_on_synthetic_predicate;
+          Alcotest.test_case "planted divergence shrinks and replays" `Slow
+            test_planted_divergence_shrinks_and_replays;
+        ] );
+    ]

@@ -582,6 +582,130 @@ let test_crit_rng_determinism () =
         Alcotest.failf "gate %d criticality not reproducible" g)
     a.Sta.Crit.criticality
 
+(* ---- Cssta / Corner differential tests -------------------------------------- *)
+
+(* Shared circuit set for the satellite-engine differential tests: the
+   same nets at the same (non-trivially sized) operating points, so the
+   unit tests here exercise exactly what the sim harness's
+   `cssta-vs-ssta` / `corner-envelope` invariants check per-op. *)
+let differential_circuits () =
+  let sized net =
+    let mins = Netlist.min_sizes net and maxs = Netlist.max_sizes net in
+    let sizes =
+      Array.init (Netlist.n_gates net) (fun i ->
+          mins.(i) +. (0.3 *. (maxs.(i) -. mins.(i))))
+    in
+    (net, sizes)
+  in
+  [
+    ("tree", sized (Generate.tree ()));
+    ("chain", sized (Generate.chain ()));
+    ("fig2", sized (Generate.example_fig2 ()));
+    ( "dag120",
+      sized
+        (Generate.random_dag
+           { Generate.default_spec with Generate.n_gates = 120; n_pis = 15; seed = 7 })
+    );
+  ]
+
+let same_bits_f a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+(* The independence-assumption half of Cssta.compare_to_independent IS
+   the Ssta analysis: bit-identical circuit moments on every shared
+   circuit. *)
+let test_cssta_independent_half_is_ssta () =
+  List.iter
+    (fun (name, (net, sizes)) ->
+      let ind, _ = Sta.Cssta.compare_to_independent ~model net ~sizes in
+      let ssta = (Sta.Ssta.analyze ~model net ~sizes).Sta.Ssta.circuit in
+      if
+        not
+          (same_bits_f ind.Normal.mu ssta.Normal.mu
+          && same_bits_f ind.Normal.var ssta.Normal.var)
+      then
+        Alcotest.failf "%s: independent half (%h, %h) <> ssta (%h, %h)" name
+          ind.Normal.mu ind.Normal.var ssta.Normal.mu ssta.Normal.var)
+    (differential_circuits ())
+
+(* Without reconvergent fanout (chains, trees) the correlation-aware
+   analysis must agree with the independence assumption: there is
+   nothing to be correlated about. *)
+let test_cssta_equals_ssta_without_reconvergence () =
+  List.iter
+    (fun (name, (net, sizes)) ->
+      let ind, corr = Sta.Cssta.compare_to_independent ~model net ~sizes in
+      check_float ~eps:1e-9 (name ^ ": mu") ind.Normal.mu corr.Normal.mu;
+      check_float ~eps:1e-9 (name ^ ": var") ind.Normal.var corr.Normal.var)
+    [
+      ("tree", List.assoc "tree" (differential_circuits ()));
+      ("chain", List.assoc "chain" (differential_circuits ()));
+    ]
+
+(* Correlation matrices are correlation matrices: symmetric, entries in
+   [-1, 1], unit diagonal for gates with arrival variance. *)
+let test_cssta_matrix_sane_on_shared_circuits () =
+  List.iter
+    (fun (name, (net, sizes)) ->
+      let res = Sta.Cssta.analyze ~model net ~sizes in
+      let c = res.Sta.Cssta.correlation in
+      Array.iteri
+        (fun i row ->
+          Array.iteri
+            (fun j r ->
+              if abs_float r > 1. +. 1e-9 then
+                Alcotest.failf "%s: correlation.(%d).(%d) = %h" name i j r;
+              if abs_float (r -. c.(j).(i)) > 1e-12 then
+                Alcotest.failf "%s: correlation not symmetric at (%d,%d)" name i j)
+            row;
+          let arr = res.Sta.Cssta.arrival.(i) in
+          if arr.Normal.var > 1e-15 && abs_float (c.(i).(i) -. 1.) > 1e-9 then
+            Alcotest.failf "%s: diagonal %d = %h" name i c.(i).(i))
+        c)
+    (differential_circuits ())
+
+(* Corner analysis against Ssta/Dsta on the shared circuits: envelope
+   order, typical = deterministic, statistical mean dominates typical
+   (Clark's max mean dominates the max of means), guard band monotone
+   in k. *)
+let test_corner_vs_ssta_on_shared_circuits () =
+  List.iter
+    (fun (name, (net, sizes)) ->
+      let c1 = Sta.Corner.analyze ~k:1. ~model net ~sizes in
+      let c3 = Sta.Corner.analyze ~k:3. ~model net ~sizes in
+      Alcotest.(check bool)
+        (name ^ ": best <= typical <= worst")
+        true
+        (c3.Sta.Corner.best <= c3.Sta.Corner.typical
+        && c3.Sta.Corner.typical <= c3.Sta.Corner.worst);
+      let d = Sta.Dsta.analyze net ~sizes in
+      check_float ~eps:1e-9 (name ^ ": typical = dsta") d.Sta.Dsta.circuit
+        c3.Sta.Corner.typical;
+      let ssta = (Sta.Ssta.analyze ~model net ~sizes).Sta.Ssta.circuit in
+      Alcotest.(check bool)
+        (name ^ ": statistical mean above typical")
+        true
+        (ssta.Normal.mu >= c3.Sta.Corner.typical -. 1e-9);
+      Alcotest.(check bool)
+        (name ^ ": guard band monotone in k")
+        true
+        (c3.Sta.Corner.worst >= c1.Sta.Corner.worst -. 1e-12
+        && c3.Sta.Corner.best <= c1.Sta.Corner.best +. 1e-12))
+    (differential_circuits ())
+
+(* With the Zero sigma model the three corners and the statistical
+   analysis all collapse onto the deterministic delay. *)
+let test_corner_zero_model_collapses_to_ssta () =
+  List.iter
+    (fun (name, (net, sizes)) ->
+      let c = Sta.Corner.analyze ~model:Sigma_model.Zero net ~sizes in
+      let s = (Sta.Ssta.analyze ~model:Sigma_model.Zero net ~sizes).Sta.Ssta.circuit in
+      check_float ~eps:1e-9 (name ^ ": best = worst") c.Sta.Corner.best
+        c.Sta.Corner.worst;
+      check_float ~eps:1e-9 (name ^ ": statistical = typical") c.Sta.Corner.typical
+        s.Normal.mu;
+      check_float ~eps:1e-12 (name ^ ": zero variance") 0. s.Normal.var)
+    (differential_circuits ())
+
 let () =
   Alcotest.run "sta"
     [
@@ -665,6 +789,19 @@ let () =
                  /. p.Sta.Corner.monte_carlo_quantile
                 < 0.02));
         ] );
+      ( "differential",
+        [
+          Alcotest.test_case "cssta independent half = ssta" `Quick
+            test_cssta_independent_half_is_ssta;
+          Alcotest.test_case "cssta = ssta without reconvergence" `Quick
+            test_cssta_equals_ssta_without_reconvergence;
+          Alcotest.test_case "cssta matrix sane" `Quick
+            test_cssta_matrix_sane_on_shared_circuits;
+          Alcotest.test_case "corner vs ssta" `Quick
+            test_corner_vs_ssta_on_shared_circuits;
+          Alcotest.test_case "zero model collapses" `Quick
+            test_corner_zero_model_collapses_to_ssta;
+        ] );
       ( "criticality",
         [
           Alcotest.test_case "chain all critical" `Quick test_crit_chain_all_critical;
@@ -674,7 +811,7 @@ let () =
         ] );
       ( "cone locality",
         [
-          QCheck_alcotest.to_alcotest prop_perturbation_locality;
+          Seed_info.to_alcotest prop_perturbation_locality;
           Alcotest.test_case "slack outside both cones" `Quick
             test_slack_unchanged_outside_cones;
           Alcotest.test_case "criticality outside perturbed cone" `Quick

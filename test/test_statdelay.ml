@@ -560,7 +560,7 @@ let test_mc_empty_list_rejected () =
     (fun () -> ignore (Mc.sample_max_list rng [] ~n:10))
 
 let () =
-  let q = QCheck_alcotest.to_alcotest in
+  let q = Seed_info.to_alcotest in
   Alcotest.run "statdelay"
     [
       ( "normal",

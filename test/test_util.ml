@@ -280,7 +280,7 @@ let test_approx_eq () =
   Alcotest.(check bool) "far" false (Util.Numerics.approx_eq 1. 1.1)
 
 let () =
-  let q = QCheck_alcotest.to_alcotest in
+  let q = Seed_info.to_alcotest in
   Alcotest.run "util"
     [
       ( "special",
