@@ -480,6 +480,158 @@ let run_arena () =
       end;
       print_newline ())
 
+(* ---- timing-as-a-service daemon --------------------------------------------- *)
+
+(* Drives an in-process Server through its programmatic API: per-kind
+   request latency against a warmed engine (the daemon's whole point is
+   that the second analyze is a dirty-cone sweep, not a full one), the
+   served-vs-batch bit-identity spot check, and an overload burst
+   against a tiny queue showing the shedding policy sacrificing solves
+   before analyses.  Exits non-zero when identity or the conservation
+   law breaks, so CI can gate on this section. *)
+let run_serve () =
+  section "Serve: warmed-engine latency, shedding, conservation" (fun () ->
+      let net = Circuit.Generate.apex2_like () in
+      let sizes = Array.map (fun s -> s +. 0.25) (Circuit.Netlist.min_sizes net) in
+      let t = Serve.Server.create () in
+      Serve.Server.add_circuit t ~name:"apex2" ~model net;
+      Serve.Server.start t;
+      (* One blocking request round-trip through submit_line. *)
+      let roundtrip line =
+        let m = Mutex.create () and c = Condition.create () in
+        let answer = ref None in
+        Serve.Server.submit_line t
+          ~reply:(fun l ->
+            Mutex.lock m;
+            answer := Some l;
+            Condition.signal c;
+            Mutex.unlock m)
+          line;
+        Mutex.lock m;
+        while !answer = None do
+          Condition.wait c m
+        done;
+        let l = Option.get !answer in
+        Mutex.unlock m;
+        l
+      in
+      let req body =
+        Serve.Protocol.encode_request
+          {
+            Serve.Protocol.id = Serve.Json.Null;
+            circuit = Some "apex2";
+            deadline_ms = None;
+            max_evals = None;
+            body;
+          }
+      in
+      let analyze =
+        req (Serve.Protocol.Analyze { sizes = Serve.Protocol.Explicit sizes })
+      in
+      let tbl = Util.Table.create ~header:[ "request"; "time/round-trip" ] in
+      Util.Table.set_align tbl 1 Util.Table.Right;
+      let ms s = Printf.sprintf "%.3f ms" (s *. 1e3) in
+      let time name line =
+        let s = wall_time_per_call ~reps:20 (fun () -> roundtrip line) in
+        Util.Table.add_row tbl [ name; ms s ]
+      in
+      let cold = wall_time_per_call ~reps:1 (fun () -> roundtrip analyze) in
+      Util.Table.add_row tbl [ "analyze (cold engine)"; ms cold ];
+      time "analyze (warm)" analyze;
+      time "whatif (1 gate)" (req (Serve.Protocol.Whatif { deltas = [| (0, 2.0) |] }));
+      time "gradient mu+3sigma"
+        (req
+           (Serve.Protocol.Gradient
+              {
+                sizes = Serve.Protocol.Explicit sizes;
+                seed = Serve.Protocol.Seed_mu_k_sigma 3.;
+              }));
+      time "health" (req Serve.Protocol.Health);
+      Util.Table.print tbl;
+      (* Bit-identity: the served analyze renders the identical result
+         object a batch evaluation does. *)
+      let served =
+        match Serve.Protocol.decode_response (roundtrip analyze) with
+        | Ok { payload; _ } -> Serve.Json.to_string (Serve.Protocol.result_json payload)
+        | Error m -> failwith m
+      in
+      let batch =
+        let arena = Sta.Arena.create net in
+        let r = Sta.Ssta.analyze ~arena ~model net ~sizes in
+        Serve.Json.to_string
+          (Serve.Protocol.result_json
+             (Serve.Protocol.Analysis
+                {
+                  mu = Statdelay.Normal.mu r.Sta.Ssta.circuit;
+                  var = Statdelay.Normal.var r.Sta.Ssta.circuit;
+                  area = Circuit.Netlist.area net ~sizes;
+                  n_gates = Circuit.Netlist.n_gates net;
+                }))
+      in
+      Printf.printf "served == batch (string = Int64 bits): %s\n"
+        (if String.equal served batch then "yes" else "NO");
+      Serve.Server.stop ~drain:false t;
+      (* Overload burst against a queue of 4, executor delayed: solves
+         are shed before the analyses that arrive after them. *)
+      let t2 =
+        Serve.Server.create
+          ~config:{ Serve.Server.default_config with queue_capacity = 4 }
+          ()
+      in
+      Serve.Server.add_circuit t2 ~name:"tree" ~model (Circuit.Generate.tree ());
+      let shed_kinds = ref [] in
+      let lock = Mutex.create () in
+      let reply line =
+        match Serve.Protocol.decode_response line with
+        | Ok { kind; payload = Serve.Protocol.Error { code = Serve.Protocol.Overloaded; _ }; _ }
+          ->
+            Mutex.lock lock;
+            shed_kinds := kind :: !shed_kinds;
+            Mutex.unlock lock
+        | _ -> ()
+      in
+      let burst body =
+        Serve.Server.submit_line t2 ~reply
+          (Serve.Protocol.encode_request
+             {
+               Serve.Protocol.id = Serve.Json.Null;
+               circuit = Some "tree";
+               deadline_ms = None;
+               max_evals = None;
+               body;
+             })
+      in
+      for _ = 1 to 4 do
+        burst
+          (Serve.Protocol.Size
+             { objective = Serve.Protocol.Min_delay 3.; recovery = true })
+      done;
+      for _ = 1 to 4 do
+        burst (Serve.Protocol.Analyze { sizes = Serve.Protocol.Committed })
+      done;
+      (* Start in drain mode: the queue's survivors answer shutting_down
+         without burning solve time — this section measures shedding,
+         not the solver. *)
+      Serve.Server.stop ~drain:true t2;
+      Serve.Server.start t2;
+      Serve.Server.stop t2;
+      let submitted, served_n, degraded, shed, refused = Serve.Server.counters t2 in
+      Printf.printf
+        "burst of 8 into a queue of 4: %d shed (%s), conservation %d = %d + %d + %d + %d: %s\n\n"
+        shed
+        (String.concat ", " (List.rev !shed_kinds))
+        submitted served_n degraded shed refused
+        (if submitted = served_n + degraded + shed + refused then "holds"
+         else "VIOLATED");
+      if not (String.equal served batch) then begin
+        Printf.printf "ERROR: served analyze differs from batch evaluation!\n";
+        exit 1
+      end;
+      if submitted <> served_n + degraded + shed + refused then begin
+        Printf.printf "ERROR: conservation law violated!\n";
+        exit 1
+      end)
+
 (* ---- batched Monte Carlo oracle -------------------------------------------- *)
 
 let run_mcsta ~jobs () =
@@ -854,7 +1006,7 @@ let run_json ~out ~sizes () =
 let usage () =
   Printf.eprintf
     "usage: main.exe [--jobs N] [--out FILE] [--sizes N,N,...] \
-     [all|tables|micro|parallel|arena|mcsta|resilience|incremental|table1|table2|table3|example|yield|mc|corner|ablation|extensions|scale|json]...\n"
+     [all|tables|micro|parallel|arena|mcsta|resilience|incremental|serve|table1|table2|table3|example|yield|mc|corner|ablation|extensions|scale|json]...\n"
 
 let () =
   let out = ref None and size_list = ref [] in
@@ -909,6 +1061,7 @@ let () =
     | "arena" -> run_arena ()
     | "mcsta" -> run_mcsta ~jobs ()
     | "resilience" -> run_resilience ()
+    | "serve" -> run_serve ()
     | "incremental" -> run_incremental ?pool ()
     | "table1" -> run_table1 ?pool ()
     | "table2" -> run_table2 ()

@@ -104,7 +104,9 @@ let with_runtime ~jobs ~profile f =
       (match profile with
       | None -> ()
       | Some path -> (
-          let json = Util.Instr.to_json (Util.Instr.snapshot ()) in
+          (* ~all: a counter that stayed zero (no recoveries engaged, no
+             requests shed) is evidence and must appear in the dump. *)
+          let json = Util.Instr.to_json (Util.Instr.snapshot ~all:true ()) in
           match
             Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc json)
           with
@@ -118,7 +120,7 @@ let with_runtime ~jobs ~profile f =
 
 let analyze_cmd =
   let run circuit blif bench library_file wire_load sigma_ratio size mc cssta crit
-      jobs profile =
+      json jobs profile =
     match load_circuit ~blif ~bench ~library_file ~circuit ~wire_load with
     | Error msg ->
         Printf.eprintf "statsize: %s\n" msg;
@@ -131,6 +133,24 @@ let analyze_cmd =
           Array.init n (fun i ->
               min size (Circuit.Netlist.gate net i).Circuit.Netlist.cell.Circuit.Cell.max_size)
         in
+        if json then begin
+          (* The serve protocol's analyze "result" object, emitted from a
+             batch evaluation: byte-equality against a daemon reply's
+             "result" member is Int64 bit-identity of the floats
+             (Serve.Json prints exact round-trip decimals). *)
+          let res = Sta.Ssta.analyze ?pool ~model net ~sizes in
+          print_endline
+            (Serve.Json.to_string
+               (Serve.Protocol.result_json
+                  (Serve.Protocol.Analysis
+                     {
+                       mu = Statdelay.Normal.mu res.Sta.Ssta.circuit;
+                       var = Statdelay.Normal.var res.Sta.Ssta.circuit;
+                       area = Circuit.Netlist.area net ~sizes;
+                       n_gates = n;
+                     })));
+          exit 0
+        end;
         Format.printf "%a@." Circuit.Netlist.pp_summary net;
         let res = Sta.Ssta.analyze ?pool ~model net ~sizes in
         let c = res.Sta.Ssta.circuit in
@@ -182,11 +202,18 @@ let analyze_cmd =
     let doc = "Report gate criticalities from N Monte Carlo samples." in
     Arg.(value & opt int 0 & info [ "crit" ] ~docv:"N" ~doc)
   in
+  let json_arg =
+    let doc =
+      "Emit only the serve-protocol analyze result object (exact round-trip \
+       floats; byte-comparable to a daemon reply's 'result' member)."
+    in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
   let term =
     Term.(
       const run $ circuit_arg $ blif_arg $ bench_arg $ library_arg $ wire_load_arg
-      $ sigma_ratio_arg $ sizes_arg $ mc_arg $ cssta_arg $ crit_arg $ jobs_arg
-      $ profile_arg)
+      $ sigma_ratio_arg $ sizes_arg $ mc_arg $ cssta_arg $ crit_arg $ json_arg
+      $ jobs_arg $ profile_arg)
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Statistical timing report of a circuit at fixed sizes")
@@ -673,9 +700,265 @@ let sim_cmd =
       $ replay_arg $ out_arg $ no_shrink_arg $ max_runs_arg $ jobs_arg
       $ profile_arg)
 
+(* ---- serve -------------------------------------------------------------------- *)
+
+(* Fault spec: KIND[@TRIGGER] with KIND one of nan-value, inf-value,
+   nan-gradient, inf-gradient, perturb:AMP and TRIGGER one of always
+   (default), first:N, at:N.  E.g. "nan-value@always". *)
+let parse_fault_spec s =
+  let kind_s, trig_s =
+    match String.index_opt s '@' with
+    | Some i ->
+        ( String.sub s 0 i,
+          Some (String.sub s (i + 1) (String.length s - i - 1)) )
+    | None -> (s, None)
+  in
+  let kind =
+    match kind_s with
+    | "nan-value" -> Ok Util.Fault.Nan_value
+    | "inf-value" -> Ok Util.Fault.Inf_value
+    | "nan-gradient" -> Ok Util.Fault.Nan_gradient
+    | "inf-gradient" -> Ok Util.Fault.Inf_gradient
+    | k when String.length k > 8 && String.sub k 0 8 = "perturb:" -> (
+        match float_of_string_opt (String.sub k 8 (String.length k - 8)) with
+        | Some amp -> Ok (Util.Fault.Perturb amp)
+        | None -> Error (Printf.sprintf "bad perturb amplitude in %S" s))
+    | _ -> Error (Printf.sprintf "unknown fault kind %S" kind_s)
+  in
+  let trigger =
+    match trig_s with
+    | None | Some "always" -> Ok Util.Fault.Always
+    | Some t when String.length t > 6 && String.sub t 0 6 = "first:" -> (
+        match int_of_string_opt (String.sub t 6 (String.length t - 6)) with
+        | Some n -> Ok (Util.Fault.First n)
+        | None -> Error (Printf.sprintf "bad trigger in %S" s))
+    | Some t when String.length t > 3 && String.sub t 0 3 = "at:" -> (
+        match int_of_string_opt (String.sub t 3 (String.length t - 3)) with
+        | Some n -> Ok (Util.Fault.At n)
+        | None -> Error (Printf.sprintf "bad trigger in %S" s))
+    | Some t -> Error (Printf.sprintf "unknown fault trigger %S" t)
+  in
+  match (kind, trigger) with
+  | Ok kind, Ok trigger -> Ok { Util.Fault.kind; component = None; trigger }
+  | (Error _ as e), _ | _, (Error _ as e) -> e
+
+(* Line client for a daemon on a Unix socket: pumps stdin lines to the
+   socket, prints reply lines, and exits once every request sent has
+   been answered. *)
+let run_client path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect sock (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (e, _, _) ->
+     Printf.eprintf "statsize serve --connect: %s: %s\n" path
+       (Unix.error_message e);
+     exit 1);
+  let sent = Atomic.make 0 and received = Atomic.make 0 in
+  let closed = Atomic.make false in
+  let printer =
+    Thread.create
+      (fun () ->
+        let chunk = Bytes.create 4096 in
+        let buf = Buffer.create 256 in
+        let rec go () =
+          match Unix.read sock chunk 0 (Bytes.length chunk) with
+          | 0 -> Atomic.set closed true
+          | n ->
+              for i = 0 to n - 1 do
+                let c = Bytes.get chunk i in
+                if c = '\n' then begin
+                  print_endline (Buffer.contents buf);
+                  flush stdout;
+                  Buffer.clear buf;
+                  Atomic.incr received
+                end
+                else Buffer.add_char buf c
+              done;
+              go ()
+          | exception Unix.Unix_error _ -> Atomic.set closed true
+        in
+        go ())
+      ()
+  in
+  (try
+     while true do
+       let line = input_line stdin in
+       if String.trim line <> "" then begin
+         let data = Bytes.of_string (line ^ "\n") in
+         let len = Bytes.length data in
+         let off = ref 0 in
+         while !off < len do
+           off := !off + Unix.write sock data !off (len - !off)
+         done;
+         Atomic.incr sent
+       end
+     done
+   with End_of_file -> () | Unix.Unix_error _ -> ());
+  (* Every request gets exactly one reply line; wait for the balance. *)
+  while (not (Atomic.get closed)) && Atomic.get received < Atomic.get sent do
+    Thread.yield ()
+  done;
+  (* shutdown, not close: close would leave the printer blocked in
+     [Unix.read] forever — shutdown makes that read return 0. *)
+  (try Unix.shutdown sock Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  (try Thread.join printer with _ -> ());
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  if Atomic.get received < Atomic.get sent then exit 1
+
+let serve_cmd =
+  let run circuits socket connect sigma_ratio queue_capacity warm_capacity
+      default_deadline_ms default_max_evals breaker_threshold breaker_cooldown
+      faults fault_seed jobs profile =
+    match connect with
+    | Some path -> run_client path
+    | None -> (
+        let faults =
+          List.fold_left
+            (fun acc spec ->
+              match (acc, parse_fault_spec spec) with
+              | Error _, _ -> acc
+              | _, (Error _ as e) -> e
+              | Ok sites, Ok site -> Ok (site :: sites))
+            (Ok []) faults
+        in
+        match faults with
+        | Error msg ->
+            Printf.eprintf "statsize serve: %s\n" msg;
+            exit 1
+        | Ok sites ->
+            let instrument =
+              if sites = [] then None
+              else
+                let plan = Util.Fault.plan ~seed:fault_seed (List.rev sites) in
+                Some
+                  (fun problem ->
+                    Nlp.Problem.map_components
+                      (fun ~component obj ->
+                        Util.Fault.wrap plan
+                          ~component:(Nlp.Problem.component_index component)
+                          obj)
+                      problem)
+            in
+            with_runtime ~jobs ~profile @@ fun pool ->
+            (* The stats request is part of the protocol, so the daemon
+               always runs instrumented. *)
+            Util.Instr.enable ();
+            let model = model_of_ratio sigma_ratio in
+            let config =
+              {
+                Serve.Server.queue_capacity;
+                warm_capacity;
+                default_deadline_ms;
+                default_max_evals;
+                breaker =
+                  {
+                    Serve.Breaker.threshold = breaker_threshold;
+                    cooldown_s = breaker_cooldown;
+                  };
+              }
+            in
+            let server = Serve.Server.create ?pool ?instrument ~config () in
+            List.iter
+              (fun name ->
+                match Circuit.Generate.by_name name with
+                | Some net -> Serve.Server.add_circuit server ~name ~model net
+                | None ->
+                    Printf.eprintf
+                      "statsize serve: unknown circuit %S (expected \
+                       fig2|tree|chain|apex1|apex2|k2)\n"
+                      name;
+                    exit 1)
+              circuits;
+            (* Replies own stdout; operator chatter goes to stderr. *)
+            Printf.eprintf "statsize serve: %s ready (%s), %d-deep queue, %d warm engines\n%!"
+              (String.concat "," (Serve.Server.circuits server))
+              (match socket with
+              | Some p -> Printf.sprintf "socket %s" p
+              | None -> "stdio")
+              queue_capacity warm_capacity;
+            (match socket with
+            | Some path -> Serve.Server.run_socket server ~path
+            | None -> Serve.Server.run_stdio server);
+            let submitted, served, degraded, shed, refused =
+              Serve.Server.counters server
+            in
+            Printf.eprintf
+              "statsize serve: drained; %d submitted = %d served + %d degraded \
+               + %d shed + %d refused\n%!"
+              submitted served degraded shed refused)
+  in
+  let circuits_arg =
+    let doc = "Circuits to load (comma-separated built-in names)." in
+    Arg.(
+      value
+      & opt (list string) [ "fig2"; "tree"; "chain" ]
+      & info [ "circuits" ] ~docv:"NAMES" ~doc)
+  in
+  let socket_arg =
+    let doc = "Listen on a Unix-domain socket instead of stdin/stdout." in
+    Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+  in
+  let connect_arg =
+    let doc =
+      "Client mode: pump stdin request lines to a daemon's socket and print \
+       its reply lines."
+    in
+    Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"PATH" ~doc)
+  in
+  let queue_capacity_arg =
+    let doc = "Admission queue bound; beyond it requests are shed by class." in
+    Arg.(value & opt int 32 & info [ "queue-capacity" ] ~docv:"N" ~doc)
+  in
+  let warm_capacity_arg =
+    let doc = "Warmed-engine LRU bound (resident incremental engines)." in
+    Arg.(value & opt int 4 & info [ "warm-capacity" ] ~docv:"N" ~doc)
+  in
+  let deadline_ms_arg =
+    let doc = "Default per-request deadline in milliseconds." in
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_evals_arg =
+    let doc = "Default per-request evaluation budget (size requests)." in
+    Arg.(value & opt (some int) None & info [ "max-evals" ] ~docv:"N" ~doc)
+  in
+  let breaker_threshold_arg =
+    let doc = "Consecutive solve breakdowns before a circuit is quarantined." in
+    Arg.(value & opt int 3 & info [ "breaker-threshold" ] ~docv:"N" ~doc)
+  in
+  let breaker_cooldown_arg =
+    let doc = "Quarantine cooldown in seconds before a trial solve." in
+    Arg.(value & opt float 30. & info [ "breaker-cooldown" ] ~docv:"SECONDS" ~doc)
+  in
+  let fault_arg =
+    let doc =
+      "Inject a deterministic fault into every size request's solver \
+       evaluations: KIND[@TRIGGER], KIND one of nan-value, inf-value, \
+       nan-gradient, inf-gradient, perturb:AMP; TRIGGER one of always, \
+       first:N, at:N.  Repeatable.  For resilience drills."
+    in
+    Arg.(value & opt_all string [] & info [ "fault" ] ~docv:"SPEC" ~doc)
+  in
+  let fault_seed_arg =
+    let doc = "Seed of the keyed fault-injection draws." in
+    Arg.(value & opt int 0 & info [ "fault-seed" ] ~docv:"N" ~doc)
+  in
+  let term =
+    Term.(
+      const run $ circuits_arg $ socket_arg $ connect_arg $ sigma_ratio_arg
+      $ queue_capacity_arg $ warm_capacity_arg $ deadline_ms_arg $ max_evals_arg
+      $ breaker_threshold_arg $ breaker_cooldown_arg $ fault_arg $ fault_seed_arg
+      $ jobs_arg $ profile_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-lived timing daemon: line-JSON requests over stdio or a Unix \
+          socket, with admission control, deadlines, graceful degradation and \
+          per-circuit quarantine")
+    term
+
 let main_cmd =
   let doc = "gate sizing under a statistical delay model (DATE 2000 reproduction)" in
   let info = Cmd.info "statsize" ~version:"1.0.0" ~doc in
-  Cmd.group info [ analyze_cmd; size_cmd; mc_cmd; tables_cmd; sim_cmd ]
+  Cmd.group info [ analyze_cmd; size_cmd; mc_cmd; tables_cmd; sim_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,79 @@
+(* Admission control: a bounded FIFO with load-shedding priority.
+
+   Pure data structure (no locks — the server serialises access under
+   its own mutex) so the shedding policy is unit-testable in isolation.
+
+   Policy: when the queue is full, the most sheddable *queued* entry
+   (highest Protocol.shed_class; FIFO-oldest among ties) is evicted to
+   make room — but only if it is strictly more sheddable than the
+   arrival; otherwise the arrival itself is shed.  Expensive solves are
+   the first casualties of overload, cheap analyses the last, and a
+   burst of solves can never starve analysis traffic.  Control-plane
+   entries (class -1: stats/health) are capacity-exempt: they enqueue
+   even into a full queue and are never chosen as victims. *)
+
+type 'a entry = { item : 'a; cls : int; seq : int }
+
+type 'a t = {
+  capacity : int;
+  mutable entries : 'a entry list;  (* FIFO: head is oldest *)
+  mutable next_seq : int;
+  mutable length : int;  (* counted entries (class >= 0) only *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Admission.create: capacity < 1";
+  { capacity; entries = []; next_seq = 0; length = 0 }
+
+let length t = t.length
+let is_empty t = t.entries = []
+
+type 'a outcome =
+  | Enqueued
+  | Shed_victim of 'a  (* the arrival enqueued; this older entry was evicted *)
+  | Shed_self  (* the arrival itself was refused *)
+
+let push t entry =
+  t.entries <- t.entries @ [ entry ];
+  if entry.cls >= 0 then t.length <- t.length + 1
+
+(* Most sheddable queued entry: highest class, oldest among ties. *)
+let victim t =
+  List.fold_left
+    (fun best e ->
+      if e.cls < 0 then best
+      else
+        match best with
+        | None -> Some e
+        | Some b -> if e.cls > b.cls then Some e else best)
+    None t.entries
+
+let submit t ~cls item =
+  let entry = { item; cls; seq = t.next_seq } in
+  t.next_seq <- t.next_seq + 1;
+  if cls < 0 || t.length < t.capacity then begin
+    push t entry;
+    Enqueued
+  end
+  else
+    match victim t with
+    | Some v when v.cls > cls ->
+        t.entries <- List.filter (fun e -> e.seq <> v.seq) t.entries;
+        t.length <- t.length - 1;
+        push t entry;
+        Shed_victim v.item
+    | _ -> Shed_self
+
+let pop t =
+  match t.entries with
+  | [] -> None
+  | e :: rest ->
+      t.entries <- rest;
+      if e.cls >= 0 then t.length <- t.length - 1;
+      Some e.item
+
+let drain t =
+  let items = List.map (fun e -> e.item) t.entries in
+  t.entries <- [];
+  t.length <- 0;
+  items

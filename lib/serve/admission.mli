@@ -1,0 +1,44 @@
+(** Admission control for the daemon's request queue: a bounded FIFO
+    with load-shedding priority.
+
+    A pure data structure — no locks; the server serialises access under
+    its own mutex — so the shedding policy is unit-testable in
+    isolation.
+
+    Shedding policy on a full queue: the most sheddable {e queued} entry
+    (highest {!Protocol.shed_class}; FIFO-oldest among ties) is evicted
+    to make room for the arrival, but only when it is {e strictly} more
+    sheddable; otherwise the arrival itself is refused.  So under
+    overload, expensive solves are shed before gradients before
+    analyses, and a burst of solves can never starve analysis traffic.
+    Class [-1] entries (stats/health control-plane) are capacity-exempt:
+    they always enqueue, count toward neither the bound nor victim
+    selection, and drain in FIFO order with everything else. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+type 'a outcome =
+  | Enqueued
+  | Shed_victim of 'a
+      (** the arrival was enqueued; this older, more-sheddable entry was
+          evicted and must be answered [Overloaded] *)
+  | Shed_self  (** the arrival was refused; answer it [Overloaded] *)
+
+val submit : 'a t -> cls:int -> 'a -> 'a outcome
+(** Offers an entry with shedding class [cls] ({!Protocol.shed_class}). *)
+
+val pop : 'a t -> 'a option
+(** Oldest entry, FIFO. *)
+
+val drain : 'a t -> 'a list
+(** Empties the queue, returning entries in FIFO order — shutdown path
+    (each drained request gets a typed [Shutting_down] reply). *)
+
+val length : 'a t -> int
+(** Counted (class ≥ 0) entries currently queued. *)
+
+val is_empty : 'a t -> bool
+(** True when nothing at all is queued, control-plane included. *)

@@ -1,0 +1,84 @@
+(* Per-circuit circuit breaker.
+
+   A circuit whose size requests keep ending in numerical breakdown is
+   quarantined so it cannot monopolise the executor while every other
+   circuit keeps serving.  Classic three-state machine:
+
+     Closed --(threshold consecutive failures)--> Open
+     Open --(cooldown elapsed)--> Half_open (one trial request admitted)
+     Half_open --success--> Closed | --failure--> Open (fresh cooldown)
+
+   Time comes from an injectable monotonic clock (same discipline as
+   Util.Guard budgets) so tests drive the cooldown deterministically. *)
+
+type config = { threshold : int; cooldown_s : float }
+
+let default_config = { threshold = 3; cooldown_s = 30. }
+
+type state = Closed | Open | Half_open
+
+type t = {
+  config : config;
+  now : unit -> int;
+  mutable state : state;
+  mutable consecutive_failures : int;
+  mutable opened_at_ns : int;
+  mutable trips : int;
+}
+
+let create ?(now = Util.Guard.monotonic_now) config =
+  if config.threshold < 1 then invalid_arg "Breaker.create: threshold < 1";
+  {
+    config;
+    now;
+    state = Closed;
+    consecutive_failures = 0;
+    opened_at_ns = 0;
+    trips = 0;
+  }
+
+let state t = t.state
+let trips t = t.trips
+
+type verdict = Allow | Trial | Reject
+
+let cooldown_ns t = int_of_float (t.config.cooldown_s *. 1e9)
+
+let admit t =
+  match t.state with
+  | Closed -> Allow
+  | Half_open ->
+      (* One trial is already in flight (or was never answered —
+         conservatively keep rejecting until success/failure lands). *)
+      Reject
+  | Open ->
+      if t.now () - t.opened_at_ns >= cooldown_ns t then begin
+        t.state <- Half_open;
+        Trial
+      end
+      else Reject
+
+let success t =
+  t.consecutive_failures <- 0;
+  t.state <- Closed
+
+let failure t =
+  match t.state with
+  | Half_open ->
+      (* The trial failed: straight back to quarantine, fresh cooldown. *)
+      t.state <- Open;
+      t.opened_at_ns <- t.now ();
+      t.trips <- t.trips + 1
+  | Open -> ()
+  | Closed ->
+      t.consecutive_failures <- t.consecutive_failures + 1;
+      if t.consecutive_failures >= t.config.threshold then begin
+        t.state <- Open;
+        t.opened_at_ns <- t.now ();
+        t.trips <- t.trips + 1
+      end
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"

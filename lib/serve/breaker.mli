@@ -1,0 +1,51 @@
+(** Per-circuit circuit breaker: quarantines a circuit whose size
+    requests keep breaking down numerically, so one poisoned netlist
+    cannot monopolise the executor while other circuits keep serving.
+
+    Three-state machine: [Closed] admits everything; [threshold]
+    {e consecutive} failures trip it to [Open] (requests rejected with a
+    [Quarantined] reply); after [cooldown_s] the next admission probe is
+    a [Trial] ([Half_open]) — its success re-closes the breaker, its
+    failure re-opens a fresh cooldown.
+
+    The clock is injectable ([?now], same monotonic-nanosecond
+    discipline as {!Util.Guard} budgets) so tests drive cooldowns
+    deterministically.  Not thread-safe: the daemon's single executor
+    thread owns every breaker. *)
+
+type config = { threshold : int; cooldown_s : float }
+
+val default_config : config
+(** 3 consecutive failures, 30 s cooldown. *)
+
+type state = Closed | Open | Half_open
+
+type t
+
+val create : ?now:(unit -> int) -> config -> t
+(** Fresh breaker in [Closed].  Raises [Invalid_argument] when
+    [threshold < 1]. *)
+
+type verdict =
+  | Allow  (** closed: admit normally *)
+  | Trial  (** cooldown elapsed: admit exactly this request as the probe *)
+  | Reject  (** quarantined: answer [Quarantined] without executing *)
+
+val admit : t -> verdict
+(** Admission probe; the [Trial] transition to [Half_open] happens
+    here.  While [Half_open] (trial in flight), further probes
+    [Reject]. *)
+
+val success : t -> unit
+(** Report the outcome of an admitted request: resets the failure run
+    and re-closes the breaker. *)
+
+val failure : t -> unit
+(** A failed admitted request: extends the consecutive-failure run
+    (possibly tripping [Open]), or re-opens from a failed trial. *)
+
+val state : t -> state
+val trips : t -> int
+(** Closed→Open transitions so far (trial re-opens included). *)
+
+val state_name : state -> string

@@ -1,0 +1,41 @@
+(** Minimal self-contained JSON for the line-oriented serve protocol.
+
+    The repo deliberately carries no JSON dependency; this module
+    implements the small subset the daemon needs, with one property the
+    usual libraries do not promise: {e float round-trips are exact}.
+    {!to_string} emits every non-integral number with the shortest of
+    [%.15g]/[%.16g]/[%.17g] that parses back to the identical bits, so a
+    response travelled through the wire format compares Int64-bit-equal
+    to the in-process value — the foundation of the serve-soundness
+    invariant and the soak test's served-vs-batch identity check.
+
+    Not a general-purpose JSON library: numbers are [float]s (ints
+    survive exactly up to 2^53), [\u] escapes cover the basic
+    multilingual plane only, and NaN/infinities serialize as the strings
+    ["nan"]/["inf"]/["-inf"] (they never appear on the ok path). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** One-line rendering (no newlines — the protocol is line-framed). *)
+
+val parse : string -> (t, string) result
+(** Parses one complete JSON value; trailing garbage is an error. *)
+
+val number_to_string : float -> string
+(** The exact-round-trip float rendering used by {!to_string}. *)
+
+(** {1 Accessors} — total, [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val str : t -> string option
+val num : t -> float option
+val int_ : t -> int option
+val bool_ : t -> bool option
+val list_ : t -> t list option

@@ -1,0 +1,100 @@
+(** Typed request/response vocabulary of the timing daemon and its
+    line-JSON wire form.
+
+    One request per line, one reply line per request.  Numeric fields
+    ride {!Json}'s exact-round-trip float rendering, so the ["result"]
+    object of a served reply is string-comparable against a batch
+    re-evaluation of the same request — string equality is Int64
+    bit-identity.  Both directions (encode and decode) are exposed for
+    requests {e and} responses: the daemon decodes requests and encodes
+    responses, while clients, the scripted smoke session and the sim
+    harness's serve-soundness invariant do the reverse. *)
+
+type seed_kind = Seed_mu | Seed_var | Seed_mu_k_sigma of float
+
+type sizes_spec =
+  | Committed  (** the circuit's current committed speed factors *)
+  | Uniform of float
+  | Explicit of float array
+
+type objective_spec =
+  | Min_delay of float  (** minimise [mu + k sigma] *)
+  | Min_area_bounded of { k : float; bound : float }
+  | Min_sigma of { mu : float }
+
+type body =
+  | Analyze of { sizes : sizes_spec }
+  | Whatif of { deltas : (int * float) array }
+  | Gradient of { sizes : sizes_spec; seed : seed_kind }
+  | Size of { objective : objective_spec; recovery : bool }
+  | Stats
+  | Health
+
+type request = {
+  id : Json.t;  (** echoed verbatim in the reply; [Null] when absent *)
+  circuit : string option;
+  deadline_ms : float option;
+  max_evals : int option;
+  body : body;
+}
+
+type error_code =
+  | Bad_request
+  | Unknown_circuit
+  | Overloaded  (** shed by admission control *)
+  | Timeout  (** deadline expired before or during service *)
+  | Quarantined  (** the circuit's breaker is open *)
+  | Shutting_down  (** drained from the queue at shutdown *)
+  | Breakdown  (** solve ended in numerical breakdown (recovery off/exhausted) *)
+  | Unconverged
+  | Internal
+
+type payload =
+  | Analysis of { mu : float; var : float; area : float; n_gates : int }
+  | Degraded of { typical : float; area : float }
+      (** graceful-degradation rung: deterministic mean-only [Dsta]
+          answer, always flagged ["degraded": true] on the wire *)
+  | Gradient_result of { value : float; gradient : float array }
+  | Sized of {
+      mu : float;
+      sigma : float;
+      area : float;
+      sizes : float array;
+      evaluations : int;
+      rungs : string list;  (** recovery rungs engaged, in order *)
+    }
+  | Stats_result of Json.t
+  | Health_result of {
+      status : string;
+      uptime_seconds : float;
+      resident : string list;  (** circuits with warmed engines *)
+    }
+  | Error of { code : error_code; message : string }
+
+type response = { id : Json.t; kind : string; payload : payload }
+
+val kind_of_body : body -> string
+(** ["analyze"] / ["whatif"] / ["gradient"] / ["size"] / ["stats"] /
+    ["health"]; names histogram and counter keys. *)
+
+val shed_class : body -> int
+(** Load-shedding priority: higher sheds first.  [Size] 2, [Gradient] 1,
+    [Analyze]/[Whatif] 0, [Stats]/[Health] -1 (control-plane, never
+    shed). *)
+
+val error_code_name : error_code -> string
+val error_code_of_name : string -> error_code option
+
+val encode_request : request -> string
+val decode_request : string -> (request, string) result
+
+val encode_response : response -> string
+val decode_response : string -> (response, string) result
+
+val result_json : payload -> Json.t
+(** The ["result"] object of an ok reply ([Null] for [Error]) — exposed
+    so [statsize analyze --json] can emit the {e identical} object from
+    a batch evaluation, making served-vs-batch bit-identity a string
+    comparison. *)
+
+val pp_payload : Format.formatter -> payload -> unit

@@ -1,0 +1,106 @@
+(** The timing-as-a-service daemon.
+
+    Loads a library of circuits once, keeps warmed timing engines in a
+    bounded LRU ({!Registry}), and answers line-JSON requests
+    ({!Protocol}) over stdin or a Unix socket.
+
+    {2 Threading model}
+
+    Reader threads (one per connection, or any caller of
+    {!submit_line}) parse and enqueue under the server lock; a {e
+    single} executor thread owns every engine, breaker and registry
+    structure, so execution itself is lock-free.  Within one request,
+    SSTA sweeps still parallelise over the {!Util.Pool} domains — the
+    pool is data-parallelism {e inside} an evaluation, the queue is
+    multiplexing {e between} clients.
+
+    {2 Robustness ladder}
+
+    Outermost first: bounded admission queue shedding by
+    {!Protocol.shed_class} (typed [overloaded]); per-request
+    {!Util.Guard} budgets started at admission (queue time counts), an
+    expired analyze/whatif degrading to a flagged mean-only {!Sta.Dsta}
+    answer and an expired gradient/size to a typed [timeout];
+    per-circuit {!Breaker}s quarantining solve-poisoned circuits (typed
+    [quarantined]) while others keep serving; engine invalidation after
+    any failed solve; and a clean drain on SIGTERM/SIGINT — the
+    in-flight request finishes, queued ones get typed [shutting_down].
+
+    Every reply lands in exactly one of served / degraded / shed /
+    refused, so [submitted = served + degraded + shed + refused] holds
+    at every quiescent point (asserted by the soak test).  Mirrored as
+    [serve.*] {!Util.Instr} counters plus [serve.latency.<kind>]
+    histograms. *)
+
+type config = {
+  queue_capacity : int;  (** admission queue bound (default 32) *)
+  warm_capacity : int;  (** warmed-engine LRU bound (default 4) *)
+  default_deadline_ms : float option;
+      (** applied to requests that carry no [deadline_ms] *)
+  default_max_evals : int option;
+  breaker : Breaker.config;
+}
+
+val default_config : config
+
+type t
+
+val create :
+  ?pool:Util.Pool.t ->
+  ?now:(unit -> int) ->
+  ?instrument:(Nlp.Problem.constrained -> Nlp.Problem.constrained) ->
+  ?config:config ->
+  unit ->
+  t
+(** [now] (monotonic nanoseconds, default {!Util.Guard.monotonic_now})
+    drives budgets, breakers and latency measurement — injectable for
+    deterministic tests.  [instrument] is the fault-injection hook
+    forwarded to every size request's {!Sizing.Engine.options}. *)
+
+val add_circuit :
+  t -> name:string -> model:Circuit.Sigma_model.t -> Circuit.Netlist.t -> unit
+(** Registers a circuit (cold).  Call before {!start}. *)
+
+val circuits : t -> string list
+
+(** {1 Programmatic operation} — what the tests and the sim harness
+    drive; the IO front-ends below are thin shells over these. *)
+
+val start : t -> unit
+(** Spawns the executor thread.  Raises [Invalid_argument] if already
+    started. *)
+
+val submit_line : t -> reply:(string -> unit) -> string -> unit
+(** Parses and admits one request line.  [reply] receives exactly one
+    response line, possibly on another thread (the executor's), possibly
+    before this call returns (parse failures, shed, draining).  Safe
+    from any thread; never raises into the caller through [reply]. *)
+
+val stop : ?drain:bool -> t -> unit
+(** Stops the executor and joins it.  With [drain] (default): queued
+    requests are answered with typed [shutting_down] after the in-flight
+    one finishes — the SIGTERM path.  With [~drain:false]: the queue is
+    finished normally first — the stdin-EOF path.  Idempotent. *)
+
+val counters : t -> int * int * int * int * int
+(** [(submitted, served, degraded, shed, refused)] — the conservation
+    counters; [submitted] equals the sum of the rest whenever no request
+    is queued or in flight. *)
+
+val stats_json : t -> Json.t
+(** The [stats] reply body (conservation counters, queue depth, resident
+    circuits, evictions, breaker states, [Instr] counters and latency
+    histograms).  Executor-thread state; call only when the server is
+    stopped or from inside a [stats] request. *)
+
+(** {1 IO front-ends} — install SIGTERM/SIGINT handlers, start the
+    executor, block until shutdown, and drain. *)
+
+val run_stdio : t -> unit
+(** Serves newline-framed requests from stdin to stdout.  EOF finishes
+    the queue and exits; SIGTERM/SIGINT drain with [shutting_down]. *)
+
+val run_socket : t -> path:string -> unit
+(** Listens on a Unix-domain socket, one reader thread per connection.
+    SIGTERM/SIGINT drain; queued replies are flushed to their
+    connections before sockets close. *)

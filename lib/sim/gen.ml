@@ -16,6 +16,7 @@ type weights = {
   inject_fault : int;
   set_budget : int;
   solve : int;
+  serve : int;
   corrupt : int;
 }
 
@@ -30,6 +31,7 @@ let zero_weights =
     inject_fault = 0;
     set_budget = 0;
     solve = 0;
+    serve = 0;
     corrupt = 0;
   }
 
@@ -48,6 +50,7 @@ let default_weights =
     inject_fault = 3;
     set_budget = 3;
     solve = 2;
+    serve = 8;
     corrupt = 0;
   }
 
@@ -93,6 +96,7 @@ let classes w =
     (w.inject_fault, `Fault);
     (w.set_budget, `Budget);
     (w.solve, `Solve);
+    (w.serve, `Serve);
     (w.corrupt, `Corrupt);
   ]
 
@@ -164,6 +168,24 @@ let op ~net ~seed ~key config =
       let max_evals = [| 500; 1000; 2000 |].(Util.Rng.int rng 3) in
       Op.Set_budget { deadline = None; max_evals = Some max_evals }
   | `Solve -> Op.Solve
+  | `Serve -> (
+      (* The daemon path, with the same shapes the generator already
+         uses for direct ops: analyze weighted double, what-ifs sized
+         like sparse batch deltas. *)
+      match Util.Rng.int rng 5 with
+      | 0 | 1 -> Op.Serve_request Op.Srv_analyze
+      | 2 ->
+          let k = 1 + Util.Rng.int rng (min config.max_batch (max 1 (n / 20))) in
+          Op.Serve_request
+            (Op.Srv_whatif (Array.init k (fun _ -> draw_resize rng ~n ~maxs)))
+      | 3 -> (
+          match Util.Rng.int rng 3 with
+          | 0 -> Op.Serve_request (Op.Srv_gradient Op.Seed_mu)
+          | 1 -> Op.Serve_request (Op.Srv_gradient Op.Seed_var)
+          | _ ->
+              let k = if Util.Rng.int rng 2 = 0 then 1. else 3. in
+              Op.Serve_request (Op.Srv_gradient (Op.Seed_mu_k_sigma k)))
+      | _ -> Op.Serve_request Op.Srv_degraded)
   | `Corrupt ->
       let gate = Util.Rng.int rng n in
       let bump = Util.Rng.uniform rng ~lo:0.5 ~hi:2.0 in

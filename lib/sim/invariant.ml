@@ -24,6 +24,8 @@ let on_gradient _ = function Op.Gradient _ -> true | _ -> false
 
 let on_solve _ = function Op.Solve -> true | _ -> false
 
+let on_serve _ = function Op.Serve_request _ -> true | _ -> false
+
 (* ---- bit-level comparisons -------------------------------------------------- *)
 
 let bits = Int64.bits_of_float
@@ -306,6 +308,87 @@ let recovery_sound (st : State.t) _ =
         err "%d faults fired but solve shows no recovery and no convergence"
           st.State.last_solve_faults
 
+(* Serve-soundness: a daemon-path answer (Serve.Exec against the
+   state's warm serve target) must be exactly what a fresh batch
+   evaluation of the same request produces.  Payloads are compared
+   through Protocol.result_json / Json.to_string, whose exact-round-trip
+   float rendering makes string equality Int64 bit-identity — the same
+   comparison the release soak makes between daemon replies and the
+   batch CLI.  The expired-deadline variant must take the graceful-
+   degradation rung (a flagged mean-only Dsta payload), never a full
+   statistical answer and never an error. *)
+let serve_sound (st : State.t) _ =
+  match st.State.last_serve with
+  | None -> Ok ()
+  | Some (req, payload) ->
+      let render p = Serve.Json.to_string (Serve.Protocol.result_json p) in
+      let shape what expected got =
+        err "%s answered %s, want %s" what
+          (Format.asprintf "%a" Serve.Protocol.pp_payload got)
+          expected
+      in
+      let expect what expected =
+        let got = render payload and want = render expected in
+        if String.equal got want then Ok ()
+        else err "%s: served %s <> batch %s" what got want
+      in
+      let analysis ~sizes =
+        let r =
+          Sta.Ssta.analyze ~arena:st.State.scratch ~model:st.State.model
+            st.State.net ~sizes
+        in
+        Serve.Protocol.Analysis
+          {
+            mu = Statdelay.Normal.mu r.Sta.Ssta.circuit;
+            var = Statdelay.Normal.var r.Sta.Ssta.circuit;
+            area = Circuit.Netlist.area st.State.net ~sizes;
+            n_gates = Circuit.Netlist.n_gates st.State.net;
+          }
+      in
+      match (req, payload) with
+      | Op.Srv_analyze, Serve.Protocol.Analysis _ ->
+          expect "serve analyze" (analysis ~sizes:st.State.sizes)
+      | Op.Srv_analyze, got -> shape "serve analyze" "an analysis" got
+      | Op.Srv_whatif deltas, Serve.Protocol.Analysis _ ->
+          (* The committed sizes live on the serve target, not the sim
+             state: a what-if is relative to the daemon's world. *)
+          let sizes = Array.copy st.State.serve.Serve.Exec.sizes in
+          Array.iter
+            (fun (g, s) -> sizes.(g) <- s)
+            (State.resolve_deltas st deltas);
+          expect "serve whatif" (analysis ~sizes)
+      | Op.Srv_whatif _, got -> shape "serve whatif" "an analysis" got
+      | Op.Srv_gradient kind, Serve.Protocol.Gradient_result _ ->
+          let seed = State.seed_fun kind in
+          let r =
+            Sta.Ssta.analyze ~arena:st.State.scratch ~model:st.State.model
+              st.State.net ~sizes:st.State.sizes
+          in
+          let value =
+            match kind with
+            | Op.Seed_mu -> Statdelay.Normal.mu r.Sta.Ssta.circuit
+            | Op.Seed_var -> Statdelay.Normal.var r.Sta.Ssta.circuit
+            | Op.Seed_mu_k_sigma k ->
+                Statdelay.Normal.mu_plus_k_sigma r.Sta.Ssta.circuit k
+          in
+          let gradient =
+            Sta.Ssta.gradient ~arena:st.State.scratch ~model:st.State.model
+              st.State.net ~sizes:st.State.sizes ~seed
+          in
+          expect "serve gradient"
+            (Serve.Protocol.Gradient_result { value; gradient })
+      | Op.Srv_gradient _, got -> shape "serve gradient" "a gradient" got
+      | Op.Srv_degraded, Serve.Protocol.Degraded _ ->
+          let det = Sta.Dsta.analyze st.State.net ~sizes:st.State.sizes in
+          expect "serve degraded"
+            (Serve.Protocol.Degraded
+               {
+                 typical = det.Sta.Dsta.circuit;
+                 area = Circuit.Netlist.area st.State.net ~sizes:st.State.sizes;
+               })
+      | Op.Srv_degraded, got ->
+          shape "serve degraded" "the flagged mean-only rung" got
+
 (* Engine lifetime counters never go backwards; full sweeps only happen
    on cold or invalidated engines. *)
 let monotone_counters (st : State.t) _ =
@@ -392,6 +475,7 @@ let default_suite ?(max_cssta_gates = 200) () =
       run = cssta_vs_ssta ~max_gates:max_cssta_gates;
     };
     { name = "recovery-sound"; applies = on_solve; run = recovery_sound };
+    { name = "serve-sound"; applies = on_serve; run = serve_sound };
     { name = "words-per-eval"; applies = on_analyze; run = words_ceiling };
   ]
 

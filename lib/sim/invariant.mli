@@ -45,6 +45,13 @@ val default_suite : ?max_cssta_gates:int -> unit -> check list
       consistent moments, non-converged solves explained by ladder
       rungs or budget terminations, and fired faults never paired with
       a silently clean first attempt.
+    - [serve-sound] ([Serve_request]) — the daemon execution path
+      ({!Serve.Exec} against the state's warm serve target) answers
+      bit-identically to a fresh batch evaluation of the same request
+      (compared through {!Serve.Protocol.result_json}'s exact float
+      rendering, so string equality is Int64 bit-identity), and the
+      expired-deadline variant takes the flagged mean-only degradation
+      rung rather than a statistical answer or an error.
     - [words-per-eval] ([Analyze]) — when the Clark kernels inline
       (release profile), a steady-state forward sweep allocates at most
       256 minor words; skipped in dev builds. *)

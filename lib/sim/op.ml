@@ -19,6 +19,16 @@ type fault_kind =
   | Inf_gradient
   | Perturb of float
 
+(* Daemon-path requests: the same question asked through Serve.Exec and
+   its own warm engine instead of the sim's incremental engine.  The
+   serve-soundness invariant compares each answer against a fresh batch
+   evaluation. *)
+type serve =
+  | Srv_analyze
+  | Srv_whatif of (int * float) array
+  | Srv_gradient of seed_kind
+  | Srv_degraded
+
 type t =
   | Resize of { gate : int; size : float }
   | Batch_resize of (int * float) array
@@ -30,6 +40,7 @@ type t =
   | Set_budget of { deadline : float option; max_evals : int option }
   | Solve
   | Corrupt_cache of { gate : int; bump : float }
+  | Serve_request of serve
 
 type circuit =
   | Named of string
@@ -64,6 +75,18 @@ let fault_kind_tokens = function
   | Inf_gradient -> [ "inf-gradient" ]
   | Perturb amp -> [ "perturb"; float_to_token amp ]
 
+let pair_tokens pairs =
+  string_of_int (Array.length pairs)
+  :: List.concat_map
+       (fun (g, s) -> [ string_of_int g; float_to_token s ])
+       (Array.to_list pairs)
+
+let serve_tokens = function
+  | Srv_analyze -> [ "analyze" ]
+  | Srv_whatif deltas -> "whatif" :: pair_tokens deltas
+  | Srv_gradient k -> "gradient" :: seed_kind_tokens k
+  | Srv_degraded -> [ "degraded" ]
+
 let objective_tokens = function
   | Obj_min_delay k -> [ "min-delay"; float_to_token k ]
   | Obj_min_area_bounded { k; frac } ->
@@ -74,11 +97,7 @@ let to_line op =
   let tokens =
     match op with
     | Resize { gate; size } -> [ "resize"; string_of_int gate; float_to_token size ]
-    | Batch_resize pairs ->
-        "batch" :: string_of_int (Array.length pairs)
-        :: List.concat_map
-             (fun (g, s) -> [ string_of_int g; float_to_token s ])
-             (Array.to_list pairs)
+    | Batch_resize pairs -> "batch" :: pair_tokens pairs
     | Set_objective o -> "objective" :: objective_tokens o
     | Invalidate -> [ "invalidate" ]
     | Analyze -> [ "analyze" ]
@@ -94,10 +113,24 @@ let to_line op =
     | Solve -> [ "solve" ]
     | Corrupt_cache { gate; bump } ->
         [ "corrupt"; string_of_int gate; float_to_token bump ]
+    | Serve_request r -> "serve" :: serve_tokens r
   in
   String.concat " " tokens
 
 let ( let* ) = Result.bind
+
+let parse_pairs what n rest =
+  let rec pairs acc = function
+    | [] -> Ok (List.rev acc)
+    | g :: s :: rest ->
+        let* gate = int_of_token g in
+        let* size = float_of_token s in
+        pairs ((gate, size) :: acc) rest
+    | [ _ ] -> Error (what ^ ": odd token count")
+  in
+  let* ps = pairs [] rest in
+  if List.length ps <> n then Error (what ^ ": length mismatch")
+  else Ok (Array.of_list ps)
 
 let of_line line =
   let tokens =
@@ -110,17 +143,8 @@ let of_line line =
       Ok (Resize { gate; size })
   | "batch" :: n :: rest ->
       let* n = int_of_token n in
-      let rec pairs acc = function
-        | [] -> Ok (List.rev acc)
-        | g :: s :: rest ->
-            let* gate = int_of_token g in
-            let* size = float_of_token s in
-            pairs ((gate, size) :: acc) rest
-        | [ _ ] -> Error "batch: odd token count"
-      in
-      let* ps = pairs [] rest in
-      if List.length ps <> n then Error "batch: length mismatch"
-      else Ok (Batch_resize (Array.of_list ps))
+      let* ps = parse_pairs "batch" n rest in
+      Ok (Batch_resize ps)
   | [ "objective"; "min-delay"; k ] ->
       let* k = float_of_token k in
       Ok (Set_objective (Obj_min_delay k))
@@ -166,6 +190,17 @@ let of_line line =
       let* gate = int_of_token g in
       let* bump = float_of_token b in
       Ok (Corrupt_cache { gate; bump })
+  | [ "serve"; "analyze" ] -> Ok (Serve_request Srv_analyze)
+  | "serve" :: "whatif" :: n :: rest ->
+      let* n = int_of_token n in
+      let* deltas = parse_pairs "serve whatif" n rest in
+      Ok (Serve_request (Srv_whatif deltas))
+  | [ "serve"; "gradient"; "mu" ] -> Ok (Serve_request (Srv_gradient Seed_mu))
+  | [ "serve"; "gradient"; "var" ] -> Ok (Serve_request (Srv_gradient Seed_var))
+  | [ "serve"; "gradient"; "mu-k-sigma"; k ] ->
+      let* k = float_of_token k in
+      Ok (Serve_request (Srv_gradient (Seed_mu_k_sigma k)))
+  | [ "serve"; "degraded" ] -> Ok (Serve_request Srv_degraded)
   | _ -> Error (Printf.sprintf "unparseable op line %S" line)
 
 let circuit_to_line = function

@@ -33,6 +33,24 @@ type fault_kind =
   | Inf_gradient
   | Perturb of float
 
+(** A daemon-path request: the same timing question asked through
+    {!Serve.Exec} against the state's {e own} warm serve target (its
+    committed sizes and persistent engine) rather than the sim's
+    incremental engine.  The serve-soundness invariant demands each
+    answer be bit-identical to a fresh batch evaluation, and that the
+    degraded variant is answered by the flagged mean-only rung. *)
+type serve =
+  | Srv_analyze  (** serve [analyze] at the sim's current sizes *)
+  | Srv_whatif of (int * float) array
+      (** serve [whatif]: (gate, size) deltas against the serve target's
+          committed sizes; indices reduced and sizes clamped like
+          {!Resize} so ops survive shrinking *)
+  | Srv_gradient of seed_kind  (** serve [gradient] at the current sizes *)
+  | Srv_degraded
+      (** serve [analyze] under an already-expired deadline (hand-driven
+          clock, so replay-deterministic): must take the graceful-
+          degradation rung — a flagged mean-only {!Sta.Dsta} answer *)
+
 type t =
   | Resize of { gate : int; size : float }
       (** set one speed factor; the gate index is reduced modulo the gate
@@ -55,6 +73,9 @@ type t =
           add [bump] to the gate's cached arrival mean.  The differential
           invariants must catch this — it is the planted divergence the
           shrinking demo minimizes. *)
+  | Serve_request of serve
+      (** execute one daemon-path request via {!Serve.Exec}; checked by
+          the serve-soundness invariant *)
 
 (** The circuit under test, by name ({!Circuit.Generate.by_name}) or as
     a generated-DAG spec — serialized into traces so a replay rebuilds

@@ -136,6 +136,14 @@ let minimize ?(max_runs = 400) ~run trace0 (fail0 : Harness.failure) =
         [ Op.Corrupt_cache { gate; bump = bump /. 2. } ]
     | Op.Inject_fault { kind; first } when first > 1 ->
         [ Op.Inject_fault { kind; first = 1 } ]
+    | Op.Serve_request (Op.Srv_whatif deltas) when Array.length deltas > 1 ->
+        [
+          Op.Serve_request Op.Srv_analyze;
+          Op.Serve_request
+            (Op.Srv_whatif (Array.sub deltas 0 (Array.length deltas / 2)));
+        ]
+    | Op.Serve_request (Op.Srv_whatif _ | Op.Srv_gradient _) ->
+        [ Op.Serve_request Op.Srv_analyze ]
     | _ -> []
   in
   let shrink_args () =

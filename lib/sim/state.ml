@@ -11,6 +11,7 @@ type t = {
   sizes : float array;  (* current speed factors, old-id order *)
   maxs : float array;
   incr : Sta.Incr.t;  (* the persistent engine under test *)
+  serve : Serve.Exec.target;  (* the daemon execution path under test *)
   scratch : Sta.Arena.t;  (* arena for from-scratch differential sweeps *)
   pools : (int * Util.Pool.t) list;  (* extra domain counts to cross-check *)
   unsized_mu : float;  (* mean delay at all-min sizes: anchors objectives *)
@@ -20,6 +21,7 @@ type t = {
   mutable budget_max_evals : int option;
   mutable last_result : Sta.Ssta.result option;
   mutable last_gradient : (Op.seed_kind * float array) option;
+  mutable last_serve : (Op.serve * Serve.Protocol.payload) option;
   mutable last_solve : Sizing.Engine.solution option;
   mutable last_solve_faults : int;  (* faults fired during the last solve *)
   mutable solves : int;
@@ -40,6 +42,7 @@ let create ?(pools = []) ?incr_pool ~seed ~model net =
     sizes = Array.copy (Circuit.Netlist.min_sizes net);
     maxs = Circuit.Netlist.max_sizes net;
     incr;
+    serve = Serve.Exec.create ~model net;
     scratch;
     pools;
     unsized_mu = Statdelay.Normal.mu unsized.Sta.Ssta.circuit;
@@ -49,6 +52,7 @@ let create ?(pools = []) ?incr_pool ~seed ~model net =
     budget_max_evals = None;
     last_result = None;
     last_gradient = None;
+    last_serve = None;
     last_solve = None;
     last_solve_faults = 0;
     solves = 0;
@@ -89,6 +93,49 @@ let clamp_size t g size =
 let set_size t gate size =
   let g = resolve_gate t gate in
   t.sizes.(g) <- clamp_size t g size
+
+let resolve_deltas t deltas =
+  Array.map
+    (fun (g, s) ->
+      let g = resolve_gate t g in
+      (g, clamp_size t g s))
+    deltas
+
+let protocol_seed = function
+  | Op.Seed_mu -> Serve.Protocol.Seed_mu
+  | Op.Seed_var -> Serve.Protocol.Seed_var
+  | Op.Seed_mu_k_sigma k -> Serve.Protocol.Seed_mu_k_sigma k
+
+(* An already-expired budget on a hand-driven clock: creation reads the
+   first tick, every later probe a strictly larger instant, so the
+   zero-second deadline is deterministically past — no wall clock, so
+   replays degrade at the same op on any machine. *)
+let expired_budget () =
+  let t = ref 0 in
+  Util.Guard.budget
+    ~now:(fun () ->
+      incr t;
+      !t)
+    ~deadline:0. ()
+
+let serve_request t req =
+  let explicit () = Serve.Protocol.Explicit (Array.copy t.sizes) in
+  let payload =
+    match req with
+    | Op.Srv_analyze ->
+        Serve.Exec.exec t.serve (Serve.Protocol.Analyze { sizes = explicit () })
+    | Op.Srv_whatif deltas ->
+        Serve.Exec.exec t.serve
+          (Serve.Protocol.Whatif { deltas = resolve_deltas t deltas })
+    | Op.Srv_gradient kind ->
+        Serve.Exec.exec t.serve
+          (Serve.Protocol.Gradient
+             { sizes = explicit (); seed = protocol_seed kind })
+    | Op.Srv_degraded ->
+        Serve.Exec.exec ~budget:(expired_budget ()) t.serve
+          (Serve.Protocol.Analyze { sizes = explicit () })
+  in
+  t.last_serve <- Some (req, payload)
 
 let solve t =
   let plan =
@@ -155,6 +202,7 @@ let apply t op =
       t.budget_deadline <- deadline;
       t.budget_max_evals <- max_evals
   | Op.Solve -> solve t
+  | Op.Serve_request req -> serve_request t req
   | Op.Corrupt_cache { gate; bump } ->
       (* Fault-inject the engine's cached state: poke the arrival-mean
          plane of the incremental arena.  A cold or invalidated engine

@@ -10,6 +10,10 @@ type t = {
   sizes : float array;  (** current speed factors, old-id order *)
   maxs : float array;
   incr : Sta.Incr.t;  (** the persistent engine under test *)
+  serve : Serve.Exec.target;
+      (** the daemon execution path under test: its own committed sizes
+          (all-minimum; the sim issues no size requests) and persistent
+          engine, driven by {!Op.Serve_request} ops *)
   scratch : Sta.Arena.t;  (** arena for from-scratch differential sweeps *)
   pools : (int * Util.Pool.t) list;
       (** extra [(domains, pool)] configurations the differential
@@ -26,6 +30,9 @@ type t = {
   mutable last_gradient : (Op.seed_kind * float array) option;
       (** last [Gradient]: the seed kind and the incremental engine's
           gradient, for differential checking *)
+  mutable last_serve : (Op.serve * Serve.Protocol.payload) option;
+      (** last {!Op.Serve_request} and the payload {!Serve.Exec.exec}
+          answered, for the serve-soundness invariant *)
   mutable last_solve : Sizing.Engine.solution option;
   mutable last_solve_faults : int;  (** faults fired during the last solve *)
   mutable solves : int;
@@ -56,3 +63,9 @@ val apply : t -> Op.t -> unit
 val seed_fun : Op.seed_kind -> Sta.Ssta.result -> Sta.Ssta.seed
 (** The adjoint seed an {!Op.Gradient} op queries, shared with the
     invariant suite's recomputations. *)
+
+val resolve_deltas : t -> (int * float) array -> (int * float) array
+(** The (gate, size) deltas an {!Op.Srv_whatif} actually submits: gate
+    indices reduced modulo the gate count, sizes clamped into the
+    gate's box — exposed so the serve-soundness invariant recomputes
+    the identical what-if question. *)

@@ -15,13 +15,20 @@ let pp_stop ppf = function
 
 exception Out_of_budget of stop
 
+(* Deadlines are measured on the process monotonic clock (Instr.now_ns,
+   CLOCK_MONOTONIC), never the wall clock: an NTP step or a suspended
+   laptop must not expire — or resurrect — a budget.  The clock source
+   is injectable per budget so tests can drive time by hand. *)
+let monotonic_now = Instr.now_ns
+
 type budget = {
   deadline_ns : int option;  (* absolute monotonic-clock instant *)
   max_evals : int option;
   mutable ticked : int;
+  now : unit -> int;  (* clock source; [monotonic_now] unless injected *)
 }
 
-let budget ?deadline ?max_evals () =
+let budget ?(now = monotonic_now) ?deadline ?max_evals () =
   (match deadline with
   | Some d when not (is_finite d) || d < 0. ->
       invalid_arg "Guard.budget: deadline must be finite and non-negative"
@@ -30,10 +37,10 @@ let budget ?deadline ?max_evals () =
   | Some m when m < 0 -> invalid_arg "Guard.budget: max_evals must be non-negative"
   | _ -> ());
   {
-    deadline_ns =
-      Option.map (fun d -> Instr.now_ns () + int_of_float (d *. 1e9)) deadline;
+    deadline_ns = Option.map (fun d -> now () + int_of_float (d *. 1e9)) deadline;
     max_evals;
     ticked = 0;
+    now;
   }
 
 let exhausted b =
@@ -41,7 +48,7 @@ let exhausted b =
   | Some m when b.ticked >= m -> Some Eval_budget
   | _ -> (
       match b.deadline_ns with
-      | Some t when Instr.now_ns () > t -> Some Deadline
+      | Some t when b.now () > t -> Some Deadline
       | _ -> None)
 
 let tick b =
@@ -53,7 +60,7 @@ let used b = b.ticked
 
 let remaining_seconds b =
   Option.map
-    (fun t -> Float.max 0. (float_of_int (t - Instr.now_ns ()) /. 1e9))
+    (fun t -> Float.max 0. (float_of_int (t - b.now ()) /. 1e9))
     b.deadline_ns
 
 let remaining_evals b = Option.map (fun m -> max 0 (m - b.ticked)) b.max_evals

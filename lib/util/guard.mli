@@ -16,7 +16,14 @@
     {!tick} raises {!Out_of_budget} at the first evaluation past the
     limit, and the solvers ({!Nlp.Lbfgs}, {!Nlp.Newton}, {!Nlp.Auglag})
     catch it and return their best-so-far iterate with a [Deadline]
-    termination reason. *)
+    termination reason.
+
+    Deadlines are accounted on the process {e monotonic} clock
+    ({!monotonic_now}, i.e. [CLOCK_MONOTONIC]), never
+    [Unix.gettimeofday]: a wall-clock step (NTP slew, suspend/resume,
+    manual date change) can neither expire a budget early nor extend
+    it.  The clock source is injectable per budget ([?now]) so tests
+    can drive time deterministically. *)
 
 val is_finite : float -> bool
 (** [false] exactly for NaN and the two infinities. *)
@@ -39,10 +46,19 @@ exception Out_of_budget of stop
 type budget
 (** Mutable budget token.  A budget with neither limit never stops. *)
 
-val budget : ?deadline:float -> ?max_evals:int -> unit -> budget
-(** [budget ?deadline ?max_evals ()] starts the wall clock now:
-    [deadline] is in seconds from this call (monotonic clock),
-    [max_evals] bounds the number of successful {!tick}s. *)
+val monotonic_now : unit -> int
+(** The default clock source: {!Instr.now_ns} ([CLOCK_MONOTONIC],
+    nanoseconds).  Exposed so callers can mix their own readings with
+    budget arithmetic on the same time base. *)
+
+val budget :
+  ?now:(unit -> int) -> ?deadline:float -> ?max_evals:int -> unit -> budget
+(** [budget ?deadline ?max_evals ()] starts the clock now: [deadline]
+    is in seconds from this call, [max_evals] bounds the number of
+    successful {!tick}s.  [now] (default {!monotonic_now}) is the clock
+    the budget reads at creation and at every probe — inject a fake for
+    deterministic deadline tests; production callers should leave the
+    monotonic default so budgets survive wall-clock steps. *)
 
 val tick : budget -> unit
 (** Accounts for one evaluation.  Raises {!Out_of_budget} — {e before}

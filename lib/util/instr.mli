@@ -56,6 +56,24 @@ val now_ns : unit -> int
 (** Monotonic clock reading in nanoseconds (works regardless of
     {!enabled}); useful for ad-hoc wall-clock measurement. *)
 
+(** {1 Histograms}
+
+    Fixed log-spaced latency histograms (bucket upper bounds from 100 µs
+    to 3 s plus an overflow bucket), one atomic increment per
+    observation.  The timing-service daemon ({!Serve.Server}) keeps one
+    per request kind. *)
+
+type histogram
+
+val histogram : string -> histogram
+(** Interns (or retrieves) the histogram named [name]. *)
+
+val observe_ns : histogram -> int -> unit
+(** Records one duration in nanoseconds (no-op while disabled). *)
+
+val observations : histogram -> int
+(** Observations recorded so far. *)
+
 (** {1 Reporting} *)
 
 type timed = {
@@ -65,19 +83,34 @@ type timed = {
   promoted_words : int;  (** words promoted to the major heap inside it *)
 }
 
+type hist = {
+  observations : int;
+  sum_seconds : float;
+  buckets : (float * int) list;
+      (** cumulative-style [(upper_bound_seconds, count)] per bucket, the
+          last bound [infinity]; counts are per-bucket, not cumulative *)
+}
+
 type snapshot = {
   counters : (string * int) list;  (** sorted by name *)
   timers : (string * timed) list;  (** sorted by name *)
+  histograms : (string * hist) list;  (** sorted by name *)
 }
 
-val snapshot : unit -> snapshot
-(** Registered counters and timers with non-zero activity. *)
+val snapshot : ?all:bool -> unit -> snapshot
+(** Registered counters, timers and histograms with non-zero activity.
+    [~all:true] also includes zero-valued entries, so a profile dump
+    records every registered instrument — a counter that {e stayed} zero
+    (no recoveries engaged, no requests shed) is evidence, not noise. *)
 
 val to_json : snapshot -> string
 (** The snapshot as a JSON object:
     [{"counters": {name: count, ...},
       "timers": {name: {"calls": n, "seconds": s,
-                        "minor_words": w, "promoted_words": p}, ...}}]. *)
+                        "minor_words": w, "promoted_words": p}, ...},
+      "histograms": {name: {"observations": n, "sum_seconds": s,
+                            "buckets": [{"le": b, "count": c}, ...]}, ...}}].
+    The overflow bucket's bound renders as the string ["inf"]. *)
 
 val pp : Format.formatter -> snapshot -> unit
 (** Human-readable two-column rendering. *)

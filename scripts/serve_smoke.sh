@@ -1,0 +1,104 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the statsize timing daemon: starts `statsize serve`
+# on a Unix socket with an always-NaN fault plan wired into every solve,
+# drives one scripted client session through every robustness path —
+# served analyze/whatif, typed breakdown from the injected fault, a
+# graceful-degradation reply and a typed timeout from hopeless
+# deadlines, quarantine after the breaker trips, a stats snapshot — then
+# SIGTERMs the daemon and asserts the drain: exit status 0, one reply
+# per request, typed error codes where expected, and a final counter
+# line satisfying submitted = served + degraded + shed + refused.
+#
+# Usage: scripts/serve_smoke.sh [path-to-statsize]
+# (defaults to the dune build; run `dune build bin/statsize.exe` first,
+# or pass a binary.)
+set -u
+
+STATSIZE="${1:-_build/default/bin/statsize.exe}"
+if [ ! -x "$STATSIZE" ]; then
+  echo "serve_smoke: $STATSIZE not found or not executable" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d)"
+SOCK="$WORK/statsize.sock"
+DAEMON_ERR="$WORK/daemon.stderr"
+REPLIES="$WORK/replies.jsonl"
+trap 'kill "$DAEMON_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+fail() {
+  echo "serve_smoke: FAIL: $*" >&2
+  echo "---- daemon stderr ----" >&2
+  cat "$DAEMON_ERR" >&2 || true
+  echo "---- replies ----" >&2
+  cat "$REPLIES" >&2 || true
+  exit 1
+}
+
+# Breaker threshold 2: the two faulted solves trip it, the third size
+# request must come back quarantined.
+"$STATSIZE" serve --circuits fig2,tree --socket "$SOCK" \
+  --breaker-threshold 2 --fault nan-value@always 2>"$DAEMON_ERR" &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+  [ -S "$SOCK" ] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died before creating socket"
+  sleep 0.1
+done
+[ -S "$SOCK" ] || fail "socket $SOCK never appeared"
+
+# The scripted session.  recovery:false keeps the faulted solves cheap:
+# one breakdown each, no ladder.
+"$STATSIZE" serve --connect "$SOCK" >"$REPLIES" <<'EOF'
+{"op":"analyze","id":1,"circuit":"tree"}
+{"op":"whatif","id":2,"circuit":"tree","deltas":[[0,2.0]]}
+{"op":"size","id":3,"circuit":"fig2","objective":{"kind":"min-delay","k":3},"recovery":false,"max_evals":400}
+{"op":"size","id":4,"circuit":"fig2","objective":{"kind":"min-delay","k":3},"recovery":false,"max_evals":400}
+{"op":"size","id":5,"circuit":"fig2","objective":{"kind":"min-delay","k":3},"recovery":false,"max_evals":400}
+{"op":"analyze","id":6,"circuit":"tree","deadline_ms":0.000001}
+{"op":"gradient","id":7,"circuit":"tree","seed":"mu","deadline_ms":0.000001}
+{"op":"analyze","id":8,"circuit":"nowhere"}
+{"op":"stats","id":9}
+EOF
+CLIENT_STATUS=$?
+[ "$CLIENT_STATUS" -eq 0 ] || fail "client exited $CLIENT_STATUS"
+
+# One reply line per request.
+N_REPLIES=$(wc -l <"$REPLIES")
+[ "$N_REPLIES" -eq 9 ] || fail "expected 9 replies, got $N_REPLIES"
+
+expect() { # expect <id> <pattern> <label>
+  grep -F "\"id\":$1," "$REPLIES" | grep -qF "$2" \
+    || fail "reply $1 lacks $2 ($3)"
+}
+
+expect 1 '"ok":true'             "analyze served"
+expect 1 '"degraded":false'      "analyze not degraded"
+expect 2 '"ok":true'             "whatif served"
+expect 3 '"code":"breakdown"'    "faulted size -> typed breakdown"
+expect 4 '"code":"breakdown"'    "second faulted size -> typed breakdown"
+expect 5 '"code":"quarantined"'  "breaker tripped -> quarantined"
+expect 6 '"degraded":true'       "hopeless-deadline analyze degrades"
+expect 7 '"code":"timeout"'      "hopeless-deadline gradient -> typed timeout"
+expect 8 '"code":"unknown_circuit"' "unknown circuit -> typed error"
+expect 9 '"ok":true'             "stats served"
+expect 9 '"submitted"'           "stats carries the conservation counters"
+expect 9 '"breakers"'            "stats carries breaker states"
+
+# SIGTERM: clean drain, exit 0, final counter line balances.
+kill -TERM "$DAEMON_PID"
+DAEMON_STATUS=0
+wait "$DAEMON_PID" || DAEMON_STATUS=$?
+[ "$DAEMON_STATUS" -eq 0 ] || fail "daemon exited $DAEMON_STATUS on SIGTERM"
+
+COUNTS=$(grep -o 'drained; [0-9]* submitted = [0-9]* served + [0-9]* degraded + [0-9]* shed + [0-9]* refused' "$DAEMON_ERR") \
+  || fail "daemon printed no drain counter line"
+read -r SUB SRV DEG SHD REF <<<"$(echo "$COUNTS" | grep -o '[0-9]*' | tr '\n' ' ')"
+[ "$SUB" -eq 9 ] || fail "daemon counted $SUB submitted, expected 9"
+[ "$SUB" -eq $((SRV + DEG + SHD + REF)) ] \
+  || fail "conservation violated: $SUB != $SRV + $DEG + $SHD + $REF"
+[ "$DEG" -eq 1 ] || fail "expected exactly 1 degraded, got $DEG"
+[ "$SRV" -eq 3 ] || fail "expected 3 served (analyze, whatif, stats), got $SRV"
+
+echo "serve_smoke: OK ($SUB submitted = $SRV served + $DEG degraded + $SHD shed + $REF refused)"

@@ -24,6 +24,10 @@ let sample_ops =
     Sim.Op.Set_budget { deadline = Some 0.125; max_evals = None };
     Sim.Op.Solve;
     Sim.Op.Corrupt_cache { gate = 89; bump = 0.7278906 };
+    Sim.Op.Serve_request Sim.Op.Srv_analyze;
+    Sim.Op.Serve_request (Sim.Op.Srv_whatif [| (4, 2.5); (19, 1.25) |]);
+    Sim.Op.Serve_request (Sim.Op.Srv_gradient (Sim.Op.Seed_mu_k_sigma 3.));
+    Sim.Op.Serve_request Sim.Op.Srv_degraded;
   ]
 
 let test_op_line_roundtrip () =
@@ -157,6 +161,7 @@ let test_satellite_invariants_registered () =
       "corner-envelope";
       "cssta-vs-ssta";
       "recovery-sound";
+      "serve-sound";
       "monotone-counters";
       "words-per-eval";
     ]
@@ -183,6 +188,51 @@ let test_fault_injected_solve () =
       Alcotest.fail (Sim.Harness.describe_failure ~seed:21 ~circuit ~n_ops:7 f));
   Alcotest.(check int) "two solves ran" 2 report.Sim.Harness.solves;
   Alcotest.(check bool) "faults fired" true (report.Sim.Harness.faults_fired >= 2)
+
+(* Directed serve-op run: daemon-path requests interleaved with resizes
+   must pass the serve-soundness invariant (bit-identity against batch,
+   correctly-typed degradation) on every one of them — including right
+   after the engines diverge in warmth (the serve target never saw the
+   intermediate sizes the sim engine did). *)
+let test_serve_ops_sound () =
+  let circuit = Sim.Op.Named "tree" in
+  let ops =
+    [
+      Sim.Op.Serve_request Sim.Op.Srv_analyze;
+      Sim.Op.Resize { gate = 2; size = 2.5 };
+      Sim.Op.Serve_request Sim.Op.Srv_analyze;
+      Sim.Op.Serve_request (Sim.Op.Srv_whatif [| (0, 3.0); (5, 1.5) |]);
+      Sim.Op.Serve_request (Sim.Op.Srv_gradient Sim.Op.Seed_mu);
+      Sim.Op.Serve_request (Sim.Op.Srv_gradient (Sim.Op.Seed_mu_k_sigma 3.));
+      Sim.Op.Batch_resize [| (1, 1.75); (4, 2.0) |];
+      Sim.Op.Serve_request Sim.Op.Srv_degraded;
+      Sim.Op.Serve_request Sim.Op.Srv_analyze;
+    ]
+  in
+  match (Sim.Harness.run ~seed:13 ~circuit ops).Sim.Harness.outcome with
+  | Sim.Harness.Passed -> ()
+  | Sim.Harness.Failed f ->
+      Alcotest.fail (Sim.Harness.describe_failure ~seed:13 ~circuit ~n_ops:9 f)
+
+(* The default mix actually exercises the daemon path: serve ops must
+   appear in generated sequences, including the degraded variant. *)
+let test_generator_emits_serve_ops () =
+  let net = Sim.Gen.instantiate small_dag in
+  let ops =
+    Sim.Gen.sequence ~net ~seed:1
+      { Sim.Gen.default with Sim.Gen.circuit = small_dag; n_ops = 150 }
+  in
+  let serves =
+    List.filter_map
+      (function Sim.Op.Serve_request r -> Some r | _ -> None)
+      ops
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "serve ops generated (got %d)" (List.length serves))
+    true
+    (List.length serves > 0);
+  Alcotest.(check bool) "the degraded variant appears" true
+    (List.exists (function Sim.Op.Srv_degraded -> true | _ -> false) serves)
 
 (* Shrinker mechanics against a synthetic failure predicate: "fails iff
    the op list still contains a Corrupt_cache op" — minimal is 1 op. *)
@@ -325,6 +375,9 @@ let () =
           Alcotest.test_case "satellite invariants registered" `Quick
             test_satellite_invariants_registered;
           Alcotest.test_case "fault-injected solve" `Quick test_fault_injected_solve;
+          Alcotest.test_case "serve ops sound" `Quick test_serve_ops_sound;
+          Alcotest.test_case "generator emits serve ops" `Quick
+            test_generator_emits_serve_ops;
         ] );
       ( "shrinking",
         [

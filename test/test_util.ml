@@ -242,6 +242,43 @@ let test_fmt_float () =
   Alcotest.(check string) "default" "1.23" (Util.Table.fmt_float 1.234);
   Alcotest.(check string) "decimals" "1.2340" (Util.Table.fmt_float ~decimals:4 1.234)
 
+(* ---- Guard budgets (injectable clock) ----------------------------------------- *)
+
+(* Deadlines on a hand-driven clock: expiry is exact at the nanosecond,
+   tick raises past it, remaining time clamps at zero. *)
+let test_guard_injected_clock () =
+  let clock = ref 0 in
+  let b = Util.Guard.budget ~now:(fun () -> !clock) ~deadline:1.0 () in
+  Alcotest.(check bool)
+    "fresh budget live" true
+    (Util.Guard.exhausted b = None);
+  clock := 999_999_999;
+  Alcotest.(check bool) "1 ns inside" true (Util.Guard.exhausted b = None);
+  (match Util.Guard.remaining_seconds b with
+  | Some s -> check_float ~eps:1e-15 "1 ns left" 1e-9 s
+  | None -> Alcotest.fail "deadline budget reports no remaining time");
+  clock := 1_000_000_001;
+  Alcotest.(check bool)
+    "1 ns past" true
+    (Util.Guard.exhausted b = Some Util.Guard.Deadline);
+  (match Util.Guard.remaining_seconds b with
+  | Some s -> check_float "clamped at zero" 0. s
+  | None -> Alcotest.fail "deadline budget reports no remaining time");
+  Alcotest.check_raises "tick raises past the deadline"
+    (Util.Guard.Out_of_budget Util.Guard.Deadline) (fun () ->
+      Util.Guard.tick b)
+
+(* The default clock source is monotonic: readings never decrease, so a
+   budget can never be resurrected by a wall-clock step. *)
+let test_guard_monotonic_now () =
+  let prev = ref (Util.Guard.monotonic_now ()) in
+  for _ = 1 to 1000 do
+    let t = Util.Guard.monotonic_now () in
+    if t < !prev then
+      Alcotest.failf "monotonic clock went backwards: %d -> %d" !prev t;
+    prev := t
+  done
+
 (* ---- Numerics ----------------------------------------------------------------- *)
 
 let test_clamp () =
@@ -322,6 +359,12 @@ let () =
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "padding and errors" `Quick test_table_pad_and_errors;
           Alcotest.test_case "fmt_float" `Quick test_fmt_float;
+        ] );
+      ( "guard",
+        [
+          Alcotest.test_case "injected clock" `Quick test_guard_injected_clock;
+          Alcotest.test_case "monotonic clock source" `Quick
+            test_guard_monotonic_now;
         ] );
       ( "numerics",
         [
