@@ -259,6 +259,137 @@ let run_resilience () =
       Util.Table.print t;
       print_newline ())
 
+(* ---- GP cross-check ----------------------------------------------------------- *)
+
+(* Differential table for the geometric-programming backend: GP vs the
+   deterministic greedy at equal area (the GP can never be slower on the
+   mean model — it is the global optimum), the GP-vs-augmented-Lagrangian
+   objective gap at sigma = 0 (the statistical problem at sigma = 0 IS
+   the GP, so the two solvers must agree), and the warm-start evaluation
+   savings on apex2*.  Exits non-zero when a certificate fails or the
+   warm start stops saving evaluations, so CI can use this section as a
+   regression smoke test. *)
+let run_gp () =
+  section "Geometric programming: GP vs greedy, GP vs auglag, warm starts" (fun () ->
+      let failed = ref false in
+      let flag fmt = Printf.ksprintf (fun s -> failed := true; Printf.printf "FAIL %s\n" s) fmt in
+      let circuits =
+        [ ("fig2", Some (Circuit.Generate.example_fig2 ()));
+          ("tree", Some (Circuit.Generate.tree ()));
+          ( "cla4",
+            (match
+               List.find_opt Sys.file_exists
+                 [ "examples/cla4.bench"; "../examples/cla4.bench" ]
+             with
+            | None -> None
+            | Some p -> (
+                match
+                  Circuit.Bench_format.parse_file
+                    ~library:(Circuit.Cell.Library.default ()) p
+                with
+                | Ok net -> Some net
+                | Error _ -> None)) );
+          ("apex2*", Some (Circuit.Generate.apex2_like ()));
+        ]
+      in
+      let t =
+        Util.Table.create
+          ~header:
+            [ "circuit"; "greedy delay"; "GP delay"; "KKT res"; "gap m/t"; "newton"; "s" ]
+      in
+      List.iter
+        (fun (name, net) ->
+          match net with
+          | None -> Printf.printf "(%s: circuit file not found, skipped)\n" name
+          | Some net ->
+              let base = Sizing.Baseline.minimize_delay net in
+              let sol =
+                Sizing.Gp.solve net
+                  (Sizing.Gp.Min_delay { area_budget = Some base.Sizing.Baseline.area })
+              in
+              (match sol.Sizing.Gp.status with
+              | Sizing.Gp.Optimal -> ()
+              | _ -> flag "%s: GP not optimal at equal area" name);
+              let res = Nlp.Check.kkt_residual sol.Sizing.Gp.kkt in
+              if res >= 1e-6 then flag "%s: KKT residual %.3e >= 1e-6" name res;
+              if sol.Sizing.Gp.mean_delay > base.Sizing.Baseline.delay *. (1. +. 1e-6)
+              then
+                flag "%s: GP delay %.6f > greedy %.6f at equal area" name
+                  sol.Sizing.Gp.mean_delay base.Sizing.Baseline.delay;
+              Util.Table.add_row t
+                [
+                  name;
+                  Printf.sprintf "%.4f" base.Sizing.Baseline.delay;
+                  Printf.sprintf "%.4f" sol.Sizing.Gp.mean_delay;
+                  Printf.sprintf "%.1e" res;
+                  Printf.sprintf "%.1e" sol.Sizing.Gp.duality_gap;
+                  string_of_int sol.Sizing.Gp.newton_iterations;
+                  Printf.sprintf "%.3f" sol.Sizing.Gp.wall_time;
+                ])
+        circuits;
+      Util.Table.print t;
+      print_newline ();
+      (* At sigma = 0 the statistical min-delay problem IS the mean GP:
+         the two independently-built solvers must land on the same
+         objective (the auglag solve is local, the GP is global with a
+         certificate, so agreement cross-validates both). *)
+      List.iter
+        (fun (name, net) ->
+          match net with
+          | None -> ()
+          | Some net ->
+              let s =
+                Sizing.Engine.solve ~model:Circuit.Sigma_model.Zero net
+                  (Sizing.Objective.Min_delay 0.)
+              in
+              let sw =
+                Sizing.Engine.solve
+                  ~options:
+                    { Sizing.Engine.default_options with Sizing.Engine.warm_start = `Gp }
+                  ~model:Circuit.Sigma_model.Zero net (Sizing.Objective.Min_delay 0.)
+              in
+              let g = Sizing.Gp.solve net (Sizing.Gp.Min_delay { area_budget = None }) in
+              let gap mu = (mu -. g.Sizing.Gp.mean_delay) /. g.Sizing.Gp.mean_delay in
+              Printf.printf
+                "%-7s sigma=0: GP %.6f, auglag cold %+.2e, auglag GP-warm %+.2e\n" name
+                g.Sizing.Gp.mean_delay
+                (gap s.Sizing.Engine.mu)
+                (gap sw.Sizing.Engine.mu);
+              (* The GP optimum is global: the local solver can land above
+                 it (apex2* cold is ~1.2% high - a real local minimum) but
+                 can never beat it, and warm-started at the GP point it
+                 must stay there. *)
+              if gap s.Sizing.Engine.mu < -1e-4 then
+                flag "%s: auglag beat the 'global' GP by %.2e - GP optimum is wrong"
+                  name (gap s.Sizing.Engine.mu);
+              if Float.abs (gap sw.Sizing.Engine.mu) > 1e-3 then
+                flag "%s: GP-warm-started auglag drifted %.2e off the GP optimum" name
+                  (gap sw.Sizing.Engine.mu))
+        circuits;
+      print_newline ();
+      (* Warm-start savings: solver evaluations to converge on apex2*,
+         cold vs GP-warm-started (the GP's own Newton iterations are not
+         solver evaluations - its cost shows in the table above). *)
+      let net = Circuit.Generate.apex2_like () in
+      let obj = Sizing.Objective.Min_delay 3. in
+      let cold = Sizing.Engine.solve ~model net obj in
+      let warm =
+        Sizing.Engine.solve
+          ~options:{ Sizing.Engine.default_options with Sizing.Engine.warm_start = `Gp }
+          ~model net obj
+      in
+      Printf.printf
+        "apex2* min mu+3sigma: cold %d evaluations (mu %.4f), GP-warm %d evaluations \
+         (mu %.4f)\n"
+        cold.Sizing.Engine.evaluations cold.Sizing.Engine.mu
+        warm.Sizing.Engine.evaluations warm.Sizing.Engine.mu;
+      if not (cold.Sizing.Engine.converged && warm.Sizing.Engine.converged) then
+        flag "apex2*: warm-start comparison did not converge on both paths";
+      if warm.Sizing.Engine.evaluations >= cold.Sizing.Engine.evaluations then
+        flag "apex2*: GP warm start no longer saves evaluations (%d >= %d)"
+          warm.Sizing.Engine.evaluations cold.Sizing.Engine.evaluations;
+      if !failed then exit 1)
+
 (* ---- incremental re-timing --------------------------------------------------- *)
 
 (* Runs the paper's area-minimisation solve twice — once re-timing every
@@ -1006,7 +1137,7 @@ let run_json ~out ~sizes () =
 let usage () =
   Printf.eprintf
     "usage: main.exe [--jobs N] [--out FILE] [--sizes N,N,...] \
-     [all|tables|micro|parallel|arena|mcsta|resilience|incremental|serve|table1|table2|table3|example|yield|mc|corner|ablation|extensions|scale|json]...\n"
+     [all|tables|micro|parallel|arena|mcsta|resilience|gp|incremental|serve|table1|table2|table3|example|yield|mc|corner|ablation|extensions|scale|json]...\n"
 
 let () =
   let out = ref None and size_list = ref [] in
@@ -1053,6 +1184,7 @@ let () =
         run_parallel ~jobs ();
         run_arena ();
         run_mcsta ~jobs ();
+        run_gp ();
         run_incremental ?pool ();
         run_micro ()
     | "tables" -> run_tables ?pool ()
@@ -1061,6 +1193,7 @@ let () =
     | "arena" -> run_arena ()
     | "mcsta" -> run_mcsta ~jobs ()
     | "resilience" -> run_resilience ()
+    | "gp" -> run_gp ()
     | "serve" -> run_serve ()
     | "incremental" -> run_incremental ?pool ()
     | "table1" -> run_table1 ?pool ()

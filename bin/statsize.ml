@@ -237,7 +237,8 @@ let objective_of ~objective ~k ~bound ~mu =
 
 let size_cmd =
   let run circuit blif bench library_file wire_load sigma_ratio objective k bound mu
-      print_sizes mc deadline max_evals no_recovery no_incremental jobs profile =
+      print_sizes mc deadline max_evals no_recovery no_incremental warm_start jobs
+      profile =
     match load_circuit ~blif ~bench ~library_file ~circuit ~wire_load with
     | Error msg ->
         Printf.eprintf "statsize: %s\n" msg;
@@ -258,6 +259,18 @@ let size_cmd =
                 Printf.eprintf "statsize: --max-evals must be positive\n";
                 exit 1
             | _ -> ());
+            let warm =
+              match warm_start with
+              | "none" -> `None
+              | "gp" -> `Gp
+              | "baseline" -> `Baseline
+              | s ->
+                  Printf.eprintf
+                    "statsize: unknown --warm-start %S (expected none, gp or \
+                     baseline)\n"
+                    s;
+                  exit 1
+            in
             with_runtime ~jobs ~profile @@ fun pool ->
             let model = model_of_ratio sigma_ratio in
             let options =
@@ -267,6 +280,7 @@ let size_cmd =
                 Sizing.Engine.max_evaluations = max_evals;
                 Sizing.Engine.recovery = not no_recovery;
                 Sizing.Engine.incremental = not no_incremental;
+                Sizing.Engine.warm_start = warm;
               }
             in
             let s = Sizing.Engine.solve ~options ?pool ~model net obj in
@@ -344,14 +358,117 @@ let size_cmd =
     in
     Arg.(value & flag & info [ "no-incremental" ] ~doc)
   in
+  let warm_start_arg =
+    let doc =
+      "Start the solve from a surrogate's solution: 'gp' solves the mean-model \
+       geometric program first (globally optimal on the mean), 'baseline' runs \
+       the deterministic greedy, 'none' (default) uses the standard start."
+    in
+    Arg.(value & opt string "none" & info [ "warm-start" ] ~docv:"KIND" ~doc)
+  in
   let term =
     Term.(
       const run $ circuit_arg $ blif_arg $ bench_arg $ library_arg $ wire_load_arg
       $ sigma_ratio_arg $ objective_arg $ k_arg $ bound_arg $ mu_arg $ print_sizes_arg
       $ mc_arg $ deadline_arg $ max_evals_arg $ no_recovery_arg $ no_incremental_arg
-      $ jobs_arg $ profile_arg)
+      $ warm_start_arg $ jobs_arg $ profile_arg)
   in
   Cmd.v (Cmd.info "size" ~doc:"Solve a statistical gate sizing problem") term
+
+(* ---- gp ------------------------------------------------------------------------ *)
+
+let gp_cmd =
+  let run circuit blif bench library_file wire_load bound area_budget equal_area
+      print_sizes jobs profile =
+    match load_circuit ~blif ~bench ~library_file ~circuit ~wire_load with
+    | Error msg ->
+        Printf.eprintf "statsize: %s\n" msg;
+        exit 1
+    | Ok net ->
+        let gp_obj =
+          match (bound, area_budget, equal_area) with
+          | Some _, Some _, _ | Some _, _, true | _, Some _, true ->
+              Printf.eprintf
+                "statsize: --bound, --area-budget and --equal-area are mutually \
+                 exclusive\n";
+              exit 1
+          | Some d, None, false -> Sizing.Gp.Min_area { delay_bound = d }
+          | None, Some a, false -> Sizing.Gp.Min_delay { area_budget = Some a }
+          | None, None, true ->
+              (* Equal-area differential: budget the GP at the greedy
+                 baseline's area so the two are directly comparable. *)
+              let base = Sizing.Baseline.minimize_delay net in
+              Sizing.Gp.Min_delay { area_budget = Some base.Sizing.Baseline.area }
+          | None, None, false -> Sizing.Gp.Min_delay { area_budget = None }
+        in
+        with_runtime ~jobs ~profile @@ fun _pool ->
+        let sol = Sizing.Gp.solve net gp_obj in
+        let describe =
+          match gp_obj with
+          | Sizing.Gp.Min_delay { area_budget = None } -> "min mean delay"
+          | Sizing.Gp.Min_delay { area_budget = Some a } ->
+              Printf.sprintf "min mean delay s.t. area <= %g" a
+          | Sizing.Gp.Min_area { delay_bound = d } ->
+              Printf.sprintf "min area s.t. mean delay <= %g" d
+        in
+        Printf.printf "GP %s on %s (%d gates)\n" describe (Circuit.Netlist.name net)
+          (Circuit.Netlist.n_gates net);
+        Printf.printf "  status          %s\n"
+          (match sol.Sizing.Gp.status with
+          | Sizing.Gp.Optimal -> "optimal"
+          | Sizing.Gp.Infeasible -> "infeasible"
+          | Sizing.Gp.Stalled -> "stalled");
+        Printf.printf "  mean delay      %.6f  (epigraph T %.6f)\n"
+          sol.Sizing.Gp.mean_delay sol.Sizing.Gp.delay;
+        Printf.printf "  area            %.3f\n" sol.Sizing.Gp.area;
+        Printf.printf "  problem         %d variables, %d constraints\n"
+          sol.Sizing.Gp.n_variables sol.Sizing.Gp.n_constraints;
+        Printf.printf "  barrier         %d centerings, %d Newton iterations\n"
+          sol.Sizing.Gp.centerings sol.Sizing.Gp.newton_iterations;
+        Printf.printf "  duality gap     %.3e\n" sol.Sizing.Gp.duality_gap;
+        Format.printf "  KKT certificate %a@." Nlp.Check.pp_kkt sol.Sizing.Gp.kkt;
+        Printf.printf "  wall time       %.3f s\n" sol.Sizing.Gp.wall_time;
+        if print_sizes then
+          Array.iter
+            (fun (g : Circuit.Netlist.gate) ->
+              Printf.printf "  S_%s = %.3f\n" g.Circuit.Netlist.gate_name
+                sol.Sizing.Gp.sizes.(g.Circuit.Netlist.id))
+            (Circuit.Netlist.gates net);
+        (* Anything short of a certified optimum is a failure exit for
+           scripts, mirroring `statsize size`. *)
+        (match sol.Sizing.Gp.status with Sizing.Gp.Optimal -> () | _ -> exit 2)
+  in
+  let bound_arg =
+    let doc = "Minimise area subject to mean delay <= $(docv) (the GP min-area form)." in
+    Arg.(value & opt (some float) None & info [ "bound" ] ~docv:"D" ~doc)
+  in
+  let area_budget_arg =
+    let doc = "Minimise mean delay subject to total area <= $(docv)." in
+    Arg.(value & opt (some float) None & info [ "area-budget" ] ~docv:"A" ~doc)
+  in
+  let equal_area_arg =
+    let doc =
+      "Minimise mean delay at the deterministic baseline's area: the \
+       equal-area GP-vs-greedy differential."
+    in
+    Arg.(value & flag & info [ "equal-area" ] ~doc)
+  in
+  let print_sizes_arg =
+    let doc = "Print the per-gate speed factors." in
+    Arg.(value & flag & info [ "print-sizes" ] ~doc)
+  in
+  let term =
+    Term.(
+      const run $ circuit_arg $ blif_arg $ bench_arg $ library_arg $ wire_load_arg
+      $ bound_arg $ area_budget_arg $ equal_area_arg $ print_sizes_arg $ jobs_arg
+      $ profile_arg)
+  in
+  Cmd.v
+    (Cmd.info "gp"
+       ~doc:
+         "Solve the mean-delay geometric program and report its KKT certificate \
+          and duality gap")
+    term
 
 (* ---- mc ------------------------------------------------------------------------ *)
 
@@ -959,6 +1076,6 @@ let serve_cmd =
 let main_cmd =
   let doc = "gate sizing under a statistical delay model (DATE 2000 reproduction)" in
   let info = Cmd.info "statsize" ~version:"1.0.0" ~doc in
-  Cmd.group info [ analyze_cmd; size_cmd; mc_cmd; tables_cmd; sim_cmd; serve_cmd ]
+  Cmd.group info [ analyze_cmd; size_cmd; gp_cmd; mc_cmd; tables_cmd; sim_cmd; serve_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -33,3 +33,70 @@ let pp_verdict ppf v =
   Format.fprintf ppf "max_abs=%.3e max_rel=%.3e worst=%d %s" v.max_abs_error
     v.max_rel_error v.worst_index
     (if v.ok then "OK" else "MISMATCH")
+
+(* ---- first-order (KKT) residuals ------------------------------------------- *)
+
+type kkt = {
+  stationarity : float;
+  feasibility : float;
+  complementarity : float;
+  kkt_ok : bool;
+}
+
+(* Stationarity of min f(x) s.t. c_j(x) <= 0, lo <= x <= hi with the bound
+   multipliers eliminated: at an interior coordinate the Lagrangian
+   gradient L = grad f + sum lambda_j grad c_j must vanish; at an active
+   lower bound only its negative part is a violation (a positive L_i is
+   absorbed by the bound multiplier), symmetrically at an upper bound.
+   [active_tol] is the width of the "at the bound" band in x. *)
+let kkt ?(tol = 1e-6) ?(active_tol = 1e-9) ~bounds ~x ~objective_gradient
+    ?(inequalities = []) () =
+  let n = Array.length x in
+  if Array.length objective_gradient <> n then
+    invalid_arg "Check.kkt: gradient dimension mismatch";
+  let lagr = Array.copy objective_gradient in
+  let feasibility = ref 0. and complementarity = ref 0. in
+  let dual_violation = ref 0. in
+  List.iter
+    (fun (c, grad, lambda) ->
+      feasibility := Float.max !feasibility (Float.max 0. c);
+      complementarity := Float.max !complementarity (Float.abs (lambda *. c));
+      dual_violation := Float.max !dual_violation (Float.max 0. (-.lambda));
+      List.iter
+        (fun (i, g) ->
+          if i < 0 || i >= n then invalid_arg "Check.kkt: gradient index out of range";
+          lagr.(i) <- lagr.(i) +. (lambda *. g))
+        grad)
+    inequalities;
+  let stationarity = ref 0. in
+  let lo = bounds.Problem.lower and hi = bounds.Problem.upper in
+  for i = 0 to n - 1 do
+    feasibility :=
+      Float.max !feasibility (Float.max (lo.(i) -. x.(i)) (x.(i) -. hi.(i)));
+    let at_lo = x.(i) <= lo.(i) +. active_tol in
+    let at_hi = x.(i) >= hi.(i) -. active_tol in
+    let r =
+      match (at_lo, at_hi) with
+      | true, true -> 0. (* pinched coordinate: any L_i is absorbed *)
+      | true, false -> Float.max 0. (-.lagr.(i))
+      | false, true -> Float.max 0. lagr.(i)
+      | false, false -> Float.abs lagr.(i)
+    in
+    stationarity := Float.max !stationarity r
+  done;
+  let stationarity = Float.max !stationarity !dual_violation in
+  {
+    stationarity;
+    feasibility = !feasibility;
+    complementarity = !complementarity;
+    kkt_ok =
+      stationarity <= tol && !feasibility <= tol && !complementarity <= tol;
+  }
+
+let kkt_residual v =
+  Float.max v.stationarity (Float.max v.feasibility v.complementarity)
+
+let pp_kkt ppf v =
+  Format.fprintf ppf "stationarity=%.3e feasibility=%.3e complementarity=%.3e %s"
+    v.stationarity v.feasibility v.complementarity
+    (if v.kkt_ok then "OK" else "VIOLATED")

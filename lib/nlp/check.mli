@@ -34,3 +34,54 @@ val gradient :
     {m O(h)} one-sided truncation error stays below [atol]/[rtol]. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
+
+(** {1 First-order (KKT) residuals}
+
+    Beyond gradient correctness, a solver's answer needs a first-order
+    certificate: the residuals of the Karush-Kuhn-Tucker conditions at a
+    candidate point.  {!kkt} measures them for the box-constrained
+    problem with inequality constraints
+
+    {math \min f(x) \quad\text{s.t.}\quad c_j(x) \le 0,\; l \le x \le u}
+
+    given the candidate [x], the objective gradient, and for each
+    inequality its value, (sparse) gradient and multiplier.  The
+    {!Sizing.Gp} backend computes its barrier-dual certificate through
+    this helper, and [statsize gp] reports it. *)
+
+type kkt = {
+  stationarity : float;
+      (** {m \|\nabla f + \textstyle\sum_j \lambda_j \nabla c_j\|_\infty}
+          with the bound multipliers eliminated by projection: at an
+          active lower (upper) bound only the negative (positive) part
+          of the Lagrangian gradient counts.  Also absorbs any negative
+          multiplier ({m \lambda_j < 0} is a dual-feasibility
+          violation). *)
+  feasibility : float;
+      (** {m \max_j \max(0, c_j(x))} joined with the worst box
+          violation. *)
+  complementarity : float;  (** {m \max_j |\lambda_j\, c_j(x)|} *)
+  kkt_ok : bool;  (** all three residuals within [tol] *)
+}
+
+val kkt :
+  ?tol:float ->
+  ?active_tol:float ->
+  bounds:Problem.bounds ->
+  x:float array ->
+  objective_gradient:float array ->
+  ?inequalities:(float * (int * float) list * float) list ->
+  unit ->
+  kkt
+(** [kkt ~bounds ~x ~objective_gradient ~inequalities ()] with each
+    inequality given as [(c(x), sparse gradient, lambda)]; the sparse
+    gradient lists [(index, d c / d x_index)] pairs (indices may
+    repeat; contributions add).  Defaults: [tol = 1e-6] (threshold for
+    [kkt_ok]), [active_tol = 1e-9] (how close to a bound counts as
+    active).  Raises [Invalid_argument] on dimension or index
+    mismatches. *)
+
+val kkt_residual : kkt -> float
+(** The scalar headline: the max of the three residuals. *)
+
+val pp_kkt : Format.formatter -> kkt -> unit

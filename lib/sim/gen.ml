@@ -16,6 +16,7 @@ type weights = {
   inject_fault : int;
   set_budget : int;
   solve : int;
+  switch_warm_start : int;
   serve : int;
   corrupt : int;
 }
@@ -31,6 +32,7 @@ let zero_weights =
     inject_fault = 0;
     set_budget = 0;
     solve = 0;
+    switch_warm_start = 0;
     serve = 0;
     corrupt = 0;
   }
@@ -50,6 +52,7 @@ let default_weights =
     inject_fault = 3;
     set_budget = 3;
     solve = 2;
+    switch_warm_start = 3;
     serve = 8;
     corrupt = 0;
   }
@@ -96,6 +99,7 @@ let classes w =
     (w.inject_fault, `Fault);
     (w.set_budget, `Budget);
     (w.solve, `Solve);
+    (w.switch_warm_start, `Warm);
     (w.serve, `Serve);
     (w.corrupt, `Corrupt);
   ]
@@ -168,6 +172,9 @@ let op ~net ~seed ~key config =
       let max_evals = [| 500; 1000; 2000 |].(Util.Rng.int rng 3) in
       Op.Set_budget { deadline = None; max_evals = Some max_evals }
   | `Solve -> Op.Solve
+  | `Warm ->
+      Op.Switch_warm_start
+        (match Util.Rng.int rng 3 with 0 -> `None | 1 -> `Gp | _ -> `Baseline)
   | `Serve -> (
       (* The daemon path, with the same shapes the generator already
          uses for direct ops: analyze weighted double, what-ifs sized

@@ -19,6 +19,7 @@ type weights = {
   inject_fault : int;
   set_budget : int;
   solve : int;
+  switch_warm_start : int;
   serve : int;
   corrupt : int;
 }

@@ -308,6 +308,36 @@ let recovery_sound (st : State.t) _ =
         err "%d faults fired but solve shows no recovery and no convergence"
           st.State.last_solve_faults
 
+(* GP-soundness after a Solve that involved the GP backend (a [`Gp]
+   warm start, or a gp-fallback rung in the recovery trail): the GP
+   hands the engine sizes, never timing numbers, so the reported
+   statistical moments and area must be exactly what a from-scratch
+   sweep at the reported sizes produces — bit for bit. *)
+let gp_sound (st : State.t) _ =
+  match st.State.last_solve with
+  | None -> Ok ()
+  | Some s ->
+      let involved =
+        st.State.warm_start = `Gp
+        || List.exists
+             (fun (a : Sizing.Engine.attempt) ->
+               a.Sizing.Engine.rung = Sizing.Engine.Gp_fallback)
+             s.Sizing.Engine.recovery
+      in
+      if not involved then Ok ()
+      else
+        let r =
+          Sta.Ssta.analyze ~arena:st.State.scratch ~model:st.State.model
+            st.State.net ~sizes:s.Sizing.Engine.sizes
+        in
+        let* () =
+          normal_identical "gp-sound: reported circuit moments vs scratch replay"
+            s.Sizing.Engine.timing.Sta.Ssta.circuit r.Sta.Ssta.circuit
+        in
+        let area = Circuit.Netlist.area st.State.net ~sizes:s.Sizing.Engine.sizes in
+        if Int64.equal (bits area) (bits s.Sizing.Engine.area) then Ok ()
+        else err "gp-sound: reported area %h <> recomputed %h" s.Sizing.Engine.area area
+
 (* Serve-soundness: a daemon-path answer (Serve.Exec against the
    state's warm serve target) must be exactly what a fresh batch
    evaluation of the same request produces.  Payloads are compared
@@ -475,6 +505,7 @@ let default_suite ?(max_cssta_gates = 200) () =
       run = cssta_vs_ssta ~max_gates:max_cssta_gates;
     };
     { name = "recovery-sound"; applies = on_solve; run = recovery_sound };
+    { name = "gp-sound"; applies = on_solve; run = gp_sound };
     { name = "serve-sound"; applies = on_serve; run = serve_sound };
     { name = "words-per-eval"; applies = on_analyze; run = words_ceiling };
   ]

@@ -45,6 +45,11 @@ val default_suite : ?max_cssta_gates:int -> unit -> check list
       consistent moments, non-converged solves explained by ladder
       rungs or budget terminations, and fired faults never paired with
       a silently clean first attempt.
+    - [gp-sound] ([Solve], only when the solve involved the GP backend:
+      a [`Gp] warm start or a gp-fallback recovery rung) — the reported
+      circuit moments and area bitwise equal a from-scratch sweep at the
+      reported sizes: the GP hands the engine sizes, never timing
+      numbers.
     - [serve-sound] ([Serve_request]) — the daemon execution path
       ({!Serve.Exec} against the state's warm serve target) answers
       bit-identically to a fresh batch evaluation of the same request

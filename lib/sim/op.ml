@@ -39,6 +39,7 @@ type t =
   | Inject_fault of { kind : fault_kind; first : int }
   | Set_budget of { deadline : float option; max_evals : int option }
   | Solve
+  | Switch_warm_start of [ `None | `Gp | `Baseline ]
   | Corrupt_cache of { gate : int; bump : float }
   | Serve_request of serve
 
@@ -111,6 +112,11 @@ let to_line op =
           (match max_evals with None -> "-" | Some m -> string_of_int m);
         ]
     | Solve -> [ "solve" ]
+    | Switch_warm_start w ->
+        [
+          "warm-start";
+          (match w with `None -> "none" | `Gp -> "gp" | `Baseline -> "baseline");
+        ]
     | Corrupt_cache { gate; bump } ->
         [ "corrupt"; string_of_int gate; float_to_token bump ]
     | Serve_request r -> "serve" :: serve_tokens r
@@ -186,6 +192,9 @@ let of_line line =
       in
       Ok (Set_budget { deadline; max_evals })
   | [ "solve" ] -> Ok Solve
+  | [ "warm-start"; "none" ] -> Ok (Switch_warm_start `None)
+  | [ "warm-start"; "gp" ] -> Ok (Switch_warm_start `Gp)
+  | [ "warm-start"; "baseline" ] -> Ok (Switch_warm_start `Baseline)
   | [ "corrupt"; g; b ] ->
       let* gate = int_of_token g in
       let* bump = float_of_token b in

@@ -68,6 +68,10 @@ type t =
           evaluation budgets: a wall-clock deadline makes a solve stop at
           a machine-dependent iterate, which would break replay. *)
   | Solve  (** run {!Sizing.Engine.solve} at the current objective *)
+  | Switch_warm_start of [ `None | `Gp | `Baseline ]
+      (** set {!Sizing.Engine.options.warm_start} for subsequent solves;
+          GP-involved solves are additionally checked by the gp-sound
+          invariant *)
   | Corrupt_cache of { gate : int; bump : float }
       (** fault-inject the incremental engine's cached arrival plane:
           add [bump] to the gate's cached arrival mean.  The differential

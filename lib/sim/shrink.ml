@@ -14,7 +14,8 @@
         the op list stays valid on the smaller circuit);
      4. args      — per-op argument shrinking: sizes toward 1.0, batches
         toward singletons, gradient seeds toward Seed_mu, objectives
-        toward Min_delay 0, corruption bumps halved, fault counts to 1;
+        toward Min_delay 0, warm starts to none, corruption bumps halved,
+        fault counts to 1;
 
    followed by a final ddmin pass, since simpler args can unlock further
    op removals.  Every candidate evaluation is one full deterministic
@@ -132,6 +133,8 @@ let minimize ?(max_runs = 400) ~run trace0 (fail0 : Harness.failure) =
         [ Op.Gradient Op.Seed_mu ]
     | Op.Set_objective (Op.Obj_min_delay 0.) -> []
     | Op.Set_objective _ -> [ Op.Set_objective (Op.Obj_min_delay 0.) ]
+    | Op.Switch_warm_start `None -> []
+    | Op.Switch_warm_start _ -> [ Op.Switch_warm_start `None ]
     | Op.Corrupt_cache { gate; bump } when Float.abs bump > 0.125 ->
         [ Op.Corrupt_cache { gate; bump = bump /. 2. } ]
     | Op.Inject_fault { kind; first } when first > 1 ->

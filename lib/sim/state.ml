@@ -16,6 +16,7 @@ type t = {
   pools : (int * Util.Pool.t) list;  (* extra domain counts to cross-check *)
   unsized_mu : float;  (* mean delay at all-min sizes: anchors objectives *)
   mutable objective : Sizing.Objective.t;
+  mutable warm_start : [ `None | `Gp | `Baseline ];
   mutable pending_faults : (Util.Fault.kind * int) list;
   mutable budget_deadline : float option;
   mutable budget_max_evals : int option;
@@ -47,6 +48,7 @@ let create ?(pools = []) ?incr_pool ~seed ~model net =
     pools;
     unsized_mu = Statdelay.Normal.mu unsized.Sta.Ssta.circuit;
     objective = Sizing.Objective.Min_delay 0.;
+    warm_start = `None;
     pending_faults = [];
     budget_deadline = None;
     budget_max_evals = None;
@@ -171,6 +173,7 @@ let solve t =
       (* Always bounded: a runaway solve must not stall the harness. *)
       Sizing.Engine.max_evaluations =
         (match t.budget_max_evals with Some _ as b -> b | None -> Some 2000);
+      Sizing.Engine.warm_start = t.warm_start;
       Sizing.Engine.instrument;
     }
   in
@@ -202,6 +205,7 @@ let apply t op =
       t.budget_deadline <- deadline;
       t.budget_max_evals <- max_evals
   | Op.Solve -> solve t
+  | Op.Switch_warm_start w -> t.warm_start <- w
   | Op.Serve_request req -> serve_request t req
   | Op.Corrupt_cache { gate; bump } ->
       (* Fault-inject the engine's cached state: poke the arrival-mean

@@ -22,6 +22,9 @@ type t = {
       (** mean circuit delay at all-minimum sizes; objective bounds are
           fractions of this, so the op vocabulary is circuit-agnostic *)
   mutable objective : Sizing.Objective.t;
+  mutable warm_start : [ `None | `Gp | `Baseline ];
+      (** {!Sizing.Engine.options.warm_start} of subsequent [Solve] ops;
+          set by {!Op.Switch_warm_start} *)
   mutable pending_faults : (Util.Fault.kind * int) list;
       (** fault sites armed (kind, [First n]) for the next [Solve] *)
   mutable budget_deadline : float option;

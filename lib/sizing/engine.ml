@@ -4,6 +4,7 @@ open Statdelay
 type options = {
   solver : Nlp.Auglag.options;
   start : [ `Low | `Mid | `High | `Given of float array ];
+  warm_start : [ `None | `Gp | `Baseline ];
   restarts : int;
   restart_seed : int;
   deadline : float option;
@@ -31,6 +32,7 @@ let default_options =
           };
       };
     start = `Mid;
+    warm_start = `None;
     restarts = 0;
     restart_seed = 99;
     deadline = None;
@@ -45,6 +47,7 @@ type rung =
   | Perturbed_restart
   | Alternate_solver
   | Gentler_penalty
+  | Gp_fallback
   | Baseline_fallback
 
 let rung_name = function
@@ -52,6 +55,7 @@ let rung_name = function
   | Perturbed_restart -> "perturbed-restart"
   | Alternate_solver -> "alternate-solver"
   | Gentler_penalty -> "gentler-penalty"
+  | Gp_fallback -> "gp-fallback"
   | Baseline_fallback -> "baseline-fallback"
 
 let pp_rung ppf r = Format.pp_print_string ppf (rung_name r)
@@ -87,6 +91,7 @@ let c_recovery = Util.Instr.counter "engine.recovery.engaged"
 let c_rung_perturbed = Util.Instr.counter "engine.recovery.perturbed_restart"
 let c_rung_alternate = Util.Instr.counter "engine.recovery.alternate_solver"
 let c_rung_gentler = Util.Instr.counter "engine.recovery.gentler_penalty"
+let c_rung_gp = Util.Instr.counter "engine.recovery.gp_fallback"
 let c_rung_baseline = Util.Instr.counter "engine.recovery.baseline_fallback"
 let t_solve = Util.Instr.timer "engine.solve"
 
@@ -297,6 +302,31 @@ let baseline_fallback net objective =
          deterministic counterpart to fall back to. *)
       None
 
+(* The mean-model GP counterpart of a statistical objective: globally
+   optimal on the mean, so a strong warm start (and fallback) for the
+   nonconvex statistical solve.  [None] when the objective has no GP
+   analogue, or when the GP itself could not certify its answer. *)
+let gp_sizes net objective =
+  let run o =
+    let sol = Gp.solve net o in
+    match sol.Gp.status with
+    | Gp.Optimal -> Some sol.Gp.sizes
+    | Gp.Infeasible | Gp.Stalled -> None
+  in
+  match objective with
+  | Objective.Min_delay _ -> run (Gp.Min_delay { area_budget = None })
+  | Objective.Min_area_bounded { bound; _ } | Objective.Min_weighted { bound; _ } ->
+      run (Gp.Min_area { delay_bound = bound })
+  | Objective.Min_area | Objective.Min_sigma _ | Objective.Max_sigma _ -> None
+
+(* Warm-start sizes for [options.warm_start]; takes precedence over
+   [options.start] when it produces a point. *)
+let warm_start_sizes ~warm net objective =
+  match warm with
+  | `None -> None
+  | `Gp -> gp_sizes net objective
+  | `Baseline -> baseline_fallback net objective
+
 let rec solve_impl ?(options = default_options) ?pool ?timing ~model net objective =
   let started = Sys.time () in
   let wall0 = Util.Instr.now_ns () in
@@ -331,6 +361,11 @@ let rec solve_impl ?(options = default_options) ?pool ?timing ~model net objecti
         {
           options with
           start = `Given warm.sizes;
+          (* The warm sizing above IS this solve's warm start — a
+             [warm_start] request must not override it in the inner
+             call (it already shaped the [Min_area_bounded] warm
+             solve). *)
+          warm_start = `None;
           solver;
           deadline = Option.map (fun d -> Float.max 0. (d -. elapsed ())) options.deadline;
           max_evaluations =
@@ -400,7 +435,16 @@ let rec solve_impl ?(options = default_options) ?pool ?timing ~model net objecti
           }
           :: !attempts
       in
-      let start = start_point ~options net in
+      let start =
+        match warm_start_sizes ~warm:options.warm_start net objective with
+        | Some sizes ->
+            (* GP/baseline sizes are already valid sizings; clamp
+               defensively so a warm start can never fail the box. *)
+            let lo = Netlist.min_sizes net and hi = Netlist.max_sizes net in
+            Array.init (Netlist.n_gates net) (fun i ->
+                Util.Numerics.clamp ~lo:lo.(i) ~hi:hi.(i) sizes.(i))
+        | None -> start_point ~options net
+      in
       let first = solve_from start in
       let better (a : Nlp.Auglag.report) (b : Nlp.Auglag.report) =
         match (a.Nlp.Auglag.converged, b.Nlp.Auglag.converged) with
@@ -434,7 +478,7 @@ let rec solve_impl ?(options = default_options) ?pool ?timing ~model net objecti
            | Some m -> !total_evals < m
            | None -> true)
       in
-      let report, baseline_sizes =
+      let report, fallback =
         if
           first.Nlp.Auglag.converged
           || (not options.recovery)
@@ -489,14 +533,20 @@ let rec solve_impl ?(options = default_options) ?pool ?timing ~model net objecti
           in
           let rec climb best = function
             | [] ->
-                (* Solver rungs exhausted: deterministic baseline, if the
-                   objective has one. *)
+                (* Solver rungs exhausted: globally-optimal-on-the-mean
+                   GP sizing first, then the deterministic baseline, if
+                   the objective has either. *)
                 if budget_left () then begin
-                  match baseline_fallback net objective with
+                  match gp_sizes net objective with
                   | Some sizes ->
-                      Util.Instr.incr c_rung_baseline;
-                      (best, Some sizes)
-                  | None -> (best, None)
+                      Util.Instr.incr c_rung_gp;
+                      (best, Some (Gp_fallback, sizes))
+                  | None -> (
+                      match baseline_fallback net objective with
+                      | Some sizes ->
+                          Util.Instr.incr c_rung_baseline;
+                          (best, Some (Baseline_fallback, sizes))
+                      | None -> (best, None))
                 end
                 else (best, None)
             | (rung, counter, attempt) :: rest ->
@@ -517,17 +567,18 @@ let rec solve_impl ?(options = default_options) ?pool ?timing ~model net objecti
       let recovery = List.rev !attempts in
       let solver_violation = report.Nlp.Auglag.max_violation in
       let solver_f = report.Nlp.Auglag.f in
-      let baseline_wins bviol =
-        (* The deterministic greedy targets worst-case delay, not the
-           statistical metric, so its point can be worse than the best
-           solver iterate; adopt it only when it actually is more
-           feasible — or when the solver left nothing usable behind. *)
+      let fallback_wins bviol =
+        (* The fallbacks target the mean (GP) or worst-case (greedy)
+           delay, not the statistical metric, so their point can be
+           worse than the best solver iterate; adopt one only when it
+           actually is more feasible — or when the solver left nothing
+           usable behind. *)
         (not (Util.Guard.is_finite solver_violation))
         || (not (Util.Guard.is_finite solver_f))
         || bviol < solver_violation
       in
-      (match baseline_sizes with
-      | Some sizes ->
+      (match fallback with
+      | Some (fallback_rung, sizes) ->
           (* Graceful degrade: deterministic sizes, statistical report, and
              the failure trail preserved in [recovery]/[termination]. *)
           let timing, area = evaluate_snap sizes in
@@ -544,7 +595,7 @@ let rec solve_impl ?(options = default_options) ?pool ?timing ~model net objecti
             recovery
             @ [
                 {
-                  rung = Baseline_fallback;
+                  rung = fallback_rung;
                   outcome = Nlp.Auglag.Converged;
                   breakdown = None;
                   violation = max_violation;
@@ -552,7 +603,7 @@ let rec solve_impl ?(options = default_options) ?pool ?timing ~model net objecti
                 };
               ]
           in
-          if not (baseline_wins max_violation) then begin
+          if not (fallback_wins max_violation) then begin
             let sizes = report.Nlp.Auglag.x in
             let timing, area = evaluate_snap sizes in
             {

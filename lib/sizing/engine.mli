@@ -30,8 +30,9 @@
     attempt ends in [Breakdown], [Stalled] or [Penalty_ceiling] and
     [options.recovery] is on, a recovery ladder retries with (1) a
     perturbed start, (2) the other inner solver (Lbfgs <-> Newton),
-    (3) gentler penalty growth, and finally (4) the deterministic
-    {!Baseline} sizing, recording every rung taken in
+    (3) gentler penalty growth, and finally (4) the mean-model {!Gp}
+    sizing, degrading to (5) the deterministic {!Baseline} when the GP
+    has no analogue or cannot certify, recording every rung taken in
     [solution.recovery].  Optional [deadline] / [max_evaluations]
     budgets bound the {e whole} ladder, not each rung; a [Deadline]
     exit returns the best iterate seen and stops the ladder.
@@ -44,6 +45,14 @@ type options = {
   solver : Nlp.Auglag.options;
   start : [ `Low | `Mid | `High | `Given of float array ];
       (** initial speed factors: all-1, mid-box, all-max, or explicit *)
+  warm_start : [ `None | `Gp | `Baseline ];
+      (** start the solve from a cheap surrogate's solution instead of
+          [start]: [`Gp] solves the mean-model geometric program
+          ({!Gp.solve} — globally optimal on the mean), [`Baseline] runs
+          the deterministic greedy.  Takes precedence over [start] when
+          the surrogate applies to the objective and succeeds; falls
+          back to [start] otherwise (e.g. the sigma objectives, or an
+          infeasible GP bound).  Default [`None]. *)
   restarts : int;
       (** additional multi-start attempts from perturbed starting points;
           best result wins.  0 (default) disables. *)
@@ -72,6 +81,9 @@ type rung =
   | Perturbed_restart  (** deterministic keyed perturbation of the start *)
   | Alternate_solver  (** flip the inner solver: Lbfgs <-> Newton *)
   | Gentler_penalty  (** slower penalty growth, more outer iterations *)
+  | Gp_fallback
+      (** mean-model {!Gp} sizing — tried before the greedy: it is
+          globally optimal on the mean and carries a KKT certificate *)
   | Baseline_fallback  (** deterministic {!Baseline} sizing *)
 
 val rung_name : rung -> string

@@ -683,6 +683,115 @@ let test_check_sizing_objective_at_min_sizes () =
     Alcotest.failf "sizing gradient at bound: %s"
       (Format.asprintf "%a" Nlp.Check.pp_verdict v)
 
+(* ---- KKT residuals ------------------------------------------------------------ *)
+
+let box lower upper = { Nlp.Problem.lower; Nlp.Problem.upper }
+
+let test_kkt_unconstrained_optimum () =
+  (* f(x) = (x - 2)^2 at its interior minimum: a perfect certificate. *)
+  let v =
+    Nlp.Check.kkt ~bounds:(box [| 0. |] [| 10. |]) ~x:[| 2. |]
+      ~objective_gradient:[| 0. |] ()
+  in
+  Alcotest.(check bool) "ok" true v.Nlp.Check.kkt_ok;
+  Alcotest.(check (float 0.)) "stationarity" 0. v.Nlp.Check.stationarity;
+  Alcotest.(check (float 0.)) "feasibility" 0. v.Nlp.Check.feasibility;
+  Alcotest.(check (float 0.)) "complementarity" 0. v.Nlp.Check.complementarity;
+  Alcotest.(check (float 0.)) "residual" 0. (Nlp.Check.kkt_residual v)
+
+let test_kkt_active_bound_projection () =
+  (* min x^2 on [1, 10]: the optimum pins x = 1 with gradient +2.  At an
+     active lower bound only the negative part of the gradient counts
+     (the positive part is absorbed by the bound multiplier), so the
+     certificate is clean. *)
+  let bounds = box [| 1. |] [| 10. |] in
+  let ok = Nlp.Check.kkt ~bounds ~x:[| 1. |] ~objective_gradient:[| 2. |] () in
+  Alcotest.(check bool) "optimal at lower bound" true ok.Nlp.Check.kkt_ok;
+  (* The same positive gradient at the UPPER bound is a real descent
+     direction into the interior — the projection must keep it. *)
+  let bad = Nlp.Check.kkt ~bounds ~x:[| 10. |] ~objective_gradient:[| 2. |] () in
+  Alcotest.(check bool) "not optimal at upper bound" false bad.Nlp.Check.kkt_ok;
+  Alcotest.(check (float 0.)) "full gradient kept" 2. bad.Nlp.Check.stationarity
+
+let test_kkt_inequality_certificate () =
+  (* min x^2 s.t. 1 - x <= 0: optimum x = 1, lambda = 2 cancels the
+     objective gradient exactly; the constraint is active so
+     complementarity is exact too. *)
+  let v =
+    Nlp.Check.kkt ~bounds:(box [| -10. |] [| 10. |]) ~x:[| 1. |]
+      ~objective_gradient:[| 2. |]
+      ~inequalities:[ (0., [ (0, -1.) ], 2.) ]
+      ()
+  in
+  Alcotest.(check bool) "ok" true v.Nlp.Check.kkt_ok;
+  Alcotest.(check (float 1e-15)) "stationarity" 0. v.Nlp.Check.stationarity
+
+let test_kkt_negative_multiplier_flagged () =
+  (* lambda < 0 is a dual-feasibility violation even when the Lagrangian
+     gradient happens to vanish. *)
+  let v =
+    Nlp.Check.kkt ~bounds:(box [| -10. |] [| 10. |]) ~x:[| 1. |]
+      ~objective_gradient:[| -2. |]
+      ~inequalities:[ (0., [ (0, -1.) ], -2.) ]
+      ()
+  in
+  Alcotest.(check bool) "not ok" false v.Nlp.Check.kkt_ok;
+  Alcotest.(check bool) "stationarity absorbs the bad multiplier" true
+    (v.Nlp.Check.stationarity >= 2.)
+
+let test_kkt_complementarity_violation () =
+  (* A strictly satisfied constraint carrying a nonzero multiplier:
+     |lambda * c| = 1.5 must surface as the complementarity residual. *)
+  let v =
+    Nlp.Check.kkt ~bounds:(box [| -10. |] [| 10. |]) ~x:[| 0. |]
+      ~objective_gradient:[| 3. |]
+      ~inequalities:[ (-0.5, [ (0, -3.) ], 3.) ]
+      ()
+  in
+  Alcotest.(check bool) "not ok" false v.Nlp.Check.kkt_ok;
+  Alcotest.(check (float 1e-15)) "complementarity" 1.5 v.Nlp.Check.complementarity
+
+let test_kkt_feasibility_residuals () =
+  (* Constraint violation and box violation both feed the feasibility
+     residual; the larger wins. *)
+  let v =
+    Nlp.Check.kkt ~bounds:(box [| 0. |] [| 1. |]) ~x:[| 1.25 |]
+      ~objective_gradient:[| 0. |]
+      ~inequalities:[ (0.5, [ (0, 1.) ], 0.) ]
+      ()
+  in
+  Alcotest.(check bool) "not ok" false v.Nlp.Check.kkt_ok;
+  Alcotest.(check (float 1e-15)) "worst violation" 0.5 v.Nlp.Check.feasibility;
+  Alcotest.(check (float 1e-15)) "headline is the max residual" 0.5
+    (Nlp.Check.kkt_residual v)
+
+let test_kkt_sparse_gradient_accumulates () =
+  (* Repeated indices in a sparse constraint gradient add up: two half
+     entries behave exactly like one full entry. *)
+  let solve entries =
+    Nlp.Check.kkt ~bounds:(box [| -10. |] [| 10. |]) ~x:[| 1. |]
+      ~objective_gradient:[| 2. |]
+      ~inequalities:[ (0., entries, 2.) ]
+      ()
+  in
+  let split = solve [ (0, -0.5); (0, -0.5) ] and whole = solve [ (0, -1.) ] in
+  Alcotest.(check (float 0.)) "same stationarity"
+    whole.Nlp.Check.stationarity split.Nlp.Check.stationarity;
+  Alcotest.(check bool) "both ok" true
+    (split.Nlp.Check.kkt_ok && whole.Nlp.Check.kkt_ok)
+
+let test_kkt_input_validation () =
+  let bounds = box [| 0. |] [| 1. |] in
+  Alcotest.check_raises "gradient dimension"
+    (Invalid_argument "Check.kkt: gradient dimension mismatch") (fun () ->
+      ignore (Nlp.Check.kkt ~bounds ~x:[| 0.5 |] ~objective_gradient:[| 0.; 0. |] ()));
+  Alcotest.check_raises "sparse index range"
+    (Invalid_argument "Check.kkt: gradient index out of range") (fun () ->
+      ignore
+        (Nlp.Check.kkt ~bounds ~x:[| 0.5 |] ~objective_gradient:[| 0. |]
+           ~inequalities:[ (0., [ (1, 1.) ], 0.) ]
+           ()))
+
 let () =
   let q = Seed_info.to_alcotest in
   Alcotest.run "nlp"
@@ -750,5 +859,23 @@ let () =
             test_check_bound_dimension_mismatch;
           Alcotest.test_case "sizing objective at min sizes" `Quick
             test_check_sizing_objective_at_min_sizes;
+        ] );
+      ( "kkt",
+        [
+          Alcotest.test_case "unconstrained optimum" `Quick
+            test_kkt_unconstrained_optimum;
+          Alcotest.test_case "active bound projection" `Quick
+            test_kkt_active_bound_projection;
+          Alcotest.test_case "inequality certificate" `Quick
+            test_kkt_inequality_certificate;
+          Alcotest.test_case "negative multiplier flagged" `Quick
+            test_kkt_negative_multiplier_flagged;
+          Alcotest.test_case "complementarity violation" `Quick
+            test_kkt_complementarity_violation;
+          Alcotest.test_case "feasibility residuals" `Quick
+            test_kkt_feasibility_residuals;
+          Alcotest.test_case "sparse gradient accumulates" `Quick
+            test_kkt_sparse_gradient_accumulates;
+          Alcotest.test_case "input validation" `Quick test_kkt_input_validation;
         ] );
     ]

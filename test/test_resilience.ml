@@ -111,9 +111,9 @@ let test_nan_gradient_recovers () =
 let test_inf_gradient_recovers () =
   check_recovers_via_perturbed_restart Util.Fault.Inf_gradient
 
-(* ---- persistent fault: the whole ladder runs, baseline degrades -------------- *)
+(* ---- persistent fault: the whole ladder runs, the GP degrades ---------------- *)
 
-let test_persistent_fault_reaches_baseline () =
+let test_persistent_fault_reaches_gp () =
   let net, obj = bounded_setup () in
   let plan = Util.Fault.plan [ objective_site Util.Fault.Nan_value Util.Fault.Always ] in
   let s = solve_faulted plan net obj in
@@ -123,16 +123,15 @@ let test_persistent_fault_reaches_baseline () =
   (match rungs s with
   | [
    Engine.Initial; Engine.Perturbed_restart; Engine.Alternate_solver;
-   Engine.Gentler_penalty; Engine.Baseline_fallback;
+   Engine.Gentler_penalty; Engine.Gp_fallback;
   ] ->
       ()
   | r ->
       Alcotest.failf "unexpected ladder: %s"
         (String.concat ", " (List.map Engine.rung_name r)));
-  (* The deterministic fallback produced usable sizes with honest
-     numbers — TILOS targets the deterministic delay, so a residual
-     statistical violation is expected and must be reported, not
-     hidden. *)
+  (* The GP fallback produced usable sizes with honest numbers — the GP
+     targets the mean delay, so a residual statistical violation is
+     expected and must be reported, not hidden. *)
   Alcotest.(check bool) "sizes finite" true (Util.Guard.all_finite s.Engine.sizes);
   Alcotest.(check bool) "violation finite" true
     (Util.Guard.is_finite s.Engine.max_violation);
@@ -142,6 +141,57 @@ let test_persistent_fault_reaches_baseline () =
       Alcotest.(check bool) "fallback attempt recorded as converged" true
         (last.Engine.outcome = Nlp.Auglag.Converged)
   | [] -> Alcotest.fail "empty recovery trail")
+
+let test_gp_infeasible_falls_through_to_baseline () =
+  (* A delay bound far below the circuit's floor: the GP rung certifies
+     Infeasible and steps aside, and the ladder still lands on the
+     deterministic greedy baseline (which returns its best effort). *)
+  let net = Circuit.Generate.tree () in
+  let unsized, _ = Engine.evaluate ~model net ~sizes:(Circuit.Netlist.min_sizes net) in
+  let bound = 0.05 *. Statdelay.Normal.mu unsized.Sta.Ssta.circuit in
+  let obj = Objective.Min_area_bounded { k = 0.; bound } in
+  let plan = Util.Fault.plan [ objective_site Util.Fault.Nan_value Util.Fault.Always ] in
+  let s = solve_faulted plan net obj in
+  Alcotest.(check bool) "not converged" false s.Engine.converged;
+  (match List.rev (rungs s) with
+  | Engine.Baseline_fallback :: _ -> ()
+  | r ->
+      Alcotest.failf "expected a terminal baseline rung, got ladder: %s"
+        (String.concat ", " (List.map Engine.rung_name (List.rev r))));
+  Alcotest.(check bool) "gp rung not recorded" true
+    (not (List.mem Engine.Gp_fallback (rungs s)));
+  Alcotest.(check bool) "sizes finite" true (Util.Guard.all_finite s.Engine.sizes);
+  Alcotest.(check bool) "violation reported" true
+    (Util.Guard.is_finite s.Engine.max_violation && s.Engine.max_violation > 0.)
+
+let test_persistent_fault_min_delay_adopts_gp () =
+  (* Unconstrained Min_delay under a persistent fault: the GP rung has a
+     mean-model analogue, so the trail must end at [Gp_fallback] with
+     in-box sizes and a zero constraint violation. *)
+  Util.Instr.enable ();
+  let net = Circuit.Generate.tree () in
+  let obj = Objective.Min_delay 0. in
+  let plan = Util.Fault.plan [ objective_site Util.Fault.Nan_value Util.Fault.Always ] in
+  let s = solve_faulted plan net obj in
+  Alcotest.(check bool) "not converged" false s.Engine.converged;
+  (match List.rev (rungs s) with
+  | Engine.Gp_fallback :: _ -> ()
+  | r ->
+      Alcotest.failf "expected a terminal gp rung, got ladder: %s"
+        (String.concat ", " (List.map Engine.rung_name (List.rev r))));
+  let lo = Circuit.Netlist.min_sizes net and hi = Circuit.Netlist.max_sizes net in
+  Array.iteri
+    (fun i x ->
+      if x < lo.(i) -. 1e-12 || x > hi.(i) +. 1e-12 then
+        Alcotest.failf "size %d out of box: %g" i x)
+    s.Engine.sizes;
+  Alcotest.(check (float 0.)) "no constraint to violate" 0. s.Engine.max_violation;
+  let snap = Util.Instr.snapshot () in
+  let count name =
+    match List.assoc_opt name snap.Util.Instr.counters with Some n -> n | None -> 0
+  in
+  Alcotest.(check bool) "gp fallback counted" true
+    (count "engine.recovery.gp_fallback" >= 1)
 
 let test_no_recovery_reports_typed_failure () =
   (* Same persistent fault with the ladder off: a single attempt, a typed
@@ -282,8 +332,12 @@ let () =
           Alcotest.test_case "Inf objective" `Quick test_inf_objective_recovers;
           Alcotest.test_case "NaN gradient" `Quick test_nan_gradient_recovers;
           Alcotest.test_case "Inf gradient" `Quick test_inf_gradient_recovers;
-          Alcotest.test_case "persistent fault -> baseline" `Quick
-            test_persistent_fault_reaches_baseline;
+          Alcotest.test_case "persistent fault -> gp fallback" `Quick
+            test_persistent_fault_reaches_gp;
+          Alcotest.test_case "gp infeasible -> baseline" `Quick
+            test_gp_infeasible_falls_through_to_baseline;
+          Alcotest.test_case "min-delay persistent fault adopts gp" `Quick
+            test_persistent_fault_min_delay_adopts_gp;
           Alcotest.test_case "no-recovery typed failure" `Quick
             test_no_recovery_reports_typed_failure;
           Alcotest.test_case "deeper rungs" `Quick test_repeated_fault_engages_deeper_rung;

@@ -22,6 +22,9 @@ let sample_ops =
     Sim.Op.Inject_fault { kind = Sim.Op.Perturb 0.25; first = 2 };
     Sim.Op.Set_budget { deadline = None; max_evals = Some 500 };
     Sim.Op.Set_budget { deadline = Some 0.125; max_evals = None };
+    Sim.Op.Switch_warm_start `None;
+    Sim.Op.Switch_warm_start `Gp;
+    Sim.Op.Switch_warm_start `Baseline;
     Sim.Op.Solve;
     Sim.Op.Corrupt_cache { gate = 89; bump = 0.7278906 };
     Sim.Op.Serve_request Sim.Op.Srv_analyze;
@@ -161,6 +164,7 @@ let test_satellite_invariants_registered () =
       "corner-envelope";
       "cssta-vs-ssta";
       "recovery-sound";
+      "gp-sound";
       "serve-sound";
       "monotone-counters";
       "words-per-eval";
@@ -188,6 +192,46 @@ let test_fault_injected_solve () =
       Alcotest.fail (Sim.Harness.describe_failure ~seed:21 ~circuit ~n_ops:7 f));
   Alcotest.(check int) "two solves ran" 2 report.Sim.Harness.solves;
   Alcotest.(check bool) "faults fired" true (report.Sim.Harness.faults_fired >= 2)
+
+(* Directed warm-start run: solves under each warm-start mode must pass
+   every invariant — in particular gp-sound, which replays a GP-involved
+   solve's reported moments through a from-scratch sweep, bit for bit.
+   The persistent fault armed before the last solve breaks every solver
+   rung and lands the recovery ladder on the GP fallback, covering the
+   other gp-sound trigger. *)
+let test_warm_start_solves_gp_sound () =
+  let circuit = Sim.Op.Named "tree" in
+  let ops =
+    [
+      Sim.Op.Set_budget { deadline = None; max_evals = Some 1500 };
+      Sim.Op.Switch_warm_start `Gp;
+      Sim.Op.Solve;
+      Sim.Op.Analyze;
+      Sim.Op.Switch_warm_start `Baseline;
+      Sim.Op.Solve;
+      Sim.Op.Switch_warm_start `None;
+      Sim.Op.Inject_fault { kind = Sim.Op.Nan_value; first = 100_000 };
+      Sim.Op.Solve;
+    ]
+  in
+  let report = Sim.Harness.run ~seed:17 ~circuit ops in
+  (match report.Sim.Harness.outcome with
+  | Sim.Harness.Passed -> ()
+  | Sim.Harness.Failed f ->
+      Alcotest.fail (Sim.Harness.describe_failure ~seed:17 ~circuit ~n_ops:9 f));
+  Alcotest.(check int) "three solves ran" 3 report.Sim.Harness.solves
+
+(* The default mix reaches the warm-start modes at all. *)
+let test_generator_emits_warm_start_ops () =
+  let net = Sim.Gen.instantiate small_dag in
+  let ops =
+    Sim.Gen.sequence ~net ~seed:4
+      { Sim.Gen.default with Sim.Gen.circuit = small_dag; n_ops = 200 }
+  in
+  Alcotest.(check bool) "warm-start switches generated" true
+    (List.exists
+       (function Sim.Op.Switch_warm_start _ -> true | _ -> false)
+       ops)
 
 (* Directed serve-op run: daemon-path requests interleaved with resizes
    must pass the serve-soundness invariant (bit-identity against batch,
@@ -375,6 +419,10 @@ let () =
           Alcotest.test_case "satellite invariants registered" `Quick
             test_satellite_invariants_registered;
           Alcotest.test_case "fault-injected solve" `Quick test_fault_injected_solve;
+          Alcotest.test_case "warm-start solves gp-sound" `Quick
+            test_warm_start_solves_gp_sound;
+          Alcotest.test_case "generator emits warm-start ops" `Quick
+            test_generator_emits_warm_start_ops;
           Alcotest.test_case "serve ops sound" `Quick test_serve_ops_sound;
           Alcotest.test_case "generator emits serve ops" `Quick
             test_generator_emits_serve_ops;

@@ -190,6 +190,97 @@ let test_engine_zero_sigma_model () =
   check_float "sigma is zero" 0. s.Engine.sigma;
   Alcotest.(check bool) "still sizes" true (s.Engine.area > 7.)
 
+(* ---- Warm starts ----------------------------------------------------------- *)
+
+let solve_warm ?(options = Engine.default_options) warm_start net obj =
+  Engine.solve ~options:{ options with Engine.warm_start } ~model net obj
+
+(* The statistical metric the solver minimizes, for cold/warm comparison. *)
+let metric (obj : Objective.t) (s : Engine.solution) =
+  match obj with
+  | Objective.Min_delay k -> s.Engine.mu +. (k *. s.Engine.sigma)
+  | Objective.Min_area_bounded _ | Objective.Min_weighted _ | Objective.Min_area ->
+      s.Engine.area
+  | Objective.Min_sigma _ -> s.Engine.sigma
+  | Objective.Max_sigma _ -> -.s.Engine.sigma
+
+let test_warm_start_gp_never_worse () =
+  (* Regression: a GP warm start must never land the solver on a worse
+     local optimum than the cold multi-phase start.  Checked across the
+     objective shapes with a GP analogue, on two circuit families. *)
+  let cases =
+    [
+      ("tree min mu", Generate.tree (), Objective.Min_delay 0.);
+      ("tree min mu+3s", Generate.tree (), Objective.Min_delay 3.);
+      ("fig2 min mu", Generate.example_fig2 (), Objective.Min_delay 0.);
+      ( "fig2 bounded",
+        Generate.example_fig2 (),
+        Objective.Min_area_bounded { k = 0.; bound = 1.6 } );
+    ]
+  in
+  List.iter
+    (fun (name, net, obj) ->
+      let cold = Engine.solve ~model net obj in
+      let warm = solve_warm `Gp net obj in
+      Alcotest.(check bool) (name ^ ": warm converged") true warm.Engine.converged;
+      Alcotest.(check bool) (name ^ ": feasible") true
+        (warm.Engine.max_violation <= 1e-6);
+      let c = metric obj cold and w = metric obj warm in
+      if w > c +. (1e-4 *. Float.max 1. (Float.abs c)) then
+        Alcotest.failf "%s: GP warm start worse than cold (%.9f > %.9f)" name w c)
+    cases
+
+let test_warm_start_gp_fewer_evals_apex2 () =
+  (* The headline warm-start claim (recorded in EXPERIMENTS.md, asserted
+     by bench gp): seeding the statistical solve from the GP optimum
+     cuts the evaluation count on apex2*. *)
+  let net = Generate.apex2_like () in
+  let obj = Objective.Min_delay 3. in
+  let cold = Engine.solve ~model net obj in
+  let warm = solve_warm `Gp net obj in
+  Alcotest.(check bool) "cold converged" true cold.Engine.converged;
+  Alcotest.(check bool) "warm converged" true warm.Engine.converged;
+  if warm.Engine.evaluations >= cold.Engine.evaluations then
+    Alcotest.failf "GP warm start did not save evaluations: warm %d >= cold %d"
+      warm.Engine.evaluations cold.Engine.evaluations;
+  (* Cold and warm converge to the same basin but stop at different
+     iterates; allow the solver's own relative tolerance. *)
+  let c = metric obj cold and w = metric obj warm in
+  Alcotest.(check bool) "warm not worse" true
+    (w <= c +. (1e-3 *. Float.max 1. (Float.abs c)))
+
+let test_warm_start_baseline () =
+  (* The deterministic TILOS warm start is a valid (if weaker) seed: the
+     solve converges to the same optimum as cold. *)
+  let net = Generate.tree () in
+  let obj = Objective.Min_delay 0. in
+  let cold = Engine.solve ~model net obj in
+  let warm = solve_warm `Baseline net obj in
+  Alcotest.(check bool) "converged" true warm.Engine.converged;
+  check_float ~eps:0.01 "same optimum" cold.Engine.mu warm.Engine.mu
+
+let test_warm_start_min_sigma_phases () =
+  (* Min_sigma solves in two phases; the warm start must apply to the
+     first only (the second is warm-started from the first's solution,
+     which would otherwise be overridden). *)
+  let net = Generate.tree () in
+  let obj = Objective.Min_sigma { mu = 6.5 } in
+  let cold = Engine.solve ~model net obj in
+  let warm = solve_warm `Gp net obj in
+  Alcotest.(check bool) "converged" true warm.Engine.converged;
+  check_float ~eps:1e-3 "mu held" 6.5 warm.Engine.mu;
+  Alcotest.(check bool) "sigma not worse than cold + tol" true
+    (warm.Engine.sigma <= cold.Engine.sigma +. 1e-4)
+
+let test_warm_start_no_gp_analogue_falls_back_cleanly () =
+  (* Objectives without a GP analogue must silently use the normal start
+     rather than fail. *)
+  let net = Generate.tree () in
+  let s = solve_warm `Gp net (Objective.Min_sigma { mu = 6.5 }) in
+  Alcotest.(check bool) "converged" true s.Engine.converged;
+  let a = solve_warm `Gp net Objective.Min_area in
+  check_float "min area trivial under warm flag" 7. a.Engine.area
+
 (* ---- Full formulation ---------------------------------------------------------- *)
 
 let test_formulate_counts () =
@@ -505,6 +596,15 @@ let () =
           Alcotest.test_case "restarts" `Quick test_engine_restarts;
           Alcotest.test_case "invalid inputs" `Quick test_engine_invalid_inputs;
           Alcotest.test_case "zero sigma model" `Quick test_engine_zero_sigma_model;
+          Alcotest.test_case "gp warm start never worse" `Quick
+            test_warm_start_gp_never_worse;
+          Alcotest.test_case "gp warm start saves evaluations (apex2*)" `Slow
+            test_warm_start_gp_fewer_evals_apex2;
+          Alcotest.test_case "baseline warm start" `Quick test_warm_start_baseline;
+          Alcotest.test_case "min-sigma warm-start phases" `Quick
+            test_warm_start_min_sigma_phases;
+          Alcotest.test_case "no gp analogue falls back cleanly" `Quick
+            test_warm_start_no_gp_analogue_falls_back_cleanly;
           Alcotest.test_case "matches brute force (fig2)" `Slow
             test_engine_matches_brute_force_fig2;
         ] );
